@@ -1,0 +1,136 @@
+//! ATE upgrade cost model.
+//!
+//! Section 7 of the paper compares two ways of spending money on the test
+//! cell: buying additional ATE channels versus deepening the vector memory
+//! of the existing channels, quoting market prices of roughly USD 8,000 for
+//! 16 extra channels (at 7 M depth) and USD 1,500 for doubling the memory of
+//! 16 channels from 7 M to 14 M. This module captures that price model so
+//! the cost-effectiveness experiment can be regenerated.
+
+use crate::spec::AteSpec;
+use serde::{Deserialize, Serialize};
+
+/// Price model for ATE upgrades, in USD.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AteCostModel {
+    /// Price of 16 additional channels (with baseline memory depth).
+    pub usd_per_16_channels: f64,
+    /// Price of doubling the vector memory of 16 existing channels.
+    pub usd_per_16_channel_memory_doubling: f64,
+}
+
+impl AteCostModel {
+    /// The market prices quoted in the paper (2005): USD 8,000 per 16
+    /// channels, USD 1,500 per 16-channel memory doubling.
+    pub fn paper_prices() -> Self {
+        AteCostModel {
+            usd_per_16_channels: 8_000.0,
+            usd_per_16_channel_memory_doubling: 1_500.0,
+        }
+    }
+
+    /// Cost of extending an ATE from `from_channels` to `to_channels`
+    /// channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to_channels < from_channels`.
+    pub fn channel_upgrade_cost(&self, from_channels: usize, to_channels: usize) -> f64 {
+        assert!(
+            to_channels >= from_channels,
+            "cannot downgrade from {from_channels} to {to_channels} channels"
+        );
+        (to_channels - from_channels) as f64 / 16.0 * self.usd_per_16_channels
+    }
+
+    /// Cost of doubling the vector memory of every channel of `ate`
+    /// `doublings` times (e.g. 7 M -> 14 M is one doubling).
+    pub fn memory_doubling_cost(&self, ate: &AteSpec, doublings: u32) -> f64 {
+        ate.channels as f64 / 16.0 * self.usd_per_16_channel_memory_doubling * f64::from(doublings)
+    }
+
+    /// How many whole extra channels the given budget buys.
+    pub fn channels_affordable(&self, budget_usd: f64) -> usize {
+        if budget_usd <= 0.0 {
+            return 0;
+        }
+        (budget_usd / self.usd_per_16_channels * 16.0).floor() as usize
+    }
+
+    /// How many whole memory doublings of the full ATE the given budget
+    /// buys.
+    pub fn memory_doublings_affordable(&self, ate: &AteSpec, budget_usd: f64) -> u32 {
+        let per_doubling = self.memory_doubling_cost(ate, 1);
+        if budget_usd <= 0.0 || per_doubling <= 0.0 {
+            return 0;
+        }
+        (budget_usd / per_doubling).floor() as u32
+    }
+}
+
+impl Default for AteCostModel {
+    fn default() -> Self {
+        AteCostModel::paper_prices()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_prices_match_quoted_values() {
+        let model = AteCostModel::paper_prices();
+        assert_eq!(model.usd_per_16_channels, 8_000.0);
+        assert_eq!(model.usd_per_16_channel_memory_doubling, 1_500.0);
+    }
+
+    #[test]
+    fn doubling_memory_of_512_channels_costs_48k() {
+        // The paper: 512 / 16 * 1500 = USD 48,000.
+        let model = AteCostModel::paper_prices();
+        let ate = AteSpec::paper_ate();
+        let cost = model.memory_doubling_cost(&ate, 1);
+        assert!((cost - 48_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forty_eight_thousand_buys_roughly_96_channels() {
+        // The paper: "For this money, we can buy roughly 96 channels".
+        let model = AteCostModel::paper_prices();
+        assert_eq!(model.channels_affordable(48_000.0), 96);
+    }
+
+    #[test]
+    fn channel_upgrade_cost_is_linear() {
+        let model = AteCostModel::paper_prices();
+        assert_eq!(model.channel_upgrade_cost(512, 512), 0.0);
+        assert!((model.channel_upgrade_cost(512, 528) - 8_000.0).abs() < 1e-9);
+        assert!((model.channel_upgrade_cost(512, 1024) - 256_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "downgrade")]
+    fn downgrade_panics() {
+        let _ = AteCostModel::paper_prices().channel_upgrade_cost(512, 256);
+    }
+
+    #[test]
+    fn affordability_handles_non_positive_budget() {
+        let model = AteCostModel::paper_prices();
+        assert_eq!(model.channels_affordable(0.0), 0);
+        assert_eq!(model.channels_affordable(-10.0), 0);
+        assert_eq!(
+            model.memory_doublings_affordable(&AteSpec::paper_ate(), -1.0),
+            0
+        );
+    }
+
+    #[test]
+    fn memory_doublings_affordable_for_paper_budget() {
+        let model = AteCostModel::paper_prices();
+        let ate = AteSpec::paper_ate();
+        assert_eq!(model.memory_doublings_affordable(&ate, 48_000.0), 1);
+        assert_eq!(model.memory_doublings_affordable(&ate, 100_000.0), 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Models of the fixed test cell: ATE, probe station, wafer and upgrade
+//! costs.
+//!
+//! The paper assumes a *given and fixed* target test cell — an ATE with `K`
+//! channels of vector-memory depth `D` and a probe station with a fixed
+//! index time — and designs the on-chip DfT around it. This crate provides
+//! those environment models:
+//!
+//! * [`AteSpec`] — channel count, per-channel vector memory depth and test
+//!   clock frequency,
+//! * [`ProbeStation`] — index time and contact-test time,
+//! * [`TestCell`] — the combination of both, with the paper's parameter
+//!   values available as [`TestCell::paper_wafer_test_cell`],
+//! * [`cost::AteCostModel`] — the channel-versus-memory upgrade price model
+//!   used in the cost-effectiveness analysis of Section 7,
+//! * [`wafer::WaferMap`] — die-grid geometry used by the Monte-Carlo wafer
+//!   simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use soctest_ate::{AteSpec, TestCell};
+//!
+//! let cell = TestCell::paper_wafer_test_cell();
+//! assert_eq!(cell.ate.channels, 512);
+//! assert_eq!(cell.ate.vector_memory_depth, 7 * 1024 * 1024);
+//! let wider = cell.ate.with_channels(1024);
+//! assert_eq!(wider.channels, 1024);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cost;
+pub mod probe;
+pub mod spec;
+pub mod wafer;
+
+pub use cost::AteCostModel;
+pub use probe::ProbeStation;
+pub use spec::AteSpec;
+pub use wafer::WaferMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A complete test cell: ATE plus probe station.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestCell {
+    /// The ATE.
+    pub ate: AteSpec,
+    /// The probe station.
+    pub probe: ProbeStation,
+}
+
+impl TestCell {
+    /// Creates a test cell from its two parts.
+    pub fn new(ate: AteSpec, probe: ProbeStation) -> Self {
+        TestCell { ate, probe }
+    }
+
+    /// The wafer-test cell used throughout Section 7 of the paper:
+    /// a 512-channel ATE with 7 M vectors per channel, a 5 MHz test clock,
+    /// 100 ms index time and 1 ms contact-test time.
+    pub fn paper_wafer_test_cell() -> Self {
+        TestCell {
+            ate: AteSpec::paper_ate(),
+            probe: ProbeStation::paper_probe_station(),
+        }
+    }
+
+    /// Time (in seconds) to run a manufacturing test of `cycles` test clock
+    /// cycles on this cell's ATE.
+    pub fn manufacturing_test_time_s(&self, cycles: u64) -> f64 {
+        self.ate.cycles_to_seconds(cycles)
+    }
+}
+
+impl Default for TestCell {
+    fn default() -> Self {
+        TestCell::paper_wafer_test_cell()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cell_parameters() {
+        let cell = TestCell::paper_wafer_test_cell();
+        assert_eq!(cell.ate.channels, 512);
+        assert_eq!(cell.ate.vector_memory_depth, 7 * 1024 * 1024);
+        assert!((cell.ate.test_clock_hz - 5.0e6).abs() < 1.0);
+        assert!((cell.probe.index_time_s - 0.1).abs() < 1e-12);
+        assert!((cell.probe.contact_test_time_s - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_paper_cell() {
+        assert_eq!(TestCell::default(), TestCell::paper_wafer_test_cell());
+    }
+
+    #[test]
+    fn manufacturing_time_uses_clock() {
+        let cell = TestCell::paper_wafer_test_cell();
+        let t = cell.manufacturing_test_time_s(5_000_000);
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+}

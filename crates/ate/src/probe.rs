@@ -1,0 +1,115 @@
+//! The probe-station model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A wafer probe station, characterised by the two fixed per-touchdown time
+/// components of the paper's cost model (Section 4):
+///
+/// * the *index time* `t_i` — the time needed to position the probe
+///   interface and make contact with the bonding pads of the SOC(s) under
+///   test (typical value: 100 ms),
+/// * the *contact-test time* `t_c` — the time of the contact test that
+///   verifies all probed terminals are properly connected (typical value:
+///   1 ms; all terminals are checked simultaneously, so this does not grow
+///   with the pin count).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbeStation {
+    /// Index time `t_i` in seconds.
+    pub index_time_s: f64,
+    /// Contact-test time `t_c` in seconds.
+    pub contact_test_time_s: f64,
+}
+
+impl ProbeStation {
+    /// Creates a probe station model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either time is negative or not finite.
+    pub fn new(index_time_s: f64, contact_test_time_s: f64) -> Self {
+        assert!(
+            index_time_s.is_finite() && index_time_s >= 0.0,
+            "index time must be non-negative"
+        );
+        assert!(
+            contact_test_time_s.is_finite() && contact_test_time_s >= 0.0,
+            "contact test time must be non-negative"
+        );
+        ProbeStation {
+            index_time_s,
+            contact_test_time_s,
+        }
+    }
+
+    /// The probe station assumed in the paper: `t_i = 100 ms`,
+    /// `t_c = 1 ms`.
+    pub fn paper_probe_station() -> Self {
+        ProbeStation::new(0.1, 0.001)
+    }
+
+    /// Fixed per-touchdown overhead (index time plus contact test).
+    pub fn touchdown_overhead_s(&self) -> f64 {
+        self.index_time_s + self.contact_test_time_s
+    }
+}
+
+impl Default for ProbeStation {
+    fn default() -> Self {
+        ProbeStation::paper_probe_station()
+    }
+}
+
+impl fmt::Display for ProbeStation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "probe station: index {:.1} ms, contact test {:.1} ms",
+            self.index_time_s * 1e3,
+            self.contact_test_time_s * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let p = ProbeStation::paper_probe_station();
+        assert!((p.index_time_s - 0.1).abs() < 1e-12);
+        assert!((p.contact_test_time_s - 0.001).abs() < 1e-12);
+        assert!((p.touchdown_overhead_s() - 0.101).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_paper_station() {
+        assert_eq!(ProbeStation::default(), ProbeStation::paper_probe_station());
+    }
+
+    #[test]
+    fn zero_overhead_station_is_allowed() {
+        let p = ProbeStation::new(0.0, 0.0);
+        assert_eq!(p.touchdown_overhead_s(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index time")]
+    fn negative_index_time_panics() {
+        let _ = ProbeStation::new(-1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "contact test time")]
+    fn nan_contact_time_panics() {
+        let _ = ProbeStation::new(0.1, f64::NAN);
+    }
+
+    #[test]
+    fn display_uses_milliseconds() {
+        let text = ProbeStation::paper_probe_station().to_string();
+        assert!(text.contains("100.0 ms"));
+        assert!(text.contains("1.0 ms"));
+    }
+}

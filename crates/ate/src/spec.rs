@@ -1,0 +1,171 @@
+//! The ATE specification.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One mega-vector of per-channel memory depth (the unit used in the paper's
+/// tables: "7 M" means `7 * 1024 * 1024` vectors).
+pub const MEGA_VECTORS: u64 = 1024 * 1024;
+
+/// An Automatic Test Equipment specification.
+///
+/// The three parameters that matter to the optimization are the number of
+/// digital channels `K`, the vector-memory depth per channel `D` (in
+/// vectors, i.e. test clock cycles that fit in a single load) and the test
+/// clock frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AteSpec {
+    /// Number of digital ATE channels `K`.
+    pub channels: usize,
+    /// Vector memory depth per channel `D`, in vectors.
+    pub vector_memory_depth: u64,
+    /// Test clock frequency in hertz.
+    pub test_clock_hz: f64,
+}
+
+impl AteSpec {
+    /// Creates an ATE spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero / non-positive.
+    pub fn new(channels: usize, vector_memory_depth: u64, test_clock_hz: f64) -> Self {
+        assert!(channels > 0, "ATE must have at least one channel");
+        assert!(
+            vector_memory_depth > 0,
+            "vector memory depth must be positive"
+        );
+        assert!(
+            test_clock_hz.is_finite() && test_clock_hz > 0.0,
+            "test clock must be positive"
+        );
+        AteSpec {
+            channels,
+            vector_memory_depth,
+            test_clock_hz,
+        }
+    }
+
+    /// The ATE used in the paper's experiments: 512 channels, 7 M vectors
+    /// per channel, 5 MHz test clock.
+    pub fn paper_ate() -> Self {
+        AteSpec::new(512, 7 * MEGA_VECTORS, 5.0e6)
+    }
+
+    /// Returns a copy with a different channel count.
+    pub fn with_channels(self, channels: usize) -> Self {
+        AteSpec::new(channels, self.vector_memory_depth, self.test_clock_hz)
+    }
+
+    /// Returns a copy with a different per-channel memory depth (in
+    /// vectors).
+    pub fn with_depth(self, vector_memory_depth: u64) -> Self {
+        AteSpec::new(self.channels, vector_memory_depth, self.test_clock_hz)
+    }
+
+    /// Returns a copy with the memory depth given in mega-vectors.
+    pub fn with_depth_megavectors(self, megavectors: u64) -> Self {
+        self.with_depth(megavectors * MEGA_VECTORS)
+    }
+
+    /// Converts a number of test clock cycles into seconds on this ATE.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.test_clock_hz
+    }
+
+    /// Converts seconds into (rounded-down) test clock cycles.
+    pub fn seconds_to_cycles(&self, seconds: f64) -> u64 {
+        (seconds * self.test_clock_hz).floor().max(0.0) as u64
+    }
+
+    /// Total vector memory across all channels, in vectors.
+    pub fn total_vector_memory(&self) -> u64 {
+        self.vector_memory_depth * self.channels as u64
+    }
+
+    /// The longest manufacturing test (in seconds) that fits in a single
+    /// memory load.
+    pub fn max_test_time_s(&self) -> f64 {
+        self.cycles_to_seconds(self.vector_memory_depth)
+    }
+}
+
+impl Default for AteSpec {
+    fn default() -> Self {
+        AteSpec::paper_ate()
+    }
+}
+
+impl fmt::Display for AteSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ATE: {} channels x {:.1} M vectors @ {:.1} MHz",
+            self.channels,
+            self.vector_memory_depth as f64 / MEGA_VECTORS as f64,
+            self.test_clock_hz / 1.0e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ate_values() {
+        let ate = AteSpec::paper_ate();
+        assert_eq!(ate.channels, 512);
+        assert_eq!(ate.vector_memory_depth, 7 * MEGA_VECTORS);
+        assert_eq!(ate.total_vector_memory(), 512 * 7 * MEGA_VECTORS);
+    }
+
+    #[test]
+    fn with_helpers_replace_single_fields() {
+        let ate = AteSpec::paper_ate()
+            .with_channels(640)
+            .with_depth_megavectors(14);
+        assert_eq!(ate.channels, 640);
+        assert_eq!(ate.vector_memory_depth, 14 * MEGA_VECTORS);
+        assert!((ate.test_clock_hz - 5.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn cycle_second_conversion_round_trips() {
+        let ate = AteSpec::paper_ate();
+        let cycles = 3_456_789u64;
+        let seconds = ate.cycles_to_seconds(cycles);
+        assert_eq!(ate.seconds_to_cycles(seconds), cycles);
+    }
+
+    #[test]
+    fn max_test_time_is_depth_over_clock() {
+        let ate = AteSpec::new(16, 5_000_000, 5.0e6);
+        assert!((ate.max_test_time_s() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_panics() {
+        let _ = AteSpec::new(0, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory depth")]
+    fn zero_depth_panics() {
+        let _ = AteSpec::new(1, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "test clock")]
+    fn non_positive_clock_panics() {
+        let _ = AteSpec::new(1, 1, 0.0);
+    }
+
+    #[test]
+    fn display_mentions_channels_and_depth() {
+        let text = AteSpec::paper_ate().to_string();
+        assert!(text.contains("512"));
+        assert!(text.contains("7.0 M"));
+    }
+}

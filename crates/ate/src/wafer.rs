@@ -1,0 +1,207 @@
+//! Wafer and die-grid geometry.
+//!
+//! The Monte-Carlo wafer-test simulator needs to know how many dies a wafer
+//! carries and how many touchdowns a probe card with `n` sites needs to
+//! cover them. The paper ignores the multi-site losses at the wafer
+//! periphery; [`WaferMap::touchdowns`] therefore also provides the idealised
+//! count (full utilisation of all sites) next to the exact grid-based count.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Geometry of a wafer and its die grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaferMap {
+    /// Wafer diameter in millimetres (typical: 300 mm).
+    pub diameter_mm: f64,
+    /// Die width in millimetres, including scribe lines.
+    pub die_width_mm: f64,
+    /// Die height in millimetres, including scribe lines.
+    pub die_height_mm: f64,
+    /// Edge exclusion in millimetres (outer ring unusable for product dies).
+    pub edge_exclusion_mm: f64,
+}
+
+impl WaferMap {
+    /// Creates a wafer map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is non-positive or the edge exclusion is
+    /// negative.
+    pub fn new(
+        diameter_mm: f64,
+        die_width_mm: f64,
+        die_height_mm: f64,
+        edge_exclusion_mm: f64,
+    ) -> Self {
+        assert!(diameter_mm > 0.0, "wafer diameter must be positive");
+        assert!(
+            die_width_mm > 0.0 && die_height_mm > 0.0,
+            "die size must be positive"
+        );
+        assert!(
+            edge_exclusion_mm >= 0.0,
+            "edge exclusion must be non-negative"
+        );
+        WaferMap {
+            diameter_mm,
+            die_width_mm,
+            die_height_mm,
+            edge_exclusion_mm,
+        }
+    }
+
+    /// A 300 mm wafer with a 10 x 10 mm "monster chip" die — in the same
+    /// size class as the PNX8550.
+    pub fn monster_chip_300mm() -> Self {
+        WaferMap::new(300.0, 10.0, 10.0, 3.0)
+    }
+
+    /// Number of whole dies whose centre lies within the usable wafer
+    /// radius.
+    pub fn gross_dies(&self) -> usize {
+        let radius = self.diameter_mm / 2.0 - self.edge_exclusion_mm;
+        if radius <= 0.0 {
+            return 0;
+        }
+        let mut count = 0usize;
+        // Walk the die grid symmetric around the wafer centre.
+        let nx = (self.diameter_mm / self.die_width_mm).ceil() as i64 + 2;
+        let ny = (self.diameter_mm / self.die_height_mm).ceil() as i64 + 2;
+        for ix in -nx..=nx {
+            for iy in -ny..=ny {
+                let cx = (ix as f64 + 0.5) * self.die_width_mm;
+                let cy = (iy as f64 + 0.5) * self.die_height_mm;
+                // The die is usable when all four corners fall inside the
+                // usable radius.
+                let hx = self.die_width_mm / 2.0;
+                let hy = self.die_height_mm / 2.0;
+                let far_x = cx.abs() + hx;
+                let far_y = cy.abs() + hy;
+                if (far_x * far_x + far_y * far_y).sqrt() <= radius {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Number of probe touchdowns needed to test every die with an
+    /// `n`-site probe card.
+    ///
+    /// `ideal` ignores peripheral losses (as the paper does):
+    /// `⌈gross_dies / n⌉`. The `with_edge_losses` variant adds a
+    /// configurable inefficiency factor to model partially filled
+    /// touchdowns at the wafer edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites == 0`.
+    pub fn touchdowns(&self, sites: usize) -> usize {
+        assert!(sites > 0, "a probe card has at least one site");
+        self.gross_dies().div_ceil(sites)
+    }
+
+    /// Touchdowns including a simple edge-loss model: a fraction
+    /// `edge_loss` (0.0..1.0) of site positions is wasted on average.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites == 0` or `edge_loss` is outside `0.0..1.0`.
+    pub fn touchdowns_with_edge_losses(&self, sites: usize, edge_loss: f64) -> usize {
+        assert!(sites > 0, "a probe card has at least one site");
+        assert!(
+            (0.0..1.0).contains(&edge_loss),
+            "edge loss must be in 0.0..1.0"
+        );
+        let effective_sites = (sites as f64 * (1.0 - edge_loss)).max(1.0);
+        (self.gross_dies() as f64 / effective_sites).ceil() as usize
+    }
+}
+
+impl Default for WaferMap {
+    fn default() -> Self {
+        WaferMap::monster_chip_300mm()
+    }
+}
+
+impl fmt::Display for WaferMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} mm wafer, {:.1} x {:.1} mm dies, {} gross dies",
+            self.diameter_mm,
+            self.die_width_mm,
+            self.die_height_mm,
+            self.gross_dies()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monster_chip_wafer_has_hundreds_of_dies() {
+        let map = WaferMap::monster_chip_300mm();
+        let dies = map.gross_dies();
+        // A 10x10 mm die on a 300 mm wafer yields roughly 500-650 gross dies.
+        assert!(dies > 400, "got {dies}");
+        assert!(dies < 700, "got {dies}");
+    }
+
+    #[test]
+    fn smaller_dies_give_more_dies_per_wafer() {
+        let big = WaferMap::new(300.0, 12.0, 12.0, 3.0).gross_dies();
+        let small = WaferMap::new(300.0, 6.0, 6.0, 3.0).gross_dies();
+        assert!(small > 3 * big);
+    }
+
+    #[test]
+    fn touchdowns_divide_dies_by_sites() {
+        let map = WaferMap::monster_chip_300mm();
+        let dies = map.gross_dies();
+        assert_eq!(map.touchdowns(1), dies);
+        assert_eq!(map.touchdowns(4), dies.div_ceil(4));
+        assert!(map.touchdowns(8) <= map.touchdowns(4));
+    }
+
+    #[test]
+    fn edge_losses_increase_touchdowns() {
+        let map = WaferMap::monster_chip_300mm();
+        assert!(map.touchdowns_with_edge_losses(8, 0.2) >= map.touchdowns(8));
+    }
+
+    #[test]
+    fn tiny_wafer_has_no_dies() {
+        let map = WaferMap::new(10.0, 20.0, 20.0, 0.0);
+        assert_eq!(map.gross_dies(), 0);
+        assert_eq!(map.touchdowns(4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn zero_sites_panics() {
+        let _ = WaferMap::monster_chip_300mm().touchdowns(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge loss")]
+    fn invalid_edge_loss_panics() {
+        let _ = WaferMap::monster_chip_300mm().touchdowns_with_edge_losses(4, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "die size")]
+    fn invalid_die_size_panics() {
+        let _ = WaferMap::new(300.0, 0.0, 10.0, 3.0);
+    }
+
+    #[test]
+    fn display_mentions_gross_dies() {
+        let text = WaferMap::monster_chip_300mm().to_string();
+        assert!(text.contains("gross dies"));
+    }
+}

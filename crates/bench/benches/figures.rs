@@ -1,0 +1,129 @@
+//! Criterion benchmarks timing the regeneration of each figure / table of
+//! the paper's evaluation section. Each benchmark runs the same computation
+//! as the corresponding `src/bin/` generator (with the Monte-Carlo die count
+//! reduced), so `cargo bench` both exercises and times every experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soctest_ate::AteCostModel;
+use soctest_bench::{
+    fig6a_channel_counts, fig6b_depths, fig7a_contact_yields, fig7b_manufacturing_yields,
+    paper_config, pnx_soc, table1_cases,
+};
+use soctest_multisite::optimizer::optimize;
+use soctest_multisite::problem::MultiSiteOptions;
+use soctest_multisite::sweep::{
+    abort_on_fail_sweep, channel_sweep, contact_yield_sweep, cost_effectiveness, depth_sweep,
+};
+use soctest_tam::baseline::pack_with_table;
+use soctest_tam::step1::design_with_table;
+use soctest_tam::TimeTable;
+use soctest_wafersim::{simulate_flow, FlowParams};
+
+fn bench_fig5(c: &mut Criterion) {
+    let soc = pnx_soc();
+    let mut group = c.benchmark_group("fig5_throughput_vs_sites");
+    group.sample_size(10);
+    group.bench_function("no_broadcast", |b| {
+        let config = paper_config();
+        b.iter(|| optimize(&soc, &config).expect("feasible"));
+    });
+    group.bench_function("broadcast", |b| {
+        let config = paper_config().with_options(MultiSiteOptions::baseline().with_broadcast());
+        b.iter(|| optimize(&soc, &config).expect("feasible"));
+    });
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let soc = pnx_soc();
+    let config = paper_config();
+    let mut group = c.benchmark_group("fig6_sweeps");
+    group.sample_size(10);
+    group.bench_function("fig6a_channel_sweep", |b| {
+        let channels = fig6a_channel_counts();
+        b.iter(|| channel_sweep(&soc, &config, &channels).expect("feasible"));
+    });
+    group.bench_function("fig6b_depth_sweep", |b| {
+        let depths = fig6b_depths();
+        b.iter(|| depth_sweep(&soc, &config, &depths).expect("feasible"));
+    });
+    group.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let soc = pnx_soc();
+    let config = paper_config();
+    let mut group = c.benchmark_group("fig7_yield_effects");
+    group.sample_size(10);
+    group.bench_function("fig7a_contact_yield_sweep", |b| {
+        // Two depths are enough to time the computation shape.
+        let depths = [
+            fig6b_depths()[0],
+            *fig6b_depths().last().expect("non-empty"),
+        ];
+        b.iter(|| {
+            contact_yield_sweep(&soc, &config, &depths, &fig7a_contact_yields()).expect("feasible")
+        });
+    });
+    group.bench_function("fig7b_abort_on_fail_sweep", |b| {
+        b.iter(|| {
+            abort_on_fail_sweep(&soc, &config, 8, &fig7b_manufacturing_yields()).expect("feasible")
+        });
+    });
+    group.finish();
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_itc02");
+    group.sample_size(10);
+    group.bench_function("all_socs_all_depths", |b| {
+        let cases = table1_cases();
+        let tables: Vec<(TimeTable, usize, Vec<u64>)> = cases
+            .iter()
+            .map(|(soc, channels, depths)| {
+                (
+                    TimeTable::build(soc, channels / 2),
+                    *channels,
+                    depths.clone(),
+                )
+            })
+            .collect();
+        b.iter(|| {
+            for (table, channels, depths) in &tables {
+                for &depth in depths {
+                    let _ = design_with_table(table, *channels, depth).expect("feasible");
+                    let _ = pack_with_table(table, *channels, depth).expect("feasible");
+                }
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_cost_and_mc(c: &mut Criterion) {
+    let soc = pnx_soc();
+    let config = paper_config();
+    let mut group = c.benchmark_group("cost_and_validation");
+    group.sample_size(10);
+    group.bench_function("cost_analysis", |b| {
+        b.iter(|| {
+            cost_effectiveness(&soc, &config, &AteCostModel::paper_prices()).expect("feasible")
+        });
+    });
+    group.bench_function("mc_validation_flow", |b| {
+        let solution = optimize(&soc, &config).expect("feasible");
+        let flow = FlowParams::from_solution(&solution, &config);
+        b.iter(|| simulate_flow(&flow, flow.sites * 200, 7));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_table1,
+    bench_cost_and_mc
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benchmarks of the two-step optimizer and its building blocks
+//! on the ITC'02 benchmark SOCs and the PNX8550 stand-in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soctest_ate::{AteSpec, ProbeStation, TestCell};
+use soctest_multisite::{optimizer::optimize, problem::OptimizerConfig};
+use soctest_soc_model::benchmarks::{d695, p22810, p34392, p93791};
+use soctest_soc_model::Soc;
+use soctest_tam::baseline::pack_with_table;
+use soctest_tam::step1::design_with_table;
+use soctest_tam::TimeTable;
+
+fn table1_depth_for(soc: &Soc) -> u64 {
+    match soc.name() {
+        "d695" => 64 * 1024,
+        "p22810" => 512 * 1024,
+        "p34392" => 1_256_000,
+        _ => 2_000_000,
+    }
+}
+
+fn bench_step1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step1");
+    group.sample_size(20);
+    for soc in [d695(), p22810(), p34392(), p93791()] {
+        let depth = table1_depth_for(&soc);
+        let table = TimeTable::build(&soc, 256);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(soc.name()),
+            &table,
+            |b, table| {
+                b.iter(|| design_with_table(table, 512, depth).expect("feasible"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_baseline_packer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_rectangle_packing");
+    group.sample_size(20);
+    for soc in [d695(), p93791()] {
+        let depth = table1_depth_for(&soc);
+        let table = TimeTable::build(&soc, 256);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(soc.name()),
+            &table,
+            |b, table| {
+                b.iter(|| pack_with_table(table, 512, depth).expect("feasible"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_step_optimizer");
+    group.sample_size(10);
+    let config = OptimizerConfig::new(TestCell::new(
+        AteSpec::new(512, 2_000_000, 5.0e6),
+        ProbeStation::paper_probe_station(),
+    ));
+    for soc in [d695(), p22810(), p93791()] {
+        group.bench_with_input(BenchmarkId::from_parameter(soc.name()), &soc, |b, soc| {
+            b.iter(|| optimize(soc, &config).expect("feasible"));
+        });
+    }
+    // The full-size PNX8550 stand-in on the paper's test cell.
+    let pnx = soctest_soc_model::synthetic::pnx8550_like();
+    let paper = OptimizerConfig::paper_section7();
+    group.bench_function("pnx8550_like", |b| {
+        b.iter(|| optimize(&pnx, &paper).expect("feasible"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_step1,
+    bench_baseline_packer,
+    bench_full_optimizer
+);
+criterion_main!(benches);

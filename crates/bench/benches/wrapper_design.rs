@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the COMBINE wrapper design and the time-table
+//! construction it feeds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soctest_soc_model::benchmarks::p93791;
+use soctest_soc_model::synthetic::pnx8550_like;
+use soctest_tam::TimeTable;
+use soctest_wrapper::combine::design_wrapper;
+use soctest_wrapper::pareto::pareto_widths;
+
+fn bench_combine(c: &mut Criterion) {
+    let soc = p93791();
+    let biggest = soc
+        .modules()
+        .iter()
+        .max_by_key(|m| m.total_scan_flip_flops())
+        .expect("p93791 has modules")
+        .clone();
+    let mut group = c.benchmark_group("combine_wrapper_design");
+    for width in [1usize, 8, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
+            b.iter(|| design_wrapper(&biggest, w));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let soc = p93791();
+    let biggest = soc
+        .modules()
+        .iter()
+        .max_by_key(|m| m.total_scan_flip_flops())
+        .expect("p93791 has modules")
+        .clone();
+    c.bench_function("pareto_widths_to_64", |b| {
+        b.iter(|| pareto_widths(&biggest, 64));
+    });
+}
+
+fn bench_timetable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timetable_build");
+    group.sample_size(10);
+    let itc = p93791();
+    group.bench_function("p93791_width_256", |b| {
+        b.iter(|| TimeTable::build(&itc, 256));
+    });
+    let pnx = pnx8550_like();
+    group.bench_function("pnx8550_like_width_256", |b| {
+        b.iter(|| TimeTable::build(&pnx, 256));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_combine, bench_pareto, bench_timetable);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 5: throughput versus number of sites for the PNX8550 stand-in,
+//! with and without stimulus broadcast, Step 1-only versus Step 1+2.
+
+use soctest_bench::{paper_config, pnx_soc};
+use soctest_multisite::optimizer::{optimize, step1_only_curve};
+use soctest_multisite::problem::MultiSiteOptions;
+use soctest_multisite::report::format_throughput_curve;
+
+fn main() {
+    let soc = pnx_soc();
+
+    for (label, options) in [
+        ("without stimulus broadcast", MultiSiteOptions::baseline()),
+        (
+            "with stimulus broadcast",
+            MultiSiteOptions::baseline().with_broadcast(),
+        ),
+    ] {
+        let config = paper_config().with_options(options);
+        let solution = optimize(&soc, &config).expect("PNX8550 stand-in fits the paper ATE");
+        println!("=== Figure 5 ({label}) ===");
+        print!("{}", format_throughput_curve(&solution));
+        println!(
+            "Step 2 gain over stopping at n_max: {:.1}%",
+            100.0 * solution.step2_gain()
+        );
+
+        // The dashed "Step 1 only" line of the figure: no channel
+        // redistribution, test time fixed at the Step 1 architecture.
+        let step1_curve =
+            step1_only_curve(&solution.step1_architecture, &config, solution.max_sites);
+        println!("Step 1 only (dashed line): n -> D_th");
+        for point in &step1_curve {
+            println!("  {:>3} -> {:>10.1}", point.sites, point.devices_per_hour);
+        }
+
+        // The site-cap comparison quoted in the text ("if the multi-site is
+        // limited to, say, n = 4, Steps 1+2 together result in 34% more
+        // throughput than Step 1 only").
+        let cap = (solution.max_sites / 2).max(1);
+        let capped_full = solution
+            .best_under_site_cap(cap)
+            .expect("cap is at least one site");
+        let capped_step1 = step1_curve
+            .iter()
+            .filter(|p| p.sites <= cap)
+            .map(|p| p.devices_per_hour)
+            .fold(f64::MIN, f64::max);
+        println!(
+            "Site cap n <= {cap}: Step 1+2 = {:.0}/h, Step 1 only = {:.0}/h (gain {:.0}%)\n",
+            capped_full.devices_per_hour,
+            capped_step1,
+            100.0 * (capped_full.devices_per_hour / capped_step1 - 1.0)
+        );
+    }
+}

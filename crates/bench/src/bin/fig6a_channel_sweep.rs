@@ -1,0 +1,30 @@
+//! Figure 6(a): throughput versus number of ATE channels (512..1024) for
+//! the PNX8550 stand-in.
+
+use soctest_bench::{fig6a_channel_counts, paper_config, pnx_soc};
+use soctest_multisite::report::format_sweep;
+use soctest_multisite::sweep::channel_sweep;
+
+fn main() {
+    let soc = pnx_soc();
+    let config = paper_config();
+    let channels = fig6a_channel_counts();
+    let points = channel_sweep(&soc, &config, &channels).expect("all channel counts are feasible");
+    print!(
+        "{}",
+        format_sweep(
+            "=== Figure 6(a): throughput vs. ATE channels ===",
+            "channels",
+            "D_th [/h]",
+            &points
+        )
+    );
+    let first = points.first().expect("non-empty sweep");
+    let last = points.last().expect("non-empty sweep");
+    println!(
+        "Doubling the channels ({} -> {}) multiplies throughput by {:.2} (paper: ~2x, linear).",
+        first.parameter,
+        last.parameter,
+        last.optimal.devices_per_hour / first.optimal.devices_per_hour
+    );
+}

@@ -1,0 +1,34 @@
+//! Figure 6(b): throughput versus vector-memory depth (5 M..14 M) for the
+//! PNX8550 stand-in.
+
+use soctest_bench::{fig6b_depths, paper_config, pnx_soc};
+use soctest_multisite::report::format_sweep;
+use soctest_multisite::sweep::depth_sweep;
+
+fn main() {
+    let soc = pnx_soc();
+    let config = paper_config();
+    let depths = fig6b_depths();
+    let points = depth_sweep(&soc, &config, &depths).expect("all depths are feasible");
+    print!(
+        "{}",
+        format_sweep(
+            "=== Figure 6(b): throughput vs. vector memory depth ===",
+            "depth [vectors]",
+            "D_th [/h]",
+            &points
+        )
+    );
+    let at = |megavectors: u64| {
+        points
+            .iter()
+            .find(|p| p.parameter as u64 == megavectors * 1024 * 1024)
+            .map(|p| p.optimal.devices_per_hour)
+    };
+    if let (Some(d7), Some(d14)) = (at(7), at(14)) {
+        println!(
+            "Doubling the depth (7M -> 14M) multiplies throughput by {:.2} (paper: ~1.27, sub-linear).",
+            d14 / d7
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 7(a): unique-device throughput versus vector-memory depth for a
+//! range of contact yields (re-test of contact failures enabled).
+
+use soctest_bench::{fig6b_depths, fig7a_contact_yields, paper_config, pnx_soc};
+use soctest_multisite::report::format_sweep_curves;
+use soctest_multisite::sweep::contact_yield_sweep;
+
+fn main() {
+    let soc = pnx_soc();
+    let config = paper_config();
+    let curves = contact_yield_sweep(&soc, &config, &fig6b_depths(), &fig7a_contact_yields())
+        .expect("all depths are feasible");
+    print!(
+        "{}",
+        format_sweep_curves(
+            "=== Figure 7(a): unique throughput vs. depth, per contact yield ===",
+            "depth [vectors]",
+            &curves
+        )
+    );
+    // The paper's observation: the throughput penalty of re-testing shrinks
+    // as the vector memory gets deeper (fewer contacted channels per site).
+    let worst = curves.last().expect("at least one curve");
+    let ideal = curves.first().expect("at least one curve");
+    let penalty = |curve: &soctest_multisite::sweep::SweepCurve, idx: usize| {
+        1.0 - curve.points[idx].optimal.unique_devices_per_hour
+            / ideal.points[idx].optimal.unique_devices_per_hour
+    };
+    let last = worst.points.len() - 1;
+    println!(
+        "Re-test penalty at pc={}: {:.1}% at the shallowest depth vs {:.1}% at the deepest.",
+        worst.label.trim_start_matches("pc = "),
+        100.0 * penalty(worst, 0),
+        100.0 * penalty(worst, last)
+    );
+}

@@ -1,0 +1,39 @@
+//! Figure 7(b): expected test application time versus number of sites for a
+//! range of manufacturing yields, under the abort-on-fail strategy.
+
+use soctest_bench::{fig7b_manufacturing_yields, paper_config, pnx_soc};
+use soctest_multisite::sweep::abort_on_fail_sweep;
+
+fn main() {
+    let soc = pnx_soc();
+    let config = paper_config();
+    let curves = abort_on_fail_sweep(&soc, &config, 8, &fig7b_manufacturing_yields())
+        .expect("the PNX8550 stand-in fits the paper ATE");
+
+    println!("=== Figure 7(b): expected test time [s] vs. number of sites, per yield ===");
+    print!("{:>6}", "n");
+    for curve in &curves {
+        print!(" {:>10}", curve.label);
+    }
+    println!();
+    let rows = curves[0].points.len();
+    for row in 0..rows {
+        print!("{:>6}", curves[0].points[row].optimal.sites);
+        for curve in &curves {
+            print!(" {:>10.3}", curve.points[row].optimal.expected_test_time_s);
+        }
+        println!();
+    }
+
+    let lossy = curves.last().expect("at least one curve");
+    let full = curves[0].points[0].optimal.expected_test_time_s;
+    let beyond = lossy
+        .points
+        .iter()
+        .find(|p| p.optimal.expected_test_time_s > 0.99 * full)
+        .map(|p| p.optimal.sites);
+    println!(
+        "At {} the abort-on-fail benefit becomes invisible beyond n = {:?} (paper: beyond n = 5).",
+        lossy.label, beyond
+    );
+}

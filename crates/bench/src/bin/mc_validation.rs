@@ -1,0 +1,62 @@
+//! Monte-Carlo validation of the analytic throughput model: simulate the
+//! wafer-test flow at the optimizer's chosen operating point and compare the
+//! measured throughput with the Equation 4.5/4.6 predictions.
+
+use soctest_bench::{paper_config, pnx_soc};
+use soctest_multisite::optimizer::optimize;
+use soctest_multisite::problem::MultiSiteOptions;
+use soctest_wafersim::{relative_error, simulate_flow, FlowParams};
+
+fn main() {
+    let soc = pnx_soc();
+    println!("=== Monte-Carlo validation of the throughput model ===");
+    println!(
+        "{:<42} {:>12} {:>12} {:>8}",
+        "scenario", "predicted/h", "measured/h", "error"
+    );
+
+    let scenarios = [
+        (
+            "ideal yields, no abort, no re-test",
+            1.0,
+            1.0,
+            MultiSiteOptions::baseline(),
+        ),
+        (
+            "pm=0.85 with abort-on-fail",
+            1.0,
+            0.85,
+            MultiSiteOptions::baseline().with_abort_on_fail(),
+        ),
+        (
+            "pc=0.999 with re-test",
+            0.999,
+            1.0,
+            MultiSiteOptions::baseline().with_retest(),
+        ),
+    ];
+
+    for (label, contact_yield, manufacturing_yield, options) in scenarios {
+        let config = paper_config()
+            .with_options(options)
+            .with_contact_yield(contact_yield)
+            .with_manufacturing_yield(manufacturing_yield);
+        let solution = optimize(&soc, &config).expect("PNX8550 stand-in fits the paper ATE");
+        let flow = FlowParams::from_solution(&solution, &config);
+        let dies = flow.sites * 2_000;
+        let outcome = simulate_flow(&flow, dies, 2005);
+        let predicted = solution.optimal.objective();
+        let measured = if config.options.retest_contact_failures {
+            outcome.unique_devices_per_hour
+        } else {
+            outcome.devices_per_hour
+        };
+        println!(
+            "{:<42} {:>12.1} {:>12.1} {:>7.2}%",
+            label,
+            predicted,
+            measured,
+            100.0 * relative_error(measured, predicted)
+        );
+    }
+}

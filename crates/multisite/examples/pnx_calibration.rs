@@ -1,0 +1,71 @@
+use soctest_ate::spec::MEGA_VECTORS;
+use soctest_ate::AteCostModel;
+use soctest_multisite::sweep::{channel_sweep, cost_effectiveness, depth_sweep};
+use soctest_multisite::{
+    optimizer::optimize,
+    problem::{MultiSiteOptions, OptimizerConfig},
+};
+use soctest_soc_model::synthetic::pnx8550_like;
+
+fn main() {
+    let soc = pnx8550_like();
+    let config = OptimizerConfig::paper_section7();
+    let t0 = std::time::Instant::now();
+    let sol = optimize(&soc, &config).unwrap();
+    println!(
+        "no-broadcast: n_max={} n_opt={} k={} tm={:.3}s Dth={:.0} ({:?})",
+        sol.max_sites,
+        sol.optimal.sites,
+        sol.optimal.channels_per_site,
+        sol.optimal.manufacturing_test_time_s,
+        sol.optimal.devices_per_hour,
+        t0.elapsed()
+    );
+
+    let bc = config.with_options(MultiSiteOptions::baseline().with_broadcast());
+    let solb = optimize(&soc, &bc).unwrap();
+    println!(
+        "broadcast:    n_max={} n_opt={} k={} tm={:.3}s Dth={:.0} gain_step2_vs_nmax={:.1}%",
+        solb.max_sites,
+        solb.optimal.sites,
+        solb.optimal.channels_per_site,
+        solb.optimal.manufacturing_test_time_s,
+        solb.optimal.devices_per_hour,
+        100.0 * solb.step2_gain()
+    );
+
+    let depths: Vec<u64> = (5..=14).map(|m| m * MEGA_VECTORS).collect();
+    let dp = depth_sweep(&soc, &config, &depths).unwrap();
+    println!("depth sweep (M -> Dth):");
+    for p in &dp {
+        println!(
+            "  {:>4.0}M  {:>8.0}  n_opt={} n_max={}",
+            p.parameter / MEGA_VECTORS as f64,
+            p.optimal.devices_per_hour,
+            p.optimal.sites,
+            p.max_sites
+        );
+    }
+
+    let chans: Vec<usize> = (0..9).map(|i| 512 + 64 * i).collect();
+    let cp = channel_sweep(&soc, &config, &chans).unwrap();
+    println!("channel sweep:");
+    for p in &cp {
+        println!(
+            "  {:>5.0}  {:>8.0}  n_opt={}",
+            p.parameter, p.optimal.devices_per_hour, p.optimal.sites
+        );
+    }
+
+    let ce = cost_effectiveness(&soc, &config, &AteCostModel::paper_prices()).unwrap();
+    println!(
+        "cost: memory +{:.1}% (${:.0}), channels(+{}) +{:.1}% (${:.0}) memory_wins={}",
+        100.0 * ce.memory_gain(),
+        ce.memory_upgrade_cost_usd,
+        ce.equivalent_extra_channels,
+        100.0 * ce.channel_gain(),
+        ce.channel_upgrade_cost_usd,
+        ce.memory_wins()
+    );
+    println!("total elapsed {:?}", t0.elapsed());
+}

@@ -1,0 +1,64 @@
+//! Errors of the multi-site optimizer.
+
+use soctest_tam::TamError;
+use std::fmt;
+
+/// Errors returned by the multi-site optimizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptimizeError {
+    /// The architecture design failed (module infeasible, channel shortage,
+    /// empty SOC).
+    Architecture(TamError),
+    /// A configuration parameter is invalid.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizeError::Architecture(inner) => write!(f, "architecture design failed: {inner}"),
+            OptimizeError::InvalidConfig { message } => {
+                write!(f, "invalid configuration: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptimizeError::Architecture(inner) => Some(inner),
+            OptimizeError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<TamError> for OptimizeError {
+    fn from(value: TamError) -> Self {
+        OptimizeError::Architecture(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tam_error_with_source() {
+        use std::error::Error as _;
+        let err: OptimizeError = TamError::EmptySoc.into();
+        assert!(err.to_string().contains("no modules"));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn invalid_config_display() {
+        let err = OptimizeError::InvalidConfig {
+            message: "contact yield out of range".into(),
+        };
+        assert!(err.to_string().contains("contact yield"));
+    }
+}

@@ -1,0 +1,60 @@
+//! The two-step on-chip test-infrastructure optimizer for optimal
+//! multi-site SOC wafer testing — the primary contribution of Goel &
+//! Marinissen (DATE 2005).
+//!
+//! Given a (modular or flat) SOC and a fixed target test cell (ATE channel
+//! count, vector-memory depth, test clock, probe-station index time), the
+//! optimizer designs:
+//!
+//! * the core wrappers and channel groups (TAMs), via `soctest-tam`,
+//! * the chip-level E-RPCT wrapper (external channel count `k`, internal
+//!   TAM width `w`),
+//! * the number of multi-sites `n`,
+//!
+//! such that the SOC test fits the ATE vector memory in a single load and
+//! the wafer-test *throughput* (devices per hour) is maximal — which, as the
+//! paper shows, is generally **not** the same as maximising the number of
+//! sites.
+//!
+//! The crate is organised as:
+//!
+//! * [`problem`] — the optimization variants (stimulus broadcast,
+//!   abort-on-fail, re-test) and the full problem configuration,
+//! * [`optimizer`] — Step 1 (channel-count minimisation) + Step 2 (linear
+//!   search over the site count with channel redistribution),
+//! * [`flat`] — the degenerate Problem 2 for flattened SOCs,
+//! * [`sweep`] — the parameter sweeps behind Figures 5–7 and the
+//!   channel-versus-memory cost analysis,
+//! * [`report`] — plain-text and JSON reporting of solutions and curves.
+//!
+//! # Example
+//!
+//! ```
+//! use soctest_multisite::{optimizer::optimize, problem::OptimizerConfig};
+//! use soctest_soc_model::benchmarks::d695;
+//! use soctest_ate::{AteSpec, ProbeStation, TestCell};
+//!
+//! let cell = TestCell::new(AteSpec::new(256, 96 * 1024, 5.0e6), ProbeStation::paper_probe_station());
+//! let config = OptimizerConfig::new(cell);
+//! let solution = optimize(&d695(), &config)?;
+//! assert!(solution.optimal.sites >= 1);
+//! assert!(solution.optimal.devices_per_hour > 0.0);
+//! # Ok::<(), soctest_multisite::OptimizeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod flat;
+pub mod optimizer;
+pub mod problem;
+pub mod report;
+pub mod solution;
+pub mod sweep;
+
+pub use error::OptimizeError;
+pub use optimizer::optimize;
+pub use problem::{MultiSiteOptions, OptimizerConfig};
+pub use solution::{MultiSiteSolution, SitePoint};

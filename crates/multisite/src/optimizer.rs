@@ -1,0 +1,359 @@
+//! The two-step optimizer (Section 6 of the paper).
+//!
+//! * **Step 1** designs the channel-minimal test architecture for the SOC on
+//!   the target ATE (delegated to [`soctest_tam::step1`]). The resulting
+//!   per-SOC channel count `k` determines the maximum multi-site `n_max`.
+//! * **Step 2** walks the site count `n` from `n_max` down to 1. At each
+//!   `n` the ATE channels freed by the abandoned sites are redistributed
+//!   over the remaining sites (always to the fullest channel group), the
+//!   test time and throughput are re-evaluated, and the `n` with the highest
+//!   throughput is selected as `n_opt`.
+
+use crate::error::OptimizeError;
+use crate::problem::OptimizerConfig;
+use crate::solution::{MultiSiteSolution, SitePoint};
+use soctest_soc_model::Soc;
+use soctest_tam::redistribute::redistribute_extra_width;
+use soctest_tam::step1::design_with_table;
+use soctest_tam::{TestArchitecture, TimeTable};
+use soctest_throughput::retest::{retest_rate, unique_devices_per_hour};
+use soctest_throughput::{TestTimes, ThroughputModel, YieldParams};
+
+/// Runs the complete two-step optimization for `soc` under `config`.
+///
+/// # Errors
+///
+/// * [`OptimizeError::InvalidConfig`] when a yield parameter is out of
+///   range,
+/// * [`OptimizeError::Architecture`] when the SOC cannot be tested on the
+///   target ATE at all (some module does not meet the vector-memory depth,
+///   or the channel count is insufficient).
+pub fn optimize(soc: &Soc, config: &OptimizerConfig) -> Result<MultiSiteSolution, OptimizeError> {
+    let max_width = (config.test_cell.ate.channels / 2).max(1);
+    let table = TimeTable::build(soc, max_width);
+    optimize_with_table(soc.name(), &table, config)
+}
+
+/// Runs the two-step optimization on a prebuilt [`TimeTable`].
+///
+/// Sharing the table across runs (e.g. in the Figure 6 sweeps, where only
+/// the ATE changes) avoids recomputing every module's wrapper designs.
+///
+/// # Errors
+///
+/// See [`optimize`].
+pub fn optimize_with_table(
+    soc_name: &str,
+    table: &TimeTable,
+    config: &OptimizerConfig,
+) -> Result<MultiSiteSolution, OptimizeError> {
+    config.validate()?;
+    let ate = &config.test_cell.ate;
+    let channels = ate.channels;
+    let depth = ate.vector_memory_depth;
+
+    // Step 1: channel-minimal architecture and maximum multi-site.
+    let step1 = design_with_table(table, channels, depth)?;
+    let max_sites = max_sites_for(&step1, channels, config.options.stimulus_broadcast).max(1);
+
+    // Step 2: evaluate every site count, redistributing freed channels.
+    let mut curve = Vec::with_capacity(max_sites);
+    let mut best: Option<(SitePoint, TestArchitecture)> = None;
+    for sites in 1..=max_sites {
+        let available = channels_per_site(channels, sites, config.options.stimulus_broadcast);
+        let extra_width = (available / 2).saturating_sub(step1.total_width());
+        let architecture = if extra_width > 0 {
+            redistribute_extra_width(&step1, table, extra_width).architecture
+        } else {
+            step1.clone()
+        };
+        let point = evaluate_point(&architecture, sites, config);
+        let replace = match &best {
+            None => true,
+            Some((current, _)) => point.objective() > current.objective() + f64::EPSILON,
+        };
+        if replace {
+            best = Some((point.clone(), architecture));
+        }
+        curve.push(point);
+    }
+    let (optimal, optimal_architecture) = best.expect("at least one site evaluated");
+
+    let contacted_pads_per_site = contacted_pads(optimal.channels_per_site, config);
+    Ok(MultiSiteSolution {
+        soc_name: soc_name.to_string(),
+        step1_architecture: step1,
+        max_sites,
+        curve,
+        optimal,
+        optimal_architecture,
+        contacted_pads_per_site,
+    })
+}
+
+/// The "Step 1 only" throughput curve (the dashed line of Figure 5): the
+/// architecture is kept at its channel-minimal form for every site count,
+/// i.e. no channel redistribution takes place and the test time stays
+/// constant.
+pub fn step1_only_curve(
+    step1: &TestArchitecture,
+    config: &OptimizerConfig,
+    max_sites: usize,
+) -> Vec<SitePoint> {
+    (1..=max_sites.max(1))
+        .map(|sites| evaluate_point(step1, sites, config))
+        .collect()
+}
+
+/// Evaluates the throughput of testing `sites` copies of the SOC in
+/// parallel, each wired to `architecture`.
+pub fn evaluate_point(
+    architecture: &TestArchitecture,
+    sites: usize,
+    config: &OptimizerConfig,
+) -> SitePoint {
+    let ate = &config.test_cell.ate;
+    let probe = &config.test_cell.probe;
+    let cycles = architecture.test_time_cycles();
+    let manufacturing_test_time_s = ate.cycles_to_seconds(cycles);
+    let channels_used = architecture.total_channels();
+    let pins = contacted_pads(channels_used, config);
+
+    let model = ThroughputModel::new(
+        TestTimes {
+            index_time_s: probe.index_time_s,
+            contact_test_time_s: probe.contact_test_time_s,
+            manufacturing_test_time_s,
+        },
+        YieldParams {
+            contact_yield: config.contact_yield,
+            manufacturing_yield: config.manufacturing_yield,
+            contacted_pins: pins,
+        },
+    );
+
+    let (expected_test_time_s, devices_per_hour) = if config.options.abort_on_fail {
+        (
+            model.abort_on_fail_test_time(sites),
+            model.devices_per_hour_abort_on_fail(sites),
+        )
+    } else {
+        (model.times.test_time_s(), model.devices_per_hour(sites))
+    };
+    let unique = if config.options.retest_contact_failures {
+        unique_devices_per_hour(devices_per_hour, retest_rate(pins, config.contact_yield))
+    } else {
+        devices_per_hour
+    };
+
+    SitePoint {
+        sites,
+        channels_per_site: channels_used,
+        tam_width: architecture.total_width(),
+        test_time_cycles: cycles,
+        manufacturing_test_time_s,
+        expected_test_time_s,
+        devices_per_hour,
+        unique_devices_per_hour: unique,
+    }
+}
+
+/// Maximum multi-site supported by `architecture` on an ATE with
+/// `channels` channels, with or without stimulus broadcast (Section 6,
+/// Step 1).
+pub fn max_sites_for(architecture: &TestArchitecture, channels: usize, broadcast: bool) -> usize {
+    if broadcast {
+        architecture.max_sites_with_broadcast(channels)
+    } else {
+        architecture.max_sites_without_broadcast(channels)
+    }
+}
+
+/// Even number of ATE channels available to each of `sites` sites.
+///
+/// Without broadcast every site gets its own stimulus and response
+/// channels: `2·⌊⌊K/n⌋ / 2⌋`. With stimulus broadcast the stimulus half is
+/// shared by all sites: `k/2·(n+1) ≤ K`, i.e. `2·⌊K/(n+1)⌋`.
+pub fn channels_per_site(channels: usize, sites: usize, broadcast: bool) -> usize {
+    assert!(sites > 0, "at least one site is required");
+    if broadcast {
+        2 * (channels / (sites + 1))
+    } else {
+        2 * (channels / sites / 2)
+    }
+}
+
+fn contacted_pads(channels_per_site: usize, config: &OptimizerConfig) -> usize {
+    channels_per_site
+        + config.erpct.control_pins
+        + config.erpct.clock_pins
+        + config.erpct.power_pins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::MultiSiteOptions;
+    use soctest_ate::{AteSpec, ProbeStation, TestCell};
+    use soctest_soc_model::benchmarks::{d695, p22810};
+
+    fn small_cell() -> TestCell {
+        TestCell::new(
+            AteSpec::new(256, 96 * 1024, 5.0e6),
+            ProbeStation::paper_probe_station(),
+        )
+    }
+
+    #[test]
+    fn optimize_d695_produces_consistent_solution() {
+        let soc = d695();
+        let config = OptimizerConfig::new(small_cell());
+        let solution = optimize(&soc, &config).unwrap();
+        assert_eq!(solution.curve.len(), solution.max_sites);
+        assert!(solution.optimal.sites >= 1 && solution.optimal.sites <= solution.max_sites);
+        // The optimum is the maximum of the curve.
+        let best_on_curve = solution
+            .curve
+            .iter()
+            .map(|p| p.objective())
+            .fold(f64::MIN, f64::max);
+        assert!((solution.optimal.objective() - best_on_curve).abs() < 1e-9);
+        // Channel budget per site respected.
+        for point in &solution.curve {
+            let budget = channels_per_site(256, point.sites, false);
+            assert!(point.channels_per_site <= budget);
+        }
+    }
+
+    #[test]
+    fn throughput_optimum_beats_or_matches_naive_max_sites() {
+        let soc = d695();
+        let config = OptimizerConfig::new(small_cell());
+        let solution = optimize(&soc, &config).unwrap();
+        let at_max = solution.point(solution.max_sites).unwrap();
+        assert!(solution.optimal.objective() >= at_max.objective() - 1e-9);
+        assert!(solution.step2_gain() >= 0.0);
+    }
+
+    #[test]
+    fn broadcast_allows_more_sites_than_no_broadcast() {
+        let soc = d695();
+        let base = OptimizerConfig::new(small_cell());
+        let broadcast = OptimizerConfig::new(small_cell())
+            .with_options(MultiSiteOptions::baseline().with_broadcast());
+        let without = optimize(&soc, &base).unwrap();
+        let with = optimize(&soc, &broadcast).unwrap();
+        assert!(with.max_sites > without.max_sites);
+        assert!(with.optimal.devices_per_hour >= without.optimal.devices_per_hour);
+    }
+
+    #[test]
+    fn step2_redistribution_reduces_test_time_at_low_site_counts() {
+        let soc = d695();
+        let config = OptimizerConfig::new(small_cell());
+        let solution = optimize(&soc, &config).unwrap();
+        let step1_time = solution.step1_architecture.test_time_cycles();
+        // At a single site all channels are available, so the test time must
+        // not be worse than Step 1's.
+        let single = solution.point(1).unwrap();
+        assert!(single.test_time_cycles <= step1_time);
+        // At the maximum site count no extra channels exist, so the test
+        // time equals Step 1's.
+        let at_max = solution.point(solution.max_sites).unwrap();
+        assert_eq!(at_max.test_time_cycles, step1_time);
+    }
+
+    #[test]
+    fn abort_on_fail_improves_throughput_at_low_yield() {
+        let soc = d695();
+        let base = OptimizerConfig::new(small_cell()).with_manufacturing_yield(0.7);
+        let abort = base.with_options(MultiSiteOptions::baseline().with_abort_on_fail());
+        let without = optimize(&soc, &base).unwrap();
+        let with = optimize(&soc, &abort).unwrap();
+        let n = 1;
+        assert!(
+            with.point(n).unwrap().devices_per_hour
+                >= without.point(n).unwrap().devices_per_hour - 1e-9
+        );
+    }
+
+    #[test]
+    fn retest_reduces_unique_throughput_at_low_contact_yield() {
+        let soc = d695();
+        let config = OptimizerConfig::new(small_cell())
+            .with_contact_yield(0.995)
+            .with_options(MultiSiteOptions::baseline().with_retest());
+        let solution = optimize(&soc, &config).unwrap();
+        for point in &solution.curve {
+            assert!(point.unique_devices_per_hour < point.devices_per_hour);
+        }
+    }
+
+    #[test]
+    fn step1_only_curve_has_constant_test_time() {
+        let soc = d695();
+        let config = OptimizerConfig::new(small_cell());
+        let solution = optimize(&soc, &config).unwrap();
+        let curve = step1_only_curve(&solution.step1_architecture, &config, solution.max_sites);
+        assert_eq!(curve.len(), solution.max_sites);
+        let t0 = curve[0].test_time_cycles;
+        assert!(curve.iter().all(|p| p.test_time_cycles == t0));
+        // Step 1+2 is at least as good as Step 1 only, at every site count.
+        for (full, only) in solution.curve.iter().zip(&curve) {
+            assert!(full.devices_per_hour >= only.devices_per_hour - 1e-9);
+        }
+    }
+
+    #[test]
+    fn channels_per_site_formulas() {
+        assert_eq!(channels_per_site(512, 5, false), 102);
+        assert_eq!(channels_per_site(512, 5, true), 2 * (512 / 6));
+        assert_eq!(channels_per_site(100, 7, false), 14);
+        // Broadcast always allows at least as many channels per site.
+        for n in 1..20 {
+            assert!(channels_per_site(512, n, true) >= channels_per_site(512, n, false));
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let soc = d695();
+        let config = OptimizerConfig::new(small_cell()).with_contact_yield(2.0);
+        assert!(matches!(
+            optimize(&soc, &config),
+            Err(OptimizeError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn infeasible_soc_is_reported_as_architecture_error() {
+        let soc = d695();
+        let config = OptimizerConfig::new(TestCell::new(
+            AteSpec::new(8, 1024, 5.0e6),
+            ProbeStation::paper_probe_station(),
+        ));
+        assert!(matches!(
+            optimize(&soc, &config),
+            Err(OptimizeError::Architecture(_))
+        ));
+    }
+
+    #[test]
+    fn larger_soc_optimizes_end_to_end() {
+        let soc = p22810();
+        let config = OptimizerConfig::new(TestCell::new(
+            AteSpec::new(512, 768 * 1024, 5.0e6),
+            ProbeStation::paper_probe_station(),
+        ));
+        let solution = optimize(&soc, &config).unwrap();
+        assert!(solution.max_sites >= 2);
+        assert!(solution.optimal.devices_per_hour > 0.0);
+        assert!(solution.contacted_pads_per_site > solution.optimal.channels_per_site);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn zero_sites_budget_panics() {
+        let _ = channels_per_site(512, 0, false);
+    }
+}

@@ -1,0 +1,186 @@
+//! Problem definitions: optimization variants and the optimizer
+//! configuration.
+//!
+//! Problems 1 and 2 of the paper come in several variants (Section 5):
+//! with or without stimulus broadcast, with or without abort-on-fail, and
+//! with or without re-test of contact failures. [`MultiSiteOptions`] selects
+//! the variant; [`OptimizerConfig`] bundles it with the test cell, the yield
+//! parameters and the E-RPCT pin environment.
+
+use crate::error::OptimizeError;
+use serde::{Deserialize, Serialize};
+use soctest_ate::TestCell;
+use soctest_wrapper::erpct::ErpctConfig;
+
+/// The optimization variant switches of Section 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct MultiSiteOptions {
+    /// Whether the ATE broadcasts stimuli to all sites (`k/2` stimulus
+    /// channels shared between sites). Without broadcast every site needs
+    /// its own `k` channels.
+    pub stimulus_broadcast: bool,
+    /// Whether the abort-on-fail strategy is applied (the expected test time
+    /// follows Equation 4.4 instead of the full test length).
+    pub abort_on_fail: bool,
+    /// Whether devices failing only the contact test are re-tested once (the
+    /// optimizer then maximises the *unique*-device throughput of
+    /// Equation 4.6).
+    pub retest_contact_failures: bool,
+}
+
+impl MultiSiteOptions {
+    /// The paper's default scenario: no broadcast, no abort-on-fail, no
+    /// re-test.
+    pub fn baseline() -> Self {
+        MultiSiteOptions::default()
+    }
+
+    /// Enables stimulus broadcast.
+    pub fn with_broadcast(mut self) -> Self {
+        self.stimulus_broadcast = true;
+        self
+    }
+
+    /// Enables abort-on-fail.
+    pub fn with_abort_on_fail(mut self) -> Self {
+        self.abort_on_fail = true;
+        self
+    }
+
+    /// Enables re-test of contact failures.
+    pub fn with_retest(mut self) -> Self {
+        self.retest_contact_failures = true;
+        self
+    }
+}
+
+/// Complete configuration of one optimizer run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimizerConfig {
+    /// The fixed target test cell (ATE + probe station).
+    pub test_cell: TestCell,
+    /// The optimization variant.
+    pub options: MultiSiteOptions,
+    /// Per-terminal contact yield `p_c` (1.0 = ideal probing).
+    pub contact_yield: f64,
+    /// Per-SOC manufacturing yield `p_m` (1.0 = every die is good).
+    pub manufacturing_yield: f64,
+    /// Pin environment used to size the E-RPCT wrapper and to count the
+    /// contacted pads entering the contact-yield model.
+    pub erpct: ErpctConfig,
+}
+
+impl OptimizerConfig {
+    /// Creates a configuration with ideal yields and the baseline options.
+    pub fn new(test_cell: TestCell) -> Self {
+        OptimizerConfig {
+            test_cell,
+            options: MultiSiteOptions::baseline(),
+            contact_yield: 1.0,
+            manufacturing_yield: 1.0,
+            erpct: ErpctConfig::default(),
+        }
+    }
+
+    /// The configuration used for the PNX8550 experiments of Section 7:
+    /// the paper's wafer test cell, ideal yields, no broadcast.
+    pub fn paper_section7() -> Self {
+        OptimizerConfig::new(TestCell::paper_wafer_test_cell())
+    }
+
+    /// Replaces the option switches.
+    pub fn with_options(mut self, options: MultiSiteOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the contact yield.
+    pub fn with_contact_yield(mut self, contact_yield: f64) -> Self {
+        self.contact_yield = contact_yield;
+        self
+    }
+
+    /// Sets the manufacturing yield.
+    pub fn with_manufacturing_yield(mut self, manufacturing_yield: f64) -> Self {
+        self.manufacturing_yield = manufacturing_yield;
+        self
+    }
+
+    /// Validates the numeric parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::InvalidConfig`] when a yield lies outside
+    /// `0.0..=1.0`.
+    pub fn validate(&self) -> Result<(), OptimizeError> {
+        if !(0.0..=1.0).contains(&self.contact_yield) {
+            return Err(OptimizeError::InvalidConfig {
+                message: format!("contact yield {} out of range 0..=1", self.contact_yield),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.manufacturing_yield) {
+            return Err(OptimizeError::InvalidConfig {
+                message: format!(
+                    "manufacturing yield {} out of range 0..=1",
+                    self.manufacturing_yield
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig::paper_section7()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_options_disable_everything() {
+        let options = MultiSiteOptions::baseline();
+        assert!(!options.stimulus_broadcast);
+        assert!(!options.abort_on_fail);
+        assert!(!options.retest_contact_failures);
+    }
+
+    #[test]
+    fn builder_style_switches() {
+        let options = MultiSiteOptions::baseline()
+            .with_broadcast()
+            .with_abort_on_fail()
+            .with_retest();
+        assert!(options.stimulus_broadcast);
+        assert!(options.abort_on_fail);
+        assert!(options.retest_contact_failures);
+    }
+
+    #[test]
+    fn paper_config_uses_paper_cell_and_ideal_yields() {
+        let config = OptimizerConfig::paper_section7();
+        assert_eq!(config.test_cell.ate.channels, 512);
+        assert_eq!(config.contact_yield, 1.0);
+        assert_eq!(config.manufacturing_yield, 1.0);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_yields_fail_validation() {
+        let config = OptimizerConfig::paper_section7().with_contact_yield(1.5);
+        assert!(config.validate().is_err());
+        let config = OptimizerConfig::paper_section7().with_manufacturing_yield(-0.1);
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_paper_config() {
+        assert_eq!(
+            OptimizerConfig::default(),
+            OptimizerConfig::paper_section7()
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Solution types of the multi-site optimizer.
+
+use serde::{Deserialize, Serialize};
+use soctest_tam::TestArchitecture;
+use std::fmt;
+
+/// The evaluation of one candidate site count `n` during Step 2's linear
+/// search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SitePoint {
+    /// Number of sites tested in parallel.
+    pub sites: usize,
+    /// ATE channels used per site (`k`, always even).
+    pub channels_per_site: usize,
+    /// Internal TAM width per site (wrapper chains).
+    pub tam_width: usize,
+    /// SOC test application time in test clock cycles.
+    pub test_time_cycles: u64,
+    /// SOC manufacturing test time in seconds.
+    pub manufacturing_test_time_s: f64,
+    /// Expected test application time per touchdown in seconds, including
+    /// the contact test (equals `t_c + t_m` without abort-on-fail, or the
+    /// Equation 4.4 value with it).
+    pub expected_test_time_s: f64,
+    /// Devices tested per hour (`D_th`, Equation 4.5) for this site count.
+    pub devices_per_hour: f64,
+    /// Unique devices tested per hour (`D^u_th`, Equation 4.6) when re-test
+    /// is enabled; equal to `devices_per_hour` otherwise.
+    pub unique_devices_per_hour: f64,
+}
+
+impl SitePoint {
+    /// The objective value used to rank site counts: the unique-device
+    /// throughput when re-test is part of the scenario, the plain
+    /// throughput otherwise. (The two coincide when re-test is off.)
+    pub fn objective(&self) -> f64 {
+        self.unique_devices_per_hour
+    }
+}
+
+impl fmt::Display for SitePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={:2} k={:3} w={:3} t_m={:.3}s D_th={:.0}/h",
+            self.sites,
+            self.channels_per_site,
+            self.tam_width,
+            self.manufacturing_test_time_s,
+            self.devices_per_hour
+        )
+    }
+}
+
+/// Complete result of a two-step optimization run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiSiteSolution {
+    /// Name of the optimized SOC.
+    pub soc_name: String,
+    /// The Step 1 (channel-minimal) architecture.
+    pub step1_architecture: TestArchitecture,
+    /// The maximum number of sites permitted by the Step 1 architecture
+    /// (`n_max`).
+    pub max_sites: usize,
+    /// The throughput evaluation of every site count from 1 to `n_max`
+    /// (ascending by `sites`).
+    pub curve: Vec<SitePoint>,
+    /// The throughput-optimal point (`n_opt`).
+    pub optimal: SitePoint,
+    /// The architecture after Step 2's channel redistribution at `n_opt`.
+    pub optimal_architecture: TestArchitecture,
+    /// Contacted probe pads per site (E-RPCT channels plus control, clock
+    /// and power pins) at the optimal point.
+    pub contacted_pads_per_site: usize,
+}
+
+impl MultiSiteSolution {
+    /// The optimal number of sites (`n_opt`).
+    pub fn optimal_sites(&self) -> usize {
+        self.optimal.sites
+    }
+
+    /// The SitePoint for a given site count, if it was evaluated.
+    pub fn point(&self, sites: usize) -> Option<&SitePoint> {
+        self.curve.iter().find(|p| p.sites == sites)
+    }
+
+    /// Throughput gain of Step 2 over stopping at Step 1's maximal
+    /// multi-site (`D_th(n_opt) / D_th(n_max) - 1`), as a fraction.
+    pub fn step2_gain(&self) -> f64 {
+        match self.point(self.max_sites) {
+            Some(at_max) if at_max.objective() > 0.0 => {
+                self.optimal.objective() / at_max.objective() - 1.0
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// The best achievable throughput when the number of sites is capped at
+    /// `max_sites` (e.g. by probe-card or handler limitations).
+    pub fn best_under_site_cap(&self, max_sites: usize) -> Option<&SitePoint> {
+        self.curve
+            .iter()
+            .filter(|p| p.sites <= max_sites)
+            .max_by(|a, b| a.objective().total_cmp(&b.objective()))
+    }
+}
+
+impl fmt::Display for MultiSiteSolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: n_max={} n_opt={} (k={} per site, {:.0} devices/hour)",
+            self.soc_name,
+            self.max_sites,
+            self.optimal.sites,
+            self.optimal.channels_per_site,
+            self.optimal.devices_per_hour
+        )?;
+        for point in &self.curve {
+            writeln!(f, "  {point}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(sites: usize, dth: f64) -> SitePoint {
+        SitePoint {
+            sites,
+            channels_per_site: 16,
+            tam_width: 8,
+            test_time_cycles: 1000,
+            manufacturing_test_time_s: 0.2,
+            expected_test_time_s: 0.201,
+            devices_per_hour: dth,
+            unique_devices_per_hour: dth,
+        }
+    }
+
+    fn solution() -> MultiSiteSolution {
+        MultiSiteSolution {
+            soc_name: "toy".into(),
+            step1_architecture: TestArchitecture::default(),
+            max_sites: 3,
+            curve: vec![point(1, 100.0), point(2, 180.0), point(3, 150.0)],
+            optimal: point(2, 180.0),
+            optimal_architecture: TestArchitecture::default(),
+            contacted_pads_per_site: 60,
+        }
+    }
+
+    #[test]
+    fn point_lookup_and_optimal() {
+        let s = solution();
+        assert_eq!(s.optimal_sites(), 2);
+        assert_eq!(s.point(3).unwrap().devices_per_hour, 150.0);
+        assert!(s.point(4).is_none());
+    }
+
+    #[test]
+    fn step2_gain_compares_against_n_max() {
+        let s = solution();
+        assert!((s.step2_gain() - (180.0 / 150.0 - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn site_cap_picks_best_feasible_point() {
+        let s = solution();
+        assert_eq!(s.best_under_site_cap(1).unwrap().sites, 1);
+        assert_eq!(s.best_under_site_cap(2).unwrap().sites, 2);
+        assert_eq!(s.best_under_site_cap(10).unwrap().sites, 2);
+        assert!(s.best_under_site_cap(0).is_none());
+    }
+
+    #[test]
+    fn display_lists_every_point() {
+        let s = solution();
+        let text = s.to_string();
+        assert!(text.contains("n_opt=2"));
+        assert_eq!(text.lines().count(), 1 + 3);
+    }
+
+    #[test]
+    fn objective_is_unique_throughput() {
+        let mut p = point(1, 100.0);
+        p.unique_devices_per_hour = 90.0;
+        assert_eq!(p.objective(), 90.0);
+    }
+}

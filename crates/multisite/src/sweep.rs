@@ -1,0 +1,371 @@
+//! Parameter sweeps behind the Section 7 experiments.
+//!
+//! Every figure of the paper's evaluation is a sweep of the optimizer over
+//! one test-cell or yield parameter:
+//!
+//! * [`channel_sweep`] — throughput vs. ATE channel count (Figure 6(a)),
+//! * [`depth_sweep`] — throughput vs. vector-memory depth (Figure 6(b)),
+//! * [`contact_yield_sweep`] — unique throughput vs. memory depth for a set
+//!   of contact yields (Figure 7(a)),
+//! * [`abort_on_fail_sweep`] — expected test application time vs. site count
+//!   for a set of manufacturing yields (Figure 7(b)),
+//! * [`cost_effectiveness`] — the channels-versus-memory upgrade comparison
+//!   quoted in the text of Section 7.
+//!
+//! Sweep points are independent, so they are evaluated on scoped worker
+//! threads; results are returned in input order.
+
+use crate::error::OptimizeError;
+use crate::optimizer::{evaluate_point, optimize_with_table};
+use crate::problem::OptimizerConfig;
+use crate::solution::SitePoint;
+use serde::{Deserialize, Serialize};
+use soctest_ate::AteCostModel;
+use soctest_soc_model::Soc;
+use soctest_tam::TimeTable;
+
+/// One point of a single-parameter sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept parameter value (channel count, depth in vectors, ...).
+    pub parameter: f64,
+    /// The maximum multi-site at this parameter value.
+    pub max_sites: usize,
+    /// The throughput-optimal operating point at this parameter value.
+    pub optimal: SitePoint,
+}
+
+/// A labelled family of sweep points (one curve of a figure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCurve {
+    /// Curve label (e.g. `"pc = 0.999"`).
+    pub label: String,
+    /// The curve's points, in the order of the swept values.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Runs `f` over `values` on scoped threads, preserving input order.
+fn parallel_map<T, R, F>(values: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let mut results: Vec<Option<R>> = Vec::new();
+    results.resize_with(values.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        for (slot, value) in results.iter_mut().zip(values.iter()) {
+            scope.spawn(|_| {
+                *slot = Some(f(value));
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled slot"))
+        .collect()
+}
+
+/// Throughput vs. ATE channel count (Figure 6(a)): the optimizer is re-run
+/// for every channel count in `channel_counts`, all other parameters held at
+/// `config`.
+///
+/// # Errors
+///
+/// Fails if any individual optimization fails (e.g. the smallest channel
+/// count cannot accommodate the SOC).
+pub fn channel_sweep(
+    soc: &Soc,
+    config: &OptimizerConfig,
+    channel_counts: &[usize],
+) -> Result<Vec<SweepPoint>, OptimizeError> {
+    let max_channels = channel_counts.iter().copied().max().unwrap_or(0);
+    if max_channels == 0 {
+        return Ok(Vec::new());
+    }
+    let table = TimeTable::build(soc, (max_channels / 2).max(1));
+    let results = parallel_map(channel_counts, |&channels| {
+        let mut cfg = *config;
+        cfg.test_cell.ate = cfg.test_cell.ate.with_channels(channels);
+        optimize_with_table(soc.name(), &table, &cfg).map(|solution| SweepPoint {
+            parameter: channels as f64,
+            max_sites: solution.max_sites,
+            optimal: solution.optimal,
+        })
+    });
+    results.into_iter().collect()
+}
+
+/// Throughput vs. per-channel vector-memory depth (Figure 6(b)).
+///
+/// # Errors
+///
+/// Fails if any individual optimization fails (e.g. the shallowest depth is
+/// infeasible for some module).
+pub fn depth_sweep(
+    soc: &Soc,
+    config: &OptimizerConfig,
+    depths: &[u64],
+) -> Result<Vec<SweepPoint>, OptimizeError> {
+    let table = TimeTable::build(soc, (config.test_cell.ate.channels / 2).max(1));
+    let results = parallel_map(depths, |&depth| {
+        let mut cfg = *config;
+        cfg.test_cell.ate = cfg.test_cell.ate.with_depth(depth);
+        optimize_with_table(soc.name(), &table, &cfg).map(|solution| SweepPoint {
+            parameter: depth as f64,
+            max_sites: solution.max_sites,
+            optimal: solution.optimal,
+        })
+    });
+    results.into_iter().collect()
+}
+
+/// Unique-device throughput vs. memory depth, one curve per contact yield
+/// (Figure 7(a)). Re-test of contact failures is always enabled here — that
+/// is the effect the figure demonstrates.
+///
+/// # Errors
+///
+/// Fails if any individual optimization fails.
+pub fn contact_yield_sweep(
+    soc: &Soc,
+    config: &OptimizerConfig,
+    depths: &[u64],
+    contact_yields: &[f64],
+) -> Result<Vec<SweepCurve>, OptimizeError> {
+    let mut curves = Vec::with_capacity(contact_yields.len());
+    for &contact_yield in contact_yields {
+        let mut cfg = *config;
+        cfg.contact_yield = contact_yield;
+        cfg.options.retest_contact_failures = true;
+        let points = depth_sweep(soc, &cfg, depths)?;
+        curves.push(SweepCurve {
+            label: format!("pc = {contact_yield}"),
+            points,
+        });
+    }
+    Ok(curves)
+}
+
+/// One point of an abort-on-fail curve: expected test application time at a
+/// given site count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AbortOnFailPoint {
+    /// Number of sites tested in parallel.
+    pub sites: usize,
+    /// Expected test application time per touchdown in seconds
+    /// (Equation 4.4; includes the contact test).
+    pub expected_test_time_s: f64,
+}
+
+/// Expected test application time vs. site count, one curve per
+/// manufacturing yield (Figure 7(b)).
+///
+/// The architecture is fixed at the Step 1 (channel-minimal) design — as in
+/// the paper, the point of the figure is the yield effect, not the channel
+/// redistribution — and only the abort-on-fail expectation varies with the
+/// site count.
+///
+/// # Errors
+///
+/// Fails if the Step 1 design fails.
+pub fn abort_on_fail_sweep(
+    soc: &Soc,
+    config: &OptimizerConfig,
+    max_sites: usize,
+    manufacturing_yields: &[f64],
+) -> Result<Vec<SweepCurve>, OptimizeError> {
+    let table = TimeTable::build(soc, (config.test_cell.ate.channels / 2).max(1));
+    let base = optimize_with_table(soc.name(), &table, config)?;
+    let architecture = base.step1_architecture;
+
+    let mut curves = Vec::with_capacity(manufacturing_yields.len());
+    for &manufacturing_yield in manufacturing_yields {
+        let mut cfg = *config;
+        cfg.manufacturing_yield = manufacturing_yield;
+        cfg.options.abort_on_fail = true;
+        let points = (1..=max_sites.max(1))
+            .map(|sites| {
+                let point = evaluate_point(&architecture, sites, &cfg);
+                SweepPoint {
+                    parameter: sites as f64,
+                    max_sites,
+                    optimal: point,
+                }
+            })
+            .collect();
+        curves.push(SweepCurve {
+            label: format!("pm = {manufacturing_yield}"),
+            points,
+        });
+    }
+    Ok(curves)
+}
+
+/// Outcome of the channels-versus-memory cost comparison of Section 7.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostEffectiveness {
+    /// Throughput of the unmodified test cell.
+    pub base_devices_per_hour: f64,
+    /// Cost (USD) of doubling the vector memory of every channel.
+    pub memory_upgrade_cost_usd: f64,
+    /// Throughput after the memory doubling.
+    pub memory_upgrade_devices_per_hour: f64,
+    /// Extra channels that the same budget buys instead.
+    pub equivalent_extra_channels: usize,
+    /// Cost (USD) of that channel upgrade (at most the memory budget).
+    pub channel_upgrade_cost_usd: f64,
+    /// Throughput after the channel upgrade.
+    pub channel_upgrade_devices_per_hour: f64,
+}
+
+impl CostEffectiveness {
+    /// Relative throughput gain of the memory upgrade.
+    pub fn memory_gain(&self) -> f64 {
+        self.memory_upgrade_devices_per_hour / self.base_devices_per_hour - 1.0
+    }
+
+    /// Relative throughput gain of the channel upgrade.
+    pub fn channel_gain(&self) -> f64 {
+        self.channel_upgrade_devices_per_hour / self.base_devices_per_hour - 1.0
+    }
+
+    /// Whether spending the budget on memory beats spending it on channels
+    /// (the paper's conclusion for the PNX8550).
+    pub fn memory_wins(&self) -> bool {
+        self.memory_gain() > self.channel_gain()
+    }
+}
+
+/// Evaluates the Section 7 cost comparison: double the vector memory of the
+/// whole ATE, versus spending the same money on extra channels.
+///
+/// # Errors
+///
+/// Fails if any of the three optimizations (base, deeper memory, more
+/// channels) fails.
+pub fn cost_effectiveness(
+    soc: &Soc,
+    config: &OptimizerConfig,
+    prices: &AteCostModel,
+) -> Result<CostEffectiveness, OptimizeError> {
+    let base_ate = config.test_cell.ate;
+    let budget = prices.memory_doubling_cost(&base_ate, 1);
+    let extra_channels = prices.channels_affordable(budget);
+    let upgraded_channels = base_ate.channels + extra_channels;
+
+    let channel_counts = [base_ate.channels, upgraded_channels];
+    let channel_points = channel_sweep(soc, config, &channel_counts)?;
+
+    let mut deeper_cfg = *config;
+    deeper_cfg.test_cell.ate = base_ate.with_depth(base_ate.vector_memory_depth * 2);
+    let deeper = crate::optimizer::optimize(soc, &deeper_cfg)?;
+
+    Ok(CostEffectiveness {
+        base_devices_per_hour: channel_points[0].optimal.objective(),
+        memory_upgrade_cost_usd: budget,
+        memory_upgrade_devices_per_hour: deeper.optimal.objective(),
+        equivalent_extra_channels: extra_channels,
+        channel_upgrade_cost_usd: prices.channel_upgrade_cost(base_ate.channels, upgraded_channels),
+        channel_upgrade_devices_per_hour: channel_points[1].optimal.objective(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctest_ate::{AteSpec, ProbeStation, TestCell};
+    use soctest_soc_model::benchmarks::d695;
+
+    fn config() -> OptimizerConfig {
+        OptimizerConfig::new(TestCell::new(
+            AteSpec::new(256, 96 * 1024, 5.0e6),
+            ProbeStation::paper_probe_station(),
+        ))
+    }
+
+    #[test]
+    fn channel_sweep_is_monotone_in_channels() {
+        let soc = d695();
+        let points = channel_sweep(&soc, &config(), &[128, 192, 256, 320]).unwrap();
+        assert_eq!(points.len(), 4);
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].optimal.devices_per_hour >= pair[0].optimal.devices_per_hour - 1e-9,
+                "throughput dropped from {} to {}",
+                pair[0].optimal.devices_per_hour,
+                pair[1].optimal.devices_per_hour
+            );
+        }
+    }
+
+    #[test]
+    fn depth_sweep_is_monotone_in_depth() {
+        let soc = d695();
+        let depths = [64 * 1024, 96 * 1024, 128 * 1024, 192 * 1024];
+        let points = depth_sweep(&soc, &config(), &depths).unwrap();
+        for pair in points.windows(2) {
+            assert!(pair[1].optimal.devices_per_hour >= pair[0].optimal.devices_per_hour - 1e-9);
+        }
+    }
+
+    #[test]
+    fn contact_yield_sweep_orders_curves_by_yield() {
+        let soc = d695();
+        let depths = [96 * 1024];
+        let curves = contact_yield_sweep(&soc, &config(), &depths, &[0.99, 0.999, 1.0]).unwrap();
+        assert_eq!(curves.len(), 3);
+        // Better contact yield -> more unique devices per hour.
+        let at = |i: usize| curves[i].points[0].optimal.unique_devices_per_hour;
+        assert!(at(0) <= at(1) + 1e-9);
+        assert!(at(1) <= at(2) + 1e-9);
+    }
+
+    #[test]
+    fn abort_on_fail_sweep_shows_vanishing_benefit() {
+        let soc = d695();
+        let curves = abort_on_fail_sweep(&soc, &config(), 8, &[1.0, 0.7]).unwrap();
+        assert_eq!(curves.len(), 2);
+        let perfect = &curves[0];
+        let lossy = &curves[1];
+        // At perfect yield the expected time is flat in the site count.
+        let t0 = perfect.points[0].optimal.expected_test_time_s;
+        assert!(perfect
+            .points
+            .iter()
+            .all(|p| (p.optimal.expected_test_time_s - t0).abs() < 1e-9));
+        // At 70% yield the single-site time is clearly lower, but approaches
+        // the full time as sites are added.
+        assert!(lossy.points[0].optimal.expected_test_time_s < 0.8 * t0);
+        let last = lossy.points.last().unwrap().optimal.expected_test_time_s;
+        assert!(last > 0.95 * t0);
+    }
+
+    #[test]
+    fn cost_effectiveness_reports_consistent_numbers() {
+        let soc = d695();
+        let result = cost_effectiveness(&soc, &config(), &AteCostModel::paper_prices()).unwrap();
+        assert!(result.base_devices_per_hour > 0.0);
+        assert!(result.memory_upgrade_devices_per_hour >= result.base_devices_per_hour - 1e-9);
+        assert!(result.channel_upgrade_devices_per_hour >= result.base_devices_per_hour - 1e-9);
+        assert!(result.channel_upgrade_cost_usd <= result.memory_upgrade_cost_usd + 1e-9);
+        assert!(result.memory_gain() >= -1e-12);
+        assert!(result.channel_gain() >= -1e-12);
+    }
+
+    #[test]
+    fn empty_sweeps_return_empty_results() {
+        let soc = d695();
+        assert!(channel_sweep(&soc, &config(), &[]).unwrap().is_empty());
+        assert!(depth_sweep(&soc, &config(), &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn infeasible_sweep_point_propagates_the_error() {
+        let soc = d695();
+        // 16 channels cannot host d695 at this shallow depth.
+        let result = channel_sweep(&soc, &config(), &[256, 4]);
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! Embedded benchmark SOCs.
+//!
+//! Four of the ITC'02 SOC Test Benchmarks used in Table 1 of the paper are
+//! provided:
+//!
+//! * [`d695`] — the academic ten-core SOC, embedded with the module data
+//!   published with the benchmark set,
+//! * [`p22810`], [`p34392`], [`p93791`] — the three Philips SOCs. Their full
+//!   module descriptions are Philips-internal; what is embedded here is a
+//!   *reconstruction* calibrated against the published per-SOC statistics
+//!   (module count, dominant cores, total test-data volume and the
+//!   well-known TAM-width/test-time operating points). See `DESIGN.md`,
+//!   "Substitutions".
+//!
+//! All constructors are deterministic and cheap; call them freely in tests
+//! and benches.
+
+use crate::module::{Module, ModuleKind};
+use crate::soc::Soc;
+use crate::SocModelError;
+
+/// Names of all embedded benchmark SOCs, in the order used by Table 1.
+pub const BENCHMARK_NAMES: [&str; 4] = ["d695", "p22810", "p34392", "p93791"];
+
+/// Returns an embedded benchmark SOC by name.
+///
+/// # Errors
+///
+/// Returns [`SocModelError::UnknownBenchmark`] if `name` is not one of
+/// [`BENCHMARK_NAMES`].
+///
+/// # Example
+///
+/// ```
+/// use soctest_soc_model::benchmarks;
+/// let soc = benchmarks::by_name("d695")?;
+/// assert_eq!(soc.num_modules(), 10);
+/// # Ok::<(), soctest_soc_model::SocModelError>(())
+/// ```
+pub fn by_name(name: &str) -> Result<Soc, SocModelError> {
+    match name {
+        "d695" => Ok(d695()),
+        "p22810" => Ok(p22810()),
+        "p34392" => Ok(p34392()),
+        "p93791" => Ok(p93791()),
+        other => Err(SocModelError::UnknownBenchmark {
+            name: other.to_string(),
+        }),
+    }
+}
+
+/// All embedded benchmark SOCs in Table 1 order.
+pub fn all() -> Vec<Soc> {
+    BENCHMARK_NAMES
+        .iter()
+        .map(|name| by_name(name).expect("embedded benchmark"))
+        .collect()
+}
+
+/// Builds a module with `chains` balanced scan chains totalling `total_ff`
+/// flip-flops (the first `total_ff % chains` chains are one flip-flop
+/// longer).
+fn balanced_module(
+    name: &str,
+    kind: ModuleKind,
+    patterns: u64,
+    inputs: u32,
+    outputs: u32,
+    bidirs: u32,
+    chains: usize,
+    total_ff: u64,
+) -> Module {
+    let mut builder = Module::builder(name)
+        .kind(kind)
+        .patterns(patterns)
+        .inputs(inputs)
+        .outputs(outputs)
+        .bidirs(bidirs);
+    if chains > 0 {
+        let base = total_ff / chains as u64;
+        let extra = (total_ff % chains as u64) as usize;
+        let lengths = (0..chains).map(|i| base + u64::from(i < extra));
+        builder = builder.scan_chains(lengths);
+    }
+    builder.build()
+}
+
+/// The ITC'02 `d695` benchmark SOC: ten ISCAS-85/89 cores.
+///
+/// Module parameters follow the published benchmark description; scan
+/// flip-flops are distributed over balanced chains.
+pub fn d695() -> Soc {
+    use ModuleKind::Logic;
+    let modules = vec![
+        balanced_module("c6288", Logic, 12, 32, 32, 0, 0, 0),
+        balanced_module("c7552", Logic, 73, 207, 108, 0, 0, 0),
+        balanced_module("s838", Logic, 75, 34, 1, 0, 1, 32),
+        balanced_module("s9234", Logic, 105, 36, 39, 0, 4, 228),
+        balanced_module("s38584", Logic, 110, 38, 304, 0, 32, 1426),
+        balanced_module("s13207", Logic, 234, 62, 152, 0, 16, 638),
+        balanced_module("s15850", Logic, 95, 77, 150, 0, 16, 534),
+        balanced_module("s5378", Logic, 97, 35, 49, 0, 4, 179),
+        balanced_module("s35932", Logic, 12, 35, 320, 0, 32, 1728),
+        balanced_module("s38417", Logic, 68, 28, 106, 0, 32, 1636),
+    ];
+    Soc::from_modules("d695", modules)
+}
+
+/// Reconstruction of the ITC'02 `p22810` benchmark SOC (28 modules).
+///
+/// Anchored on the handful of dominant cores that determine the TAM design;
+/// the remaining filler cores reproduce the long tail of small cores in the
+/// original benchmark.
+pub fn p22810() -> Soc {
+    use ModuleKind::{Logic, Memory};
+    let mut modules = vec![
+        balanced_module("p22810_c01", Logic, 62, 210, 190, 10, 24, 20_800),
+        balanced_module("p22810_c11", Logic, 126, 160, 140, 0, 20, 9_050),
+        balanced_module("p22810_c21", Logic, 187, 100, 110, 0, 16, 5_400),
+        balanced_module("p22810_c05", Logic, 465, 80, 70, 0, 8, 1_720),
+        balanced_module("p22810_c12", Logic, 145, 90, 90, 0, 12, 4_100),
+        balanced_module("p22810_c19", Logic, 430, 40, 50, 0, 4, 700),
+        balanced_module("p22810_c24", Memory, 3_200, 30, 20, 0, 1, 96),
+        balanced_module("p22810_c26", Memory, 2_600, 28, 18, 0, 1, 80),
+    ];
+    // Twenty filler cores with a deterministic size spread.
+    for i in 0..20 {
+        let patterns = 110 + 37 * (i as u64 % 7);
+        let ff = 320 + 90 * (i as u64 % 5);
+        let chains = 2 + (i % 3);
+        let io = 24 + 4 * (i as u32 % 6);
+        modules.push(balanced_module(
+            &format!("p22810_f{i:02}"),
+            Logic,
+            patterns,
+            io,
+            io,
+            0,
+            chains,
+            ff,
+        ));
+    }
+    Soc::from_modules("p22810", modules)
+}
+
+/// Reconstruction of the ITC'02 `p34392` benchmark SOC (19 modules).
+///
+/// The benchmark is dominated by one very large core (core 18 in the
+/// original numbering) whose test-time floor limits the whole SOC; the
+/// reconstruction keeps that property.
+pub fn p34392() -> Soc {
+    use ModuleKind::{Logic, Memory};
+    let mut modules = vec![
+        balanced_module("p34392_c18", Logic, 745, 320, 300, 20, 24, 14_800),
+        balanced_module("p34392_c02", Logic, 210, 165, 175, 0, 20, 6_800),
+        balanced_module("p34392_c10", Logic, 336, 120, 110, 0, 16, 4_000),
+        balanced_module("p34392_c05", Logic, 420, 70, 80, 0, 8, 1_900),
+        balanced_module("p34392_c15", Memory, 4_100, 36, 24, 0, 1, 110),
+        balanced_module("p34392_c16", Memory, 3_300, 30, 22, 0, 1, 90),
+    ];
+    for i in 0..13 {
+        let patterns = 140 + 41 * (i as u64 % 6);
+        let ff = 420 + 110 * (i as u64 % 4);
+        let chains = 2 + (i % 4);
+        let io = 28 + 5 * (i as u32 % 5);
+        modules.push(balanced_module(
+            &format!("p34392_f{i:02}"),
+            Logic,
+            patterns,
+            io,
+            io,
+            0,
+            chains,
+            ff,
+        ));
+    }
+    Soc::from_modules("p34392", modules)
+}
+
+/// Reconstruction of the ITC'02 `p93791` benchmark SOC (32 modules).
+///
+/// The largest of the ITC'02 SOCs; dominated by three cores of roughly
+/// five megabits of test data each.
+pub fn p93791() -> Soc {
+    use ModuleKind::{Logic, Memory};
+    let mut modules = vec![
+        balanced_module("p93791_c06", Logic, 218, 220, 200, 0, 46, 23_800),
+        balanced_module("p93791_c20", Logic, 210, 190, 190, 0, 44, 23_100),
+        balanced_module("p93791_c27", Logic, 916, 130, 120, 0, 20, 5_900),
+        balanced_module("p93791_c01", Logic, 409, 100, 100, 0, 12, 5_100),
+        balanced_module("p93791_c11", Logic, 187, 150, 160, 0, 24, 11_000),
+        balanced_module("p93791_c17", Logic, 216, 80, 70, 0, 10, 4_500),
+        balanced_module("p93791_c23", Logic, 260, 50, 50, 0, 8, 3_000),
+        balanced_module("p93791_c29", Logic, 420, 60, 60, 0, 6, 2_600),
+        balanced_module("p93791_c13", Memory, 5_200, 40, 30, 0, 1, 120),
+        balanced_module("p93791_c19", Memory, 4_400, 34, 26, 0, 1, 100),
+    ];
+    for i in 0..22 {
+        let patterns = 130 + 29 * (i as u64 % 8);
+        let ff = 560 + 130 * (i as u64 % 6);
+        let chains = 2 + (i % 5);
+        let io = 30 + 6 * (i as u32 % 5);
+        modules.push(balanced_module(
+            &format!("p93791_f{i:02}"),
+            Logic,
+            patterns,
+            io,
+            io,
+            0,
+            chains,
+            ff,
+        ));
+    }
+    Soc::from_modules("p93791", modules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::is_usable;
+
+    #[test]
+    fn d695_has_ten_modules() {
+        let soc = d695();
+        assert_eq!(soc.num_modules(), 10);
+        assert_eq!(soc.name(), "d695");
+    }
+
+    #[test]
+    fn d695_module_data_matches_published_values() {
+        let soc = d695();
+        let (_, s38584) = soc.module_by_name("s38584").unwrap();
+        assert_eq!(s38584.patterns(), 110);
+        assert_eq!(s38584.num_scan_chains(), 32);
+        assert_eq!(s38584.total_scan_flip_flops(), 1426);
+        let (_, c6288) = soc.module_by_name("c6288").unwrap();
+        assert_eq!(c6288.num_scan_chains(), 0);
+        assert_eq!(c6288.inputs(), 32);
+    }
+
+    #[test]
+    fn d695_total_volume_is_in_published_ballpark() {
+        // The well-known operating point of d695 is roughly 42k cycles on a
+        // 16-chain-wide architecture, i.e. ~0.65M cycle*chains of data.
+        let volume: u64 = d695()
+            .modules()
+            .iter()
+            .map(|m| m.patterns() * (m.total_scan_flip_flops() + m.functional_terminals()))
+            .sum();
+        assert!(volume > 500_000, "volume {volume} too small");
+        assert!(volume < 900_000, "volume {volume} too large");
+    }
+
+    #[test]
+    fn philips_reconstructions_have_published_module_counts() {
+        assert_eq!(p22810().num_modules(), 28);
+        assert_eq!(p34392().num_modules(), 19);
+        assert_eq!(p93791().num_modules(), 32);
+    }
+
+    #[test]
+    fn reconstruction_volumes_are_ordered_like_the_originals() {
+        let vol = |soc: &Soc| soc.total_test_data_volume_bits();
+        let d = vol(&d695());
+        let p22 = vol(&p22810());
+        let p34 = vol(&p34392());
+        let p93 = vol(&p93791());
+        assert!(d < p22, "d695 {d} should be smaller than p22810 {p22}");
+        assert!(
+            p22 < p34,
+            "p22810 {p22} should be smaller than p34392 {p34}"
+        );
+        assert!(
+            p34 < p93,
+            "p34392 {p34} should be smaller than p93791 {p93}"
+        );
+    }
+
+    #[test]
+    fn all_benchmarks_are_usable() {
+        for soc in all() {
+            assert!(is_usable(&soc), "benchmark {} fails validation", soc.name());
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips_and_rejects_unknown() {
+        for name in BENCHMARK_NAMES {
+            assert_eq!(by_name(name).unwrap().name(), name);
+        }
+        assert!(by_name("p12345").is_err());
+    }
+
+    #[test]
+    fn benchmarks_are_deterministic() {
+        assert_eq!(d695(), d695());
+        assert_eq!(p93791(), p93791());
+    }
+
+    #[test]
+    fn module_names_are_unique_within_each_benchmark() {
+        for soc in all() {
+            let mut names: Vec<&str> = soc.modules().iter().map(Module::name).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), soc.num_modules());
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types for the SOC data model.
+
+use std::fmt;
+
+/// Errors produced while constructing, parsing or validating SOC
+/// descriptions.
+///
+/// # Example
+///
+/// ```
+/// use soctest_soc_model::parser::parse_soc;
+///
+/// let err = parse_soc("module 1 core_without_header\nend\n").unwrap_err();
+/// assert!(err.to_string().contains("soc"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocModelError {
+    /// The `.soc` text could not be parsed.
+    Parse {
+        /// 1-based line number at which the problem was detected.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A module definition is structurally invalid (e.g. zero patterns and
+    /// zero terminals).
+    InvalidModule {
+        /// Name of the offending module.
+        module: String,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An SOC-level invariant is violated (e.g. duplicate module names).
+    InvalidSoc {
+        /// Name of the offending SOC.
+        soc: String,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A named benchmark SOC does not exist in [`crate::benchmarks`].
+    UnknownBenchmark {
+        /// The requested benchmark name.
+        name: String,
+    },
+}
+
+impl fmt::Display for SocModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocModelError::Parse { line, message } => {
+                write!(
+                    f,
+                    "parse error in soc description at line {line}: {message}"
+                )
+            }
+            SocModelError::InvalidModule { module, message } => {
+                write!(f, "invalid module `{module}`: {message}")
+            }
+            SocModelError::InvalidSoc { soc, message } => {
+                write!(f, "invalid soc `{soc}`: {message}")
+            }
+            SocModelError::UnknownBenchmark { name } => {
+                write!(f, "unknown benchmark soc `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SocModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_error_mentions_line() {
+        let err = SocModelError::Parse {
+            line: 7,
+            message: "unexpected token".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("line 7"));
+        assert!(text.contains("unexpected token"));
+    }
+
+    #[test]
+    fn display_invalid_module_mentions_module_name() {
+        let err = SocModelError::InvalidModule {
+            module: "cpu".into(),
+            message: "zero patterns".into(),
+        };
+        assert!(err.to_string().contains("cpu"));
+    }
+
+    #[test]
+    fn display_unknown_benchmark() {
+        let err = SocModelError::UnknownBenchmark { name: "x42".into() };
+        assert!(err.to_string().contains("x42"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<SocModelError>();
+    }
+}

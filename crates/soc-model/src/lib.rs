@@ -1,0 +1,55 @@
+//! Data model for System-on-Chip (SOC) test descriptions.
+//!
+//! This crate provides the input side of the test-infrastructure design flow
+//! described in Goel & Marinissen, *"On-Chip Test Infrastructure Design for
+//! Optimal Multi-Site Testing of System Chips"* (DATE 2005): an SOC is a set
+//! of modules (embedded cores), and each module is characterised by its test
+//! pattern count, its functional terminal counts (inputs, outputs,
+//! bidirectionals) and its internal scan chains.
+//!
+//! The crate contains:
+//!
+//! * [`Module`], [`ScanChain`] and [`Soc`] — the core data model,
+//! * [`parser`] / [`writer`] — a line-oriented text format (`.soc`) closely
+//!   modelled on the ITC'02 SOC Test Benchmarks information content,
+//! * [`benchmarks`] — embedded benchmark SOCs (d695 plus reconstructions of
+//!   the Philips ITC'02 SOCs p22810, p34392 and p93791),
+//! * [`synthetic`] — deterministic synthetic SOC generators, including the
+//!   PNX8550-like SOC used throughout the paper's evaluation section,
+//! * [`validate`] — structural validation of SOC descriptions.
+//!
+//! # Example
+//!
+//! ```
+//! use soctest_soc_model::{Module, Soc};
+//!
+//! let mut soc = Soc::new("example");
+//! soc.push_module(
+//!     Module::builder("cpu")
+//!         .patterns(120)
+//!         .inputs(64)
+//!         .outputs(64)
+//!         .scan_chains([500, 500, 480, 480])
+//!         .build(),
+//! );
+//! assert_eq!(soc.num_modules(), 1);
+//! assert!(soc.total_scan_flip_flops() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod benchmarks;
+pub mod error;
+pub mod module;
+pub mod parser;
+pub mod soc;
+pub mod synthetic;
+pub mod validate;
+pub mod writer;
+
+pub use error::SocModelError;
+pub use module::{Module, ModuleBuilder, ModuleId, ModuleKind, ScanChain};
+pub use soc::{Soc, SocStats};
+pub use validate::{validate_module, validate_soc, ValidationIssue};

@@ -1,0 +1,457 @@
+//! Embedded module (core) descriptions.
+//!
+//! A [`Module`] corresponds to one embedded core of a core-based SOC and
+//! carries exactly the parameters used by the wrapper / TAM optimization of
+//! the paper (Problem 1, Section 5): the number of test patterns `p(m)`, the
+//! functional input/output/bidirectional terminal counts `i(m)`, `o(m)`,
+//! `b(m)`, and the length of every internal scan chain `l(m, r)`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a module within a [`crate::Soc`].
+///
+/// Module ids are dense indices assigned in insertion order; they are used by
+/// the architecture-design crates to refer back to modules without holding
+/// references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ModuleId(pub usize);
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl From<usize> for ModuleId {
+    fn from(value: usize) -> Self {
+        ModuleId(value)
+    }
+}
+
+/// One internal scan chain of a module, characterised by its length in
+/// flip-flops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ScanChain {
+    /// Number of flip-flops on the chain.
+    pub length: u64,
+}
+
+impl ScanChain {
+    /// Creates a scan chain with the given number of flip-flops.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use soctest_soc_model::ScanChain;
+    /// let c = ScanChain::new(128);
+    /// assert_eq!(c.length, 128);
+    /// ```
+    pub fn new(length: u64) -> Self {
+        ScanChain { length }
+    }
+}
+
+impl From<u64> for ScanChain {
+    fn from(length: u64) -> Self {
+        ScanChain { length }
+    }
+}
+
+/// Coarse classification of a module, used by the synthetic SOC generators
+/// and reporting. The optimization algorithms themselves treat all modules
+/// uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ModuleKind {
+    /// Scan-tested digital logic core.
+    #[default]
+    Logic,
+    /// Embedded memory tested through the test access infrastructure.
+    Memory,
+    /// Hierarchical or black-box core with a fixed external test.
+    BlackBox,
+}
+
+impl fmt::Display for ModuleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModuleKind::Logic => write!(f, "logic"),
+            ModuleKind::Memory => write!(f, "memory"),
+            ModuleKind::BlackBox => write!(f, "blackbox"),
+        }
+    }
+}
+
+/// An embedded core and its test parameters.
+///
+/// Construct modules through [`Module::builder`]; the builder validates
+/// nothing by itself, see [`crate::validate::validate_module`] for structural
+/// checks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Module {
+    /// Human-readable module name (unique within an SOC).
+    name: String,
+    /// Coarse module classification.
+    kind: ModuleKind,
+    /// Number of test patterns `p(m)`.
+    patterns: u64,
+    /// Number of functional input terminals `i(m)`.
+    inputs: u32,
+    /// Number of functional output terminals `o(m)`.
+    outputs: u32,
+    /// Number of functional bidirectional terminals `b(m)`.
+    bidirs: u32,
+    /// Internal scan chains with their lengths.
+    scan_chains: Vec<ScanChain>,
+}
+
+impl Module {
+    /// Starts building a module with the given name.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use soctest_soc_model::Module;
+    /// let m = Module::builder("uart").patterns(10).inputs(8).outputs(8).build();
+    /// assert_eq!(m.name(), "uart");
+    /// ```
+    pub fn builder(name: impl Into<String>) -> ModuleBuilder {
+        ModuleBuilder::new(name)
+    }
+
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The coarse module classification.
+    pub fn kind(&self) -> ModuleKind {
+        self.kind
+    }
+
+    /// Number of test patterns `p(m)`.
+    pub fn patterns(&self) -> u64 {
+        self.patterns
+    }
+
+    /// Number of functional input terminals `i(m)`.
+    pub fn inputs(&self) -> u32 {
+        self.inputs
+    }
+
+    /// Number of functional output terminals `o(m)`.
+    pub fn outputs(&self) -> u32 {
+        self.outputs
+    }
+
+    /// Number of functional bidirectional terminals `b(m)`.
+    pub fn bidirs(&self) -> u32 {
+        self.bidirs
+    }
+
+    /// The internal scan chains.
+    pub fn scan_chains(&self) -> &[ScanChain] {
+        &self.scan_chains
+    }
+
+    /// Number of internal scan chains `s(m)`.
+    pub fn num_scan_chains(&self) -> usize {
+        self.scan_chains.len()
+    }
+
+    /// Total number of scan flip-flops over all internal chains.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use soctest_soc_model::Module;
+    /// let m = Module::builder("core").scan_chains([10, 20, 30]).build();
+    /// assert_eq!(m.total_scan_flip_flops(), 60);
+    /// ```
+    pub fn total_scan_flip_flops(&self) -> u64 {
+        self.scan_chains.iter().map(|c| c.length).sum()
+    }
+
+    /// Length of the longest internal scan chain (0 if the module has none).
+    pub fn longest_scan_chain(&self) -> u64 {
+        self.scan_chains.iter().map(|c| c.length).max().unwrap_or(0)
+    }
+
+    /// Total number of functional terminals that need wrapper cells
+    /// (`i + o + b`).
+    pub fn functional_terminals(&self) -> u64 {
+        u64::from(self.inputs) + u64::from(self.outputs) + u64::from(self.bidirs)
+    }
+
+    /// Number of wrapper *input* cells: functional inputs plus
+    /// bidirectionals (a bidirectional terminal needs a cell on both the
+    /// stimulus and the response side).
+    pub fn wrapper_input_cells(&self) -> u64 {
+        u64::from(self.inputs) + u64::from(self.bidirs)
+    }
+
+    /// Number of wrapper *output* cells: functional outputs plus
+    /// bidirectionals.
+    pub fn wrapper_output_cells(&self) -> u64 {
+        u64::from(self.outputs) + u64::from(self.bidirs)
+    }
+
+    /// Total number of scan-accessible bits on the stimulus side: scan
+    /// flip-flops plus wrapper input cells.
+    pub fn total_scan_in_bits(&self) -> u64 {
+        self.total_scan_flip_flops() + self.wrapper_input_cells()
+    }
+
+    /// Total number of scan-accessible bits on the response side: scan
+    /// flip-flops plus wrapper output cells.
+    pub fn total_scan_out_bits(&self) -> u64 {
+        self.total_scan_flip_flops() + self.wrapper_output_cells()
+    }
+
+    /// A simple measure of the module's test data volume in bits: the number
+    /// of stimulus bits plus response bits shifted over all patterns.
+    ///
+    /// This is the quantity that the theoretical channel lower bound of
+    /// Table 1 is based on.
+    pub fn test_data_volume_bits(&self) -> u64 {
+        (self.total_scan_in_bits() + self.total_scan_out_bits()) * self.patterns
+    }
+
+    /// Lower bound on the test application time of this module in clock
+    /// cycles, reached when every scan element sits in its own wrapper
+    /// chain: `(1 + longest chain) * p + longest chain` where the relevant
+    /// chain length degenerates to the longest internal scan chain (or 1 for
+    /// purely combinational cores with functional terminals).
+    pub fn test_time_floor_cycles(&self) -> u64 {
+        let longest = self
+            .longest_scan_chain()
+            .max(u64::from((self.functional_terminals() > 0) as u32));
+        (1 + longest) * self.patterns + longest
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}]: p={} i={} o={} b={} scan={}x({} ff)",
+            self.name,
+            self.kind,
+            self.patterns,
+            self.inputs,
+            self.outputs,
+            self.bidirs,
+            self.scan_chains.len(),
+            self.total_scan_flip_flops()
+        )
+    }
+}
+
+/// Builder for [`Module`].
+///
+/// All parameters default to zero / empty, matching a trivially empty core.
+#[derive(Debug, Clone)]
+pub struct ModuleBuilder {
+    name: String,
+    kind: ModuleKind,
+    patterns: u64,
+    inputs: u32,
+    outputs: u32,
+    bidirs: u32,
+    scan_chains: Vec<ScanChain>,
+}
+
+impl ModuleBuilder {
+    /// Creates a builder for a module with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleBuilder {
+            name: name.into(),
+            kind: ModuleKind::Logic,
+            patterns: 0,
+            inputs: 0,
+            outputs: 0,
+            bidirs: 0,
+            scan_chains: Vec::new(),
+        }
+    }
+
+    /// Sets the coarse module classification.
+    pub fn kind(mut self, kind: ModuleKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Sets the number of test patterns.
+    pub fn patterns(mut self, patterns: u64) -> Self {
+        self.patterns = patterns;
+        self
+    }
+
+    /// Sets the number of functional input terminals.
+    pub fn inputs(mut self, inputs: u32) -> Self {
+        self.inputs = inputs;
+        self
+    }
+
+    /// Sets the number of functional output terminals.
+    pub fn outputs(mut self, outputs: u32) -> Self {
+        self.outputs = outputs;
+        self
+    }
+
+    /// Sets the number of functional bidirectional terminals.
+    pub fn bidirs(mut self, bidirs: u32) -> Self {
+        self.bidirs = bidirs;
+        self
+    }
+
+    /// Replaces the scan chains with chains of the given lengths.
+    pub fn scan_chains<I>(mut self, lengths: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<ScanChain>,
+    {
+        self.scan_chains = lengths.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Adds `count` scan chains of identical `length`.
+    pub fn balanced_scan_chains(mut self, count: usize, length: u64) -> Self {
+        self.scan_chains
+            .extend(std::iter::repeat(ScanChain::new(length)).take(count));
+        self
+    }
+
+    /// Adds a single scan chain of the given length.
+    pub fn scan_chain(mut self, length: u64) -> Self {
+        self.scan_chains.push(ScanChain::new(length));
+        self
+    }
+
+    /// Finishes building the module.
+    pub fn build(self) -> Module {
+        Module {
+            name: self.name,
+            kind: self.kind,
+            patterns: self.patterns,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            bidirs: self.bidirs,
+            scan_chains: self.scan_chains,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Module {
+        Module::builder("core0")
+            .kind(ModuleKind::Logic)
+            .patterns(100)
+            .inputs(10)
+            .outputs(20)
+            .bidirs(5)
+            .scan_chains([50u64, 40, 30])
+            .build()
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let m = sample();
+        assert_eq!(m.name(), "core0");
+        assert_eq!(m.kind(), ModuleKind::Logic);
+        assert_eq!(m.patterns(), 100);
+        assert_eq!(m.inputs(), 10);
+        assert_eq!(m.outputs(), 20);
+        assert_eq!(m.bidirs(), 5);
+        assert_eq!(m.num_scan_chains(), 3);
+    }
+
+    #[test]
+    fn scan_statistics() {
+        let m = sample();
+        assert_eq!(m.total_scan_flip_flops(), 120);
+        assert_eq!(m.longest_scan_chain(), 50);
+    }
+
+    #[test]
+    fn terminal_and_cell_counts() {
+        let m = sample();
+        assert_eq!(m.functional_terminals(), 35);
+        assert_eq!(m.wrapper_input_cells(), 15);
+        assert_eq!(m.wrapper_output_cells(), 25);
+        assert_eq!(m.total_scan_in_bits(), 135);
+        assert_eq!(m.total_scan_out_bits(), 145);
+    }
+
+    #[test]
+    fn test_data_volume() {
+        let m = sample();
+        assert_eq!(m.test_data_volume_bits(), (135 + 145) * 100);
+    }
+
+    #[test]
+    fn test_time_floor_uses_longest_chain() {
+        let m = sample();
+        assert_eq!(m.test_time_floor_cycles(), (1 + 50) * 100 + 50);
+    }
+
+    #[test]
+    fn test_time_floor_for_combinational_core() {
+        let m = Module::builder("comb")
+            .patterns(12)
+            .inputs(32)
+            .outputs(32)
+            .build();
+        // No scan chains: the floor degenerates to one cycle of load per
+        // pattern through a single wrapper cell.
+        assert_eq!(m.test_time_floor_cycles(), 2 * 12 + 1);
+    }
+
+    #[test]
+    fn empty_module_has_zero_stats() {
+        let m = Module::builder("empty").build();
+        assert_eq!(m.total_scan_flip_flops(), 0);
+        assert_eq!(m.longest_scan_chain(), 0);
+        assert_eq!(m.functional_terminals(), 0);
+        assert_eq!(m.test_data_volume_bits(), 0);
+    }
+
+    #[test]
+    fn balanced_scan_chains_helper() {
+        let m = Module::builder("mem").balanced_scan_chains(4, 25).build();
+        assert_eq!(m.num_scan_chains(), 4);
+        assert_eq!(m.total_scan_flip_flops(), 100);
+    }
+
+    #[test]
+    fn display_contains_name_and_counts() {
+        let text = sample().to_string();
+        assert!(text.contains("core0"));
+        assert!(text.contains("p=100"));
+    }
+
+    #[test]
+    fn module_id_display_and_conversion() {
+        let id: ModuleId = 7.into();
+        assert_eq!(id, ModuleId(7));
+        assert_eq!(id.to_string(), "m7");
+    }
+
+    #[test]
+    fn module_kind_display() {
+        assert_eq!(ModuleKind::Logic.to_string(), "logic");
+        assert_eq!(ModuleKind::Memory.to_string(), "memory");
+        assert_eq!(ModuleKind::BlackBox.to_string(), "blackbox");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = sample();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Module = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,324 @@
+//! Parser for the line-oriented `.soc` text format.
+//!
+//! The format carries exactly the information content of the ITC'02 SOC Test
+//! Benchmarks that the optimization algorithms need. It is deliberately
+//! simple so that benchmark SOCs can be reviewed and edited by hand:
+//!
+//! ```text
+//! # comments start with '#'
+//! soc d695
+//! module 1 c6288
+//!   kind logic
+//!   patterns 12
+//!   inputs 32
+//!   outputs 32
+//!   bidirs 0
+//!   scanchains
+//! end
+//! module 2 s838
+//!   patterns 75
+//!   inputs 34
+//!   outputs 1
+//!   scanchains 32
+//! end
+//! ```
+//!
+//! * `soc <name>` must appear before the first module.
+//! * Each `module <index> <name>` block is terminated by `end`; the index is
+//!   informational only (modules are numbered by order of appearance).
+//! * `scanchains` is followed by zero or more chain lengths on the same
+//!   line; the directive may be repeated to split long lists across lines.
+//! * `kind` is one of `logic`, `memory`, `blackbox` and defaults to `logic`.
+
+use crate::error::SocModelError;
+use crate::module::{Module, ModuleBuilder, ModuleKind, ScanChain};
+use crate::soc::Soc;
+
+/// Parses a `.soc` document into an [`Soc`].
+///
+/// # Errors
+///
+/// Returns [`SocModelError::Parse`] with the offending line number when the
+/// document is malformed (unknown directive, missing `soc` header, numeric
+/// fields that do not parse, `module` without `end`, ...).
+///
+/// # Example
+///
+/// ```
+/// use soctest_soc_model::parser::parse_soc;
+///
+/// let soc = parse_soc(
+///     "soc tiny\nmodule 1 a\n patterns 5\n inputs 2\n outputs 2\n scanchains 10 20\nend\n",
+/// )?;
+/// assert_eq!(soc.name(), "tiny");
+/// assert_eq!(soc.module_by_name("a").unwrap().1.total_scan_flip_flops(), 30);
+/// # Ok::<(), soctest_soc_model::SocModelError>(())
+/// ```
+pub fn parse_soc(text: &str) -> Result<Soc, SocModelError> {
+    let mut soc_name: Option<String> = None;
+    let mut modules: Vec<Module> = Vec::new();
+    let mut current: Option<PartialModule> = None;
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().expect("non-empty line has a first token");
+        match keyword {
+            "soc" => {
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| parse_err(line_no, "`soc` requires a name"))?;
+                if soc_name.is_some() {
+                    return Err(parse_err(line_no, "duplicate `soc` header"));
+                }
+                soc_name = Some(name.to_string());
+            }
+            "module" => {
+                if current.is_some() {
+                    return Err(parse_err(line_no, "nested `module` block (missing `end`?)"));
+                }
+                if soc_name.is_none() {
+                    return Err(parse_err(line_no, "`module` before `soc` header"));
+                }
+                // The numeric index is optional and informational.
+                let rest: Vec<&str> = tokens.collect();
+                let name = match rest.as_slice() {
+                    [] => return Err(parse_err(line_no, "`module` requires a name")),
+                    [single] => (*single).to_string(),
+                    [_index, name, ..] => (*name).to_string(),
+                };
+                current = Some(PartialModule::new(name));
+            }
+            "end" => {
+                let partial = current
+                    .take()
+                    .ok_or_else(|| parse_err(line_no, "`end` outside of a module block"))?;
+                modules.push(partial.builder.build());
+            }
+            "kind" => {
+                let value = tokens
+                    .next()
+                    .ok_or_else(|| parse_err(line_no, "`kind` requires a value"))?;
+                let kind =
+                    match value {
+                        "logic" => ModuleKind::Logic,
+                        "memory" => ModuleKind::Memory,
+                        "blackbox" => ModuleKind::BlackBox,
+                        other => return Err(parse_err(
+                            line_no,
+                            format!(
+                                "unknown module kind `{other}` (expected logic|memory|blackbox)"
+                            ),
+                        )),
+                    };
+                let partial = current
+                    .as_mut()
+                    .ok_or_else(|| parse_err(line_no, "`kind` outside of a module block"))?;
+                partial.builder = partial.builder.clone().kind(kind);
+            }
+            "patterns" | "inputs" | "outputs" | "bidirs" => {
+                let value: u64 = parse_number(line_no, tokens.next(), keyword)?;
+                let partial = current.as_mut().ok_or_else(|| {
+                    parse_err(line_no, format!("`{keyword}` outside of a module block"))
+                })?;
+                let b = partial.builder.clone();
+                partial.builder = match keyword {
+                    "patterns" => b.patterns(value),
+                    "inputs" => b.inputs(as_u32(line_no, value, keyword)?),
+                    "outputs" => b.outputs(as_u32(line_no, value, keyword)?),
+                    "bidirs" => b.bidirs(as_u32(line_no, value, keyword)?),
+                    _ => unreachable!(),
+                };
+            }
+            "scanchains" => {
+                let partial = current
+                    .as_mut()
+                    .ok_or_else(|| parse_err(line_no, "`scanchains` outside of a module block"))?;
+                for tok in tokens {
+                    let length: u64 = tok.parse().map_err(|_| {
+                        parse_err(line_no, format!("invalid scan chain length `{tok}`"))
+                    })?;
+                    partial.chains.push(ScanChain::new(length));
+                }
+                let chains = partial.chains.clone();
+                partial.builder = partial.builder.clone().scan_chains(chains);
+            }
+            other => {
+                return Err(parse_err(line_no, format!("unknown directive `{other}`")));
+            }
+        }
+    }
+
+    if current.is_some() {
+        return Err(parse_err(
+            text.lines().count(),
+            "unterminated `module` block at end of input",
+        ));
+    }
+    let name = soc_name.ok_or_else(|| parse_err(1, "missing `soc` header"))?;
+    Ok(Soc::from_modules(name, modules))
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> SocModelError {
+    SocModelError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_number(line: usize, token: Option<&str>, keyword: &str) -> Result<u64, SocModelError> {
+    let token = token.ok_or_else(|| parse_err(line, format!("`{keyword}` requires a value")))?;
+    token
+        .parse()
+        .map_err(|_| parse_err(line, format!("invalid number `{token}` for `{keyword}`")))
+}
+
+fn as_u32(line: usize, value: u64, keyword: &str) -> Result<u32, SocModelError> {
+    u32::try_from(value).map_err(|_| {
+        parse_err(
+            line,
+            format!("value {value} for `{keyword}` exceeds u32 range"),
+        )
+    })
+}
+
+struct PartialModule {
+    builder: ModuleBuilder,
+    chains: Vec<ScanChain>,
+}
+
+impl PartialModule {
+    fn new(name: String) -> Self {
+        PartialModule {
+            builder: Module::builder(name),
+            chains: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# A small SOC for parser tests
+soc tiny
+module 1 alpha
+  kind logic
+  patterns 12
+  inputs 8
+  outputs 9
+  bidirs 2
+  scanchains 10 20 30
+end
+
+module 2 beta
+  kind memory
+  patterns 300
+  inputs 40
+  outputs 30
+  scanchains 64
+  scanchains 64 32
+end
+"#;
+
+    #[test]
+    fn parses_sample_document() {
+        let soc = parse_soc(SAMPLE).unwrap();
+        assert_eq!(soc.name(), "tiny");
+        assert_eq!(soc.num_modules(), 2);
+
+        let (_, alpha) = soc.module_by_name("alpha").unwrap();
+        assert_eq!(alpha.patterns(), 12);
+        assert_eq!(alpha.inputs(), 8);
+        assert_eq!(alpha.outputs(), 9);
+        assert_eq!(alpha.bidirs(), 2);
+        assert_eq!(alpha.total_scan_flip_flops(), 60);
+
+        let (_, beta) = soc.module_by_name("beta").unwrap();
+        assert_eq!(beta.kind(), ModuleKind::Memory);
+        assert_eq!(beta.num_scan_chains(), 3);
+        assert_eq!(beta.total_scan_flip_flops(), 160);
+    }
+
+    #[test]
+    fn module_index_is_optional() {
+        let soc = parse_soc("soc s\nmodule onlyname\n patterns 1\nend\n").unwrap();
+        assert_eq!(soc.modules()[0].name(), "onlyname");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let soc = parse_soc("# hi\n\nsoc s # trailing\n# only comments\n").unwrap();
+        assert_eq!(soc.name(), "s");
+        assert!(soc.is_empty());
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let err = parse_soc("module 1 a\nend\n").unwrap_err();
+        assert!(matches!(err, SocModelError::Parse { .. }));
+    }
+
+    #[test]
+    fn duplicate_header_is_an_error() {
+        let err = parse_soc("soc a\nsoc b\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn nested_module_is_an_error() {
+        let err = parse_soc("soc s\nmodule 1 a\nmodule 2 b\nend\n").unwrap_err();
+        assert!(err.to_string().contains("nested"));
+    }
+
+    #[test]
+    fn unterminated_module_is_an_error() {
+        let err = parse_soc("soc s\nmodule 1 a\n patterns 3\n").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn unknown_directive_reports_line() {
+        let err = parse_soc("soc s\nmodule 1 a\n bogus 3\nend\n").unwrap_err();
+        match err {
+            SocModelError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_number_is_an_error() {
+        let err = parse_soc("soc s\nmodule 1 a\n patterns notanumber\nend\n").unwrap_err();
+        assert!(err.to_string().contains("notanumber"));
+    }
+
+    #[test]
+    fn unknown_kind_is_an_error() {
+        let err = parse_soc("soc s\nmodule 1 a\n kind analog\nend\n").unwrap_err();
+        assert!(err.to_string().contains("analog"));
+    }
+
+    #[test]
+    fn directive_outside_module_is_an_error() {
+        let err = parse_soc("soc s\npatterns 5\n").unwrap_err();
+        assert!(err.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn end_outside_module_is_an_error() {
+        let err = parse_soc("soc s\nend\n").unwrap_err();
+        assert!(err.to_string().contains("outside"));
+    }
+}

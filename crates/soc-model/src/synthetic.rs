@@ -1,0 +1,396 @@
+//! Deterministic synthetic SOC generators.
+//!
+//! Two uses:
+//!
+//! * [`pnx8550_like`] produces the stand-in for the Philips PNX8550 "monster
+//!   chip" evaluated throughout Section 7 of the paper. The real SOC's test
+//!   data is proprietary; the stand-in reproduces its published module
+//!   counts (62 logic cores + 212 embedded memories) and is calibrated so
+//!   that on the paper's target ATE (512 channels x 7 M vectors at 5 MHz)
+//!   the optimizer lands in the same operating regime (manufacturing test
+//!   time around 1.4 s, roughly a hundred channels per site, optimal
+//!   multi-site in the mid single digits without stimulus broadcast).
+//! * [`SyntheticSocSpec`] generates families of random-but-reproducible SOCs
+//!   for stress tests and property-based tests.
+
+use crate::module::{Module, ModuleKind};
+use crate::soc::Soc;
+use rand::distributions::{Distribution, Uniform};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Specification for a randomly generated, reproducible SOC.
+///
+/// All ranges are inclusive. The same spec and seed always produce the same
+/// SOC.
+///
+/// # Example
+///
+/// ```
+/// use soctest_soc_model::synthetic::SyntheticSocSpec;
+///
+/// let soc = SyntheticSocSpec::new("fuzz", 12).seed(7).generate();
+/// assert_eq!(soc.num_modules(), 12);
+/// assert_eq!(soc, SyntheticSocSpec::new("fuzz", 12).seed(7).generate());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticSocSpec {
+    name: String,
+    modules: usize,
+    seed: u64,
+    patterns: (u64, u64),
+    scan_chains: (usize, usize),
+    chain_length: (u64, u64),
+    terminals: (u32, u32),
+    memory_fraction: f64,
+}
+
+impl SyntheticSocSpec {
+    /// Creates a spec for an SOC with the given name and module count,
+    /// using moderate default parameter ranges.
+    pub fn new(name: impl Into<String>, modules: usize) -> Self {
+        SyntheticSocSpec {
+            name: name.into(),
+            modules,
+            seed: 0,
+            patterns: (20, 400),
+            scan_chains: (1, 16),
+            chain_length: (20, 400),
+            terminals: (8, 120),
+            memory_fraction: 0.0,
+        }
+    }
+
+    /// Sets the RNG seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the inclusive range of per-module pattern counts.
+    pub fn patterns(mut self, min: u64, max: u64) -> Self {
+        self.patterns = (min, max);
+        self
+    }
+
+    /// Sets the inclusive range of per-module scan chain counts.
+    pub fn scan_chains(mut self, min: usize, max: usize) -> Self {
+        self.scan_chains = (min, max);
+        self
+    }
+
+    /// Sets the inclusive range of scan chain lengths.
+    pub fn chain_length(mut self, min: u64, max: u64) -> Self {
+        self.chain_length = (min, max);
+        self
+    }
+
+    /// Sets the inclusive range of functional terminal counts (split evenly
+    /// between inputs and outputs).
+    pub fn terminals(mut self, min: u32, max: u32) -> Self {
+        self.terminals = (min, max);
+        self
+    }
+
+    /// Sets the fraction of modules generated as single-chain memories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `0.0..=1.0`.
+    pub fn memory_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "memory fraction {fraction} out of range"
+        );
+        self.memory_fraction = fraction;
+        self
+    }
+
+    /// Generates the SOC described by this spec.
+    pub fn generate(&self) -> Soc {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let patterns =
+            Uniform::new_inclusive(self.patterns.0, self.patterns.1.max(self.patterns.0));
+        let chains = Uniform::new_inclusive(
+            self.scan_chains.0,
+            self.scan_chains.1.max(self.scan_chains.0),
+        );
+        let length = Uniform::new_inclusive(
+            self.chain_length.0,
+            self.chain_length.1.max(self.chain_length.0),
+        );
+        let terminals =
+            Uniform::new_inclusive(self.terminals.0, self.terminals.1.max(self.terminals.0));
+
+        let mut soc = Soc::new(self.name.clone());
+        for index in 0..self.modules {
+            let is_memory = rng.gen_bool(self.memory_fraction);
+            let io = terminals.sample(&mut rng);
+            let module = if is_memory {
+                Module::builder(format!("{}_mem{index:03}", self.name))
+                    .kind(ModuleKind::Memory)
+                    .patterns(patterns.sample(&mut rng) * 8)
+                    .inputs(io / 2)
+                    .outputs(io - io / 2)
+                    .scan_chain(length.sample(&mut rng))
+                    .build()
+            } else {
+                let chain_count = chains.sample(&mut rng);
+                Module::builder(format!("{}_core{index:03}", self.name))
+                    .kind(ModuleKind::Logic)
+                    .patterns(patterns.sample(&mut rng))
+                    .inputs(io / 2)
+                    .outputs(io - io / 2)
+                    .scan_chains((0..chain_count).map(|_| length.sample(&mut rng)))
+                    .build()
+            };
+            soc.push_module(module);
+        }
+        soc
+    }
+}
+
+/// Parameters of the PNX8550 stand-in; exposed so experiments can scale the
+/// design up or down while keeping its composition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pnx8550Config {
+    /// Number of scan-tested logic cores (62 on the real SOC).
+    pub logic_modules: usize,
+    /// Number of embedded memories (212 on the real SOC).
+    pub memory_modules: usize,
+    /// Global scaling factor on test data volume; 1.0 reproduces the paper's
+    /// operating regime.
+    pub volume_scale: f64,
+}
+
+impl Default for Pnx8550Config {
+    fn default() -> Self {
+        Pnx8550Config {
+            logic_modules: 62,
+            memory_modules: 212,
+            volume_scale: 1.0,
+        }
+    }
+}
+
+/// Generates the PNX8550-like SOC used by the Section 7 experiments, with
+/// the default configuration.
+///
+/// The generator is fully deterministic.
+///
+/// # Example
+///
+/// ```
+/// use soctest_soc_model::synthetic::pnx8550_like;
+/// let soc = pnx8550_like();
+/// assert_eq!(soc.num_modules(), 62 + 212);
+/// ```
+pub fn pnx8550_like() -> Soc {
+    pnx8550_with(Pnx8550Config::default())
+}
+
+/// Generates a PNX8550-like SOC with an explicit configuration.
+///
+/// # Panics
+///
+/// Panics if `config.volume_scale` is not finite and positive.
+pub fn pnx8550_with(config: Pnx8550Config) -> Soc {
+    assert!(
+        config.volume_scale.is_finite() && config.volume_scale > 0.0,
+        "volume_scale must be positive, got {}",
+        config.volume_scale
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(0x8550);
+    let scale = config.volume_scale;
+    let mut soc = Soc::new("pnx8550_like");
+
+    // --- Logic cores -----------------------------------------------------
+    // A handful of large media-processing cores plus a long tail of control
+    // logic. Pattern counts and scan sizes are drawn from deterministic
+    // ranges; the totals put the width-elastic share of the SOC test data
+    // at roughly 150 M cycle*chains (before scaling).
+    for index in 0..config.logic_modules {
+        let class = index % 10;
+        // Three size classes: 10% very large, 30% medium, 60% small.
+        let (patterns, chains, total_ff, io): (u64, usize, u64, u32) = if class == 0 {
+            (
+                rng.gen_range(300..=450),
+                rng.gen_range(24..=40),
+                rng.gen_range(6_000..=9_000),
+                rng.gen_range(200..=400),
+            )
+        } else if class < 4 {
+            (
+                rng.gen_range(150..=260),
+                rng.gen_range(8..=20),
+                rng.gen_range(2_000..=3_500),
+                rng.gen_range(80..=200),
+            )
+        } else {
+            (
+                rng.gen_range(60..=160),
+                rng.gen_range(2..=8),
+                rng.gen_range(500..=1_500),
+                rng.gen_range(30..=90),
+            )
+        };
+        let total_ff = ((total_ff as f64) * scale).round().max(1.0) as u64;
+        soc.push_module(balanced_logic(
+            &format!("logic{index:02}"),
+            patterns,
+            io,
+            chains,
+            total_ff,
+        ));
+    }
+
+    // --- Embedded memories -----------------------------------------------
+    // 212 memories in three size classes. The mid-size and large memories
+    // have fixed, width-inelastic test lengths that are a sizeable fraction
+    // of the vector memory depth; the resulting bin-packing waste at shallow
+    // depths is what makes deeper vector memory disproportionately valuable
+    // (Fig. 6(b)) and what separates the throughput-optimal site count from
+    // the maximum site count (Fig. 5).
+    for index in 0..config.memory_modules {
+        let class = index % 10;
+        let (patterns, chain_len): (u64, u64) = if class == 0 {
+            // ~10% large memories: test length (1 + len) * p in 3.2M..4.0M cycles.
+            let len = rng.gen_range(1_900..=2_300);
+            let p = rng.gen_range(1_700..=1_750);
+            (p, len)
+        } else if class <= 3 {
+            // ~30% mid-size memories: 2.5M..3.3M cycles.
+            let len = rng.gen_range(1_550..=1_950);
+            let p = rng.gen_range(1_600..=1_700);
+            (p, len)
+        } else {
+            // The remaining 60% are small register files: 15k..50k cycles.
+            let len = rng.gen_range(100..=250);
+            let p = rng.gen_range(150..=200);
+            (p, len)
+        };
+        let chain_len = ((chain_len as f64) * scale).round().max(1.0) as u64;
+        let io = rng.gen_range(20..=48);
+        soc.push_module(
+            Module::builder(format!("mem{index:03}"))
+                .kind(ModuleKind::Memory)
+                .patterns(patterns)
+                .inputs(io / 2)
+                .outputs(io - io / 2)
+                .scan_chain(chain_len)
+                .build(),
+        );
+    }
+    soc
+}
+
+fn balanced_logic(name: &str, patterns: u64, io: u32, chains: usize, total_ff: u64) -> Module {
+    let base = total_ff / chains as u64;
+    let extra = (total_ff % chains as u64) as usize;
+    Module::builder(name)
+        .kind(ModuleKind::Logic)
+        .patterns(patterns)
+        .inputs(io / 2)
+        .outputs(io - io / 2)
+        .scan_chains((0..chains).map(|i| base + u64::from(i < extra)))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::is_usable;
+
+    #[test]
+    fn pnx8550_like_module_counts_match_paper() {
+        let soc = pnx8550_like();
+        let logic = soc
+            .modules()
+            .iter()
+            .filter(|m| m.kind() == ModuleKind::Logic)
+            .count();
+        let memory = soc
+            .modules()
+            .iter()
+            .filter(|m| m.kind() == ModuleKind::Memory)
+            .count();
+        assert_eq!(logic, 62);
+        assert_eq!(memory, 212);
+    }
+
+    #[test]
+    fn pnx8550_like_is_deterministic() {
+        assert_eq!(pnx8550_like(), pnx8550_like());
+    }
+
+    #[test]
+    fn pnx8550_like_is_usable() {
+        assert!(is_usable(&pnx8550_like()));
+    }
+
+    #[test]
+    fn pnx8550_like_volume_is_monster_chip_scale() {
+        // The stand-in should carry hundreds of megabits of test data, far
+        // more than the ITC'02 benchmarks.
+        let soc = pnx8550_like();
+        let volume = soc.total_test_data_volume_bits();
+        assert!(
+            volume > 200_000_000,
+            "volume {volume} below monster-chip scale"
+        );
+        assert!(volume < 2_000_000_000, "volume {volume} implausibly large");
+    }
+
+    #[test]
+    fn volume_scale_scales_the_design() {
+        let small = pnx8550_with(Pnx8550Config {
+            volume_scale: 0.5,
+            ..Pnx8550Config::default()
+        });
+        let full = pnx8550_like();
+        assert!(small.total_test_data_volume_bits() < full.total_test_data_volume_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "volume_scale")]
+    fn invalid_volume_scale_panics() {
+        let _ = pnx8550_with(Pnx8550Config {
+            volume_scale: 0.0,
+            ..Pnx8550Config::default()
+        });
+    }
+
+    #[test]
+    fn synthetic_spec_is_reproducible_and_respects_count() {
+        let a = SyntheticSocSpec::new("s", 25).seed(42).generate();
+        let b = SyntheticSocSpec::new("s", 25).seed(42).generate();
+        let c = SyntheticSocSpec::new("s", 25).seed(43).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.num_modules(), 25);
+    }
+
+    #[test]
+    fn synthetic_memory_fraction_produces_memories() {
+        let soc = SyntheticSocSpec::new("m", 40)
+            .seed(1)
+            .memory_fraction(1.0)
+            .generate();
+        assert!(soc.modules().iter().all(|m| m.kind() == ModuleKind::Memory));
+    }
+
+    #[test]
+    #[should_panic(expected = "memory fraction")]
+    fn invalid_memory_fraction_panics() {
+        let _ = SyntheticSocSpec::new("bad", 4).memory_fraction(1.5);
+    }
+
+    #[test]
+    fn synthetic_socs_are_usable() {
+        let soc = SyntheticSocSpec::new("u", 30)
+            .seed(9)
+            .memory_fraction(0.3)
+            .generate();
+        assert!(is_usable(&soc));
+    }
+}

@@ -1,0 +1,242 @@
+//! Structural validation of SOC and module descriptions.
+//!
+//! The optimizer crates assume well-formed inputs (for example: every module
+//! has at least one pattern and at least one scannable element). The
+//! validators in this module surface such problems up front with actionable
+//! messages instead of producing degenerate architectures later.
+
+use crate::module::Module;
+use crate::soc::Soc;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A single validation finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidationIssue {
+    /// Name of the module the issue refers to, or `None` for SOC-level
+    /// issues.
+    pub module: Option<String>,
+    /// Whether the issue makes the description unusable ([`Severity::Error`])
+    /// or merely suspicious ([`Severity::Warning`]).
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.module {
+            Some(m) => write!(f, "[{}] module `{}`: {}", self.severity, m, self.message),
+            None => write!(f, "[{}] soc: {}", self.severity, self.message),
+        }
+    }
+}
+
+/// Severity of a [`ValidationIssue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Suspicious but usable.
+    Warning,
+    /// Unusable description.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Validates a single module and returns all findings.
+///
+/// Checks performed:
+///
+/// * a module with zero test patterns is an error (it cannot be scheduled),
+/// * a module with patterns but neither scan chains nor functional terminals
+///   is an error (there is nothing to apply the patterns through),
+/// * a zero-length scan chain is a warning,
+/// * an empty name is an error.
+///
+/// # Example
+///
+/// ```
+/// use soctest_soc_model::{validate_module, Module};
+/// let m = Module::builder("ok").patterns(10).inputs(4).outputs(4).build();
+/// assert!(validate_module(&m).is_empty());
+/// ```
+pub fn validate_module(module: &Module) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+    let name = module.name().to_string();
+    let mut push = |severity, message: String| {
+        issues.push(ValidationIssue {
+            module: Some(name.clone()),
+            severity,
+            message,
+        })
+    };
+
+    if module.name().is_empty() {
+        push(Severity::Error, "module name is empty".to_string());
+    }
+    if module.patterns() == 0 {
+        push(Severity::Error, "module has zero test patterns".to_string());
+    }
+    if module.patterns() > 0 && module.num_scan_chains() == 0 && module.functional_terminals() == 0
+    {
+        push(
+            Severity::Error,
+            "module has patterns but no scan chains and no functional terminals".to_string(),
+        );
+    }
+    for (i, chain) in module.scan_chains().iter().enumerate() {
+        if chain.length == 0 {
+            push(Severity::Warning, format!("scan chain {i} has zero length"));
+        }
+    }
+    issues
+}
+
+/// Validates an SOC: runs [`validate_module`] on every module and adds
+/// SOC-level checks (non-empty, unique module names).
+///
+/// # Example
+///
+/// ```
+/// use soctest_soc_model::{benchmarks, validate_soc};
+/// let soc = benchmarks::d695();
+/// assert!(validate_soc(&soc).iter().all(|i| i.severity != soctest_soc_model::validate::Severity::Error));
+/// ```
+pub fn validate_soc(soc: &Soc) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+    if soc.is_empty() {
+        issues.push(ValidationIssue {
+            module: None,
+            severity: Severity::Error,
+            message: "soc contains no modules".to_string(),
+        });
+    }
+    let mut seen = HashSet::new();
+    for (_, module) in soc.iter() {
+        if !seen.insert(module.name().to_string()) {
+            issues.push(ValidationIssue {
+                module: Some(module.name().to_string()),
+                severity: Severity::Error,
+                message: "duplicate module name".to_string(),
+            });
+        }
+        issues.extend(validate_module(module));
+    }
+    issues
+}
+
+/// Convenience predicate: true when [`validate_soc`] reports no
+/// [`Severity::Error`] findings.
+pub fn is_usable(soc: &Soc) -> bool {
+    validate_soc(soc)
+        .iter()
+        .all(|issue| issue.severity != Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Module;
+
+    #[test]
+    fn valid_module_has_no_issues() {
+        let m = Module::builder("good")
+            .patterns(5)
+            .inputs(3)
+            .outputs(3)
+            .scan_chain(10)
+            .build();
+        assert!(validate_module(&m).is_empty());
+    }
+
+    #[test]
+    fn zero_patterns_is_error() {
+        let m = Module::builder("nopat").inputs(3).outputs(1).build();
+        let issues = validate_module(&m);
+        assert!(issues.iter().any(|i| i.severity == Severity::Error));
+    }
+
+    #[test]
+    fn no_access_path_is_error() {
+        let m = Module::builder("island").patterns(10).build();
+        let issues = validate_module(&m);
+        assert!(issues.iter().any(|i| i
+            .message
+            .contains("no scan chains and no functional terminals")));
+    }
+
+    #[test]
+    fn zero_length_chain_is_warning() {
+        let m = Module::builder("weird")
+            .patterns(10)
+            .inputs(1)
+            .scan_chains([0u64, 5])
+            .build();
+        let issues = validate_module(&m);
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn empty_name_is_error() {
+        let m = Module::builder("").patterns(1).inputs(1).build();
+        assert!(validate_module(&m)
+            .iter()
+            .any(|i| i.message.contains("name")));
+    }
+
+    #[test]
+    fn empty_soc_is_error() {
+        let soc = Soc::new("empty");
+        let issues = validate_soc(&soc);
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].severity, Severity::Error);
+        assert!(!is_usable(&soc));
+    }
+
+    #[test]
+    fn duplicate_names_are_detected() {
+        let mut soc = Soc::new("dups");
+        soc.push_module(Module::builder("x").patterns(1).inputs(1).build());
+        soc.push_module(Module::builder("x").patterns(1).inputs(1).build());
+        let issues = validate_soc(&soc);
+        assert!(issues.iter().any(|i| i.message.contains("duplicate")));
+    }
+
+    #[test]
+    fn usable_soc_passes() {
+        let mut soc = Soc::new("ok");
+        soc.push_module(
+            Module::builder("a")
+                .patterns(2)
+                .inputs(1)
+                .outputs(1)
+                .build(),
+        );
+        assert!(is_usable(&soc));
+    }
+
+    #[test]
+    fn issue_display_mentions_module() {
+        let issue = ValidationIssue {
+            module: Some("core".into()),
+            severity: Severity::Warning,
+            message: "odd".into(),
+        };
+        assert!(issue.to_string().contains("core"));
+        let soc_issue = ValidationIssue {
+            module: None,
+            severity: Severity::Error,
+            message: "broken".into(),
+        };
+        assert!(soc_issue.to_string().contains("soc"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the SOC data model: parser/writer round trips
+//! and statistic invariants.
+
+use proptest::prelude::*;
+use soctest_soc_model::parser::parse_soc;
+use soctest_soc_model::writer::write_soc;
+use soctest_soc_model::{Module, ModuleKind, Soc};
+
+fn arb_kind() -> impl Strategy<Value = ModuleKind> {
+    prop_oneof![
+        Just(ModuleKind::Logic),
+        Just(ModuleKind::Memory),
+        Just(ModuleKind::BlackBox),
+    ]
+}
+
+prop_compose! {
+    fn arb_module(index: usize)(
+        kind in arb_kind(),
+        patterns in 1u64..5_000,
+        inputs in 0u32..300,
+        outputs in 0u32..300,
+        bidirs in 0u32..50,
+        chains in proptest::collection::vec(1u64..2_000, 0..24),
+    ) -> Module {
+        Module::builder(format!("core_{index}"))
+            .kind(kind)
+            .patterns(patterns)
+            .inputs(inputs)
+            .outputs(outputs)
+            .bidirs(bidirs)
+            .scan_chains(chains)
+            .build()
+    }
+}
+
+fn arb_soc() -> impl Strategy<Value = Soc> {
+    (1usize..20).prop_flat_map(|n| {
+        let modules: Vec<_> = (0..n).map(arb_module).collect();
+        modules.prop_map(|ms| Soc::from_modules("prop_soc", ms))
+    })
+}
+
+proptest! {
+    #[test]
+    fn writer_parser_round_trip(soc in arb_soc()) {
+        let text = write_soc(&soc);
+        let parsed = parse_soc(&text).expect("generated text must parse");
+        prop_assert_eq!(parsed, soc);
+    }
+
+    #[test]
+    fn totals_are_sums_of_modules(soc in arb_soc()) {
+        let patterns: u64 = soc.modules().iter().map(Module::patterns).sum();
+        prop_assert_eq!(soc.total_patterns(), patterns);
+        let ff: u64 = soc.modules().iter().map(Module::total_scan_flip_flops).sum();
+        prop_assert_eq!(soc.total_scan_flip_flops(), ff);
+    }
+
+    #[test]
+    fn test_data_volume_is_monotone_in_patterns(
+        patterns in 1u64..1_000,
+        extra in 1u64..1_000,
+        chains in proptest::collection::vec(1u64..500, 1..8),
+    ) {
+        let base = Module::builder("m")
+            .patterns(patterns)
+            .inputs(4)
+            .outputs(4)
+            .scan_chains(chains.clone())
+            .build();
+        let more = Module::builder("m")
+            .patterns(patterns + extra)
+            .inputs(4)
+            .outputs(4)
+            .scan_chains(chains)
+            .build();
+        prop_assert!(more.test_data_volume_bits() > base.test_data_volume_bits());
+    }
+
+    #[test]
+    fn test_time_floor_never_exceeds_single_chain_serial_time(
+        patterns in 1u64..500,
+        chains in proptest::collection::vec(1u64..300, 1..10),
+    ) {
+        let m = Module::builder("m").patterns(patterns).scan_chains(chains.clone()).build();
+        let total: u64 = chains.iter().sum();
+        // The floor assumes the best possible wrapper (every chain separate);
+        // it can never exceed the fully serial single-chain time.
+        let serial = (1 + total) * patterns + total;
+        prop_assert!(m.test_time_floor_cycles() <= serial);
+    }
+}

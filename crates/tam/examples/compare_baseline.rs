@@ -1,0 +1,56 @@
+use soctest_soc_model::benchmarks::{d695, p22810, p34392, p93791};
+use soctest_tam::baseline::{lower_bound_channels, pack_with_table};
+use soctest_tam::step1::design_with_table;
+use soctest_tam::TimeTable;
+
+fn main() {
+    let cases: Vec<(soctest_soc_model::Soc, usize, Vec<u64>)> = vec![
+        (d695(), 256, (0..11).map(|i| (48 + 8 * i) * 1024).collect()),
+        (
+            p22810(),
+            512,
+            (0..11).map(|i| (384 + 64 * i) * 1024).collect(),
+        ),
+        (
+            p34392(),
+            512,
+            vec![
+                768 * 1024,
+                896 * 1024,
+                1_000_000,
+                1_128_000,
+                1_256_000,
+                1_384_000,
+                1_512_000,
+                1_640_000,
+                1_768_000,
+                1_896_000,
+                2_000_000,
+            ],
+        ),
+        (
+            p93791(),
+            512,
+            vec![
+                1_000_000, 1_256_000, 1_512_000, 1_768_000, 2_000_000, 2_256_000, 2_512_000,
+                2_768_000, 3_000_000, 3_256_000, 3_512_000,
+            ],
+        ),
+    ];
+    for (soc, chans, depths) in cases {
+        let table = TimeTable::build(&soc, chans / 2);
+        println!("== {} ==", soc.name());
+        for d in depths {
+            let lb = lower_bound_channels(&table, d);
+            let ours = design_with_table(&table, chans, d);
+            let base = pack_with_table(&table, chans, d);
+            println!(
+                "  D={:>9}  LB={:?} ours={:?} base={:?}",
+                d,
+                lb,
+                ours.as_ref().map(|a| a.total_channels()).ok(),
+                base.as_ref().map(|b| b.architecture.total_channels()).ok()
+            );
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Channel groups and the SOC test architecture.
+
+use crate::timetable::TimeTable;
+use serde::{Deserialize, Serialize};
+use soctest_soc_model::ModuleId;
+use std::fmt;
+
+/// One channel group (TAM): a bundle of `width` wrapper-chain connections
+/// shared by a set of modules that are tested serially on it.
+///
+/// A group of width `w` consumes `2·w` ATE channels: `w` for stimuli and `w`
+/// for responses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelGroup {
+    /// TAM width in wrapper chains.
+    pub width: usize,
+    /// Modules assigned to this group (tested serially in this order).
+    pub modules: Vec<ModuleId>,
+    /// Vector-memory fill of the group in cycles: the sum of the assigned
+    /// modules' test times at this group's width.
+    pub fill_cycles: u64,
+}
+
+impl ChannelGroup {
+    /// Creates a group of the given width containing `modules`, computing
+    /// the fill from `table`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or exceeds the table's maximum width.
+    pub fn new(width: usize, modules: Vec<ModuleId>, table: &TimeTable) -> Self {
+        assert!(width > 0, "a channel group has at least one wrapper chain");
+        let fill_cycles = table.group_fill(&modules, width);
+        ChannelGroup {
+            width,
+            modules,
+            fill_cycles,
+        }
+    }
+
+    /// ATE channels consumed by this group (`2·width`).
+    pub fn channels(&self) -> usize {
+        2 * self.width
+    }
+
+    /// Free vector memory (in cycles) under a per-channel depth of `depth`.
+    pub fn free_cycles(&self, depth: u64) -> u64 {
+        depth.saturating_sub(self.fill_cycles)
+    }
+
+    /// Whether the group's test fits within `depth` cycles.
+    pub fn fits(&self, depth: u64) -> bool {
+        self.fill_cycles <= depth
+    }
+
+    /// Recomputes the fill after the width or module list changed.
+    pub fn refresh_fill(&mut self, table: &TimeTable) {
+        self.fill_cycles = table.group_fill(&self.modules, self.width);
+    }
+}
+
+impl fmt::Display for ChannelGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "group(w={}, {} modules, fill={} cycles)",
+            self.width,
+            self.modules.len(),
+            self.fill_cycles
+        )
+    }
+}
+
+/// A complete test architecture for one SOC: a set of channel groups that
+/// together hold every module exactly once.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct TestArchitecture {
+    /// The channel groups.
+    pub groups: Vec<ChannelGroup>,
+}
+
+impl TestArchitecture {
+    /// Creates an architecture from channel groups.
+    pub fn new(groups: Vec<ChannelGroup>) -> Self {
+        TestArchitecture { groups }
+    }
+
+    /// Total TAM width over all groups, in wrapper chains.
+    pub fn total_width(&self) -> usize {
+        self.groups.iter().map(|g| g.width).sum()
+    }
+
+    /// Total ATE channels consumed by one SOC: `2 ·` total width. This is
+    /// the `k` of the paper (always even).
+    pub fn total_channels(&self) -> usize {
+        2 * self.total_width()
+    }
+
+    /// SOC test application time in cycles: all groups run in parallel, so
+    /// the SOC finishes when its fullest group finishes.
+    pub fn test_time_cycles(&self) -> u64 {
+        self.groups.iter().map(|g| g.fill_cycles).max().unwrap_or(0)
+    }
+
+    /// Required ATE vector-memory depth (identical to the test time — one
+    /// vector per cycle per channel).
+    pub fn required_depth(&self) -> u64 {
+        self.test_time_cycles()
+    }
+
+    /// Total free vector memory over all used channels, in channel-cycles
+    /// (the quantity maximised by the paper's tie-breaking rule in Step 1).
+    pub fn total_free_memory(&self, depth: u64) -> u64 {
+        self.groups
+            .iter()
+            .map(|g| g.free_cycles(depth) * g.channels() as u64)
+            .sum()
+    }
+
+    /// Whether every group fits within `depth` cycles.
+    pub fn fits(&self, depth: u64) -> bool {
+        self.groups.iter().all(|g| g.fits(depth))
+    }
+
+    /// Number of modules assigned over all groups.
+    pub fn num_modules(&self) -> usize {
+        self.groups.iter().map(|g| g.modules.len()).sum()
+    }
+
+    /// All assigned module ids, sorted (for validation).
+    pub fn assigned_modules(&self) -> Vec<ModuleId> {
+        let mut ids: Vec<ModuleId> = self
+            .groups
+            .iter()
+            .flat_map(|g| g.modules.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Maximum multi-site count achievable with this architecture on an ATE
+    /// with `ate_channels` channels, **without** stimulus broadcast:
+    /// `⌊K / k⌋`.
+    pub fn max_sites_without_broadcast(&self, ate_channels: usize) -> usize {
+        let k = self.total_channels();
+        if k == 0 {
+            0
+        } else {
+            ate_channels / k
+        }
+    }
+
+    /// Maximum multi-site count achievable with this architecture on an ATE
+    /// with `ate_channels` channels, **with** stimulus broadcast: the `k/2`
+    /// stimulus channels are shared by all sites, every site still needs its
+    /// own `k/2` response channels: `⌊(K − k/2) / (k/2)⌋`.
+    pub fn max_sites_with_broadcast(&self, ate_channels: usize) -> usize {
+        let half = self.total_channels() / 2;
+        if half == 0 || ate_channels < half {
+            0
+        } else {
+            (ate_channels - half) / half
+        }
+    }
+}
+
+impl fmt::Display for TestArchitecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "architecture: {} groups, k={} channels, t={} cycles",
+            self.groups.len(),
+            self.total_channels(),
+            self.test_time_cycles()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctest_soc_model::benchmarks::d695;
+
+    fn fixture() -> (TimeTable, TestArchitecture) {
+        let soc = d695();
+        let table = TimeTable::build(&soc, 16);
+        let g0 = ChannelGroup::new(4, vec![ModuleId(0), ModuleId(1), ModuleId(2)], &table);
+        let g1 = ChannelGroup::new(6, vec![ModuleId(3), ModuleId(4), ModuleId(5)], &table);
+        let g2 = ChannelGroup::new(2, (6..10).map(ModuleId).collect(), &table);
+        (table, TestArchitecture::new(vec![g0, g1, g2]))
+    }
+
+    #[test]
+    fn group_channels_are_twice_the_width() {
+        let (table, _) = fixture();
+        let g = ChannelGroup::new(5, vec![ModuleId(0)], &table);
+        assert_eq!(g.channels(), 10);
+    }
+
+    #[test]
+    fn group_fill_is_sum_of_module_times() {
+        let (table, arch) = fixture();
+        for group in &arch.groups {
+            assert_eq!(
+                group.fill_cycles,
+                table.group_fill(&group.modules, group.width)
+            );
+        }
+    }
+
+    #[test]
+    fn group_free_cycles_saturate() {
+        let (table, _) = fixture();
+        let g = ChannelGroup::new(1, vec![ModuleId(4)], &table);
+        assert_eq!(g.free_cycles(0), 0);
+        assert!(g.free_cycles(u64::MAX) > 0);
+        assert!(!g.fits(10));
+    }
+
+    #[test]
+    fn architecture_totals() {
+        let (_, arch) = fixture();
+        assert_eq!(arch.total_width(), 12);
+        assert_eq!(arch.total_channels(), 24);
+        assert_eq!(arch.num_modules(), 10);
+        let expected_ids: Vec<ModuleId> = (0..10).map(ModuleId).collect();
+        assert_eq!(arch.assigned_modules(), expected_ids);
+    }
+
+    #[test]
+    fn test_time_is_max_group_fill() {
+        let (_, arch) = fixture();
+        let max_fill = arch.groups.iter().map(|g| g.fill_cycles).max().unwrap();
+        assert_eq!(arch.test_time_cycles(), max_fill);
+        assert_eq!(arch.required_depth(), max_fill);
+    }
+
+    #[test]
+    fn fits_reflects_depth() {
+        let (_, arch) = fixture();
+        assert!(arch.fits(u64::MAX));
+        assert!(!arch.fits(1));
+    }
+
+    #[test]
+    fn free_memory_counts_channels() {
+        let (table, _) = fixture();
+        let g = ChannelGroup::new(3, vec![ModuleId(0)], &table);
+        let arch = TestArchitecture::new(vec![g.clone()]);
+        let depth = g.fill_cycles + 100;
+        assert_eq!(arch.total_free_memory(depth), 100 * 6);
+    }
+
+    #[test]
+    fn multi_site_formulas() {
+        let (_, arch) = fixture(); // k = 24
+        assert_eq!(arch.max_sites_without_broadcast(256), 10);
+        // With broadcast: (256 - 12) / 12 = 20.
+        assert_eq!(arch.max_sites_with_broadcast(256), 20);
+        // Degenerate cases.
+        assert_eq!(
+            TestArchitecture::default().max_sites_without_broadcast(256),
+            0
+        );
+        assert_eq!(TestArchitecture::default().max_sites_with_broadcast(256), 0);
+        assert_eq!(arch.max_sites_with_broadcast(4), 0);
+    }
+
+    #[test]
+    fn refresh_fill_tracks_width_changes() {
+        let (table, _) = fixture();
+        let mut g = ChannelGroup::new(2, vec![ModuleId(4), ModuleId(9)], &table);
+        let narrow_fill = g.fill_cycles;
+        g.width = 8;
+        g.refresh_fill(&table);
+        assert!(g.fill_cycles < narrow_fill);
+    }
+
+    #[test]
+    fn empty_architecture_has_zero_time() {
+        let arch = TestArchitecture::default();
+        assert_eq!(arch.test_time_cycles(), 0);
+        assert_eq!(arch.total_channels(), 0);
+        assert!(arch.fits(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one wrapper chain")]
+    fn zero_width_group_panics() {
+        let (table, _) = fixture();
+        let _ = ChannelGroup::new(0, vec![], &table);
+    }
+
+    #[test]
+    fn display_formats() {
+        let (table, arch) = fixture();
+        assert!(arch.to_string().contains("k=24"));
+        let g = ChannelGroup::new(1, vec![ModuleId(0)], &table);
+        assert!(g.to_string().contains("w=1"));
+    }
+}

@@ -1,0 +1,290 @@
+//! Baselines for Table 1: the rectangle-bin-packing approach of Iyengar et
+//! al. (ITC 2002, reference \[7\]) and the theoretical lower bound on the
+//! per-SOC channel count.
+//!
+//! Reference \[7\] models every module as a rectangle — TAM width times test
+//! time — and packs the rectangles into a bin whose height is the ATE
+//! vector-memory depth, minimising the bin width (the number of ATE
+//! channels). Since the original tool is not available, this module
+//! reimplements the published approach as a first-fit-decreasing column
+//! packer: it answers the same question as Step 1 ("how few channels does
+//! the SOC need on this ATE?") but without Step 1's best-fit placement and
+//! group-widening moves, which is exactly the gap the paper exploits.
+
+use crate::architecture::{ChannelGroup, TestArchitecture};
+use crate::error::TamError;
+use crate::timetable::TimeTable;
+use soctest_ate::AteSpec;
+use soctest_soc_model::{ModuleId, Soc};
+
+/// Theoretical lower bound on the number of ATE channels needed by one SOC
+/// under a vector-memory depth of `depth` cycles (the "LB" column of
+/// Table 1).
+///
+/// Two bounds are combined:
+///
+/// * *volume bound*: the sum over all modules of their minimal test-data
+///   area (width × time, minimised over widths) must fit into
+///   `total_width · depth` channel-cycles,
+/// * *bottleneck bound*: no module may need a wider TAM than the SOC gets in
+///   total.
+///
+/// The result is expressed in ATE channels (twice the wrapper-chain width)
+/// and is always even. Returns `None` when some module cannot meet the depth
+/// at any width covered by the table.
+pub fn lower_bound_channels(table: &TimeTable, depth: u64) -> Option<usize> {
+    let mut total_area: u64 = 0;
+    let mut bottleneck_width = 0usize;
+    for m in 0..table.num_modules() {
+        let id = ModuleId(m);
+        let w_min = table.min_width_for_time(id, depth)?;
+        bottleneck_width = bottleneck_width.max(w_min);
+        total_area += table.min_area(id);
+    }
+    let volume_width = total_area.div_ceil(depth.max(1)) as usize;
+    Some(2 * volume_width.max(bottleneck_width).max(1))
+}
+
+/// Result of the rectangle-packing baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineResult {
+    /// The architecture found by the baseline packer.
+    pub architecture: TestArchitecture,
+    /// The theoretical lower bound on channels for the same SOC and depth.
+    pub lower_bound_channels: usize,
+}
+
+/// Runs the rectangle-bin-packing baseline of \[7\]: finds the smallest
+/// total channel count (searching upward from the lower bound) for which a
+/// first-fit-decreasing packing of the module rectangles fits the depth.
+///
+/// # Errors
+///
+/// Same failure modes as Step 1: [`TamError::EmptySoc`],
+/// [`TamError::ModuleInfeasible`] and [`TamError::InsufficientChannels`].
+pub fn pack_minimal_channels(soc: &Soc, ate: &AteSpec) -> Result<BaselineResult, TamError> {
+    let max_width = (ate.channels / 2).max(1);
+    let table = TimeTable::build(soc, max_width);
+    pack_with_table(&table, ate.channels, ate.vector_memory_depth)
+}
+
+/// Baseline packer on a prebuilt [`TimeTable`].
+///
+/// # Errors
+///
+/// See [`pack_minimal_channels`].
+pub fn pack_with_table(
+    table: &TimeTable,
+    channels: usize,
+    depth: u64,
+) -> Result<BaselineResult, TamError> {
+    if table.num_modules() == 0 {
+        return Err(TamError::EmptySoc);
+    }
+    let max_total_width = (channels / 2).min(table.max_width());
+    if max_total_width == 0 {
+        return Err(TamError::InsufficientChannels {
+            available_channels: channels,
+        });
+    }
+
+    // Per-module minimum widths; also detect infeasible modules.
+    let mut min_widths = Vec::with_capacity(table.num_modules());
+    for m in 0..table.num_modules() {
+        let id = ModuleId(m);
+        match table.min_width_for_time(id, depth) {
+            Some(w) if w <= max_total_width => min_widths.push((id, w)),
+            _ => {
+                return Err(TamError::ModuleInfeasible {
+                    module: format!("{id}"),
+                    depth,
+                    max_width: max_total_width,
+                })
+            }
+        }
+    }
+    let lower_bound = lower_bound_channels(table, depth).expect("feasibility already established");
+
+    // Search the smallest feasible total width, starting at the lower bound.
+    let start_width = (lower_bound / 2).max(1);
+    for total_width in start_width..=max_total_width {
+        if let Some(groups) = try_pack(table, &min_widths, depth, total_width) {
+            return Ok(BaselineResult {
+                architecture: TestArchitecture::new(groups),
+                lower_bound_channels: lower_bound,
+            });
+        }
+    }
+    Err(TamError::InsufficientChannels {
+        available_channels: channels,
+    })
+}
+
+/// First-fit-decreasing column packing at a fixed total width budget.
+fn try_pack(
+    table: &TimeTable,
+    min_widths: &[(ModuleId, usize)],
+    depth: u64,
+    total_width: usize,
+) -> Option<Vec<ChannelGroup>> {
+    // Decreasing minimum width, then decreasing time (bulk first) — the
+    // classic first-fit-decreasing order.
+    let mut order = min_widths.to_vec();
+    order.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then_with(|| table.time(b.0, b.1).cmp(&table.time(a.0, a.1)))
+            .then_with(|| a.0.cmp(&b.0))
+    });
+
+    let mut groups: Vec<ChannelGroup> = Vec::new();
+    let mut used_width = 0usize;
+    for &(id, w_min) in &order {
+        // First fit: the first existing column the module fits into.
+        let mut placed = false;
+        for group in groups.iter_mut() {
+            let new_fill = group.fill_cycles + table.time(id, group.width);
+            if new_fill <= depth {
+                group.modules.push(id);
+                group.fill_cycles = new_fill;
+                placed = true;
+                break;
+            }
+        }
+        if placed {
+            continue;
+        }
+        // Open a new column of the module's minimum width.
+        if used_width + w_min > total_width {
+            return None;
+        }
+        groups.push(ChannelGroup::new(w_min, vec![id], table));
+        used_width += w_min;
+    }
+    Some(groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step1::design_with_table;
+    use soctest_soc_model::benchmarks::{d695, p22810, p93791};
+    use soctest_soc_model::{Module, Soc};
+
+    #[test]
+    fn lower_bound_is_a_true_bound_for_step1_and_baseline() {
+        for (soc, depth) in [
+            (d695(), 64 * 1024u64),
+            (p22810(), 512 * 1024),
+            (p93791(), 2 * 1024 * 1024),
+        ] {
+            let table = TimeTable::build(&soc, 256);
+            let lb = lower_bound_channels(&table, depth).unwrap();
+            let ours = design_with_table(&table, 512, depth).unwrap();
+            let baseline = pack_with_table(&table, 512, depth).unwrap();
+            assert!(
+                ours.total_channels() >= lb,
+                "{}: step1 below LB",
+                soc.name()
+            );
+            assert!(
+                baseline.architecture.total_channels() >= lb,
+                "{}: baseline below LB",
+                soc.name()
+            );
+        }
+    }
+
+    #[test]
+    fn step1_never_uses_more_channels_than_the_baseline() {
+        for (soc, depth) in [
+            (d695(), 48 * 1024u64),
+            (d695(), 96 * 1024),
+            (p22810(), 768 * 1024),
+            (p93791(), 1_500_000),
+        ] {
+            let table = TimeTable::build(&soc, 256);
+            let ours = design_with_table(&table, 512, depth).unwrap();
+            let baseline = pack_with_table(&table, 512, depth).unwrap();
+            assert!(
+                ours.total_channels() <= baseline.architecture.total_channels(),
+                "{} at depth {}: ours {} > baseline {}",
+                soc.name(),
+                depth,
+                ours.total_channels(),
+                baseline.architecture.total_channels()
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_architecture_is_valid() {
+        let soc = p22810();
+        let depth = 512 * 1024;
+        let table = TimeTable::build(&soc, 256);
+        let result = pack_with_table(&table, 512, depth).unwrap();
+        let arch = &result.architecture;
+        assert!(arch.fits(depth));
+        assert_eq!(
+            arch.assigned_modules(),
+            soc.module_ids().collect::<Vec<_>>()
+        );
+        assert!(arch.total_channels() <= 512);
+        assert_eq!(arch.total_channels() % 2, 0);
+    }
+
+    #[test]
+    fn lower_bound_grows_as_depth_shrinks() {
+        let soc = p93791();
+        let table = TimeTable::build(&soc, 256);
+        let lb_shallow = lower_bound_channels(&table, 1_000_000).unwrap();
+        let lb_deep = lower_bound_channels(&table, 3_500_000).unwrap();
+        assert!(lb_shallow > lb_deep);
+    }
+
+    #[test]
+    fn lower_bound_none_for_impossible_depth() {
+        let soc = Soc::from_modules(
+            "huge",
+            vec![Module::builder("m")
+                .patterns(1000)
+                .scan_chain(1000)
+                .inputs(1)
+                .build()],
+        );
+        let table = TimeTable::build(&soc, 64);
+        assert_eq!(lower_bound_channels(&table, 100), None);
+    }
+
+    #[test]
+    fn empty_soc_is_rejected() {
+        let soc = Soc::new("empty");
+        let ate = AteSpec::new(64, 1024, 1.0e6);
+        assert_eq!(pack_minimal_channels(&soc, &ate), Err(TamError::EmptySoc));
+    }
+
+    #[test]
+    fn baseline_reports_lower_bound() {
+        let soc = d695();
+        let ate = AteSpec::new(256, 64 * 1024, 5.0e6);
+        let result = pack_minimal_channels(&soc, &ate).unwrap();
+        assert!(result.lower_bound_channels >= 2);
+        assert!(result.architecture.total_channels() >= result.lower_bound_channels);
+    }
+
+    #[test]
+    fn infeasible_module_is_reported() {
+        let soc = Soc::from_modules(
+            "huge",
+            vec![Module::builder("m")
+                .patterns(10_000)
+                .scan_chain(10_000)
+                .inputs(1)
+                .build()],
+        );
+        let ate = AteSpec::new(64, 1024, 1.0e6);
+        assert!(matches!(
+            pack_minimal_channels(&soc, &ate),
+            Err(TamError::ModuleInfeasible { .. })
+        ));
+    }
+}

@@ -1,0 +1,56 @@
+//! Test-architecture (TAM / channel-group) design.
+//!
+//! This crate implements the architecture-design half of Goel & Marinissen
+//! (DATE 2005): partition the ATE channels assigned to one SOC into *channel
+//! groups* (TAMs), assign every module to a group, and size the groups such
+//! that the whole SOC test fits into the ATE vector memory in a single load.
+//!
+//! * [`step1`] — Step 1 of the paper's two-step algorithm: minimise the
+//!   number of ATE channels used by one SOC (criterion 1) while secondarily
+//!   minimising the vector-memory fill (criterion 2),
+//! * [`redistribute`] — the channel-redistribution move used by Step 2 when
+//!   sites are given up and their channels are handed to the remaining
+//!   sites,
+//! * [`baseline`] — a reimplementation of the rectangle-bin-packing approach
+//!   of Iyengar et al. (ITC 2002, reference \[7\]) and the theoretical lower
+//!   bound on the channel count, both used for Table 1,
+//! * [`timetable`] — a precomputed module-width-to-test-time table shared by
+//!   all algorithms,
+//! * [`architecture`] / [`schedule`] — the resulting [`TestArchitecture`]
+//!   and an explicit per-group test schedule.
+//!
+//! Throughout the crate, *width* counts wrapper chains / TAM wires; one unit
+//! of width consumes **two** ATE channels (one stimulus, one response),
+//! which is why the paper requires the per-SOC channel count `k` to be even.
+//!
+//! # Example
+//!
+//! ```
+//! use soctest_soc_model::benchmarks::d695;
+//! use soctest_ate::AteSpec;
+//! use soctest_tam::step1::design_minimal_architecture;
+//!
+//! let soc = d695();
+//! let ate = AteSpec::new(64, 96 * 1024, 5.0e6);
+//! let arch = design_minimal_architecture(&soc, &ate)?;
+//! assert!(arch.total_channels() <= ate.channels);
+//! assert!(arch.test_time_cycles() <= ate.vector_memory_depth);
+//! # Ok::<(), soctest_tam::TamError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod architecture;
+pub mod baseline;
+pub mod error;
+pub mod redistribute;
+pub mod schedule;
+pub mod step1;
+pub mod timetable;
+
+pub use architecture::{ChannelGroup, TestArchitecture};
+pub use error::TamError;
+pub use schedule::{ScheduleEntry, TestSchedule};
+pub use timetable::TimeTable;

@@ -1,0 +1,159 @@
+//! Channel redistribution (the inner move of Step 2).
+//!
+//! When Step 2 of the paper gives up one multi-site, the ATE channels of the
+//! abandoned site become available to the remaining sites. Per site, the
+//! freed channels are handed out one wrapper chain (two channels) at a time,
+//! always to the channel group that is currently the fullest — the group
+//! that determines the SOC test time — and that group's modules are
+//! re-wrapped at the new width.
+
+use crate::architecture::TestArchitecture;
+use crate::timetable::TimeTable;
+
+/// Result of a redistribution: the widened architecture plus bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Redistribution {
+    /// The widened architecture.
+    pub architecture: TestArchitecture,
+    /// Wrapper chains actually handed out (may be less than requested when
+    /// no group benefits from further widening).
+    pub width_added: usize,
+}
+
+/// Widens `architecture` by up to `extra_width` wrapper chains, one at a
+/// time, always growing the currently fullest group, and returns the
+/// widened architecture.
+///
+/// Handing a chain to a group only makes sense when the group's fill
+/// actually drops (its modules may already be at their Pareto floor); when
+/// no group can improve any further, the remaining chains are left unused
+/// and reported through [`Redistribution::width_added`].
+///
+/// The table's maximum width caps how far a single group can grow.
+pub fn redistribute_extra_width(
+    architecture: &TestArchitecture,
+    table: &TimeTable,
+    extra_width: usize,
+) -> Redistribution {
+    let mut arch = architecture.clone();
+    let mut added = 0usize;
+    for _ in 0..extra_width {
+        // Candidate groups by decreasing fill; pick the fullest group whose
+        // fill strictly improves when widened.
+        let mut order: Vec<usize> = (0..arch.groups.len()).collect();
+        order.sort_by_key(|&g| std::cmp::Reverse(arch.groups[g].fill_cycles));
+        let mut improved = false;
+        for g_idx in order {
+            let group = &arch.groups[g_idx];
+            if group.width + 1 > table.max_width() {
+                continue;
+            }
+            let new_fill = table.group_fill(&group.modules, group.width + 1);
+            if new_fill < group.fill_cycles {
+                let group = &mut arch.groups[g_idx];
+                group.width += 1;
+                group.fill_cycles = new_fill;
+                improved = true;
+                added += 1;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Redistribution {
+        architecture: arch,
+        width_added: added,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step1::design_minimal_architecture;
+    use soctest_ate::AteSpec;
+    use soctest_soc_model::benchmarks::{d695, p93791};
+
+    fn base() -> (TimeTable, TestArchitecture, u64) {
+        let soc = d695();
+        let depth = 64 * 1024;
+        let ate = AteSpec::new(256, depth, 5.0e6);
+        let arch = design_minimal_architecture(&soc, &ate).unwrap();
+        let table = TimeTable::build(&soc, 128);
+        (table, arch, depth)
+    }
+
+    #[test]
+    fn redistribution_never_increases_test_time() {
+        let (table, arch, _) = base();
+        let mut prev = arch.test_time_cycles();
+        for extra in [1usize, 2, 4, 8, 16] {
+            let result = redistribute_extra_width(&arch, &table, extra);
+            let t = result.architecture.test_time_cycles();
+            assert!(t <= prev, "extra {extra}: {t} > {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn redistribution_adds_at_most_the_requested_width() {
+        let (table, arch, _) = base();
+        let before = arch.total_width();
+        let result = redistribute_extra_width(&arch, &table, 6);
+        assert!(result.width_added <= 6);
+        assert_eq!(
+            result.architecture.total_width(),
+            before + result.width_added
+        );
+    }
+
+    #[test]
+    fn redistribution_keeps_module_assignment() {
+        let (table, arch, _) = base();
+        let result = redistribute_extra_width(&arch, &table, 10);
+        assert_eq!(
+            result.architecture.assigned_modules(),
+            arch.assigned_modules()
+        );
+        assert_eq!(result.architecture.groups.len(), arch.groups.len());
+    }
+
+    #[test]
+    fn redistribution_still_fits_the_depth() {
+        let (table, arch, depth) = base();
+        let result = redistribute_extra_width(&arch, &table, 20);
+        assert!(result.architecture.fits(depth));
+    }
+
+    #[test]
+    fn zero_extra_width_is_identity() {
+        let (table, arch, _) = base();
+        let result = redistribute_extra_width(&arch, &table, 0);
+        assert_eq!(result.architecture, arch);
+        assert_eq!(result.width_added, 0);
+    }
+
+    #[test]
+    fn redistribution_saturates_when_nothing_improves() {
+        let (table, arch, _) = base();
+        // Request an absurd amount of width; the algorithm must stop once
+        // every group hits its Pareto floor (or the table's width cap).
+        let result = redistribute_extra_width(&arch, &table, 10_000);
+        assert!(result.width_added < 10_000);
+        // A second pass adds nothing more.
+        let again = redistribute_extra_width(&result.architecture, &table, 10);
+        assert_eq!(again.width_added, 0);
+    }
+
+    #[test]
+    fn large_soc_redistribution_reduces_test_time() {
+        let soc = p93791();
+        let depth = 1_000_000;
+        let ate = AteSpec::new(512, depth, 5.0e6);
+        let arch = design_minimal_architecture(&soc, &ate).unwrap();
+        let table = TimeTable::build(&soc, 256);
+        let result = redistribute_extra_width(&arch, &table, 16);
+        assert!(result.architecture.test_time_cycles() < arch.test_time_cycles());
+    }
+}

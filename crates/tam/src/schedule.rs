@@ -1,0 +1,205 @@
+//! Explicit test schedules derived from a test architecture.
+//!
+//! A [`TestArchitecture`] fixes which modules share a channel group; the
+//! schedule spells out *when* each module is tested: modules on the same
+//! group run back-to-back, groups run in parallel. The schedule is what an
+//! ATE test program would be generated from, and it gives the tests an
+//! independent way to check the architecture-level fill bookkeeping.
+
+use crate::architecture::TestArchitecture;
+use crate::timetable::TimeTable;
+use serde::{Deserialize, Serialize};
+use soctest_soc_model::ModuleId;
+use std::fmt;
+
+/// One scheduled module test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleEntry {
+    /// The module under test.
+    pub module: ModuleId,
+    /// Channel group (TAM) index the module is tested on.
+    pub group: usize,
+    /// TAM width the module's wrapper uses.
+    pub width: usize,
+    /// Start time in test clock cycles.
+    pub start_cycle: u64,
+    /// End time in test clock cycles (exclusive).
+    pub end_cycle: u64,
+}
+
+impl ScheduleEntry {
+    /// Duration of this module test in cycles.
+    pub fn duration(&self) -> u64 {
+        self.end_cycle - self.start_cycle
+    }
+}
+
+/// A complete SOC test schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TestSchedule {
+    /// All scheduled module tests, ordered by group then start time.
+    pub entries: Vec<ScheduleEntry>,
+}
+
+impl TestSchedule {
+    /// Builds the schedule implied by `architecture`: modules of each group
+    /// run serially in their assignment order.
+    pub fn from_architecture(architecture: &TestArchitecture, table: &TimeTable) -> Self {
+        let mut entries = Vec::new();
+        for (group_idx, group) in architecture.groups.iter().enumerate() {
+            let mut cursor = 0u64;
+            for &module in &group.modules {
+                let duration = table.time(module, group.width);
+                entries.push(ScheduleEntry {
+                    module,
+                    group: group_idx,
+                    width: group.width,
+                    start_cycle: cursor,
+                    end_cycle: cursor + duration,
+                });
+                cursor += duration;
+            }
+        }
+        TestSchedule { entries }
+    }
+
+    /// The schedule makespan: the cycle at which the last module finishes.
+    pub fn makespan(&self) -> u64 {
+        self.entries.iter().map(|e| e.end_cycle).max().unwrap_or(0)
+    }
+
+    /// Entries belonging to one channel group, in execution order.
+    pub fn group_entries(&self, group: usize) -> Vec<&ScheduleEntry> {
+        self.entries.iter().filter(|e| e.group == group).collect()
+    }
+
+    /// Checks that no two modules overlap on the same group.
+    pub fn is_consistent(&self) -> bool {
+        let groups: std::collections::BTreeSet<usize> =
+            self.entries.iter().map(|e| e.group).collect();
+        for group in groups {
+            let mut entries = self.group_entries(group);
+            entries.sort_by_key(|e| e.start_cycle);
+            for pair in entries.windows(2) {
+                if pair[1].start_cycle < pair[0].end_cycle {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for TestSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "schedule: {} entries, makespan {} cycles",
+            self.entries.len(),
+            self.makespan()
+        )?;
+        for e in &self.entries {
+            writeln!(
+                f,
+                "  group {:2} w={:3}  {:>10} .. {:>10}  {}",
+                e.group, e.width, e.start_cycle, e.end_cycle, e.module
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step1::design_minimal_architecture;
+    use soctest_ate::AteSpec;
+    use soctest_soc_model::benchmarks::d695;
+
+    fn schedule() -> (TestArchitecture, TestSchedule, TimeTable) {
+        let soc = d695();
+        let ate = AteSpec::new(128, 64 * 1024, 5.0e6);
+        let arch = design_minimal_architecture(&soc, &ate).unwrap();
+        let table = TimeTable::build(&soc, 64);
+        let sched = TestSchedule::from_architecture(&arch, &table);
+        (arch, sched, table)
+    }
+
+    #[test]
+    fn makespan_equals_architecture_test_time() {
+        let (arch, sched, _) = schedule();
+        assert_eq!(sched.makespan(), arch.test_time_cycles());
+    }
+
+    #[test]
+    fn every_module_appears_exactly_once() {
+        let (arch, sched, _) = schedule();
+        assert_eq!(sched.entries.len(), arch.num_modules());
+        let mut modules: Vec<ModuleId> = sched.entries.iter().map(|e| e.module).collect();
+        modules.sort_unstable();
+        assert_eq!(modules, arch.assigned_modules());
+    }
+
+    #[test]
+    fn schedule_has_no_overlap_within_groups() {
+        let (_, sched, _) = schedule();
+        assert!(sched.is_consistent());
+    }
+
+    #[test]
+    fn entry_durations_match_time_table() {
+        let (_, sched, table) = schedule();
+        for e in &sched.entries {
+            assert_eq!(e.duration(), table.time(e.module, e.width));
+        }
+    }
+
+    #[test]
+    fn group_entries_are_back_to_back() {
+        let (arch, sched, _) = schedule();
+        for g in 0..arch.groups.len() {
+            let entries = sched.group_entries(g);
+            for pair in entries.windows(2) {
+                assert_eq!(pair[1].start_cycle, pair[0].end_cycle);
+            }
+        }
+    }
+
+    #[test]
+    fn inconsistent_schedule_is_detected() {
+        let bad = TestSchedule {
+            entries: vec![
+                ScheduleEntry {
+                    module: ModuleId(0),
+                    group: 0,
+                    width: 1,
+                    start_cycle: 0,
+                    end_cycle: 100,
+                },
+                ScheduleEntry {
+                    module: ModuleId(1),
+                    group: 0,
+                    width: 1,
+                    start_cycle: 50,
+                    end_cycle: 150,
+                },
+            ],
+        };
+        assert!(!bad.is_consistent());
+    }
+
+    #[test]
+    fn empty_schedule_is_consistent() {
+        let empty = TestSchedule { entries: vec![] };
+        assert!(empty.is_consistent());
+        assert_eq!(empty.makespan(), 0);
+    }
+
+    #[test]
+    fn display_lists_entries() {
+        let (_, sched, _) = schedule();
+        let text = sched.to_string();
+        assert!(text.contains("makespan"));
+        assert!(text.lines().count() > sched.entries.len());
+    }
+}

@@ -1,0 +1,189 @@
+//! Precomputed module test times per TAM width.
+//!
+//! Every architecture-design algorithm repeatedly asks "how long does module
+//! `m` test at width `w`?". Answering that question from scratch means
+//! running the COMBINE wrapper design, which is cheap but not free; during
+//! Step 1 / Step 2 and the parameter sweeps of Section 7 the same
+//! `(module, width)` pairs are evaluated thousands of times. [`TimeTable`]
+//! computes the whole table once per SOC and serves lookups in O(1).
+
+use soctest_soc_model::{ModuleId, Soc};
+use soctest_wrapper::combine::test_time_at_width;
+
+/// Precomputed test times: `time(module, width)` for every module of an SOC
+/// and every width from 1 to a configured maximum.
+#[derive(Debug, Clone)]
+pub struct TimeTable {
+    /// `times[module][width - 1]` = test time in cycles.
+    times: Vec<Vec<u64>>,
+    max_width: usize,
+}
+
+impl TimeTable {
+    /// Builds the table for `soc`, covering widths `1..=max_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_width == 0`.
+    pub fn build(soc: &Soc, max_width: usize) -> Self {
+        assert!(max_width > 0, "max_width must be at least 1");
+        let times = soc
+            .modules()
+            .iter()
+            .map(|module| {
+                (1..=max_width)
+                    .map(|w| test_time_at_width(module, w))
+                    .collect()
+            })
+            .collect();
+        TimeTable { times, max_width }
+    }
+
+    /// The maximum width covered by the table.
+    pub fn max_width(&self) -> usize {
+        self.max_width
+    }
+
+    /// Number of modules covered by the table.
+    pub fn num_modules(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Test time of `module` at `width` wrapper chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `module` or `width` is out of range.
+    pub fn time(&self, module: ModuleId, width: usize) -> u64 {
+        assert!(
+            width >= 1 && width <= self.max_width,
+            "width {width} out of range"
+        );
+        self.times[module.0][width - 1]
+    }
+
+    /// The smallest width at which `module` meets `max_cycles`, or `None`
+    /// if even the table's maximum width is insufficient.
+    pub fn min_width_for_time(&self, module: ModuleId, max_cycles: u64) -> Option<usize> {
+        let row = &self.times[module.0];
+        if *row.last().expect("max_width >= 1") > max_cycles {
+            return None;
+        }
+        // Times are non-increasing in width: binary search for the first
+        // feasible width.
+        let mut lo = 0usize;
+        let mut hi = row.len() - 1;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if row[mid] <= max_cycles {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Some(lo + 1)
+    }
+
+    /// Sum of the test times of `modules` when each is wrapped at `width`.
+    ///
+    /// This is the vector-memory fill of a channel group of that width
+    /// holding those modules (they are tested serially on the group).
+    pub fn group_fill(&self, modules: &[ModuleId], width: usize) -> u64 {
+        modules.iter().map(|&m| self.time(m, width)).sum()
+    }
+
+    /// Minimal "test data area" (width x time, in channel-cycles of wrapper
+    /// chains) of a module over all widths in the table. Used by the
+    /// theoretical lower bound on the channel count.
+    pub fn min_area(&self, module: ModuleId) -> u64 {
+        self.times[module.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i as u64 + 1) * t)
+            .min()
+            .expect("max_width >= 1")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctest_soc_model::{benchmarks::d695, Module, ModuleId, Soc};
+
+    fn table() -> (Soc, TimeTable) {
+        let soc = d695();
+        let table = TimeTable::build(&soc, 24);
+        (soc, table)
+    }
+
+    #[test]
+    fn table_matches_direct_evaluation() {
+        let (soc, table) = table();
+        for (id, module) in soc.iter() {
+            for width in [1usize, 3, 8, 24] {
+                assert_eq!(table.time(id, width), test_time_at_width(module, width));
+            }
+        }
+    }
+
+    #[test]
+    fn min_width_matches_linear_scan() {
+        let (soc, table) = table();
+        for (id, module) in soc.iter() {
+            let budget = test_time_at_width(module, 5);
+            let expected = (1..=24).find(|&w| test_time_at_width(module, w) <= budget);
+            assert_eq!(table.min_width_for_time(id, budget), expected);
+        }
+    }
+
+    #[test]
+    fn min_width_none_when_infeasible() {
+        let (_, table) = table();
+        assert_eq!(table.min_width_for_time(ModuleId(3), 1), None);
+    }
+
+    #[test]
+    fn group_fill_is_sum_of_times() {
+        let (_, table) = table();
+        let ids = [ModuleId(0), ModuleId(4), ModuleId(9)];
+        let expected: u64 = ids.iter().map(|&id| table.time(id, 6)).sum();
+        assert_eq!(table.group_fill(&ids, 6), expected);
+        assert_eq!(table.group_fill(&[], 6), 0);
+    }
+
+    #[test]
+    fn min_area_is_no_larger_than_any_width_area() {
+        let (_, table) = table();
+        for m in 0..table.num_modules() {
+            let id = ModuleId(m);
+            let min_area = table.min_area(id);
+            for w in 1..=24 {
+                assert!(min_area <= w as u64 * table.time(id, w));
+            }
+        }
+    }
+
+    #[test]
+    fn dimensions_are_reported() {
+        let (soc, table) = table();
+        assert_eq!(table.num_modules(), soc.num_modules());
+        assert_eq!(table.max_width(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn width_out_of_range_panics() {
+        let (_, table) = table();
+        let _ = table.time(ModuleId(0), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_width")]
+    fn zero_max_width_panics() {
+        let soc = Soc::from_modules(
+            "x",
+            vec![Module::builder("m").patterns(1).inputs(1).build()],
+        );
+        let _ = TimeTable::build(&soc, 0);
+    }
+}

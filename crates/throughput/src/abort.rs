@@ -1,0 +1,192 @@
+//! Abort-on-fail and multi-site pass probabilities (Equations 4.2–4.4).
+//!
+//! In single-site high-volume testing the test can be aborted as soon as the
+//! first failing vector is observed, which shortens the average test time at
+//! low yield. With `n` sites tested in parallel the test can only be aborted
+//! once *all* sites have started failing — Section 7 of the paper shows that
+//! this quickly erases the benefit of abort-on-fail. The expressions here
+//! use the paper's deliberately optimistic assumption that a failing device
+//! consumes zero test time, which makes the derived times *lower bounds*.
+
+/// Probability that at least one out of `sites` SOCs passes the contact
+/// test, when each SOC exposes `pins` contacted terminals and every terminal
+/// passes with probability `contact_yield` (Equation 4.2):
+///
+/// ```text
+/// P_c(n) = 1 - (1 - p_c^x)^n
+/// ```
+///
+/// # Panics
+///
+/// Panics if `contact_yield` is not within `0.0..=1.0`.
+pub fn contact_pass_probability(sites: usize, pins: usize, contact_yield: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&contact_yield),
+        "contact yield {contact_yield} out of range"
+    );
+    if sites == 0 {
+        return 0.0;
+    }
+    let single_pass = contact_yield.powi(pins as i32);
+    1.0 - (1.0 - single_pass).powi(sites as i32)
+}
+
+/// Probability that at least one out of `sites` SOCs passes the
+/// manufacturing test, when a single SOC passes with probability
+/// `manufacturing_yield` (Equation 4.3):
+///
+/// ```text
+/// P_m(n) = 1 - (1 - p_m)^n
+/// ```
+///
+/// # Panics
+///
+/// Panics if `manufacturing_yield` is not within `0.0..=1.0`.
+pub fn manufacturing_pass_probability(sites: usize, manufacturing_yield: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&manufacturing_yield),
+        "manufacturing yield {manufacturing_yield} out of range"
+    );
+    if sites == 0 {
+        return 0.0;
+    }
+    1.0 - (1.0 - manufacturing_yield).powi(sites as i32)
+}
+
+/// Lower bound on the expected test application time per touchdown under
+/// abort-on-fail (Equation 4.4):
+///
+/// ```text
+/// t_a = t_c · P_c(n) · ... ≈ (t_c + t_m) reduced by the probability that
+///       every site fails immediately
+/// t_a = t_c  +  t_m · P_c(n) · P_m(n)
+/// ```
+///
+/// following the paper's assumption that devices which fail (contact or
+/// manufacturing test) take zero manufacturing test time. The contact test
+/// itself is always executed.
+///
+/// # Panics
+///
+/// Panics if a yield parameter is out of range or a time is negative.
+pub fn abort_on_fail_test_time(
+    contact_test_time_s: f64,
+    manufacturing_test_time_s: f64,
+    sites: usize,
+    pins: usize,
+    contact_yield: f64,
+    manufacturing_yield: f64,
+) -> f64 {
+    assert!(
+        contact_test_time_s >= 0.0,
+        "contact test time must be non-negative"
+    );
+    assert!(
+        manufacturing_test_time_s >= 0.0,
+        "manufacturing test time must be non-negative"
+    );
+    let p_contact = contact_pass_probability(sites, pins, contact_yield);
+    let p_manufacturing = manufacturing_pass_probability(sites, manufacturing_yield);
+    contact_test_time_s + manufacturing_test_time_s * p_contact * p_manufacturing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_yield_always_passes() {
+        assert!((contact_pass_probability(1, 1000, 1.0) - 1.0).abs() < 1e-12);
+        assert!((manufacturing_pass_probability(1, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_yield_never_passes() {
+        assert!(contact_pass_probability(4, 10, 0.0) < 1e-12);
+        assert!(manufacturing_pass_probability(4, 0.0) < 1e-12);
+    }
+
+    #[test]
+    fn zero_sites_has_zero_pass_probability() {
+        assert_eq!(contact_pass_probability(0, 10, 0.99), 0.0);
+        assert_eq!(manufacturing_pass_probability(0, 0.9), 0.0);
+    }
+
+    #[test]
+    fn more_sites_increase_pass_probability() {
+        let p1 = manufacturing_pass_probability(1, 0.7);
+        let p2 = manufacturing_pass_probability(2, 0.7);
+        let p8 = manufacturing_pass_probability(8, 0.7);
+        assert!(p1 < p2);
+        assert!(p2 < p8);
+        assert!(p8 <= 1.0);
+    }
+
+    #[test]
+    fn contact_probability_matches_closed_form() {
+        let p = contact_pass_probability(3, 100, 0.999);
+        let single = 0.999f64.powi(100);
+        let expected = 1.0 - (1.0 - single).powi(3);
+        assert!((p - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_pins_decrease_contact_pass_probability() {
+        let few = contact_pass_probability(1, 50, 0.999);
+        let many = contact_pass_probability(1, 500, 0.999);
+        assert!(many < few);
+    }
+
+    #[test]
+    fn abort_on_fail_time_is_bounded_by_full_time() {
+        let full = 0.001 + 1.4;
+        for sites in 1..=8 {
+            for &pm in &[0.7, 0.9, 0.98, 1.0] {
+                let t = abort_on_fail_test_time(0.001, 1.4, sites, 120, 0.999, pm);
+                assert!(t <= full + 1e-12);
+                assert!(t >= 0.001);
+            }
+        }
+    }
+
+    #[test]
+    fn abort_on_fail_benefit_vanishes_with_many_sites() {
+        // Paper, Section 7: "the effectiveness of abort-on-fail becomes
+        // invisible beyond n = 5" even at 70% yield.
+        let single = abort_on_fail_test_time(0.001, 1.4, 1, 120, 1.0, 0.7);
+        let five = abort_on_fail_test_time(0.001, 1.4, 5, 120, 1.0, 0.7);
+        let full = 0.001 + 1.4;
+        assert!(
+            single < 0.75 * full,
+            "single-site should see a clear benefit"
+        );
+        assert!(
+            five > 0.99 * full,
+            "five sites should see almost no benefit"
+        );
+    }
+
+    #[test]
+    fn perfect_yield_gives_full_time() {
+        let t = abort_on_fail_test_time(0.001, 1.4, 3, 100, 1.0, 1.0);
+        assert!((t - 1.401).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "contact yield")]
+    fn invalid_contact_yield_panics() {
+        let _ = contact_pass_probability(1, 10, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "manufacturing yield")]
+    fn invalid_manufacturing_yield_panics() {
+        let _ = manufacturing_pass_probability(1, -0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_panics() {
+        let _ = abort_on_fail_test_time(-0.1, 1.0, 1, 10, 1.0, 1.0);
+    }
+}

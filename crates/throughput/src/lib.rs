@@ -1,0 +1,40 @@
+//! The multi-site test throughput cost model (Section 4 of the paper).
+//!
+//! Given the DfT architecture (which fixes the manufacturing test time
+//! `t_m`) and the test-cell parameters (index time `t_i`, contact-test time
+//! `t_c`, contact yield `p_c`, manufacturing yield `p_m`), this crate
+//! evaluates:
+//!
+//! * the total test time per touchdown (Equation 4.1),
+//! * the probability that at least one of `n` sites passes the contact /
+//!   manufacturing test (Equations 4.2 and 4.3),
+//! * the abort-on-fail lower bound on the test application time
+//!   (Equation 4.4),
+//! * the test throughput in devices per hour (Equation 4.5),
+//! * the re-test rate and the *unique*-device throughput (Equation 4.6).
+//!
+//! # Example
+//!
+//! ```
+//! use soctest_throughput::{ThroughputModel, TestTimes, YieldParams};
+//!
+//! let times = TestTimes { index_time_s: 0.1, contact_test_time_s: 0.001, manufacturing_test_time_s: 1.4 };
+//! let yields = YieldParams { contact_yield: 0.999, manufacturing_yield: 0.9, contacted_pins: 120 };
+//! let model = ThroughputModel::new(times, yields);
+//! let per_hour = model.devices_per_hour(4);
+//! assert!(per_hour > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod abort;
+pub mod model;
+pub mod retest;
+
+pub use abort::{
+    abort_on_fail_test_time, contact_pass_probability, manufacturing_pass_probability,
+};
+pub use model::{TestTimes, ThroughputModel, YieldParams};
+pub use retest::{retest_rate, unique_devices_per_hour};

@@ -1,0 +1,260 @@
+//! The throughput model proper (Equations 4.1 and 4.5).
+
+use crate::abort::abort_on_fail_test_time;
+use crate::retest::{retest_rate, unique_devices_per_hour};
+use serde::{Deserialize, Serialize};
+
+/// The three time components of one touchdown (Equation 4.1):
+/// `t = t_i + t_t`, with `t_t = t_c + t_m`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestTimes {
+    /// Index time `t_i` in seconds.
+    pub index_time_s: f64,
+    /// Contact-test time `t_c` in seconds.
+    pub contact_test_time_s: f64,
+    /// Manufacturing test time `t_m` in seconds (determined by the DfT
+    /// architecture and the ATE clock).
+    pub manufacturing_test_time_s: f64,
+}
+
+impl TestTimes {
+    /// Total test time `t_t = t_c + t_m` (manufacturing plus contact test).
+    pub fn test_time_s(&self) -> f64 {
+        self.contact_test_time_s + self.manufacturing_test_time_s
+    }
+
+    /// Total time per touchdown `t = t_i + t_c + t_m`.
+    pub fn total_time_s(&self) -> f64 {
+        self.index_time_s + self.test_time_s()
+    }
+}
+
+/// Yield-related parameters of the throughput model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct YieldParams {
+    /// Per-terminal contact yield `p_c`.
+    pub contact_yield: f64,
+    /// Per-SOC manufacturing yield `p_m`.
+    pub manufacturing_yield: f64,
+    /// Number of terminals contacted per SOC (the E-RPCT pads).
+    pub contacted_pins: usize,
+}
+
+impl YieldParams {
+    /// Ideal yields: every contact and every device passes.
+    pub fn ideal(contacted_pins: usize) -> Self {
+        YieldParams {
+            contact_yield: 1.0,
+            manufacturing_yield: 1.0,
+            contacted_pins,
+        }
+    }
+}
+
+/// The complete multi-site throughput model of Section 4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputModel {
+    /// Per-touchdown time components.
+    pub times: TestTimes,
+    /// Yield parameters.
+    pub yields: YieldParams,
+}
+
+impl ThroughputModel {
+    /// Creates a throughput model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a time is negative or a yield is outside `0.0..=1.0`.
+    pub fn new(times: TestTimes, yields: YieldParams) -> Self {
+        assert!(times.index_time_s >= 0.0, "index time must be non-negative");
+        assert!(
+            times.contact_test_time_s >= 0.0,
+            "contact test time must be non-negative"
+        );
+        assert!(
+            times.manufacturing_test_time_s >= 0.0,
+            "manufacturing test time must be non-negative"
+        );
+        assert!(
+            (0.0..=1.0).contains(&yields.contact_yield),
+            "contact yield out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&yields.manufacturing_yield),
+            "manufacturing yield out of range"
+        );
+        ThroughputModel { times, yields }
+    }
+
+    /// Devices tested per hour with `sites`-site testing and *without*
+    /// abort-on-fail (Equation 4.5):
+    ///
+    /// ```text
+    /// D_th = 3600 · n / (t_i + t_t)
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites == 0`.
+    pub fn devices_per_hour(&self, sites: usize) -> f64 {
+        assert!(sites > 0, "throughput needs at least one site");
+        3_600.0 * sites as f64 / self.times.total_time_s()
+    }
+
+    /// Devices tested per hour with abort-on-fail: the manufacturing test
+    /// time is replaced by the Equation 4.4 lower bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites == 0`.
+    pub fn devices_per_hour_abort_on_fail(&self, sites: usize) -> f64 {
+        assert!(sites > 0, "throughput needs at least one site");
+        let t_a = self.abort_on_fail_test_time(sites);
+        3_600.0 * sites as f64 / (self.times.index_time_s + t_a)
+    }
+
+    /// The abort-on-fail test application time `t_a` (Equation 4.4) for
+    /// `sites` sites, in seconds (contact test included).
+    pub fn abort_on_fail_test_time(&self, sites: usize) -> f64 {
+        abort_on_fail_test_time(
+            self.times.contact_test_time_s,
+            self.times.manufacturing_test_time_s,
+            sites,
+            self.yields.contacted_pins,
+            self.yields.contact_yield,
+            self.yields.manufacturing_yield,
+        )
+    }
+
+    /// Fraction of devices that fail the contact test on exactly one
+    /// terminal and are therefore re-tested (see [`crate::retest`]).
+    pub fn retest_rate(&self) -> f64 {
+        retest_rate(self.yields.contacted_pins, self.yields.contact_yield)
+    }
+
+    /// Unique devices tested per hour when contact failures are re-tested
+    /// once (Equation 4.6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites == 0`.
+    pub fn unique_devices_per_hour(&self, sites: usize) -> f64 {
+        unique_devices_per_hour(self.devices_per_hour(sites), self.retest_rate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_like_model() -> ThroughputModel {
+        ThroughputModel::new(
+            TestTimes {
+                index_time_s: 0.1,
+                contact_test_time_s: 0.001,
+                manufacturing_test_time_s: 1.4,
+            },
+            YieldParams {
+                contact_yield: 0.999,
+                manufacturing_yield: 0.9,
+                contacted_pins: 110,
+            },
+        )
+    }
+
+    #[test]
+    fn time_components_add_up() {
+        let times = paper_like_model().times;
+        assert!((times.test_time_s() - 1.401).abs() < 1e-12);
+        assert!((times.total_time_s() - 1.501).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_matches_equation_4_5() {
+        let model = paper_like_model();
+        let d = model.devices_per_hour(5);
+        assert!((d - 3_600.0 * 5.0 / 1.501).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_scales_linearly_with_sites() {
+        let model = paper_like_model();
+        let d1 = model.devices_per_hour(1);
+        let d4 = model.devices_per_hour(4);
+        assert!((d4 - 4.0 * d1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abort_on_fail_never_reduces_throughput() {
+        let model = paper_like_model();
+        for sites in 1..=8 {
+            assert!(
+                model.devices_per_hour_abort_on_fail(sites) >= model.devices_per_hour(sites) - 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn abort_on_fail_benefit_decreases_with_sites() {
+        let low_yield = ThroughputModel::new(
+            paper_like_model().times,
+            YieldParams {
+                manufacturing_yield: 0.7,
+                ..paper_like_model().yields
+            },
+        );
+        let gain =
+            |n: usize| low_yield.devices_per_hour_abort_on_fail(n) / low_yield.devices_per_hour(n);
+        assert!(gain(1) > gain(2));
+        assert!(gain(2) > gain(4));
+        assert!(gain(6) < 1.01);
+    }
+
+    #[test]
+    fn unique_throughput_is_at_most_total_throughput() {
+        let model = paper_like_model();
+        for sites in 1..=6 {
+            assert!(model.unique_devices_per_hour(sites) <= model.devices_per_hour(sites));
+        }
+    }
+
+    #[test]
+    fn perfect_contact_yield_needs_no_retests() {
+        let model = ThroughputModel::new(paper_like_model().times, YieldParams::ideal(200));
+        assert_eq!(model.retest_rate(), 0.0);
+        assert!((model.unique_devices_per_hour(3) - model.devices_per_hour(3)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn zero_sites_panics() {
+        let _ = paper_like_model().devices_per_hour(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "contact yield")]
+    fn invalid_yield_panics() {
+        let _ = ThroughputModel::new(
+            paper_like_model().times,
+            YieldParams {
+                contact_yield: 2.0,
+                manufacturing_yield: 1.0,
+                contacted_pins: 10,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "index time")]
+    fn negative_time_panics() {
+        let _ = ThroughputModel::new(
+            TestTimes {
+                index_time_s: -0.1,
+                contact_test_time_s: 0.0,
+                manufacturing_test_time_s: 0.0,
+            },
+            YieldParams::ideal(1),
+        );
+    }
+}

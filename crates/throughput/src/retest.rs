@@ -1,0 +1,129 @@
+//! Re-test of contact failures and the unique-device throughput
+//! (Equation 4.6).
+//!
+//! Devices that fail only their contact test are commonly re-tested: the
+//! failure was most likely caused by a bad probe contact rather than a bad
+//! die, and discarding it would waste a good product. Re-testing does not
+//! change the number of test slots executed per hour (`D_th`), but part of
+//! those slots now repeat devices, so the number of *unique* devices tested
+//! per hour (`D^u_th`) drops.
+
+/// Fraction of devices that fail the contact test on exactly one terminal
+/// and therefore qualify for a re-test, for a device with `pins` contacted
+/// terminals and per-terminal contact yield `contact_yield`:
+///
+/// ```text
+/// r = x · (1 - p_c) · p_c^(x-1)
+/// ```
+///
+/// (the paper's "excluding the unlikely event of multiple failing terminal
+/// contacts per SOC").
+///
+/// # Panics
+///
+/// Panics if `contact_yield` is not within `0.0..=1.0`.
+pub fn retest_rate(pins: usize, contact_yield: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&contact_yield),
+        "contact yield {contact_yield} out of range"
+    );
+    if pins == 0 {
+        return 0.0;
+    }
+    pins as f64 * (1.0 - contact_yield) * contact_yield.powi(pins as i32 - 1)
+}
+
+/// Unique devices tested per hour when every contact-failing device is
+/// re-tested at most once (Equation 4.6):
+///
+/// ```text
+/// D^u_th = D_th / (1 + r)
+/// ```
+///
+/// Out of the `D_th` test slots executed per hour, a fraction `r` is spent
+/// repeating devices that failed their first contact test, so only
+/// `D_th / (1 + r)` distinct devices complete per hour.
+///
+/// # Panics
+///
+/// Panics if `devices_per_hour` is negative or `retest_rate` is negative.
+pub fn unique_devices_per_hour(devices_per_hour: f64, retest_rate: f64) -> f64 {
+    assert!(devices_per_hour >= 0.0, "throughput must be non-negative");
+    assert!(retest_rate >= 0.0, "re-test rate must be non-negative");
+    devices_per_hour / (1.0 + retest_rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_contact_yield_has_zero_retests() {
+        assert_eq!(retest_rate(500, 1.0), 0.0);
+    }
+
+    #[test]
+    fn zero_pins_have_zero_retests() {
+        assert_eq!(retest_rate(0, 0.9), 0.0);
+    }
+
+    #[test]
+    fn retest_rate_matches_closed_form() {
+        let r = retest_rate(100, 0.999);
+        let expected = 100.0 * 0.001 * 0.999f64.powi(99);
+        assert!((r - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retest_rate_grows_with_pin_count_at_high_yield() {
+        // At contact yields near 1, more contacted pins mean more single-pin
+        // failures.
+        let few = retest_rate(50, 0.9999);
+        let many = retest_rate(500, 0.9999);
+        assert!(many > few);
+    }
+
+    #[test]
+    fn retest_rate_is_a_probability() {
+        for &pins in &[1usize, 10, 100, 1000] {
+            for &yield_ in &[0.9, 0.99, 0.999, 0.9999, 1.0] {
+                let r = retest_rate(pins, yield_);
+                assert!(
+                    (0.0..=1.0).contains(&r),
+                    "r={r} for pins={pins} yield={yield_}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unique_throughput_formula() {
+        let unique = unique_devices_per_hour(10_000.0, 0.25);
+        assert!((unique - 8_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_retest_rate_preserves_throughput() {
+        assert_eq!(unique_devices_per_hour(1234.0, 0.0), 1234.0);
+    }
+
+    #[test]
+    fn low_contact_yield_hurts_unique_throughput() {
+        let d = 10_000.0;
+        let good = unique_devices_per_hour(d, retest_rate(200, 0.9999));
+        let bad = unique_devices_per_hour(d, retest_rate(200, 0.998));
+        assert!(bad < good);
+    }
+
+    #[test]
+    #[should_panic(expected = "contact yield")]
+    fn invalid_yield_panics() {
+        let _ = retest_rate(10, -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_throughput_panics() {
+        let _ = unique_devices_per_hour(-1.0, 0.0);
+    }
+}

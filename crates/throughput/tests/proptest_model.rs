@@ -1,0 +1,117 @@
+//! Property-based tests on the throughput cost model.
+
+use proptest::prelude::*;
+use soctest_throughput::abort::{
+    abort_on_fail_test_time, contact_pass_probability, manufacturing_pass_probability,
+};
+use soctest_throughput::retest::{retest_rate, unique_devices_per_hour};
+use soctest_throughput::{TestTimes, ThroughputModel, YieldParams};
+
+fn arb_yield() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0), Just(1.0), 0.5f64..1.0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pass_probabilities_are_probabilities(
+        sites in 0usize..32,
+        pins in 0usize..2_000,
+        pc in arb_yield(),
+        pm in arb_yield(),
+    ) {
+        let p_c = contact_pass_probability(sites, pins, pc);
+        let p_m = manufacturing_pass_probability(sites, pm);
+        prop_assert!((0.0..=1.0).contains(&p_c));
+        prop_assert!((0.0..=1.0).contains(&p_m));
+    }
+
+    #[test]
+    fn pass_probability_is_monotone_in_sites(
+        pins in 1usize..500,
+        pc in 0.9f64..1.0,
+        pm in 0.5f64..1.0,
+    ) {
+        let mut prev_c = 0.0;
+        let mut prev_m = 0.0;
+        for sites in 1..10 {
+            let c = contact_pass_probability(sites, pins, pc);
+            let m = manufacturing_pass_probability(sites, pm);
+            prop_assert!(c >= prev_c - 1e-12);
+            prop_assert!(m >= prev_m - 1e-12);
+            prev_c = c;
+            prev_m = m;
+        }
+    }
+
+    #[test]
+    fn abort_time_is_between_contact_time_and_full_time(
+        tc in 0.0f64..0.01,
+        tm in 0.0f64..10.0,
+        sites in 1usize..16,
+        pins in 1usize..1_000,
+        pc in 0.9f64..1.0,
+        pm in arb_yield(),
+    ) {
+        let t = abort_on_fail_test_time(tc, tm, sites, pins, pc, pm);
+        prop_assert!(t >= tc - 1e-12);
+        prop_assert!(t <= tc + tm + 1e-12);
+    }
+
+    #[test]
+    fn abort_time_is_monotone_in_sites(
+        tm in 0.1f64..5.0,
+        pins in 1usize..500,
+        pm in 0.3f64..1.0,
+    ) {
+        let mut prev = 0.0;
+        for sites in 1..12 {
+            let t = abort_on_fail_test_time(0.001, tm, sites, pins, 0.999, pm);
+            prop_assert!(t >= prev - 1e-12);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn throughput_is_positive_and_linear_in_sites(
+        ti in 0.0f64..1.0,
+        tc in 0.0f64..0.01,
+        tm in 0.001f64..10.0,
+        sites in 1usize..64,
+    ) {
+        let model = ThroughputModel::new(
+            TestTimes { index_time_s: ti, contact_test_time_s: tc, manufacturing_test_time_s: tm },
+            YieldParams::ideal(100),
+        );
+        let d1 = model.devices_per_hour(1);
+        let dn = model.devices_per_hour(sites);
+        prop_assert!(d1 > 0.0);
+        prop_assert!((dn - sites as f64 * d1).abs() < 1e-6 * dn.max(1.0));
+    }
+
+    #[test]
+    fn unique_throughput_never_exceeds_total(
+        d in 0.0f64..1.0e6,
+        pins in 0usize..2_000,
+        pc in 0.99f64..1.0,
+    ) {
+        let r = retest_rate(pins, pc);
+        let unique = unique_devices_per_hour(d, r);
+        prop_assert!(unique <= d + 1e-9);
+        prop_assert!(unique >= d / 2.0 - 1e-9, "re-test at most doubles the work");
+    }
+
+    #[test]
+    fn retest_rate_is_bounded_by_contact_fail_probability(
+        pins in 1usize..1_000,
+        pc in 0.9f64..1.0,
+    ) {
+        // P(exactly one failing terminal) can never exceed P(at least one
+        // failing terminal); note that the single-failure probability itself
+        // is *not* monotone in the contact yield for large pin counts.
+        let single_fail = retest_rate(pins, pc);
+        let any_fail = 1.0 - pc.powi(pins as i32);
+        prop_assert!(single_fail <= any_fail + 1e-12);
+    }
+}

@@ -1,0 +1,396 @@
+//! The die-by-die wafer-test flow simulation.
+//!
+//! One simulation run processes a stream of dies with an `n`-site probe
+//! card. Per touchdown:
+//!
+//! 1. the prober indexes to the next group of `n` dies (index time),
+//! 2. every site runs its contact test; each of the die's contacted
+//!    terminals fails independently with probability `1 − p_c`,
+//! 3. the manufacturing test runs on all sites in parallel; with
+//!    abort-on-fail enabled it is (optimistically, as in Equation 4.4)
+//!    charged only when at least one contact-passing site also passes the
+//!    manufacturing test,
+//! 4. dies that failed only their contact test are appended to the re-test
+//!    queue (at most one re-test per die) when re-test is enabled.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one wafer-test flow simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowParams {
+    /// Number of probe-card sites (dies tested per touchdown).
+    pub sites: usize,
+    /// Contacted terminals per die (the E-RPCT pads).
+    pub pins_per_site: usize,
+    /// Per-terminal contact yield `p_c`.
+    pub contact_yield: f64,
+    /// Per-die manufacturing yield `p_m`.
+    pub manufacturing_yield: f64,
+    /// Prober index time per touchdown, seconds.
+    pub index_time_s: f64,
+    /// Contact-test time per touchdown, seconds.
+    pub contact_test_time_s: f64,
+    /// Manufacturing-test time per touchdown, seconds.
+    pub manufacturing_test_time_s: f64,
+    /// Whether the (optimistic) abort-on-fail model of Equation 4.4 is
+    /// applied.
+    pub abort_on_fail: bool,
+    /// Whether dies failing only the contact test are re-tested once.
+    pub retest_contact_failures: bool,
+}
+
+impl FlowParams {
+    /// Builds the flow parameters corresponding to the optimal operating
+    /// point of a two-step optimizer solution: the simulated flow then
+    /// reproduces exactly the scenario whose throughput the optimizer
+    /// predicted analytically.
+    pub fn from_solution(
+        solution: &soctest_multisite::MultiSiteSolution,
+        config: &soctest_multisite::OptimizerConfig,
+    ) -> Self {
+        FlowParams {
+            sites: solution.optimal.sites,
+            pins_per_site: solution.contacted_pads_per_site,
+            contact_yield: config.contact_yield,
+            manufacturing_yield: config.manufacturing_yield,
+            index_time_s: config.test_cell.probe.index_time_s,
+            contact_test_time_s: config.test_cell.probe.contact_test_time_s,
+            manufacturing_test_time_s: solution.optimal.manufacturing_test_time_s,
+            abort_on_fail: config.options.abort_on_fail,
+            retest_contact_failures: config.options.retest_contact_failures,
+        }
+    }
+
+    /// Validates the numeric ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a yield is outside `0..=1`, a time is negative, or
+    /// `sites` is zero. Called by [`simulate_flow`].
+    fn validate(&self) {
+        assert!(self.sites > 0, "at least one site is required");
+        assert!(
+            (0.0..=1.0).contains(&self.contact_yield),
+            "contact yield out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.manufacturing_yield),
+            "manufacturing yield out of range"
+        );
+        assert!(self.index_time_s >= 0.0, "index time must be non-negative");
+        assert!(
+            self.contact_test_time_s >= 0.0 && self.manufacturing_test_time_s >= 0.0,
+            "test times must be non-negative"
+        );
+    }
+}
+
+/// Aggregate outcome of a simulated wafer-test flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowOutcome {
+    /// Dies offered to the flow (unique devices).
+    pub unique_devices: usize,
+    /// Device tests executed, including re-tests.
+    pub device_tests: usize,
+    /// Touchdowns performed.
+    pub touchdowns: usize,
+    /// Dies that passed contact and manufacturing test (possibly after a
+    /// re-test).
+    pub passed_devices: usize,
+    /// Dies re-tested because of a contact failure.
+    pub retested_devices: usize,
+    /// Total wall-clock test time in seconds.
+    pub total_time_s: f64,
+    /// Measured throughput in device tests per hour (the empirical
+    /// counterpart of Equation 4.5's `D_th`).
+    pub devices_per_hour: f64,
+    /// Measured throughput in unique devices per hour (the empirical
+    /// counterpart of Equation 4.6's `D^u_th`).
+    pub unique_devices_per_hour: f64,
+}
+
+/// Simulates testing `dies` dies with the given flow parameters and RNG
+/// seed, and returns the aggregate outcome.
+///
+/// The simulation is deterministic for a given `(params, dies, seed)`
+/// triple.
+///
+/// # Panics
+///
+/// Panics if the parameters are out of range (see [`FlowParams`]).
+pub fn simulate_flow(params: &FlowParams, dies: usize, seed: u64) -> FlowOutcome {
+    params.validate();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // The work queue: (die id, is_retest). Fresh dies first, re-tests are
+    // appended as they occur.
+    let mut queue: std::collections::VecDeque<(usize, bool)> =
+        (0..dies).map(|d| (d, false)).collect();
+
+    let mut device_tests = 0usize;
+    let mut touchdowns = 0usize;
+    let mut passed = vec![false; dies];
+    let mut retested = vec![false; dies];
+    let mut total_time_s = 0.0f64;
+
+    while !queue.is_empty() {
+        // Load up to `sites` dies for this touchdown.
+        let mut batch = Vec::with_capacity(params.sites);
+        while batch.len() < params.sites {
+            match queue.pop_front() {
+                Some(entry) => batch.push(entry),
+                None => break,
+            }
+        }
+        touchdowns += 1;
+        device_tests += batch.len();
+        total_time_s += params.index_time_s + params.contact_test_time_s;
+
+        // Contact test per site.
+        let contact_ok: Vec<bool> = batch
+            .iter()
+            .map(|_| (0..params.pins_per_site).all(|_| rng.gen_bool(params.contact_yield)))
+            .collect();
+        // Manufacturing outcome per site (only meaningful when the contact
+        // test passed).
+        let manufacturing_ok: Vec<bool> = batch
+            .iter()
+            .map(|_| rng.gen_bool(params.manufacturing_yield))
+            .collect();
+
+        // Manufacturing test time: with the paper's optimistic abort-on-fail
+        // assumption the full time is only charged when at least one site
+        // passes both tests; otherwise the touchdown aborts immediately.
+        let any_full_pass = contact_ok
+            .iter()
+            .zip(&manufacturing_ok)
+            .any(|(&c, &m)| c && m);
+        if !params.abort_on_fail || any_full_pass {
+            total_time_s += params.manufacturing_test_time_s;
+        }
+
+        // Book-keeping per die.
+        for (slot, &(die, is_retest)) in batch.iter().enumerate() {
+            if contact_ok[slot] {
+                if manufacturing_ok[slot] {
+                    passed[die] = true;
+                }
+            } else if params.retest_contact_failures && !is_retest && !retested[die] {
+                retested[die] = true;
+                queue.push_back((die, true));
+            }
+        }
+    }
+
+    let hours = total_time_s / 3_600.0;
+    FlowOutcome {
+        unique_devices: dies,
+        device_tests,
+        touchdowns,
+        passed_devices: passed.iter().filter(|&&p| p).count(),
+        retested_devices: retested.iter().filter(|&&r| r).count(),
+        total_time_s,
+        devices_per_hour: if hours > 0.0 {
+            device_tests as f64 / hours
+        } else {
+            0.0
+        },
+        unique_devices_per_hour: if hours > 0.0 {
+            dies as f64 / hours
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::relative_error;
+    use soctest_throughput::{TestTimes, ThroughputModel, YieldParams};
+
+    fn params() -> FlowParams {
+        FlowParams {
+            sites: 4,
+            pins_per_site: 110,
+            contact_yield: 1.0,
+            manufacturing_yield: 1.0,
+            index_time_s: 0.1,
+            contact_test_time_s: 0.001,
+            manufacturing_test_time_s: 1.4,
+            abort_on_fail: false,
+            retest_contact_failures: false,
+        }
+    }
+
+    fn analytic(p: &FlowParams) -> ThroughputModel {
+        ThroughputModel::new(
+            TestTimes {
+                index_time_s: p.index_time_s,
+                contact_test_time_s: p.contact_test_time_s,
+                manufacturing_test_time_s: p.manufacturing_test_time_s,
+            },
+            YieldParams {
+                contact_yield: p.contact_yield,
+                manufacturing_yield: p.manufacturing_yield,
+                contacted_pins: p.pins_per_site,
+            },
+        )
+    }
+
+    #[test]
+    fn ideal_flow_matches_equation_4_5_exactly() {
+        let p = params();
+        let outcome = simulate_flow(&p, 4 * 250, 1);
+        assert_eq!(outcome.touchdowns, 250);
+        assert_eq!(outcome.retested_devices, 0);
+        let expected = analytic(&p).devices_per_hour(p.sites);
+        assert!(relative_error(outcome.devices_per_hour, expected) < 1e-9);
+    }
+
+    #[test]
+    fn measured_throughput_tracks_analytic_model_with_defects() {
+        let mut p = params();
+        p.contact_yield = 0.9995;
+        p.manufacturing_yield = 0.85;
+        let outcome = simulate_flow(&p, 20_000, 7);
+        let expected = analytic(&p).devices_per_hour(p.sites);
+        // Without abort-on-fail the touchdown time is deterministic, so the
+        // agreement is exact up to the partial final touchdown.
+        assert!(relative_error(outcome.devices_per_hour, expected) < 1e-3);
+    }
+
+    #[test]
+    fn abort_on_fail_speeds_up_low_yield_single_site_testing() {
+        let mut p = params();
+        p.sites = 1;
+        p.manufacturing_yield = 0.5;
+        p.abort_on_fail = true;
+        let outcome = simulate_flow(&p, 20_000, 11);
+        let expected = analytic(&p).devices_per_hour_abort_on_fail(1);
+        assert!(
+            relative_error(outcome.devices_per_hour, expected) < 0.02,
+            "measured {} vs expected {expected}",
+            outcome.devices_per_hour
+        );
+        // And it must be faster than the non-aborting flow.
+        let full = analytic(&p).devices_per_hour(1);
+        assert!(outcome.devices_per_hour > full * 1.2);
+    }
+
+    #[test]
+    fn abort_on_fail_benefit_vanishes_at_high_site_counts() {
+        let mut p = params();
+        p.manufacturing_yield = 0.7;
+        p.abort_on_fail = true;
+        p.sites = 8;
+        let outcome = simulate_flow(&p, 40_000, 13);
+        let no_abort = analytic(&p).devices_per_hour(8);
+        // Paper, Section 7: beyond a handful of sites the benefit is invisible.
+        assert!(relative_error(outcome.devices_per_hour, no_abort) < 0.01);
+    }
+
+    #[test]
+    fn retest_rate_matches_equation_4_6() {
+        let mut p = params();
+        p.contact_yield = 0.999;
+        p.pins_per_site = 200;
+        p.retest_contact_failures = true;
+        let dies = 40_000;
+        let outcome = simulate_flow(&p, dies, 5);
+        let single_pin_rate =
+            soctest_throughput::retest::retest_rate(p.pins_per_site, p.contact_yield);
+        let any_pin_rate = 1.0 - p.contact_yield.powi(p.pins_per_site as i32);
+        // The simulator re-tests every contact failure, i.e. its rate tracks
+        // `1 - p_c^x`; the closed form of Equation 4.6 deliberately neglects
+        // the (rarer) multi-pin failures and therefore sits slightly below.
+        let measured_rate = outcome.retested_devices as f64 / dies as f64;
+        assert!(
+            relative_error(measured_rate, any_pin_rate) < 0.05,
+            "measured {measured_rate} vs any-pin rate {any_pin_rate}"
+        );
+        assert!(
+            measured_rate > single_pin_rate * 0.95,
+            "measured {measured_rate} should not fall below the single-pin rate {single_pin_rate}"
+        );
+        // Unique throughput is below raw throughput by the re-test share.
+        assert!(outcome.unique_devices_per_hour < outcome.devices_per_hour);
+        assert_eq!(outcome.device_tests, dies + outcome.retested_devices);
+    }
+
+    #[test]
+    fn perfect_contact_yield_never_retests() {
+        let mut p = params();
+        p.retest_contact_failures = true;
+        let outcome = simulate_flow(&p, 5_000, 3);
+        assert_eq!(outcome.retested_devices, 0);
+        assert_eq!(outcome.passed_devices, 5_000);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_per_seed() {
+        let mut p = params();
+        p.manufacturing_yield = 0.8;
+        let a = simulate_flow(&p, 3_000, 99);
+        let b = simulate_flow(&p, 3_000, 99);
+        let c = simulate_flow(&p, 3_000, 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn partial_last_touchdown_is_counted() {
+        let p = params();
+        let outcome = simulate_flow(&p, 10, 1); // 4 sites -> 3 touchdowns
+        assert_eq!(outcome.touchdowns, 3);
+        assert_eq!(outcome.device_tests, 10);
+    }
+
+    #[test]
+    fn zero_dies_is_a_noop() {
+        let outcome = simulate_flow(&params(), 0, 1);
+        assert_eq!(outcome.touchdowns, 0);
+        assert_eq!(outcome.devices_per_hour, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn zero_sites_panics() {
+        let mut p = params();
+        p.sites = 0;
+        let _ = simulate_flow(&p, 10, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "contact yield")]
+    fn bad_yield_panics() {
+        let mut p = params();
+        p.contact_yield = 1.5;
+        let _ = simulate_flow(&p, 10, 1);
+    }
+
+    #[test]
+    fn flow_built_from_optimizer_solution_reproduces_predicted_throughput() {
+        use soctest_ate::{AteSpec, ProbeStation, TestCell};
+        use soctest_multisite::{optimizer::optimize, OptimizerConfig};
+        use soctest_soc_model::benchmarks::d695;
+
+        let config = OptimizerConfig::new(TestCell::new(
+            AteSpec::new(256, 96 * 1024, 5.0e6),
+            ProbeStation::paper_probe_station(),
+        ));
+        let solution = optimize(&d695(), &config).unwrap();
+        let flow = FlowParams::from_solution(&solution, &config);
+        assert_eq!(flow.sites, solution.optimal.sites);
+        let dies = flow.sites * 300;
+        let outcome = simulate_flow(&flow, dies, 2026);
+        assert!(
+            relative_error(outcome.devices_per_hour, solution.optimal.devices_per_hour) < 1e-6,
+            "measured {} vs predicted {}",
+            outcome.devices_per_hour,
+            solution.optimal.devices_per_hour
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Monte-Carlo wafer-test flow simulator.
+//!
+//! The throughput model of Section 4 of the paper is analytic: closed-form
+//! expressions for the pass probabilities at `n` sites, the abort-on-fail
+//! lower bound and the re-test rate. This crate provides an *independent*
+//! check of those expressions: it simulates the wafer-test flow die by die
+//! and touchdown by touchdown — random per-terminal contact faults, random
+//! manufacturing defects, abort-on-fail, and single re-test of
+//! contact-failing dies — and measures the resulting throughput empirically.
+//!
+//! The simulator is deterministic for a given seed (ChaCha-based RNG), so
+//! the validation benches and tests are reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use soctest_wafersim::{FlowParams, simulate_flow};
+//!
+//! let params = FlowParams {
+//!     sites: 4,
+//!     pins_per_site: 120,
+//!     contact_yield: 0.999,
+//!     manufacturing_yield: 0.9,
+//!     index_time_s: 0.1,
+//!     contact_test_time_s: 0.001,
+//!     manufacturing_test_time_s: 1.0,
+//!     abort_on_fail: false,
+//!     retest_contact_failures: true,
+//! };
+//! let outcome = simulate_flow(&params, 2_000, 42);
+//! assert!(outcome.devices_per_hour > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod flow;
+pub mod stats;
+
+pub use flow::{simulate_flow, FlowOutcome, FlowParams};
+pub use stats::{mean, relative_error, std_dev};

@@ -1,0 +1,54 @@
+//! Small statistics helpers for Monte-Carlo results.
+
+/// Arithmetic mean of a sample; 0.0 for an empty slice.
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator); 0.0 for fewer than two
+/// samples.
+pub fn std_dev(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(samples);
+    let var = samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (samples.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Relative error `|measured − expected| / |expected|`; returns the absolute
+/// error when `expected` is zero.
+pub fn relative_error(measured: f64, expected: f64) -> f64 {
+    if expected == 0.0 {
+        measured.abs()
+    } else {
+        (measured - expected).abs() / expected.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_simple_sample() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_of_known_sample() {
+        let s = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s - 2.138089935).abs() < 1e-6);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn relative_error_handles_zero_expectation() {
+        assert_eq!(relative_error(0.5, 0.0), 0.5);
+        assert!((relative_error(11.0, 10.0) - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,246 @@
+//! Wrapper designs and the test application time model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One wrapper chain of a core test wrapper.
+///
+/// A wrapper chain concatenates (a subset of) the module's internal scan
+/// chains with wrapper input cells on the stimulus side and wrapper output
+/// cells on the response side. Its *scan-in length* is the number of bits
+/// that must be shifted in to load a stimulus, its *scan-out length* the
+/// number of bits shifted out to unload a response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WrapperChain {
+    /// Indices (into the module's scan chain list) of the internal scan
+    /// chains placed on this wrapper chain.
+    pub scan_chain_indices: Vec<usize>,
+    /// Total internal scan flip-flops on this wrapper chain.
+    pub scan_flip_flops: u64,
+    /// Wrapper input cells placed on this wrapper chain.
+    pub input_cells: u64,
+    /// Wrapper output cells placed on this wrapper chain.
+    pub output_cells: u64,
+}
+
+impl WrapperChain {
+    /// Creates an empty wrapper chain.
+    pub fn empty() -> Self {
+        WrapperChain {
+            scan_chain_indices: Vec::new(),
+            scan_flip_flops: 0,
+            input_cells: 0,
+            output_cells: 0,
+        }
+    }
+
+    /// Scan-in length of this wrapper chain (input cells + scan flip-flops).
+    pub fn scan_in_length(&self) -> u64 {
+        self.input_cells + self.scan_flip_flops
+    }
+
+    /// Scan-out length of this wrapper chain (scan flip-flops + output
+    /// cells).
+    pub fn scan_out_length(&self) -> u64 {
+        self.output_cells + self.scan_flip_flops
+    }
+
+    /// Whether the chain carries no bits at all.
+    pub fn is_empty(&self) -> bool {
+        self.scan_in_length() == 0 && self.scan_out_length() == 0
+    }
+}
+
+impl fmt::Display for WrapperChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "chain(si={}, so={}, scan={} ff, in={} cells, out={} cells)",
+            self.scan_in_length(),
+            self.scan_out_length(),
+            self.scan_flip_flops,
+            self.input_cells,
+            self.output_cells
+        )
+    }
+}
+
+/// A complete wrapper design for one module at a given TAM width.
+///
+/// Produced by [`crate::combine::design_wrapper`]. The test application time
+/// follows the standard wrapper test-time model (reference \[11\]\[14\] of the
+/// paper):
+///
+/// ```text
+/// t = (1 + max(si, so)) · p + min(si, so)
+/// ```
+///
+/// where `si` / `so` are the longest wrapper scan-in / scan-out chains and
+/// `p` the number of test patterns: each pattern shifts in while the
+/// previous response shifts out (hence the `max`), one capture cycle per
+/// pattern, and the last response still has to be shifted out at the end
+/// (the trailing `min`, because the final unload overlaps with nothing).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WrapperDesign {
+    /// Name of the module this wrapper belongs to.
+    pub module_name: String,
+    /// Number of test patterns of the module.
+    pub patterns: u64,
+    /// The wrapper chains (the design's TAM width is their count).
+    pub chains: Vec<WrapperChain>,
+}
+
+impl WrapperDesign {
+    /// The TAM width (number of wrapper chains).
+    pub fn width(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// The longest scan-in chain `si`.
+    pub fn scan_in_max(&self) -> u64 {
+        self.chains
+            .iter()
+            .map(WrapperChain::scan_in_length)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The longest scan-out chain `so`.
+    pub fn scan_out_max(&self) -> u64 {
+        self.chains
+            .iter()
+            .map(WrapperChain::scan_out_length)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Test application time in test clock cycles.
+    ///
+    /// Degenerate cases: a module with patterns but no scannable bits takes
+    /// one cycle per pattern (pure functional/capture test).
+    pub fn test_time_cycles(&self) -> u64 {
+        let si = self.scan_in_max();
+        let so = self.scan_out_max();
+        if si == 0 && so == 0 {
+            return self.patterns;
+        }
+        (1 + si.max(so)) * self.patterns + si.min(so)
+    }
+
+    /// Total number of stimulus plus response bits transported for the whole
+    /// test (used by data-volume lower bounds).
+    pub fn test_data_bits(&self) -> u64 {
+        let in_bits: u64 = self.chains.iter().map(WrapperChain::scan_in_length).sum();
+        let out_bits: u64 = self.chains.iter().map(WrapperChain::scan_out_length).sum();
+        (in_bits + out_bits) * self.patterns
+    }
+
+    /// Number of completely empty wrapper chains (width was larger than the
+    /// module could use).
+    pub fn empty_chains(&self) -> usize {
+        self.chains.iter().filter(|c| c.is_empty()).count()
+    }
+}
+
+impl fmt::Display for WrapperDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "wrapper[{}] w={} si={} so={} t={} cycles",
+            self.module_name,
+            self.width(),
+            self.scan_in_max(),
+            self.scan_out_max(),
+            self.test_time_cycles()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(scan: u64, inp: u64, out: u64) -> WrapperChain {
+        WrapperChain {
+            scan_chain_indices: vec![],
+            scan_flip_flops: scan,
+            input_cells: inp,
+            output_cells: out,
+        }
+    }
+
+    #[test]
+    fn chain_lengths() {
+        let c = chain(100, 7, 9);
+        assert_eq!(c.scan_in_length(), 107);
+        assert_eq!(c.scan_out_length(), 109);
+        assert!(!c.is_empty());
+        assert!(WrapperChain::empty().is_empty());
+    }
+
+    #[test]
+    fn test_time_formula_matches_reference_example() {
+        // si = 107, so = 109, p = 10 -> (1+109)*10 + 107 = 1207
+        let d = WrapperDesign {
+            module_name: "m".into(),
+            patterns: 10,
+            chains: vec![chain(100, 7, 9)],
+        };
+        assert_eq!(d.test_time_cycles(), 1207);
+    }
+
+    #[test]
+    fn test_time_uses_longest_chains() {
+        let d = WrapperDesign {
+            module_name: "m".into(),
+            patterns: 5,
+            chains: vec![chain(50, 0, 0), chain(10, 0, 40), chain(5, 30, 0)],
+        };
+        assert_eq!(d.scan_in_max(), 50);
+        assert_eq!(d.scan_out_max(), 50);
+        assert_eq!(d.test_time_cycles(), (1 + 50) * 5 + 50);
+    }
+
+    #[test]
+    fn degenerate_design_without_bits_takes_one_cycle_per_pattern() {
+        let d = WrapperDesign {
+            module_name: "comb".into(),
+            patterns: 42,
+            chains: vec![WrapperChain::empty()],
+        };
+        assert_eq!(d.test_time_cycles(), 42);
+    }
+
+    #[test]
+    fn data_bits_counts_both_directions() {
+        let d = WrapperDesign {
+            module_name: "m".into(),
+            patterns: 3,
+            chains: vec![chain(10, 2, 4)],
+        };
+        assert_eq!(d.test_data_bits(), (12 + 14) * 3);
+    }
+
+    #[test]
+    fn empty_chain_count() {
+        let d = WrapperDesign {
+            module_name: "m".into(),
+            patterns: 1,
+            chains: vec![chain(1, 0, 0), WrapperChain::empty(), WrapperChain::empty()],
+        };
+        assert_eq!(d.empty_chains(), 2);
+        assert_eq!(d.width(), 3);
+    }
+
+    #[test]
+    fn display_mentions_module_and_time() {
+        let d = WrapperDesign {
+            module_name: "uart".into(),
+            patterns: 2,
+            chains: vec![chain(3, 1, 1)],
+        };
+        let text = d.to_string();
+        assert!(text.contains("uart"));
+        assert!(text.contains("cycles"));
+    }
+}

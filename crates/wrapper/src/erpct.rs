@@ -1,0 +1,300 @@
+//! The Enhanced Reduced-Pin-Count-Test (E-RPCT) chip-level wrapper.
+//!
+//! RPCT reduces the number of SOC pins that must be contacted by the ATE to
+//! the scan terminals, test control and clock pins; all other functional
+//! pins are reached through the boundary-scan chain. *Enhanced* RPCT
+//! (Vranken et al., ITC 2001 — reference \[9\] of the paper) additionally
+//! routes the internal scan chains through the boundary-scan architecture,
+//! so that `k` external test inputs/outputs can drive `w` internal test
+//! inputs/outputs for any `k ≤ w` (the externally visible width can be
+//! narrowed arbitrarily, at the cost of a serialisation factor `⌈w / k⌉` in
+//! shift time).
+//!
+//! In this reproduction the E-RPCT wrapper is modelled structurally: the
+//! optimizer decides the external channel count `k` (what the ATE pays for)
+//! and the internal TAM width (what the channel groups of the test
+//! architecture use); [`ErpctWrapper`] captures that pair, the pin budget
+//! and the serialisation overhead, and checks the feasibility rules that the
+//! paper states (`k` even, `1 ≤ k/2 ≤ w`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors returned by [`ErpctWrapper::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErpctError {
+    /// The external channel count must be even (half stimulus, half
+    /// response).
+    OddExternalChannels(usize),
+    /// The external channel count must be at least 2.
+    TooFewExternalChannels(usize),
+    /// The internal width must be at least 1.
+    ZeroInternalWidth,
+    /// The external side may not be wider than the internal side
+    /// (`k/2 > w` would leave ATE channels unused).
+    ExternalWiderThanInternal {
+        /// External stimulus/response channel pairs (`k/2`).
+        external_pairs: usize,
+        /// Internal TAM width `w`.
+        internal_width: usize,
+    },
+}
+
+impl fmt::Display for ErpctError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErpctError::OddExternalChannels(k) => {
+                write!(f, "external channel count {k} must be even")
+            }
+            ErpctError::TooFewExternalChannels(k) => {
+                write!(f, "external channel count {k} must be at least 2")
+            }
+            ErpctError::ZeroInternalWidth => write!(f, "internal width must be at least 1"),
+            ErpctError::ExternalWiderThanInternal {
+                external_pairs,
+                internal_width,
+            } => write!(
+                f,
+                "external width {external_pairs} exceeds internal width {internal_width}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ErpctError {}
+
+/// Static configuration of an SOC's test-pin environment used when sizing
+/// the E-RPCT wrapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErpctConfig {
+    /// Total functional pins of the SOC (not contacted during E-RPCT wafer
+    /// test).
+    pub functional_pins: usize,
+    /// Test control pins that must always be contacted (TCK/TMS/TRST-like).
+    pub control_pins: usize,
+    /// Clock pins that must always be contacted.
+    pub clock_pins: usize,
+    /// Power/ground pads that must always be contacted.
+    pub power_pins: usize,
+}
+
+impl Default for ErpctConfig {
+    fn default() -> Self {
+        // A typical large SOC: a handful of test control and clock pins and
+        // a generous power/ground budget.
+        ErpctConfig {
+            functional_pins: 500,
+            control_pins: 5,
+            clock_pins: 2,
+            power_pins: 40,
+        }
+    }
+}
+
+/// A sized E-RPCT wrapper: `external_channels` ATE channels are converted to
+/// `internal_width` internal test inputs and outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErpctWrapper {
+    external_channels: usize,
+    internal_width: usize,
+    config: ErpctConfig,
+}
+
+impl ErpctWrapper {
+    /// Creates an E-RPCT wrapper converting `external_channels` ATE channels
+    /// (`k`, must be even and ≥ 2) into `internal_width` (`w ≥ k/2`)
+    /// internal test inputs and outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ErpctError`] when the `(k, w)` pair violates the
+    /// feasibility rules listed on the variants.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use soctest_wrapper::erpct::{ErpctConfig, ErpctWrapper};
+    /// let wrapper = ErpctWrapper::new(16, 32, ErpctConfig::default())?;
+    /// assert_eq!(wrapper.serialization_factor(), 4);
+    /// # Ok::<(), soctest_wrapper::erpct::ErpctError>(())
+    /// ```
+    pub fn new(
+        external_channels: usize,
+        internal_width: usize,
+        config: ErpctConfig,
+    ) -> Result<Self, ErpctError> {
+        if external_channels < 2 {
+            return Err(ErpctError::TooFewExternalChannels(external_channels));
+        }
+        if external_channels % 2 != 0 {
+            return Err(ErpctError::OddExternalChannels(external_channels));
+        }
+        if internal_width == 0 {
+            return Err(ErpctError::ZeroInternalWidth);
+        }
+        if external_channels / 2 > internal_width {
+            return Err(ErpctError::ExternalWiderThanInternal {
+                external_pairs: external_channels / 2,
+                internal_width,
+            });
+        }
+        Ok(ErpctWrapper {
+            external_channels,
+            internal_width,
+            config,
+        })
+    }
+
+    /// The external ATE channel count `k`.
+    pub fn external_channels(&self) -> usize {
+        self.external_channels
+    }
+
+    /// External stimulus (or response) channel count `k/2`.
+    pub fn external_pairs(&self) -> usize {
+        self.external_channels / 2
+    }
+
+    /// The internal TAM width `w`.
+    pub fn internal_width(&self) -> usize {
+        self.internal_width
+    }
+
+    /// The pin-environment configuration.
+    pub fn config(&self) -> ErpctConfig {
+        self.config
+    }
+
+    /// How many internal shift cycles are needed per external shift cycle:
+    /// `⌈w / (k/2)⌉`. A factor of 1 means the external interface is as wide
+    /// as the internal TAM and no serialisation happens.
+    pub fn serialization_factor(&self) -> usize {
+        self.internal_width.div_ceil(self.external_pairs())
+    }
+
+    /// Number of probe pads that must be contacted at wafer test: the E-RPCT
+    /// channels plus test control, clock and power pins.
+    ///
+    /// This is the pin count `x` that enters the contact-yield model
+    /// (Equation 4.2 of the paper).
+    pub fn contacted_pads(&self) -> usize {
+        self.external_channels
+            + self.config.control_pins
+            + self.config.clock_pins
+            + self.config.power_pins
+    }
+
+    /// Number of pads contacted at final (packaged) test, where every pin is
+    /// touched.
+    pub fn final_test_pads(&self) -> usize {
+        self.config.functional_pins
+            + self.config.control_pins
+            + self.config.clock_pins
+            + self.config.power_pins
+    }
+
+    /// The reduction in contacted pads that RPCT buys at wafer test,
+    /// compared to contacting every pin.
+    pub fn pad_reduction(&self) -> usize {
+        self.final_test_pads().saturating_sub(self.contacted_pads())
+    }
+
+    /// Length of the boundary-scan register implied by the functional pins
+    /// (one boundary cell per functional pin).
+    pub fn boundary_scan_length(&self) -> usize {
+        self.config.functional_pins
+    }
+}
+
+impl fmt::Display for ErpctWrapper {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "E-RPCT {}↔{} (serialisation x{}, {} pads contacted)",
+            self.external_channels,
+            self.internal_width,
+            self.serialization_factor(),
+            self.contacted_pads()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_wrapper_reports_widths() {
+        let w = ErpctWrapper::new(8, 16, ErpctConfig::default()).unwrap();
+        assert_eq!(w.external_channels(), 8);
+        assert_eq!(w.external_pairs(), 4);
+        assert_eq!(w.internal_width(), 16);
+        assert_eq!(w.serialization_factor(), 4);
+    }
+
+    #[test]
+    fn matching_widths_have_no_serialisation() {
+        let w = ErpctWrapper::new(32, 16, ErpctConfig::default()).unwrap();
+        assert_eq!(w.serialization_factor(), 1);
+    }
+
+    #[test]
+    fn odd_channels_rejected() {
+        assert_eq!(
+            ErpctWrapper::new(7, 8, ErpctConfig::default()),
+            Err(ErpctError::OddExternalChannels(7))
+        );
+    }
+
+    #[test]
+    fn too_few_channels_rejected() {
+        assert!(matches!(
+            ErpctWrapper::new(0, 8, ErpctConfig::default()),
+            Err(ErpctError::TooFewExternalChannels(0))
+        ));
+    }
+
+    #[test]
+    fn zero_internal_width_rejected() {
+        assert_eq!(
+            ErpctWrapper::new(4, 0, ErpctConfig::default()),
+            Err(ErpctError::ZeroInternalWidth)
+        );
+    }
+
+    #[test]
+    fn external_wider_than_internal_rejected() {
+        let err = ErpctWrapper::new(10, 4, ErpctConfig::default()).unwrap_err();
+        assert!(matches!(err, ErpctError::ExternalWiderThanInternal { .. }));
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn contacted_pads_counts_test_infrastructure_only() {
+        let config = ErpctConfig {
+            functional_pins: 700,
+            control_pins: 6,
+            clock_pins: 3,
+            power_pins: 50,
+        };
+        let w = ErpctWrapper::new(20, 40, config).unwrap();
+        assert_eq!(w.contacted_pads(), 20 + 6 + 3 + 50);
+        assert_eq!(w.final_test_pads(), 700 + 6 + 3 + 50);
+        assert_eq!(w.pad_reduction(), 700 - 20);
+        assert_eq!(w.boundary_scan_length(), 700);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let w = ErpctWrapper::new(8, 24, ErpctConfig::default()).unwrap();
+        let text = w.to_string();
+        assert!(text.contains("8"));
+        assert!(text.contains("24"));
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<ErpctError>();
+    }
+}

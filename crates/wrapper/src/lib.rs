@@ -1,0 +1,51 @@
+//! Core test-wrapper design and the E-RPCT chip-level wrapper.
+//!
+//! This crate implements the wrapper side of the on-chip test infrastructure
+//! of Goel & Marinissen (DATE 2005):
+//!
+//! * [`combine`] — the COMBINE wrapper-design algorithm of Marinissen, Goel &
+//!   Lousberg (ITC 2000, reference \[14\] of the paper): given a module and a
+//!   TAM width `w`, partition the module's internal scan chains and its
+//!   functional terminals over `w` wrapper chains such that the test
+//!   application time is minimised,
+//! * [`design`] — the resulting [`WrapperDesign`] and the test-time model
+//!   `t(w) = (1 + max(si, so)) · p + min(si, so)`,
+//! * [`pareto`] — enumeration of Pareto-optimal TAM widths for a module,
+//! * [`erpct`] — the Enhanced Reduced-Pin-Count-Test chip-level wrapper that
+//!   converts `k` external ATE channels into `w` internal test terminals,
+//! * [`sim`] — a cycle-accurate shift simulation used to validate the
+//!   test-time formula against an explicit schedule.
+//!
+//! # Example
+//!
+//! ```
+//! use soctest_soc_model::Module;
+//! use soctest_wrapper::combine::design_wrapper;
+//!
+//! let module = Module::builder("core")
+//!     .patterns(100)
+//!     .inputs(20)
+//!     .outputs(30)
+//!     .scan_chains([120, 110, 100, 90])
+//!     .build();
+//! let design = design_wrapper(&module, 4);
+//! assert_eq!(design.width(), 4);
+//! // Four wrapper chains of roughly (scan + io/4) bits each.
+//! assert!(design.test_time_cycles() < design_wrapper(&module, 1).test_time_cycles());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod combine;
+pub mod design;
+pub mod erpct;
+pub mod lpt;
+pub mod pareto;
+pub mod sim;
+
+pub use combine::design_wrapper;
+pub use design::{WrapperChain, WrapperDesign};
+pub use erpct::{ErpctConfig, ErpctWrapper};
+pub use pareto::{pareto_widths, saturation_width, ParetoPoint};

@@ -1,0 +1,239 @@
+//! Largest-Processing-Time-first (LPT) multiway number partitioning.
+//!
+//! The COMBINE wrapper-design algorithm assigns a module's internal scan
+//! chains to wrapper chains so that the longest wrapper chain is as short as
+//! possible. This is the classic makespan-minimisation problem on identical
+//! machines; LPT (sort the items by decreasing size, always assign to the
+//! currently least-loaded bin) is the standard 4/3-approximation used by the
+//! original COMBINE publication.
+
+/// Result of partitioning items over a fixed number of bins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// For each input item (by original index), the bin it was assigned to.
+    pub assignment: Vec<usize>,
+    /// Total load per bin.
+    pub loads: Vec<u64>,
+}
+
+impl Partition {
+    /// The maximum bin load (the makespan).
+    pub fn makespan(&self) -> u64 {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The minimum bin load.
+    pub fn min_load(&self) -> u64 {
+        self.loads.iter().copied().min().unwrap_or(0)
+    }
+}
+
+/// Partitions `items` (sizes) over `bins` bins using the LPT rule.
+///
+/// Items of size zero are assigned like any other item. When `bins` exceeds
+/// the item count the surplus bins stay empty.
+///
+/// # Panics
+///
+/// Panics if `bins == 0`.
+///
+/// # Example
+///
+/// ```
+/// use soctest_wrapper::lpt::lpt_partition;
+/// let p = lpt_partition(&[7, 5, 4, 3, 1], 2);
+/// assert_eq!(p.loads.iter().sum::<u64>(), 20);
+/// assert!(p.makespan() <= 11); // optimal is 10, LPT guarantees <= 4/3 OPT
+/// ```
+pub fn lpt_partition(items: &[u64], bins: usize) -> Partition {
+    assert!(bins > 0, "cannot partition into zero bins");
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    // Decreasing size; ties broken by original index for determinism.
+    order.sort_by(|&a, &b| items[b].cmp(&items[a]).then(a.cmp(&b)));
+
+    let mut loads = vec![0u64; bins];
+    let mut assignment = vec![0usize; items.len()];
+    for &idx in &order {
+        let bin = least_loaded(&loads);
+        assignment[idx] = bin;
+        loads[bin] += items[idx];
+    }
+    Partition { assignment, loads }
+}
+
+/// Index of the least-loaded bin (first one on ties, for determinism).
+fn least_loaded(loads: &[u64]) -> usize {
+    let mut best = 0;
+    for (i, &load) in loads.iter().enumerate() {
+        if load < loads[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Distributes `amount` indivisible unit items (e.g. wrapper I/O cells) over
+/// bins that already have the given `loads`, so that the resulting maximum
+/// load is minimised ("water filling").
+///
+/// Returns the per-bin number of added units.
+///
+/// # Panics
+///
+/// Panics if `loads` is empty.
+///
+/// # Example
+///
+/// ```
+/// use soctest_wrapper::lpt::water_fill;
+/// let added = water_fill(&[10, 4, 4], 8);
+/// assert_eq!(added.iter().sum::<u64>(), 8);
+/// // The two short bins receive the cells first.
+/// assert_eq!(added[0], 0);
+/// ```
+pub fn water_fill(loads: &[u64], amount: u64) -> Vec<u64> {
+    assert!(!loads.is_empty(), "cannot water-fill zero bins");
+    let mut current: Vec<u64> = loads.to_vec();
+    let mut added = vec![0u64; loads.len()];
+    // Exact greedy: repeatedly add to the lowest bin. To avoid O(amount)
+    // iterations for large cell counts, level in bulk.
+    let mut remaining = amount;
+    while remaining > 0 {
+        // Find the minimum level and how many bins sit at it.
+        let min = *current.iter().min().expect("non-empty");
+        let at_min: Vec<usize> = current
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == min)
+            .map(|(i, _)| i)
+            .collect();
+        // Next level above the minimum (or unbounded if all equal).
+        let next = current
+            .iter()
+            .copied()
+            .filter(|&l| l > min)
+            .min()
+            .unwrap_or(u64::MAX);
+        let capacity_to_next = if next == u64::MAX {
+            remaining
+        } else {
+            (next - min)
+                .saturating_mul(at_min.len() as u64)
+                .min(remaining)
+        };
+        if capacity_to_next >= at_min.len() as u64 {
+            // Raise all minimum bins by an equal integer amount.
+            let per_bin = capacity_to_next / at_min.len() as u64;
+            for &i in &at_min {
+                current[i] += per_bin;
+                added[i] += per_bin;
+            }
+            remaining -= per_bin * at_min.len() as u64;
+        } else {
+            // Fewer units than bins at the minimum: hand out one each.
+            for &i in at_min.iter().take(remaining as usize) {
+                current[i] += 1;
+                added[i] += 1;
+            }
+            remaining = 0;
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_preserves_total_load() {
+        let items = [5u64, 9, 3, 3, 7, 1];
+        let p = lpt_partition(&items, 3);
+        assert_eq!(p.loads.iter().sum::<u64>(), items.iter().sum::<u64>());
+        assert_eq!(p.assignment.len(), items.len());
+        assert!(p.assignment.iter().all(|&b| b < 3));
+    }
+
+    #[test]
+    fn single_bin_gets_everything() {
+        let p = lpt_partition(&[4, 4, 4], 1);
+        assert_eq!(p.loads, vec![12]);
+        assert_eq!(p.makespan(), 12);
+    }
+
+    #[test]
+    fn more_bins_than_items_leaves_empty_bins() {
+        let p = lpt_partition(&[10, 20], 5);
+        assert_eq!(p.loads.iter().filter(|&&l| l == 0).count(), 3);
+        assert_eq!(p.makespan(), 20);
+    }
+
+    #[test]
+    fn lpt_is_within_four_thirds_of_optimum_on_known_case() {
+        // Classic example: optimal makespan 10 with items below on 2 bins.
+        let p = lpt_partition(&[7, 5, 4, 3, 1], 2);
+        assert!(p.makespan() <= 11);
+    }
+
+    #[test]
+    fn empty_items_give_zero_loads() {
+        let p = lpt_partition(&[], 4);
+        assert_eq!(p.makespan(), 0);
+        assert_eq!(p.min_load(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bins")]
+    fn zero_bins_panics() {
+        let _ = lpt_partition(&[1], 0);
+    }
+
+    #[test]
+    fn deterministic_on_ties() {
+        let a = lpt_partition(&[5, 5, 5, 5], 2);
+        let b = lpt_partition(&[5, 5, 5, 5], 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn water_fill_distributes_exactly() {
+        let added = water_fill(&[3, 3, 3], 7);
+        assert_eq!(added.iter().sum::<u64>(), 7);
+        let max = added.iter().max().unwrap();
+        let min = added.iter().min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn water_fill_levels_uneven_bins() {
+        let added = water_fill(&[10, 0, 0], 6);
+        assert_eq!(added[0], 0);
+        assert_eq!(added[1] + added[2], 6);
+        assert!(added[1].abs_diff(added[2]) <= 1);
+    }
+
+    #[test]
+    fn water_fill_with_zero_amount_is_noop() {
+        assert_eq!(water_fill(&[1, 2, 3], 0), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn water_fill_large_amount_is_fast_and_balanced() {
+        let added = water_fill(&[100, 50, 10], 1_000_000);
+        assert_eq!(added.iter().sum::<u64>(), 1_000_000);
+        let final_loads: Vec<u64> = [100u64, 50, 10]
+            .iter()
+            .zip(&added)
+            .map(|(a, b)| a + b)
+            .collect();
+        let max = final_loads.iter().max().unwrap();
+        let min = final_loads.iter().min().unwrap();
+        assert!(max - min <= 1, "final loads not level: {final_loads:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bins")]
+    fn water_fill_zero_bins_panics() {
+        let _ = water_fill(&[], 3);
+    }
+}

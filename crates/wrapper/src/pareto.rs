@@ -1,0 +1,147 @@
+//! Pareto-optimal TAM widths for a module.
+//!
+//! The test time of a wrapped module is a non-increasing staircase function
+//! of the TAM width: beyond some width the longest internal scan chain
+//! dominates and extra wrapper chains no longer help. The TAM optimization
+//! only ever needs to consider the widths at which the test time actually
+//! drops — the *Pareto-optimal* widths.
+
+use crate::combine::test_time_at_width;
+use serde::{Deserialize, Serialize};
+use soctest_soc_model::Module;
+
+/// One Pareto-optimal `(width, test time)` point of a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// TAM width in wrapper chains.
+    pub width: usize,
+    /// Test application time in cycles at that width.
+    pub test_time_cycles: u64,
+}
+
+/// Enumerates the Pareto-optimal widths of `module` from 1 up to
+/// `max_width`.
+///
+/// The returned list is ordered by increasing width and strictly decreasing
+/// test time; the first entry is always width 1.
+///
+/// # Panics
+///
+/// Panics if `max_width == 0`.
+///
+/// # Example
+///
+/// ```
+/// use soctest_soc_model::Module;
+/// use soctest_wrapper::pareto::pareto_widths;
+///
+/// let m = Module::builder("m").patterns(10).scan_chains([50, 50, 50, 50]).build();
+/// let points = pareto_widths(&m, 8);
+/// assert_eq!(points.first().unwrap().width, 1);
+/// // Width 3 gives the same makespan as width 2 (two chains of 100 vs 100/50/50),
+/// // so it is not Pareto-optimal.
+/// assert!(points.iter().all(|p| p.width != 3));
+/// ```
+pub fn pareto_widths(module: &Module, max_width: usize) -> Vec<ParetoPoint> {
+    assert!(max_width > 0, "max_width must be at least 1");
+    let mut points = Vec::new();
+    let mut best = u64::MAX;
+    for width in 1..=max_width {
+        let t = test_time_at_width(module, width);
+        if t < best {
+            points.push(ParetoPoint {
+                width,
+                test_time_cycles: t,
+            });
+            best = t;
+        }
+    }
+    points
+}
+
+/// The smallest width at which the module reaches its minimum test time
+/// (searching up to `max_width`). Widths beyond the saturation width waste
+/// ATE channels.
+///
+/// # Panics
+///
+/// Panics if `max_width == 0`.
+pub fn saturation_width(module: &Module, max_width: usize) -> usize {
+    pareto_widths(module, max_width)
+        .last()
+        .map(|p| p.width)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctest_soc_model::Module;
+
+    fn module() -> Module {
+        Module::builder("m")
+            .patterns(20)
+            .inputs(10)
+            .outputs(10)
+            .scan_chains([60u64, 50, 40, 30, 20, 10])
+            .build()
+    }
+
+    #[test]
+    fn pareto_points_strictly_decrease() {
+        let points = pareto_widths(&module(), 16);
+        for pair in points.windows(2) {
+            assert!(pair[1].test_time_cycles < pair[0].test_time_cycles);
+            assert!(pair[1].width > pair[0].width);
+        }
+    }
+
+    #[test]
+    fn first_point_is_width_one() {
+        let points = pareto_widths(&module(), 16);
+        assert_eq!(points[0].width, 1);
+    }
+
+    #[test]
+    fn saturation_width_is_last_pareto_width() {
+        let m = module();
+        let points = pareto_widths(&m, 32);
+        assert_eq!(saturation_width(&m, 32), points.last().unwrap().width);
+    }
+
+    #[test]
+    fn saturation_never_exceeds_useful_width() {
+        let m = module();
+        let sat = saturation_width(&m, 64);
+        // Beyond one chain per scan chain plus one per IO cell there is nothing to gain.
+        assert!(sat <= 6 + 20);
+        // And the time at saturation equals the time at the maximum width.
+        assert_eq!(test_time_at_width(&m, sat), test_time_at_width(&m, 64),);
+    }
+
+    #[test]
+    fn memory_like_module_saturates_immediately() {
+        let m = Module::builder("mem")
+            .patterns(1000)
+            .inputs(4)
+            .outputs(4)
+            .scan_chain(500)
+            .build();
+        // One long chain: width 1 already achieves (1+504)*1000 + ...; more
+        // width only strips the few IO cells off.
+        let sat = saturation_width(&m, 16);
+        assert!(sat <= 3);
+    }
+
+    #[test]
+    fn pareto_respects_max_width_cap() {
+        let points = pareto_widths(&module(), 2);
+        assert!(points.iter().all(|p| p.width <= 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_width")]
+    fn zero_max_width_panics() {
+        let _ = pareto_widths(&module(), 0);
+    }
+}

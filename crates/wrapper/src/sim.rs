@@ -1,0 +1,237 @@
+//! Cycle-accurate shift simulation of a wrapper design.
+//!
+//! The analytic test-time formula of [`crate::design::WrapperDesign`] is the
+//! foundation of the whole optimization; this module validates it by
+//! explicitly simulating the scan schedule of a wrapped module, cycle by
+//! cycle, and counting how many test-clock cycles elapse until the last
+//! response bit has been unloaded.
+//!
+//! The simulated schedule is the standard overlapped scan protocol:
+//!
+//! 1. for each pattern, shift for `max(si, so)` cycles — stimulus `i+1`
+//!    shifts in while response `i` shifts out;
+//! 2. one capture cycle per pattern;
+//! 3. after the last capture, shift for `min(si, so)`... — strictly, the
+//!    last unload takes `so` cycles, but `so − min(si, so)` of them were
+//!    already accounted for in the per-pattern `max`; the remaining
+//!    `min(si, so)` cycles are the tail.
+//!
+//! The simulator tracks per-chain bit positions rather than actual data
+//! values — the quantity of interest is the cycle count, not the test
+//! response.
+
+use crate::design::WrapperDesign;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of simulating a wrapper design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimulationOutcome {
+    /// Total test clock cycles until the last response bit is unloaded.
+    pub cycles: u64,
+    /// Number of capture cycles (equals the pattern count).
+    pub captures: u64,
+    /// Total stimulus bits shifted in.
+    pub stimulus_bits: u64,
+    /// Total response bits shifted out.
+    pub response_bits: u64,
+}
+
+/// Simulates the overlapped scan schedule of `design` and returns the cycle
+/// count and data-volume bookkeeping.
+///
+/// The result's `cycles` field always equals
+/// [`WrapperDesign::test_time_cycles`]; the simulation exists to demonstrate
+/// that the closed-form expression and an explicit schedule agree.
+///
+/// # Example
+///
+/// ```
+/// use soctest_soc_model::Module;
+/// use soctest_wrapper::{combine::design_wrapper, sim::simulate};
+///
+/// let m = Module::builder("m").patterns(4).inputs(3).outputs(5).scan_chains([10, 8]).build();
+/// let design = design_wrapper(&m, 2);
+/// let outcome = simulate(&design);
+/// assert_eq!(outcome.cycles, design.test_time_cycles());
+/// ```
+pub fn simulate(design: &WrapperDesign) -> SimulationOutcome {
+    let si: Vec<u64> = design.chains.iter().map(|c| c.scan_in_length()).collect();
+    let so: Vec<u64> = design.chains.iter().map(|c| c.scan_out_length()).collect();
+    let si_max = si.iter().copied().max().unwrap_or(0);
+    let so_max = so.iter().copied().max().unwrap_or(0);
+
+    let mut cycles: u64 = 0;
+    let mut stimulus_bits: u64 = 0;
+    let mut response_bits: u64 = 0;
+    let mut captures: u64 = 0;
+
+    if si_max == 0 && so_max == 0 {
+        // Pure functional test: one capture per pattern, nothing to shift.
+        return SimulationOutcome {
+            cycles: design.patterns,
+            captures: design.patterns,
+            stimulus_bits: 0,
+            response_bits: 0,
+        };
+    }
+
+    // Whether a previous response is pending in the chains.
+    let mut response_pending = false;
+    for _pattern in 0..design.patterns {
+        // Overlapped shift phase: load the next stimulus while unloading the
+        // previous response. Per cycle, every chain that still has stimulus
+        // bits to load shifts one in, and every chain that still has
+        // response bits to dump shifts one out.
+        let shift_cycles = if response_pending {
+            si_max.max(so_max)
+        } else {
+            si_max
+        };
+        for cycle in 0..shift_cycles {
+            for chain in 0..design.chains.len() {
+                if cycle < si[chain] {
+                    stimulus_bits += 1;
+                }
+                if response_pending && cycle < so[chain] {
+                    response_bits += 1;
+                }
+            }
+        }
+        cycles += shift_cycles;
+        // Capture cycle.
+        cycles += 1;
+        captures += 1;
+        response_pending = true;
+    }
+
+    // Final unload: the last response still sits in the chains. Of its
+    // `so_max` cycles, none can overlap with a subsequent load, so they are
+    // all paid — but the closed form bills `min(si, so)` here and the excess
+    // `so_max - min` inside the per-pattern `max`; the simulation simply
+    // pays the full unload and reconciles below.
+    if response_pending {
+        for cycle in 0..so_max {
+            for chain in 0..design.chains.len() {
+                if cycle < so[chain] {
+                    response_bits += 1;
+                }
+            }
+        }
+        cycles += so_max;
+    }
+
+    // Reconcile with the closed form: the simulation above charges the first
+    // pattern's load as `si_max` (no overlap available) and the last unload
+    // as `so_max`, i.e. in total `si_max + (p-1)*max + p + so_max`, whereas
+    // the closed form is `(1+max)*p + min`. The two are identical:
+    //   si_max + so_max = max + min.
+    SimulationOutcome {
+        cycles,
+        captures,
+        stimulus_bits,
+        response_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combine::design_wrapper;
+    use soctest_soc_model::Module;
+
+    fn check(module: &Module, width: usize) {
+        let design = design_wrapper(module, width);
+        let outcome = simulate(&design);
+        assert_eq!(
+            outcome.cycles,
+            design.test_time_cycles(),
+            "module {} width {width}",
+            module.name()
+        );
+        assert_eq!(outcome.captures, module.patterns());
+    }
+
+    #[test]
+    fn simulation_matches_formula_for_balanced_core() {
+        let m = Module::builder("bal")
+            .patterns(7)
+            .inputs(6)
+            .outputs(6)
+            .scan_chains([20u64, 20, 20, 20])
+            .build();
+        for width in 1..=6 {
+            check(&m, width);
+        }
+    }
+
+    #[test]
+    fn simulation_matches_formula_for_asymmetric_io() {
+        let m = Module::builder("asym")
+            .patterns(5)
+            .inputs(40)
+            .outputs(3)
+            .scan_chains([15u64, 9])
+            .build();
+        for width in 1..=5 {
+            check(&m, width);
+        }
+    }
+
+    #[test]
+    fn simulation_matches_formula_for_combinational_core() {
+        let m = Module::builder("comb")
+            .patterns(9)
+            .inputs(12)
+            .outputs(20)
+            .build();
+        for width in 1..=4 {
+            check(&m, width);
+        }
+    }
+
+    #[test]
+    fn pure_capture_test_has_no_shift_bits() {
+        let m = Module::builder("void").patterns(11).build();
+        let design = design_wrapper(&m, 2);
+        let outcome = simulate(&design);
+        assert_eq!(outcome.cycles, 11);
+        assert_eq!(outcome.stimulus_bits, 0);
+        assert_eq!(outcome.response_bits, 0);
+    }
+
+    #[test]
+    fn stimulus_bits_match_data_volume() {
+        let m = Module::builder("vol")
+            .patterns(3)
+            .inputs(5)
+            .outputs(2)
+            .scan_chains([8u64, 4])
+            .build();
+        let design = design_wrapper(&m, 2);
+        let outcome = simulate(&design);
+        // Every pattern loads all scan-in bits; every pattern unloads all
+        // scan-out bits.
+        let per_pattern_in: u64 = design.chains.iter().map(|c| c.scan_in_length()).sum();
+        let per_pattern_out: u64 = design.chains.iter().map(|c| c.scan_out_length()).sum();
+        assert_eq!(outcome.stimulus_bits, per_pattern_in * 3);
+        assert_eq!(outcome.response_bits, per_pattern_out * 3);
+    }
+
+    #[test]
+    fn d695_cores_validate_against_formula() {
+        let soc = soctest_soc_model::benchmarks::d695();
+        // Keep the simulation cheap: scale pattern counts down.
+        for (_, module) in soc.iter() {
+            let small = Module::builder(module.name())
+                .patterns(module.patterns().min(5))
+                .inputs(module.inputs())
+                .outputs(module.outputs())
+                .bidirs(module.bidirs())
+                .scan_chains(module.scan_chains().iter().map(|c| c.length))
+                .build();
+            for width in [1usize, 2, 3, 8] {
+                check(&small, width);
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for wrapper design invariants.
+
+use proptest::prelude::*;
+use soctest_soc_model::Module;
+use soctest_wrapper::combine::{design_wrapper, min_width_for_time, test_time_at_width};
+use soctest_wrapper::pareto::pareto_widths;
+use soctest_wrapper::sim::simulate;
+
+prop_compose! {
+    fn arb_module()(
+        patterns in 1u64..200,
+        inputs in 0u32..100,
+        outputs in 0u32..100,
+        bidirs in 0u32..20,
+        chains in proptest::collection::vec(1u64..400, 0..12),
+    ) -> Module {
+        Module::builder("prop")
+            .patterns(patterns)
+            .inputs(inputs)
+            .outputs(outputs)
+            .bidirs(bidirs)
+            .scan_chains(chains)
+            .build()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn design_conserves_scan_chains_and_cells(module in arb_module(), width in 1usize..10) {
+        let design = design_wrapper(&module, width);
+        prop_assert_eq!(design.width(), width);
+        let total_ff: u64 = design.chains.iter().map(|c| c.scan_flip_flops).sum();
+        prop_assert_eq!(total_ff, module.total_scan_flip_flops());
+        let total_in: u64 = design.chains.iter().map(|c| c.input_cells).sum();
+        prop_assert_eq!(total_in, module.wrapper_input_cells());
+        let total_out: u64 = design.chains.iter().map(|c| c.output_cells).sum();
+        prop_assert_eq!(total_out, module.wrapper_output_cells());
+        let mut indices: Vec<usize> = design
+            .chains
+            .iter()
+            .flat_map(|c| c.scan_chain_indices.iter().copied())
+            .collect();
+        indices.sort_unstable();
+        let expected: Vec<usize> = (0..module.num_scan_chains()).collect();
+        prop_assert_eq!(indices, expected);
+    }
+
+    #[test]
+    fn test_time_is_monotone_non_increasing(module in arb_module()) {
+        let mut prev = u64::MAX;
+        for width in 1..=12 {
+            let t = test_time_at_width(&module, width);
+            prop_assert!(t <= prev, "width {} time {} > {}", width, t, prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn test_time_never_undershoots_module_floor(module in arb_module(), width in 1usize..12) {
+        // The floor assumes one wrapper chain per scan element.
+        prop_assert!(test_time_at_width(&module, width) >= module.patterns());
+        prop_assert!(
+            test_time_at_width(&module, 64) >= module.test_time_floor_cycles().min(
+                test_time_at_width(&module, 64)
+            )
+        );
+    }
+
+    #[test]
+    fn simulation_agrees_with_closed_form(module in arb_module(), width in 1usize..8) {
+        // Cap patterns so the explicit simulation stays cheap.
+        let capped = Module::builder(module.name())
+            .patterns(module.patterns().min(8))
+            .inputs(module.inputs().min(30))
+            .outputs(module.outputs().min(30))
+            .bidirs(module.bidirs().min(5))
+            .scan_chains(module.scan_chains().iter().map(|c| c.length.min(60)))
+            .build();
+        let design = design_wrapper(&capped, width);
+        prop_assert_eq!(simulate(&design).cycles, design.test_time_cycles());
+    }
+
+    #[test]
+    fn min_width_is_consistent_with_direct_evaluation(module in arb_module()) {
+        let budget = test_time_at_width(&module, 4);
+        if let Some(w) = min_width_for_time(&module, budget, 16) {
+            prop_assert!(test_time_at_width(&module, w) <= budget);
+            if w > 1 {
+                prop_assert!(test_time_at_width(&module, w - 1) > budget);
+            }
+        } else {
+            prop_assert!(test_time_at_width(&module, 16) > budget);
+        }
+    }
+
+    #[test]
+    fn pareto_points_are_strictly_improving(module in arb_module()) {
+        let points = pareto_widths(&module, 16);
+        prop_assert!(!points.is_empty());
+        for pair in points.windows(2) {
+            prop_assert!(pair[1].test_time_cycles < pair[0].test_time_cycles);
+        }
+        // Every Pareto time must be achievable at its width.
+        for p in &points {
+            prop_assert_eq!(test_time_at_width(&module, p.width), p.test_time_cycles);
+        }
+    }
+}

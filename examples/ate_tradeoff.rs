@@ -1,0 +1,47 @@
+//! ATE purchasing trade-off study: how does wafer-test throughput respond
+//! to more channels versus deeper vector memory, and which upgrade is more
+//! cost-effective for a given budget?
+//!
+//! Run with: `cargo run --release --example ate_tradeoff`
+
+use soctest::multisite::sweep::{channel_sweep, cost_effectiveness, depth_sweep};
+use soctest::prelude::*;
+use soctest::soc_model::synthetic::pnx8550_like;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let soc = pnx8550_like();
+    let config = OptimizerConfig::paper_section7();
+
+    println!("Throughput vs. ATE channels (7 M vectors/channel):");
+    let channels: Vec<usize> = (0..=4).map(|i| 512 + 128 * i).collect();
+    for point in channel_sweep(&soc, &config, &channels)? {
+        println!(
+            "  {:>5} channels -> {:>8.0} devices/hour (n_opt = {})",
+            point.parameter, point.optimal.devices_per_hour, point.optimal.sites
+        );
+    }
+
+    println!("\nThroughput vs. vector memory depth (512 channels):");
+    let depths: Vec<u64> = [5u64, 7, 10, 14].iter().map(|m| m * 1024 * 1024).collect();
+    for point in depth_sweep(&soc, &config, &depths)? {
+        println!(
+            "  {:>9.0} vectors -> {:>8.0} devices/hour (n_opt = {})",
+            point.parameter, point.optimal.devices_per_hour, point.optimal.sites
+        );
+    }
+
+    let result = cost_effectiveness(&soc, &config, &AteCostModel::paper_prices())?;
+    println!(
+        "\nSpending ${:.0}: memory doubling {:+.1}% vs {} extra channels {:+.1}% — {} wins.",
+        result.memory_upgrade_cost_usd,
+        100.0 * result.memory_gain(),
+        result.equivalent_extra_channels,
+        100.0 * result.channel_gain(),
+        if result.memory_wins() {
+            "memory"
+        } else {
+            "channels"
+        }
+    );
+    Ok(())
+}

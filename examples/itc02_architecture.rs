@@ -1,0 +1,54 @@
+//! Architecture exploration on the ITC'02 benchmark SOCs: for each embedded
+//! benchmark, design the channel-minimal architecture at a Table-1 memory
+//! depth, compare it against the rectangle bin-packing baseline and the
+//! theoretical lower bound, and print the resulting test schedule.
+//!
+//! Run with: `cargo run --release --example itc02_architecture`
+
+use soctest::prelude::*;
+use soctest::soc_model::benchmarks;
+use soctest::tam::baseline::{lower_bound_channels, pack_with_table};
+use soctest::tam::step1::design_with_table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cases: [(&str, usize, u64); 4] = [
+        ("d695", 256, 64 * 1024),
+        ("p22810", 512, 512 * 1024),
+        ("p34392", 512, 1_256_000),
+        ("p93791", 512, 2_000_000),
+    ];
+
+    for (name, channels, depth) in cases {
+        let soc = benchmarks::by_name(name)?;
+        let table = TimeTable::build(&soc, channels / 2);
+        let ours = design_with_table(&table, channels, depth)?;
+        let baseline = pack_with_table(&table, channels, depth)?;
+        let lb = lower_bound_channels(&table, depth).expect("feasible depth");
+
+        println!("=== {name} (depth {depth} vectors, {channels}-channel ATE) ===");
+        println!(
+            "  lower bound k = {lb}, baseline [7] k = {}, ours k = {}",
+            baseline.architecture.total_channels(),
+            ours.total_channels()
+        );
+        println!(
+            "  maximum multi-site (with broadcast): baseline {}, ours {}",
+            baseline.architecture.max_sites_with_broadcast(channels),
+            ours.max_sites_with_broadcast(channels)
+        );
+
+        let schedule = TestSchedule::from_architecture(&ours, &table);
+        assert!(schedule.is_consistent());
+        println!(
+            "  schedule: {} module tests over {} channel groups, makespan {} cycles",
+            schedule.entries.len(),
+            ours.groups.len(),
+            schedule.makespan()
+        );
+        for group in &ours.groups {
+            println!("    {group}");
+        }
+        println!();
+    }
+    Ok(())
+}

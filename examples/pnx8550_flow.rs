@@ -1,0 +1,49 @@
+//! End-to-end reproduction of the paper's PNX8550 scenario: design the test
+//! infrastructure on the 512-channel / 7 M-vector ATE, compare the cases
+//! with and without stimulus broadcast, and validate the predicted
+//! throughput with the Monte-Carlo wafer-flow simulator.
+//!
+//! Run with: `cargo run --release --example pnx8550_flow`
+
+use soctest::prelude::*;
+use soctest::soc_model::synthetic::pnx8550_like;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The PNX8550 stand-in: 62 logic cores plus 212 embedded memories.
+    let soc = pnx8550_like();
+    println!("SOC: {} — {}", soc.name(), soc.stats());
+
+    // The paper's wafer-test cell: 512 channels, 7 M vectors, 5 MHz.
+    let config = OptimizerConfig::paper_section7();
+    println!("{}", config.test_cell.ate);
+
+    for (label, options) in [
+        ("without stimulus broadcast", MultiSiteOptions::baseline()),
+        (
+            "with stimulus broadcast",
+            MultiSiteOptions::baseline().with_broadcast(),
+        ),
+    ] {
+        let config = config.with_options(options);
+        let solution = optimize(&soc, &config)?;
+        println!(
+            "\n[{label}] n_max = {}, n_opt = {}, k = {} channels/site, t_m = {:.3} s, D_th = {:.0}/h",
+            solution.max_sites,
+            solution.optimal.sites,
+            solution.optimal.channels_per_site,
+            solution.optimal.manufacturing_test_time_s,
+            solution.optimal.devices_per_hour
+        );
+
+        // Cross-check the analytic throughput with a die-by-die simulation
+        // of one full wafer's worth of dies.
+        let wafer = soctest::ate::WaferMap::monster_chip_300mm();
+        let flow = FlowParams::from_solution(&solution, &config);
+        let outcome = simulate_flow(&flow, wafer.gross_dies(), 8550);
+        println!(
+            "  Monte-Carlo check on a {} die wafer: {:.0} devices/hour measured ({} touchdowns).",
+            outcome.unique_devices, outcome.devices_per_hour, outcome.touchdowns
+        );
+    }
+    Ok(())
+}

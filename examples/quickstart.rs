@@ -1,0 +1,45 @@
+//! Quickstart: optimize the multi-site test infrastructure of the embedded
+//! d695 benchmark SOC on a small ATE and print the resulting DfT.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use soctest::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The SOC under test: the ITC'02 d695 benchmark (ten ISCAS cores).
+    let soc = soctest::soc_model::benchmarks::d695();
+    println!("SOC: {} — {}", soc.name(), soc.stats());
+
+    // 2. The fixed test cell: a modest 256-channel ATE with 96K vectors per
+    //    channel, a 5 MHz test clock, and the paper's probe station.
+    let cell = TestCell::new(
+        AteSpec::new(256, 96 * 1024, 5.0e6),
+        ProbeStation::paper_probe_station(),
+    );
+    println!("{}", cell.ate);
+
+    // 3. Run the two-step optimizer.
+    let config = OptimizerConfig::new(cell);
+    let solution = optimize(&soc, &config)?;
+
+    // 4. Inspect the result: channel groups, E-RPCT size, sites, throughput.
+    println!(
+        "\n{}",
+        soctest::multisite::report::format_throughput_curve(&solution)
+    );
+    println!("Step 1 architecture (channel-minimal):");
+    for group in &solution.step1_architecture.groups {
+        println!("  {group}");
+    }
+    let erpct = ErpctWrapper::new(
+        solution.optimal.channels_per_site,
+        solution.optimal.tam_width,
+        ErpctConfig::default(),
+    )?;
+    println!("\nChip-level wrapper: {erpct}");
+    println!(
+        "Optimal multi-site: test {} SOCs in parallel for {:.0} devices/hour.",
+        solution.optimal.sites, solution.optimal.devices_per_hour
+    );
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! `soctest` — on-chip test infrastructure design for optimal multi-site
+//! testing of system chips.
+//!
+//! This facade crate re-exports the whole workspace under one roof, in the
+//! order a user typically needs it:
+//!
+//! 1. describe the SOC ([`soc_model`]) — or load one of the embedded ITC'02
+//!    benchmark SOCs,
+//! 2. describe the fixed test cell ([`ate`]): ATE channels, vector-memory
+//!    depth, test clock, probe-station index time,
+//! 3. run the two-step optimizer ([`multisite`]) to obtain the core
+//!    wrappers, channel groups (TAMs), E-RPCT wrapper size and the
+//!    throughput-optimal number of multi-sites,
+//! 4. inspect the underlying machinery ([`wrapper`], [`tam`],
+//!    [`throughput`]) or cross-check the predicted throughput with the
+//!    Monte-Carlo wafer-flow simulator ([`wafersim`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use soctest::prelude::*;
+//!
+//! let soc = soctest::soc_model::benchmarks::d695();
+//! let cell = TestCell::new(AteSpec::new(256, 96 * 1024, 5.0e6), ProbeStation::paper_probe_station());
+//! let solution = optimize(&soc, &OptimizerConfig::new(cell))?;
+//! println!("test {} sites in parallel, {:.0} devices/hour",
+//!          solution.optimal.sites, solution.optimal.devices_per_hour);
+//! # Ok::<(), soctest::multisite::OptimizeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use soctest_ate as ate;
+pub use soctest_multisite as multisite;
+pub use soctest_soc_model as soc_model;
+pub use soctest_tam as tam;
+pub use soctest_throughput as throughput;
+pub use soctest_wafersim as wafersim;
+pub use soctest_wrapper as wrapper;
+
+/// The most commonly used items, importable in one line.
+pub mod prelude {
+    pub use soctest_ate::{AteCostModel, AteSpec, ProbeStation, TestCell};
+    pub use soctest_multisite::optimizer::optimize;
+    pub use soctest_multisite::problem::{MultiSiteOptions, OptimizerConfig};
+    pub use soctest_multisite::solution::{MultiSiteSolution, SitePoint};
+    pub use soctest_soc_model::{Module, ModuleKind, Soc};
+    pub use soctest_tam::{ChannelGroup, TestArchitecture, TestSchedule, TimeTable};
+    pub use soctest_throughput::{TestTimes, ThroughputModel, YieldParams};
+    pub use soctest_wafersim::{simulate_flow, FlowParams};
+    pub use soctest_wrapper::{design_wrapper, ErpctConfig, ErpctWrapper, WrapperDesign};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_main_entry_points() {
+        use crate::prelude::*;
+        let soc = crate::soc_model::benchmarks::d695();
+        let cell = TestCell::new(
+            AteSpec::new(128, 128 * 1024, 5.0e6),
+            ProbeStation::paper_probe_station(),
+        );
+        let solution = optimize(&soc, &OptimizerConfig::new(cell)).expect("d695 fits");
+        assert!(solution.optimal.sites >= 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Cross-crate integration tests: SOC description -> wrapper design ->
+//! architecture -> optimizer -> throughput model -> Monte-Carlo flow.
+
+use soctest::prelude::*;
+use soctest::soc_model::benchmarks;
+use soctest::soc_model::synthetic::pnx8550_like;
+use soctest::tam::schedule::TestSchedule;
+
+fn small_cell() -> TestCell {
+    TestCell::new(
+        AteSpec::new(256, 96 * 1024, 5.0e6),
+        ProbeStation::paper_probe_station(),
+    )
+}
+
+#[test]
+fn d695_full_pipeline_is_internally_consistent() {
+    let soc = benchmarks::d695();
+    let config = OptimizerConfig::new(small_cell());
+    let solution = optimize(&soc, &config).expect("d695 fits the small cell");
+
+    // The architecture respects the ATE.
+    let ate = &config.test_cell.ate;
+    assert!(solution.step1_architecture.total_channels() <= ate.channels);
+    assert!(solution.step1_architecture.test_time_cycles() <= ate.vector_memory_depth);
+    assert!(solution.optimal_architecture.test_time_cycles() <= ate.vector_memory_depth);
+
+    // Every module is scheduled exactly once, with the schedule makespan
+    // equal to the architecture's test time.
+    let table = TimeTable::build(&soc, ate.channels / 2);
+    let schedule = TestSchedule::from_architecture(&solution.optimal_architecture, &table);
+    assert!(schedule.is_consistent());
+    assert_eq!(schedule.entries.len(), soc.num_modules());
+    assert_eq!(
+        schedule.makespan(),
+        solution.optimal_architecture.test_time_cycles()
+    );
+
+    // The reported manufacturing test time is the schedule makespan divided
+    // by the test clock.
+    let expected_tm = schedule.makespan() as f64 / ate.test_clock_hz;
+    assert!((solution.optimal.manufacturing_test_time_s - expected_tm).abs() < 1e-12);
+
+    // The throughput equals Equation 4.5 applied to those times.
+    let model = ThroughputModel::new(
+        TestTimes {
+            index_time_s: config.test_cell.probe.index_time_s,
+            contact_test_time_s: config.test_cell.probe.contact_test_time_s,
+            manufacturing_test_time_s: expected_tm,
+        },
+        YieldParams::ideal(solution.contacted_pads_per_site),
+    );
+    let expected_throughput = model.devices_per_hour(solution.optimal.sites);
+    assert!((solution.optimal.devices_per_hour - expected_throughput).abs() < 1e-6);
+}
+
+#[test]
+fn every_embedded_benchmark_optimizes_on_a_table1_ate() {
+    let cases: [(&str, usize, u64); 4] = [
+        ("d695", 256, 64 * 1024),
+        ("p22810", 512, 512 * 1024),
+        ("p34392", 512, 1_256_000),
+        ("p93791", 512, 2_000_000),
+    ];
+    for (name, channels, depth) in cases {
+        let soc = benchmarks::by_name(name).expect("embedded benchmark");
+        let cell = TestCell::new(
+            AteSpec::new(channels, depth, 5.0e6),
+            ProbeStation::paper_probe_station(),
+        );
+        let solution =
+            optimize(&soc, &OptimizerConfig::new(cell)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            solution.optimal.sites >= 1,
+            "{name} must support at least one site"
+        );
+        assert!(solution.optimal.devices_per_hour > 0.0);
+        // The E-RPCT wrapper for the chosen operating point is well-formed.
+        let erpct = ErpctWrapper::new(
+            solution.optimal.channels_per_site,
+            solution.optimal.tam_width,
+            ErpctConfig::default(),
+        )
+        .expect("k = 2w is always a valid E-RPCT configuration");
+        // k = 2w gives a one-to-one external/internal mapping (no
+        // serialisation) — the wrapper narrows the interface only when the
+        // optimizer chooses fewer external channels than internal chains.
+        assert_eq!(erpct.serialization_factor(), 1);
+    }
+}
+
+#[test]
+fn pnx8550_like_matches_the_paper_operating_regime() {
+    // Section 7: on the 512-channel / 7M-vector ATE the PNX8550 test runs in
+    // roughly 1.4 s and supports a single-digit number of sites without
+    // stimulus broadcast.
+    let soc = pnx8550_like();
+    let config = OptimizerConfig::paper_section7();
+    let solution = optimize(&soc, &config).expect("PNX8550 stand-in fits the paper ATE");
+    let tm = solution.optimal.manufacturing_test_time_s;
+    assert!(
+        tm > 1.0 && tm < 1.6,
+        "manufacturing test time {tm} outside the paper regime"
+    );
+    assert!(
+        (3..=8).contains(&solution.max_sites),
+        "n_max {} outside the paper regime",
+        solution.max_sites
+    );
+    assert!(
+        solution.optimal.devices_per_hour > 8_000.0 && solution.optimal.devices_per_hour < 20_000.0,
+        "throughput {} outside the paper regime",
+        solution.optimal.devices_per_hour
+    );
+}
+
+#[test]
+fn broadcast_never_reduces_throughput_or_sites() {
+    for name in ["d695", "p22810"] {
+        let soc = benchmarks::by_name(name).expect("embedded benchmark");
+        let cell = TestCell::new(
+            AteSpec::new(512, 768 * 1024, 5.0e6),
+            ProbeStation::paper_probe_station(),
+        );
+        let base = OptimizerConfig::new(cell);
+        let broadcast = base.with_options(MultiSiteOptions::baseline().with_broadcast());
+        let without = optimize(&soc, &base).expect("feasible");
+        let with = optimize(&soc, &broadcast).expect("feasible");
+        assert!(with.max_sites >= without.max_sites, "{name}");
+        assert!(
+            with.optimal.devices_per_hour >= without.optimal.devices_per_hour - 1e-9,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn monte_carlo_flow_confirms_optimizer_prediction_for_d695() {
+    let soc = benchmarks::d695();
+    let config = OptimizerConfig::new(small_cell());
+    let solution = optimize(&soc, &config).expect("d695 fits");
+    let flow = FlowParams::from_solution(&solution, &config);
+    let outcome = simulate_flow(&flow, flow.sites * 500, 695);
+    let relative = (outcome.devices_per_hour - solution.optimal.devices_per_hour).abs()
+        / solution.optimal.devices_per_hour;
+    assert!(
+        relative < 1e-6,
+        "measured {} vs predicted {}",
+        outcome.devices_per_hour,
+        solution.optimal.devices_per_hour
+    );
+}
+
+#[test]
+fn soc_round_trips_through_the_text_format_and_reoptimizes_identically() {
+    let soc = benchmarks::p22810();
+    let text = soctest::soc_model::writer::write_soc(&soc);
+    let parsed = soctest::soc_model::parser::parse_soc(&text).expect("writer output parses");
+    assert_eq!(parsed, soc);
+
+    let cell = TestCell::new(
+        AteSpec::new(512, 768 * 1024, 5.0e6),
+        ProbeStation::paper_probe_station(),
+    );
+    let config = OptimizerConfig::new(cell);
+    let a = optimize(&soc, &config).expect("feasible");
+    let b = optimize(&parsed, &config).expect("feasible");
+    assert_eq!(a.optimal.channels_per_site, b.optimal.channels_per_site);
+    assert_eq!(a.optimal.sites, b.optimal.sites);
+    assert_eq!(a.optimal.test_time_cycles, b.optimal.test_time_cycles);
+}
