@@ -1,0 +1,149 @@
+//! Performance baseline runner: times the optimizer hot paths and writes
+//! `BENCH_optimizer.json` so subsequent changes have a perf trajectory to
+//! compare against.
+//!
+//! Measured in one run (same binary, same machine state):
+//!
+//! * `TimeTable::build` through the fast row kernel vs. the naive
+//!   per-(module, width) `design_wrapper` loop
+//!   (`TimeTable::build_reference`) on the 274-module PNX8550 stand-in at
+//!   width 256 — including a full equality check of the two tables;
+//! * the end-to-end two-step `optimize` on d695 and the PNX8550 stand-in;
+//! * the Figure 6(a) `channel_sweep` on the PNX8550 stand-in.
+//!
+//! Run with `cargo run --release --bin perf_baseline`. The report lands in
+//! the current working directory.
+
+use serde::Serialize;
+use soctest_ate::{AteSpec, ProbeStation, TestCell};
+use soctest_bench::{fig6a_channel_counts, paper_config, pnx_soc};
+use soctest_multisite::optimizer::optimize;
+use soctest_multisite::problem::OptimizerConfig;
+use soctest_multisite::sweep::channel_sweep;
+use soctest_soc_model::benchmarks::d695;
+use soctest_tam::TimeTable;
+use std::time::Instant;
+
+/// Where the report is written (relative to the working directory).
+const REPORT_PATH: &str = "BENCH_optimizer.json";
+/// Minimum measured wall-clock per benchmark before the mean is trusted.
+const MIN_MEASURE_SECONDS: f64 = 0.5;
+/// Upper bound on measured iterations per benchmark.
+const MAX_ITERATIONS: u64 = 40;
+
+#[derive(Debug, Serialize)]
+struct Measurement {
+    name: String,
+    iterations: u64,
+    mean_seconds: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct TimeTableComparison {
+    soc: String,
+    modules: usize,
+    max_width: usize,
+    fast_mean_seconds: f64,
+    naive_mean_seconds: f64,
+    speedup: f64,
+    tables_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    schema: String,
+    threads: usize,
+    timetable_build: TimeTableComparison,
+    measurements: Vec<Measurement>,
+}
+
+/// Times `body` with one warm-up run and an adaptive iteration count.
+fn measure<R, F: FnMut() -> R>(name: &str, mut body: F) -> Measurement {
+    std::hint::black_box(body());
+    let mut iterations = 0u64;
+    let mut elapsed = 0.0f64;
+    while iterations < MAX_ITERATIONS && elapsed < MIN_MEASURE_SECONDS {
+        let start = Instant::now();
+        std::hint::black_box(body());
+        elapsed += start.elapsed().as_secs_f64();
+        iterations += 1;
+    }
+    let mean_seconds = elapsed / iterations as f64;
+    println!("{name:<45} {mean_seconds:>12.6} s/iter  ({iterations} iters)");
+    Measurement {
+        name: name.to_string(),
+        iterations,
+        mean_seconds,
+    }
+}
+
+fn main() {
+    let pnx = pnx_soc();
+    let max_width = 256usize;
+    println!(
+        "perf_baseline: {} modules in {}, table width {max_width}, {} worker thread(s)\n",
+        pnx.num_modules(),
+        pnx.name(),
+        rayon::current_num_threads()
+    );
+
+    // --- TimeTable::build: row kernel vs naive wrapper-design loop -------
+    let fast = measure("timetable_build/pnx8550_like/fast", || {
+        TimeTable::build(&pnx, max_width)
+    });
+    let naive = measure("timetable_build/pnx8550_like/naive", || {
+        TimeTable::build_reference(&pnx, max_width)
+    });
+    let tables_identical =
+        TimeTable::build(&pnx, max_width) == TimeTable::build_reference(&pnx, max_width);
+    let speedup = naive.mean_seconds / fast.mean_seconds;
+    println!("\ntimetable_build speedup: {speedup:.1}x (identical: {tables_identical})\n");
+
+    // --- End-to-end optimizer runs ---------------------------------------
+    let mut measurements = Vec::new();
+    let d695_soc = d695();
+    let d695_config = OptimizerConfig::new(TestCell::new(
+        AteSpec::new(256, 96 * 1024, 5.0e6),
+        ProbeStation::paper_probe_station(),
+    ));
+    measurements.push(measure("optimize/d695", || {
+        optimize(&d695_soc, &d695_config).expect("d695 fits its test cell")
+    }));
+    let pnx_config = paper_config();
+    measurements.push(measure("optimize/pnx8550_like", || {
+        optimize(&pnx, &pnx_config).expect("the PNX stand-in fits the paper's test cell")
+    }));
+
+    // --- Figure 6(a) channel sweep ---------------------------------------
+    let channels = fig6a_channel_counts();
+    measurements.push(measure("channel_sweep/pnx8550_like/fig6a", || {
+        channel_sweep(&pnx, &pnx_config, &channels).expect("every fig6a point is feasible")
+    }));
+
+    let report = BenchReport {
+        schema: "soctest-perf-baseline/v1".to_string(),
+        threads: rayon::current_num_threads(),
+        timetable_build: TimeTableComparison {
+            soc: pnx.name().to_string(),
+            modules: pnx.num_modules(),
+            max_width,
+            fast_mean_seconds: fast.mean_seconds,
+            naive_mean_seconds: naive.mean_seconds,
+            speedup,
+            tables_identical,
+        },
+        measurements,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(REPORT_PATH, format!("{json}\n")).expect("write BENCH_optimizer.json");
+    println!("wrote {REPORT_PATH}");
+
+    assert!(
+        tables_identical,
+        "fast and naive TimeTable builds disagree — the row kernel is wrong"
+    );
+    if speedup < 10.0 {
+        eprintln!("WARNING: timetable_build speedup {speedup:.1}x is below the 10x target");
+        std::process::exit(2);
+    }
+}

@@ -12,13 +12,16 @@
 //! * [`cost_effectiveness`] — the channels-versus-memory upgrade comparison
 //!   quoted in the text of Section 7.
 //!
-//! Sweep points are independent, so they are evaluated on scoped worker
-//! threads; results are returned in input order.
+//! Sweep points are independent, so they are evaluated on a rayon pool
+//! (bounded by the machine's parallelism — a 100-point sweep no longer
+//! spawns 100 OS threads); results are returned in input order, so
+//! parallel sweeps are bit-identical to sequential evaluation.
 
 use crate::error::OptimizeError;
 use crate::optimizer::{evaluate_point, optimize_with_table};
 use crate::problem::OptimizerConfig;
 use crate::solution::SitePoint;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use soctest_ate::AteCostModel;
 use soctest_soc_model::Soc;
@@ -44,27 +47,14 @@ pub struct SweepCurve {
     pub points: Vec<SweepPoint>,
 }
 
-/// Runs `f` over `values` on scoped threads, preserving input order.
+/// Runs `f` over `values` on the rayon pool, preserving input order.
 fn parallel_map<T, R, F>(values: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let mut results: Vec<Option<R>> = Vec::new();
-    results.resize_with(values.len(), || None);
-    crossbeam::thread::scope(|scope| {
-        for (slot, value) in results.iter_mut().zip(values.iter()) {
-            scope.spawn(|_| {
-                *slot = Some(f(value));
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    results
-        .into_iter()
-        .map(|r| r.expect("worker filled slot"))
-        .collect()
+    values.par_iter().map(f).collect()
 }
 
 /// Throughput vs. ATE channel count (Figure 6(a)): the optimizer is re-run

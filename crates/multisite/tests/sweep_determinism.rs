@@ -1,0 +1,55 @@
+//! Determinism proofs for the rayon-parallel sweeps: results must be
+//! byte-identical to evaluating every sweep point sequentially, and stable
+//! across repeated runs.
+
+use soctest_ate::{AteSpec, ProbeStation, TestCell};
+use soctest_multisite::optimizer::optimize_with_table;
+use soctest_multisite::problem::OptimizerConfig;
+use soctest_multisite::report::to_json;
+use soctest_multisite::sweep::{channel_sweep, depth_sweep, SweepPoint};
+use soctest_soc_model::benchmarks::d695;
+use soctest_tam::TimeTable;
+
+fn config() -> OptimizerConfig {
+    OptimizerConfig::new(TestCell::new(
+        AteSpec::new(256, 96 * 1024, 5.0e6),
+        ProbeStation::paper_probe_station(),
+    ))
+}
+
+#[test]
+fn channel_sweep_matches_sequential_evaluation() {
+    let soc = d695();
+    let channels = [128usize, 160, 192, 224, 256, 320];
+    let parallel = channel_sweep(&soc, &config(), &channels).unwrap();
+
+    // The sequential path: the same per-point computation, one at a time.
+    let table = TimeTable::build(&soc, channels.iter().max().unwrap() / 2);
+    let sequential: Vec<SweepPoint> = channels
+        .iter()
+        .map(|&k| {
+            let mut cfg = config();
+            cfg.test_cell.ate = cfg.test_cell.ate.with_channels(k);
+            let solution = optimize_with_table(soc.name(), &table, &cfg).unwrap();
+            SweepPoint {
+                parameter: k as f64,
+                max_sites: solution.max_sites,
+                optimal: solution.optimal,
+            }
+        })
+        .collect();
+
+    assert_eq!(parallel, sequential);
+    // Byte-identical through the JSON reporter as well.
+    assert_eq!(to_json(&parallel), to_json(&sequential));
+}
+
+#[test]
+fn depth_sweep_is_stable_across_runs() {
+    let soc = d695();
+    let depths = [64 * 1024, 96 * 1024, 128 * 1024, 192 * 1024];
+    let first = depth_sweep(&soc, &config(), &depths).unwrap();
+    let second = depth_sweep(&soc, &config(), &depths).unwrap();
+    assert_eq!(first, second);
+    assert_eq!(to_json(&first), to_json(&second));
+}

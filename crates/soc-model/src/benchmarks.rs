@@ -60,6 +60,7 @@ pub fn all() -> Vec<Soc> {
 /// Builds a module with `chains` balanced scan chains totalling `total_ff`
 /// flip-flops (the first `total_ff % chains` chains are one flip-flop
 /// longer).
+#[allow(clippy::too_many_arguments)]
 fn balanced_module(
     name: &str,
     kind: ModuleKind,

@@ -318,7 +318,7 @@ impl ModuleBuilder {
     /// Adds `count` scan chains of identical `length`.
     pub fn balanced_scan_chains(mut self, count: usize, length: u64) -> Self {
         self.scan_chains
-            .extend(std::iter::repeat(ScanChain::new(length)).take(count));
+            .extend(std::iter::repeat_n(ScanChain::new(length), count));
         self
     }
 

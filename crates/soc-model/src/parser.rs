@@ -103,18 +103,19 @@ pub fn parse_soc(text: &str) -> Result<Soc, SocModelError> {
                 let value = tokens
                     .next()
                     .ok_or_else(|| parse_err(line_no, "`kind` requires a value"))?;
-                let kind =
-                    match value {
-                        "logic" => ModuleKind::Logic,
-                        "memory" => ModuleKind::Memory,
-                        "blackbox" => ModuleKind::BlackBox,
-                        other => return Err(parse_err(
+                let kind = match value {
+                    "logic" => ModuleKind::Logic,
+                    "memory" => ModuleKind::Memory,
+                    "blackbox" => ModuleKind::BlackBox,
+                    other => {
+                        return Err(parse_err(
                             line_no,
                             format!(
                                 "unknown module kind `{other}` (expected logic|memory|blackbox)"
                             ),
-                        )),
-                    };
+                        ))
+                    }
+                };
                 let partial = current
                     .as_mut()
                     .ok_or_else(|| parse_err(line_no, "`kind` outside of a module block"))?;

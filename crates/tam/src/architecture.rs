@@ -142,12 +142,7 @@ impl TestArchitecture {
     /// with `ate_channels` channels, **without** stimulus broadcast:
     /// `⌊K / k⌋`.
     pub fn max_sites_without_broadcast(&self, ate_channels: usize) -> usize {
-        let k = self.total_channels();
-        if k == 0 {
-            0
-        } else {
-            ate_channels / k
-        }
+        ate_channels.checked_div(self.total_channels()).unwrap_or(0)
     }
 
     /// Maximum multi-site count achievable with this architecture on an ATE

@@ -14,8 +14,13 @@
 //! * [`baseline`] — a reimplementation of the rectangle-bin-packing approach
 //!   of Iyengar et al. (ITC 2002, reference \[7\]) and the theoretical lower
 //!   bound on the channel count, both used for Table 1,
-//! * [`timetable`] — a precomputed module-width-to-test-time table shared by
-//!   all algorithms,
+//! * [`timetable`] — a precomputed module-width-to-test-time table shared
+//!   by all algorithms. It is built through the wrapper crate's fast row
+//!   kernel (`soctest_wrapper::row`) with rayon parallelism over modules —
+//!   two orders of magnitude faster than running a full COMBINE wrapper
+//!   design per `(module, width)` pair — while
+//!   `TimeTable::build_reference` keeps the full-fidelity loop as a
+//!   cross-check and benchmark baseline,
 //! * [`architecture`] / [`schedule`] — the resulting [`TestArchitecture`]
 //!   and an explicit per-group test schedule.
 //!

@@ -9,6 +9,8 @@
 
 use crate::architecture::TestArchitecture;
 use crate::timetable::TimeTable;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Result of a redistribution: the widened architecture plus bookkeeping.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +32,14 @@ pub struct Redistribution {
 /// and reported through [`Redistribution::width_added`].
 ///
 /// The table's maximum width caps how far a single group can grow.
+///
+/// The fullest group is tracked with a max-heap (ties broken towards the
+/// lower group index, matching a stable descending sort), so handing out a
+/// chain costs O(log groups) instead of re-sorting all groups per chain. A
+/// group that fails to improve is dropped from the heap permanently: its
+/// width — the only state its improvability depends on — can never change
+/// again, so re-examining it (as the sort-per-chain formulation did) can
+/// never change the outcome.
 pub fn redistribute_extra_width(
     architecture: &TestArchitecture,
     table: &TimeTable,
@@ -37,29 +47,29 @@ pub fn redistribute_extra_width(
 ) -> Redistribution {
     let mut arch = architecture.clone();
     let mut added = 0usize;
-    for _ in 0..extra_width {
-        // Candidate groups by decreasing fill; pick the fullest group whose
-        // fill strictly improves when widened.
-        let mut order: Vec<usize> = (0..arch.groups.len()).collect();
-        order.sort_by_key(|&g| std::cmp::Reverse(arch.groups[g].fill_cycles));
-        let mut improved = false;
-        for g_idx in order {
-            let group = &arch.groups[g_idx];
-            if group.width + 1 > table.max_width() {
-                continue;
-            }
-            let new_fill = table.group_fill(&group.modules, group.width + 1);
-            if new_fill < group.fill_cycles {
-                let group = &mut arch.groups[g_idx];
-                group.width += 1;
-                group.fill_cycles = new_fill;
-                improved = true;
-                added += 1;
-                break;
-            }
+    // Max-heap keyed by (fill, lowest index first on equal fills).
+    let mut heap: BinaryHeap<(u64, Reverse<usize>)> = arch
+        .groups
+        .iter()
+        .enumerate()
+        .map(|(g_idx, group)| (group.fill_cycles, Reverse(g_idx)))
+        .collect();
+    while added < extra_width {
+        let Some((fill, Reverse(g_idx))) = heap.pop() else {
+            break; // every group is at its Pareto floor or width cap
+        };
+        let group = &arch.groups[g_idx];
+        debug_assert_eq!(fill, group.fill_cycles, "heap key must track group fill");
+        if group.width + 1 > table.max_width() {
+            continue;
         }
-        if !improved {
-            break;
+        let new_fill = table.group_fill(&group.modules, group.width + 1);
+        if new_fill < fill {
+            let group = &mut arch.groups[g_idx];
+            group.width += 1;
+            group.fill_cycles = new_fill;
+            added += 1;
+            heap.push((new_fill, Reverse(g_idx)));
         }
     }
     Redistribution {

@@ -144,6 +144,14 @@ fn try_place_in_existing_group(
 /// alternatives therefore cost the same number of ATE channels, and the one
 /// that leaves the most free vector memory over all used channels (i.e. the
 /// smallest total fill) is selected.
+///
+/// Alternatives are scored by the free-memory *delta* of the one group each
+/// of them changes — the untouched groups contribute identically to every
+/// alternative, so they cancel out of the comparison. This avoids the
+/// O(modules · groups²) candidate clones of the naive formulation (clone
+/// the whole `Vec<ChannelGroup>` per alternative, re-sum every group) while
+/// selecting exactly the same alternative; only the winner is applied, in
+/// place.
 fn place_with_new_capacity(
     table: &TimeTable,
     groups: &mut Vec<ChannelGroup>,
@@ -160,45 +168,47 @@ fn place_with_new_capacity(
         });
     }
 
+    // Free memory contributed by a group of `width` and `fill` (in
+    // channel-cycles); i128 so deltas can go negative without wrapping.
+    let contribution =
+        |width: usize, fill: u64| depth.saturating_sub(fill) as i128 * (2 * width) as i128;
+
     // Alternative (i): open a new group at the module's minimum width.
-    let mut best: Vec<ChannelGroup> = {
-        let mut candidate = groups.clone();
-        candidate.push(ChannelGroup::new(w_min, vec![id], table));
-        candidate
-    };
-    let mut best_free = total_free_memory(&best, depth);
+    // Its delta is the whole contribution of the new group.
+    let new_group_fill = table.time(id, w_min);
+    let mut best_delta = contribution(w_min, new_group_fill);
+    let mut best_widened: Option<(usize, u64)> = None; // (group index, new fill)
 
     // Alternatives (ii..): widen one existing group by exactly `w_min` and
-    // absorb the module there, when that meets the depth.
-    for g_idx in 0..groups.len() {
-        let group = &groups[g_idx];
+    // absorb the module there, when that meets the depth. The delta is the
+    // widened group's contribution minus its current one.
+    for (g_idx, group) in groups.iter().enumerate() {
         let new_width = group.width + w_min;
         if new_width > table.max_width() {
             continue;
         }
-        let mut modules = group.modules.clone();
-        modules.push(id);
-        if table.group_fill(&modules, new_width) > depth {
+        let new_fill = table.group_fill(&group.modules, new_width) + table.time(id, new_width);
+        if new_fill > depth {
             continue;
         }
-        let mut candidate = groups.clone();
-        candidate[g_idx] = ChannelGroup::new(new_width, modules, table);
-        let free = total_free_memory(&candidate, depth);
-        if free > best_free {
-            best = candidate;
-            best_free = free;
+        let delta =
+            contribution(new_width, new_fill) - contribution(group.width, group.fill_cycles);
+        if delta > best_delta {
+            best_delta = delta;
+            best_widened = Some((g_idx, new_fill));
         }
     }
 
-    *groups = best;
+    match best_widened {
+        None => groups.push(ChannelGroup::new(w_min, vec![id], table)),
+        Some((g_idx, new_fill)) => {
+            let group = &mut groups[g_idx];
+            group.width += w_min;
+            group.modules.push(id);
+            group.fill_cycles = new_fill;
+        }
+    }
     Ok(())
-}
-
-fn total_free_memory(groups: &[ChannelGroup], depth: u64) -> u64 {
-    groups
-        .iter()
-        .map(|g| g.free_cycles(depth) * g.channels() as u64)
-        .sum()
 }
 
 #[cfg(test)]

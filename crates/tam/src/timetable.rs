@@ -6,13 +6,23 @@
 //! Step 1 / Step 2 and the parameter sweeps of Section 7 the same
 //! `(module, width)` pairs are evaluated thousands of times. [`TimeTable`]
 //! computes the whole table once per SOC and serves lookups in O(1).
+//!
+//! Construction goes through the allocation-free row kernel
+//! ([`soctest_wrapper::row::RowKernel`]) and is parallelised over modules
+//! with rayon's `map_init` (one scratch kernel per worker thread). Results
+//! are collected in module order, so parallel builds are bit-identical to
+//! [`TimeTable::build_sequential`]; [`TimeTable::build_reference`] keeps
+//! the original full-fidelity per-(module, width) wrapper-design loop as a
+//! cross-check and benchmark baseline.
 
+use rayon::prelude::*;
 use soctest_soc_model::{ModuleId, Soc};
 use soctest_wrapper::combine::test_time_at_width;
+use soctest_wrapper::row::RowKernel;
 
 /// Precomputed test times: `time(module, width)` for every module of an SOC
 /// and every width from 1 to a configured maximum.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimeTable {
     /// `times[module][width - 1]` = test time in cycles.
     times: Vec<Vec<u64>>,
@@ -22,10 +32,52 @@ pub struct TimeTable {
 impl TimeTable {
     /// Builds the table for `soc`, covering widths `1..=max_width`.
     ///
+    /// Rows are computed by the fast row kernel and modules are evaluated
+    /// in parallel; the result is bit-identical to
+    /// [`TimeTable::build_sequential`] and to the full-fidelity
+    /// [`TimeTable::build_reference`].
+    ///
     /// # Panics
     ///
     /// Panics if `max_width == 0`.
     pub fn build(soc: &Soc, max_width: usize) -> Self {
+        assert!(max_width > 0, "max_width must be at least 1");
+        let times = soc
+            .modules()
+            .par_iter()
+            .map_init(RowKernel::new, |kernel, module| {
+                kernel.compute(module, max_width)
+            })
+            .collect();
+        TimeTable { times, max_width }
+    }
+
+    /// Single-threaded row-kernel build (the same numbers as
+    /// [`TimeTable::build`], used by determinism tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_width == 0`.
+    pub fn build_sequential(soc: &Soc, max_width: usize) -> Self {
+        assert!(max_width > 0, "max_width must be at least 1");
+        let mut kernel = RowKernel::new();
+        let times = soc
+            .modules()
+            .iter()
+            .map(|module| kernel.compute(module, max_width))
+            .collect();
+        TimeTable { times, max_width }
+    }
+
+    /// Full-fidelity build running the complete COMBINE wrapper design for
+    /// every `(module, width)` pair — the original (slow) construction,
+    /// kept as the validation cross-check and the benchmark baseline for
+    /// the row kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_width == 0`.
+    pub fn build_reference(soc: &Soc, max_width: usize) -> Self {
         assert!(max_width > 0, "max_width must be at least 1");
         let times = soc
             .modules()
@@ -66,22 +118,10 @@ impl TimeTable {
     /// if even the table's maximum width is insufficient.
     pub fn min_width_for_time(&self, module: ModuleId, max_cycles: u64) -> Option<usize> {
         let row = &self.times[module.0];
-        if *row.last().expect("max_width >= 1") > max_cycles {
-            return None;
-        }
-        // Times are non-increasing in width: binary search for the first
-        // feasible width.
-        let mut lo = 0usize;
-        let mut hi = row.len() - 1;
-        while lo < hi {
-            let mid = (lo + hi) / 2;
-            if row[mid] <= max_cycles {
-                hi = mid;
-            } else {
-                lo = mid + 1;
-            }
-        }
-        Some(lo + 1)
+        // Times are non-increasing in width, so the infeasible prefix ends
+        // at the first feasible index.
+        let first_feasible = row.partition_point(|&t| t > max_cycles);
+        (first_feasible < row.len()).then_some(first_feasible + 1)
     }
 
     /// Sum of the test times of `modules` when each is wrapped at `width`.
@@ -124,6 +164,16 @@ mod tests {
                 assert_eq!(table.time(id, width), test_time_at_width(module, width));
             }
         }
+    }
+
+    #[test]
+    fn all_build_paths_agree() {
+        let soc = d695();
+        let parallel = TimeTable::build(&soc, 32);
+        let sequential = TimeTable::build_sequential(&soc, 32);
+        let reference = TimeTable::build_reference(&soc, 32);
+        assert_eq!(parallel, sequential);
+        assert_eq!(parallel, reference);
     }
 
     #[test]

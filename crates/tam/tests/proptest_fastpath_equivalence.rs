@@ -1,0 +1,236 @@
+//! Equivalence proofs for the optimizer fast paths introduced with the row
+//! kernel: the parallel `TimeTable::build`, the delta-scored Step 1
+//! placement and the heap-based redistribution must all reproduce the
+//! naive formulations bit for bit.
+
+use proptest::prelude::*;
+use soctest_soc_model::{Module, ModuleId, Soc};
+use soctest_tam::architecture::{ChannelGroup, TestArchitecture};
+use soctest_tam::redistribute::redistribute_extra_width;
+use soctest_tam::step1::design_with_table;
+use soctest_tam::TimeTable;
+
+prop_compose! {
+    fn arb_module(index: usize)(
+        patterns in 1u64..150,
+        inputs in 1u32..60,
+        outputs in 1u32..60,
+        chains in proptest::collection::vec(1u64..200, 0..8),
+    ) -> Module {
+        Module::builder(format!("m{index}"))
+            .patterns(patterns)
+            .inputs(inputs)
+            .outputs(outputs)
+            .scan_chains(chains)
+            .build()
+    }
+}
+
+fn arb_soc() -> impl Strategy<Value = Soc> {
+    (2usize..14).prop_flat_map(|n| {
+        let modules: Vec<_> = (0..n).map(arb_module).collect();
+        modules.prop_map(|ms| Soc::from_modules("prop_soc", ms))
+    })
+}
+
+fn feasible_depth(soc: &Soc) -> u64 {
+    let table = TimeTable::build(soc, 1);
+    let worst = (0..soc.num_modules())
+        .map(|m| table.time(ModuleId(m), 1))
+        .max()
+        .unwrap_or(1);
+    worst * 2
+}
+
+/// The original (pre-row-kernel) Step 1 capacity placement: clone the whole
+/// group vector per alternative and re-sum every group's free memory. Kept
+/// here as the reference the delta-scored production path must match.
+mod reference {
+    use super::*;
+
+    fn total_free_memory(groups: &[ChannelGroup], depth: u64) -> u64 {
+        groups
+            .iter()
+            .map(|g| g.free_cycles(depth) * g.channels() as u64)
+            .sum()
+    }
+
+    fn try_place_in_existing_group(
+        table: &TimeTable,
+        groups: &mut [ChannelGroup],
+        id: ModuleId,
+        depth: u64,
+    ) -> bool {
+        let mut best: Option<(usize, u64)> = None;
+        for (g_idx, group) in groups.iter().enumerate() {
+            let new_fill = group.fill_cycles + table.time(id, group.width);
+            if new_fill <= depth {
+                match best {
+                    Some((_, fill)) if fill <= new_fill => {}
+                    _ => best = Some((g_idx, new_fill)),
+                }
+            }
+        }
+        if let Some((g_idx, new_fill)) = best {
+            groups[g_idx].modules.push(id);
+            groups[g_idx].fill_cycles = new_fill;
+            true
+        } else {
+            false
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn place_with_new_capacity(
+        table: &TimeTable,
+        groups: &mut Vec<ChannelGroup>,
+        id: ModuleId,
+        w_min: usize,
+        depth: u64,
+        max_total_width: usize,
+    ) -> Result<(), ()> {
+        let used_width: usize = groups.iter().map(|g| g.width).sum();
+        if used_width + w_min > max_total_width {
+            return Err(());
+        }
+        let mut best: Vec<ChannelGroup> = {
+            let mut candidate = groups.clone();
+            candidate.push(ChannelGroup::new(w_min, vec![id], table));
+            candidate
+        };
+        let mut best_free = total_free_memory(&best, depth);
+        for g_idx in 0..groups.len() {
+            let group = &groups[g_idx];
+            let new_width = group.width + w_min;
+            if new_width > table.max_width() {
+                continue;
+            }
+            let mut modules = group.modules.clone();
+            modules.push(id);
+            if table.group_fill(&modules, new_width) > depth {
+                continue;
+            }
+            let mut candidate = groups.clone();
+            candidate[g_idx] = ChannelGroup::new(new_width, modules, table);
+            let free = total_free_memory(&candidate, depth);
+            if free > best_free {
+                best = candidate;
+                best_free = free;
+            }
+        }
+        *groups = best;
+        Ok(())
+    }
+
+    pub fn design_with_table(
+        table: &TimeTable,
+        channels: usize,
+        depth: u64,
+    ) -> Result<TestArchitecture, ()> {
+        if table.num_modules() == 0 {
+            return Err(());
+        }
+        let max_total_width = (channels / 2).min(table.max_width());
+        if max_total_width == 0 {
+            return Err(());
+        }
+        let mut min_widths = Vec::with_capacity(table.num_modules());
+        for m in 0..table.num_modules() {
+            let id = ModuleId(m);
+            match table.min_width_for_time(id, depth) {
+                Some(w) if w <= max_total_width => min_widths.push((id, w)),
+                _ => return Err(()),
+            }
+        }
+        min_widths.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| table.time(b.0, b.1).cmp(&table.time(a.0, a.1)))
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let mut groups: Vec<ChannelGroup> = Vec::new();
+        for &(id, w_min) in &min_widths {
+            if try_place_in_existing_group(table, &mut groups, id, depth) {
+                continue;
+            }
+            place_with_new_capacity(table, &mut groups, id, w_min, depth, max_total_width)?;
+        }
+        Ok(TestArchitecture::new(groups))
+    }
+
+    /// The original sort-per-chain redistribution.
+    pub fn redistribute_extra_width(
+        architecture: &TestArchitecture,
+        table: &TimeTable,
+        extra_width: usize,
+    ) -> (TestArchitecture, usize) {
+        let mut arch = architecture.clone();
+        let mut added = 0usize;
+        for _ in 0..extra_width {
+            let mut order: Vec<usize> = (0..arch.groups.len()).collect();
+            order.sort_by_key(|&g| std::cmp::Reverse(arch.groups[g].fill_cycles));
+            let mut improved = false;
+            for g_idx in order {
+                let group = &arch.groups[g_idx];
+                if group.width + 1 > table.max_width() {
+                    continue;
+                }
+                let new_fill = table.group_fill(&group.modules, group.width + 1);
+                if new_fill < group.fill_cycles {
+                    let group = &mut arch.groups[g_idx];
+                    group.width += 1;
+                    group.fill_cycles = new_fill;
+                    improved = true;
+                    added += 1;
+                    break;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        (arch, added)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_table_build_is_byte_identical_to_sequential(soc in arb_soc()) {
+        let parallel = TimeTable::build(&soc, 96);
+        let sequential = TimeTable::build_sequential(&soc, 96);
+        let reference = TimeTable::build_reference(&soc, 96);
+        prop_assert_eq!(&parallel, &sequential);
+        prop_assert_eq!(&parallel, &reference);
+    }
+
+    #[test]
+    fn delta_scored_step1_matches_cloning_reference(soc in arb_soc(), tightness in 1u64..8) {
+        let depth = (feasible_depth(&soc) / tightness).max(1);
+        let table = TimeTable::build(&soc, 128);
+        let fast = design_with_table(&table, 256, depth);
+        let slow = reference::design_with_table(&table, 256, depth);
+        match (fast, slow) {
+            (Ok(fast), Ok(slow)) => prop_assert_eq!(fast, slow),
+            (Err(_), Err(())) => {}
+            (fast, slow) => {
+                return Err(TestCaseError::fail(format!(
+                    "feasibility disagreement: fast {fast:?} vs reference {slow:?}"
+                )));
+            }
+        }
+    }
+
+    #[test]
+    fn heap_redistribution_matches_sorting_reference(soc in arb_soc(), extra in 0usize..24) {
+        let depth = feasible_depth(&soc);
+        let table = TimeTable::build(&soc, 128);
+        if let Ok(arch) = design_with_table(&table, 256, depth) {
+            let fast = redistribute_extra_width(&arch, &table, extra);
+            let (slow_arch, slow_added) =
+                reference::redistribute_extra_width(&arch, &table, extra);
+            prop_assert_eq!(fast.architecture, slow_arch);
+            prop_assert_eq!(fast.width_added, slow_added);
+        }
+    }
+}

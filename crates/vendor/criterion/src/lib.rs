@@ -1,0 +1,216 @@
+//! Minimal vendored `criterion` for the offline build environment.
+//!
+//! Provides the macro / type surface the workspace's `benches/` use —
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], `criterion_group!`,
+//! `criterion_main!` — backed by a plain wall-clock harness: each benchmark
+//! is warmed up once and then timed for a bounded number of iterations
+//! within a time budget, reporting the mean iteration time. No statistics,
+//! plots or baselines; results print to stdout.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Maximum measured iterations per benchmark.
+const MAX_ITERS: u64 = 25;
+/// Time budget per benchmark.
+const TIME_BUDGET: Duration = Duration::from_millis(700);
+
+/// Prevents the optimiser from discarding a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Times a single benchmark function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into().label, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the vendored harness bounds work by
+    /// [`MAX_ITERS`] and [`TIME_BUDGET`] instead.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Times a benchmark within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.label), f);
+        self
+    }
+
+    /// Times a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.label), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Passed to every benchmark closure; runs the timed body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated executions of `body`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // One untimed warm-up run.
+        black_box(body());
+        let budget_start = Instant::now();
+        while self.iters < MAX_ITERS && budget_start.elapsed() < TIME_BUDGET {
+            let start = Instant::now();
+            black_box(body());
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("bench {label:<50} (no iterations)");
+        return;
+    }
+    let mean = bencher.elapsed / u32::try_from(bencher.iters).unwrap_or(u32::MAX);
+    println!(
+        "bench {label:<50} {:>12.3?} /iter  ({} iters)",
+        mean, bencher.iters
+    );
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_body() {
+        let mut counter = 0u64;
+        let mut criterion = Criterion::default();
+        criterion.bench_function("counter", |b| b.iter(|| counter += 1));
+        assert!(counter > 0);
+    }
+
+    #[test]
+    fn groups_run_parameterised_benches() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("group");
+        group.sample_size(10);
+        let mut hits = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(42), &3u64, |b, &x| {
+            b.iter(|| hits += x)
+        });
+        group.finish();
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).label, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("d695").label, "d695");
+    }
+}

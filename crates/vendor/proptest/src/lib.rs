@@ -1,0 +1,261 @@
+//! Minimal vendored `proptest` for the offline build environment.
+//!
+//! Implements the subset of the proptest 1.x surface the workspace's
+//! property tests use: the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_flat_map`, range and [`strategy::Just`] strategies,
+//! [`collection::vec`], and the `proptest!`, `prop_compose!`,
+//! `prop_oneof!`, `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from the real crate: generation is driven by a fixed
+//! deterministic RNG seeded per test name (reproducible across runs and
+//! machines), and failing cases are reported but **not shrunk**.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The most commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
+/// block is run for `ProptestConfig::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $($(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let __config = $config;
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__err) = __result {
+                        ::std::panic!(
+                            "proptest `{}` failed at case {}/{}: {}",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Defines a named strategy-returning function from component strategies:
+/// `prop_compose! { fn arb(params)(bindings in strategies) -> T { body } }`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($pname:ident: $pty:ty),* $(,)?)
+        ($($arg:ident in $strat:expr),* $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($pname: $pty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::from_fn(
+                move |__rng: &mut $crate::test_runner::TestRng| -> $ret {
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                    $body
+                },
+            )
+        }
+    };
+}
+
+/// Picks uniformly between the given strategies (all of the same `Value`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (with the formatted message) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                if !(*__left == *__right) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(::std::format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            __left,
+                            __right
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                if !(*__left == *__right) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(::std::format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n  {}",
+                            stringify!($left),
+                            stringify!($right),
+                            __left,
+                            __right,
+                            ::std::format!($($fmt)+)
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                if *__left == *__right {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "assertion failed: `{} != {}`\n  both: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            __left
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_pair(offset: u64)(
+            a in 1u64..100,
+            b in 0u64..10,
+        ) -> (u64, u64) {
+            (a + offset, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..10, y in 0usize..3, f in 0.25f64..0.75) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(y < 3);
+            prop_assert!((0.25..0.75).contains(&f), "f = {}", f);
+        }
+
+        #[test]
+        fn composed_strategies_apply_parameters(pair in arb_pair(1000)) {
+            prop_assert!(pair.0 >= 1001);
+            prop_assert_eq!(pair.0 - pair.0, 0);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(items in crate::collection::vec(1u32..5, 2..6)) {
+            prop_assert!((2..6).contains(&items.len()));
+            prop_assert!(items.iter().all(|&x| (1..5).contains(&x)));
+        }
+
+        #[test]
+        fn oneof_picks_only_given_values(x in prop_oneof![Just(1u8), Just(2), Just(3)]) {
+            prop_assert!((1..=3).contains(&x));
+        }
+
+        #[test]
+        fn flat_map_chains_strategies(v in (1usize..4).prop_flat_map(|n| {
+            let strategies: Vec<_> = (0..n).map(|_| 0u8..10).collect();
+            strategies.prop_map(|xs| xs)
+        })) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        let strategy = crate::collection::vec(0u64..1_000_000, 5..6);
+        let mut rng_a = crate::test_runner::TestRng::for_test("same");
+        let mut rng_b = crate::test_runner::TestRng::for_test("same");
+        assert_eq!(strategy.generate(&mut rng_a), strategy.generate(&mut rng_b));
+    }
+
+    // A #[test] nested inside another function cannot be collected by the
+    // harness, so the generated runner is declared at module scope with a
+    // non-test marker attribute and invoked explicitly below.
+    proptest! {
+        #[allow(dead_code)]
+        fn always_fails(x in 0u8..10) {
+            prop_assert!(x > 200, "x was {}", x);
+        }
+    }
+
+    #[test]
+    fn failing_case_panics_with_message() {
+        let result = std::panic::catch_unwind(always_fails);
+        let payload = result.unwrap_err();
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(message.contains("always_fails"), "message: {message}");
+    }
+}

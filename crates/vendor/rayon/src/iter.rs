@@ -1,0 +1,139 @@
+//! Parallel iterator adapters (the rayon-style fluent API).
+
+/// Conversion into an ordered parallel iterator over `&T` items.
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type (`&T`).
+    type Item: Send;
+    /// The iterator type.
+    type Iter;
+
+    /// Returns a parallel iterator over the collection.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Ordered parallel iterator over a slice.
+#[derive(Debug, Clone, Copy)]
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Maps every item through `f`.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Maps every item through `f` with per-worker state created by `init`
+    /// (rayon's `map_init`): the state is created once per worker thread
+    /// and reused across that worker's items — the idiom for reusable
+    /// scratch buffers.
+    pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> ParMapInit<'data, T, INIT, F>
+    where
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, &'data T) -> R + Sync,
+    {
+        ParMapInit {
+            items: self.items,
+            init,
+            f,
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the iterator is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Result of [`ParIter::map`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T, R, F> ParMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    /// Runs the map in parallel and collects the results in input order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        let f = self.f;
+        C::from_ordered_vec(crate::par_map_init(self.items, || (), |(), item| f(item)))
+    }
+}
+
+/// Result of [`ParIter::map_init`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParMapInit<'data, T, INIT, F> {
+    items: &'data [T],
+    init: INIT,
+    f: F,
+}
+
+impl<'data, T, S, R, INIT, F> ParMapInit<'data, T, INIT, F>
+where
+    T: Sync,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, &'data T) -> R + Sync,
+{
+    /// Runs the map in parallel and collects the results in input order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        let f = self.f;
+        C::from_ordered_vec(crate::par_map_init(self.items, self.init, |state, item| {
+            f(state, item)
+        }))
+    }
+}
+
+/// Collections that can be built from an ordered parallel computation.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from results already in input order.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered_vec(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}

@@ -1,0 +1,176 @@
+//! Minimal vendored `rayon` for the offline build environment.
+//!
+//! Provides the ordered data-parallel subset the workspace uses:
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` and rayon's
+//! `map_init(init, f)` for per-worker scratch state. Work is distributed
+//! dynamically — workers pull the next item index from a shared atomic
+//! counter, which gives the same tail-latency behaviour as work stealing
+//! for slice-shaped workloads — and results are always returned in input
+//! order, so parallel runs are bit-identical to sequential ones.
+//!
+//! The pool is scoped (no global state): threads are spawned per call via
+//! `std::thread::scope` and bounded by `RAYON_NUM_THREADS` or the available
+//! parallelism. Item counts below [`MIN_PARALLEL_LEN`] run inline.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod iter;
+
+/// The most commonly used items, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::IntoParallelRefIterator;
+}
+
+/// Below this many items the overhead of spawning beats the parallelism and
+/// the map runs inline on the calling thread.
+pub const MIN_PARALLEL_LEN: usize = 2;
+
+/// Number of worker threads a parallel call may use.
+pub fn current_num_threads() -> usize {
+    if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` with per-worker state from `init`, preserving
+/// input order. Used by the iterator adapters; callable directly for
+/// scratch-buffer workloads.
+pub fn par_map_init<'data, T, S, R, INIT, F>(items: &'data [T], init: INIT, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, &'data T) -> R + Sync,
+{
+    par_map_init_threads(items, init, f, current_num_threads())
+}
+
+/// [`par_map_init`] with an explicit worker-thread cap (exposed for tests).
+pub fn par_map_init_threads<'data, T, S, R, INIT, F>(
+    items: &'data [T],
+    init: INIT,
+    f: F,
+    max_threads: usize,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, &'data T) -> R + Sync,
+{
+    let len = items.len();
+    let threads = max_threads.max(1).min(len);
+    if threads <= 1 || len < MIN_PARALLEL_LEN {
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let shards: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut local = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= len {
+                            break;
+                        }
+                        local.push((index, f(&mut state, &items[index])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("rayon worker panicked"))
+            .collect()
+    });
+
+    // Restore input order.
+    let mut out: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    for shard in shards {
+        for (index, value) in shard {
+            out[index] = Some(value);
+        }
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every index produced"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn forced_multithreading_matches_sequential() {
+        let items: Vec<u64> = (0..512).collect();
+        let parallel = super::par_map_init_threads(&items, || (), |(), &x| x * x + 1, 8);
+        let sequential: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn map_init_reuses_state_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..256).collect();
+        let out = super::par_map_init_threads(
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                Vec::<u64>::with_capacity(8)
+            },
+            |scratch, &x| {
+                scratch.clear();
+                scratch.push(x);
+                scratch[0]
+            },
+            4,
+        );
+        assert_eq!(out, items);
+        // One init per worker, not per item.
+        assert!(inits.load(Ordering::SeqCst) <= 4);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u64> = Vec::new();
+        let out: Vec<u64> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u64];
+        let out: Vec<u64> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn every_item_is_visited_exactly_once() {
+        let items: Vec<usize> = (0..777).collect();
+        let seen: Vec<usize> = super::par_map_init_threads(&items, || (), |(), &x| x, 8);
+        let unique: HashSet<usize> = seen.iter().copied().collect();
+        assert_eq!(unique.len(), items.len());
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

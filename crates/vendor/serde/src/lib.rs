@@ -1,0 +1,406 @@
+//! Minimal vendored `serde` for the offline build environment.
+//!
+//! The real serde is not available (no network, no crates cache), so this
+//! crate provides the subset the workspace actually uses: a
+//! [`Serialize`]/[`Deserialize`] trait pair over an owned [`Value`] tree,
+//! plus `#[derive(Serialize, Deserialize)]` re-exported from the sibling
+//! `serde_derive` crate. `serde_json` (also vendored) renders [`Value`]
+//! trees to JSON text and back.
+//!
+//! The trait signatures are intentionally simpler than real serde's
+//! visitor-based design; swapping in the real crates only requires the
+//! manifests to point at crates.io again, since all workspace code goes
+//! through `derive` + `serde_json::{to_string, to_string_pretty, from_str}`.
+
+#![forbid(unsafe_code)]
+
+// Lets the `::serde::...` paths emitted by the derive macros resolve inside
+// this crate's own tests.
+extern crate self as serde;
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned, self-describing data value (the vendored serde data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (negative numbers land here).
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    String(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered map (field order is preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The fields of an object value.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The items of an array value.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string slice of a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object value.
+    pub fn get(&self, field: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(name, _)| name == field)
+            .map(|(_, value)| value)
+    }
+}
+
+/// Serialisation/deserialisation error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves as a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the value's shape does not match `Self`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Helper used by the derive macro: extracts and deserialises one field of
+/// an object value.
+///
+/// # Errors
+///
+/// Fails when `value` is not an object, the field is missing, or the field
+/// value does not deserialise.
+pub fn get_field<T: Deserialize>(value: &Value, field: &str, type_name: &str) -> Result<T, Error> {
+    let object = value
+        .as_object()
+        .ok_or_else(|| Error::custom(format!("expected object for {type_name}")))?;
+    let field_value = object
+        .iter()
+        .find(|(name, _)| name == field)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{field}` for {type_name}")))?;
+    T::from_value(field_value)
+}
+
+/// Helper used by the derive macro: indexes into an array value.
+///
+/// # Errors
+///
+/// Fails when the index is out of bounds.
+pub fn get_index<'a>(
+    items: &'a [Value],
+    index: usize,
+    type_name: &str,
+) -> Result<&'a Value, Error> {
+    items
+        .get(index)
+        .ok_or_else(|| Error::custom(format!("missing tuple field {index} for {type_name}")))
+}
+
+// --- primitive impls ------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = match value {
+                    Value::U64(x) => *x,
+                    Value::I64(x) if *x >= 0 => *x as u64,
+                    _ => return Err(Error::custom(concat!("expected ", stringify!($ty)))),
+                };
+                <$ty>::try_from(raw)
+                    .map_err(|_| Error::custom(concat!("out of range for ", stringify!($ty))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw: i64 = match value {
+                    Value::I64(x) => *x,
+                    Value::U64(x) => i64::try_from(*x)
+                        .map_err(|_| Error::custom("integer out of i64 range"))?,
+                    _ => return Err(Error::custom(concat!("expected ", stringify!($ty)))),
+                };
+                <$ty>::try_from(raw)
+                    .map_err(|_| Error::custom(concat!("out of range for ", stringify!($ty))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::F64(f64::from(*self))
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::F64(x) => Ok(*x as $ty),
+                    Value::U64(x) => Ok(*x as $ty),
+                    Value::I64(x) => Ok(*x as $ty),
+                    _ => Err(Error::custom(concat!("expected ", stringify!($ty)))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| Error::custom("expected array for tuple"))?;
+                Ok(($($name::from_value(
+                    get_index(items, $idx, "tuple")?
+                )?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Named {
+        count: u64,
+        label: String,
+        ratio: f64,
+        tags: Vec<u32>,
+        note: Option<String>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Newtype(usize);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Alpha,
+        Beta,
+    }
+
+    #[test]
+    fn named_struct_round_trips() {
+        let original = Named {
+            count: 7,
+            label: "x".into(),
+            ratio: 1.5,
+            tags: vec![1, 2],
+            note: None,
+        };
+        let value = original.to_value();
+        assert_eq!(value.get("count"), Some(&Value::U64(7)));
+        assert_eq!(Named::from_value(&value).unwrap(), original);
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(Newtype(3).to_value(), Value::U64(3));
+        assert_eq!(Newtype::from_value(&Value::U64(3)).unwrap(), Newtype(3));
+    }
+
+    #[test]
+    fn unit_enum_uses_variant_names() {
+        assert_eq!(Kind::Beta.to_value(), Value::String("Beta".into()));
+        assert_eq!(
+            Kind::from_value(&Value::String("Alpha".into())).unwrap(),
+            Kind::Alpha
+        );
+        assert!(Kind::from_value(&Value::String("Gamma".into())).is_err());
+    }
+
+    #[test]
+    fn missing_field_is_reported() {
+        let err = Named::from_value(&Value::Object(vec![])).unwrap_err();
+        assert!(err.to_string().contains("count"));
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Some(5u64).to_value(), Value::U64(5));
+    }
+}

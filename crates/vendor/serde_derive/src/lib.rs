@@ -1,0 +1,269 @@
+//! Derive macros for the vendored minimal `serde`.
+//!
+//! The build environment is fully offline, so this crate hand-rolls the
+//! small subset of `#[derive(Serialize, Deserialize)]` the workspace needs,
+//! without `syn`/`quote`. Supported input shapes:
+//!
+//! * structs with named fields,
+//! * tuple structs (single-field newtypes serialise transparently, larger
+//!   tuples as arrays),
+//! * enums whose variants are all unit variants (serialised as strings).
+//!
+//! Generics, data-carrying enum variants and `#[serde(...)]` attributes are
+//! not supported and fail with a compile-time panic naming the offender.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Struct with named fields.
+    Named(Vec<String>),
+    /// Tuple struct with the given number of fields.
+    Tuple(usize),
+    /// Enum with only unit variants.
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pushes.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{v}\")),",
+                        name = input.name
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        name = input.name
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::get_field(value, \"{f}\", \"{name}\")?,"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!("::serde::Deserialize::from_value(::serde::get_index(items, {i}, \"{name}\")?)?")
+                })
+                .collect();
+            format!(
+                "let items = value.as_array().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "::std::option::Option::Some(\"{v}\") => \
+                         ::std::result::Result::Ok({name}::{v}),"
+                    )
+                })
+                .collect();
+            format!(
+                "match value.as_str() {{ {} _ => ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"unknown variant for {name}\")) }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}
+
+fn parse(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    skip_attributes_and_visibility(&mut iter);
+
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected a type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive: generic type `{name}` is not supported");
+        }
+    }
+
+    let shape = match (keyword.as_str(), iter.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(parse_tuple_arity(g.stream()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::UnitEnum(parse_unit_variants(g.stream(), &name))
+        }
+        (kw, tok) => panic!("serde derive: unsupported item `{kw}` shape for {name}: {tok:?}"),
+    };
+    Input { name, shape }
+}
+
+fn skip_attributes_and_visibility(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attributes_and_visibility(&mut iter);
+        let field = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after `{field}`, got {other:?}"),
+        }
+        skip_type_until_comma(&mut iter);
+        fields.push(field);
+    }
+    fields
+}
+
+/// Consumes a type (tracking `<`/`>` nesting) up to and including the next
+/// top-level comma.
+fn skip_type_until_comma(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0usize;
+    for token in iter.by_ref() {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attributes_and_visibility(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_type_until_comma(&mut iter);
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_unit_variants(stream: TokenStream, name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attributes_and_visibility(&mut iter);
+        let variant = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected variant name in {name}, got {other:?}"),
+        };
+        match iter.next() {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip the expression.
+                skip_type_until_comma(&mut iter);
+                variants.push(variant);
+            }
+            other => panic!(
+                "serde derive: enum {name} has a non-unit variant `{variant}` \
+                 ({other:?}), which the vendored derive does not support"
+            ),
+        }
+    }
+    variants
+}

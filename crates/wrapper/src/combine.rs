@@ -95,24 +95,17 @@ pub fn test_time_at_width(module: &Module, width: usize) -> u64 {
 /// Panics if `max_width == 0`.
 pub fn min_width_for_time(module: &Module, max_cycles: u64, max_width: usize) -> Option<usize> {
     assert!(max_width > 0, "max_width must be at least 1");
-    // Test time is non-increasing in width, so binary search applies; widths
-    // are small (bounded by max_width), so a linear scan with early exit on
-    // the saturation width is fast enough and simpler to reason about.
-    // Use binary search for large max_width values.
-    if test_time_at_width(module, max_width) > max_cycles {
-        return None;
-    }
-    let mut lo = 1usize; // candidate may be feasible
-    let mut hi = max_width; // known feasible
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        if test_time_at_width(module, mid) <= max_cycles {
-            hi = mid;
-        } else {
-            lo = mid + 1;
-        }
-    }
-    Some(hi)
+    // Test time is non-increasing in width, so binary search applies. The
+    // row kernel already computes the whole table `t(m, 1..=max_width)` in
+    // one allocation-light pass, cheaper than even a handful of full
+    // per-width wrapper designs — so build the row once and search it.
+    // (`soctest_tam::TimeTable::min_width_for_time` answers the same query
+    // when a table is already available.)
+    let row = crate::row::test_time_row(module, max_width);
+    // Times are non-increasing, so the infeasible prefix ends at the first
+    // feasible index.
+    let first_feasible = row.partition_point(|&t| t > max_cycles);
+    (first_feasible < row.len()).then_some(first_feasible + 1)
 }
 
 #[cfg(test)]

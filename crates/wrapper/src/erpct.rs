@@ -126,7 +126,7 @@ impl ErpctWrapper {
         if external_channels < 2 {
             return Err(ErpctError::TooFewExternalChannels(external_channels));
         }
-        if external_channels % 2 != 0 {
+        if !external_channels.is_multiple_of(2) {
             return Err(ErpctError::OddExternalChannels(external_channels));
         }
         if internal_width == 0 {

@@ -10,11 +10,24 @@
 //!   application time is minimised,
 //! * [`design`] — the resulting [`WrapperDesign`] and the test-time model
 //!   `t(w) = (1 + max(si, so)) · p + min(si, so)`,
+//! * [`row`] — the fast evaluation kernel: computes the whole test-time
+//!   row `t(m, 1..=W)` allocation-free (one chain sort per module, LPT
+//!   into reusable buffers, closed-form water-fill levels) without
+//!   materialising wrapper designs,
 //! * [`pareto`] — enumeration of Pareto-optimal TAM widths for a module,
 //! * [`erpct`] — the Enhanced Reduced-Pin-Count-Test chip-level wrapper that
 //!   converts `k` external ATE channels into `w` internal test terminals,
 //! * [`sim`] — a cycle-accurate shift simulation used to validate the
 //!   test-time formula against an explicit schedule.
+//!
+//! # Two levels of fidelity
+//!
+//! [`combine::design_wrapper`] is the full-fidelity path: it returns a
+//! complete [`WrapperDesign`] (chain membership, cell placement) and is
+//! what a DfT netlist would be generated from. [`row::test_time_row`] /
+//! [`row::RowKernel`] is the fast path: it returns only the test times,
+//! orders of magnitude faster, and is what the architecture optimizers
+//! iterate on. Property tests prove the two agree at every width.
 //!
 //! # Example
 //!
@@ -43,9 +56,11 @@ pub mod design;
 pub mod erpct;
 pub mod lpt;
 pub mod pareto;
+pub mod row;
 pub mod sim;
 
 pub use combine::design_wrapper;
 pub use design::{WrapperChain, WrapperDesign};
 pub use erpct::{ErpctConfig, ErpctWrapper};
 pub use pareto::{pareto_widths, saturation_width, ParetoPoint};
+pub use row::{test_time_row, RowKernel};

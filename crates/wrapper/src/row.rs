@@ -1,0 +1,329 @@
+//! The fast test-time row kernel.
+//!
+//! Every architecture-design algorithm in the workspace ultimately asks
+//! "what is module `m`'s test time at TAM width `w`?" for *all* widths
+//! `1..=W`. Answering through [`crate::combine::design_wrapper`] per width
+//! materialises a full [`crate::design::WrapperDesign`] each time: a
+//! `Vec<WrapperChain>` (each chain holding its own `Vec` of scan-chain
+//! indices), a cloned module-name `String`, a fresh sort of the scan-chain
+//! lengths, and two iterative water-fill passes. None of that is needed for
+//! the test *time*, which only depends on
+//!
+//! * the multiset of per-wrapper-chain scan loads the LPT partition
+//!   produces, and
+//! * the makespan after the wrapper input/output cells are water-levelled
+//!   onto those loads.
+//!
+//! [`RowKernel`] computes the whole row `t(m, 1..=W)` in one call:
+//!
+//! * scan-chain lengths are sorted **once** per module, not once per width;
+//! * LPT runs into a reusable load buffer — no `WrapperChain`, no
+//!   assignment vector, no `String`;
+//! * for widths `w >= s(m)` (at least as many wrapper chains as internal
+//!   scan chains) the LPT loads are exactly the sorted chain lengths, so
+//!   the per-width work degenerates to two closed-form water-fill levels;
+//! * the water-fill makespan is computed in closed form —
+//!   `max(level, max_load)` with `level = ceil((prefix + cells) / k)` for
+//!   the first `k` bins with enough capacity — instead of the iterative
+//!   bulk-levelling loop in [`crate::lpt::water_fill`].
+//!
+//! The kernel is the fast path; [`crate::combine::design_wrapper`] remains
+//! the full-fidelity path that materialises real wrapper designs. The two
+//! are proven equal (`row[w-1] == design_wrapper(m, w).test_time_cycles()`)
+//! by the property tests in `tests/proptest_row_kernel.rs`.
+
+use soctest_soc_model::Module;
+
+/// Reusable scratch state for computing test-time rows.
+///
+/// Construct once and feed it any number of modules: between calls the
+/// internal buffers are retained, so a row computation performs no heap
+/// allocation beyond (optionally) the output row itself.
+///
+/// # Example
+///
+/// ```
+/// use soctest_soc_model::Module;
+/// use soctest_wrapper::combine::design_wrapper;
+/// use soctest_wrapper::row::RowKernel;
+///
+/// let module = Module::builder("core")
+///     .patterns(100)
+///     .inputs(20)
+///     .outputs(30)
+///     .scan_chains([120, 110, 100, 90])
+///     .build();
+/// let mut kernel = RowKernel::new();
+/// let row = kernel.compute(&module, 8);
+/// for width in 1..=8 {
+///     assert_eq!(row[width - 1], design_wrapper(&module, width).test_time_cycles());
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct RowKernel {
+    /// Scan-chain lengths sorted descending (LPT insertion order).
+    desc: Vec<u64>,
+    /// Scan-chain lengths sorted ascending (water-fill order).
+    asc: Vec<u64>,
+    /// Per-bin loads for the LPT widths (`w < s(m)`).
+    loads: Vec<u64>,
+    /// Ascending copy of `loads` for the closed-form water fill.
+    sorted: Vec<u64>,
+}
+
+impl RowKernel {
+    /// Creates a kernel with empty scratch buffers.
+    pub fn new() -> Self {
+        RowKernel::default()
+    }
+
+    /// Computes the test-time row of `module` for widths `1..=max_width`
+    /// into `out` (cleared first): `out[w - 1]` is the module's test
+    /// application time in cycles at TAM width `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_width == 0`.
+    pub fn compute_into(&mut self, module: &Module, max_width: usize, out: &mut Vec<u64>) {
+        assert!(max_width > 0, "wrapper width must be at least 1");
+        out.clear();
+        out.reserve(max_width);
+
+        self.desc.clear();
+        self.desc
+            .extend(module.scan_chains().iter().map(|c| c.length));
+        self.desc.sort_unstable_by(|a, b| b.cmp(a));
+        self.asc.clear();
+        self.asc.extend(self.desc.iter().rev());
+
+        let chains = self.desc.len();
+        let cells_in = module.wrapper_input_cells();
+        let cells_out = module.wrapper_output_cells();
+        let patterns = module.patterns();
+
+        // Narrow widths (w < s(m)): run LPT into the reusable load buffer,
+        // then level the I/O cells in closed form on a sorted copy.
+        let lpt_widths = max_width.min(chains.saturating_sub(1));
+        for width in 1..=lpt_widths {
+            self.loads.clear();
+            self.loads.resize(width, 0);
+            for &length in &self.desc {
+                let bin = least_loaded(&self.loads);
+                self.loads[bin] += length;
+            }
+            self.sorted.clear();
+            self.sorted.extend_from_slice(&self.loads);
+            self.sorted.sort_unstable();
+            let scan_in = leveled_makespan(0, &self.sorted, cells_in);
+            let scan_out = leveled_makespan(0, &self.sorted, cells_out);
+            out.push(test_time(patterns, scan_in, scan_out));
+        }
+
+        // Wide widths (w >= s(m)): LPT gives every scan chain its own
+        // wrapper chain, so the load multiset is the sorted chain lengths
+        // plus `w - s(m)` empty chains — no partitioning work at all.
+        for width in (lpt_widths + 1)..=max_width {
+            let empty_bins = width - chains;
+            let scan_in = leveled_makespan(empty_bins, &self.asc, cells_in);
+            let scan_out = leveled_makespan(empty_bins, &self.asc, cells_out);
+            out.push(test_time(patterns, scan_in, scan_out));
+        }
+    }
+
+    /// Convenience wrapper around [`RowKernel::compute_into`] returning a
+    /// fresh row vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_width == 0`.
+    pub fn compute(&mut self, module: &Module, max_width: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(max_width);
+        self.compute_into(module, max_width, &mut out);
+        out
+    }
+}
+
+/// One-shot row computation (allocates scratch; prefer [`RowKernel`] when
+/// evaluating many modules).
+///
+/// # Panics
+///
+/// Panics if `max_width == 0`.
+pub fn test_time_row(module: &Module, max_width: usize) -> Vec<u64> {
+    RowKernel::new().compute(module, max_width)
+}
+
+/// Index of the least-loaded bin (first one on ties — the same rule as
+/// [`crate::lpt::lpt_partition`], so load multisets match exactly).
+fn least_loaded(loads: &[u64]) -> usize {
+    let mut best = 0;
+    for (index, &load) in loads.iter().enumerate() {
+        if load < loads[best] {
+            best = index;
+        }
+    }
+    best
+}
+
+/// Closed-form water fill: the maximum bin load after distributing `cells`
+/// unit items over `zero_bins` empty bins plus the bins in `ascending`
+/// (sorted ascending), always adding to the currently lowest bin.
+///
+/// Equivalent to `loads + water_fill(loads, cells)` followed by `max()`,
+/// but O(bins) arithmetic without allocating: greedy unit filling raises
+/// the `k` lowest bins to a common level `ceil((prefix_k + cells) / k)`,
+/// where `k` is the smallest bin count whose capacity up to the next load
+/// covers `cells`.
+fn leveled_makespan(zero_bins: usize, ascending: &[u64], cells: u64) -> u64 {
+    let max_load = ascending.last().copied().unwrap_or(0);
+    if cells == 0 {
+        return max_load;
+    }
+    let total_bins = zero_bins + ascending.len();
+    debug_assert!(total_bins > 0, "a wrapper has at least one chain");
+    let mut prefix = 0u64;
+    for (index, &next) in ascending.iter().enumerate() {
+        let bins = zero_bins + index;
+        // Capacity of the `bins` lowest bins before they reach `next`.
+        if bins > 0 && next.saturating_mul(bins as u64).saturating_sub(prefix) >= cells {
+            let level = (prefix + cells).div_ceil(bins as u64);
+            return level.max(max_load);
+        }
+        prefix += next;
+    }
+    // The fill spills past the tallest bin: all bins level out.
+    (prefix + cells).div_ceil(total_bins as u64)
+}
+
+/// The wrapper test-time model `t = (1 + max(si, so)) · p + min(si, so)`
+/// with the degenerate no-bits case of one cycle per pattern.
+fn test_time(patterns: u64, scan_in: u64, scan_out: u64) -> u64 {
+    if scan_in == 0 && scan_out == 0 {
+        return patterns;
+    }
+    (1 + scan_in.max(scan_out)) * patterns + scan_in.min(scan_out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combine::design_wrapper;
+    use crate::lpt::water_fill;
+
+    fn module() -> Module {
+        Module::builder("core")
+            .patterns(50)
+            .inputs(12)
+            .outputs(20)
+            .bidirs(4)
+            .scan_chains([100u64, 90, 80, 60, 40, 30])
+            .build()
+    }
+
+    #[test]
+    fn row_matches_design_wrapper_at_every_width() {
+        let m = module();
+        let row = test_time_row(&m, 32);
+        assert_eq!(row.len(), 32);
+        for width in 1..=32 {
+            assert_eq!(
+                row[width - 1],
+                design_wrapper(&m, width).test_time_cycles(),
+                "width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_is_reusable_across_modules() {
+        let mut kernel = RowKernel::new();
+        let small = Module::builder("s").patterns(3).inputs(2).build();
+        let first = kernel.compute(&module(), 16);
+        let second = kernel.compute(&small, 4);
+        let third = kernel.compute(&module(), 16);
+        assert_eq!(first, third);
+        assert_eq!(second, test_time_row(&small, 4));
+    }
+
+    #[test]
+    fn compute_into_reuses_the_output_buffer() {
+        let mut kernel = RowKernel::new();
+        let mut row = Vec::new();
+        kernel.compute_into(&module(), 8, &mut row);
+        assert_eq!(row.len(), 8);
+        kernel.compute_into(&module(), 4, &mut row);
+        assert_eq!(row, test_time_row(&module(), 4));
+    }
+
+    #[test]
+    fn combinational_module_rows() {
+        let m = Module::builder("comb")
+            .patterns(12)
+            .inputs(32)
+            .outputs(32)
+            .build();
+        let row = test_time_row(&m, 8);
+        assert_eq!(row[7], (1 + 4) * 12 + 4);
+        assert_eq!(row[0], (1 + 32) * 12 + 32);
+    }
+
+    #[test]
+    fn empty_module_rows_are_pattern_counts() {
+        let m = Module::builder("void").patterns(3).build();
+        assert_eq!(test_time_row(&m, 4), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn zero_length_scan_chains_are_handled() {
+        let m = Module::builder("zeros")
+            .patterns(5)
+            .inputs(3)
+            .outputs(1)
+            .scan_chains([7u64, 0, 0])
+            .build();
+        let row = test_time_row(&m, 6);
+        for width in 1..=6 {
+            assert_eq!(row[width - 1], design_wrapper(&m, width).test_time_cycles());
+        }
+    }
+
+    #[test]
+    fn leveled_makespan_matches_iterative_water_fill() {
+        let cases: [(&[u64], u64); 6] = [
+            (&[10, 4, 4], 8),
+            (&[3, 3, 3], 7),
+            (&[0, 0, 10], 6),
+            (&[5], 100),
+            (&[0, 0, 0], 1),
+            (&[100, 50, 10], 1_000_000),
+        ];
+        for (loads, cells) in cases {
+            let mut sorted = loads.to_vec();
+            sorted.sort_unstable();
+            let added = water_fill(loads, cells);
+            let expected = loads.iter().zip(&added).map(|(l, a)| l + a).max().unwrap();
+            assert_eq!(
+                leveled_makespan(0, &sorted, cells),
+                expected,
+                "loads {loads:?} cells {cells}"
+            );
+        }
+    }
+
+    #[test]
+    fn leveled_makespan_with_zero_bins_prefix() {
+        // 3 empty bins + [5, 9]; 4 cells fill the empty bins to level 2.
+        assert_eq!(leveled_makespan(3, &[5, 9], 4), 9);
+        // Enough cells to flood everything: level = ceil((14+100)/5).
+        assert_eq!(leveled_makespan(3, &[5, 9], 100), 23);
+        // No chains at all.
+        assert_eq!(leveled_makespan(4, &[], 10), 3);
+        assert_eq!(leveled_makespan(4, &[], 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be at least 1")]
+    fn zero_width_panics() {
+        let _ = test_time_row(&module(), 0);
+    }
+}

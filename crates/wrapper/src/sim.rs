@@ -111,8 +111,8 @@ pub fn simulate(design: &WrapperDesign) -> SimulationOutcome {
     // pays the full unload and reconciles below.
     if response_pending {
         for cycle in 0..so_max {
-            for chain in 0..design.chains.len() {
-                if cycle < so[chain] {
+            for &chain_so in &so {
+                if cycle < chain_so {
                     response_bits += 1;
                 }
             }

@@ -1,0 +1,77 @@
+//! Property proof that the fast row kernel is exact: for random modules,
+//! `test_time_row(m, W)[w-1]` equals the full COMBINE wrapper design's
+//! test time at every width `w`.
+
+use proptest::prelude::*;
+use soctest_soc_model::Module;
+use soctest_wrapper::combine::{design_wrapper, min_width_for_time, test_time_at_width};
+use soctest_wrapper::row::{test_time_row, RowKernel};
+
+prop_compose! {
+    fn arb_module()(
+        patterns in 1u64..300,
+        inputs in 0u32..150,
+        outputs in 0u32..150,
+        bidirs in 0u32..30,
+        chains in proptest::collection::vec(0u64..500, 0..16),
+    ) -> Module {
+        Module::builder("prop")
+            .patterns(patterns)
+            .inputs(inputs)
+            .outputs(outputs)
+            .bidirs(bidirs)
+            .scan_chains(chains)
+            .build()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn row_equals_per_width_wrapper_designs(module in arb_module(), max_width in 1usize..40) {
+        let row = test_time_row(&module, max_width);
+        prop_assert_eq!(row.len(), max_width);
+        for width in 1..=max_width {
+            let design = design_wrapper(&module, width);
+            prop_assert_eq!(
+                row[width - 1],
+                design.test_time_cycles(),
+                "width {} of {} (module {:?})",
+                width,
+                max_width,
+                module
+            );
+        }
+    }
+
+    #[test]
+    fn reused_kernel_matches_one_shot_rows(
+        first in arb_module(),
+        second in arb_module(),
+        max_width in 1usize..32,
+    ) {
+        // Scratch left over from one module must not leak into the next.
+        let mut kernel = RowKernel::new();
+        let _ = kernel.compute(&first, max_width);
+        let reused = kernel.compute(&second, max_width);
+        prop_assert_eq!(reused, test_time_row(&second, max_width));
+    }
+
+    #[test]
+    fn row_is_monotone_non_increasing(module in arb_module()) {
+        let row = test_time_row(&module, 48);
+        for pair in row.windows(2) {
+            prop_assert!(pair[1] <= pair[0], "row not monotone: {:?}", row);
+        }
+    }
+
+    #[test]
+    fn min_width_for_time_agrees_with_row(module in arb_module(), probe_width in 1usize..16) {
+        let budget = test_time_at_width(&module, probe_width);
+        let result = min_width_for_time(&module, budget, 24);
+        let row = test_time_row(&module, 24);
+        let expected = row.iter().position(|&t| t <= budget).map(|i| i + 1);
+        prop_assert_eq!(result, expected);
+    }
+}
