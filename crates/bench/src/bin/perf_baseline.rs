@@ -8,6 +8,9 @@
 //!   per-(module, width) `design_wrapper` loop
 //!   (`TimeTable::build_reference`) on the 274-module PNX8550 stand-in at
 //!   width 256 — including a full equality check of the two tables;
+//! * the incremental row evaluation (prefix-seeded LPT + floor skip) vs.
+//!   the non-incremental per-width kernel loop
+//!   (`test_time_row_reference`), rows checked identical;
 //! * the end-to-end two-step `optimize` on d695 and the PNX8550 stand-in;
 //! * the Figure 6(a) `channel_sweep` on the PNX8550 stand-in.
 //!
@@ -99,8 +102,33 @@ fn main() {
     let speedup = naive.mean_seconds / fast.mean_seconds;
     println!("\ntimetable_build speedup: {speedup:.1}x (identical: {tables_identical})\n");
 
-    // --- End-to-end optimizer runs ---------------------------------------
+    // --- Row kernel: incremental vs non-incremental ----------------------
     let mut measurements = Vec::new();
+    {
+        use soctest_wrapper::row::{test_time_row_reference, RowKernel};
+        let mut kernel = RowKernel::new();
+        let mut row = Vec::new();
+        measurements.push(measure("row_kernel/pnx8550_like/incremental", || {
+            for module in pnx.modules() {
+                kernel.compute_into(module, max_width, &mut row);
+                std::hint::black_box(&row);
+            }
+        }));
+        measurements.push(measure("row_kernel/pnx8550_like/reference", || {
+            for module in pnx.modules() {
+                std::hint::black_box(test_time_row_reference(module, max_width));
+            }
+        }));
+        let rows_identical = pnx.modules().iter().all(|m| {
+            RowKernel::new().compute(m, max_width) == test_time_row_reference(m, max_width)
+        });
+        assert!(
+            rows_identical,
+            "incremental and reference row kernels disagree"
+        );
+    }
+
+    // --- End-to-end optimizer runs ---------------------------------------
     let d695_soc = d695();
     let d695_config = OptimizerConfig::new(TestCell::new(
         AteSpec::new(256, 96 * 1024, 5.0e6),

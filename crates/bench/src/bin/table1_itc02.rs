@@ -1,6 +1,6 @@
 //! Table 1: minimum ATE channel count and maximum multi-site for the ITC'02
 //! SOC Test Benchmarks, comparing the theoretical lower bound, the rectangle
-//! bin-packing baseline of Iyengar et al. (reference [7]) and Step 1 of the
+//! bin-packing baseline of Iyengar et al. (reference \[7\]) and Step 1 of the
 //! paper's algorithm. As in the paper, stimulus broadcast is assumed and
 //! only Step 1 is applied.
 

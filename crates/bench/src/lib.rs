@@ -5,7 +5,20 @@
 //! benches in `benches/` time the underlying algorithms. This library crate
 //! holds the experiment parameters they all share, so that the PNX8550
 //! stand-in, the target ATE and the probe station are configured in exactly
-//! one place.
+//! one place. (`soctest-experiments` reuses the same parameters for its
+//! dense-grid artifact regeneration.)
+//!
+//! # Example
+//!
+//! ```
+//! use soctest_bench::{fig6a_channel_counts, paper_config, pnx_soc};
+//!
+//! // The Section 7 experiment setup: the 274-module PNX8550 stand-in on
+//! // the paper's 512-channel, 7 M-vector test cell.
+//! assert_eq!(pnx_soc().num_modules(), 274);
+//! assert_eq!(paper_config().test_cell.ate.channels, 512);
+//! assert_eq!(fig6a_channel_counts(), (0..=8).map(|i| 512 + 64 * i).collect::<Vec<_>>());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,121 @@
+//! `soctest-repro` — regenerate (or verify) every paper artifact.
+//!
+//! ```text
+//! soctest-repro                 regenerate artifacts/ in the working dir
+//! soctest-repro --check         verify artifacts/ against a fresh run
+//! soctest-repro --out DIR       use DIR instead of artifacts/
+//! soctest-repro --only NAME     restrict to one artifact (write mode only)
+//! soctest-repro --list          list artifact names and exit
+//! ```
+//!
+//! `--check` exits 1 on any drift or missing golden, making result drift a
+//! CI failure; regeneration is deterministic, so a clean tree stays clean.
+
+use soctest_experiments::{check, generate_all, registry, write_all, write_files};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    out: PathBuf,
+    check: bool,
+    list: bool,
+    only: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: soctest-repro [--check] [--out DIR] [--only NAME] [--list]\n\
+         regenerates every paper artifact (JSON + markdown) under DIR \
+         (default: artifacts/);\n--check verifies DIR against a fresh run \
+         instead and exits 1 on drift"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        out: PathBuf::from("artifacts"),
+        check: false,
+        list: false,
+        only: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => options.check = true,
+            "--list" => options.list = true,
+            "--out" => match args.next() {
+                Some(dir) => options.out = PathBuf::from(dir),
+                None => usage(),
+            },
+            "--only" => match args.next() {
+                Some(name) => options.only = Some(name),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    options
+}
+
+fn main() -> ExitCode {
+    let options = parse_args();
+
+    if options.list {
+        // Metadata comes from the registry — no experiment runs.
+        for entry in registry() {
+            println!("{:<22} {}", entry.name, entry.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if options.check {
+        if options.only.is_some() {
+            eprintln!("--check verifies the full golden set; drop --only");
+            return ExitCode::from(2);
+        }
+        let artifacts = generate_all();
+        let drifts = check(&artifacts, &options.out);
+        if drifts.is_empty() {
+            println!(
+                "OK: {} artifacts match the goldens in {}",
+                artifacts.len(),
+                options.out.display()
+            );
+            return ExitCode::SUCCESS;
+        }
+        for drift in &drifts {
+            eprintln!("FAIL: {drift}");
+        }
+        eprintln!(
+            "{} of {} golden files drifted; regenerate with `soctest-repro` \
+             and commit the diff if the change is intentional",
+            drifts.len(),
+            2 * artifacts.len() + 1
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let written = match &options.only {
+        Some(only) => match registry().iter().find(|entry| entry.name == only) {
+            // A partial run generates just the selected artifact and must
+            // not rewrite the index, which lists the full set.
+            Some(entry) => write_files(&[(entry.generate)()], &options.out),
+            None => {
+                eprintln!("unknown artifact {only:?}; try --list");
+                return ExitCode::from(2);
+            }
+        },
+        None => write_all(&generate_all(), &options.out),
+    };
+    match written {
+        Ok(written) => {
+            println!("wrote {written} files to {}", options.out.display());
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("failed to write {}: {err}", options.out.display());
+            ExitCode::FAILURE
+        }
+    }
+}

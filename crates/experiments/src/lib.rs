@@ -1,0 +1,132 @@
+//! Paper-artifact reproduction driver.
+//!
+//! One deterministic run regenerates every artifact of Goel & Marinissen,
+//! *"On-Chip Test Infrastructure Design for Optimal Multi-Site Testing of
+//! System Chips"* (DATE 2005), at 4x the paper's grid density, plus a
+//! scaled synthetic workload tier the paper's hardware could not have
+//! touched:
+//!
+//! * [`figures::fig5`] — throughput vs. site count, Steps 1+2 vs. Step 1
+//!   only, with and without stimulus broadcast,
+//! * [`figures::fig6a`] / [`figures::fig6b`] — throughput vs. ATE channel
+//!   count / vector-memory depth,
+//! * [`figures::fig7a`] / [`figures::fig7b`] — contact-yield re-test and
+//!   abort-on-fail yield sweeps,
+//! * [`table1::table1`] — the ITC'02 channel-count and multi-site
+//!   comparison against the bin-packing baseline,
+//! * [`scaled::scaled_tier`] — two-step optimization of synthetic SOCs
+//!   from 100 to 2000 modules, including NoC-style profiles.
+//!
+//! Each experiment renders to an [`Artifact`]: machine-readable JSON plus
+//! a markdown table, written under `artifacts/` and committed as goldens.
+//! The `soctest-repro` binary regenerates them (`--check` byte-compares
+//! against the committed goldens instead, which is what CI runs).
+//!
+//! # Example
+//!
+//! ```
+//! use soctest_experiments::figures::fig6a;
+//!
+//! // Artifacts are deterministic: two runs render byte-identical output.
+//! let first = fig6a();
+//! assert_eq!(first.json, fig6a().json);
+//! assert!(first.markdown.starts_with("# Figure 6(a)"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod figures;
+pub mod grids;
+pub mod scaled;
+pub mod table1;
+
+pub use artifact::{check, write_all, write_files, Artifact, Drift};
+
+/// One entry of the artifact registry: stable metadata plus the generator.
+///
+/// Name and title are duplicated from the generator's [`Artifact`] so
+/// callers (`soctest-repro --list`, `--only`) can enumerate or select
+/// artifacts without running every experiment; a test asserts the two
+/// stay in sync.
+#[derive(Debug, Clone, Copy)]
+pub struct RegistryEntry {
+    /// File stem, equal to the generated artifact's `name`.
+    pub name: &'static str,
+    /// Index title, equal to the generated artifact's `title`.
+    pub title: &'static str,
+    /// Runs the experiment and renders the artifact.
+    pub generate: fn() -> Artifact,
+}
+
+/// The artifact registry, in index order.
+pub fn registry() -> [RegistryEntry; 7] {
+    [
+        RegistryEntry {
+            name: "fig5_sites",
+            title: "Figure 5: throughput vs. site count, Steps 1+2 vs. Step 1 only, +/- stimulus broadcast",
+            generate: figures::fig5,
+        },
+        RegistryEntry {
+            name: "fig6a_channels",
+            title: "Figure 6(a): throughput vs. ATE channel count, 33-point grid",
+            generate: figures::fig6a,
+        },
+        RegistryEntry {
+            name: "fig6b_depth",
+            title: "Figure 6(b): throughput vs. vector-memory depth, 37-point grid",
+            generate: figures::fig6b,
+        },
+        RegistryEntry {
+            name: "fig7a_contact_yield",
+            title: "Figure 7(a): unique throughput vs. depth per contact yield, 37-point grid",
+            generate: figures::fig7a,
+        },
+        RegistryEntry {
+            name: "fig7b_abort_on_fail",
+            title: "Figure 7(b): expected test time vs. site count per manufacturing yield, 16 sites x 13 yields",
+            generate: figures::fig7b,
+        },
+        RegistryEntry {
+            name: "table1_itc02",
+            title: "Table 1: ITC'02 channel counts and maximum multi-site, 41 depths per SOC",
+            generate: table1::table1,
+        },
+        RegistryEntry {
+            name: "scaled_tier",
+            title: "Scaled synthetic tier: optimizer results from 100 to 2000 modules, incl. NoC profiles",
+            generate: scaled::scaled_tier,
+        },
+    ]
+}
+
+/// Generates every artifact, in index order. Deterministic: repeated calls
+/// render byte-identical output.
+pub fn generate_all() -> Vec<Artifact> {
+    registry().iter().map(|entry| (entry.generate)()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_metadata_matches_the_generated_artifacts() {
+        // The registry duplicates each generator's name/title so that
+        // --list/--only need not run every experiment; keep them in sync.
+        for entry in registry() {
+            let artifact = (entry.generate)();
+            assert_eq!(entry.name, artifact.name);
+            assert_eq!(entry.title, artifact.title);
+        }
+    }
+
+    #[test]
+    fn registry_names_are_unique() {
+        let mut names: Vec<&str> = registry().iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), registry().len());
+    }
+}

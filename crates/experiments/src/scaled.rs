@@ -1,0 +1,208 @@
+//! The scaled synthetic workload tier.
+//!
+//! The paper evaluates one industrial SOC (274 modules). With the
+//! incremental row kernel the optimizer handles far larger designs, so
+//! this tier runs the full two-step optimization on deterministic
+//! [`SyntheticSocSpec`] families from 100 up to 2000 modules, plus
+//! NoC-style profiles — a large mesh of small, homogeneous processing
+//! cores in the spirit of Amory et al., *"Test Time Reduction Reusing
+//! Multiple Processors in a Network-on-Chip Based Architecture"* — and
+//! records the resulting architectures and throughputs as a golden
+//! artifact, making optimizer scaling behaviour part of CI.
+
+use crate::artifact::{markdown_table, Artifact};
+use serde::Serialize;
+use soctest_ate::{AteSpec, ProbeStation, TestCell};
+use soctest_multisite::optimizer::optimize;
+use soctest_multisite::problem::OptimizerConfig;
+use soctest_soc_model::synthetic::SyntheticSocSpec;
+use soctest_soc_model::Soc;
+
+/// One workload of the scaled tier: a deterministic SOC plus the test
+/// cell it is optimized against.
+#[derive(Debug, Clone)]
+pub struct ScaledWorkload {
+    /// Workload name (doubles as the SOC name and artifact row label).
+    pub name: &'static str,
+    /// The generated SOC.
+    pub soc: Soc,
+    /// ATE channel count for this workload.
+    pub ate_channels: usize,
+    /// ATE vector-memory depth for this workload, in vectors.
+    pub depth: u64,
+}
+
+/// The deterministic workload set of the scaled tier.
+///
+/// The general-purpose `synth_*` family keeps the default module-size
+/// distribution with a 30% memory share and grows the module count from
+/// 100 to 2000; the ATE grows with it (an SOC four times the size gets
+/// twice the channels, mirroring how test cells are provisioned). The
+/// `noc_*` profiles model NoC-based designs: hundreds of small,
+/// homogeneous cores with narrow scan structure and small pattern sets.
+pub fn scaled_workloads() -> Vec<ScaledWorkload> {
+    let synth = |name: &'static str, modules: usize, channels: usize| ScaledWorkload {
+        name,
+        soc: SyntheticSocSpec::new(name, modules)
+            .seed(modules as u64)
+            .memory_fraction(0.3)
+            .generate(),
+        ate_channels: channels,
+        depth: 7 * 1024 * 1024,
+    };
+    let noc = |name: &'static str, modules: usize, channels: usize| ScaledWorkload {
+        name,
+        soc: SyntheticSocSpec::new(name, modules)
+            .seed(0xA03C + modules as u64)
+            .patterns(40, 160)
+            .scan_chains(2, 8)
+            .chain_length(30, 200)
+            .terminals(16, 64)
+            .generate(),
+        ate_channels: channels,
+        depth: 7 * 1024 * 1024,
+    };
+    vec![
+        synth("synth_0100", 100, 512),
+        synth("synth_0250", 250, 512),
+        synth("synth_0500", 500, 768),
+        synth("synth_1000", 1000, 1024),
+        synth("synth_2000", 2000, 1536),
+        noc("noc_0064", 64, 256),
+        noc("noc_0256", 256, 512),
+        noc("noc_1024", 1024, 1024),
+    ]
+}
+
+/// The optimization outcome of one scaled workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScaledRow {
+    /// Workload name.
+    pub name: String,
+    /// Number of modules in the SOC.
+    pub modules: usize,
+    /// Total test data volume of the SOC, in bits.
+    pub test_data_volume_bits: u64,
+    /// ATE channels of the workload's test cell.
+    pub ate_channels: usize,
+    /// Vector-memory depth of the workload's test cell, in vectors.
+    pub depth: u64,
+    /// Channels of the Step 1 (channel-minimal) architecture.
+    pub step1_channels: usize,
+    /// Maximum multi-site.
+    pub max_sites: usize,
+    /// Throughput-optimal site count.
+    pub optimal_sites: usize,
+    /// ATE channels per site at the optimum.
+    pub channels_per_site: usize,
+    /// SOC test application time at the optimum, in cycles.
+    pub test_time_cycles: u64,
+    /// SOC manufacturing test time at the optimum, in seconds.
+    pub test_time_s: f64,
+    /// Throughput at the optimum, devices per hour.
+    pub devices_per_hour: f64,
+}
+
+/// Runs the scaled tier and renders the artifact.
+///
+/// # Panics
+///
+/// Panics if a workload is infeasible on its test cell — the workload set
+/// is fixed, so that is a bug in the specs, not an input error.
+pub fn scaled_tier() -> Artifact {
+    let rows: Vec<ScaledRow> = scaled_workloads()
+        .into_iter()
+        .map(|workload| {
+            let cell = TestCell::new(
+                AteSpec::new(workload.ate_channels, workload.depth, 5.0e6),
+                ProbeStation::paper_probe_station(),
+            );
+            let config = OptimizerConfig::new(cell);
+            let solution = optimize(&workload.soc, &config)
+                .unwrap_or_else(|err| panic!("workload {} infeasible: {err}", workload.name));
+            ScaledRow {
+                name: workload.name.to_string(),
+                modules: workload.soc.num_modules(),
+                test_data_volume_bits: workload.soc.total_test_data_volume_bits(),
+                ate_channels: workload.ate_channels,
+                depth: workload.depth,
+                step1_channels: solution.step1_architecture.total_channels(),
+                max_sites: solution.max_sites,
+                optimal_sites: solution.optimal.sites,
+                channels_per_site: solution.optimal.channels_per_site,
+                test_time_cycles: solution.optimal.test_time_cycles,
+                test_time_s: solution.optimal.manufacturing_test_time_s,
+                devices_per_hour: solution.optimal.devices_per_hour,
+            }
+        })
+        .collect();
+
+    let table = markdown_table(
+        &[
+            "workload",
+            "modules",
+            "volume [bits]",
+            "ATE ch",
+            "Step1 k",
+            "n_max",
+            "n_opt",
+            "k/site",
+            "t_m [s]",
+            "D_th [/h]",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.modules.to_string(),
+                    r.test_data_volume_bits.to_string(),
+                    r.ate_channels.to_string(),
+                    r.step1_channels.to_string(),
+                    r.max_sites.to_string(),
+                    r.optimal_sites.to_string(),
+                    r.channels_per_site.to_string(),
+                    format!("{:.4}", r.test_time_s),
+                    format!("{:.1}", r.devices_per_hour),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let markdown = format!(
+        "# Scaled synthetic tier: two-step optimization from 100 to 2000 modules\n\n\
+         `synth_*`: default module mix, 30% memories. `noc_*`: NoC-style mesh of small \
+         homogeneous cores (Amory et al.).\n\n{table}"
+    );
+    Artifact::render(
+        "scaled_tier",
+        "Scaled synthetic tier: optimizer results from 100 to 2000 modules, incl. NoC profiles",
+        &rows,
+        markdown,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctest_soc_model::validate::is_usable;
+
+    #[test]
+    fn workloads_are_deterministic_and_usable() {
+        let first = scaled_workloads();
+        let second = scaled_workloads();
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.soc, b.soc, "workload {} not deterministic", a.name);
+            assert!(is_usable(&a.soc), "workload {} not usable", a.name);
+        }
+    }
+
+    #[test]
+    fn tier_spans_100_to_2000_modules_with_noc_profiles() {
+        let workloads = scaled_workloads();
+        let sizes: Vec<usize> = workloads.iter().map(|w| w.soc.num_modules()).collect();
+        assert!(sizes.iter().any(|&n| n <= 100));
+        assert!(sizes.iter().any(|&n| n >= 2000));
+        assert!(workloads.iter().any(|w| w.name.starts_with("noc_")));
+    }
+}

@@ -1,0 +1,133 @@
+//! Regeneration of Table 1 (ITC'02 multi-site architecture comparison) on
+//! the dense depth grid.
+//!
+//! For every ITC'02 SOC and vector-memory depth, three channel counts are
+//! compared — the theoretical lower bound, the rectangle bin-packing
+//! baseline of Iyengar et al. (reference \[7\] of the paper) and Step 1 of
+//! the paper's algorithm — together with the maximum multi-site each
+//! architecture permits under stimulus broadcast, exactly as in the
+//! paper's Table 1 but at 41 depths per SOC instead of 11.
+
+use crate::artifact::{markdown_table, Artifact};
+use crate::grids::table1_cases_dense;
+use serde::Serialize;
+use soctest_bench::format_depth;
+use soctest_tam::baseline::{lower_bound_channels, pack_with_table};
+use soctest_tam::step1::design_with_table;
+use soctest_tam::TimeTable;
+
+/// One (SOC, depth) row of the Table 1 comparison. `None` values mean the
+/// combination is infeasible on the SOC's channel budget.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Benchmark SOC name.
+    pub soc: String,
+    /// ATE channel budget the multi-site count is computed against.
+    pub ate_channels: usize,
+    /// Vector-memory depth in vectors.
+    pub depth: u64,
+    /// Theoretical lower bound on the per-SOC channel count.
+    pub lower_bound_channels: Option<usize>,
+    /// Channel count of the bin-packing baseline (reference \[7\]).
+    pub baseline_channels: Option<usize>,
+    /// Channel count of the paper's Step 1.
+    pub step1_channels: Option<usize>,
+    /// Maximum multi-site of the baseline architecture (with broadcast).
+    pub baseline_max_sites: Option<usize>,
+    /// Maximum multi-site of the Step 1 architecture (with broadcast).
+    pub step1_max_sites: Option<usize>,
+}
+
+/// The full Table 1 artifact record.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Record {
+    /// All (SOC, depth) rows, grouped by SOC in grid order.
+    pub rows: Vec<Table1Row>,
+    /// Feasible rows where Step 1 reaches at least the baseline multi-site.
+    pub step1_wins_or_ties: usize,
+    /// Number of feasible rows.
+    pub feasible_rows: usize,
+}
+
+/// Runs the dense Table 1 comparison.
+pub fn table1() -> Artifact {
+    let mut rows = Vec::new();
+    let mut step1_wins_or_ties = 0;
+    let mut feasible_rows = 0;
+    for (soc, ate_channels, depths) in table1_cases_dense() {
+        let table = TimeTable::build(&soc, ate_channels / 2);
+        for depth in depths {
+            let lb = lower_bound_channels(&table, depth);
+            let ours = design_with_table(&table, ate_channels, depth).ok();
+            let baseline = pack_with_table(&table, ate_channels, depth)
+                .ok()
+                .map(|b| b.architecture);
+            let step1_max_sites = ours
+                .as_ref()
+                .map(|a| a.max_sites_with_broadcast(ate_channels));
+            let baseline_max_sites = baseline
+                .as_ref()
+                .map(|a| a.max_sites_with_broadcast(ate_channels));
+            if let (Some(ours_n), Some(base_n)) = (step1_max_sites, baseline_max_sites) {
+                feasible_rows += 1;
+                if ours_n >= base_n {
+                    step1_wins_or_ties += 1;
+                }
+            }
+            rows.push(Table1Row {
+                soc: soc.name().to_string(),
+                ate_channels,
+                depth,
+                lower_bound_channels: lb,
+                baseline_channels: baseline.as_ref().map(|a| a.total_channels()),
+                step1_channels: ours.as_ref().map(|a| a.total_channels()),
+                baseline_max_sites,
+                step1_max_sites,
+            });
+        }
+    }
+    let record = Table1Record {
+        rows,
+        step1_wins_or_ties,
+        feasible_rows,
+    };
+
+    let fmt_opt = |v: Option<usize>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
+    let table = markdown_table(
+        &[
+            "SOC",
+            "depth",
+            "LB k",
+            "[7] k",
+            "Step1 k",
+            "[7] n_max",
+            "Step1 n_max",
+        ],
+        &record
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.soc.clone(),
+                    format_depth(r.depth),
+                    fmt_opt(r.lower_bound_channels),
+                    fmt_opt(r.baseline_channels),
+                    fmt_opt(r.step1_channels),
+                    fmt_opt(r.baseline_max_sites),
+                    fmt_opt(r.step1_max_sites),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let markdown = format!(
+        "# Table 1: ATE channels and maximum multi-site, ITC'02 SOCs (stimulus broadcast)\n\n\
+         Step 1 reaches at least the baseline's multi-site in {} of {} feasible rows.\n\n{}",
+        record.step1_wins_or_ties, record.feasible_rows, table
+    );
+    Artifact::render(
+        "table1_itc02",
+        "Table 1: ITC'02 channel counts and maximum multi-site, 41 depths per SOC",
+        &record,
+        markdown,
+    )
+}

@@ -1,0 +1,52 @@
+//! End-to-end checks of the reproduction driver: regeneration is
+//! deterministic, the rendered documents are well-formed, and the
+//! committed goldens under `artifacts/` match a fresh run (the same check
+//! CI performs via `soctest-repro --check`).
+
+use soctest_experiments::{check, generate_all};
+use std::path::Path;
+
+#[test]
+fn generation_is_deterministic() {
+    let first = generate_all();
+    let second = generate_all();
+    assert_eq!(first.len(), second.len());
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.json, b.json, "artifact {} JSON not deterministic", a.name);
+        assert_eq!(
+            a.markdown, b.markdown,
+            "artifact {} markdown not deterministic",
+            a.name
+        );
+    }
+}
+
+#[test]
+fn artifacts_are_well_formed() {
+    for artifact in generate_all() {
+        assert!(!artifact.json.is_empty() && artifact.json.ends_with('\n'));
+        assert!(artifact.markdown.starts_with("# "), "{}", artifact.name);
+        // Every markdown document carries at least one table.
+        assert!(artifact.markdown.contains("| --- |"), "{}", artifact.name);
+        // The JSON round-trips through the parser.
+        let value: serde::Value = serde_json::from_str(&artifact.json)
+            .unwrap_or_else(|err| panic!("{}: {err}", artifact.name));
+        assert!(!matches!(value, serde::Value::Null));
+    }
+}
+
+#[test]
+fn committed_goldens_match_a_fresh_run() {
+    // The committed artifacts/ directory sits at the workspace root, two
+    // levels up from this crate.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../artifacts");
+    assert!(
+        dir.is_dir(),
+        "artifacts/ missing — run `cargo run --release -p soctest-experiments --bin soctest-repro`"
+    );
+    let drifts = check(&generate_all(), &dir);
+    assert!(
+        drifts.is_empty(),
+        "goldens drifted (regenerate with soctest-repro and commit if intentional): {drifts:?}"
+    );
+}

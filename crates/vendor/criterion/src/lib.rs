@@ -56,7 +56,7 @@ pub struct BenchmarkGroup<'a> {
 
 impl<'a> BenchmarkGroup<'a> {
     /// Accepted for API compatibility; the vendored harness bounds work by
-    /// [`MAX_ITERS`] and [`TIME_BUDGET`] instead.
+    /// `MAX_ITERS` and `TIME_BUDGET` instead.
     pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
         self
     }

@@ -3,7 +3,7 @@
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// Size specifications accepted by [`vec`].
+/// Size specifications accepted by [`vec()`].
 pub trait SizeRange {
     /// Inclusive bounds of the allowed lengths.
     fn bounds(&self) -> (usize, usize);
@@ -34,7 +34,7 @@ pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S> {
     VecStrategy { element, min, max }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -27,10 +27,39 @@
 //!   the first `k` bins with enough capacity — instead of the iterative
 //!   bulk-levelling loop in [`crate::lpt::water_fill`].
 //!
+//! # Incremental evaluation across widths
+//!
+//! On top of the per-width fast paths, [`RowKernel::compute_into`] exploits
+//! two exact relations *between* consecutive widths instead of treating
+//! every width as an independent problem:
+//!
+//! * **Prefix seeding.** LPT breaks ties towards the lowest bin index, so
+//!   on `w` empty bins the first `w` (longest) chains always land in bins
+//!   `0..w`, one each. The width-`w` partition therefore starts from the
+//!   sorted chain prefix directly, and LPT only has to place the remaining
+//!   `s - w` chains.
+//! * **Floor skip.** Every wrapper-chain load is at least the longest
+//!   internal scan chain `L`, so `t(w) >= t_floor = (1 + L)·p + L` at
+//!   *every* width. Once some width reaches the floor (both the scan-in and
+//!   scan-out makespans equal `L`), every larger width does too, and the
+//!   rest of the row is filled with `t_floor` without running LPT or the
+//!   water fill again. Exactness of the skip rests on two facts: the
+//!   leveled makespan is non-increasing in the number of empty bins while
+//!   bounded below by the largest load, and LPT keeps its makespan at `L`
+//!   when bins are added once it has achieved `L` (ties in LPT are
+//!   load-multiset-neutral, so this holds for the load multiset the kernel
+//!   consumes). A literal reuse of the width-`w+1` *partition* at width `w`
+//!   would **not** be exact — LPT exhibits Graham-style anomalies under
+//!   that transformation — which is why the incremental scheme is
+//!   seeding + bounds-skip rather than partition carry-over.
+//!
 //! The kernel is the fast path; [`crate::combine::design_wrapper`] remains
 //! the full-fidelity path that materialises real wrapper designs. The two
 //! are proven equal (`row[w-1] == design_wrapper(m, w).test_time_cycles()`)
-//! by the property tests in `tests/proptest_row_kernel.rs`.
+//! by the property tests in `tests/proptest_row_kernel.rs`, and the
+//! incremental path is additionally proven bit-identical to the
+//! non-incremental [`test_time_row_reference`] loop over random module
+//! shapes by `tests/proptest_incremental_row.rs`.
 
 use soctest_soc_model::Module;
 
@@ -100,14 +129,20 @@ impl RowKernel {
         let cells_in = module.wrapper_input_cells();
         let cells_out = module.wrapper_output_cells();
         let patterns = module.patterns();
+        // The longest internal scan chain: the width-independent floor on
+        // every wrapper-chain load (and 0 for purely combinational modules).
+        let longest = self.desc.first().copied().unwrap_or(0);
 
         // Narrow widths (w < s(m)): run LPT into the reusable load buffer,
-        // then level the I/O cells in closed form on a sorted copy.
+        // then level the I/O cells in closed form on a sorted copy. The
+        // partition is seeded with the first `w` chains — on empty bins LPT
+        // provably places chain `i < w` in bin `i` — so only the remaining
+        // `s - w` chains are placed by search.
         let lpt_widths = max_width.min(chains.saturating_sub(1));
         for width in 1..=lpt_widths {
             self.loads.clear();
-            self.loads.resize(width, 0);
-            for &length in &self.desc {
+            self.loads.extend_from_slice(&self.desc[..width]);
+            for &length in &self.desc[width..] {
                 let bin = least_loaded(&self.loads);
                 self.loads[bin] += length;
             }
@@ -117,6 +152,11 @@ impl RowKernel {
             let scan_in = leveled_makespan(0, &self.sorted, cells_in);
             let scan_out = leveled_makespan(0, &self.sorted, cells_out);
             out.push(test_time(patterns, scan_in, scan_out));
+            if scan_in == longest && scan_out == longest {
+                // Floor reached: every remaining width yields the same time.
+                out.resize(max_width, test_time(patterns, longest, longest));
+                return;
+            }
         }
 
         // Wide widths (w >= s(m)): LPT gives every scan chain its own
@@ -127,6 +167,10 @@ impl RowKernel {
             let scan_in = leveled_makespan(empty_bins, &self.asc, cells_in);
             let scan_out = leveled_makespan(empty_bins, &self.asc, cells_out);
             out.push(test_time(patterns, scan_in, scan_out));
+            if scan_in == longest && scan_out == longest {
+                out.resize(max_width, test_time(patterns, longest, longest));
+                return;
+            }
         }
     }
 
@@ -151,6 +195,51 @@ impl RowKernel {
 /// Panics if `max_width == 0`.
 pub fn test_time_row(module: &Module, max_width: usize) -> Vec<u64> {
     RowKernel::new().compute(module, max_width)
+}
+
+/// Non-incremental reference row: every width is evaluated from scratch —
+/// LPT over all chains on empty bins, no prefix seeding, no floor skip.
+///
+/// This is the kernel as it existed before the incremental evaluation
+/// landed, kept as the validation baseline: the property tests in
+/// `tests/proptest_incremental_row.rs` prove `test_time_row` bit-identical
+/// to this loop over random module shapes and the full width range, and
+/// `perf_baseline` measures the incremental path against it.
+///
+/// # Panics
+///
+/// Panics if `max_width == 0`.
+pub fn test_time_row_reference(module: &Module, max_width: usize) -> Vec<u64> {
+    assert!(max_width > 0, "wrapper width must be at least 1");
+    let mut desc: Vec<u64> = module.scan_chains().iter().map(|c| c.length).collect();
+    desc.sort_unstable_by(|a, b| b.cmp(a));
+    let asc: Vec<u64> = desc.iter().rev().copied().collect();
+
+    let chains = desc.len();
+    let cells_in = module.wrapper_input_cells();
+    let cells_out = module.wrapper_output_cells();
+    let patterns = module.patterns();
+
+    let mut out = Vec::with_capacity(max_width);
+    let lpt_widths = max_width.min(chains.saturating_sub(1));
+    for width in 1..=lpt_widths {
+        let mut loads = vec![0u64; width];
+        for &length in &desc {
+            let bin = least_loaded(&loads);
+            loads[bin] += length;
+        }
+        loads.sort_unstable();
+        let scan_in = leveled_makespan(0, &loads, cells_in);
+        let scan_out = leveled_makespan(0, &loads, cells_out);
+        out.push(test_time(patterns, scan_in, scan_out));
+    }
+    for width in (lpt_widths + 1)..=max_width {
+        let empty_bins = width - chains;
+        let scan_in = leveled_makespan(empty_bins, &asc, cells_in);
+        let scan_out = leveled_makespan(empty_bins, &asc, cells_out);
+        out.push(test_time(patterns, scan_in, scan_out));
+    }
+    out
 }
 
 /// Index of the least-loaded bin (first one on ties — the same rule as

@@ -1,0 +1,144 @@
+//! Property proof that the incremental row evaluation (prefix-seeded LPT +
+//! floor skip) is bit-identical to the non-incremental reference loop over
+//! random module shapes and the full width range, plus directed edge-case
+//! tests at the region boundaries.
+
+use proptest::prelude::*;
+use soctest_soc_model::Module;
+use soctest_wrapper::row::{test_time_row, test_time_row_reference, RowKernel};
+
+prop_compose! {
+    fn arb_module()(
+        patterns in 1u64..300,
+        inputs in 0u32..150,
+        outputs in 0u32..150,
+        bidirs in 0u32..30,
+        chains in proptest::collection::vec(0u64..500, 0..24),
+    ) -> Module {
+        Module::builder("prop")
+            .patterns(patterns)
+            .inputs(inputs)
+            .outputs(outputs)
+            .bidirs(bidirs)
+            .scan_chains(chains)
+            .build()
+    }
+}
+
+// Modules whose chains are near-balanced reach the floor early, which is
+// exactly the regime the skip optimises — generate them explicitly so the
+// skip path is exercised on every run, not only when randomness obliges.
+prop_compose! {
+    fn arb_balanced_module()(
+        patterns in 1u64..200,
+        io in 0u32..80,
+        chain_count in 1usize..24,
+        base in 1u64..300,
+        jitter in proptest::collection::vec(0u64..3, 24),
+    ) -> Module {
+        Module::builder("balanced")
+            .patterns(patterns)
+            .inputs(io)
+            .outputs(io)
+            .scan_chains((0..chain_count).map(|i| base + jitter[i]))
+            .build()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn incremental_row_is_bit_identical_to_reference(
+        module in arb_module(),
+        max_width in 1usize..300,
+    ) {
+        prop_assert_eq!(
+            test_time_row(&module, max_width),
+            test_time_row_reference(&module, max_width),
+            "module {:?}",
+            module
+        );
+    }
+
+    #[test]
+    fn incremental_row_is_bit_identical_on_balanced_chains(
+        module in arb_balanced_module(),
+        max_width in 1usize..300,
+    ) {
+        prop_assert_eq!(
+            test_time_row(&module, max_width),
+            test_time_row_reference(&module, max_width)
+        );
+    }
+
+    #[test]
+    fn kernel_reuse_does_not_leak_floor_state(
+        first in arb_balanced_module(),
+        second in arb_module(),
+        max_width in 1usize..120,
+    ) {
+        // A module that hits the floor (and early-returns) must leave the
+        // kernel scratch in a state that still evaluates the next module
+        // correctly.
+        let mut kernel = RowKernel::new();
+        let _ = kernel.compute(&first, max_width);
+        prop_assert_eq!(
+            kernel.compute(&second, max_width),
+            test_time_row_reference(&second, max_width)
+        );
+    }
+}
+
+#[test]
+fn width_one_matches_reference() {
+    // Width 1 serialises every chain and every cell onto one wrapper chain;
+    // it is the narrow-region boundary (no prefix beyond the first chain).
+    let module = Module::builder("w1")
+        .patterns(17)
+        .inputs(9)
+        .outputs(4)
+        .scan_chains([250u64, 40, 40, 40])
+        .build();
+    assert_eq!(
+        test_time_row(&module, 1),
+        test_time_row_reference(&module, 1)
+    );
+    // All chains plus the input cells shift in (scan-in 379), all chains
+    // plus the output cells shift out (scan-out 374).
+    assert_eq!(test_time_row(&module, 1)[0], (1 + 370 + 9) * 17 + (370 + 4));
+}
+
+#[test]
+fn width_at_and_beyond_chain_count_matches_reference() {
+    // Widths >= the chain count take the wide region (no LPT at all); the
+    // row must stay exact across the narrow/wide boundary and deep into the
+    // floor-filled tail.
+    let module = Module::builder("wide")
+        .patterns(29)
+        .inputs(31)
+        .outputs(18)
+        .scan_chains([300u64, 200, 100, 50, 25])
+        .build();
+    let chains = 5;
+    let row = test_time_row(&module, 4 * chains);
+    assert_eq!(row, test_time_row_reference(&module, 4 * chains));
+    // At the floor the time is exactly (1 + L)·p + L with L the longest
+    // chain: the wrapper cells have spread below the longest chain.
+    assert_eq!(*row.last().unwrap(), (1 + 300) * 29 + 300);
+}
+
+#[test]
+fn floor_fill_is_exact_for_single_chain_memories() {
+    // The PNX8550 stand-in's 212 memories all take this shape: one chain,
+    // floor reached at width 2, remaining 254 widths filled.
+    let memory = Module::builder("mem")
+        .patterns(1700)
+        .inputs(24)
+        .outputs(24)
+        .scan_chain(2100)
+        .build();
+    let row = test_time_row(&memory, 256);
+    assert_eq!(row, test_time_row_reference(&memory, 256));
+    assert_eq!(row[255], (1 + 2100) * 1700 + 2100);
+}
