@@ -11,6 +11,12 @@
 //! * the incremental row evaluation (prefix-seeded LPT + floor skip) vs.
 //!   the non-incremental per-width kernel loop
 //!   (`test_time_row_reference`), rows checked identical;
+//! * the heap-based LPT (`lpt_partition`) vs. the linear-scan formulation
+//!   (`lpt_partition_reference`) on a chain-rich flattened shape —
+//!   asserted bit-identical (assignment and loads) before timing;
+//! * the demand-driven `LazyTimeTable` under the two-step `optimize`,
+//!   including the `rows_built / rows_total` cell ratio (how little of the
+//!   full table the optimizer actually probes);
 //! * the end-to-end two-step `optimize` on d695 and the PNX8550 stand-in;
 //! * the Figure 6(a) `channel_sweep` on the PNX8550 stand-in.
 //!
@@ -20,11 +26,12 @@
 use serde::Serialize;
 use soctest_ate::{AteSpec, ProbeStation, TestCell};
 use soctest_bench::{fig6a_channel_counts, paper_config, pnx_soc};
-use soctest_multisite::optimizer::optimize;
+use soctest_multisite::optimizer::{optimize, optimize_with_table};
 use soctest_multisite::problem::OptimizerConfig;
 use soctest_multisite::sweep::channel_sweep;
 use soctest_soc_model::benchmarks::d695;
-use soctest_tam::TimeTable;
+use soctest_tam::{LazyTimeTable, TimeTable};
+use soctest_wrapper::lpt::{lpt_partition, lpt_partition_reference};
 use std::time::Instant;
 
 /// Where the report is written (relative to the working directory).
@@ -53,10 +60,25 @@ struct TimeTableComparison {
 }
 
 #[derive(Debug, Serialize)]
+struct LazyTableStats {
+    soc: String,
+    modules: usize,
+    max_width: usize,
+    /// `(module, width)` cells the optimizer actually probed.
+    rows_built: usize,
+    /// Cells an eager build would compute (`modules · max_width`).
+    rows_total: usize,
+    /// `rows_built / rows_total` — the fraction of the table the two-step
+    /// optimizer really needs.
+    ratio: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct BenchReport {
     schema: String,
     threads: usize,
     timetable_build: TimeTableComparison,
+    lazy_timetable: LazyTableStats,
     measurements: Vec<Measurement>,
 }
 
@@ -128,6 +150,68 @@ fn main() {
         );
     }
 
+    // --- Heap LPT vs scalar scan -----------------------------------------
+    // A chain-rich shape (every PNX module's chains concatenated — the
+    // flattened Problem 2 profile) over the narrow-region widths where the
+    // heap matters. Bit-identity is asserted before anything is timed.
+    let all_chains: Vec<u64> = pnx
+        .modules()
+        .iter()
+        .flat_map(|m| m.scan_chains().iter().map(|c| c.length))
+        .collect();
+    let lpt_bins = [4usize, 16, 64, 192];
+    for &bins in &lpt_bins {
+        assert_eq!(
+            lpt_partition(&all_chains, bins),
+            lpt_partition_reference(&all_chains, bins),
+            "heap LPT and scalar LPT disagree at {bins} bins"
+        );
+    }
+    measurements.push(measure("heap_lpt/pnx8550_flat_chains/heap", || {
+        for &bins in &lpt_bins {
+            std::hint::black_box(lpt_partition(&all_chains, bins));
+        }
+    }));
+    measurements.push(measure("heap_lpt/pnx8550_flat_chains/scalar", || {
+        for &bins in &lpt_bins {
+            std::hint::black_box(lpt_partition_reference(&all_chains, bins));
+        }
+    }));
+
+    // --- Lazy table under the optimizer ----------------------------------
+    let pnx_config = paper_config();
+    let lazy_width = (pnx_config.test_cell.ate.channels / 2).max(1);
+    measurements.push(measure("lazy_timetable/pnx8550_like/optimize", || {
+        let table = LazyTimeTable::new(&pnx, lazy_width);
+        optimize_with_table(pnx.name(), &table, &pnx_config)
+            .expect("the PNX stand-in fits the paper's test cell")
+    }));
+    let lazy_stats = {
+        let table = LazyTimeTable::new(&pnx, lazy_width);
+        let lazy_solution = optimize_with_table(pnx.name(), &table, &pnx_config)
+            .expect("the PNX stand-in fits the paper's test cell");
+        // Bit-identity of the solution against the eager table.
+        let eager = TimeTable::build(&pnx, lazy_width);
+        let eager_solution = optimize_with_table(pnx.name(), &eager, &pnx_config)
+            .expect("the PNX stand-in fits the paper's test cell");
+        assert_eq!(
+            lazy_solution, eager_solution,
+            "lazy and eager tables must produce identical solutions"
+        );
+        LazyTableStats {
+            soc: pnx.name().to_string(),
+            modules: pnx.num_modules(),
+            max_width: lazy_width,
+            rows_built: table.cells_built(),
+            rows_total: table.cells_total(),
+            ratio: table.build_ratio(),
+        }
+    };
+    println!(
+        "\nlazy_timetable: {} / {} cells probed by optimize (ratio {:.4})\n",
+        lazy_stats.rows_built, lazy_stats.rows_total, lazy_stats.ratio
+    );
+
     // --- End-to-end optimizer runs ---------------------------------------
     let d695_soc = d695();
     let d695_config = OptimizerConfig::new(TestCell::new(
@@ -137,7 +221,6 @@ fn main() {
     measurements.push(measure("optimize/d695", || {
         optimize(&d695_soc, &d695_config).expect("d695 fits its test cell")
     }));
-    let pnx_config = paper_config();
     measurements.push(measure("optimize/pnx8550_like", || {
         optimize(&pnx, &pnx_config).expect("the PNX stand-in fits the paper's test cell")
     }));
@@ -160,8 +243,10 @@ fn main() {
             speedup,
             tables_identical,
         },
+        lazy_timetable: lazy_stats,
         measurements,
     };
+    let lazy_ratio = report.lazy_timetable.ratio;
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write(REPORT_PATH, format!("{json}\n")).expect("write BENCH_optimizer.json");
     println!("wrote {REPORT_PATH}");
@@ -169,6 +254,10 @@ fn main() {
     assert!(
         tables_identical,
         "fast and naive TimeTable builds disagree — the row kernel is wrong"
+    );
+    assert!(
+        lazy_ratio < 1.0,
+        "the lazy table materialised the whole width grid — laziness lost"
     );
     if speedup < 10.0 {
         eprintln!("WARNING: timetable_build speedup {speedup:.1}x is below the 10x target");

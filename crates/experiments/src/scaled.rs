@@ -1,13 +1,14 @@
 //! The scaled synthetic workload tier.
 //!
 //! The paper evaluates one industrial SOC (274 modules). With the
-//! incremental row kernel the optimizer handles far larger designs, so
-//! this tier runs the full two-step optimization on deterministic
-//! [`SyntheticSocSpec`] families from 100 up to 2000 modules, plus
-//! NoC-style profiles — a large mesh of small, homogeneous processing
-//! cores in the spirit of Amory et al., *"Test Time Reduction Reusing
-//! Multiple Processors in a Network-on-Chip Based Architecture"* — and
-//! records the resulting architectures and throughputs as a golden
+//! incremental row kernel and the demand-driven `LazyTimeTable` (cells
+//! materialised only for probed widths) the optimizer handles far larger
+//! designs, so this tier runs the full two-step optimization on
+//! deterministic [`SyntheticSocSpec`] families from 100 up to **10000**
+//! modules, plus NoC-style profiles — a large mesh of small, homogeneous
+//! processing cores in the spirit of Amory et al., *"Test Time Reduction
+//! Reusing Multiple Processors in a Network-on-Chip Based Architecture"* —
+//! and records the resulting architectures and throughputs as a golden
 //! artifact, making optimizer scaling behaviour part of CI.
 
 use crate::artifact::{markdown_table, Artifact};
@@ -36,10 +37,11 @@ pub struct ScaledWorkload {
 ///
 /// The general-purpose `synth_*` family keeps the default module-size
 /// distribution with a 30% memory share and grows the module count from
-/// 100 to 2000; the ATE grows with it (an SOC four times the size gets
+/// 100 to 10000; the ATE grows with it (an SOC four times the size gets
 /// twice the channels, mirroring how test cells are provisioned). The
-/// `noc_*` profiles model NoC-based designs: hundreds of small,
-/// homogeneous cores with narrow scan structure and small pattern sets.
+/// `noc_*` profiles model NoC-based designs: hundreds to thousands of
+/// small, homogeneous cores with narrow scan structure and small pattern
+/// sets.
 pub fn scaled_workloads() -> Vec<ScaledWorkload> {
     let synth = |name: &'static str, modules: usize, channels: usize| ScaledWorkload {
         name,
@@ -52,13 +54,7 @@ pub fn scaled_workloads() -> Vec<ScaledWorkload> {
     };
     let noc = |name: &'static str, modules: usize, channels: usize| ScaledWorkload {
         name,
-        soc: SyntheticSocSpec::new(name, modules)
-            .seed(0xA03C + modules as u64)
-            .patterns(40, 160)
-            .scan_chains(2, 8)
-            .chain_length(30, 200)
-            .terminals(16, 64)
-            .generate(),
+        soc: noc_soc(name, modules),
         ate_channels: channels,
         depth: 7 * 1024 * 1024,
     };
@@ -68,10 +64,28 @@ pub fn scaled_workloads() -> Vec<ScaledWorkload> {
         synth("synth_0500", 500, 768),
         synth("synth_1000", 1000, 1024),
         synth("synth_2000", 2000, 1536),
+        synth("synth_5000", 5000, 2048),
+        synth("synth_10000", 10000, 3072),
         noc("noc_0064", 64, 256),
         noc("noc_0256", 256, 512),
         noc("noc_1024", 1024, 1024),
+        noc("noc_4096", 4096, 2048),
     ]
+}
+
+/// The deterministic NoC-style SOC profile shared by the scaled tier's
+/// `noc_*` workloads and the flat tier (`crate::flat`): a mesh of small,
+/// homogeneous cores with narrow scan structure and small pattern sets.
+/// Keeping the spec in one place guarantees both tiers describe the same
+/// SOC for the same name.
+pub fn noc_soc(name: &str, modules: usize) -> Soc {
+    SyntheticSocSpec::new(name, modules)
+        .seed(0xA03C + modules as u64)
+        .patterns(40, 160)
+        .scan_chains(2, 8)
+        .chain_length(30, 200)
+        .terminals(16, 64)
+        .generate()
 }
 
 /// The optimization outcome of one scaled workload.
@@ -169,13 +183,13 @@ pub fn scaled_tier() -> Artifact {
             .collect::<Vec<_>>(),
     );
     let markdown = format!(
-        "# Scaled synthetic tier: two-step optimization from 100 to 2000 modules\n\n\
+        "# Scaled synthetic tier: two-step optimization from 100 to 10000 modules\n\n\
          `synth_*`: default module mix, 30% memories. `noc_*`: NoC-style mesh of small \
          homogeneous cores (Amory et al.).\n\n{table}"
     );
     Artifact::render(
         "scaled_tier",
-        "Scaled synthetic tier: optimizer results from 100 to 2000 modules, incl. NoC profiles",
+        "Scaled synthetic tier: optimizer results from 100 to 10000 modules, incl. NoC profiles",
         &rows,
         markdown,
     )
@@ -198,11 +212,11 @@ mod tests {
     }
 
     #[test]
-    fn tier_spans_100_to_2000_modules_with_noc_profiles() {
+    fn tier_spans_100_to_10000_modules_with_noc_profiles() {
         let workloads = scaled_workloads();
         let sizes: Vec<usize> = workloads.iter().map(|w| w.soc.num_modules()).collect();
         assert!(sizes.iter().any(|&n| n <= 100));
-        assert!(sizes.iter().any(|&n| n >= 2000));
+        assert!(sizes.iter().any(|&n| n >= 10_000));
         assert!(workloads.iter().any(|w| w.name.starts_with("noc_")));
     }
 }

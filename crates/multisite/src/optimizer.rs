@@ -15,11 +15,17 @@ use crate::solution::{MultiSiteSolution, SitePoint};
 use soctest_soc_model::Soc;
 use soctest_tam::redistribute::redistribute_extra_width;
 use soctest_tam::step1::design_with_table;
-use soctest_tam::{TestArchitecture, TimeTable};
+use soctest_tam::{LazyTimeTable, TestArchitecture, TimeLookup};
 use soctest_throughput::retest::{retest_rate, unique_devices_per_hour};
 use soctest_throughput::{TestTimes, ThroughputModel, YieldParams};
 
 /// Runs the complete two-step optimization for `soc` under `config`.
+///
+/// The module test-time table is a demand-driven [`LazyTimeTable`]: the two
+/// steps only probe a sparse subset of the `(module, width)` space (binary
+/// searches in Step 1, one-step group widenings in Step 2), so cells are
+/// computed on first probe only — probed entries are bit-identical to an
+/// eager [`soctest_tam::TimeTable`] build, and so is the solution.
 ///
 /// # Errors
 ///
@@ -30,21 +36,25 @@ use soctest_throughput::{TestTimes, ThroughputModel, YieldParams};
 ///   or the channel count is insufficient).
 pub fn optimize(soc: &Soc, config: &OptimizerConfig) -> Result<MultiSiteSolution, OptimizeError> {
     let max_width = (config.test_cell.ate.channels / 2).max(1);
-    let table = TimeTable::build(soc, max_width);
+    let table = LazyTimeTable::new(soc, max_width);
     optimize_with_table(soc.name(), &table, config)
 }
 
-/// Runs the two-step optimization on a prebuilt [`TimeTable`].
+/// Runs the two-step optimization on a prebuilt table (eager
+/// [`soctest_tam::TimeTable`] or [`LazyTimeTable`] — any [`TimeLookup`]).
 ///
 /// Sharing the table across runs (e.g. in the Figure 6 sweeps, where only
-/// the ATE changes) avoids recomputing every module's wrapper designs.
+/// the ATE changes) avoids recomputing every module's wrapper designs. The
+/// table may be narrower than the channel budget implies
+/// (`max_width < channels / 2`); redistribution then stops at the table's
+/// width instead of panicking on an out-of-range lookup.
 ///
 /// # Errors
 ///
 /// See [`optimize`].
-pub fn optimize_with_table(
+pub fn optimize_with_table<T: TimeLookup + ?Sized>(
     soc_name: &str,
-    table: &TimeTable,
+    table: &T,
     config: &OptimizerConfig,
 ) -> Result<MultiSiteSolution, OptimizeError> {
     config.validate()?;
@@ -58,26 +68,17 @@ pub fn optimize_with_table(
 
     // Step 2: evaluate every site count, redistributing freed channels.
     let mut curve = Vec::with_capacity(max_sites);
-    let mut best: Option<(SitePoint, TestArchitecture)> = None;
     for sites in 1..=max_sites {
-        let available = channels_per_site(channels, sites, config.options.stimulus_broadcast);
-        let extra_width = (available / 2).saturating_sub(step1.total_width());
-        let architecture = if extra_width > 0 {
-            redistribute_extra_width(&step1, table, extra_width).architecture
-        } else {
-            step1.clone()
-        };
-        let point = evaluate_point(&architecture, sites, config);
-        let replace = match &best {
-            None => true,
-            Some((current, _)) => point.objective() > current.objective() + f64::EPSILON,
-        };
-        if replace {
-            best = Some((point.clone(), architecture));
-        }
-        curve.push(point);
+        let architecture = architecture_for_sites(&step1, table, channels, sites, config);
+        curve.push(evaluate_point(&architecture, sites, config));
     }
-    let (optimal, optimal_architecture) = best.expect("at least one site evaluated");
+    let best_index = optimal_index(&curve);
+    let optimal = curve[best_index].clone();
+    // Redistribution is deterministic, so rebuilding the winning
+    // architecture reproduces the one evaluated above exactly; this keeps
+    // the loop from retaining one architecture clone per site count.
+    let optimal_architecture =
+        architecture_for_sites(&step1, table, channels, best_index + 1, config);
 
     let contacted_pads_per_site = contacted_pads(optimal.channels_per_site, config);
     Ok(MultiSiteSolution {
@@ -89,6 +90,60 @@ pub fn optimize_with_table(
         optimal_architecture,
         contacted_pads_per_site,
     })
+}
+
+/// The architecture used at `sites` sites: Step 1's, widened by the
+/// channels freed relative to the maximum multi-site.
+fn architecture_for_sites<T: TimeLookup + ?Sized>(
+    step1: &TestArchitecture,
+    table: &T,
+    channels: usize,
+    sites: usize,
+    config: &OptimizerConfig,
+) -> TestArchitecture {
+    let available = channels_per_site(channels, sites, config.options.stimulus_broadcast);
+    // Clamp the request to the widening the table can still absorb (every
+    // group is capped at the table's max width). The redistribution loop
+    // independently skips capped groups, so the clamp never changes the
+    // resulting architecture; it makes the narrow-prebuilt-table contract
+    // (max_width < available / 2 must stay panic-free) explicit at this
+    // call site and keeps the requested width meaningful for bookkeeping.
+    let headroom: usize = step1
+        .groups
+        .iter()
+        .map(|g| table.max_width().saturating_sub(g.width))
+        .sum();
+    let extra_width = (available / 2)
+        .saturating_sub(step1.total_width())
+        .min(headroom);
+    if extra_width > 0 {
+        redistribute_extra_width(step1, table, extra_width).architecture
+    } else {
+        step1.clone()
+    }
+}
+
+/// Index of the throughput-optimal point of a Step 2 curve.
+///
+/// The comparison is a plain strict `>`. An earlier formulation compared
+/// against `objective + f64::EPSILON`: for objectives ≥ 4.0 — every
+/// realistic devices-per-hour magnitude — the absolute machine epsilon is
+/// under half an ulp, so the addend rounded away and that form already
+/// behaved strictly; at smaller magnitudes it could swallow genuine
+/// one-ulp improvements, making the selection scale-dependent. The strict
+/// form removes that dependence.
+/// Exact ties keep the earliest point: an explicit tie-break toward the
+/// **lower** site count, which reaches the same throughput with fewer
+/// contacted pads and less probe hardware.
+pub(crate) fn optimal_index(curve: &[SitePoint]) -> usize {
+    assert!(!curve.is_empty(), "at least one site must be evaluated");
+    let mut best = 0;
+    for (index, point) in curve.iter().enumerate().skip(1) {
+        if point.objective() > curve[best].objective() {
+            best = index;
+        }
+    }
+    best
 }
 
 /// The "Step 1 only" throughput curve (the dashed line of Figure 5): the
@@ -355,5 +410,95 @@ mod tests {
     #[should_panic(expected = "at least one site")]
     fn zero_sites_budget_panics() {
         let _ = channels_per_site(512, 0, false);
+    }
+
+    fn point_with_objective(sites: usize, objective: f64) -> SitePoint {
+        SitePoint {
+            sites,
+            channels_per_site: 8,
+            tam_width: 4,
+            test_time_cycles: 100,
+            manufacturing_test_time_s: 0.1,
+            expected_test_time_s: 0.1,
+            devices_per_hour: objective,
+            unique_devices_per_hour: objective,
+        }
+    }
+
+    #[test]
+    fn exact_objective_tie_selects_the_lower_site_count() {
+        // Two sites reach the identical throughput: the optimum must be the
+        // cheaper (lower) site count, not the later point.
+        let curve = vec![
+            point_with_objective(1, 950.0),
+            point_with_objective(2, 1000.0),
+            point_with_objective(3, 1000.0),
+            point_with_objective(4, 990.0),
+        ];
+        assert_eq!(optimal_index(&curve), 1);
+        // A strictly better later point still wins...
+        let curve2 = vec![point_with_objective(1, 10.0), point_with_objective(2, 10.5)];
+        assert_eq!(optimal_index(&curve2), 1);
+        // ...including improvements far below the old absolute-epsilon
+        // threshold's intent (sub-ulp-of-1.0 differences at small scale).
+        let curve3 = vec![
+            point_with_objective(1, 1.0),
+            point_with_objective(2, 1.0 + 1e-13),
+        ];
+        assert_eq!(optimal_index(&curve3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn optimal_index_of_empty_curve_panics() {
+        let _ = optimal_index(&[]);
+    }
+
+    #[test]
+    fn narrow_prebuilt_table_is_clamped_not_panicking() {
+        // Regression: a prebuilt table much narrower than `available / 2`
+        // at low site counts must not drive redistribution into
+        // out-of-range lookups; the extra width is clamped to the table's
+        // headroom instead.
+        let soc = d695();
+        let config = OptimizerConfig::new(TestCell::new(
+            AteSpec::new(256, 512 * 1024, 5.0e6),
+            ProbeStation::paper_probe_station(),
+        ));
+        for narrow_width in [2usize, 3, 5, 8] {
+            let table = soctest_tam::TimeTable::build(&soc, narrow_width);
+            let solution = optimize_with_table(soc.name(), &table, &config)
+                .unwrap_or_else(|e| panic!("narrow table width {narrow_width}: {e}"));
+            // No group may ever exceed the table's width.
+            for group in &solution.optimal_architecture.groups {
+                assert!(group.width <= narrow_width);
+            }
+            for group in &solution.step1_architecture.groups {
+                assert!(group.width <= narrow_width);
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_and_eager_tables_produce_identical_solutions() {
+        let soc = p22810();
+        let config = OptimizerConfig::new(TestCell::new(
+            AteSpec::new(512, 768 * 1024, 5.0e6),
+            ProbeStation::paper_probe_station(),
+        ));
+        let max_width = 512 / 2;
+        let eager = soctest_tam::TimeTable::build(&soc, max_width);
+        let lazy = soctest_tam::LazyTimeTable::new(&soc, max_width);
+        let from_eager = optimize_with_table(soc.name(), &eager, &config).unwrap();
+        let from_lazy = optimize_with_table(soc.name(), &lazy, &config).unwrap();
+        assert_eq!(from_eager, from_lazy);
+        // And the lazy table must have materialised only a fraction of the
+        // full (module × width) space.
+        assert!(
+            lazy.cells_built() < lazy.cells_total() / 2,
+            "lazy table built {}/{} cells",
+            lazy.cells_built(),
+            lazy.cells_total()
+        );
     }
 }

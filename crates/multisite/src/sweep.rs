@@ -16,6 +16,12 @@
 //! (bounded by the machine's parallelism — a 100-point sweep no longer
 //! spawns 100 OS threads); results are returned in input order, so
 //! parallel sweeps are bit-identical to sequential evaluation.
+//!
+//! All sweep points share one demand-driven [`LazyTimeTable`]: its cells
+//! are computed on first probe from whichever worker thread gets there
+//! first (safe — cells are atomics holding deterministic values) and every
+//! later point reuses them, so a sweep materialises exactly the union of
+//! the widths its points probe instead of the full `(module, width)` grid.
 
 use crate::error::OptimizeError;
 use crate::optimizer::{evaluate_point, optimize_with_table};
@@ -25,7 +31,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use soctest_ate::AteCostModel;
 use soctest_soc_model::Soc;
-use soctest_tam::TimeTable;
+use soctest_tam::LazyTimeTable;
 
 /// One point of a single-parameter sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -74,7 +80,7 @@ pub fn channel_sweep(
     if max_channels == 0 {
         return Ok(Vec::new());
     }
-    let table = TimeTable::build(soc, (max_channels / 2).max(1));
+    let table = LazyTimeTable::new(soc, (max_channels / 2).max(1));
     let results = parallel_map(channel_counts, |&channels| {
         let mut cfg = *config;
         cfg.test_cell.ate = cfg.test_cell.ate.with_channels(channels);
@@ -98,7 +104,7 @@ pub fn depth_sweep(
     config: &OptimizerConfig,
     depths: &[u64],
 ) -> Result<Vec<SweepPoint>, OptimizeError> {
-    let table = TimeTable::build(soc, (config.test_cell.ate.channels / 2).max(1));
+    let table = LazyTimeTable::new(soc, (config.test_cell.ate.channels / 2).max(1));
     let results = parallel_map(depths, |&depth| {
         let mut cfg = *config;
         cfg.test_cell.ate = cfg.test_cell.ate.with_depth(depth);
@@ -166,7 +172,7 @@ pub fn abort_on_fail_sweep(
     max_sites: usize,
     manufacturing_yields: &[f64],
 ) -> Result<Vec<SweepCurve>, OptimizeError> {
-    let table = TimeTable::build(soc, (config.test_cell.ate.channels / 2).max(1));
+    let table = LazyTimeTable::new(soc, (config.test_cell.ate.channels / 2).max(1));
     let base = optimize_with_table(soc.name(), &table, config)?;
     let architecture = base.step1_architecture;
 

@@ -53,3 +53,39 @@ fn depth_sweep_is_stable_across_runs() {
     assert_eq!(first, second);
     assert_eq!(to_json(&first), to_json(&second));
 }
+
+#[test]
+fn concurrent_lazy_table_sweep_matches_eager_sequential_on_a_scaled_soc() {
+    // The sweeps share one LazyTimeTable across the rayon pool, so many
+    // workers race on the same cells; the results must still be
+    // bit-identical to a sequential evaluation on an eager table.
+    use soctest_soc_model::synthetic::SyntheticSocSpec;
+    let soc = SyntheticSocSpec::new("sweep_scaled", 300)
+        .seed(300)
+        .memory_fraction(0.3)
+        .generate();
+    let mut cfg = OptimizerConfig::new(TestCell::new(
+        AteSpec::new(512, 7 * 1024 * 1024, 5.0e6),
+        ProbeStation::paper_probe_station(),
+    ));
+    cfg.options.retest_contact_failures = true;
+    let depths = [4 * 1024 * 1024, 5 * 1024 * 1024, 7 * 1024 * 1024];
+    let parallel = depth_sweep(&soc, &cfg, &depths).unwrap();
+
+    let table = TimeTable::build(&soc, 256);
+    let sequential: Vec<SweepPoint> = depths
+        .iter()
+        .map(|&depth| {
+            let mut point_cfg = cfg;
+            point_cfg.test_cell.ate = point_cfg.test_cell.ate.with_depth(depth);
+            let solution = optimize_with_table(soc.name(), &table, &point_cfg).unwrap();
+            SweepPoint {
+                parameter: depth as f64,
+                max_sites: solution.max_sites,
+                optimal: solution.optimal,
+            }
+        })
+        .collect();
+    assert_eq!(parallel, sequential);
+    assert_eq!(to_json(&parallel), to_json(&sequential));
+}

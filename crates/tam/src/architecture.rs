@@ -1,6 +1,6 @@
 //! Channel groups and the SOC test architecture.
 
-use crate::timetable::TimeTable;
+use crate::timetable::TimeLookup;
 use serde::{Deserialize, Serialize};
 use soctest_soc_model::ModuleId;
 use std::fmt;
@@ -23,12 +23,12 @@ pub struct ChannelGroup {
 
 impl ChannelGroup {
     /// Creates a group of the given width containing `modules`, computing
-    /// the fill from `table`.
+    /// the fill from `table` (eager or lazy — any [`TimeLookup`]).
     ///
     /// # Panics
     ///
     /// Panics if `width == 0` or exceeds the table's maximum width.
-    pub fn new(width: usize, modules: Vec<ModuleId>, table: &TimeTable) -> Self {
+    pub fn new<T: TimeLookup + ?Sized>(width: usize, modules: Vec<ModuleId>, table: &T) -> Self {
         assert!(width > 0, "a channel group has at least one wrapper chain");
         let fill_cycles = table.group_fill(&modules, width);
         ChannelGroup {
@@ -54,7 +54,7 @@ impl ChannelGroup {
     }
 
     /// Recomputes the fill after the width or module list changed.
-    pub fn refresh_fill(&mut self, table: &TimeTable) {
+    pub fn refresh_fill<T: TimeLookup + ?Sized>(&mut self, table: &T) {
         self.fill_cycles = table.group_fill(&self.modules, self.width);
     }
 }
@@ -174,6 +174,7 @@ impl fmt::Display for TestArchitecture {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::timetable::TimeTable;
     use soctest_soc_model::benchmarks::d695;
 
     fn fixture() -> (TimeTable, TestArchitecture) {

@@ -142,7 +142,10 @@ fn try_pack(
         // First fit: the first existing column the module fits into.
         let mut placed = false;
         for group in groups.iter_mut() {
-            let new_fill = group.fill_cycles + table.time(id, group.width);
+            let new_fill = group
+                .fill_cycles
+                .checked_add(table.time(id, group.width))
+                .expect("channel-group fill overflows u64");
             if new_fill <= depth {
                 group.modules.push(id);
                 group.fill_cycles = new_fill;

@@ -1,0 +1,263 @@
+//! Demand-driven module test-time table.
+//!
+//! The two-step optimizer only ever probes a sparse subset of TAM widths:
+//! Step 1 binary-searches each module's minimum width (O(log W) probes) and
+//! then looks up group widths, Step 2 re-wraps the fullest groups one width
+//! step at a time. Eagerly materialising every `(module, width)` cell — as
+//! [`crate::TimeTable::build`] does — therefore wastes almost the whole
+//! table on large SOCs, and is the wall between the 2000-module tier and
+//! the 10k-module / flat-SOC workloads.
+//!
+//! [`LazyTimeTable`] keeps one width-independent
+//! [`soctest_wrapper::row::ModuleShape`] per module (chains sorted once at
+//! construction) and a per-cell atomic cache. A cell is computed on first
+//! probe — O(s) in the wide region, O(s log w) through the heap-based LPT
+//! in the narrow region — and every later probe is a single atomic load.
+//!
+//! Concurrency: cells are `AtomicU64`s whose value *is* the entire payload
+//! (`u64::MAX` = not yet computed), so plain relaxed loads/stores suffice —
+//! no locks, no `unsafe`. Two threads racing on an unset cell both compute
+//! the same deterministic value and store it twice; the table is therefore
+//! safe to share across a rayon sweep, and parallel probe results are
+//! bit-identical to [`crate::TimeTable::build_sequential`]
+//! (`tests/lazy_equivalence.rs`). Per-thread LPT scratch lives in a
+//! thread-local, so steady-state probes allocate nothing.
+
+use crate::timetable::TimeLookup;
+use rayon::prelude::*;
+use soctest_soc_model::{ModuleId, Soc};
+use soctest_wrapper::row::{ModuleShape, ShapeScratch};
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Cell sentinel: "not computed yet". Reserved out of the test-time domain
+/// by the row kernel (`fit_u64` rejects times that do not fit *strictly
+/// below* `u64::MAX`).
+const UNSET: u64 = u64::MAX;
+
+thread_local! {
+    /// Reusable LPT scratch per thread (the vendored rayon runs scoped
+    /// worker threads, each of which gets its own copy on first probe).
+    static SCRATCH: RefCell<ShapeScratch> = RefCell::new(ShapeScratch::new());
+}
+
+/// A module test-time table that computes `(module, width)` cells on first
+/// probe instead of eagerly for every width.
+///
+/// Implements [`TimeLookup`], so [`crate::step1`], [`crate::redistribute`]
+/// and the multi-site optimizer accept it interchangeably with the eager
+/// [`crate::TimeTable`]; probed entries are bit-identical between the two.
+///
+/// # Example
+///
+/// ```
+/// use soctest_soc_model::benchmarks::d695;
+/// use soctest_tam::{LazyTimeTable, TimeLookup, TimeTable};
+///
+/// let soc = d695();
+/// let lazy = LazyTimeTable::new(&soc, 32);
+/// let eager = TimeTable::build(&soc, 32);
+/// let id = soctest_soc_model::ModuleId(3);
+/// assert_eq!(lazy.time(id, 7), eager.time(id, 7));
+/// // Only the probed cell was materialised.
+/// assert_eq!(lazy.cells_built(), 1);
+/// ```
+pub struct LazyTimeTable {
+    /// Width-independent per-module state (sorted chains, cells, patterns).
+    shapes: Vec<ModuleShape>,
+    /// `cells[module][width - 1]`: computed test time, or [`UNSET`].
+    cells: Vec<Vec<AtomicU64>>,
+    max_width: usize,
+    /// Number of cells computed so far (each cell counted once).
+    built: AtomicUsize,
+}
+
+impl LazyTimeTable {
+    /// Prepares the table for `soc`, covering widths `1..=max_width`.
+    ///
+    /// No test time is computed yet; construction only sorts each module's
+    /// scan chains (in parallel over modules) and allocates the cell cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_width == 0`.
+    pub fn new(soc: &Soc, max_width: usize) -> Self {
+        assert!(max_width > 0, "max_width must be at least 1");
+        let shapes: Vec<ModuleShape> = soc.modules().par_iter().map(ModuleShape::of).collect();
+        let cells = (0..shapes.len())
+            .map(|_| (0..max_width).map(|_| AtomicU64::new(UNSET)).collect())
+            .collect();
+        LazyTimeTable {
+            shapes,
+            cells,
+            max_width,
+            built: AtomicUsize::new(0),
+        }
+    }
+
+    /// The maximum width covered by the table.
+    pub fn max_width(&self) -> usize {
+        self.max_width
+    }
+
+    /// Number of modules covered by the table.
+    pub fn num_modules(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Test time of `module` at `width` wrapper chains, computing and
+    /// caching the cell on first probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `module` or `width` is out of range.
+    pub fn time(&self, module: ModuleId, width: usize) -> u64 {
+        assert!(
+            width >= 1 && width <= self.max_width,
+            "width {width} out of range"
+        );
+        let cell = &self.cells[module.0][width - 1];
+        let cached = cell.load(Ordering::Relaxed);
+        if cached != UNSET {
+            return cached;
+        }
+        let value =
+            SCRATCH.with(|scratch| self.shapes[module.0].time_at(width, &mut scratch.borrow_mut()));
+        debug_assert_ne!(value, UNSET, "fit_u64 keeps times below the sentinel");
+        if cell.swap(value, Ordering::Relaxed) == UNSET {
+            // First writer of this cell; racing duplicates store the same
+            // deterministic value and are not double-counted.
+            self.built.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// Whether the `(module, width)` cell has been computed already.
+    pub fn is_built(&self, module: ModuleId, width: usize) -> bool {
+        assert!(
+            width >= 1 && width <= self.max_width,
+            "width {width} out of range"
+        );
+        self.cells[module.0][width - 1].load(Ordering::Relaxed) != UNSET
+    }
+
+    /// Number of `(module, width)` cells computed so far.
+    pub fn cells_built(&self) -> usize {
+        self.built.load(Ordering::Relaxed)
+    }
+
+    /// Total number of cells an eager build would compute
+    /// (`num_modules · max_width`).
+    pub fn cells_total(&self) -> usize {
+        self.num_modules() * self.max_width
+    }
+
+    /// `cells_built / cells_total`: the fraction of the table an eager
+    /// build would have wasted effort on. Reported by `perf_baseline` as
+    /// `rows_built / rows_total`.
+    pub fn build_ratio(&self) -> f64 {
+        if self.cells_total() == 0 {
+            return 0.0;
+        }
+        self.cells_built() as f64 / self.cells_total() as f64
+    }
+}
+
+impl TimeLookup for LazyTimeTable {
+    fn num_modules(&self) -> usize {
+        LazyTimeTable::num_modules(self)
+    }
+
+    fn max_width(&self) -> usize {
+        LazyTimeTable::max_width(self)
+    }
+
+    fn time(&self, module: ModuleId, width: usize) -> u64 {
+        LazyTimeTable::time(self, module, width)
+    }
+    // `min_width_for_time` / `group_fill` use the trait defaults: the
+    // probing binary search (sound by the width-monotonicity theorem in
+    // `soctest_wrapper::row`) and the per-module time sum.
+}
+
+impl fmt::Debug for LazyTimeTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LazyTimeTable")
+            .field("modules", &self.num_modules())
+            .field("max_width", &self.max_width)
+            .field("cells_built", &self.cells_built())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timetable::TimeTable;
+    use soctest_soc_model::benchmarks::d695;
+
+    #[test]
+    fn probed_cells_match_the_eager_table() {
+        let soc = d695();
+        let lazy = LazyTimeTable::new(&soc, 24);
+        let eager = TimeTable::build_sequential(&soc, 24);
+        for (id, _) in soc.iter() {
+            for width in [1usize, 2, 5, 13, 24] {
+                assert_eq!(lazy.time(id, width), eager.time(id, width));
+            }
+        }
+    }
+
+    #[test]
+    fn cells_are_built_on_demand_only() {
+        let soc = d695();
+        let lazy = LazyTimeTable::new(&soc, 24);
+        assert_eq!(lazy.cells_built(), 0);
+        assert!(!lazy.is_built(ModuleId(0), 5));
+        let first = lazy.time(ModuleId(0), 5);
+        assert!(lazy.is_built(ModuleId(0), 5));
+        assert_eq!(lazy.cells_built(), 1);
+        // A second probe serves the cache and does not recount.
+        assert_eq!(lazy.time(ModuleId(0), 5), first);
+        assert_eq!(lazy.cells_built(), 1);
+        assert_eq!(lazy.cells_total(), soc.num_modules() * 24);
+        assert!(lazy.build_ratio() > 0.0 && lazy.build_ratio() < 1.0);
+    }
+
+    #[test]
+    fn min_width_and_group_fill_match_the_eager_table() {
+        let soc = d695();
+        let lazy = LazyTimeTable::new(&soc, 24);
+        let eager = TimeTable::build_sequential(&soc, 24);
+        for (id, _) in soc.iter() {
+            for probe in [1usize, 4, 9, 24] {
+                let budget = eager.time(id, probe);
+                assert_eq!(
+                    TimeLookup::min_width_for_time(&lazy, id, budget),
+                    eager.min_width_for_time(id, budget)
+                );
+            }
+            assert_eq!(TimeLookup::min_width_for_time(&lazy, id, 0), None);
+        }
+        let ids = [ModuleId(0), ModuleId(4), ModuleId(9)];
+        assert_eq!(
+            TimeLookup::group_fill(&lazy, &ids, 6),
+            eager.group_fill(&ids, 6)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn width_out_of_range_panics() {
+        let soc = d695();
+        let lazy = LazyTimeTable::new(&soc, 8);
+        let _ = lazy.time(ModuleId(0), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_width")]
+    fn zero_max_width_panics() {
+        let _ = LazyTimeTable::new(&d695(), 0);
+    }
+}

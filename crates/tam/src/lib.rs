@@ -20,7 +20,12 @@
 //!   two orders of magnitude faster than running a full COMBINE wrapper
 //!   design per `(module, width)` pair — while
 //!   `TimeTable::build_reference` keeps the full-fidelity loop as a
-//!   cross-check and benchmark baseline,
+//!   cross-check and benchmark baseline. All algorithms consume tables
+//!   through the [`TimeLookup`] trait,
+//! * [`lazy`] — [`LazyTimeTable`], the demand-driven alternative: cells
+//!   are computed on first probe only (rayon-safe atomic cache), which is
+//!   what lets the optimizer handle 10k-module and flat (single-module,
+//!   many-thousand-chain) SOCs without materialising whole tables,
 //! * [`architecture`] / [`schedule`] — the resulting [`TestArchitecture`]
 //!   and an explicit per-group test schedule.
 //!
@@ -50,6 +55,7 @@
 pub mod architecture;
 pub mod baseline;
 pub mod error;
+pub mod lazy;
 pub mod redistribute;
 pub mod schedule;
 pub mod step1;
@@ -57,5 +63,6 @@ pub mod timetable;
 
 pub use architecture::{ChannelGroup, TestArchitecture};
 pub use error::TamError;
+pub use lazy::LazyTimeTable;
 pub use schedule::{ScheduleEntry, TestSchedule};
-pub use timetable::TimeTable;
+pub use timetable::{TimeLookup, TimeTable};

@@ -8,7 +8,7 @@
 //! re-wrapped at the new width.
 
 use crate::architecture::TestArchitecture;
-use crate::timetable::TimeTable;
+use crate::timetable::TimeLookup;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -40,9 +40,9 @@ pub struct Redistribution {
 /// width — the only state its improvability depends on — can never change
 /// again, so re-examining it (as the sort-per-chain formulation did) can
 /// never change the outcome.
-pub fn redistribute_extra_width(
+pub fn redistribute_extra_width<T: TimeLookup + ?Sized>(
     architecture: &TestArchitecture,
-    table: &TimeTable,
+    table: &T,
     extra_width: usize,
 ) -> Redistribution {
     let mut arch = architecture.clone();
@@ -82,6 +82,7 @@ pub fn redistribute_extra_width(
 mod tests {
     use super::*;
     use crate::step1::design_minimal_architecture;
+    use crate::timetable::TimeTable;
     use soctest_ate::AteSpec;
     use soctest_soc_model::benchmarks::{d695, p93791};
 

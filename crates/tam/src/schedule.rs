@@ -7,7 +7,7 @@
 //! independent way to check the architecture-level fill bookkeeping.
 
 use crate::architecture::TestArchitecture;
-use crate::timetable::TimeTable;
+use crate::timetable::TimeLookup;
 use serde::{Deserialize, Serialize};
 use soctest_soc_model::ModuleId;
 use std::fmt;
@@ -44,7 +44,10 @@ pub struct TestSchedule {
 impl TestSchedule {
     /// Builds the schedule implied by `architecture`: modules of each group
     /// run serially in their assignment order.
-    pub fn from_architecture(architecture: &TestArchitecture, table: &TimeTable) -> Self {
+    pub fn from_architecture<T: TimeLookup + ?Sized>(
+        architecture: &TestArchitecture,
+        table: &T,
+    ) -> Self {
         let mut entries = Vec::new();
         for (group_idx, group) in architecture.groups.iter().enumerate() {
             let mut cursor = 0u64;
@@ -113,6 +116,7 @@ impl fmt::Display for TestSchedule {
 mod tests {
     use super::*;
     use crate::step1::design_minimal_architecture;
+    use crate::timetable::TimeTable;
     use soctest_ate::AteSpec;
     use soctest_soc_model::benchmarks::d695;
 

@@ -18,15 +18,18 @@
 
 use crate::architecture::{ChannelGroup, TestArchitecture};
 use crate::error::TamError;
-use crate::timetable::TimeTable;
+use crate::lazy::LazyTimeTable;
+use crate::timetable::TimeLookup;
 use soctest_ate::AteSpec;
 use soctest_soc_model::{ModuleId, Soc};
 
 /// Designs the channel-minimal test architecture for `soc` on `ate`
 /// (Step 1 of the paper).
 ///
-/// Builds a fresh [`TimeTable`]; when running sweeps, prefer
-/// [`design_with_table`] and share the table.
+/// Builds a fresh [`LazyTimeTable`] — a one-shot design only probes a
+/// handful of widths per module, so the demand-driven table wins over an
+/// eager build. When running sweeps, prefer [`design_with_table`] and
+/// share one table.
 ///
 /// # Errors
 ///
@@ -37,12 +40,13 @@ use soctest_soc_model::{ModuleId, Soc};
 ///   ATE's channel count.
 pub fn design_minimal_architecture(soc: &Soc, ate: &AteSpec) -> Result<TestArchitecture, TamError> {
     let max_width = (ate.channels / 2).max(1);
-    let table = TimeTable::build(soc, max_width);
+    let table = LazyTimeTable::new(soc, max_width);
     design_with_table(&table, ate.channels, ate.vector_memory_depth)
 }
 
-/// Step 1 on a prebuilt [`TimeTable`], with an explicit channel budget and
-/// memory depth.
+/// Step 1 on a prebuilt table (eager [`crate::TimeTable`] or
+/// [`LazyTimeTable`] — any [`TimeLookup`]), with an explicit channel budget
+/// and memory depth.
 ///
 /// `channels` is the number of ATE channels available to a *single* SOC; the
 /// resulting architecture's [`TestArchitecture::total_channels`] never
@@ -51,8 +55,8 @@ pub fn design_minimal_architecture(soc: &Soc, ate: &AteSpec) -> Result<TestArchi
 /// # Errors
 ///
 /// See [`design_minimal_architecture`].
-pub fn design_with_table(
-    table: &TimeTable,
+pub fn design_with_table<T: TimeLookup + ?Sized>(
+    table: &T,
     channels: usize,
     depth: u64,
 ) -> Result<TestArchitecture, TamError> {
@@ -112,15 +116,18 @@ pub fn design_with_table(
 /// Tries to add `id` to an existing group without widening anything.
 /// Returns true on success. Among the feasible groups the one with the
 /// smallest resulting fill is chosen.
-fn try_place_in_existing_group(
-    table: &TimeTable,
+fn try_place_in_existing_group<T: TimeLookup + ?Sized>(
+    table: &T,
     groups: &mut [ChannelGroup],
     id: ModuleId,
     depth: u64,
 ) -> bool {
     let mut best: Option<(usize, u64)> = None;
     for (g_idx, group) in groups.iter().enumerate() {
-        let new_fill = group.fill_cycles + table.time(id, group.width);
+        let new_fill = group
+            .fill_cycles
+            .checked_add(table.time(id, group.width))
+            .expect("channel-group fill overflows u64");
         if new_fill <= depth {
             match best {
                 Some((_, fill)) if fill <= new_fill => {}
@@ -152,8 +159,8 @@ fn try_place_in_existing_group(
 /// the whole `Vec<ChannelGroup>` per alternative, re-sum every group) while
 /// selecting exactly the same alternative; only the winner is applied, in
 /// place.
-fn place_with_new_capacity(
-    table: &TimeTable,
+fn place_with_new_capacity<T: TimeLookup + ?Sized>(
+    table: &T,
     groups: &mut Vec<ChannelGroup>,
     id: ModuleId,
     w_min: usize,
@@ -187,7 +194,10 @@ fn place_with_new_capacity(
         if new_width > table.max_width() {
             continue;
         }
-        let new_fill = table.group_fill(&group.modules, new_width) + table.time(id, new_width);
+        let new_fill = table
+            .group_fill(&group.modules, new_width)
+            .checked_add(table.time(id, new_width))
+            .expect("channel-group fill overflows u64");
         if new_fill > depth {
             continue;
         }
@@ -214,6 +224,7 @@ fn place_with_new_capacity(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::timetable::TimeTable;
     use soctest_soc_model::benchmarks::{d695, p22810, p34392, p93791};
     use soctest_soc_model::{Module, Soc};
 

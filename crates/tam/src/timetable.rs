@@ -20,6 +20,72 @@ use soctest_soc_model::{ModuleId, Soc};
 use soctest_wrapper::combine::test_time_at_width;
 use soctest_wrapper::row::RowKernel;
 
+/// Common lookup interface over module test-time tables.
+///
+/// Every architecture-design algorithm in this workspace only ever *reads*
+/// `(module, width) → cycles`; this trait lets them accept either the
+/// eagerly precomputed [`TimeTable`] or the demand-driven
+/// [`crate::LazyTimeTable`] (which materialises only the cells an optimizer
+/// actually probes) without duplicating any algorithm code. The two
+/// implementations are bit-identical on every probed entry
+/// (`crates/tam/tests/lazy_equivalence.rs`).
+pub trait TimeLookup {
+    /// Number of modules covered by the table.
+    fn num_modules(&self) -> usize;
+
+    /// The maximum width covered by the table.
+    fn max_width(&self) -> usize;
+
+    /// Test time of `module` at `width` wrapper chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `module` or `width` is out of range.
+    fn time(&self, module: ModuleId, width: usize) -> u64;
+
+    /// The smallest width at which `module` meets `max_cycles`, or `None`
+    /// if even the table's maximum width is insufficient.
+    ///
+    /// The default implementation binary-searches over `time`, probing
+    /// O(log max_width) widths — sound because the test-time row is
+    /// non-increasing in width (proven in the *Width monotonicity* section
+    /// of [`soctest_wrapper::row`]'s module docs, cross-checked by
+    /// `crates/tam/tests/proptest_min_width.rs`).
+    fn min_width_for_time(&self, module: ModuleId, max_cycles: u64) -> Option<usize> {
+        // Lower-bound search: first width whose time fits the budget.
+        let mut lo = 1usize;
+        let mut hi = self.max_width() + 1;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.time(module, mid) <= max_cycles {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        (lo <= self.max_width()).then_some(lo)
+    }
+
+    /// Sum of the test times of `modules` when each is wrapped at `width`.
+    ///
+    /// This is the vector-memory fill of a channel group of that width
+    /// holding those modules (they are tested serially on the group).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fill overflows `u64`: individual times are in-domain
+    /// by construction (`fit_u64` in the row kernel), but a serial group
+    /// of many huge modules can exceed the domain, and a silent wrap here
+    /// would make an over-capacity group look nearly empty to Step 1's
+    /// depth checks.
+    fn group_fill(&self, modules: &[ModuleId], width: usize) -> u64 {
+        modules.iter().fold(0u64, |fill, &m| {
+            fill.checked_add(self.time(m, width))
+                .expect("channel-group fill overflows u64")
+        })
+    }
+}
+
 /// Precomputed test times: `time(module, width)` for every module of an SOC
 /// and every width from 1 to a configured maximum.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,8 +184,10 @@ impl TimeTable {
     /// if even the table's maximum width is insufficient.
     pub fn min_width_for_time(&self, module: ModuleId, max_cycles: u64) -> Option<usize> {
         let row = &self.times[module.0];
-        // Times are non-increasing in width, so the infeasible prefix ends
-        // at the first feasible index.
+        // Times are non-increasing in width — a theorem, not an assumption:
+        // see the *Width monotonicity* proof in `soctest_wrapper::row`'s
+        // module docs (cross-checked by tests/proptest_min_width.rs). The
+        // infeasible prefix therefore ends at the first feasible index.
         let first_feasible = row.partition_point(|&t| t > max_cycles);
         (first_feasible < row.len()).then_some(first_feasible + 1)
     }
@@ -128,8 +196,15 @@ impl TimeTable {
     ///
     /// This is the vector-memory fill of a channel group of that width
     /// holding those modules (they are tested serially on the group).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fill overflows `u64` (see [`TimeLookup::group_fill`]).
     pub fn group_fill(&self, modules: &[ModuleId], width: usize) -> u64 {
-        modules.iter().map(|&m| self.time(m, width)).sum()
+        modules.iter().fold(0u64, |fill, &m| {
+            fill.checked_add(self.time(m, width))
+                .expect("channel-group fill overflows u64")
+        })
     }
 
     /// Minimal "test data area" (width x time, in channel-cycles of wrapper
@@ -142,6 +217,29 @@ impl TimeTable {
             .map(|(i, &t)| (i as u64 + 1) * t)
             .min()
             .expect("max_width >= 1")
+    }
+}
+
+impl TimeLookup for TimeTable {
+    fn num_modules(&self) -> usize {
+        TimeTable::num_modules(self)
+    }
+
+    fn max_width(&self) -> usize {
+        TimeTable::max_width(self)
+    }
+
+    fn time(&self, module: ModuleId, width: usize) -> u64 {
+        TimeTable::time(self, module, width)
+    }
+
+    fn min_width_for_time(&self, module: ModuleId, max_cycles: u64) -> Option<usize> {
+        // The in-memory row makes `partition_point` cheaper than probing.
+        TimeTable::min_width_for_time(self, module, max_cycles)
+    }
+
+    fn group_fill(&self, modules: &[ModuleId], width: usize) -> u64 {
+        TimeTable::group_fill(self, modules, width)
     }
 }
 
@@ -190,6 +288,53 @@ mod tests {
     fn min_width_none_when_infeasible() {
         let (_, table) = table();
         assert_eq!(table.min_width_for_time(ModuleId(3), 1), None);
+    }
+
+    #[test]
+    fn trait_default_binary_search_matches_partition_point() {
+        // The trait's default probing search (what LazyTimeTable uses) and
+        // the eager partition_point must agree on every budget.
+        struct Probing<'a>(&'a TimeTable);
+        impl TimeLookup for Probing<'_> {
+            fn num_modules(&self) -> usize {
+                self.0.num_modules()
+            }
+            fn max_width(&self) -> usize {
+                self.0.max_width()
+            }
+            fn time(&self, module: ModuleId, width: usize) -> u64 {
+                self.0.time(module, width)
+            }
+        }
+        let (soc, table) = table();
+        let probing = Probing(&table);
+        for (id, _) in soc.iter() {
+            for width in 1..=24usize {
+                let budget = table.time(id, width);
+                assert_eq!(
+                    probing.min_width_for_time(id, budget),
+                    table.min_width_for_time(id, budget)
+                );
+                assert_eq!(
+                    probing.min_width_for_time(id, budget.saturating_sub(1)),
+                    table.min_width_for_time(id, budget.saturating_sub(1))
+                );
+            }
+            assert_eq!(probing.min_width_for_time(id, 0), None);
+            assert_eq!(probing.min_width_for_time(id, u64::MAX), Some(1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channel-group fill overflows u64")]
+    fn overflowing_group_fill_panics_instead_of_wrapping() {
+        // Two modules whose individual test times are in-domain but whose
+        // serial group fill exceeds u64: the fill must fail loudly, not
+        // wrap to a tiny value that passes the depth checks.
+        let huge = |name: &str| Module::builder(name).patterns(u64::MAX / 2 + 1).build();
+        let soc = Soc::from_modules("huge_pair", vec![huge("a"), huge("b")]);
+        let table = TimeTable::build(&soc, 2);
+        let _ = table.group_fill(&[ModuleId(0), ModuleId(1)], 1);
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Determinism and bit-identity of the demand-driven table.
+//!
+//! The lazy table must serve *exactly* the numbers an eager
+//! `TimeTable::build_sequential` holds — under sequential probing, under
+//! rayon-parallel probing, and under the real concurrent access pattern of
+//! `soctest_multisite::sweep` (covered from the multisite side by
+//! `crates/multisite/tests/sweep_determinism.rs`; here the table itself is
+//! hammered directly).
+
+use rayon::prelude::*;
+use soctest_soc_model::benchmarks::{d695, p22810};
+use soctest_soc_model::synthetic::SyntheticSocSpec;
+use soctest_soc_model::{ModuleId, Soc};
+use soctest_tam::{LazyTimeTable, TimeTable};
+
+fn scaled_soc() -> Soc {
+    // Same family as the experiments crate's scaled tier.
+    SyntheticSocSpec::new("lazy_equiv", 400)
+        .seed(400)
+        .memory_fraction(0.3)
+        .generate()
+}
+
+fn assert_full_probe_equivalence(soc: &Soc, max_width: usize) {
+    let lazy = LazyTimeTable::new(soc, max_width);
+    let eager = TimeTable::build_sequential(soc, max_width);
+    assert_eq!(lazy.num_modules(), eager.num_modules());
+    assert_eq!(lazy.max_width(), eager.max_width());
+    for m in 0..soc.num_modules() {
+        let id = ModuleId(m);
+        for width in 1..=max_width {
+            assert_eq!(
+                lazy.time(id, width),
+                eager.time(id, width),
+                "{} module {m} width {width}",
+                soc.name()
+            );
+        }
+    }
+    assert_eq!(lazy.cells_built(), lazy.cells_total());
+    assert!((lazy.build_ratio() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn every_cell_matches_the_sequential_build_on_d695() {
+    assert_full_probe_equivalence(&d695(), 48);
+}
+
+#[test]
+fn every_cell_matches_the_sequential_build_on_p22810() {
+    assert_full_probe_equivalence(&p22810(), 64);
+}
+
+#[test]
+fn every_cell_matches_the_sequential_build_on_a_scaled_soc() {
+    assert_full_probe_equivalence(&scaled_soc(), 32);
+}
+
+#[test]
+fn parallel_probing_is_deterministic_and_bit_identical() {
+    let soc = p22810();
+    let max_width = 48;
+    let eager = TimeTable::build_sequential(&soc, max_width);
+
+    // Probe the same cells from many rayon tasks at once, in a scattered
+    // order that makes distinct threads race on the same cells.
+    let lazy = LazyTimeTable::new(&soc, max_width);
+    let probes: Vec<(usize, usize)> = (0..soc.num_modules())
+        .flat_map(|m| (1..=max_width).map(move |w| (m, w)))
+        .collect();
+    let parallel_times: Vec<u64> = probes
+        .par_iter()
+        .map(|&(m, w)| lazy.time(ModuleId(m), w))
+        .collect();
+    // Every concurrent read must equal the eager sequential build.
+    for (&(m, w), &t) in probes.iter().zip(&parallel_times) {
+        assert_eq!(t, eager.time(ModuleId(m), w), "module {m} width {w}");
+    }
+    // Racing duplicate computations must not double-count cells.
+    assert_eq!(lazy.cells_built(), lazy.cells_total());
+
+    // A second, differently-ordered concurrent pass serves the cache and
+    // returns the identical values.
+    let scattered: Vec<(usize, usize)> = probes.iter().rev().copied().collect();
+    let mut again: Vec<u64> = scattered
+        .par_iter()
+        .map(|&(m, w)| lazy.time(ModuleId(m), w))
+        .collect();
+    again.reverse();
+    assert_eq!(again, parallel_times);
+}
+
+#[test]
+fn optimizer_probes_only_a_sparse_subset() {
+    use soctest_tam::step1::design_with_table;
+    let soc = scaled_soc();
+    let max_width = 256;
+    let lazy = LazyTimeTable::new(&soc, max_width);
+    let arch = design_with_table(&lazy, 2 * max_width, 7 * 1024 * 1024).expect("feasible");
+    assert!(arch.total_channels() <= 2 * max_width);
+    // Step 1 binary-searches min widths and probes group widths: a small
+    // fraction of the full (module × width) grid.
+    assert!(
+        lazy.cells_built() * 4 < lazy.cells_total(),
+        "step 1 materialised {}/{} cells — laziness lost",
+        lazy.cells_built(),
+        lazy.cells_total()
+    );
+}

@@ -1,0 +1,107 @@
+//! Property proofs for the `min_width_for_time` lookups.
+//!
+//! Both the eager `partition_point` lookup and the lazy probing binary
+//! search assume the test-time row is non-increasing in width. That is a
+//! theorem (see the *Width monotonicity* section of `soctest_wrapper::row`'s
+//! module docs: greedy least-loaded placement preserves a count-dominance
+//! invariant when a bin is added, which bounds both the LPT makespan and
+//! the water-fill level), and these property tests cross-check it — plus
+//! the first-feasible semantics of every lookup — against brute force on
+//! random module shapes.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use soctest_soc_model::{Module, ModuleId, Soc};
+use soctest_tam::{LazyTimeTable, TimeLookup, TimeTable};
+
+prop_compose! {
+    fn arb_module()(
+        chains in vec(0u64..3000, 0..20),
+        patterns in 1u64..1500,
+        inputs in 0u32..150,
+        outputs in 0u32..150,
+        bidirs in 0u32..40,
+    ) -> Module {
+        Module::builder("prop")
+            .patterns(patterns)
+            .inputs(inputs)
+            .outputs(outputs)
+            .bidirs(bidirs)
+            .scan_chains(chains)
+            .build()
+    }
+}
+
+const MAX_WIDTH: usize = 40;
+
+proptest! {
+    #[test]
+    fn rows_are_non_increasing_in_width(module in arb_module()) {
+        let soc = Soc::from_modules("prop", vec![module]);
+        let table = TimeTable::build_sequential(&soc, MAX_WIDTH);
+        let id = ModuleId(0);
+        for width in 2..=MAX_WIDTH {
+            prop_assert!(
+                table.time(id, width) <= table.time(id, width - 1),
+                "anomaly at width {}: {} > {}",
+                width,
+                table.time(id, width),
+                table.time(id, width - 1)
+            );
+        }
+    }
+
+    #[test]
+    fn partition_point_lookup_equals_linear_first_feasible_scan(
+        module in arb_module(),
+        budget_seed in 0u64..u64::MAX,
+    ) {
+        let soc = Soc::from_modules("prop", vec![module]);
+        let table = TimeTable::build_sequential(&soc, MAX_WIDTH);
+        let id = ModuleId(0);
+        // Budgets that exercise every row plateau: each row value, each
+        // row value minus one, and a pseudo-random probe in between.
+        let mut budgets: Vec<u64> = (1..=MAX_WIDTH)
+            .flat_map(|w| {
+                let t = table.time(id, w);
+                [t, t.saturating_sub(1)]
+            })
+            .collect();
+        budgets.push(budget_seed % (table.time(id, 1).saturating_mul(2).max(1)));
+        budgets.push(0);
+        budgets.push(u64::MAX);
+        for budget in budgets {
+            let linear = (1..=MAX_WIDTH).find(|&w| table.time(id, w) <= budget);
+            prop_assert_eq!(
+                table.min_width_for_time(id, budget),
+                linear,
+                "eager lookup diverged from the linear scan at budget {}",
+                budget
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_binary_search_equals_linear_first_feasible_scan(module in arb_module()) {
+        let soc = Soc::from_modules("prop", vec![module]);
+        let eager = TimeTable::build_sequential(&soc, MAX_WIDTH);
+        let lazy = LazyTimeTable::new(&soc, MAX_WIDTH);
+        let id = ModuleId(0);
+        let budgets: Vec<u64> = (1..=MAX_WIDTH)
+            .flat_map(|w| {
+                let t = eager.time(id, w);
+                [t, t.saturating_sub(1)]
+            })
+            .chain([0, u64::MAX])
+            .collect();
+        for budget in budgets {
+            let linear = (1..=MAX_WIDTH).find(|&w| eager.time(id, w) <= budget);
+            prop_assert_eq!(
+                TimeLookup::min_width_for_time(&lazy, id, budget),
+                linear,
+                "lazy lookup diverged from the linear scan at budget {}",
+                budget
+            );
+        }
+    }
+}

@@ -28,10 +28,131 @@ impl Partition {
     }
 }
 
+/// A reusable `(load, bin index)` min-heap implementing the LPT bin-choice
+/// rule in O(log bins) per item.
+///
+/// The heap is ordered lexicographically by `(load, index)`, so its root is
+/// always the bin a linear least-loaded scan with first-on-ties tie-breaking
+/// would select: among the minimum loads the pair with the smallest index is
+/// the unique lexicographic minimum. Every placement sequence — and hence
+/// every load multiset and assignment — is therefore *identical* to the
+/// scalar scan ([`lpt_partition_reference`] proves this property-wise),
+/// while a placement costs O(log bins) instead of O(bins).
+///
+/// The buffer is retained across [`LoadHeap::seed`] calls, so a caller
+/// evaluating many partitions (e.g. the row kernel's width loop) performs
+/// no per-partition heap allocation.
+#[derive(Debug, Default, Clone)]
+pub struct LoadHeap {
+    /// Binary min-heap of `(load, bin index)`, lexicographic order.
+    entries: Vec<(u64, u32)>,
+}
+
+impl LoadHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        LoadHeap::default()
+    }
+
+    /// Number of bins currently on the heap.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the heap holds no bins.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Re-seeds the heap with one bin per entry of `loads` (bin `i`
+    /// starting at `loads[i]`), replacing any previous contents.
+    pub fn seed(&mut self, loads: &[u64]) {
+        assert!(loads.len() <= u32::MAX as usize, "too many bins");
+        self.entries.clear();
+        self.entries
+            .extend(loads.iter().enumerate().map(|(i, &l)| (l, i as u32)));
+        // Floyd heapify: O(bins).
+        for pos in (0..self.entries.len() / 2).rev() {
+            self.sift_down(pos);
+        }
+    }
+
+    /// Re-seeds the heap with `bins` empty bins.
+    pub fn seed_empty(&mut self, bins: usize) {
+        assert!(bins <= u32::MAX as usize, "too many bins");
+        self.entries.clear();
+        self.entries.extend((0..bins).map(|i| (0u64, i as u32)));
+        // (0, 0), (0, 1), ... is already a valid lexicographic min-heap.
+    }
+
+    /// Adds `amount` to the current minimum bin — the same bin a linear
+    /// first-on-ties least-loaded scan would pick — and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is empty, or if the bin's load would overflow
+    /// `u64` — a silent wrap here would hand a tiny bogus load to the
+    /// (otherwise `u128`-hardened) makespan arithmetic downstream.
+    pub fn add_to_min(&mut self, amount: u64) -> usize {
+        let (load, bin) = self.entries[0];
+        let new_load = load
+            .checked_add(amount)
+            .expect("wrapper-chain load overflows u64");
+        self.entries[0] = (new_load, bin);
+        self.sift_down(0);
+        bin as usize
+    }
+
+    /// The current minimum load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is empty.
+    pub fn min_load(&self) -> u64 {
+        self.entries[0].0
+    }
+
+    /// Iterates over `(load, bin index)` pairs in unspecified order.
+    pub fn loads(&self) -> impl Iterator<Item = (u64, usize)> + '_ {
+        self.entries.iter().map(|&(l, i)| (l, i as usize))
+    }
+
+    /// Appends the per-bin loads (in unspecified bin order) to `out`.
+    pub fn extend_loads_into(&self, out: &mut Vec<u64>) {
+        out.extend(self.entries.iter().map(|&(l, _)| l));
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        let n = self.entries.len();
+        loop {
+            let left = 2 * pos + 1;
+            if left >= n {
+                break;
+            }
+            let right = left + 1;
+            let mut child = left;
+            if right < n && self.entries[right] < self.entries[left] {
+                child = right;
+            }
+            if self.entries[child] < self.entries[pos] {
+                self.entries.swap(pos, child);
+                pos = child;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
 /// Partitions `items` (sizes) over `bins` bins using the LPT rule.
 ///
 /// Items of size zero are assigned like any other item. When `bins` exceeds
 /// the item count the surplus bins stay empty.
+///
+/// Bin selection goes through the [`LoadHeap`] (O(items · log bins));
+/// [`lpt_partition_reference`] keeps the O(items · bins) linear-scan
+/// formulation, and the two are proven to produce identical partitions by
+/// `tests/proptest_heap_lpt.rs`.
 ///
 /// # Panics
 ///
@@ -51,12 +172,40 @@ pub fn lpt_partition(items: &[u64], bins: usize) -> Partition {
     // Decreasing size; ties broken by original index for determinism.
     order.sort_by(|&a, &b| items[b].cmp(&items[a]).then(a.cmp(&b)));
 
+    let mut heap = LoadHeap::new();
+    heap.seed_empty(bins);
+    let mut assignment = vec![0usize; items.len()];
+    for &idx in &order {
+        assignment[idx] = heap.add_to_min(items[idx]);
+    }
+    let mut loads = vec![0u64; bins];
+    for (load, bin) in heap.loads() {
+        loads[bin] = load;
+    }
+    Partition { assignment, loads }
+}
+
+/// The linear-scan LPT formulation (O(items · bins)): the exact algorithm
+/// [`lpt_partition`] used before the heap landed, kept as the validation
+/// baseline. `tests/proptest_heap_lpt.rs` proves the two produce identical
+/// assignments and load vectors on random inputs.
+///
+/// # Panics
+///
+/// Panics if `bins == 0`.
+pub fn lpt_partition_reference(items: &[u64], bins: usize) -> Partition {
+    assert!(bins > 0, "cannot partition into zero bins");
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| items[b].cmp(&items[a]).then(a.cmp(&b)));
+
     let mut loads = vec![0u64; bins];
     let mut assignment = vec![0usize; items.len()];
     for &idx in &order {
         let bin = least_loaded(&loads);
         assignment[idx] = bin;
-        loads[bin] += items[idx];
+        loads[bin] = loads[bin]
+            .checked_add(items[idx])
+            .expect("wrapper-chain load overflows u64");
     }
     Partition { assignment, loads }
 }
@@ -193,6 +342,54 @@ mod tests {
         let a = lpt_partition(&[5, 5, 5, 5], 2);
         let b = lpt_partition(&[5, 5, 5, 5], 2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heap_partition_matches_reference_scan() {
+        let cases: [(&[u64], usize); 6] = [
+            (&[7, 5, 4, 3, 1], 2),
+            (&[5, 5, 5, 5], 3),
+            (&[0, 0, 0], 2),
+            (&[9, 9, 7, 6, 5, 5], 4),
+            (&[1], 8),
+            (&[], 3),
+        ];
+        for (items, bins) in cases {
+            assert_eq!(
+                lpt_partition(items, bins),
+                lpt_partition_reference(items, bins),
+                "items {items:?} bins {bins}"
+            );
+        }
+    }
+
+    #[test]
+    fn load_heap_pops_first_min_index_on_ties() {
+        let mut heap = LoadHeap::new();
+        heap.seed(&[4, 2, 2, 7]);
+        // Bin 1 and 2 tie at load 2; the scan rule picks bin 1.
+        assert_eq!(heap.add_to_min(10), 1);
+        assert_eq!(heap.add_to_min(1), 2);
+        assert_eq!(heap.min_load(), 3);
+        let mut loads: Vec<(u64, usize)> = heap.loads().collect();
+        loads.sort_unstable_by_key(|&(_, i)| i);
+        assert_eq!(loads, vec![(4, 0), (12, 1), (3, 2), (7, 3)]);
+    }
+
+    #[test]
+    fn load_heap_seed_reuses_buffer() {
+        let mut heap = LoadHeap::new();
+        heap.seed_empty(5);
+        assert_eq!(heap.len(), 5);
+        assert_eq!(heap.add_to_min(3), 0);
+        heap.seed(&[9, 1]);
+        assert_eq!(heap.len(), 2);
+        assert!(!heap.is_empty());
+        assert_eq!(heap.add_to_min(2), 1);
+        let mut out = Vec::new();
+        heap.extend_loads_into(&mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![3, 9]);
     }
 
     #[test]

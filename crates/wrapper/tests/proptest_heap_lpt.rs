@@ -1,0 +1,76 @@
+//! Property proofs for the heap-based LPT and the single-width shape path.
+//!
+//! * [`lpt_partition`] (heap bin choice) must produce the *identical*
+//!   partition — assignment and load vector, not just the load multiset —
+//!   as the linear-scan [`lpt_partition_reference`], because the
+//!   `(load, index)` heap pops the lexicographic minimum, which is exactly
+//!   the first-on-ties least-loaded bin of the scan.
+//! * [`ModuleShape::time_at`] must be bit-identical to the corresponding
+//!   [`RowKernel`] row entry at every width, since `soctest_tam`'s lazy
+//!   table serves single cells through it while the eager table serves the
+//!   kernel's rows.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use soctest_soc_model::Module;
+use soctest_wrapper::lpt::{lpt_partition, lpt_partition_reference};
+use soctest_wrapper::row::{ModuleShape, RowKernel, ShapeScratch};
+
+prop_compose! {
+    fn arb_module()(
+        chains in vec(0u64..5000, 0..24),
+        patterns in 1u64..2000,
+        inputs in 0u32..200,
+        outputs in 0u32..200,
+        bidirs in 0u32..50,
+    ) -> Module {
+        Module::builder("prop")
+            .patterns(patterns)
+            .inputs(inputs)
+            .outputs(outputs)
+            .bidirs(bidirs)
+            .scan_chains(chains)
+            .build()
+    }
+}
+
+proptest! {
+    #[test]
+    fn heap_lpt_is_identical_to_scalar_scan(
+        items in vec(0u64..10_000, 0..64),
+        bins in 1usize..48,
+    ) {
+        let heap = lpt_partition(&items, bins);
+        let scan = lpt_partition_reference(&items, bins);
+        prop_assert_eq!(&heap.assignment, &scan.assignment);
+        prop_assert_eq!(&heap.loads, &scan.loads);
+    }
+
+    #[test]
+    fn heap_lpt_with_tie_heavy_items_is_identical(
+        value in 1u64..10,
+        count in 1usize..40,
+        bins in 1usize..16,
+    ) {
+        // All-equal items maximise tie-break pressure on the bin choice.
+        let items = vec![value; count];
+        let heap = lpt_partition(&items, bins);
+        let scan = lpt_partition_reference(&items, bins);
+        prop_assert_eq!(heap, scan);
+    }
+
+    #[test]
+    fn shape_time_at_matches_row_kernel(module in arb_module()) {
+        let max_width = module.scan_chains().len() + 6;
+        let row = RowKernel::new().compute(&module, max_width);
+        let shape = ModuleShape::of(&module);
+        let mut scratch = ShapeScratch::new();
+        for width in 1..=max_width {
+            prop_assert_eq!(
+                shape.time_at(width, &mut scratch),
+                row[width - 1],
+                "width {}", width
+            );
+        }
+    }
+}
