@@ -22,7 +22,7 @@ fn main() {
     let at = |megavectors: u64| {
         points
             .iter()
-            .find(|p| p.parameter as u64 == megavectors * 1024 * 1024)
+            .find(|p| p.parameter.as_u64() == megavectors * 1024 * 1024)
             .map(|p| p.optimal.devices_per_hour)
     };
     if let (Some(d7), Some(d14)) = (at(7), at(14)) {

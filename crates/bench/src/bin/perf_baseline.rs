@@ -18,19 +18,29 @@
 //!   including the `rows_built / rows_total` cell ratio (how little of the
 //!   full table the optimizer actually probes);
 //! * the end-to-end two-step `optimize` on d695 and the PNX8550 stand-in;
-//! * the Figure 6(a) `channel_sweep` on the PNX8550 stand-in.
+//! * the Figure 6(a) `channel_sweep` on the PNX8550 stand-in;
+//! * a heterogeneous engine batch (Figures 6(a)+6(b)+7(a)+7(b) at once)
+//!   through one shared-table `Engine::run_batch`, against the same four
+//!   experiments through the per-call-table free functions — results
+//!   asserted identical before timing.
 //!
 //! Run with `cargo run --release --bin perf_baseline`. The report lands in
 //! the current working directory.
 
 use serde::Serialize;
 use soctest_ate::{AteSpec, ProbeStation, TestCell};
-use soctest_bench::{fig6a_channel_counts, paper_config, pnx_soc};
+use soctest_bench::{
+    fig6a_channel_counts, fig6b_depths, fig7a_contact_yields, fig7b_manufacturing_yields,
+    paper_config, pnx_soc,
+};
+use soctest_multisite::engine::{Engine, OptimizeRequest, SweepAxis};
 use soctest_multisite::optimizer::{optimize, optimize_with_table};
 use soctest_multisite::problem::OptimizerConfig;
-use soctest_multisite::sweep::channel_sweep;
+use soctest_multisite::sweep::{
+    abort_on_fail_sweep, channel_sweep, contact_yield_sweep, depth_sweep,
+};
 use soctest_soc_model::benchmarks::d695;
-use soctest_tam::{LazyTimeTable, TimeTable};
+use soctest_tam::{max_tam_width, LazyTimeTable, TimeTable};
 use soctest_wrapper::lpt::{lpt_partition, lpt_partition_reference};
 use std::time::Instant;
 
@@ -180,7 +190,7 @@ fn main() {
 
     // --- Lazy table under the optimizer ----------------------------------
     let pnx_config = paper_config();
-    let lazy_width = (pnx_config.test_cell.ate.channels / 2).max(1);
+    let lazy_width = max_tam_width(pnx_config.test_cell.ate.channels);
     measurements.push(measure("lazy_timetable/pnx8550_like/optimize", || {
         let table = LazyTimeTable::new(&pnx, lazy_width);
         optimize_with_table(pnx.name(), &table, &pnx_config)
@@ -229,6 +239,75 @@ fn main() {
     let channels = fig6a_channel_counts();
     measurements.push(measure("channel_sweep/pnx8550_like/fig6a", || {
         channel_sweep(&pnx, &pnx_config, &channels).expect("every fig6a point is feasible")
+    }));
+
+    // --- Engine batch: one shared table vs per-call tables ---------------
+    // The heterogeneous Section 7 batch — all of Figures 6(a), 6(b), 7(a)
+    // and 7(b) at once — served by one engine over one table, against the
+    // legacy shape where every free function wires its own table.
+    let depths = fig6b_depths();
+    let contact_yields = fig7a_contact_yields();
+    let manufacturing_yields = fig7b_manufacturing_yields();
+    let figure_batch = [
+        OptimizeRequest::new(pnx_config).with_sweep(SweepAxis::Channels(channels.clone())),
+        OptimizeRequest::new(pnx_config).with_sweep(SweepAxis::DepthVectors(depths.clone())),
+        OptimizeRequest::new(pnx_config).with_sweep(SweepAxis::ContactYield {
+            depths: depths.clone(),
+            contact_yields: contact_yields.clone(),
+        }),
+        OptimizeRequest::new(pnx_config).with_sweep(SweepAxis::ManufacturingYield {
+            max_sites: 8,
+            manufacturing_yields: manufacturing_yields.clone(),
+        }),
+    ];
+    // Equivalence before timing: the batched responses must reproduce the
+    // per-call free-function results bit for bit.
+    {
+        let engine = Engine::new(&pnx);
+        let batched = engine.run_batch(&figure_batch);
+        let curves = |index: usize| {
+            batched[index]
+                .as_ref()
+                .expect("every figure request is feasible")
+                .curves()
+                .expect("sweeping requests answer with curves")
+        };
+        assert_eq!(
+            curves(0)[0].points,
+            channel_sweep(&pnx, &pnx_config, &channels).expect("feasible"),
+            "engine batch and per-call channel sweep disagree"
+        );
+        assert_eq!(
+            curves(1)[0].points,
+            depth_sweep(&pnx, &pnx_config, &depths).expect("feasible"),
+            "engine batch and per-call depth sweep disagree"
+        );
+        assert_eq!(
+            curves(2),
+            contact_yield_sweep(&pnx, &pnx_config, &depths, &contact_yields)
+                .expect("feasible")
+                .as_slice(),
+            "engine batch and per-call contact-yield sweep disagree"
+        );
+        assert_eq!(
+            curves(3),
+            abort_on_fail_sweep(&pnx, &pnx_config, 8, &manufacturing_yields)
+                .expect("feasible")
+                .as_slice(),
+            "engine batch and per-call abort-on-fail sweep disagree"
+        );
+    }
+    measurements.push(measure("engine_batch/pnx8550_like/shared_table", || {
+        let engine = Engine::new(&pnx);
+        for result in engine.run_batch(&figure_batch) {
+            std::hint::black_box(result.expect("every figure request is feasible"));
+        }
+    }));
+    measurements.push(measure("engine_batch/pnx8550_like/per_call_tables", || {
+        channel_sweep(&pnx, &pnx_config, &channels).expect("feasible");
+        depth_sweep(&pnx, &pnx_config, &depths).expect("feasible");
+        contact_yield_sweep(&pnx, &pnx_config, &depths, &contact_yields).expect("feasible");
+        abort_on_fail_sweep(&pnx, &pnx_config, 8, &manufacturing_yields).expect("feasible");
     }));
 
     let report = BenchReport {

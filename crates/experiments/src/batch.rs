@@ -1,0 +1,262 @@
+//! The `soc-batch` service layer: JSON batch requests in, JSON responses
+//! out.
+//!
+//! This is the file-based face of the session-oriented
+//! [`soctest_multisite::engine::Engine`]: a [`BatchRequestFile`] names one
+//! SOC and carries any number of typed
+//! [`OptimizeRequest`]s; [`run_batch_file`] builds one engine for the SOC
+//! and serves the whole batch over a single shared time table, answering
+//! with a [`BatchResponseFile`] in request order. Each request gets its
+//! own outcome — an infeasible request reports its error without
+//! poisoning the rest of the batch — which makes the optimizer drivable
+//! as a service: write a request file, run `soc-batch`, read the response
+//! file.
+//!
+//! The canonical [`sample_request`] (committed as
+//! `crates/experiments/data/sample_batch_request.json`, with its response
+//! golden next to it) doubles as the wire-format reference and as a CI
+//! determinism check: `soc-batch <request> --check <golden>` byte-compares
+//! a fresh run against the committed response.
+
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use soctest_ate::{AteSpec, ProbeStation, TestCell};
+use soctest_multisite::engine::{Engine, OptimizeRequest, OptimizeResponse, SweepAxis};
+use soctest_multisite::problem::OptimizerConfig;
+use soctest_soc_model::synthetic::pnx8550_like;
+use soctest_soc_model::{benchmarks, Soc};
+
+/// A batch request file: one SOC, any number of requests against it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchRequestFile {
+    /// Name of the SOC all requests target (see [`resolve_soc`]).
+    pub soc: String,
+    /// The requests; the response answers them in this order.
+    pub requests: Vec<OptimizeRequest>,
+}
+
+/// The outcome of one request, so a single infeasible request does not
+/// fail the batch.
+///
+/// On the wire this renders as `{"response": ..., "error": null}` /
+/// `{"response": null, "error": "..."}` — the hand-written serde impls
+/// keep that two-field shape (friendly to non-Rust consumers) while the
+/// Rust type makes a both-set or both-null outcome unrepresentable;
+/// deserialisation rejects files that violate the invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchOutcome {
+    /// The engine's answer: the request succeeded.
+    Response(OptimizeResponse),
+    /// The error rendering: the request failed.
+    Error(String),
+}
+
+impl BatchOutcome {
+    /// The engine's answer, when the request succeeded.
+    pub fn response(&self) -> Option<&OptimizeResponse> {
+        match self {
+            BatchOutcome::Response(response) => Some(response),
+            BatchOutcome::Error(_) => None,
+        }
+    }
+
+    /// The error rendering, when the request failed.
+    pub fn error(&self) -> Option<&str> {
+        match self {
+            BatchOutcome::Response(_) => None,
+            BatchOutcome::Error(error) => Some(error),
+        }
+    }
+}
+
+impl Serialize for BatchOutcome {
+    fn to_value(&self) -> Value {
+        let (response, error) = match self {
+            BatchOutcome::Response(response) => (response.to_value(), Value::Null),
+            BatchOutcome::Error(error) => (Value::Null, error.to_value()),
+        };
+        Value::Object(vec![
+            ("response".to_string(), response),
+            ("error".to_string(), error),
+        ])
+    }
+}
+
+impl Deserialize for BatchOutcome {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let response: Option<OptimizeResponse> =
+            serde::get_field(value, "response", "BatchOutcome")?;
+        let error: Option<String> = serde::get_field(value, "error", "BatchOutcome")?;
+        match (response, error) {
+            (Some(response), None) => Ok(BatchOutcome::Response(response)),
+            (None, Some(error)) => Ok(BatchOutcome::Error(error)),
+            _ => Err(SerdeError::custom(
+                "BatchOutcome requires exactly one of `response` / `error`",
+            )),
+        }
+    }
+}
+
+/// A batch response file: the SOC echoed back plus one outcome per
+/// request, in request order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchResponseFile {
+    /// The SOC name of the request file.
+    pub soc: String,
+    /// One outcome per request, in request order.
+    pub results: Vec<BatchOutcome>,
+}
+
+/// Resolves a request file's SOC name: one of the embedded ITC'02
+/// benchmarks (`d695`, `p22810`, `p34392`, `p93791`) or the synthetic
+/// `pnx8550_like` stand-in.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown names.
+pub fn resolve_soc(name: &str) -> Result<Soc, String> {
+    if name == "pnx8550_like" {
+        return Ok(pnx8550_like());
+    }
+    benchmarks::by_name(name).map_err(|err| {
+        format!("unknown SOC {name:?} ({err}); known: d695, p22810, p34392, p93791, pnx8550_like")
+    })
+}
+
+/// Serves a parsed batch request file: one engine, one shared table, all
+/// requests in order.
+///
+/// # Errors
+///
+/// Fails only when the SOC name does not resolve; per-request failures
+/// land in the corresponding [`BatchOutcome::error`].
+pub fn run_batch_file(file: &BatchRequestFile) -> Result<BatchResponseFile, String> {
+    let soc = resolve_soc(&file.soc)?;
+    let engine = Engine::new(&soc);
+    let results = engine
+        .run_batch(&file.requests)
+        .into_iter()
+        .map(|result| match result {
+            Ok(response) => BatchOutcome::Response(response),
+            Err(err) => BatchOutcome::Error(err.to_string()),
+        })
+        .collect();
+    Ok(BatchResponseFile {
+        soc: file.soc.clone(),
+        results,
+    })
+}
+
+/// Parses a JSON request file, serves it, and renders the pretty-printed
+/// JSON response (trailing newline included). Deterministic: the same
+/// request text always renders byte-identical response text.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or an unknown SOC name.
+pub fn run_request_text(text: &str) -> Result<String, String> {
+    let file: BatchRequestFile =
+        serde_json::from_str(text).map_err(|err| format!("malformed request file: {err}"))?;
+    let response = run_batch_file(&file)?;
+    Ok(render_json(&response))
+}
+
+/// Renders a serialisable value as pretty JSON with a trailing newline —
+/// the on-disk format of both request and response files.
+///
+/// # Panics
+///
+/// Panics if the value contains a non-finite float (the crate's own
+/// request/response types never do).
+pub fn render_json<T: Serialize>(value: &T) -> String {
+    let json = serde_json::to_string_pretty(value).expect("batch files serialise");
+    format!("{json}\n")
+}
+
+/// The canonical sample batch: a heterogeneous request mix on the d695
+/// benchmark — one plain optimization, all four sweep axes, and one
+/// deliberately infeasible request demonstrating per-request errors.
+pub fn sample_request() -> BatchRequestFile {
+    let cell = TestCell::new(
+        AteSpec::new(256, 96 * 1024, 5.0e6),
+        ProbeStation::paper_probe_station(),
+    );
+    let config = OptimizerConfig::new(cell);
+    let mut tiny = config;
+    tiny.test_cell.ate = tiny.test_cell.ate.with_channels(4);
+    BatchRequestFile {
+        soc: "d695".to_string(),
+        requests: vec![
+            OptimizeRequest::new(config),
+            OptimizeRequest::new(config).with_sweep(SweepAxis::Channels(vec![128, 192, 256])),
+            OptimizeRequest::new(config).with_sweep(SweepAxis::DepthVectors(vec![
+                64 * 1024,
+                96 * 1024,
+                128 * 1024,
+            ])),
+            OptimizeRequest::new(config).with_sweep(SweepAxis::ContactYield {
+                depths: vec![96 * 1024],
+                contact_yields: vec![0.99, 1.0],
+            }),
+            OptimizeRequest::new(config).with_sweep(SweepAxis::ManufacturingYield {
+                max_sites: 4,
+                manufacturing_yields: vec![1.0, 0.9],
+            }),
+            OptimizeRequest::new(tiny),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_request_round_trips_through_json() {
+        let sample = sample_request();
+        let text = render_json(&sample);
+        let back: BatchRequestFile = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, sample);
+    }
+
+    #[test]
+    fn sample_batch_serves_every_request_with_one_error() {
+        let response = run_batch_file(&sample_request()).unwrap();
+        assert_eq!(response.soc, "d695");
+        assert_eq!(response.results.len(), 6);
+        // The first five succeed; the 4-channel request fails, alone.
+        for outcome in &response.results[..5] {
+            assert!(outcome.response().is_some() && outcome.error().is_none());
+        }
+        let failed = &response.results[5];
+        assert!(failed.response().is_none());
+        assert!(failed.error().unwrap().contains("architecture"));
+    }
+
+    #[test]
+    fn outcomes_round_trip_and_reject_invariant_violations() {
+        let error = BatchOutcome::Error("boom".to_string());
+        let text = render_json(&error);
+        assert_eq!(serde_json::from_str::<BatchOutcome>(&text).unwrap(), error);
+        // Exactly one of response/error must be set.
+        assert!(
+            serde_json::from_str::<BatchOutcome>("{\"response\":null,\"error\":null}").is_err()
+        );
+    }
+
+    #[test]
+    fn unknown_socs_are_rejected_with_the_known_list() {
+        let err = resolve_soc("nonexistent").unwrap_err();
+        assert!(err.contains("pnx8550_like"));
+        let mut file = sample_request();
+        file.soc = "nonexistent".to_string();
+        assert!(run_batch_file(&file).is_err());
+    }
+
+    #[test]
+    fn responses_are_deterministic() {
+        let text = render_json(&sample_request());
+        let first = run_request_text(&text).unwrap();
+        let second = run_request_text(&text).unwrap();
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,147 @@
+//! `soc-batch` — drive the optimizer engine as a file-based service.
+//!
+//! ```text
+//! soc-batch REQUEST.json                serve the batch, response to stdout
+//! soc-batch REQUEST.json --out FILE     ... response to FILE instead
+//! soc-batch REQUEST.json --check GOLDEN byte-compare the response against
+//!                                       GOLDEN; exit 1 on any difference
+//! soc-batch --emit-sample-request       print the canonical sample request
+//! ```
+//!
+//! A request file names one SOC (`d695`, `p22810`, `p34392`, `p93791` or
+//! `pnx8550_like`) and lists typed optimizer requests — plain
+//! optimizations and parameter sweeps; the whole batch is served by one
+//! `Engine` over one shared time table, and the response answers in
+//! request order with per-request outcomes (an infeasible request reports
+//! its error without failing the batch). Responses are deterministic, so
+//! `--check` against a committed golden is a CI-grade drift detector —
+//! the committed sample pair lives in `crates/experiments/data/`.
+
+use soctest_experiments::batch::{render_json, run_request_text, sample_request};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    request: Option<PathBuf>,
+    out: Option<PathBuf>,
+    check: Option<PathBuf>,
+    emit_sample: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: soc-batch REQUEST.json [--out FILE | --check GOLDEN]\n\
+         \x20      soc-batch --emit-sample-request\n\
+         serves a JSON optimizer-request batch through one engine session; \
+         --check byte-compares the response against GOLDEN and exits 1 on drift"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        request: None,
+        out: None,
+        check: None,
+        emit_sample: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--emit-sample-request" => options.emit_sample = true,
+            "--out" => match args.next() {
+                Some(file) => options.out = Some(PathBuf::from(file)),
+                None => usage(),
+            },
+            "--check" => match args.next() {
+                Some(file) => options.check = Some(PathBuf::from(file)),
+                None => usage(),
+            },
+            other if !other.starts_with('-') && options.request.is_none() => {
+                options.request = Some(PathBuf::from(other));
+            }
+            _ => usage(),
+        }
+    }
+    // Reject conflicting combinations instead of silently preferring one:
+    // --check and --out are different modes, and --emit-sample-request
+    // ignores everything else.
+    if options.check.is_some() && options.out.is_some() {
+        usage();
+    }
+    if options.emit_sample
+        && (options.request.is_some() || options.out.is_some() || options.check.is_some())
+    {
+        usage();
+    }
+    options
+}
+
+fn main() -> ExitCode {
+    let options = parse_args();
+
+    if options.emit_sample {
+        print!("{}", render_json(&sample_request()));
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(request_path) = options.request else {
+        usage();
+    };
+    let request_text = match std::fs::read_to_string(&request_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("failed to read {}: {err}", request_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let response = match run_request_text(&request_text) {
+        Ok(response) => response,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(golden_path) = options.check {
+        let golden = match std::fs::read_to_string(&golden_path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("failed to read golden {}: {err}", golden_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if golden != response {
+            eprintln!(
+                "FAIL: response drifted from golden {} — regenerate with \
+                 `soc-batch {} --out {}` and commit the diff if intentional",
+                golden_path.display(),
+                request_path.display(),
+                golden_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "OK: response matches golden {} byte-for-byte",
+            golden_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    match options.out {
+        Some(out_path) => match std::fs::write(&out_path, &response) {
+            Ok(()) => {
+                println!("wrote {}", out_path.display());
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("failed to write {}: {err}", out_path.display());
+                ExitCode::FAILURE
+            }
+        },
+        None => {
+            print!("{response}");
+            ExitCode::SUCCESS
+        }
+    }
+}

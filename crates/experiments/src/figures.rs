@@ -4,16 +4,34 @@
 //! PNX8550 stand-in — the same experiment as the seed binaries in
 //! `soctest-bench`, but on the 4x-denser grids of [`crate::grids`] — and
 //! renders the result as an [`Artifact`] (JSON + markdown).
+//!
+//! All experiments are served by the session-oriented
+//! [`soctest_multisite::engine::Engine`]: each generator builds one engine
+//! for the PNX stand-in and submits its grid as a typed request, so every
+//! sweep shares a single demand-driven time table across its points.
 
 use crate::artifact::{markdown_table, Artifact};
 use crate::grids;
 use serde::Serialize;
 use soctest_bench::{format_depth, paper_config, pnx_soc};
-use soctest_multisite::optimizer::{optimize, step1_only_curve};
+use soctest_multisite::engine::{Engine, OptimizeRequest, SweepAxis};
+use soctest_multisite::optimizer::step1_only_curve;
 use soctest_multisite::problem::MultiSiteOptions;
-use soctest_multisite::sweep::{
-    abort_on_fail_sweep, channel_sweep, contact_yield_sweep, depth_sweep, SweepPoint,
-};
+use soctest_multisite::sweep::{SweepCurve, SweepPoint};
+
+/// A one-SOC engine session for the PNX8550 stand-in.
+fn pnx_engine() -> Engine {
+    Engine::new(&pnx_soc())
+}
+
+/// Runs one sweeping request and unwraps the resulting curves.
+fn run_sweep(engine: &Engine, request: &OptimizeRequest, figure: &str) -> Vec<SweepCurve> {
+    engine
+        .run(request)
+        .unwrap_or_else(|err| panic!("all {figure} points are feasible: {err}"))
+        .into_curves()
+        .expect("a sweeping request answers with curves")
+}
 
 /// One row of a single-parameter optimizer sweep (Figures 6(a)/6(b)).
 #[derive(Debug, Clone, Serialize)]
@@ -35,7 +53,7 @@ pub struct SweepRow {
 impl SweepRow {
     fn from_point(point: &SweepPoint) -> Self {
         SweepRow {
-            parameter: point.parameter as u64,
+            parameter: point.parameter.as_u64(),
             max_sites: point.max_sites,
             optimal_sites: point.optimal.sites,
             channels_per_site: point.optimal.channels_per_site,
@@ -78,11 +96,11 @@ fn sweep_markdown(title: &str, parameter: &str, depth_format: bool, rows: &[Swee
 
 /// Figure 6(a): throughput vs. ATE channel count, 512..1024 step 16.
 pub fn fig6a() -> Artifact {
-    let soc = pnx_soc();
-    let config = paper_config();
-    let channels = grids::fig6a_channel_counts_dense();
-    let points = channel_sweep(&soc, &config, &channels).expect("all fig6a points are feasible");
-    let rows: Vec<SweepRow> = points.iter().map(SweepRow::from_point).collect();
+    let engine = pnx_engine();
+    let request = OptimizeRequest::new(paper_config())
+        .with_sweep(SweepAxis::Channels(grids::fig6a_channel_counts_dense()));
+    let curves = run_sweep(&engine, &request, "fig6a");
+    let rows: Vec<SweepRow> = curves[0].points.iter().map(SweepRow::from_point).collect();
     let markdown = sweep_markdown(
         "Figure 6(a): throughput vs. ATE channels (PNX8550 stand-in)",
         "channels",
@@ -99,11 +117,11 @@ pub fn fig6a() -> Artifact {
 
 /// Figure 6(b): throughput vs. vector-memory depth, 5 M..14 M step 256 K.
 pub fn fig6b() -> Artifact {
-    let soc = pnx_soc();
-    let config = paper_config();
-    let depths = grids::fig6b_depths_dense();
-    let points = depth_sweep(&soc, &config, &depths).expect("all fig6b depths are feasible");
-    let rows: Vec<SweepRow> = points.iter().map(SweepRow::from_point).collect();
+    let engine = pnx_engine();
+    let request = OptimizeRequest::new(paper_config())
+        .with_sweep(SweepAxis::DepthVectors(grids::fig6b_depths_dense()));
+    let curves = run_sweep(&engine, &request, "fig6b");
+    let rows: Vec<SweepRow> = curves[0].points.iter().map(SweepRow::from_point).collect();
     let markdown = sweep_markdown(
         "Figure 6(b): throughput vs. vector-memory depth (PNX8550 stand-in)",
         "depth",
@@ -140,11 +158,13 @@ pub struct Fig7aRecord {
 /// Figure 7(a): unique throughput vs. depth for the paper's contact
 /// yields, re-test enabled, on the dense depth grid.
 pub fn fig7a() -> Artifact {
-    let soc = pnx_soc();
-    let config = paper_config();
+    let engine = pnx_engine();
     let depths = grids::fig6b_depths_dense();
-    let curves = contact_yield_sweep(&soc, &config, &depths, &grids::fig7a_contact_yields())
-        .expect("all fig7a points are feasible");
+    let request = OptimizeRequest::new(paper_config()).with_sweep(SweepAxis::ContactYield {
+        depths: depths.clone(),
+        contact_yields: grids::fig7a_contact_yields(),
+    });
+    let curves = run_sweep(&engine, &request, "fig7a");
     let record = Fig7aRecord {
         depths: depths.clone(),
         curves: curves
@@ -209,11 +229,13 @@ pub struct AbortOnFailCurve {
 /// Figure 7(b): expected test time vs. site count under abort-on-fail, on
 /// the dense yield grid and doubled site range.
 pub fn fig7b() -> Artifact {
-    let soc = pnx_soc();
-    let config = paper_config();
+    let engine = pnx_engine();
     let yields = grids::fig7b_manufacturing_yields_dense();
-    let curves = abort_on_fail_sweep(&soc, &config, grids::FIG7B_MAX_SITES, &yields)
-        .expect("the PNX8550 stand-in fits the paper ATE");
+    let request = OptimizeRequest::new(paper_config()).with_sweep(SweepAxis::ManufacturingYield {
+        max_sites: grids::FIG7B_MAX_SITES,
+        manufacturing_yields: yields.clone(),
+    });
+    let curves = run_sweep(&engine, &request, "fig7b");
     let record: Vec<AbortOnFailCurve> = curves
         .iter()
         .zip(&yields)
@@ -286,7 +308,7 @@ pub struct Fig5Variant {
 /// Figure 5: throughput vs. site count, Steps 1+2 against Step 1 only,
 /// with and without stimulus broadcast.
 pub fn fig5() -> Artifact {
-    let soc = pnx_soc();
+    let engine = pnx_engine();
     let mut variants = Vec::new();
     let mut markdown =
         String::from("# Figure 5: throughput [/h] vs. number of sites (PNX8550 stand-in)\n");
@@ -295,7 +317,11 @@ pub fn fig5() -> Artifact {
         (true, MultiSiteOptions::baseline().with_broadcast()),
     ] {
         let config = paper_config().with_options(options);
-        let solution = optimize(&soc, &config).expect("PNX8550 stand-in fits the paper ATE");
+        let solution = engine
+            .run(&OptimizeRequest::new(config))
+            .expect("PNX8550 stand-in fits the paper ATE")
+            .into_solution()
+            .expect("a plain request answers with a solution");
         let step1 = step1_only_curve(&solution.step1_architecture, &config, solution.max_sites);
         let curve: Vec<Fig5Row> = solution
             .curve

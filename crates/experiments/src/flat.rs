@@ -18,8 +18,8 @@ use crate::artifact::{markdown_table, Artifact};
 use crate::scaled::noc_soc;
 use serde::Serialize;
 use soctest_ate::{AteSpec, ProbeStation, TestCell};
+use soctest_multisite::engine::{Engine, OptimizeRequest};
 use soctest_multisite::flat::flatten_soc;
-use soctest_multisite::optimizer::optimize;
 use soctest_multisite::problem::OptimizerConfig;
 use soctest_soc_model::benchmarks::{d695, p22810};
 use soctest_soc_model::Soc;
@@ -115,8 +115,13 @@ pub fn flat_tier() -> Artifact {
             // through it would flatten a second time and decouple the
             // reported shape from the optimized one).
             let flat = flatten_soc(&workload.soc);
-            let solution = optimize(&flat, &config)
-                .unwrap_or_else(|err| panic!("workload {} infeasible: {err}", workload.name));
+            let solution = Engine::builder(&flat)
+                .max_channels(workload.ate_channels)
+                .build()
+                .run(&OptimizeRequest::new(config))
+                .unwrap_or_else(|err| panic!("workload {} infeasible: {err}", workload.name))
+                .into_solution()
+                .expect("a plain request answers with a solution");
             assert_eq!(
                 solution.step1_architecture.groups.len(),
                 1,

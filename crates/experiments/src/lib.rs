@@ -25,6 +25,13 @@
 //! The `soctest-repro` binary regenerates them (`--check` byte-compares
 //! against the committed goldens instead, which is what CI runs).
 //!
+//! The sibling `soc-batch` binary ([`batch`]) drives the optimizer as a
+//! file-based service: a JSON request file (one SOC, a list of typed
+//! `OptimizeRequest`s) in, deterministic JSON responses out, all served
+//! by one table-sharing `soctest_multisite::engine::Engine` session; a
+//! committed sample request/response pair under `data/` is byte-checked
+//! in CI.
+//!
 //! # Example
 //!
 //! ```
@@ -40,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod batch;
 pub mod figures;
 pub mod flat;
 pub mod grids;

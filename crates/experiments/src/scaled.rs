@@ -14,7 +14,7 @@
 use crate::artifact::{markdown_table, Artifact};
 use serde::Serialize;
 use soctest_ate::{AteSpec, ProbeStation, TestCell};
-use soctest_multisite::optimizer::optimize;
+use soctest_multisite::engine::{Engine, OptimizeRequest};
 use soctest_multisite::problem::OptimizerConfig;
 use soctest_soc_model::synthetic::SyntheticSocSpec;
 use soctest_soc_model::Soc;
@@ -132,8 +132,15 @@ pub fn scaled_tier() -> Artifact {
                 ProbeStation::paper_probe_station(),
             );
             let config = OptimizerConfig::new(cell);
-            let solution = optimize(&workload.soc, &config)
-                .unwrap_or_else(|err| panic!("workload {} infeasible: {err}", workload.name));
+            // One engine session per workload: each SOC is optimized once,
+            // against its own test cell (table pre-sized for it).
+            let solution = Engine::builder(&workload.soc)
+                .max_channels(workload.ate_channels)
+                .build()
+                .run(&OptimizeRequest::new(config))
+                .unwrap_or_else(|err| panic!("workload {} infeasible: {err}", workload.name))
+                .into_solution()
+                .expect("a plain request answers with a solution");
             ScaledRow {
                 name: workload.name.to_string(),
                 modules: workload.soc.num_modules(),

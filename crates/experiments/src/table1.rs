@@ -14,7 +14,7 @@ use serde::Serialize;
 use soctest_bench::format_depth;
 use soctest_tam::baseline::{lower_bound_channels, pack_with_table};
 use soctest_tam::step1::design_with_table;
-use soctest_tam::TimeTable;
+use soctest_tam::{max_tam_width, TimeTable};
 
 /// One (SOC, depth) row of the Table 1 comparison. `None` values mean the
 /// combination is infeasible on the SOC's channel budget.
@@ -55,7 +55,7 @@ pub fn table1() -> Artifact {
     let mut step1_wins_or_ties = 0;
     let mut feasible_rows = 0;
     for (soc, ate_channels, depths) in table1_cases_dense() {
-        let table = TimeTable::build(&soc, ate_channels / 2);
+        let table = TimeTable::build(&soc, max_tam_width(ate_channels));
         for depth in depths {
             let lb = lower_bound_channels(&table, depth);
             let ours = design_with_table(&table, ate_channels, depth).ok();

@@ -1,0 +1,47 @@
+//! Golden check of the `soc-batch` service layer: the committed sample
+//! request must equal the canonical in-code sample (so the on-disk wire
+//! format never silently drifts from the code), and serving it must
+//! reproduce the committed response byte-for-byte (so engine results stay
+//! deterministic across changes). CI additionally runs the `soc-batch`
+//! binary itself with `--check` against the same pair.
+
+use soctest_experiments::batch::{render_json, run_request_text, sample_request};
+use std::path::PathBuf;
+
+fn data_file(name: &str) -> (PathBuf, String) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("data")
+        .join(name);
+    let contents = std::fs::read_to_string(&path)
+        .unwrap_or_else(|err| panic!("missing committed golden {}: {err}", path.display()));
+    (path, contents)
+}
+
+#[test]
+fn committed_sample_request_matches_the_canonical_one() {
+    let (path, on_disk) = data_file("sample_batch_request.json");
+    let canonical = render_json(&sample_request());
+    assert_eq!(
+        on_disk,
+        canonical,
+        "{} drifted from batch::sample_request(); regenerate with \
+         `cargo run -p soctest-experiments --bin soc-batch -- --emit-sample-request`",
+        path.display()
+    );
+}
+
+#[test]
+fn serving_the_committed_request_reproduces_the_committed_response() {
+    let (_, request) = data_file("sample_batch_request.json");
+    let (path, golden) = data_file("sample_batch_response.json");
+    let response = run_request_text(&request).expect("the sample request serves cleanly");
+    assert_eq!(
+        response,
+        golden,
+        "{} drifted; regenerate with `cargo run --release -p soctest-experiments \
+         --bin soc-batch -- crates/experiments/data/sample_batch_request.json \
+         --out crates/experiments/data/sample_batch_response.json` and commit \
+         the diff if the change is intentional",
+        path.display()
+    );
+}

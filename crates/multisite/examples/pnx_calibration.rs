@@ -1,17 +1,34 @@
+//! Calibration run on the PNX8550 stand-in through the session-oriented
+//! engine API: one `Engine`, one shared time table, a heterogeneous batch
+//! of requests covering the paper's Section 7 operating points.
+
 use soctest_ate::spec::MEGA_VECTORS;
 use soctest_ate::AteCostModel;
-use soctest_multisite::sweep::{channel_sweep, cost_effectiveness, depth_sweep};
-use soctest_multisite::{
-    optimizer::optimize,
-    problem::{MultiSiteOptions, OptimizerConfig},
-};
+use soctest_multisite::engine::{Engine, OptimizeRequest, SweepAxis};
+use soctest_multisite::problem::{MultiSiteOptions, OptimizerConfig};
 use soctest_soc_model::synthetic::pnx8550_like;
 
 fn main() {
     let soc = pnx8550_like();
     let config = OptimizerConfig::paper_section7();
     let t0 = std::time::Instant::now();
-    let sol = optimize(&soc, &config).unwrap();
+
+    // One engine per SOC: every request below shares its time table.
+    let engine = Engine::builder(&soc).max_channels(1024).build();
+
+    let broadcast_config = config.with_options(MultiSiteOptions::baseline().with_broadcast());
+    let depths: Vec<u64> = (5..=14).map(|m| m * MEGA_VECTORS).collect();
+    let chans: Vec<usize> = (0..9).map(|i| 512 + 64 * i).collect();
+    let batch = [
+        OptimizeRequest::new(config),
+        OptimizeRequest::new(broadcast_config),
+        OptimizeRequest::new(config).with_sweep(SweepAxis::DepthVectors(depths)),
+        OptimizeRequest::new(config).with_sweep(SweepAxis::Channels(chans)),
+    ];
+    let mut responses = engine.run_batch(&batch).into_iter();
+    let mut next = || responses.next().expect("batch answers every request");
+
+    let sol = next().unwrap().into_solution().expect("plain request");
     println!(
         "no-broadcast: n_max={} n_opt={} k={} tm={:.3}s Dth={:.0} ({:?})",
         sol.max_sites,
@@ -22,8 +39,7 @@ fn main() {
         t0.elapsed()
     );
 
-    let bc = config.with_options(MultiSiteOptions::baseline().with_broadcast());
-    let solb = optimize(&soc, &bc).unwrap();
+    let solb = next().unwrap().into_solution().expect("plain request");
     println!(
         "broadcast:    n_max={} n_opt={} k={} tm={:.3}s Dth={:.0} gain_step2_vs_nmax={:.1}%",
         solb.max_sites,
@@ -34,30 +50,30 @@ fn main() {
         100.0 * solb.step2_gain()
     );
 
-    let depths: Vec<u64> = (5..=14).map(|m| m * MEGA_VECTORS).collect();
-    let dp = depth_sweep(&soc, &config, &depths).unwrap();
+    let dp = next().unwrap().into_curves().expect("sweep request");
     println!("depth sweep (M -> Dth):");
-    for p in &dp {
+    for p in &dp[0].points {
         println!(
             "  {:>4.0}M  {:>8.0}  n_opt={} n_max={}",
-            p.parameter / MEGA_VECTORS as f64,
+            p.parameter.as_f64() / MEGA_VECTORS as f64,
             p.optimal.devices_per_hour,
             p.optimal.sites,
             p.max_sites
         );
     }
 
-    let chans: Vec<usize> = (0..9).map(|i| 512 + 64 * i).collect();
-    let cp = channel_sweep(&soc, &config, &chans).unwrap();
+    let cp = next().unwrap().into_curves().expect("sweep request");
     println!("channel sweep:");
-    for p in &cp {
+    for p in &cp[0].points {
         println!(
-            "  {:>5.0}  {:>8.0}  n_opt={}",
+            "  {:>5}  {:>8.0}  n_opt={}",
             p.parameter, p.optimal.devices_per_hour, p.optimal.sites
         );
     }
 
-    let ce = cost_effectiveness(&soc, &config, &AteCostModel::paper_prices()).unwrap();
+    let ce = engine
+        .cost_effectiveness(&config, &AteCostModel::paper_prices())
+        .unwrap();
     println!(
         "cost: memory +{:.1}% (${:.0}), channels(+{}) +{:.1}% (${:.0}) memory_wins={}",
         100.0 * ce.memory_gain(),
@@ -67,5 +83,9 @@ fn main() {
         ce.channel_upgrade_cost_usd,
         ce.memory_wins()
     );
-    println!("total elapsed {:?}", t0.elapsed());
+    println!(
+        "total elapsed {:?} ({} table cells materialised once, shared by all requests)",
+        t0.elapsed(),
+        engine.cells_built()
+    );
 }

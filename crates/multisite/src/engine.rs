@@ -1,0 +1,830 @@
+//! Session-oriented optimizer engine: batched, table-sharing requests
+//! behind a typed request/response schema.
+//!
+//! The paper's evaluation (Section 7) is thousands of optimizer
+//! invocations over **one** SOC with only the test-cell and yield
+//! parameters varying — the shape of a high-traffic batch service. The
+//! free functions ([`crate::optimizer::optimize`] and the
+//! [`crate::sweep`] family) each wire their own [`LazyTimeTable`] and
+//! their own parallelism per call; the [`Engine`] turns that inside out:
+//!
+//! * an `Engine` is built **per SOC** (builder pattern) and owns the
+//!   widest-needed demand-driven [`LazyTimeTable`] — cells computed on
+//!   first probe are reused by every later request, and the per-thread
+//!   wrapper-design scratch lives with the table;
+//! * work arrives as serde-serialisable [`OptimizeRequest`] values — a
+//!   base [`OptimizerConfig`] plus a typed [`SweepAxis`] — and leaves as
+//!   [`OptimizeResponse`] values (a [`MultiSiteSolution`] or a set of
+//!   [`SweepCurve`]s), in input order;
+//! * [`Engine::run_batch`] serves heterogeneous batches (e.g. all of
+//!   Figure 6(a) + 6(b) + 7(a) + 7(b) at once) over **one** table and one
+//!   rayon pool instead of N of each;
+//! * the pool policy is part of the engine:
+//!   [`EngineBuilder::sequential`] pins every sweep to the calling thread
+//!   (results are bit-identical either way — see
+//!   `tests/sweep_determinism.rs`).
+//!
+//! Results are bit-identical to the legacy free functions
+//! (`tests/engine_equivalence.rs`); the free functions themselves are
+//! kept as thin shims over a one-shot engine.
+//!
+//! # Example
+//!
+//! ```
+//! use soctest_multisite::engine::{Engine, OptimizeRequest, OptimizeResponse, SweepAxis};
+//! use soctest_multisite::problem::OptimizerConfig;
+//! use soctest_ate::{AteSpec, ProbeStation, TestCell};
+//! use soctest_soc_model::benchmarks::d695;
+//!
+//! let cell = TestCell::new(AteSpec::new(256, 96 * 1024, 5.0e6),
+//!                          ProbeStation::paper_probe_station());
+//! let config = OptimizerConfig::new(cell);
+//! let engine = Engine::builder(&d695()).max_channels(320).build();
+//!
+//! // A heterogeneous batch: one plain optimization, one channel sweep.
+//! let batch = [
+//!     OptimizeRequest::new(config),
+//!     OptimizeRequest::new(config).with_sweep(SweepAxis::Channels(vec![256, 320])),
+//! ];
+//! let responses = engine.run_batch(&batch);
+//! let solution = responses[0].as_ref().unwrap().solution().unwrap();
+//! assert!(solution.optimal.sites >= 1);
+//! let curves = responses[1].as_ref().unwrap().curves().unwrap();
+//! assert_eq!(curves[0].points.len(), 2);
+//! ```
+
+use crate::error::OptimizeError;
+use crate::optimizer::{evaluate_point, optimize_with_table};
+use crate::problem::OptimizerConfig;
+use crate::solution::MultiSiteSolution;
+use crate::sweep::{AxisValue, CostEffectiveness, SweepCurve, SweepPoint};
+use rayon::prelude::*;
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use soctest_ate::AteCostModel;
+use soctest_soc_model::Soc;
+use soctest_tam::{max_tam_width, LazyTimeTable};
+use std::sync::{Arc, RwLock};
+
+/// Builds one externally-tagged enum value: `{"<tag>": body}`. Shared by
+/// every hand-written enum `Serialize` impl in this crate (the vendored
+/// serde derive covers unit enums only), so the wire format lives in one
+/// place.
+pub(crate) fn tagged(tag: &str, body: Value) -> Value {
+    Value::Object(vec![(tag.to_string(), body)])
+}
+
+/// Destructures an externally-tagged enum value into `(tag, body)`,
+/// rejecting anything but a single-field object. Counterpart of
+/// [`tagged`] for the hand-written `Deserialize` impls.
+pub(crate) fn untag<'v>(
+    value: &'v Value,
+    type_name: &str,
+) -> Result<(&'v str, &'v Value), SerdeError> {
+    let fields = value
+        .as_object()
+        .ok_or_else(|| SerdeError::custom(format!("expected object for {type_name}")))?;
+    match fields {
+        [(tag, body)] => Ok((tag.as_str(), body)),
+        _ => Err(SerdeError::custom(format!(
+            "expected exactly one variant tag for {type_name}"
+        ))),
+    }
+}
+
+/// The swept parameter of an [`OptimizeRequest`]: which test-cell or yield
+/// knob varies, and over which values.
+///
+/// Each variant corresponds to one Section 7 experiment family; the
+/// engine answers every sweeping variant with [`OptimizeResponse::Curves`]
+/// and [`SweepAxis::None`] with [`OptimizeResponse::Solution`].
+///
+/// Serialises in real serde's externally-tagged enum format
+/// (`"None"`, `{"Channels": [512, 640]}`,
+/// `{"ContactYield": {"depths": [...], "contact_yields": [...]}}`, ...),
+/// so request files keep working if the vendored serde is swapped for the
+/// crates.io release.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SweepAxis {
+    /// No sweep: one two-step optimization of the request's config.
+    None,
+    /// ATE channel counts to sweep (Figure 6(a)). One curve results.
+    Channels(Vec<usize>),
+    /// Per-channel vector-memory depths in vectors to sweep
+    /// (Figure 6(b)). One curve results.
+    DepthVectors(Vec<u64>),
+    /// Depth sweep per contact yield with re-test enabled (Figure 7(a)).
+    /// One curve per contact yield results.
+    ContactYield {
+        /// Vector-memory depths of each curve's x axis.
+        depths: Vec<u64>,
+        /// One curve per contact yield `p_c`, in this order.
+        contact_yields: Vec<f64>,
+    },
+    /// Expected test time vs. site count under abort-on-fail
+    /// (Figure 7(b)). One curve per manufacturing yield results.
+    ManufacturingYield {
+        /// Site counts `1..=max_sites` form each curve's x axis.
+        max_sites: usize,
+        /// One curve per manufacturing yield `p_m`, in this order.
+        manufacturing_yields: Vec<f64>,
+    },
+}
+
+impl Serialize for SweepAxis {
+    fn to_value(&self) -> Value {
+        match self {
+            SweepAxis::None => Value::String("None".to_string()),
+            SweepAxis::Channels(counts) => tagged("Channels", counts.to_value()),
+            SweepAxis::DepthVectors(depths) => tagged("DepthVectors", depths.to_value()),
+            SweepAxis::ContactYield {
+                depths,
+                contact_yields,
+            } => tagged(
+                "ContactYield",
+                Value::Object(vec![
+                    ("depths".to_string(), depths.to_value()),
+                    ("contact_yields".to_string(), contact_yields.to_value()),
+                ]),
+            ),
+            SweepAxis::ManufacturingYield {
+                max_sites,
+                manufacturing_yields,
+            } => tagged(
+                "ManufacturingYield",
+                Value::Object(vec![
+                    ("max_sites".to_string(), max_sites.to_value()),
+                    (
+                        "manufacturing_yields".to_string(),
+                        manufacturing_yields.to_value(),
+                    ),
+                ]),
+            ),
+        }
+    }
+}
+
+impl Deserialize for SweepAxis {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        if let Some(name) = value.as_str() {
+            return match name {
+                "None" => Ok(SweepAxis::None),
+                other => Err(SerdeError::custom(format!(
+                    "unknown unit variant `{other}` for SweepAxis"
+                ))),
+            };
+        }
+        let (tag, body) = untag(value, "SweepAxis")?;
+        match tag {
+            "Channels" => Ok(SweepAxis::Channels(Vec::from_value(body)?)),
+            "DepthVectors" => Ok(SweepAxis::DepthVectors(Vec::from_value(body)?)),
+            "ContactYield" => Ok(SweepAxis::ContactYield {
+                depths: serde::get_field(body, "depths", "SweepAxis::ContactYield")?,
+                contact_yields: serde::get_field(
+                    body,
+                    "contact_yields",
+                    "SweepAxis::ContactYield",
+                )?,
+            }),
+            "ManufacturingYield" => Ok(SweepAxis::ManufacturingYield {
+                max_sites: serde::get_field(body, "max_sites", "SweepAxis::ManufacturingYield")?,
+                manufacturing_yields: serde::get_field(
+                    body,
+                    "manufacturing_yields",
+                    "SweepAxis::ManufacturingYield",
+                )?,
+            }),
+            other => Err(SerdeError::custom(format!(
+                "unknown variant `{other}` for SweepAxis"
+            ))),
+        }
+    }
+}
+
+/// One unit of work for an [`Engine`]: a base configuration plus an
+/// optional sweep axis.
+///
+/// Marked `#[non_exhaustive]`: construct via [`OptimizeRequest::new`] +
+/// [`OptimizeRequest::with_sweep`], so future request knobs (priorities,
+/// site caps, ...) can be added without breaking callers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct OptimizeRequest {
+    /// The base optimizer configuration. Sweeping axes override the swept
+    /// parameter per point (e.g. [`SweepAxis::Channels`] replaces
+    /// `config.test_cell.ate.channels`) and leave the rest untouched.
+    pub config: OptimizerConfig,
+    /// Which parameter to sweep, if any.
+    pub sweep: SweepAxis,
+}
+
+impl OptimizeRequest {
+    /// A plain single-optimization request ([`SweepAxis::None`]).
+    pub fn new(config: OptimizerConfig) -> Self {
+        OptimizeRequest {
+            config,
+            sweep: SweepAxis::None,
+        }
+    }
+
+    /// Replaces the sweep axis.
+    pub fn with_sweep(mut self, sweep: SweepAxis) -> Self {
+        self.sweep = sweep;
+        self
+    }
+
+    /// The widest ATE channel budget the request touches: the largest
+    /// swept channel count for [`SweepAxis::Channels`], the base config's
+    /// channel count otherwise. This is the value to pass to
+    /// [`EngineBuilder::max_channels`] when pre-sizing an engine for this
+    /// request.
+    pub fn peak_channels(&self) -> usize {
+        match &self.sweep {
+            SweepAxis::Channels(counts) => counts.iter().copied().max().unwrap_or(0),
+            _ => self.config.test_cell.ate.channels,
+        }
+    }
+
+    /// The table width the engine must cover to serve this request:
+    /// [`max_tam_width`] of [`OptimizeRequest::peak_channels`].
+    pub fn needed_width(&self) -> usize {
+        max_tam_width(self.peak_channels())
+    }
+}
+
+/// The engine's answer to one [`OptimizeRequest`].
+///
+/// Serialises in real serde's externally-tagged enum format
+/// (`{"Solution": {...}}` / `{"Curves": [...]}`).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OptimizeResponse {
+    /// The full two-step solution of a [`SweepAxis::None`] request.
+    Solution(Box<MultiSiteSolution>),
+    /// The labelled curves of a sweeping request, one per curve of the
+    /// corresponding figure. Single-parameter axes
+    /// ([`SweepAxis::Channels`], [`SweepAxis::DepthVectors`]) produce
+    /// exactly one curve; the yield axes produce one curve per yield.
+    Curves(Vec<SweepCurve>),
+}
+
+impl OptimizeResponse {
+    /// The solution of a [`SweepAxis::None`] request, if this is one.
+    pub fn solution(&self) -> Option<&MultiSiteSolution> {
+        match self {
+            OptimizeResponse::Solution(solution) => Some(solution),
+            _ => None,
+        }
+    }
+
+    /// The curves of a sweeping request, if this is one.
+    pub fn curves(&self) -> Option<&[SweepCurve]> {
+        match self {
+            OptimizeResponse::Curves(curves) => Some(curves),
+            _ => None,
+        }
+    }
+
+    /// Consumes the response into its solution, if it is one.
+    pub fn into_solution(self) -> Option<MultiSiteSolution> {
+        match self {
+            OptimizeResponse::Solution(solution) => Some(*solution),
+            _ => None,
+        }
+    }
+
+    /// Consumes the response into its curves, if it is one.
+    pub fn into_curves(self) -> Option<Vec<SweepCurve>> {
+        match self {
+            OptimizeResponse::Curves(curves) => Some(curves),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for OptimizeResponse {
+    fn to_value(&self) -> Value {
+        match self {
+            OptimizeResponse::Solution(solution) => {
+                tagged("Solution", solution.as_ref().to_value())
+            }
+            OptimizeResponse::Curves(curves) => tagged("Curves", curves.to_value()),
+        }
+    }
+}
+
+impl Deserialize for OptimizeResponse {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let (tag, body) = untag(value, "OptimizeResponse")?;
+        match tag {
+            "Solution" => Ok(OptimizeResponse::Solution(Box::new(
+                MultiSiteSolution::from_value(body)?,
+            ))),
+            "Curves" => Ok(OptimizeResponse::Curves(Vec::from_value(body)?)),
+            other => Err(SerdeError::custom(format!(
+                "unknown variant `{other}` for OptimizeResponse"
+            ))),
+        }
+    }
+}
+
+/// Builder for an [`Engine`]. Obtained from [`Engine::builder`].
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    soc: Soc,
+    max_channels: usize,
+    parallel: bool,
+}
+
+impl EngineBuilder {
+    /// Pre-sizes the engine's table for requests up to `channels` ATE
+    /// channels. Without a hint the table starts minimal and is rebuilt
+    /// (losing its cached cells, never its correctness) the first time a
+    /// wider request arrives; with it, every request within the hint
+    /// shares one warm table. Repeated calls keep the largest hint.
+    pub fn max_channels(mut self, channels: usize) -> Self {
+        self.max_channels = self.max_channels.max(channels);
+        self
+    }
+
+    /// Pins sweep evaluation to the calling thread instead of the rayon
+    /// pool. Results are bit-identical either way (the pool preserves
+    /// input order and table cells are deterministic); sequential mode is
+    /// for debugging and for callers that manage parallelism themselves.
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Builds the engine, preparing (but not filling) its time table.
+    pub fn build(self) -> Engine {
+        let table = LazyTimeTable::new(&self.soc, max_tam_width(self.max_channels));
+        Engine {
+            table: RwLock::new(Arc::new(table)),
+            soc: self.soc,
+            parallel: self.parallel,
+        }
+    }
+}
+
+/// A per-SOC optimizer session: one shared demand-driven time table, one
+/// pool policy, any number of typed requests.
+///
+/// See the [module docs](self) for the full story and an example.
+#[derive(Debug)]
+pub struct Engine {
+    soc: Soc,
+    /// The shared table. Rebuilt (under the write lock) when a request
+    /// needs more width than it covers; snapshots are handed out as
+    /// `Arc`s so in-flight requests keep their table alive.
+    table: RwLock<Arc<LazyTimeTable>>,
+    parallel: bool,
+}
+
+impl Engine {
+    /// Starts building an engine for `soc` (the engine keeps its own
+    /// copy, so the session outlives the caller's borrow).
+    pub fn builder(soc: &Soc) -> EngineBuilder {
+        EngineBuilder {
+            soc: soc.clone(),
+            max_channels: 0,
+            parallel: true,
+        }
+    }
+
+    /// An engine for `soc` with the default policy: parallel sweeps, a
+    /// table sized on demand.
+    pub fn new(soc: &Soc) -> Self {
+        Engine::builder(soc).build()
+    }
+
+    /// The SOC this engine optimizes.
+    pub fn soc(&self) -> &Soc {
+        &self.soc
+    }
+
+    /// Name of the SOC this engine optimizes.
+    pub fn soc_name(&self) -> &str {
+        self.soc.name()
+    }
+
+    /// The maximum TAM width the current table covers.
+    pub fn table_width(&self) -> usize {
+        self.snapshot().max_width()
+    }
+
+    /// `(module, width)` cells materialised in the current table so far —
+    /// the session's warm-cache footprint.
+    pub fn cells_built(&self) -> usize {
+        self.snapshot().cells_built()
+    }
+
+    /// Whether sweeps run on the rayon pool (`true`) or inline.
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
+    }
+
+    fn snapshot(&self) -> Arc<LazyTimeTable> {
+        Arc::clone(&self.table.read().expect("engine table lock poisoned"))
+    }
+
+    /// A table covering at least `width`, rebuilding the shared one if the
+    /// current table is too narrow. Cells are deterministic, so a rebuild
+    /// only costs recomputation of re-probed cells, never correctness.
+    fn table_for(&self, width: usize) -> Arc<LazyTimeTable> {
+        let current = self.snapshot();
+        if current.max_width() >= width {
+            return current;
+        }
+        let mut guard = self.table.write().expect("engine table lock poisoned");
+        if guard.max_width() < width {
+            *guard = Arc::new(LazyTimeTable::new(&self.soc, width));
+        }
+        Arc::clone(&guard)
+    }
+
+    /// Serves one request.
+    ///
+    /// # Errors
+    ///
+    /// [`OptimizeError`] exactly as the corresponding free function: an
+    /// invalid config, or an SOC/test-cell combination with no feasible
+    /// architecture (for sweeps, the first failing point in input order).
+    pub fn run(&self, request: &OptimizeRequest) -> Result<OptimizeResponse, OptimizeError> {
+        let table = self.table_for(request.needed_width());
+        self.run_on(&table, request)
+    }
+
+    /// Serves a batch of heterogeneous requests over one table, answering
+    /// in input order. Each request gets its own `Result`, so one
+    /// infeasible request does not poison the batch.
+    ///
+    /// The table is widened once, up front, to the widest request, so no
+    /// mid-batch rebuild drops warm cells. Batches of single-optimization
+    /// requests ([`SweepAxis::None`]) are spread over the rayon pool;
+    /// batches containing sweeps parallelise inside each sweep instead.
+    pub fn run_batch(
+        &self,
+        requests: &[OptimizeRequest],
+    ) -> Vec<Result<OptimizeResponse, OptimizeError>> {
+        let width = requests
+            .iter()
+            .map(OptimizeRequest::needed_width)
+            .max()
+            .unwrap_or(1);
+        let table = self.table_for(width);
+        let all_single = requests
+            .iter()
+            .all(|request| matches!(request.sweep, SweepAxis::None));
+        if self.parallel && all_single {
+            requests
+                .par_iter()
+                .map(|request| self.run_on(&table, request))
+                .collect()
+        } else {
+            requests
+                .iter()
+                .map(|request| self.run_on(&table, request))
+                .collect()
+        }
+    }
+
+    /// The Section 7 channels-versus-memory upgrade comparison, evaluated
+    /// on the engine's shared table.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any of the three optimizations (base, deeper memory, more
+    /// channels) fails.
+    pub fn cost_effectiveness(
+        &self,
+        config: &OptimizerConfig,
+        prices: &AteCostModel,
+    ) -> Result<CostEffectiveness, OptimizeError> {
+        let base_ate = config.test_cell.ate;
+        let budget = prices.memory_doubling_cost(&base_ate, 1);
+        let extra_channels = prices.channels_affordable(budget);
+        let upgraded_channels = base_ate.channels + extra_channels;
+
+        let table = self.table_for(max_tam_width(upgraded_channels));
+        let channel_counts = [base_ate.channels, upgraded_channels];
+        let channel_points = self.channel_points(&table, config, &channel_counts)?;
+
+        let mut deeper_cfg = *config;
+        deeper_cfg.test_cell.ate = base_ate.with_depth(base_ate.vector_memory_depth * 2);
+        let deeper = optimize_with_table(self.soc.name(), table.as_ref(), &deeper_cfg)?;
+
+        Ok(CostEffectiveness {
+            base_devices_per_hour: channel_points[0].optimal.objective(),
+            memory_upgrade_cost_usd: budget,
+            memory_upgrade_devices_per_hour: deeper.optimal.objective(),
+            equivalent_extra_channels: extra_channels,
+            channel_upgrade_cost_usd: prices
+                .channel_upgrade_cost(base_ate.channels, upgraded_channels),
+            channel_upgrade_devices_per_hour: channel_points[1].optimal.objective(),
+        })
+    }
+
+    /// Serves one request against an already-sized table snapshot.
+    fn run_on(
+        &self,
+        table: &LazyTimeTable,
+        request: &OptimizeRequest,
+    ) -> Result<OptimizeResponse, OptimizeError> {
+        let config = &request.config;
+        match &request.sweep {
+            SweepAxis::None => optimize_with_table(self.soc.name(), table, config)
+                .map(|solution| OptimizeResponse::Solution(Box::new(solution))),
+            SweepAxis::Channels(counts) => {
+                self.channel_points(table, config, counts).map(|points| {
+                    OptimizeResponse::Curves(vec![SweepCurve {
+                        label: "channels".to_string(),
+                        points,
+                    }])
+                })
+            }
+            SweepAxis::DepthVectors(depths) => {
+                self.depth_points(table, config, depths).map(|points| {
+                    OptimizeResponse::Curves(vec![SweepCurve {
+                        label: "depth".to_string(),
+                        points,
+                    }])
+                })
+            }
+            SweepAxis::ContactYield {
+                depths,
+                contact_yields,
+            } => self
+                .contact_yield_curves(table, config, depths, contact_yields)
+                .map(OptimizeResponse::Curves),
+            SweepAxis::ManufacturingYield {
+                max_sites,
+                manufacturing_yields,
+            } => self
+                .abort_on_fail_curves(table, config, *max_sites, manufacturing_yields)
+                .map(OptimizeResponse::Curves),
+        }
+    }
+
+    /// Maps `f` over `values` under the engine's pool policy, preserving
+    /// input order; the result is the points, or the first error in input
+    /// order.
+    fn map_points<T, F>(&self, values: &[T], f: F) -> Result<Vec<SweepPoint>, OptimizeError>
+    where
+        T: Sync,
+        F: Fn(&T) -> Result<SweepPoint, OptimizeError> + Sync,
+    {
+        if self.parallel {
+            values
+                .par_iter()
+                .map(&f)
+                .collect::<Vec<_>>()
+                .into_iter()
+                .collect()
+        } else {
+            values.iter().map(f).collect()
+        }
+    }
+
+    /// Figure 6(a): one optimization per ATE channel count.
+    ///
+    /// An all-zero (or empty) channel list yields no points — the legacy
+    /// `channel_sweep` contract.
+    fn channel_points(
+        &self,
+        table: &LazyTimeTable,
+        config: &OptimizerConfig,
+        channel_counts: &[usize],
+    ) -> Result<Vec<SweepPoint>, OptimizeError> {
+        if channel_counts.iter().copied().max().unwrap_or(0) == 0 {
+            return Ok(Vec::new());
+        }
+        self.map_points(channel_counts, |&channels| {
+            let mut cfg = *config;
+            cfg.test_cell.ate = cfg.test_cell.ate.with_channels(channels);
+            optimize_with_table(self.soc.name(), table, &cfg).map(|solution| SweepPoint {
+                parameter: AxisValue::Channels(channels),
+                max_sites: solution.max_sites,
+                optimal: solution.optimal,
+            })
+        })
+    }
+
+    /// Figure 6(b): one optimization per vector-memory depth.
+    fn depth_points(
+        &self,
+        table: &LazyTimeTable,
+        config: &OptimizerConfig,
+        depths: &[u64],
+    ) -> Result<Vec<SweepPoint>, OptimizeError> {
+        self.map_points(depths, |&depth| {
+            let mut cfg = *config;
+            cfg.test_cell.ate = cfg.test_cell.ate.with_depth(depth);
+            optimize_with_table(self.soc.name(), table, &cfg).map(|solution| SweepPoint {
+                parameter: AxisValue::DepthVectors(depth),
+                max_sites: solution.max_sites,
+                optimal: solution.optimal,
+            })
+        })
+    }
+
+    /// Figure 7(a): a depth sweep per contact yield, re-test always on
+    /// (that is the effect the figure demonstrates).
+    fn contact_yield_curves(
+        &self,
+        table: &LazyTimeTable,
+        config: &OptimizerConfig,
+        depths: &[u64],
+        contact_yields: &[f64],
+    ) -> Result<Vec<SweepCurve>, OptimizeError> {
+        let mut curves = Vec::with_capacity(contact_yields.len());
+        for &contact_yield in contact_yields {
+            let mut cfg = *config;
+            cfg.contact_yield = contact_yield;
+            cfg.options.retest_contact_failures = true;
+            let points = self.depth_points(table, &cfg, depths)?;
+            curves.push(SweepCurve {
+                label: format!("pc = {contact_yield}"),
+                points,
+            });
+        }
+        Ok(curves)
+    }
+
+    /// Figure 7(b): expected test time vs. site count per manufacturing
+    /// yield, with the architecture fixed at the Step 1 (channel-minimal)
+    /// design — as in the paper, the point of the figure is the yield
+    /// effect, not the channel redistribution.
+    fn abort_on_fail_curves(
+        &self,
+        table: &LazyTimeTable,
+        config: &OptimizerConfig,
+        max_sites: usize,
+        manufacturing_yields: &[f64],
+    ) -> Result<Vec<SweepCurve>, OptimizeError> {
+        let base = optimize_with_table(self.soc.name(), table, config)?;
+        let architecture = base.step1_architecture;
+
+        let mut curves = Vec::with_capacity(manufacturing_yields.len());
+        for &manufacturing_yield in manufacturing_yields {
+            let mut cfg = *config;
+            cfg.manufacturing_yield = manufacturing_yield;
+            cfg.options.abort_on_fail = true;
+            let points = (1..=max_sites.max(1))
+                .map(|sites| SweepPoint {
+                    parameter: AxisValue::Sites(sites),
+                    max_sites,
+                    optimal: evaluate_point(&architecture, sites, &cfg),
+                })
+                .collect();
+            curves.push(SweepCurve {
+                label: format!("pm = {manufacturing_yield}"),
+                points,
+            });
+        }
+        Ok(curves)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctest_ate::{AteSpec, ProbeStation, TestCell};
+    use soctest_soc_model::benchmarks::d695;
+
+    fn config() -> OptimizerConfig {
+        OptimizerConfig::new(TestCell::new(
+            AteSpec::new(256, 96 * 1024, 5.0e6),
+            ProbeStation::paper_probe_station(),
+        ))
+    }
+
+    #[test]
+    fn single_request_produces_a_solution() {
+        let engine = Engine::new(&d695());
+        let response = engine.run(&OptimizeRequest::new(config())).unwrap();
+        let solution = response.solution().expect("None axis answers Solution");
+        assert!(solution.optimal.sites >= 1);
+        assert!(response.curves().is_none());
+    }
+
+    #[test]
+    fn table_grows_on_demand_and_keeps_the_widest() {
+        let engine = Engine::new(&d695());
+        assert_eq!(engine.table_width(), 1);
+        engine.run(&OptimizeRequest::new(config())).unwrap();
+        assert_eq!(engine.table_width(), 128);
+        assert!(engine.cells_built() > 0);
+        // A narrower request reuses the wide table.
+        let mut narrow = config();
+        narrow.test_cell.ate = narrow.test_cell.ate.with_channels(64);
+        engine.run(&OptimizeRequest::new(narrow)).unwrap();
+        assert_eq!(engine.table_width(), 128);
+    }
+
+    #[test]
+    fn max_channels_hint_presizes_the_table() {
+        let engine = Engine::builder(&d695()).max_channels(320).build();
+        assert_eq!(engine.table_width(), 160);
+    }
+
+    #[test]
+    fn batch_answers_in_input_order_with_per_request_errors() {
+        let engine = Engine::new(&d695());
+        let mut tiny = config();
+        tiny.test_cell.ate = tiny.test_cell.ate.with_channels(4);
+        let batch = [
+            OptimizeRequest::new(config()),
+            OptimizeRequest::new(tiny), // infeasible: 4 channels
+            OptimizeRequest::new(config())
+                .with_sweep(SweepAxis::DepthVectors(vec![96 * 1024, 128 * 1024])),
+        ];
+        let responses = engine.run_batch(&batch);
+        assert_eq!(responses.len(), 3);
+        assert!(responses[0].is_ok());
+        assert!(matches!(responses[1], Err(OptimizeError::Architecture(_))));
+        let curves = responses[2].as_ref().unwrap().curves().unwrap();
+        assert_eq!(curves.len(), 1);
+        assert_eq!(curves[0].points.len(), 2);
+        assert_eq!(
+            curves[0].points[0].parameter,
+            AxisValue::DepthVectors(96 * 1024)
+        );
+    }
+
+    #[test]
+    fn sequential_engine_matches_the_parallel_one() {
+        let soc = d695();
+        let request = OptimizeRequest::new(config())
+            .with_sweep(SweepAxis::Channels(vec![128, 192, 256, 320]));
+        let parallel = Engine::new(&soc).run(&request).unwrap();
+        let sequential_engine = Engine::builder(&soc).sequential().build();
+        assert!(!sequential_engine.is_parallel());
+        let sequential = sequential_engine.run(&request).unwrap();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn zero_channel_sweep_yields_no_points() {
+        let engine = Engine::new(&d695());
+        let response = engine
+            .run(&OptimizeRequest::new(config()).with_sweep(SweepAxis::Channels(vec![0, 0])))
+            .unwrap();
+        assert!(response.curves().unwrap()[0].points.is_empty());
+    }
+
+    #[test]
+    fn sweep_axis_serialises_in_externally_tagged_format() {
+        let axes = [
+            SweepAxis::None,
+            SweepAxis::Channels(vec![512, 640]),
+            SweepAxis::DepthVectors(vec![5 * 1024 * 1024]),
+            SweepAxis::ContactYield {
+                depths: vec![96 * 1024],
+                contact_yields: vec![0.99, 1.0],
+            },
+            SweepAxis::ManufacturingYield {
+                max_sites: 8,
+                manufacturing_yields: vec![1.0, 0.7],
+            },
+        ];
+        for axis in &axes {
+            let json = serde_json::to_string(axis).unwrap();
+            let back: SweepAxis = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, axis, "round trip failed for {json}");
+        }
+        assert_eq!(serde_json::to_string(&SweepAxis::None).unwrap(), "\"None\"");
+        assert_eq!(
+            serde_json::to_string(&SweepAxis::Channels(vec![2])).unwrap(),
+            "{\"Channels\":[2]}"
+        );
+    }
+
+    #[test]
+    fn requests_and_responses_round_trip_through_json() {
+        let engine = Engine::new(&d695());
+        let request =
+            OptimizeRequest::new(config()).with_sweep(SweepAxis::Channels(vec![192, 256]));
+        let request_back: OptimizeRequest =
+            serde_json::from_str(&serde_json::to_string(&request).unwrap()).unwrap();
+        assert_eq!(request_back, request);
+
+        let response = engine.run(&request).unwrap();
+        let response_back: OptimizeResponse =
+            serde_json::from_str(&serde_json::to_string(&response).unwrap()).unwrap();
+        // Integer fields and structure survive exactly; floats may lose
+        // the last ULP through the text round trip, so compare the JSON
+        // renderings (shortest-round-trip formatting is stable).
+        assert_eq!(
+            serde_json::to_string(&response_back).unwrap(),
+            serde_json::to_string(&response).unwrap()
+        );
+    }
+
+    #[test]
+    fn unknown_variant_tags_are_rejected() {
+        assert!(serde_json::from_str::<SweepAxis>("\"Nope\"").is_err());
+        assert!(serde_json::from_str::<SweepAxis>("{\"Nope\":[1]}").is_err());
+        assert!(serde_json::from_str::<OptimizeResponse>("{\"Nope\":[]}").is_err());
+    }
+}

@@ -20,25 +20,38 @@
 //!
 //! * [`problem`] — the optimization variants (stimulus broadcast,
 //!   abort-on-fail, re-test) and the full problem configuration,
+//! * [`engine`] — the session-oriented [`Engine`]: one shared
+//!   demand-driven time table per SOC, serving typed, serde-serialisable
+//!   [`OptimizeRequest`] batches (the primary API),
 //! * [`optimizer`] — Step 1 (channel-count minimisation) + Step 2 (linear
-//!   search over the site count with channel redistribution),
+//!   search over the site count with channel redistribution), plus the
+//!   one-shot [`optimize`] convenience wrapper,
 //! * [`flat`] — the degenerate Problem 2 for flattened SOCs,
 //! * [`sweep`] — the parameter sweeps behind Figures 5–7 and the
-//!   channel-versus-memory cost analysis,
+//!   channel-versus-memory cost analysis, as convenience wrappers over
+//!   the engine,
 //! * [`report`] — plain-text and JSON reporting of solutions and curves.
 //!
 //! # Example
 //!
 //! ```
-//! use soctest_multisite::{optimizer::optimize, problem::OptimizerConfig};
+//! use soctest_multisite::{Engine, OptimizeRequest, OptimizerConfig, SweepAxis};
 //! use soctest_soc_model::benchmarks::d695;
 //! use soctest_ate::{AteSpec, ProbeStation, TestCell};
 //!
 //! let cell = TestCell::new(AteSpec::new(256, 96 * 1024, 5.0e6), ProbeStation::paper_probe_station());
 //! let config = OptimizerConfig::new(cell);
-//! let solution = optimize(&d695(), &config)?;
+//! let engine = Engine::new(&d695());
+//! let solution = engine.run(&OptimizeRequest::new(config))?
+//!     .into_solution()
+//!     .expect("a plain request answers with a solution");
 //! assert!(solution.optimal.sites >= 1);
 //! assert!(solution.optimal.devices_per_hour > 0.0);
+//!
+//! // Sweeps are requests too — and batches share the engine's table:
+//! let sweep = OptimizeRequest::new(config).with_sweep(SweepAxis::Channels(vec![192, 256]));
+//! let curves = engine.run(&sweep)?.into_curves().unwrap();
+//! assert_eq!(curves[0].points.len(), 2);
 //! # Ok::<(), soctest_multisite::OptimizeError>(())
 //! ```
 
@@ -46,6 +59,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod engine;
 pub mod error;
 pub mod flat;
 pub mod optimizer;
@@ -54,7 +68,9 @@ pub mod report;
 pub mod solution;
 pub mod sweep;
 
+pub use engine::{Engine, EngineBuilder, OptimizeRequest, OptimizeResponse, SweepAxis};
 pub use error::OptimizeError;
 pub use optimizer::optimize;
 pub use problem::{MultiSiteOptions, OptimizerConfig};
 pub use solution::{MultiSiteSolution, SitePoint};
+pub use sweep::{AxisValue, SweepCurve, SweepPoint};

@@ -15,17 +15,22 @@ use crate::solution::{MultiSiteSolution, SitePoint};
 use soctest_soc_model::Soc;
 use soctest_tam::redistribute::redistribute_extra_width;
 use soctest_tam::step1::design_with_table;
-use soctest_tam::{LazyTimeTable, TestArchitecture, TimeLookup};
+use soctest_tam::{TestArchitecture, TimeLookup};
 use soctest_throughput::retest::{retest_rate, unique_devices_per_hour};
 use soctest_throughput::{TestTimes, ThroughputModel, YieldParams};
 
 /// Runs the complete two-step optimization for `soc` under `config`.
 ///
-/// The module test-time table is a demand-driven [`LazyTimeTable`]: the two
-/// steps only probe a sparse subset of the `(module, width)` space (binary
-/// searches in Step 1, one-step group widenings in Step 2), so cells are
-/// computed on first probe only — probed entries are bit-identical to an
-/// eager [`soctest_tam::TimeTable`] build, and so is the solution.
+/// Convenience wrapper over a one-shot [`crate::engine::Engine`] request
+/// with [`crate::engine::SweepAxis::None`]; callers running many
+/// optimizations over the same SOC should hold an engine themselves and
+/// batch the requests, sharing one demand-driven
+/// [`soctest_tam::LazyTimeTable`] across all of them. The two steps only
+/// probe a sparse subset of the
+/// `(module, width)` space (binary searches in Step 1, one-step group
+/// widenings in Step 2), so cells are computed on first probe only —
+/// probed entries are bit-identical to an eager [`soctest_tam::TimeTable`]
+/// build, and so is the solution.
 ///
 /// # Errors
 ///
@@ -35,13 +40,20 @@ use soctest_throughput::{TestTimes, ThroughputModel, YieldParams};
 ///   target ATE at all (some module does not meet the vector-memory depth,
 ///   or the channel count is insufficient).
 pub fn optimize(soc: &Soc, config: &OptimizerConfig) -> Result<MultiSiteSolution, OptimizeError> {
-    let max_width = (config.test_cell.ate.channels / 2).max(1);
-    let table = LazyTimeTable::new(soc, max_width);
-    optimize_with_table(soc.name(), &table, config)
+    // Pre-size the one-shot engine's table so the single request never
+    // pays a build-then-rebuild.
+    let engine = crate::engine::Engine::builder(soc)
+        .max_channels(config.test_cell.ate.channels)
+        .build();
+    let response = engine.run(&crate::engine::OptimizeRequest::new(*config))?;
+    Ok(response
+        .into_solution()
+        .expect("a SweepAxis::None request always answers with a solution"))
 }
 
 /// Runs the two-step optimization on a prebuilt table (eager
-/// [`soctest_tam::TimeTable`] or [`LazyTimeTable`] — any [`TimeLookup`]).
+/// [`soctest_tam::TimeTable`] or [`soctest_tam::LazyTimeTable`] — any
+/// [`TimeLookup`]).
 ///
 /// Sharing the table across runs (e.g. in the Figure 6 sweeps, where only
 /// the ATE changes) avoids recomputing every module's wrapper designs. The

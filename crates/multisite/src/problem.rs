@@ -13,7 +13,14 @@ use soctest_ate::TestCell;
 use soctest_wrapper::erpct::ErpctConfig;
 
 /// The optimization variant switches of Section 5.
+///
+/// Marked `#[non_exhaustive]` so future variants (e.g. per-site abort
+/// policies) can be added without breaking downstream crates: construct
+/// via [`MultiSiteOptions::baseline`] / [`Default`] and the `with_*`
+/// builder methods; the fields stay `pub` for reading and in-place
+/// mutation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[non_exhaustive]
 pub struct MultiSiteOptions {
     /// Whether the ATE broadcasts stimuli to all sites (`k/2` stimulus
     /// channels shared between sites). Without broadcast every site needs
@@ -55,7 +62,13 @@ impl MultiSiteOptions {
 }
 
 /// Complete configuration of one optimizer run.
+///
+/// Marked `#[non_exhaustive]` so future knobs can be added without
+/// breaking downstream crates: construct via [`OptimizerConfig::new`] /
+/// [`OptimizerConfig::paper_section7`] and the `with_*` builder methods;
+/// the fields stay `pub` for reading and in-place mutation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct OptimizerConfig {
     /// The fixed target test cell (ATE + probe station).
     pub test_cell: TestCell,
@@ -103,6 +116,18 @@ impl OptimizerConfig {
     /// Sets the manufacturing yield.
     pub fn with_manufacturing_yield(mut self, manufacturing_yield: f64) -> Self {
         self.manufacturing_yield = manufacturing_yield;
+        self
+    }
+
+    /// Replaces the target test cell.
+    pub fn with_test_cell(mut self, test_cell: TestCell) -> Self {
+        self.test_cell = test_cell;
+        self
+    }
+
+    /// Replaces the E-RPCT pin environment.
+    pub fn with_erpct(mut self, erpct: ErpctConfig) -> Self {
+        self.erpct = erpct;
         self
     }
 

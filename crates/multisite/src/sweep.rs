@@ -1,4 +1,5 @@
-//! Parameter sweeps behind the Section 7 experiments.
+//! Parameter sweeps behind the Section 7 experiments — convenience
+//! wrappers over the session-oriented [`crate::engine::Engine`].
 //!
 //! Every figure of the paper's evaluation is a sweep of the optimizer over
 //! one test-cell or yield parameter:
@@ -7,37 +8,104 @@
 //! * [`depth_sweep`] — throughput vs. vector-memory depth (Figure 6(b)),
 //! * [`contact_yield_sweep`] — unique throughput vs. memory depth for a set
 //!   of contact yields (Figure 7(a)),
-//! * [`abort_on_fail_sweep`] — expected test application time vs. site count
-//!   for a set of manufacturing yields (Figure 7(b)),
-//! * [`cost_effectiveness`] — the channels-versus-memory upgrade comparison
-//!   quoted in the text of Section 7.
+//! * [`abort_on_fail_sweep`] — expected test application time vs. site
+//!   count for a set of manufacturing yields (Figure 7(b)),
+//! * [`cost_effectiveness`] — the channels-versus-memory upgrade
+//!   comparison quoted in the text of Section 7.
 //!
-//! Sweep points are independent, so they are evaluated on a rayon pool
-//! (bounded by the machine's parallelism — a 100-point sweep no longer
-//! spawns 100 OS threads); results are returned in input order, so
-//! parallel sweeps are bit-identical to sequential evaluation.
-//!
-//! All sweep points share one demand-driven [`LazyTimeTable`]: its cells
-//! are computed on first probe from whichever worker thread gets there
-//! first (safe — cells are atomics holding deterministic values) and every
-//! later point reuses them, so a sweep materialises exactly the union of
-//! the widths its points probe instead of the full `(module, width)` grid.
+//! Each free function is a thin shim: it builds a one-shot [`Engine`] for
+//! the SOC and serves a single typed request, so all sweep semantics
+//! (shared demand-driven table, order-preserving rayon parallelism,
+//! bit-identical parallel/sequential results) live in the engine. Callers
+//! running **more than one** sweep over the same SOC should hold an
+//! [`Engine`] themselves and batch the requests — the engine then shares
+//! one table across all of them instead of rebuilding it per call.
 
+use crate::engine::{tagged, untag, Engine, OptimizeRequest, OptimizeResponse, SweepAxis};
 use crate::error::OptimizeError;
-use crate::optimizer::{evaluate_point, optimize_with_table};
 use crate::problem::OptimizerConfig;
 use crate::solution::SitePoint;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use soctest_ate::AteCostModel;
 use soctest_soc_model::Soc;
-use soctest_tam::LazyTimeTable;
+use std::fmt;
+
+/// The typed value of the swept parameter at one sweep point.
+///
+/// Replaces the former lossy `parameter: f64`: the variant names the axis
+/// and the value keeps its native integer type. Serialises in real
+/// serde's externally-tagged enum format (`{"Channels": 512}`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum AxisValue {
+    /// An ATE channel count ([`SweepAxis::Channels`]).
+    Channels(usize),
+    /// A per-channel vector-memory depth in vectors
+    /// ([`SweepAxis::DepthVectors`] and [`SweepAxis::ContactYield`]).
+    DepthVectors(u64),
+    /// A site count (the x axis of [`SweepAxis::ManufacturingYield`]
+    /// curves).
+    Sites(usize),
+}
+
+impl AxisValue {
+    /// The raw value as a `u64` (all axes are integer-valued).
+    pub fn as_u64(self) -> u64 {
+        match self {
+            AxisValue::Channels(channels) => channels as u64,
+            AxisValue::DepthVectors(depth) => depth,
+            AxisValue::Sites(sites) => sites as u64,
+        }
+    }
+
+    /// The raw value as an `f64` (for plotting / ratio arithmetic).
+    pub fn as_f64(self) -> f64 {
+        self.as_u64() as f64
+    }
+}
+
+impl fmt::Display for AxisValue {
+    /// Displays just the numeric value (delegating, so `{:>14}`-style
+    /// padding works), matching what the former `f64` field printed for
+    /// the integer-valued axes.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AxisValue::Channels(channels) => fmt::Display::fmt(channels, f),
+            AxisValue::DepthVectors(depth) => fmt::Display::fmt(depth, f),
+            AxisValue::Sites(sites) => fmt::Display::fmt(sites, f),
+        }
+    }
+}
+
+impl Serialize for AxisValue {
+    fn to_value(&self) -> Value {
+        match self {
+            AxisValue::Channels(channels) => tagged("Channels", channels.to_value()),
+            AxisValue::DepthVectors(depth) => tagged("DepthVectors", depth.to_value()),
+            AxisValue::Sites(sites) => tagged("Sites", sites.to_value()),
+        }
+    }
+}
+
+impl Deserialize for AxisValue {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let (tag, body) = untag(value, "AxisValue")?;
+        match tag {
+            "Channels" => Ok(AxisValue::Channels(usize::from_value(body)?)),
+            "DepthVectors" => Ok(AxisValue::DepthVectors(u64::from_value(body)?)),
+            "Sites" => Ok(AxisValue::Sites(usize::from_value(body)?)),
+            other => Err(SerdeError::custom(format!(
+                "unknown variant `{other}` for AxisValue"
+            ))),
+        }
+    }
+}
 
 /// One point of a single-parameter sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepPoint {
     /// The swept parameter value (channel count, depth in vectors, ...).
-    pub parameter: f64,
+    pub parameter: AxisValue,
     /// The maximum multi-site at this parameter value.
     pub max_sites: usize,
     /// The throughput-optimal operating point at this parameter value.
@@ -53,19 +121,25 @@ pub struct SweepCurve {
     pub points: Vec<SweepPoint>,
 }
 
-/// Runs `f` over `values` on the rayon pool, preserving input order.
-fn parallel_map<T, R, F>(values: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    values.par_iter().map(f).collect()
+/// Unwraps a sweeping request's response into its curves.
+fn curves_of(response: OptimizeResponse) -> Vec<SweepCurve> {
+    response
+        .into_curves()
+        .expect("a sweeping axis always answers with curves")
+}
+
+/// A throwaway engine pre-sized for exactly one request, so the single
+/// run never pays a build-then-rebuild of the table.
+fn one_shot_engine(soc: &Soc, request: &OptimizeRequest) -> Engine {
+    Engine::builder(soc)
+        .max_channels(request.peak_channels())
+        .build()
 }
 
 /// Throughput vs. ATE channel count (Figure 6(a)): the optimizer is re-run
-/// for every channel count in `channel_counts`, all other parameters held at
-/// `config`.
+/// for every channel count in `channel_counts`, all other parameters held
+/// at `config`. Convenience wrapper over a one-shot [`Engine`] request
+/// with [`SweepAxis::Channels`].
 ///
 /// # Errors
 ///
@@ -76,50 +150,37 @@ pub fn channel_sweep(
     config: &OptimizerConfig,
     channel_counts: &[usize],
 ) -> Result<Vec<SweepPoint>, OptimizeError> {
-    let max_channels = channel_counts.iter().copied().max().unwrap_or(0);
-    if max_channels == 0 {
-        return Ok(Vec::new());
-    }
-    let table = LazyTimeTable::new(soc, (max_channels / 2).max(1));
-    let results = parallel_map(channel_counts, |&channels| {
-        let mut cfg = *config;
-        cfg.test_cell.ate = cfg.test_cell.ate.with_channels(channels);
-        optimize_with_table(soc.name(), &table, &cfg).map(|solution| SweepPoint {
-            parameter: channels as f64,
-            max_sites: solution.max_sites,
-            optimal: solution.optimal,
-        })
-    });
-    results.into_iter().collect()
+    let request =
+        OptimizeRequest::new(*config).with_sweep(SweepAxis::Channels(channel_counts.to_vec()));
+    let engine = one_shot_engine(soc, &request);
+    let mut curves = curves_of(engine.run(&request)?);
+    Ok(curves.pop().map(|curve| curve.points).unwrap_or_default())
 }
 
 /// Throughput vs. per-channel vector-memory depth (Figure 6(b)).
+/// Convenience wrapper over a one-shot [`Engine`] request with
+/// [`SweepAxis::DepthVectors`].
 ///
 /// # Errors
 ///
-/// Fails if any individual optimization fails (e.g. the shallowest depth is
-/// infeasible for some module).
+/// Fails if any individual optimization fails (e.g. the shallowest depth
+/// is infeasible for some module).
 pub fn depth_sweep(
     soc: &Soc,
     config: &OptimizerConfig,
     depths: &[u64],
 ) -> Result<Vec<SweepPoint>, OptimizeError> {
-    let table = LazyTimeTable::new(soc, (config.test_cell.ate.channels / 2).max(1));
-    let results = parallel_map(depths, |&depth| {
-        let mut cfg = *config;
-        cfg.test_cell.ate = cfg.test_cell.ate.with_depth(depth);
-        optimize_with_table(soc.name(), &table, &cfg).map(|solution| SweepPoint {
-            parameter: depth as f64,
-            max_sites: solution.max_sites,
-            optimal: solution.optimal,
-        })
-    });
-    results.into_iter().collect()
+    let request =
+        OptimizeRequest::new(*config).with_sweep(SweepAxis::DepthVectors(depths.to_vec()));
+    let engine = one_shot_engine(soc, &request);
+    let mut curves = curves_of(engine.run(&request)?);
+    Ok(curves.pop().map(|curve| curve.points).unwrap_or_default())
 }
 
 /// Unique-device throughput vs. memory depth, one curve per contact yield
-/// (Figure 7(a)). Re-test of contact failures is always enabled here — that
-/// is the effect the figure demonstrates.
+/// (Figure 7(a)). Re-test of contact failures is always enabled here —
+/// that is the effect the figure demonstrates. Convenience wrapper over a
+/// one-shot [`Engine`] request with [`SweepAxis::ContactYield`].
 ///
 /// # Errors
 ///
@@ -130,18 +191,12 @@ pub fn contact_yield_sweep(
     depths: &[u64],
     contact_yields: &[f64],
 ) -> Result<Vec<SweepCurve>, OptimizeError> {
-    let mut curves = Vec::with_capacity(contact_yields.len());
-    for &contact_yield in contact_yields {
-        let mut cfg = *config;
-        cfg.contact_yield = contact_yield;
-        cfg.options.retest_contact_failures = true;
-        let points = depth_sweep(soc, &cfg, depths)?;
-        curves.push(SweepCurve {
-            label: format!("pc = {contact_yield}"),
-            points,
-        });
-    }
-    Ok(curves)
+    let request = OptimizeRequest::new(*config).with_sweep(SweepAxis::ContactYield {
+        depths: depths.to_vec(),
+        contact_yields: contact_yields.to_vec(),
+    });
+    let engine = one_shot_engine(soc, &request);
+    Ok(curves_of(engine.run(&request)?))
 }
 
 /// One point of an abort-on-fail curve: expected test application time at a
@@ -156,12 +211,13 @@ pub struct AbortOnFailPoint {
 }
 
 /// Expected test application time vs. site count, one curve per
-/// manufacturing yield (Figure 7(b)).
+/// manufacturing yield (Figure 7(b)). Convenience wrapper over a one-shot
+/// [`Engine`] request with [`SweepAxis::ManufacturingYield`].
 ///
-/// The architecture is fixed at the Step 1 (channel-minimal) design — as in
-/// the paper, the point of the figure is the yield effect, not the channel
-/// redistribution — and only the abort-on-fail expectation varies with the
-/// site count.
+/// The architecture is fixed at the Step 1 (channel-minimal) design — as
+/// in the paper, the point of the figure is the yield effect, not the
+/// channel redistribution — and only the abort-on-fail expectation varies
+/// with the site count.
 ///
 /// # Errors
 ///
@@ -172,31 +228,12 @@ pub fn abort_on_fail_sweep(
     max_sites: usize,
     manufacturing_yields: &[f64],
 ) -> Result<Vec<SweepCurve>, OptimizeError> {
-    let table = LazyTimeTable::new(soc, (config.test_cell.ate.channels / 2).max(1));
-    let base = optimize_with_table(soc.name(), &table, config)?;
-    let architecture = base.step1_architecture;
-
-    let mut curves = Vec::with_capacity(manufacturing_yields.len());
-    for &manufacturing_yield in manufacturing_yields {
-        let mut cfg = *config;
-        cfg.manufacturing_yield = manufacturing_yield;
-        cfg.options.abort_on_fail = true;
-        let points = (1..=max_sites.max(1))
-            .map(|sites| {
-                let point = evaluate_point(&architecture, sites, &cfg);
-                SweepPoint {
-                    parameter: sites as f64,
-                    max_sites,
-                    optimal: point,
-                }
-            })
-            .collect();
-        curves.push(SweepCurve {
-            label: format!("pm = {manufacturing_yield}"),
-            points,
-        });
-    }
-    Ok(curves)
+    let request = OptimizeRequest::new(*config).with_sweep(SweepAxis::ManufacturingYield {
+        max_sites,
+        manufacturing_yields: manufacturing_yields.to_vec(),
+    });
+    let engine = one_shot_engine(soc, &request);
+    Ok(curves_of(engine.run(&request)?))
 }
 
 /// Outcome of the channels-versus-memory cost comparison of Section 7.
@@ -236,6 +273,7 @@ impl CostEffectiveness {
 
 /// Evaluates the Section 7 cost comparison: double the vector memory of the
 /// whole ATE, versus spending the same money on extra channels.
+/// Convenience wrapper over [`Engine::cost_effectiveness`].
 ///
 /// # Errors
 ///
@@ -246,26 +284,12 @@ pub fn cost_effectiveness(
     config: &OptimizerConfig,
     prices: &AteCostModel,
 ) -> Result<CostEffectiveness, OptimizeError> {
-    let base_ate = config.test_cell.ate;
-    let budget = prices.memory_doubling_cost(&base_ate, 1);
-    let extra_channels = prices.channels_affordable(budget);
-    let upgraded_channels = base_ate.channels + extra_channels;
-
-    let channel_counts = [base_ate.channels, upgraded_channels];
-    let channel_points = channel_sweep(soc, config, &channel_counts)?;
-
-    let mut deeper_cfg = *config;
-    deeper_cfg.test_cell.ate = base_ate.with_depth(base_ate.vector_memory_depth * 2);
-    let deeper = crate::optimizer::optimize(soc, &deeper_cfg)?;
-
-    Ok(CostEffectiveness {
-        base_devices_per_hour: channel_points[0].optimal.objective(),
-        memory_upgrade_cost_usd: budget,
-        memory_upgrade_devices_per_hour: deeper.optimal.objective(),
-        equivalent_extra_channels: extra_channels,
-        channel_upgrade_cost_usd: prices.channel_upgrade_cost(base_ate.channels, upgraded_channels),
-        channel_upgrade_devices_per_hour: channel_points[1].optimal.objective(),
-    })
+    // Pre-size for the base cell; the engine widens once more for the
+    // channel-upgrade comparison point.
+    Engine::builder(soc)
+        .max_channels(config.test_cell.ate.channels)
+        .build()
+        .cost_effectiveness(config, prices)
 }
 
 #[cfg(test)]
@@ -286,6 +310,7 @@ mod tests {
         let soc = d695();
         let points = channel_sweep(&soc, &config(), &[128, 192, 256, 320]).unwrap();
         assert_eq!(points.len(), 4);
+        assert_eq!(points[0].parameter, AxisValue::Channels(128));
         for pair in points.windows(2) {
             assert!(
                 pair[1].optimal.devices_per_hour >= pair[0].optimal.devices_per_hour - 1e-9,
@@ -301,6 +326,7 @@ mod tests {
         let soc = d695();
         let depths = [64 * 1024, 96 * 1024, 128 * 1024, 192 * 1024];
         let points = depth_sweep(&soc, &config(), &depths).unwrap();
+        assert_eq!(points[0].parameter, AxisValue::DepthVectors(64 * 1024));
         for pair in points.windows(2) {
             assert!(pair[1].optimal.devices_per_hour >= pair[0].optimal.devices_per_hour - 1e-9);
         }
@@ -336,6 +362,8 @@ mod tests {
         assert!(lossy.points[0].optimal.expected_test_time_s < 0.8 * t0);
         let last = lossy.points.last().unwrap().optimal.expected_test_time_s;
         assert!(last > 0.95 * t0);
+        // The x axis is the site count.
+        assert_eq!(lossy.points[3].parameter, AxisValue::Sites(4));
     }
 
     #[test]
@@ -363,5 +391,30 @@ mod tests {
         // 16 channels cannot host d695 at this shallow depth.
         let result = channel_sweep(&soc, &config(), &[256, 4]);
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn axis_values_display_as_their_raw_number() {
+        assert_eq!(AxisValue::Channels(512).to_string(), "512");
+        assert_eq!(format!("{:>7}", AxisValue::DepthVectors(98304)), "  98304");
+        assert_eq!(AxisValue::Sites(4).as_u64(), 4);
+        assert_eq!(AxisValue::DepthVectors(5).as_f64(), 5.0);
+    }
+
+    #[test]
+    fn axis_values_round_trip_through_json() {
+        for value in [
+            AxisValue::Channels(512),
+            AxisValue::DepthVectors(7 * 1024 * 1024),
+            AxisValue::Sites(3),
+        ] {
+            let json = serde_json::to_string(&value).unwrap();
+            assert_eq!(serde_json::from_str::<AxisValue>(&json).unwrap(), value);
+        }
+        assert_eq!(
+            serde_json::to_string(&AxisValue::Channels(512)).unwrap(),
+            "{\"Channels\":512}"
+        );
+        assert!(serde_json::from_str::<AxisValue>("{\"Nope\":1}").is_err());
     }
 }

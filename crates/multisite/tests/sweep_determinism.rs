@@ -6,7 +6,7 @@ use soctest_ate::{AteSpec, ProbeStation, TestCell};
 use soctest_multisite::optimizer::optimize_with_table;
 use soctest_multisite::problem::OptimizerConfig;
 use soctest_multisite::report::to_json;
-use soctest_multisite::sweep::{channel_sweep, depth_sweep, SweepPoint};
+use soctest_multisite::sweep::{channel_sweep, depth_sweep, AxisValue, SweepPoint};
 use soctest_soc_model::benchmarks::d695;
 use soctest_tam::TimeTable;
 
@@ -32,7 +32,7 @@ fn channel_sweep_matches_sequential_evaluation() {
             cfg.test_cell.ate = cfg.test_cell.ate.with_channels(k);
             let solution = optimize_with_table(soc.name(), &table, &cfg).unwrap();
             SweepPoint {
-                parameter: k as f64,
+                parameter: AxisValue::Channels(k),
                 max_sites: solution.max_sites,
                 optimal: solution.optimal,
             }
@@ -80,7 +80,7 @@ fn concurrent_lazy_table_sweep_matches_eager_sequential_on_a_scaled_soc() {
             point_cfg.test_cell.ate = point_cfg.test_cell.ate.with_depth(depth);
             let solution = optimize_with_table(soc.name(), &table, &point_cfg).unwrap();
             SweepPoint {
-                parameter: depth as f64,
+                parameter: AxisValue::DepthVectors(depth),
                 max_sites: solution.max_sites,
                 optimal: solution.optimal,
             }

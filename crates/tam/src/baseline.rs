@@ -13,7 +13,7 @@
 
 use crate::architecture::{ChannelGroup, TestArchitecture};
 use crate::error::TamError;
-use crate::timetable::TimeTable;
+use crate::timetable::{clamped_tam_width, max_tam_width, TimeTable};
 use soctest_ate::AteSpec;
 use soctest_soc_model::{ModuleId, Soc};
 
@@ -63,8 +63,7 @@ pub struct BaselineResult {
 /// Same failure modes as Step 1: [`TamError::EmptySoc`],
 /// [`TamError::ModuleInfeasible`] and [`TamError::InsufficientChannels`].
 pub fn pack_minimal_channels(soc: &Soc, ate: &AteSpec) -> Result<BaselineResult, TamError> {
-    let max_width = (ate.channels / 2).max(1);
-    let table = TimeTable::build(soc, max_width);
+    let table = TimeTable::build(soc, max_tam_width(ate.channels));
     pack_with_table(&table, ate.channels, ate.vector_memory_depth)
 }
 
@@ -81,7 +80,7 @@ pub fn pack_with_table(
     if table.num_modules() == 0 {
         return Err(TamError::EmptySoc);
     }
-    let max_total_width = (channels / 2).min(table.max_width());
+    let max_total_width = clamped_tam_width(table, channels);
     if max_total_width == 0 {
         return Err(TamError::InsufficientChannels {
             available_channels: channels,

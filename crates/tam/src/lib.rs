@@ -65,4 +65,4 @@ pub use architecture::{ChannelGroup, TestArchitecture};
 pub use error::TamError;
 pub use lazy::LazyTimeTable;
 pub use schedule::{ScheduleEntry, TestSchedule};
-pub use timetable::{TimeLookup, TimeTable};
+pub use timetable::{clamped_tam_width, max_tam_width, TimeLookup, TimeTable};

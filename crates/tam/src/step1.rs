@@ -19,7 +19,7 @@
 use crate::architecture::{ChannelGroup, TestArchitecture};
 use crate::error::TamError;
 use crate::lazy::LazyTimeTable;
-use crate::timetable::TimeLookup;
+use crate::timetable::{clamped_tam_width, max_tam_width, TimeLookup};
 use soctest_ate::AteSpec;
 use soctest_soc_model::{ModuleId, Soc};
 
@@ -39,8 +39,7 @@ use soctest_soc_model::{ModuleId, Soc};
 /// * [`TamError::InsufficientChannels`] if no assignment fits within the
 ///   ATE's channel count.
 pub fn design_minimal_architecture(soc: &Soc, ate: &AteSpec) -> Result<TestArchitecture, TamError> {
-    let max_width = (ate.channels / 2).max(1);
-    let table = LazyTimeTable::new(soc, max_width);
+    let table = LazyTimeTable::new(soc, max_tam_width(ate.channels));
     design_with_table(&table, ate.channels, ate.vector_memory_depth)
 }
 
@@ -63,7 +62,7 @@ pub fn design_with_table<T: TimeLookup + ?Sized>(
     if table.num_modules() == 0 {
         return Err(TamError::EmptySoc);
     }
-    let max_total_width = (channels / 2).min(table.max_width());
+    let max_total_width = clamped_tam_width(table, channels);
     if max_total_width == 0 {
         return Err(TamError::InsufficientChannels {
             available_channels: channels,

@@ -20,6 +20,30 @@ use soctest_soc_model::{ModuleId, Soc};
 use soctest_wrapper::combine::test_time_at_width;
 use soctest_wrapper::row::RowKernel;
 
+/// The widest TAM an ATE channel budget can drive: one unit of width costs
+/// **two** channels (one stimulus, one response), so `channels / 2`, with a
+/// floor of 1 so that a table covering the budget is never zero-width.
+///
+/// This is the width a fresh [`TimeTable`] / [`crate::LazyTimeTable`] must
+/// cover for algorithms running against `channels` ATE channels; every
+/// layer (Step 1, the optimizer, the sweeps, the benchmarks) sizes its
+/// tables through this one helper so the channels-to-width convention
+/// lives in exactly one place.
+pub fn max_tam_width(channels: usize) -> usize {
+    (channels / 2).max(1)
+}
+
+/// The widest *total* TAM width an algorithm may allocate when `channels`
+/// ATE channels are available and lookups go through `table`: the channel
+/// budget's width ([`max_tam_width`] without the floor), clamped to the
+/// widths the table actually covers.
+///
+/// A zero result means the budget cannot drive even a single wrapper chain
+/// — callers report `InsufficientChannels` rather than probing width 0.
+pub fn clamped_tam_width<T: TimeLookup + ?Sized>(table: &T, channels: usize) -> usize {
+    (channels / 2).min(table.max_width())
+}
+
 /// Common lookup interface over module test-time tables.
 ///
 /// Every architecture-design algorithm in this workspace only ever *reads*
@@ -380,5 +404,24 @@ mod tests {
             vec![Module::builder("m").patterns(1).inputs(1).build()],
         );
         let _ = TimeTable::build(&soc, 0);
+    }
+
+    #[test]
+    fn max_tam_width_is_half_the_channels_with_a_floor_of_one() {
+        assert_eq!(max_tam_width(0), 1);
+        assert_eq!(max_tam_width(1), 1);
+        assert_eq!(max_tam_width(2), 1);
+        assert_eq!(max_tam_width(3), 1);
+        assert_eq!(max_tam_width(256), 128);
+        assert_eq!(max_tam_width(513), 256);
+    }
+
+    #[test]
+    fn clamped_tam_width_respects_both_budget_and_table() {
+        let (_, table) = table(); // max_width = 24
+        assert_eq!(clamped_tam_width(&table, 256), 24); // table binds
+        assert_eq!(clamped_tam_width(&table, 16), 8); // budget binds
+        assert_eq!(clamped_tam_width(&table, 1), 0); // too few channels
+        assert_eq!(clamped_tam_width(&table, 0), 0);
     }
 }

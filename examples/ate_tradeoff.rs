@@ -2,19 +2,31 @@
 //! to more channels versus deeper vector memory, and which upgrade is more
 //! cost-effective for a given budget?
 //!
+//! Both sweeps are submitted to one engine session as a single
+//! heterogeneous batch, so they share the SOC's time table.
+//!
 //! Run with: `cargo run --release --example ate_tradeoff`
 
-use soctest::multisite::sweep::{channel_sweep, cost_effectiveness, depth_sweep};
 use soctest::prelude::*;
 use soctest::soc_model::synthetic::pnx8550_like;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let soc = pnx8550_like();
     let config = OptimizerConfig::paper_section7();
+    let engine = Engine::builder(&soc).max_channels(1024).build();
+
+    let channels: Vec<usize> = (0..=4).map(|i| 512 + 128 * i).collect();
+    let depths: Vec<u64> = [5u64, 7, 10, 14].iter().map(|m| m * 1024 * 1024).collect();
+    let batch = [
+        OptimizeRequest::new(config).with_sweep(SweepAxis::Channels(channels)),
+        OptimizeRequest::new(config).with_sweep(SweepAxis::DepthVectors(depths)),
+    ];
+    let mut responses = engine.run_batch(&batch).into_iter();
+    let channel_curves = responses.next().unwrap()?.into_curves().unwrap();
+    let depth_curves = responses.next().unwrap()?.into_curves().unwrap();
 
     println!("Throughput vs. ATE channels (7 M vectors/channel):");
-    let channels: Vec<usize> = (0..=4).map(|i| 512 + 128 * i).collect();
-    for point in channel_sweep(&soc, &config, &channels)? {
+    for point in &channel_curves[0].points {
         println!(
             "  {:>5} channels -> {:>8.0} devices/hour (n_opt = {})",
             point.parameter, point.optimal.devices_per_hour, point.optimal.sites
@@ -22,15 +34,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nThroughput vs. vector memory depth (512 channels):");
-    let depths: Vec<u64> = [5u64, 7, 10, 14].iter().map(|m| m * 1024 * 1024).collect();
-    for point in depth_sweep(&soc, &config, &depths)? {
+    for point in &depth_curves[0].points {
         println!(
-            "  {:>9.0} vectors -> {:>8.0} devices/hour (n_opt = {})",
+            "  {:>9} vectors -> {:>8.0} devices/hour (n_opt = {})",
             point.parameter, point.optimal.devices_per_hour, point.optimal.sites
         );
     }
 
-    let result = cost_effectiveness(&soc, &config, &AteCostModel::paper_prices())?;
+    let result = engine.cost_effectiveness(&config, &AteCostModel::paper_prices())?;
     println!(
         "\nSpending ${:.0}: memory doubling {:+.1}% vs {} extra channels {:+.1}% — {} wins.",
         result.memory_upgrade_cost_usd,

@@ -8,6 +8,7 @@
 use soctest::prelude::*;
 use soctest::soc_model::benchmarks;
 use soctest::tam::baseline::{lower_bound_channels, pack_with_table};
+use soctest::tam::max_tam_width;
 use soctest::tam::step1::design_with_table;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -20,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (name, channels, depth) in cases {
         let soc = benchmarks::by_name(name)?;
-        let table = TimeTable::build(&soc, channels / 2);
+        let table = TimeTable::build(&soc, max_tam_width(channels));
         let ours = design_with_table(&table, channels, depth)?;
         let baseline = pack_with_table(&table, channels, depth)?;
         let lb = lower_bound_channels(&table, depth).expect("feasible depth");

@@ -3,6 +3,8 @@
 //! with and without stimulus broadcast, and validate the predicted
 //! throughput with the Monte-Carlo wafer-flow simulator.
 //!
+//! The two variants are one table-sharing batch on a single engine session.
+//!
 //! Run with: `cargo run --release --example pnx8550_flow`
 
 use soctest::prelude::*;
@@ -14,18 +16,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("SOC: {} — {}", soc.name(), soc.stats());
 
     // The paper's wafer-test cell: 512 channels, 7 M vectors, 5 MHz.
-    let config = OptimizerConfig::paper_section7();
-    println!("{}", config.test_cell.ate);
+    let base_config = OptimizerConfig::paper_section7();
+    println!("{}", base_config.test_cell.ate);
 
-    for (label, options) in [
+    let cases = [
         ("without stimulus broadcast", MultiSiteOptions::baseline()),
         (
             "with stimulus broadcast",
             MultiSiteOptions::baseline().with_broadcast(),
         ),
-    ] {
-        let config = config.with_options(options);
-        let solution = optimize(&soc, &config)?;
+    ];
+    // One engine session; both variants share the time table (its entries
+    // depend only on the SOC, not on the optimization options).
+    let engine = Engine::new(&soc);
+    let batch: Vec<OptimizeRequest> = cases
+        .iter()
+        .map(|(_, options)| OptimizeRequest::new(base_config.with_options(*options)))
+        .collect();
+    let responses = engine.run_batch(&batch);
+
+    for ((label, options), response) in cases.iter().zip(responses) {
+        let config = base_config.with_options(*options);
+        let solution = response?
+            .into_solution()
+            .expect("a plain request answers with a solution");
         println!(
             "\n[{label}] n_max = {}, n_opt = {}, k = {} channels/site, t_m = {:.3} s, D_th = {:.0}/h",
             solution.max_sites,

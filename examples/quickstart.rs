@@ -18,9 +18,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{}", cell.ate);
 
-    // 3. Run the two-step optimizer.
+    // 3. Build an engine session for the SOC and submit one typed request.
+    //    (The engine keeps a shared time table — later requests for the
+    //    same SOC, including whole sweeps, reuse it.)
+    let engine = Engine::new(&soc);
     let config = OptimizerConfig::new(cell);
-    let solution = optimize(&soc, &config)?;
+    let solution = engine
+        .run(&OptimizeRequest::new(config))?
+        .into_solution()
+        .expect("a plain request answers with a solution");
 
     // 4. Inspect the result: channel groups, E-RPCT size, sites, throughput.
     println!(

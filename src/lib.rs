@@ -24,16 +24,27 @@
 //!
 //! # Quickstart
 //!
+//! The primary entry point is the session-oriented [`multisite::engine`]:
+//! build an [`Engine`](prelude::Engine) per SOC, then submit typed
+//! [`OptimizeRequest`](prelude::OptimizeRequest)s — single optimizations
+//! and parameter sweeps alike — individually or as a table-sharing batch.
+//!
 //! ```
 //! use soctest::prelude::*;
 //!
 //! let soc = soctest::soc_model::benchmarks::d695();
 //! let cell = TestCell::new(AteSpec::new(256, 96 * 1024, 5.0e6), ProbeStation::paper_probe_station());
-//! let solution = optimize(&soc, &OptimizerConfig::new(cell))?;
+//! let engine = Engine::new(&soc);
+//! let solution = engine.run(&OptimizeRequest::new(OptimizerConfig::new(cell)))?
+//!     .into_solution()
+//!     .expect("a plain request answers with a solution");
 //! println!("test {} sites in parallel, {:.0} devices/hour",
 //!          solution.optimal.sites, solution.optimal.devices_per_hour);
 //! # Ok::<(), soctest::multisite::OptimizeError>(())
 //! ```
+//!
+//! The one-shot free functions (`optimize`, the `sweep` family) remain
+//! available as convenience shims over a throwaway engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,9 +60,13 @@ pub use soctest_wrapper as wrapper;
 /// The most commonly used items, importable in one line.
 pub mod prelude {
     pub use soctest_ate::{AteCostModel, AteSpec, ProbeStation, TestCell};
+    pub use soctest_multisite::engine::{
+        Engine, EngineBuilder, OptimizeRequest, OptimizeResponse, SweepAxis,
+    };
     pub use soctest_multisite::optimizer::optimize;
     pub use soctest_multisite::problem::{MultiSiteOptions, OptimizerConfig};
     pub use soctest_multisite::solution::{MultiSiteSolution, SitePoint};
+    pub use soctest_multisite::sweep::{AxisValue, SweepCurve, SweepPoint};
     pub use soctest_soc_model::{Module, ModuleKind, Soc};
     pub use soctest_tam::{ChannelGroup, TestArchitecture, TestSchedule, TimeTable};
     pub use soctest_throughput::{TestTimes, ThroughputModel, YieldParams};
@@ -69,7 +84,16 @@ mod tests {
             AteSpec::new(128, 128 * 1024, 5.0e6),
             ProbeStation::paper_probe_station(),
         );
-        let solution = optimize(&soc, &OptimizerConfig::new(cell)).expect("d695 fits");
-        assert!(solution.optimal.sites >= 1);
+        let config = OptimizerConfig::new(cell);
+        // The engine API and the legacy convenience shim agree.
+        let engine = Engine::new(&soc);
+        let via_engine = engine
+            .run(&OptimizeRequest::new(config))
+            .expect("d695 fits")
+            .into_solution()
+            .expect("plain request");
+        let via_shim = optimize(&soc, &config).expect("d695 fits");
+        assert_eq!(via_engine, via_shim);
+        assert!(via_engine.optimal.sites >= 1);
     }
 }
