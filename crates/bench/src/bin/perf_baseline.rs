@@ -22,7 +22,12 @@
 //! * a heterogeneous engine batch (Figures 6(a)+6(b)+7(a)+7(b) at once)
 //!   through one shared-table `Engine::run_batch`, against the same four
 //!   experiments through the per-call-table free functions — results
-//!   asserted identical before timing.
+//!   asserted identical before timing;
+//! * a **mixed** batch (plain optimizations + every sweep shape) under
+//!   nested request x point parallelism on the persistent work-stealing
+//!   pool (`engine_batch/pnx8550_like/mixed_parallel`), against the same
+//!   batch on a sequential engine — responses asserted bit-identical
+//!   before timing.
 //!
 //! Run with `cargo run --release --bin perf_baseline`. The report lands in
 //! the current working directory.
@@ -309,6 +314,54 @@ fn main() {
         contact_yield_sweep(&pnx, &pnx_config, &depths, &contact_yields).expect("feasible");
         abort_on_fail_sweep(&pnx, &pnx_config, 8, &manufacturing_yields).expect("feasible");
     }));
+
+    // --- Mixed batch: nested request x point parallelism ------------------
+    // A genuinely mixed batch (plain optimizations interleaved with every
+    // sweep shape) that the pre-pool engine served sequentially across
+    // requests. On the work-stealing pool the whole batch fans out at the
+    // request level and again inside each sweep; results are asserted
+    // bit-identical to the fully sequential engine before anything is
+    // timed.
+    let mixed_batch: Vec<OptimizeRequest> = {
+        let mut batch = vec![OptimizeRequest::new(pnx_config)];
+        batch.extend(figure_batch.iter().cloned());
+        let mut deep_cfg = pnx_config;
+        deep_cfg.test_cell.ate = deep_cfg
+            .test_cell
+            .ate
+            .with_depth(deep_cfg.test_cell.ate.vector_memory_depth * 2);
+        batch.push(OptimizeRequest::new(deep_cfg));
+        batch
+    };
+    {
+        let sequential_engine = Engine::builder(&pnx).sequential().build();
+        let parallel_engine = Engine::new(&pnx);
+        let sequential: Vec<_> = sequential_engine.run_batch(&mixed_batch);
+        let parallel: Vec<_> = parallel_engine.run_batch(&mixed_batch);
+        assert_eq!(sequential.len(), parallel.len());
+        for (index, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+            assert_eq!(
+                s.as_ref().expect("every mixed request is feasible"),
+                p.as_ref().expect("every mixed request is feasible"),
+                "mixed batch request {index}: nested-parallel result diverged from sequential"
+            );
+        }
+    }
+    measurements.push(measure("engine_batch/pnx8550_like/mixed_parallel", || {
+        let engine = Engine::new(&pnx);
+        for result in engine.run_batch(&mixed_batch) {
+            std::hint::black_box(result.expect("every mixed request is feasible"));
+        }
+    }));
+    measurements.push(measure(
+        "engine_batch/pnx8550_like/mixed_sequential",
+        || {
+            let engine = Engine::builder(&pnx).sequential().build();
+            for result in engine.run_batch(&mixed_batch) {
+                std::hint::black_box(result.expect("every mixed request is feasible"));
+            }
+        },
+    ));
 
     let report = BenchReport {
         schema: "soctest-perf-baseline/v1".to_string(),

@@ -17,11 +17,14 @@
 //!   [`OptimizeResponse`] values (a [`MultiSiteSolution`] or a set of
 //!   [`SweepCurve`]s), in input order;
 //! * [`Engine::run_batch`] serves heterogeneous batches (e.g. all of
-//!   Figure 6(a) + 6(b) + 7(a) + 7(b) at once) over **one** table and one
-//!   rayon pool instead of N of each;
+//!   Figure 6(a) + 6(b) + 7(a) + 7(b) at once) over **one** table and the
+//!   persistent work-stealing pool instead of N of each — mixed batches
+//!   parallelise at the request level *and* inside each sweep (nested
+//!   parallelism composes on the pool without oversubscription);
 //! * the pool policy is part of the engine:
-//!   [`EngineBuilder::sequential`] pins every sweep to the calling thread
-//!   (results are bit-identical either way — see
+//!   [`EngineBuilder::threads`] caps the per-layer fan-out and
+//!   [`EngineBuilder::sequential`] pins every request to the calling
+//!   thread (results are bit-identical at any cap — see
 //!   `tests/sweep_determinism.rs`).
 //!
 //! Results are bit-identical to the legacy free functions
@@ -58,7 +61,6 @@ use crate::optimizer::{evaluate_point, optimize_with_table};
 use crate::problem::OptimizerConfig;
 use crate::solution::MultiSiteSolution;
 use crate::sweep::{AxisValue, CostEffectiveness, SweepCurve, SweepPoint};
-use rayon::prelude::*;
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use soctest_ate::AteCostModel;
 use soctest_soc_model::Soc;
@@ -328,12 +330,15 @@ impl Deserialize for OptimizeResponse {
     }
 }
 
-/// Builder for an [`Engine`]. Obtained from [`Engine::builder`].
+/// Builder for an [`Engine`]. Obtained from [`Engine::builder`] /
+/// [`Engine::builder_arc`].
 #[derive(Debug, Clone)]
 pub struct EngineBuilder {
-    soc: Soc,
+    soc: Arc<Soc>,
     max_channels: usize,
-    parallel: bool,
+    /// Parallelism cap: `None` = the full rayon pool, `Some(1)` =
+    /// sequential, `Some(n)` = at most `n` concurrent tasks per layer.
+    threads: Option<usize>,
 }
 
 impl EngineBuilder {
@@ -347,12 +352,24 @@ impl EngineBuilder {
         self
     }
 
-    /// Pins sweep evaluation to the calling thread instead of the rayon
-    /// pool. Results are bit-identical either way (the pool preserves
-    /// input order and table cells are deterministic); sequential mode is
-    /// for debugging and for callers that manage parallelism themselves.
-    pub fn sequential(mut self) -> Self {
-        self.parallel = false;
+    /// Pins request and sweep evaluation to the calling thread instead of
+    /// the rayon pool. Results are bit-identical either way (the pool
+    /// preserves input order and table cells are deterministic);
+    /// sequential mode is for debugging and for callers that manage
+    /// parallelism themselves. Shorthand for [`EngineBuilder::threads`]
+    /// with `1`.
+    pub fn sequential(self) -> Self {
+        self.threads(1)
+    }
+
+    /// Caps the engine at `threads` concurrent tasks per parallel layer
+    /// (requests in a batch, points in a sweep). `1` means sequential;
+    /// the cap is clamped up to at least 1. Without a cap the engine uses
+    /// the whole work-stealing pool. Results are bit-identical at every
+    /// cap — the property pinned by the scheduler stress tests in
+    /// `tests/sweep_determinism.rs` and `tests/engine_equivalence.rs`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
         self
     }
 
@@ -362,7 +379,7 @@ impl EngineBuilder {
         Engine {
             table: RwLock::new(Arc::new(table)),
             soc: self.soc,
-            parallel: self.parallel,
+            threads: self.threads,
         }
     }
 }
@@ -373,22 +390,46 @@ impl EngineBuilder {
 /// See the [module docs](self) for the full story and an example.
 #[derive(Debug)]
 pub struct Engine {
-    soc: Soc,
+    soc: Arc<Soc>,
     /// The shared table. Rebuilt (under the write lock) when a request
     /// needs more width than it covers; snapshots are handed out as
     /// `Arc`s so in-flight requests keep their table alive.
     table: RwLock<Arc<LazyTimeTable>>,
-    parallel: bool,
+    /// Parallelism cap; see [`EngineBuilder::threads`].
+    threads: Option<usize>,
 }
 
 impl Engine {
     /// Starts building an engine for `soc` (the engine keeps its own
-    /// copy, so the session outlives the caller's borrow).
+    /// copy, so the session outlives the caller's borrow). Callers that
+    /// already hold the SOC in an `Arc` — or build many sessions over one
+    /// large SOC — should use [`Engine::builder_arc`], which shares the
+    /// SOC instead of deep-cloning it.
     pub fn builder(soc: &Soc) -> EngineBuilder {
+        Engine::builder_arc(Arc::new(soc.clone()))
+    }
+
+    /// Starts building an engine that **shares** `soc` instead of cloning
+    /// it: no module or scan-chain data is copied, the session just takes
+    /// one reference count. This is the constructor for tight loops over
+    /// large SOCs (a 10k-module SOC deep-clone is measurable) and for
+    /// serving several engine sessions over one in-memory SOC.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use soctest_multisite::engine::Engine;
+    /// use soctest_soc_model::benchmarks::d695;
+    ///
+    /// let soc = Arc::new(d695());
+    /// let engine = Engine::builder_arc(Arc::clone(&soc)).build();
+    /// assert_eq!(Arc::strong_count(&soc), 2); // caller + engine — no clone
+    /// assert_eq!(engine.soc_name(), "d695");
+    /// ```
+    pub fn builder_arc(soc: Arc<Soc>) -> EngineBuilder {
         EngineBuilder {
-            soc: soc.clone(),
+            soc,
             max_channels: 0,
-            parallel: true,
+            threads: None,
         }
     }
 
@@ -401,6 +442,13 @@ impl Engine {
     /// The SOC this engine optimizes.
     pub fn soc(&self) -> &Soc {
         &self.soc
+    }
+
+    /// A shared handle to the engine's SOC (no clone). Useful for
+    /// building further sessions over the same SOC via
+    /// [`Engine::builder_arc`].
+    pub fn soc_arc(&self) -> Arc<Soc> {
+        Arc::clone(&self.soc)
     }
 
     /// Name of the SOC this engine optimizes.
@@ -419,9 +467,18 @@ impl Engine {
         self.snapshot().cells_built()
     }
 
-    /// Whether sweeps run on the rayon pool (`true`) or inline.
+    /// Whether requests and sweeps run on the rayon pool (`true`) or
+    /// inline on the calling thread.
     pub fn is_parallel(&self) -> bool {
-        self.parallel
+        self.thread_cap() > 1
+    }
+
+    /// The engine's effective parallelism cap per layer: the builder's
+    /// [`EngineBuilder::threads`] cap, or the pool size.
+    fn thread_cap(&self) -> usize {
+        self.threads
+            .unwrap_or_else(rayon::current_num_threads)
+            .max(1)
     }
 
     fn snapshot(&self) -> Arc<LazyTimeTable> {
@@ -460,9 +517,15 @@ impl Engine {
     /// infeasible request does not poison the batch.
     ///
     /// The table is widened once, up front, to the widest request, so no
-    /// mid-batch rebuild drops warm cells. Batches of single-optimization
-    /// requests ([`SweepAxis::None`]) are spread over the rayon pool;
-    /// batches containing sweeps parallelise inside each sweep instead.
+    /// mid-batch rebuild drops warm cells. The whole batch — mixed or not
+    /// — fans out across the work-stealing pool at the **request** level,
+    /// and each sweeping request fans out again at the **point** level;
+    /// the persistent pool runs both layers on one fixed set of workers
+    /// (a blocked outer request helps execute inner points), so a mixed
+    /// batch saturates a wide machine without oversubscribing it. The
+    /// responses are bit-identical to serving every request sequentially,
+    /// at any thread count (`tests/engine_equivalence.rs`,
+    /// `tests/sweep_determinism.rs`).
     pub fn run_batch(
         &self,
         requests: &[OptimizeRequest],
@@ -473,14 +536,14 @@ impl Engine {
             .max()
             .unwrap_or(1);
         let table = self.table_for(width);
-        let all_single = requests
-            .iter()
-            .all(|request| matches!(request.sweep, SweepAxis::None));
-        if self.parallel && all_single {
-            requests
-                .par_iter()
-                .map(|request| self.run_on(&table, request))
-                .collect()
+        let cap = self.thread_cap();
+        if cap > 1 {
+            rayon::par_map_init_threads(
+                requests,
+                || (),
+                |(), request| self.run_on(&table, request),
+                cap,
+            )
         } else {
             requests
                 .iter()
@@ -568,17 +631,16 @@ impl Engine {
 
     /// Maps `f` over `values` under the engine's pool policy, preserving
     /// input order; the result is the points, or the first error in input
-    /// order.
+    /// order. Runs on the work-stealing pool (capped at the engine's
+    /// thread cap), nesting freely under a parallel [`Engine::run_batch`].
     fn map_points<T, F>(&self, values: &[T], f: F) -> Result<Vec<SweepPoint>, OptimizeError>
     where
         T: Sync,
         F: Fn(&T) -> Result<SweepPoint, OptimizeError> + Sync,
     {
-        if self.parallel {
-            values
-                .par_iter()
-                .map(&f)
-                .collect::<Vec<_>>()
+        let cap = self.thread_cap();
+        if cap > 1 {
+            rayon::par_map_init_threads(values, || (), |(), value| f(value), cap)
                 .into_iter()
                 .collect()
         } else {
@@ -750,6 +812,67 @@ mod tests {
             curves[0].points[0].parameter,
             AxisValue::DepthVectors(96 * 1024)
         );
+    }
+
+    #[test]
+    fn builder_arc_shares_the_soc_without_cloning() {
+        let soc = Arc::new(d695());
+        let engine = Engine::builder_arc(Arc::clone(&soc)).build();
+        // Caller + engine: the builder took a reference, not a deep copy.
+        assert_eq!(Arc::strong_count(&soc), 2);
+        let handle = engine.soc_arc();
+        assert_eq!(Arc::strong_count(&soc), 3);
+        assert!(Arc::ptr_eq(&soc, &handle));
+        // The shared-SOC engine answers exactly like a cloning one.
+        let cloned = Engine::builder(&soc).build();
+        assert_eq!(
+            engine.run(&OptimizeRequest::new(config())).unwrap(),
+            cloned.run(&OptimizeRequest::new(config())).unwrap()
+        );
+        drop(engine);
+        drop(handle);
+        assert_eq!(Arc::strong_count(&soc), 1);
+    }
+
+    #[test]
+    fn thread_cap_is_clamped_and_reported() {
+        let soc = d695();
+        assert!(!Engine::builder(&soc).threads(0).build().is_parallel());
+        assert!(!Engine::builder(&soc).sequential().build().is_parallel());
+        let capped = Engine::builder(&soc).threads(2).build();
+        assert_eq!(capped.thread_cap(), 2);
+        assert!(capped.is_parallel());
+    }
+
+    #[test]
+    fn mixed_batch_is_identical_at_thread_caps_one_two_and_n() {
+        let soc = d695();
+        let batch = [
+            OptimizeRequest::new(config()),
+            OptimizeRequest::new(config())
+                .with_sweep(SweepAxis::Channels(vec![128, 192, 256, 320])),
+            OptimizeRequest::new(config()).with_sweep(SweepAxis::DepthVectors(vec![
+                64 * 1024,
+                96 * 1024,
+                128 * 1024,
+            ])),
+        ];
+        let sequential = Engine::builder(&soc).sequential().build().run_batch(&batch);
+        for cap in [2usize, rayon::current_num_threads().max(2)] {
+            let parallel = Engine::builder(&soc).threads(cap).build().run_batch(&batch);
+            assert_eq!(
+                parallel.len(),
+                sequential.len(),
+                "batch length changed at cap {cap}"
+            );
+            for (p, s) in parallel.iter().zip(&sequential) {
+                assert_eq!(
+                    p.as_ref().unwrap(),
+                    s.as_ref().unwrap(),
+                    "nested-parallel batch diverged at cap {cap}"
+                );
+            }
+        }
     }
 
     #[test]

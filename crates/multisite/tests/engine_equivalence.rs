@@ -176,6 +176,74 @@ fn mixed_axis_batch_matches_individual_runs_and_the_free_functions() {
 }
 
 #[test]
+fn nested_parallel_mixed_batch_is_identical_at_thread_caps_one_two_and_n() {
+    // The work-stealing pool runs mixed batches with request-level AND
+    // point-level parallelism; this pins scheduler determinism on a
+    // synthetic SOC big enough for real stealing: sequential ==
+    // thread-cap 2 == full pool, repeated, and equal to the free
+    // functions' answers point for point.
+    let soc = synthetic_soc();
+    let config = OptimizerConfig::new(TestCell::new(
+        AteSpec::new(512, 4 * 1024 * 1024, 5.0e6),
+        ProbeStation::paper_probe_station(),
+    ));
+    let channels = vec![256usize, 384, 512, 640];
+    let depths = vec![3 * 1024 * 1024u64, 4 * 1024 * 1024, 6 * 1024 * 1024];
+    let batch = [
+        OptimizeRequest::new(config),
+        OptimizeRequest::new(config).with_sweep(SweepAxis::Channels(channels.clone())),
+        OptimizeRequest::new(config).with_sweep(SweepAxis::DepthVectors(depths.clone())),
+        OptimizeRequest::new(config).with_sweep(SweepAxis::ContactYield {
+            depths: depths.clone(),
+            contact_yields: vec![0.995, 1.0],
+        }),
+    ];
+
+    let sequential: Vec<_> = Engine::builder(&soc)
+        .sequential()
+        .build()
+        .run_batch(&batch)
+        .into_iter()
+        .map(|result| result.expect("feasible"))
+        .collect();
+
+    for cap in [2usize, rayon::current_num_threads().max(3)] {
+        for run in 0..2 {
+            let nested: Vec<_> = Engine::builder(&soc)
+                .threads(cap)
+                .build()
+                .run_batch(&batch)
+                .into_iter()
+                .map(|result| result.expect("feasible"))
+                .collect();
+            assert_eq!(
+                nested, sequential,
+                "cap {cap} run {run}: nested-parallel batch diverged"
+            );
+            assert_eq!(
+                to_json(&nested[0]),
+                to_json(&sequential[0]),
+                "cap {cap} run {run}: JSON diverged"
+            );
+        }
+    }
+
+    // The batch reproduces the legacy free functions bit for bit.
+    assert_eq!(
+        sequential[1].curves().unwrap()[0].points,
+        channel_sweep(&soc, &config, &channels).unwrap()
+    );
+    assert_eq!(
+        sequential[2].curves().unwrap()[0].points,
+        depth_sweep(&soc, &config, &depths).unwrap()
+    );
+    assert_eq!(
+        sequential[3].curves().unwrap(),
+        contact_yield_sweep(&soc, &config, &depths, &[0.995, 1.0]).unwrap()
+    );
+}
+
+#[test]
 fn sequential_and_parallel_engines_agree_on_every_axis() {
     let soc = synthetic_soc();
     let config = small_config().with_test_cell(TestCell::new(

@@ -1,8 +1,10 @@
 //! Determinism proofs for the rayon-parallel sweeps: results must be
 //! byte-identical to evaluating every sweep point sequentially, and stable
-//! across repeated runs.
+//! across repeated runs — at any thread count, under nested batch
+//! parallelism, on the persistent work-stealing pool.
 
 use soctest_ate::{AteSpec, ProbeStation, TestCell};
+use soctest_multisite::engine::{Engine, OptimizeRequest, OptimizeResponse, SweepAxis};
 use soctest_multisite::optimizer::optimize_with_table;
 use soctest_multisite::problem::OptimizerConfig;
 use soctest_multisite::report::to_json;
@@ -88,4 +90,91 @@ fn concurrent_lazy_table_sweep_matches_eager_sequential_on_a_scaled_soc() {
         .collect();
     assert_eq!(parallel, sequential);
     assert_eq!(to_json(&parallel), to_json(&sequential));
+}
+
+/// The mixed batch of the scheduler stress tests: every axis shape at
+/// once, so a parallel `run_batch` exercises request-level fan-out nested
+/// over point-level fan-out on one shared lazy table.
+fn mixed_axis_batch(config: OptimizerConfig) -> Vec<OptimizeRequest> {
+    vec![
+        OptimizeRequest::new(config),
+        OptimizeRequest::new(config)
+            .with_sweep(SweepAxis::Channels(vec![128, 160, 192, 224, 256, 320])),
+        OptimizeRequest::new(config).with_sweep(SweepAxis::DepthVectors(vec![
+            64 * 1024,
+            96 * 1024,
+            128 * 1024,
+            192 * 1024,
+        ])),
+        OptimizeRequest::new(config).with_sweep(SweepAxis::ContactYield {
+            depths: vec![64 * 1024, 96 * 1024, 128 * 1024],
+            contact_yields: vec![0.99, 0.999, 1.0],
+        }),
+        OptimizeRequest::new(config).with_sweep(SweepAxis::ManufacturingYield {
+            max_sites: 8,
+            manufacturing_yields: vec![1.0, 0.9, 0.7],
+        }),
+    ]
+}
+
+#[test]
+fn mixed_axis_batch_is_deterministic_across_thread_counts_and_runs() {
+    // The scheduler stress test: sequential == parallel == nested-parallel
+    // across engine thread caps 1 (sequential), 2, and N (the full pool),
+    // each repeated so a racy steal schedule would have runs to diverge
+    // in. Every engine is fresh per run, so no warm table masks a
+    // scheduling effect; every response must be bit-identical and
+    // byte-identical through the JSON reporter.
+    let soc = d695();
+    let batch = mixed_axis_batch(config());
+
+    let baseline: Vec<OptimizeResponse> = Engine::builder(&soc)
+        .sequential()
+        .build()
+        .run_batch(&batch)
+        .into_iter()
+        .map(|result| result.expect("every stress request is feasible"))
+        .collect();
+    let baseline_json: Vec<String> = baseline.iter().map(to_json).collect();
+
+    let pool_threads = rayon::current_num_threads();
+    for cap in [1usize, 2, pool_threads.max(3)] {
+        for run in 0..3 {
+            let engine = Engine::builder(&soc).threads(cap).build();
+            let responses: Vec<OptimizeResponse> = engine
+                .run_batch(&batch)
+                .into_iter()
+                .map(|result| result.expect("every stress request is feasible"))
+                .collect();
+            assert_eq!(
+                responses, baseline,
+                "thread cap {cap}, run {run}: batch diverged from sequential"
+            );
+            let json: Vec<String> = responses.iter().map(to_json).collect();
+            assert_eq!(
+                json, baseline_json,
+                "thread cap {cap}, run {run}: JSON rendering diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn one_engine_re_answers_identically_while_its_table_warms() {
+    // Repeated runs on ONE engine: the shared lazy table accumulates
+    // cells between runs, and the answers must not move.
+    let soc = d695();
+    let batch = mixed_axis_batch(config());
+    let engine = Engine::new(&soc);
+    let first = engine.run_batch(&batch);
+    let cells_after_first = engine.cells_built();
+    for _ in 0..2 {
+        let again = engine.run_batch(&batch);
+        assert_eq!(again.len(), first.len());
+        for (a, b) in again.iter().zip(&first) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+    }
+    // The re-runs were served from the warm cache, not recomputed tables.
+    assert_eq!(engine.cells_built(), cells_after_first);
 }

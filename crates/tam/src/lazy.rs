@@ -37,8 +37,10 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 const UNSET: u64 = u64::MAX;
 
 thread_local! {
-    /// Reusable LPT scratch per thread (the vendored rayon runs scoped
-    /// worker threads, each of which gets its own copy on first probe).
+    /// Reusable LPT scratch per thread. The rayon pool is persistent, so
+    /// each worker allocates this once on its first probe ever and then
+    /// reuses it across *all* tables, sweeps and engine batches for the
+    /// rest of the process — steady-state probes allocate nothing.
     static SCRATCH: RefCell<ShapeScratch> = RefCell::new(ShapeScratch::new());
 }
 
@@ -84,6 +86,9 @@ impl LazyTimeTable {
     /// Panics if `max_width == 0`.
     pub fn new(soc: &Soc, max_width: usize) -> Self {
         assert!(max_width > 0, "max_width must be at least 1");
+        // Parallel over modules; nests under an engine batch running on
+        // the same work-stealing pool (a table built from inside a batch
+        // worker fans its rows out instead of running them serially).
         let shapes: Vec<ModuleShape> = soc.modules().par_iter().map(ModuleShape::of).collect();
         let cells = (0..shapes.len())
             .map(|_| (0..max_width).map(|_| AtomicU64::new(UNSET)).collect())

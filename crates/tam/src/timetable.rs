@@ -9,11 +9,15 @@
 //!
 //! Construction goes through the allocation-free row kernel
 //! ([`soctest_wrapper::row::RowKernel`]) and is parallelised over modules
-//! with rayon's `map_init` (one scratch kernel per worker thread). Results
-//! are collected in module order, so parallel builds are bit-identical to
-//! [`TimeTable::build_sequential`]; [`TimeTable::build_reference`] keeps
-//! the original full-fidelity per-(module, width) wrapper-design loop as a
-//! cross-check and benchmark baseline.
+//! with rayon's `map_init` (one scratch kernel per runner task) on the
+//! persistent work-stealing pool — so a build triggered from inside an
+//! already-parallel engine batch nests onto the same fixed worker set
+//! instead of spawning threads or running serially. Results are collected
+//! in module order, so parallel builds are bit-identical to
+//! [`TimeTable::build_sequential`] at any thread count;
+//! [`TimeTable::build_reference`] keeps the original full-fidelity
+//! per-(module, width) wrapper-design loop as a cross-check and benchmark
+//! baseline.
 
 use rayon::prelude::*;
 use soctest_soc_model::{ModuleId, Soc};

@@ -42,12 +42,56 @@ pub struct VecStrategy<S> {
     max: usize,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let span = self.max - self.min + 1;
         let len = self.min + rng.below(span);
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    /// Structural shrinking first — remove chunks of elements, largest
+    /// chunks first, never dropping below the strategy's minimum length —
+    /// then element-wise shrinking through the element strategy. Ordered
+    /// simplest-first, so the runner's first-failing-candidate walk
+    /// converges to a minimal vector (fewest elements, then smallest
+    /// elements).
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let len = value.len();
+        let mut candidates = Vec::new();
+
+        // Chunk removals: len - min elements at once (straight to the
+        // shortest allowed vector), then halving chunk sizes sliding over
+        // every position.
+        let mut chunk = len.saturating_sub(self.min);
+        while chunk >= 1 {
+            let mut start = 0;
+            while start + chunk <= len {
+                let mut shorter = Vec::with_capacity(len - chunk);
+                shorter.extend_from_slice(&value[..start]);
+                shorter.extend_from_slice(&value[start + chunk..]);
+                candidates.push(shorter);
+                start += chunk;
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Element simplifications (a few per position; the runner loops,
+        // so depth comes from re-shrinking, not candidate volume).
+        for index in 0..len {
+            for candidate in self.element.shrink(&value[index]).into_iter().take(4) {
+                let mut copy = value.clone();
+                copy[index] = candidate;
+                candidates.push(copy);
+            }
+        }
+        candidates
     }
 }

@@ -8,7 +8,14 @@
 //!
 //! Differences from the real crate: generation is driven by a fixed
 //! deterministic RNG seeded per test name (reproducible across runs and
-//! machines), and failing cases are reported but **not shrunk**.
+//! machines). Failing cases **are shrunk**: integers binary-search toward
+//! zero, vectors drop chunks of elements (then shrink the survivors), and
+//! tuples shrink component-wise — the reported counterexample is a local
+//! minimum, re-verified to still fail (see
+//! [`test_runner::shrink_failure`] and [`strategy::Strategy::shrink`]).
+//! Generated values must be `Clone` (the runner re-executes the body per
+//! shrink candidate) and `Debug` (the minimal case is printed); every
+//! strategy used in this workspace satisfies both.
 
 #![forbid(unsafe_code)]
 
@@ -51,21 +58,42 @@ macro_rules! __proptest_impl {
                 let __config = $config;
                 let mut __rng =
                     $crate::test_runner::TestRng::for_test(stringify!($name));
+                // All argument strategies as one tuple strategy, so the
+                // shrinker can simplify any argument of a failing case
+                // while holding the others fixed. Generation draws from
+                // the RNG in argument order, exactly like the former
+                // per-argument calls — existing case streams are stable.
+                let __strategy = ($(($strat),)*);
+                let __run = $crate::test_runner::bind_runner(&__strategy, |__input| {
+                    let ($($arg,)*) = ::std::clone::Clone::clone(__input);
+                    $body
+                    ::std::result::Result::Ok(())
+                });
                 for __case in 0..__config.cases {
-                    $(let $arg =
-                        $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
-                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (|| {
-                            $body
-                            ::std::result::Result::Ok(())
-                        })();
-                    if let ::std::result::Result::Err(__err) = __result {
+                    let __input =
+                        $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
+                    if let ::std::result::Result::Err(__error) = __run(&__input) {
+                        let (__minimal, __error, __steps) =
+                            $crate::test_runner::shrink_failure(
+                                &__strategy,
+                                __input,
+                                __error,
+                                __config.max_shrink_iters,
+                                &__run,
+                            );
+                        let ($($arg,)*) = &__minimal;
                         ::std::panic!(
-                            "proptest `{}` failed at case {}/{}: {}",
+                            "proptest `{}` failed at case {}/{}: {}\n\
+                             minimal failing input ({} shrink steps): {}",
                             stringify!($name),
                             __case + 1,
                             __config.cases,
-                            __err
+                            __error,
+                            __steps,
+                            ::std::format!(
+                                ::std::concat!($(stringify!($arg), " = {:?}  "),*),
+                                $($arg),*
+                            )
                         );
                     }
                 }
@@ -257,5 +285,142 @@ mod tests {
             .cloned()
             .unwrap_or_default();
         assert!(message.contains("always_fails"), "message: {message}");
+        // The shrinker drove x to the minimal failing value (every x
+        // fails here, so the minimum of the range: 0).
+        assert!(message.contains("x = 0"), "message: {message}");
+    }
+
+    // ---- shrinking --------------------------------------------------------
+
+    mod shrinking {
+        use crate::strategy::Strategy;
+        use crate::test_runner::{shrink_failure, TestCaseError};
+
+        /// Runs the shrinker against predicate `fails` from `initial`.
+        fn minimise<S, V>(strategy: &S, initial: V, fails: impl Fn(&V) -> bool) -> V
+        where
+            S: Strategy<Value = V>,
+        {
+            assert!(fails(&initial), "initial value must fail");
+            let run = |value: &V| {
+                if fails(value) {
+                    Err(TestCaseError::fail("still failing"))
+                } else {
+                    Ok(())
+                }
+            };
+            let (minimal, _, _) =
+                shrink_failure(strategy, initial, TestCaseError::fail("seed"), 1024, run);
+            minimal
+        }
+
+        #[test]
+        fn integer_candidates_walk_from_zero_back_to_the_value() {
+            // Simplest first: the target (0), then midpoints approaching
+            // the failing value — a binary search when adopted greedily.
+            assert_eq!((0u64..101).shrink(&100), vec![0, 50, 75, 88, 94, 97, 99]);
+            assert_eq!((0u64..101).shrink(&0), Vec::<u64>::new());
+            // A range excluding zero targets its own minimum.
+            assert_eq!((10u64..100).shrink(&11), vec![10]);
+            // Signed values shrink toward zero from either side.
+            assert_eq!((-100i64..100).shrink(&-8), vec![0, -4, -6, -7]);
+            // Inclusive ranges may shrink onto their upper endpoint.
+            assert_eq!((5u64..=9).shrink(&5), Vec::<u64>::new());
+        }
+
+        #[test]
+        fn integer_shrink_finds_the_exact_boundary() {
+            // Property "value < 37" — minimal counterexample is 37, which
+            // no linear-candidate scheme finds from 999_983 in 1024 steps.
+            let strategy = 0u64..1_000_000;
+            let minimal = minimise(&strategy, 999_983, |&v| v >= 37);
+            assert_eq!(minimal, 37);
+        }
+
+        #[test]
+        fn vec_shrink_removes_elements_and_simplifies_the_rest() {
+            // Property "sum >= 10": minimal counterexample is one element
+            // of exactly 10.
+            let strategy = crate::collection::vec(0u64..100, 0..10);
+            let minimal = minimise(&strategy, vec![50, 3, 20, 7], |v: &Vec<u64>| {
+                v.iter().sum::<u64>() >= 10
+            });
+            assert_eq!(minimal, vec![10]);
+        }
+
+        #[test]
+        fn vec_shrink_respects_the_minimum_length() {
+            let strategy = crate::collection::vec(0u64..100, 3..10);
+            let minimal = minimise(&strategy, vec![9, 9, 9, 9, 9], |_| true);
+            assert_eq!(minimal.len(), 3, "shrank below the size range");
+            assert_eq!(minimal, vec![0, 0, 0]);
+        }
+
+        #[test]
+        fn tuple_shrink_simplifies_each_component_independently() {
+            // Fails iff a >= 3 AND b >= 7: both coordinates must stay
+            // above their own boundary, so the minimum is exactly (3, 7).
+            let strategy = (0u64..100, 0u64..100);
+            let minimal = minimise(&strategy, (40, 77), |&(a, b)| a >= 3 && b >= 7);
+            assert_eq!(minimal, (3, 7));
+        }
+
+        #[test]
+        fn shrink_budget_bounds_the_work() {
+            let strategy = 0u64..u64::MAX;
+            let run = |value: &u64| -> Result<(), TestCaseError> {
+                if *value >= 37 {
+                    Err(TestCaseError::fail("still failing"))
+                } else {
+                    Ok(())
+                }
+            };
+            // Zero budget: the original failing input is reported untouched.
+            let (minimal, _, steps) =
+                shrink_failure(&strategy, 1 << 40, TestCaseError::fail("seed"), 0, run);
+            assert_eq!((minimal, steps), (1 << 40, 0));
+            // A tiny budget makes partial progress, then stops: candidate 0
+            // passes (spending 1), the midpoint fails and is adopted
+            // (spending 2), and the exhausted budget ends the walk there.
+            let (minimal, _, steps) =
+                shrink_failure(&strategy, 1 << 40, TestCaseError::fail("seed"), 2, run);
+            assert_eq!(steps, 1);
+            assert_eq!(minimal, 1 << 39);
+        }
+
+        #[test]
+        fn float_shrink_moves_toward_the_range_start() {
+            let strategy = 0.0f64..1.0;
+            let candidates = strategy.shrink(&0.5);
+            assert_eq!(candidates[0], 0.0);
+            assert!(candidates[1] > 0.0 && candidates[1] < 0.5);
+            let minimal = minimise(&strategy, 0.9, |&v| v >= 0.25);
+            assert!((0.25..0.26).contains(&minimal), "minimal = {minimal}");
+        }
+    }
+
+    // The failing property below exercises shrinking end to end through
+    // the `proptest!` macro: the generated case is large, the reported
+    // minimal case must be the boundary value 5.
+    proptest! {
+        #[allow(dead_code)]
+        fn fails_above_four(x in 0u64..1_000_000) {
+            prop_assert!(x <= 4, "x was {}", x);
+        }
+    }
+
+    #[test]
+    fn macro_reports_the_shrunk_minimal_case() {
+        let result = std::panic::catch_unwind(fails_above_four);
+        let payload = result.unwrap_err();
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            message.contains("x = 5"),
+            "expected the minimal failing input x = 5 in: {message}"
+        );
+        assert!(message.contains("shrink steps"), "message: {message}");
     }
 }

@@ -10,6 +10,20 @@ pub trait Strategy {
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate *simpler* values derived from a failing `value`, ordered
+    /// simplest first. The runner re-tests candidates in order and
+    /// restarts from the first one that still fails, so a
+    /// binary-search-toward-zero candidate list converges like a binary
+    /// search (see [`crate::test_runner::shrink_failure`]).
+    ///
+    /// The default is no shrinking (combinators like `prop_map` cannot
+    /// invert their closure); integer/float ranges, tuples and the
+    /// collection strategies override it.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -36,6 +50,10 @@ impl<V> Strategy for Box<dyn Strategy<Value = V>> {
 
     fn generate(&self, rng: &mut TestRng) -> V {
         (**self).generate(rng)
+    }
+
+    fn shrink(&self, value: &V) -> Vec<V> {
+        (**self).shrink(value)
     }
 }
 
@@ -161,29 +179,100 @@ impl<V> Strategy for OneOf<V> {
 }
 
 /// A `Vec` of strategies generates element-wise (matches proptest).
-impl<S: Strategy> Strategy for Vec<S> {
+/// Shrinking simplifies one element at a time (the structure — the
+/// element count — is fixed by construction).
+impl<S: Strategy> Strategy for Vec<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
         self.iter().map(|strategy| strategy.generate(rng)).collect()
     }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut candidates = Vec::new();
+        for (index, strategy) in self.iter().enumerate() {
+            for candidate in strategy.shrink(&value[index]).into_iter().take(4) {
+                let mut copy = value.clone();
+                copy[index] = candidate;
+                candidates.push(copy);
+            }
+        }
+        candidates
+    }
+}
+
+/// The empty strategy tuple: generates `()` (a `proptest!` block with no
+/// arguments) and never shrinks.
+impl Strategy for () {
+    type Value = ();
+
+    fn generate(&self, _rng: &mut TestRng) -> Self::Value {}
 }
 
 macro_rules! impl_tuple_strategy {
     ($(($($name:ident : $idx:tt),+))*) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
 
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
             }
+
+            /// Component-wise shrinking: every candidate simplifies one
+            /// position and keeps the rest of the failing tuple intact.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut candidates = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut copy = value.clone();
+                        copy.$idx = candidate;
+                        candidates.push(copy);
+                    }
+                )+
+                candidates
+            }
         }
     )*};
 }
 impl_tuple_strategy! {
+    (A: 0)
     (A: 0, B: 1)
     (A: 0, B: 1, C: 2)
     (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9)
+}
+
+/// Shared integer shrink walk: the in-range value closest to zero first
+/// (the biggest simplification), then midpoints binary-searching from
+/// that target back toward the failing `value`. Adopting the first
+/// still-failing candidate and re-shrinking therefore converges to the
+/// smallest failing value in O(log |value|) rounds.
+fn shrink_integer(value: i128, min: i128, max: i128) -> Vec<i128> {
+    let target = 0i128.clamp(min, max);
+    if value == target {
+        return Vec::new();
+    }
+    let mut candidates = vec![target];
+    let mut delta = value - target;
+    loop {
+        delta /= 2;
+        if delta == 0 {
+            break;
+        }
+        candidates.push(value - delta);
+    }
+    candidates
 }
 
 macro_rules! impl_int_range_strategy {
@@ -197,6 +286,13 @@ macro_rules! impl_int_range_strategy {
                 let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
                 ((self.start as i128) + (wide % span) as i128) as $ty
             }
+
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                shrink_integer(*value as i128, self.start as i128, self.end as i128 - 1)
+                    .into_iter()
+                    .map(|candidate| candidate as $ty)
+                    .collect()
+            }
         }
 
         impl Strategy for std::ops::RangeInclusive<$ty> {
@@ -208,6 +304,13 @@ macro_rules! impl_int_range_strategy {
                 let span = (end as u128) - (start as u128) + 1;
                 let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
                 ((start as i128) + (wide % span) as i128) as $ty
+            }
+
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                shrink_integer(*value as i128, *self.start() as i128, *self.end() as i128)
+                    .into_iter()
+                    .map(|candidate| candidate as $ty)
+                    .collect()
             }
         }
     )*};
@@ -222,6 +325,36 @@ macro_rules! impl_float_range_strategy {
             fn generate(&self, rng: &mut TestRng) -> $ty {
                 assert!(self.start < self.end, "empty range strategy");
                 self.start + (rng.next_f64() as $ty) * (self.end - self.start)
+            }
+
+            /// Floats shrink toward the range start with the same
+            /// halving walk as integers (start first, then midpoints
+            /// approaching the failing value). Unlike integers the walk
+            /// has no exact fixed point at a failure boundary, so it is
+            /// cut off after 32 halvings per round; convergence is then
+            /// bounded by the runner's shrink budget.
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                // `matches!` on partial_cmp (not `<=`) so NaN values
+                // shrink to nothing instead of to garbage.
+                let above_start = matches!(
+                    value.partial_cmp(&self.start),
+                    Some(::std::cmp::Ordering::Greater)
+                );
+                if !above_start {
+                    return Vec::new();
+                }
+                let mut candidates = vec![self.start];
+                let mut delta = *value - self.start;
+                for _ in 0..32 {
+                    delta /= 2.0;
+                    let candidate = *value - delta;
+                    let between = candidate > self.start && candidate < *value;
+                    if !between {
+                        break;
+                    }
+                    candidates.push(candidate);
+                }
+                candidates
             }
         }
     )*};

@@ -1,5 +1,7 @@
-//! Test configuration, case errors and the deterministic generation RNG.
+//! Test configuration, case errors, the deterministic generation RNG and
+//! the shrinking driver.
 
+use crate::strategy::Strategy;
 use std::fmt;
 
 /// Configuration of one `proptest!` test.
@@ -7,19 +9,85 @@ use std::fmt;
 pub struct ProptestConfig {
     /// Number of generated cases per test.
     pub cases: u32,
+    /// Upper bound on candidate re-executions while shrinking a failing
+    /// case (the equivalent of real proptest's `max_shrink_iters`).
+    pub max_shrink_iters: u32,
 }
 
 impl ProptestConfig {
     /// Config running `cases` generated inputs per test.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+        }
     }
+}
+
+/// Ties a test-body closure's argument type to `strategy`'s value type so
+/// the `proptest!` macro can define the closure before the first
+/// generated input exists (plain closure inference cannot see across the
+/// macro's generation loop). Identity on `run`.
+pub fn bind_runner<S, F>(strategy: &S, run: F) -> F
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    let _ = strategy;
+    run
+}
+
+/// Shrinks a failing input to a (locally) minimal one: repeatedly asks the
+/// strategy for simpler candidates ([`Strategy::shrink`], simplest first),
+/// adopts the first candidate that **still fails**, and restarts from it;
+/// stops at a fixed point (no candidate fails) or when `max_iters`
+/// candidate executions are spent.
+///
+/// Returns the minimal failing input, the error it produced, and the
+/// number of adopted shrink steps.
+pub fn shrink_failure<S, F>(
+    strategy: &S,
+    initial: S::Value,
+    initial_error: TestCaseError,
+    max_iters: u32,
+    run: F,
+) -> (S::Value, TestCaseError, usize)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    let mut current = initial;
+    let mut error = initial_error;
+    let mut steps = 0usize;
+    let mut budget = max_iters;
+    'outer: while budget > 0 {
+        for candidate in strategy.shrink(&current) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let Err(candidate_error) = run(&candidate) {
+                current = candidate;
+                error = candidate_error;
+                steps += 1;
+                // Restart: ask the strategy to simplify the new, smaller
+                // failure (binary descent).
+                continue 'outer;
+            }
+        }
+        // Fixed point: every simpler candidate passes.
+        break;
+    }
+    (current, error, steps)
 }
 
 /// A failed property-test case.

@@ -48,10 +48,10 @@ impl<'data, T: Sync> ParIter<'data, T> {
         }
     }
 
-    /// Maps every item through `f` with per-worker state created by `init`
-    /// (rayon's `map_init`): the state is created once per worker thread
-    /// and reused across that worker's items — the idiom for reusable
-    /// scratch buffers.
+    /// Maps every item through `f` with per-task state created by `init`
+    /// (rayon's `map_init`): the state is created once per runner task on
+    /// the work-stealing pool and reused across that task's items — the
+    /// idiom for reusable scratch buffers.
     pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> ParMapInit<'data, T, INIT, F>
     where
         R: Send,

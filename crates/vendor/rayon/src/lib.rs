@@ -1,45 +1,58 @@
 //! Minimal vendored `rayon` for the offline build environment.
 //!
-//! Provides the ordered data-parallel subset the workspace uses:
-//! `slice.par_iter().map(f).collect::<Vec<_>>()` and rayon's
-//! `map_init(init, f)` for per-worker scratch state. Work is distributed
-//! dynamically — workers pull the next item index from a shared atomic
-//! counter, which gives the same tail-latency behaviour as work stealing
-//! for slice-shaped workloads — and results are always returned in input
-//! order, so parallel runs are bit-identical to sequential ones.
+//! Provides the subset of the rayon surface the workspace uses, all on
+//! top of one **persistent work-stealing pool** ([`pool`]):
 //!
-//! The pool is scoped (no global state): threads are spawned per call via
-//! `std::thread::scope` and bounded by `RAYON_NUM_THREADS` or the available
-//! parallelism. Item counts below [`MIN_PARALLEL_LEN`] run inline.
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()` and rayon's
+//!   `map_init(init, f)` for per-task scratch state — ordered parallel
+//!   slice maps ([`iter`]);
+//! * [`join`] — two potentially-parallel closures with
+//!   steal-while-blocked waiting;
+//! * [`scope`] — spawn borrowed closures, all joined before return.
+//!
+//! The pool is created lazily on first use and lives for the process:
+//! worker threads (count from `SOCTEST_THREADS`, then
+//! `RAYON_NUM_THREADS`, then the available parallelism) park when idle,
+//! so the thread-spawn cost is paid once instead of per call, and the
+//! many small optimizer runs of a parameter sweep amortise onto warm
+//! threads. Because blocked primitives keep executing queued work,
+//! parallelism **nests**: a parallel batch of requests whose sweeps run
+//! parallel maps over points which build table rows in parallel all
+//! shares the same fixed set of workers without oversubscription.
+//!
+//! Results are always returned in input order and both `join` branches
+//! complete before it returns, so parallel runs are bit-identical to
+//! sequential ones at any thread count — the property the scheduler
+//! stress tests in `crates/multisite/tests/` pin down.
+//!
+//! Item counts below [`MIN_PARALLEL_LEN`] (and every call on a
+//! single-thread pool) run inline on the calling thread.
 
-#![forbid(unsafe_code)]
-
-use std::sync::atomic::{AtomicUsize, Ordering};
+#![deny(unsafe_code)] // `pool` opts back in locally, with documented invariants
 
 pub mod iter;
+pub mod pool;
+
+pub use pool::{join, scope, Scope};
 
 /// The most commonly used items, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::iter::IntoParallelRefIterator;
 }
 
-/// Below this many items the overhead of spawning beats the parallelism and
-/// the map runs inline on the calling thread.
+/// Below this many items the overhead of task dispatch beats the
+/// parallelism and the map runs inline on the calling thread.
 pub const MIN_PARALLEL_LEN: usize = 2;
 
-/// Number of worker threads a parallel call may use.
+/// Number of threads in the pool (workers; `1` means everything runs
+/// inline on calling threads). Configured once, at pool creation, from
+/// `SOCTEST_THREADS`, then `RAYON_NUM_THREADS`, then the available
+/// parallelism.
 pub fn current_num_threads() -> usize {
-    if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
-        if let Ok(n) = value.trim().parse::<usize>() {
-            return n.max(1);
-        }
-    }
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    pool::Registry::global().num_threads()
 }
 
-/// Maps `f` over `items` with per-worker state from `init`, preserving
+/// Maps `f` over `items` with per-task state from `init`, preserving
 /// input order. Used by the iterator adapters; callable directly for
 /// scratch-buffer workloads.
 pub fn par_map_init<'data, T, S, R, INIT, F>(items: &'data [T], init: INIT, f: F) -> Vec<R>
@@ -52,12 +65,15 @@ where
     par_map_init_threads(items, init, f, current_num_threads())
 }
 
-/// [`par_map_init`] with an explicit worker-thread cap (exposed for tests).
+/// [`par_map_init`] with an explicit parallelism cap: at most
+/// `max_tasks` concurrent runner tasks share the items (exposed for the
+/// thread-count determinism tests and for callers that bound their own
+/// fan-out, like the engine's pool policy).
 pub fn par_map_init_threads<'data, T, S, R, INIT, F>(
     items: &'data [T],
     init: INIT,
     f: F,
-    max_threads: usize,
+    max_tasks: usize,
 ) -> Vec<R>
 where
     T: Sync,
@@ -65,47 +81,7 @@ where
     INIT: Fn() -> S + Sync,
     F: Fn(&mut S, &'data T) -> R + Sync,
 {
-    let len = items.len();
-    let threads = max_threads.max(1).min(len);
-    if threads <= 1 || len < MIN_PARALLEL_LEN {
-        let mut state = init();
-        return items.iter().map(|item| f(&mut state, item)).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let shards: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut state = init();
-                    let mut local = Vec::new();
-                    loop {
-                        let index = next.fetch_add(1, Ordering::Relaxed);
-                        if index >= len {
-                            break;
-                        }
-                        local.push((index, f(&mut state, &items[index])));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|handle| handle.join().expect("rayon worker panicked"))
-            .collect()
-    });
-
-    // Restore input order.
-    let mut out: Vec<Option<R>> = (0..len).map(|_| None).collect();
-    for shard in shards {
-        for (index, value) in shard {
-            out[index] = Some(value);
-        }
-    }
-    out.into_iter()
-        .map(|slot| slot.expect("every index produced"))
-        .collect()
+    pool::par_map_init_threads(items, init, f, max_tasks)
 }
 
 #[cfg(test)]
@@ -130,7 +106,7 @@ mod tests {
     }
 
     #[test]
-    fn map_init_reuses_state_per_worker() {
+    fn map_init_reuses_state_per_task() {
         let inits = AtomicUsize::new(0);
         let items: Vec<u64> = (0..256).collect();
         let out = super::par_map_init_threads(
@@ -147,7 +123,7 @@ mod tests {
             4,
         );
         assert_eq!(out, items);
-        // One init per worker, not per item.
+        // One init per runner task, not per item.
         assert!(inits.load(Ordering::SeqCst) <= 4);
     }
 
@@ -172,5 +148,20 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn repeated_calls_reuse_the_persistent_pool() {
+        // The pool is global: many small maps back to back must not spawn
+        // threads per call. Observable effect: the set of worker thread
+        // ids across calls is bounded by the pool size (plus the caller).
+        let mut ids = HashSet::new();
+        for _ in 0..20 {
+            let items: Vec<u64> = (0..64).collect();
+            let round: Vec<_> =
+                super::par_map_init_threads(&items, || (), |(), _| std::thread::current().id(), 8);
+            ids.extend(round);
+        }
+        assert!(ids.len() <= super::current_num_threads() + 1);
     }
 }

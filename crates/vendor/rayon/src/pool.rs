@@ -1,0 +1,924 @@
+//! The persistent work-stealing pool behind every parallel primitive in
+//! this vendored rayon.
+//!
+//! # Architecture
+//!
+//! One global `Registry` is created lazily on first use and lives for
+//! the rest of the process. It owns `N` worker threads (`N` from
+//! `SOCTEST_THREADS`, then `RAYON_NUM_THREADS`, then the available
+//! parallelism; `N == 1` means no workers and every primitive runs
+//! inline). Each worker has its own deque: the owner pushes and pops at
+//! the **back** (LIFO, so recursive splits run cache-hot and
+//! depth-first), thieves and the worker's neighbours take from the
+//! **front** (FIFO, so the oldest — typically largest — subtree is
+//! stolen). Jobs arriving from threads outside the pool land in a shared
+//! injector queue that every worker (and every externally blocked caller)
+//! drains.
+//!
+//! The public primitives are:
+//!
+//! * [`join`] — run two closures, potentially in parallel; the calling
+//!   worker pushes the second closure onto its own deque, runs the first,
+//!   then reclaims the second (pop-back) or, if it was stolen, **keeps
+//!   executing other stolen work** while it waits for the thief. This is
+//!   what makes nested parallelism composable: a blocked `join` never
+//!   idles a core.
+//! * [`scope`] — spawn any number of closures that may borrow from the
+//!   caller's stack; the scope does not return until all of them (and
+//!   everything they spawned) completed.
+//! * [`crate::par_map_init`] — the ordered slice map the workspace uses,
+//!   implemented as `scope` + worker-count runner tasks pulling item
+//!   indexes from a shared atomic counter. Results are reassembled in
+//!   input order, so parallel maps are bit-identical to sequential ones
+//!   at any thread count, under any steal schedule.
+//!
+//! # Determinism
+//!
+//! Scheduling is non-deterministic; *results* are not. Every primitive
+//! either returns results in input order (`par_map_init`) or joins both
+//! branches before returning (`join`, `scope`), so no caller can observe
+//! the steal order. The scheduler stress tests
+//! (`crates/multisite/tests/sweep_determinism.rs` and
+//! `engine_equivalence.rs`) assert bit-identical optimizer results across
+//! thread counts 1, 2 and N and across repeated runs.
+//!
+//! # Panics
+//!
+//! A panic inside a job is caught on the executing worker, carried back,
+//! and resumed on the thread that called `join`/`scope`/`par_map_init`
+//! with the original payload — workers themselves never unwind.
+//!
+//! # Safety
+//!
+//! This is the one module in the workspace that uses `unsafe`. Jobs
+//! borrow the caller's stack but outlive the borrow checker's view of it,
+//! so they are passed around as type-erased `JobRef` raw pointers. The
+//! invariant that makes every `unsafe` block sound is the same one real
+//! rayon relies on:
+//!
+//! > A primitive that publishes a `JobRef` referring to its own stack
+//! > frame (or to a heap job borrowing caller data) **does not return
+//! > until that job has completed** — on success *and* on panic.
+//!
+//! `join` always resolves its stack job before resuming any panic, and
+//! `scope` always waits for its pending-counter to reach zero, so no
+//! published pointer ever dangles. Each queue hands a popped `JobRef` to
+//! exactly one thread, which gives unique execution ownership.
+
+#![allow(unsafe_code)]
+
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+// ------------------------------------------------------------------ jobs --
+
+/// A type-erased pointer to a pending job plus the monomorphised function
+/// that executes it. The pool's queues only ever hold these.
+pub(crate) struct JobRef {
+    pointer: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// SAFETY: a `JobRef` is a unique claim ticket for one pending job. The
+// job data it points to is kept alive by the publishing primitive until
+// the job completes (see the module-level invariant), and each ticket is
+// executed by exactly one thread (whichever pops it), so sending the raw
+// pointer across threads is sound.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Runs the job.
+    ///
+    /// # Safety
+    ///
+    /// Must be called at most once per published `JobRef`, while the
+    /// underlying job data is still alive (guaranteed by the module-level
+    /// invariant).
+    unsafe fn execute(self) {
+        (self.execute_fn)(self.pointer);
+    }
+}
+
+/// A job allocated on the publishing caller's stack (used by [`join`]).
+/// The caller blocks until [`StackJob::completed`], so the pointee never
+/// outlives the frame it sits in.
+struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    done: AtomicBool,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R,
+{
+    fn new(func: F) -> Self {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    /// Erases this job into a queueable [`JobRef`].
+    ///
+    /// # Safety
+    ///
+    /// The caller must keep `self` alive and in place until
+    /// [`StackJob::completed`] returns `true`.
+    unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            pointer: (self as *const Self).cast(),
+            execute_fn: Self::execute_erased,
+        }
+    }
+
+    /// # Safety
+    ///
+    /// `pointer` must come from [`StackJob::as_job_ref`] on a still-live
+    /// job, and this must be the only execution of that job.
+    unsafe fn execute_erased(pointer: *const ()) {
+        let this = &*pointer.cast::<Self>();
+        let func = (*this.func.get()).take().expect("stack job executed twice");
+        let result = catch_unwind(AssertUnwindSafe(func));
+        *this.result.get() = Some(result);
+        // Publish the result before raising the flag; `Ordering::SeqCst`
+        // pairs with the `completed` load on the waiting thread.
+        this.done.store(true, Ordering::SeqCst);
+        Registry::global().notify();
+    }
+
+    fn completed(&self) -> bool {
+        self.done.load(Ordering::SeqCst)
+    }
+
+    /// The job's return value; resumes the job's panic if it panicked.
+    /// Only called after [`StackJob::completed`] returned `true`.
+    fn into_result(self) -> R {
+        match self
+            .result
+            .into_inner()
+            .expect("completed stack job has a result")
+        {
+            Ok(value) => value,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+/// A heap-allocated job (used by [`Scope::spawn`], where the number of
+/// jobs is unbounded and the closure must leave the spawning frame).
+struct HeapJob<F> {
+    func: F,
+}
+
+impl<F> HeapJob<F>
+where
+    F: FnOnce() + Send,
+{
+    /// Erases this boxed job into a queueable [`JobRef`], transferring
+    /// ownership of the allocation to the eventual executor.
+    ///
+    /// # Safety
+    ///
+    /// `F` may borrow non-`'static` data; the publisher (the scope) must
+    /// not return until the job ran. The returned `JobRef` must be
+    /// executed exactly once or the allocation leaks.
+    unsafe fn into_job_ref(self: Box<Self>) -> JobRef {
+        JobRef {
+            pointer: Box::into_raw(self).cast_const().cast(),
+            execute_fn: Self::execute_erased,
+        }
+    }
+
+    /// # Safety
+    ///
+    /// `pointer` must come from [`HeapJob::into_job_ref`] and this must be
+    /// its only execution (re-materialising the `Box` frees it afterwards).
+    unsafe fn execute_erased(pointer: *const ()) {
+        let job = Box::from_raw(pointer.cast::<Self>().cast_mut());
+        (job.func)();
+    }
+}
+
+// -------------------------------------------------------------- registry --
+
+thread_local! {
+    /// Worker index on pool threads, `None` on external threads.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn current_worker_index() -> Option<usize> {
+    WORKER_INDEX.with(Cell::get)
+}
+
+/// Thread count configured for the pool: `SOCTEST_THREADS`, then rayon's
+/// own `RAYON_NUM_THREADS`, then the machine's available parallelism.
+fn configured_threads() -> usize {
+    for variable in ["SOCTEST_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(value) = std::env::var(variable) {
+            if let Ok(parsed) = value.trim().parse::<usize>() {
+                return parsed.max(1);
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The global worker registry: queues, sleep machinery and pool size.
+pub(crate) struct Registry {
+    /// One stealable deque per worker. The owner pushes/pops at the back,
+    /// thieves pop at the front. A `Mutex<VecDeque>` instead of a
+    /// lock-free Chase-Lev deque: job granularity here is an optimizer
+    /// run or a table row, so queue operations are nowhere near the hot
+    /// path, and the mutex keeps the unsafe surface confined to job
+    /// lifetime erasure.
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    /// Externally submitted jobs, drained FIFO by idle workers and by
+    /// externally blocked callers.
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Bumped on every enqueue and every job completion; the guard that
+    /// makes sleeping race-free (see [`Registry::sleep`]).
+    events: AtomicU64,
+    sleep_lock: Mutex<()>,
+    sleep_cond: Condvar,
+    /// Configured pool size (`>= 1`); `1` means "no workers, run inline".
+    num_threads: usize,
+}
+
+static REGISTRY: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// Worker stack reservation. Helping while blocked nests executed jobs on
+/// the worker's stack, so the bound on pool recursion depth is this
+/// reservation, not the 2 MiB thread default.
+const WORKER_STACK_BYTES: usize = 64 * 1024 * 1024;
+
+impl Registry {
+    /// The lazily-created global registry. The first call spawns the
+    /// worker threads; they park when idle and live until process exit.
+    pub(crate) fn global() -> &'static Arc<Registry> {
+        REGISTRY.get_or_init(|| {
+            let num_threads = configured_threads();
+            let num_workers = if num_threads <= 1 { 0 } else { num_threads };
+            let registry = Arc::new(Registry {
+                deques: (0..num_workers)
+                    .map(|_| Mutex::new(VecDeque::new()))
+                    .collect(),
+                injector: Mutex::new(VecDeque::new()),
+                events: AtomicU64::new(0),
+                sleep_lock: Mutex::new(()),
+                sleep_cond: Condvar::new(),
+                num_threads,
+            });
+            for index in 0..num_workers {
+                let registry = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("soctest-rayon-{index}"))
+                    // Steal-while-blocked stacks helped jobs on the
+                    // waiting worker's own stack (as in real rayon), so
+                    // deep fork-join recursion needs headroom. The pages
+                    // are committed lazily — a large reservation costs
+                    // address space, not memory.
+                    .stack_size(WORKER_STACK_BYTES)
+                    .spawn(move || worker_main(&registry, index))
+                    .expect("spawn pool worker thread");
+            }
+            registry
+        })
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    fn num_workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    fn lock_deque(&self, index: usize) -> std::sync::MutexGuard<'_, VecDeque<JobRef>> {
+        self.deques[index].lock().expect("pool deque poisoned")
+    }
+
+    /// Queues a job from the current thread: onto the calling worker's own
+    /// deque (LIFO end) when on a pool thread, into the injector otherwise.
+    fn push_from_current(&self, job: JobRef) {
+        match current_worker_index() {
+            Some(index) => self.lock_deque(index).push_back(job),
+            None => self
+                .injector
+                .lock()
+                .expect("pool injector poisoned")
+                .push_back(job),
+        }
+        self.notify();
+    }
+
+    /// Pops the back of the calling worker's own deque if (and only if)
+    /// it is the job published as `pointer` — the "was my join job
+    /// stolen?" check. Returns `None` on external threads.
+    fn pop_if_back(&self, pointer: *const ()) -> Option<JobRef> {
+        let index = current_worker_index()?;
+        let mut deque = self.lock_deque(index);
+        if deque.back().is_some_and(|job| job.pointer == pointer) {
+            deque.pop_back()
+        } else {
+            None
+        }
+    }
+
+    /// Finds a job for worker `index`: own deque (back), then a round-robin
+    /// steal sweep over the other workers (front), then the injector.
+    fn find_work(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = self.lock_deque(index).pop_back() {
+            return Some(job);
+        }
+        let workers = self.num_workers();
+        for offset in 1..workers {
+            let victim = (index + offset) % workers;
+            if let Some(job) = self.lock_deque(victim).pop_front() {
+                return Some(job);
+            }
+        }
+        self.pop_injected()
+    }
+
+    fn pop_injected(&self) -> Option<JobRef> {
+        self.injector
+            .lock()
+            .expect("pool injector poisoned")
+            .pop_front()
+    }
+
+    /// Wakes every sleeping thread. Called after each enqueue and each
+    /// completion event.
+    fn notify(&self) {
+        self.events.fetch_add(1, Ordering::SeqCst);
+        // Taking the sleep lock orders this notification against any
+        // sleeper that re-checked `events` and is about to wait: either it
+        // sees the bumped counter, or it is already waiting and receives
+        // the wakeup.
+        let _guard = self.sleep_lock.lock().expect("pool sleep lock poisoned");
+        self.sleep_cond.notify_all();
+    }
+
+    /// Blocks until [`Registry::notify`], unless an event happened since
+    /// the caller captured `seen` (which must be read **before** the
+    /// caller last looked for work / probed its latch — that ordering is
+    /// what makes the sleep race-free). The timeout is a belt-and-braces
+    /// backstop, not a correctness requirement.
+    fn sleep(&self, seen: u64) {
+        let guard = self.sleep_lock.lock().expect("pool sleep lock poisoned");
+        if self.events.load(Ordering::SeqCst) != seen {
+            return;
+        }
+        let _ = self
+            .sleep_cond
+            .wait_timeout(guard, Duration::from_millis(100))
+            .expect("pool sleep lock poisoned");
+    }
+
+    /// Blocks the current thread until `done()` — **helping** while it
+    /// waits: a worker keeps executing its own and stolen jobs, an
+    /// external thread drains the injector. This is the "steal while
+    /// blocked" half of the work-stealing contract; no thread waiting on
+    /// a latch ever idles a core that still has work queued.
+    pub(crate) fn wait_until(&self, done: &(dyn Fn() -> bool + '_)) {
+        let worker = current_worker_index();
+        loop {
+            let seen = self.events.load(Ordering::SeqCst);
+            if done() {
+                return;
+            }
+            let job = match worker {
+                Some(index) => self.find_work(index),
+                None => self.pop_injected(),
+            };
+            match job {
+                // SAFETY: popping gave us unique execution ownership and
+                // the publisher keeps the job alive until it completes.
+                Some(job) => unsafe { job.execute() },
+                None => self.sleep(seen),
+            }
+        }
+    }
+}
+
+/// A pool worker's main loop: execute, steal, or sleep; forever.
+fn worker_main(registry: &Registry, index: usize) {
+    WORKER_INDEX.with(|slot| slot.set(Some(index)));
+    loop {
+        let seen = registry.events.load(Ordering::SeqCst);
+        match registry.find_work(index) {
+            // SAFETY: as in `wait_until` — pop grants unique execution
+            // ownership of a still-live job.
+            Some(job) => unsafe { job.execute() },
+            None => registry.sleep(seen),
+        }
+    }
+}
+
+// ------------------------------------------------------------------ join --
+
+/// Runs `a` and `b`, potentially in parallel, and returns both results.
+///
+/// The second closure is published to the pool while the calling thread
+/// runs the first; if nobody stole it the caller reclaims and runs it
+/// inline (so an idle machine pays only two deque operations), and if it
+/// *was* stolen the caller executes other queued work while waiting for
+/// the thief. `join` calls nest freely — recursion is how the slice maps
+/// split — and run inline when the pool is sized to a single thread.
+///
+/// # Panics
+///
+/// Propagates the first panic of either closure (with its original
+/// payload) after **both** closures finished, exactly like real rayon.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let registry = Registry::global();
+    if registry.num_workers() == 0 {
+        // Inline mode keeps the pool contract: both closures complete
+        // before the first panic (if any) resumes.
+        let result_a = catch_unwind(AssertUnwindSafe(a));
+        let result_b = catch_unwind(AssertUnwindSafe(b));
+        return match (result_a, result_b) {
+            (Ok(result_a), Ok(result_b)) => (result_a, result_b),
+            (Err(payload), _) | (Ok(_), Err(payload)) => resume_unwind(payload),
+        };
+    }
+    let job_b = StackJob::new(b);
+    // SAFETY: `job_b` lives on this frame, and this function does not
+    // return (or unwind) before the job completed — see below.
+    let job_ref = unsafe { job_b.as_job_ref() };
+    let b_pointer = job_ref.pointer;
+    registry.push_from_current(job_ref);
+
+    // Run `a` catching its panic: even if it unwinds we must resolve `b`
+    // first, because `job_b` sits on this very stack frame.
+    let result_a = catch_unwind(AssertUnwindSafe(a));
+
+    if !job_b.completed() {
+        if let Some(reclaimed) = registry.pop_if_back(b_pointer) {
+            // Nobody stole it: run it right here, LIFO, cache-hot.
+            // SAFETY: reclaimed from our own deque — unique ownership.
+            unsafe { reclaimed.execute() };
+        } else {
+            // A thief has it (or an external waiter picked it from the
+            // injector): help with other work until it reports done.
+            registry.wait_until(&|| job_b.completed());
+        }
+    }
+
+    match result_a {
+        Err(payload) => resume_unwind(payload),
+        Ok(result_a) => (result_a, job_b.into_result()),
+    }
+}
+
+// ----------------------------------------------------------------- scope --
+
+/// A scope in which closures borrowing the caller's stack can be spawned
+/// onto the pool. Created by [`scope`]; all spawned work completes before
+/// `scope` returns.
+pub struct Scope<'scope> {
+    /// Spawned-but-unfinished jobs, plus one guard token held by the scope
+    /// body itself so the count cannot touch zero early.
+    pending: AtomicUsize,
+    /// First panic payload raised by a spawned job.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    /// Invariant over `'scope` (the closures' borrow region).
+    marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+/// A raw scope pointer that may ride inside a spawned closure.
+struct ScopePointer(*const ());
+
+// SAFETY: the pointee is a `Scope` (atomics + mutex — shareable state),
+// kept alive by `scope()` until every spawned job finished.
+unsafe impl Send for ScopePointer {}
+
+impl ScopePointer {
+    /// Accessor (rather than a field read) so closures capture the `Send`
+    /// wrapper itself, not the raw pointer inside it — edition-2021
+    /// closures capture disjoint fields.
+    fn get(&self) -> *const () {
+        self.0
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `f` onto the pool. The closure may borrow anything that
+    /// outlives the scope and may itself spawn further work (it receives
+    /// the scope again). Panics are captured and re-raised by [`scope`].
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let scope_pointer = ScopePointer((self as *const Scope<'scope>).cast());
+        let job = Box::new(HeapJob {
+            func: move || {
+                // SAFETY: `scope()` blocks until `pending` hits zero, so
+                // the scope outlives this job; re-borrowing it here (and
+                // re-attaching the `'scope` lifetime) is sound.
+                let scope = unsafe { &*scope_pointer.get().cast::<Scope<'scope>>() };
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(scope))) {
+                    let mut slot = scope.panic.lock().expect("scope panic slot poisoned");
+                    slot.get_or_insert(payload);
+                }
+                scope.complete_one();
+            },
+        });
+        // SAFETY: the closure borrows `'scope` data, and the publishing
+        // `scope()` call does not return before the job ran (the pending
+        // counter it just incremented gates the return).
+        let job_ref = unsafe { job.into_job_ref() };
+        Registry::global().push_from_current(job_ref);
+    }
+
+    fn complete_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            Registry::global().notify();
+        }
+    }
+}
+
+impl std::fmt::Debug for Scope<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope")
+            .field("pending", &self.pending.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+/// Creates a [`Scope`] for spawning borrowed work onto the pool and waits
+/// for **all** of it (transitively) before returning — while helping: the
+/// calling thread executes queued jobs instead of blocking idle, so
+/// `scope` composes under nesting exactly like [`join`].
+///
+/// With a single-thread pool the spawned closures simply run on the
+/// calling thread during the wait, in spawn order — same results, no
+/// worker threads involved.
+///
+/// # Panics
+///
+/// Propagates a panic from `op` itself, or the first captured panic of a
+/// spawned closure — always *after* every spawned job finished.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let scope = Scope {
+        pending: AtomicUsize::new(1),
+        panic: Mutex::new(None),
+        marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    // Release the scope body's guard token and wait for the spawned jobs.
+    scope.complete_one();
+    Registry::global().wait_until(&|| scope.pending.load(Ordering::SeqCst) == 0);
+    match result {
+        Err(payload) => resume_unwind(payload),
+        Ok(value) => {
+            let captured = scope
+                .panic
+                .lock()
+                .expect("scope panic slot poisoned")
+                .take();
+            match captured {
+                Some(payload) => resume_unwind(payload),
+                None => value,
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- par map --
+
+/// [`crate::par_map_init`] with an explicit parallelism cap: the ordered
+/// slice map, as `min(max_tasks, len)` runner tasks on the pool pulling
+/// item indexes from a shared counter (dynamic load balancing — the same
+/// tail-latency behaviour as per-item stealing, without per-item queue
+/// traffic). The caller runs one runner itself; results are reassembled
+/// in input order.
+pub(crate) fn par_map_init_threads<'data, T, S, R, INIT, F>(
+    items: &'data [T],
+    init: INIT,
+    f: F,
+    max_tasks: usize,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, &'data T) -> R + Sync,
+{
+    let len = items.len();
+    let tasks = max_tasks.max(1).min(len);
+    if tasks <= 1 || len < crate::MIN_PARALLEL_LEN || Registry::global().num_workers() == 0 {
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let shards: Mutex<Vec<Vec<(usize, R)>>> = Mutex::new(Vec::with_capacity(tasks));
+    let runner = || {
+        let mut state = init();
+        let mut local = Vec::new();
+        loop {
+            let index = next.fetch_add(1, Ordering::SeqCst);
+            if index >= len {
+                break;
+            }
+            local.push((index, f(&mut state, &items[index])));
+        }
+        if !local.is_empty() {
+            shards.lock().expect("par_map shards poisoned").push(local);
+        }
+    };
+    scope(|s| {
+        for _ in 1..tasks {
+            s.spawn(|_| runner());
+        }
+        runner();
+    });
+
+    // Restore input order.
+    let mut out: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    for shard in shards.into_inner().expect("par_map shards poisoned") {
+        for (index, value) in shard {
+            out[index] = Some(value);
+        }
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every index produced"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    // ---- join ----------------------------------------------------------
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 6 * 7, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_recursion_splits_to_the_bottom() {
+        // A full binary splitting of a slice sum — the canonical rayon
+        // workload shape: ~512 leaf joins, ~9 levels deep.
+        fn sum(values: &[u64]) -> u64 {
+            if values.len() <= 32 {
+                return values.iter().sum();
+            }
+            let (left, right) = values.split_at(values.len() / 2);
+            let (l, r) = join(|| sum(left), || sum(right));
+            l + r
+        }
+        let values: Vec<u64> = (0..16_384).collect();
+        assert_eq!(sum(&values), 16_383 * 16_384 / 2);
+    }
+
+    #[test]
+    fn join_supports_deep_linear_recursion() {
+        // 600 nested joins on one branch: exercises the LIFO reclaim path
+        // and bounded stack growth under steal-waiting.
+        fn deep(n: u64) -> u64 {
+            if n == 0 {
+                return 0;
+            }
+            let (rest, one) = join(|| deep(n - 1), || 1u64);
+            rest + one
+        }
+        assert_eq!(deep(600), 600);
+    }
+
+    #[test]
+    fn join_propagates_a_panic_from_the_first_closure() {
+        let result = std::panic::catch_unwind(|| join(|| panic!("left boom"), || 1));
+        let payload = result.unwrap_err();
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "left boom");
+    }
+
+    #[test]
+    fn join_propagates_a_panic_from_the_second_closure() {
+        let result = std::panic::catch_unwind(|| join(|| 1, || panic!("right boom")));
+        let payload = result.unwrap_err();
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "right boom");
+    }
+
+    #[test]
+    fn join_completes_both_sides_even_when_one_panics() {
+        // The surviving side must have fully run before the panic resumes
+        // (its stack job lives in the unwinding frame).
+        let completed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(|| {
+            join(
+                || panic!("boom"),
+                || {
+                    completed.fetch_add(1, Ordering::SeqCst);
+                },
+            )
+        });
+        assert!(result.is_err());
+        assert_eq!(completed.load(Ordering::SeqCst), 1);
+    }
+
+    // ---- scope ---------------------------------------------------------
+
+    #[test]
+    fn scope_runs_every_spawn_before_returning() {
+        // Lifetime safety: the closures borrow `counter` and `values`
+        // from this frame; the scope must not return while any of them
+        // could still touch that memory.
+        let counter = AtomicUsize::new(0);
+        let values: Vec<usize> = (0..100).collect();
+        scope(|s| {
+            for chunk in values.chunks(7) {
+                s.spawn(|_| {
+                    counter.fetch_add(chunk.iter().sum::<usize>(), Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn scope_spawns_can_nest() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|inner| {
+                    inner.spawn(|_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn scope_propagates_a_spawned_panic_after_draining() {
+        let finished = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("spawn boom"));
+                for _ in 0..8 {
+                    s.spawn(|_| {
+                        finished.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        });
+        let payload = result.unwrap_err();
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "spawn boom");
+        // Every sibling ran to completion before the panic resumed.
+        assert_eq!(finished.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn scope_propagates_a_panic_from_the_body_itself() {
+        let finished = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(|| {
+            scope(|s| {
+                s.spawn(|_| {
+                    finished.fetch_add(1, Ordering::SeqCst);
+                });
+                panic!("body boom");
+            });
+        });
+        assert!(result.is_err());
+        assert_eq!(finished.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn scope_returns_the_body_value() {
+        let value = scope(|_| 42);
+        assert_eq!(value, 42);
+    }
+
+    // ---- par_map on the pool --------------------------------------------
+
+    #[test]
+    fn par_map_is_ordered_at_every_task_cap() {
+        let items: Vec<u64> = (0..777).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for cap in [1usize, 2, 3, 8, 64] {
+            let out = par_map_init_threads(&items, || (), |(), &x| x * 3 + 1, cap);
+            assert_eq!(out, expected, "order broke at task cap {cap}");
+        }
+    }
+
+    #[test]
+    fn par_map_propagates_the_item_panic() {
+        let items: Vec<u64> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map_init_threads(
+                &items,
+                || (),
+                |(), &x| {
+                    assert!(x != 33, "item 33 is cursed");
+                    x
+                },
+                8,
+            )
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_par_maps_compose() {
+        // The shape run_batch now produces: an outer map over requests,
+        // an inner map per request — all on one pool.
+        let outer: Vec<u64> = (0..16).collect();
+        let result = par_map_init_threads(
+            &outer,
+            || (),
+            |(), &row| {
+                let inner: Vec<u64> = (0..64).map(|col| row * 64 + col).collect();
+                par_map_init_threads(&inner, || (), |(), &v| v * 2, 8)
+                    .into_iter()
+                    .sum::<u64>()
+            },
+            8,
+        );
+        let expected: Vec<u64> = (0..16u64)
+            .map(|row| (0..64u64).map(|col| (row * 64 + col) * 2).sum())
+            .collect();
+        assert_eq!(result, expected);
+    }
+
+    #[test]
+    fn work_actually_spreads_across_threads_when_the_pool_has_them() {
+        // Not a strict guarantee (a fast worker may legally take every
+        // item), so only asserted when it cannot flake: with blocking
+        // rendezvous inside the items, two tasks MUST run concurrently.
+        if Registry::global().num_workers() < 2 {
+            return; // single-threaded environment: nothing to observe
+        }
+        use std::sync::Barrier;
+        let barrier = Barrier::new(2);
+        let items = [0u64, 1];
+        let threads: Vec<_> = par_map_init_threads(
+            &items,
+            || (),
+            |(), _| {
+                barrier.wait();
+                std::thread::current().id()
+            },
+            2,
+        );
+        assert_ne!(
+            threads[0], threads[1],
+            "two rendezvous items ran on one thread"
+        );
+    }
+
+    #[test]
+    fn join_executes_stolen_work_while_blocked() {
+        // A join whose left side takes a while: the right side is either
+        // reclaimed (fine) or stolen, and in both cases every leaf runs
+        // exactly once.
+        let seen = Mutex::new(HashSet::new());
+        fn spread(range: std::ops::Range<u64>, seen: &Mutex<HashSet<u64>>) {
+            let span = range.end - range.start;
+            if span <= 4 {
+                let mut guard = seen.lock().unwrap();
+                for v in range {
+                    assert!(guard.insert(v), "leaf {v} ran twice");
+                }
+                return;
+            }
+            let mid = range.start + span / 2;
+            join(
+                || spread(range.start..mid, seen),
+                || spread(mid..range.end, seen),
+            );
+        }
+        spread(0..4096, &seen);
+        assert_eq!(seen.lock().unwrap().len(), 4096);
+    }
+}
