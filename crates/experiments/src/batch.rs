@@ -22,8 +22,7 @@ use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use soctest_ate::{AteSpec, ProbeStation, TestCell};
 use soctest_multisite::engine::{Engine, OptimizeRequest, OptimizeResponse, SweepAxis};
 use soctest_multisite::problem::OptimizerConfig;
-use soctest_soc_model::synthetic::pnx8550_like;
-use soctest_soc_model::{benchmarks, Soc};
+use soctest_soc_model::Soc;
 
 /// A batch request file: one SOC, any number of requests against it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -114,12 +113,9 @@ pub struct BatchResponseFile {
 ///
 /// Returns a human-readable message for unknown names.
 pub fn resolve_soc(name: &str) -> Result<Soc, String> {
-    if name == "pnx8550_like" {
-        return Ok(pnx8550_like());
-    }
-    benchmarks::by_name(name).map_err(|err| {
-        format!("unknown SOC {name:?} ({err}); known: d695, p22810, p34392, p93791, pnx8550_like")
-    })
+    // One catalogue for the whole workspace: the streaming service and
+    // the batch driver must agree on what a name means.
+    soctest_multisite::service::resolve_named_soc(name)
 }
 
 /// Serves a parsed batch request file: one engine, one shared table, all

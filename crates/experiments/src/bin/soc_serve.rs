@@ -1,0 +1,157 @@
+//! `soc-serve` — the persistent streaming optimizer service on
+//! stdin/stdout.
+//!
+//! ```text
+//! soc-serve                           serve NDJSON frames until EOF/Shutdown
+//! soc-serve --queue-cap N             bound the admission queue (default 64)
+//! soc-serve --max-sessions N          bound the warm-session LRU (default 8)
+//! soc-serve --max-table-bytes N       bound charged table memory (default 256 MiB)
+//! soc-serve --faults SPEC             arm the fault-injection harness
+//! soc-serve --emit-sample-session     print the canonical sample input
+//! soc-serve --check GOLDEN            serve stdin, byte-compare the
+//!                                     transcript against GOLDEN; exit 1 on drift
+//! ```
+//!
+//! One JSON frame per line in each direction: `{"Optimize": {...}}`,
+//! `{"Cancel": {...}}`, `"Shutdown"` in; `{"Result": {...}}`,
+//! `{"Error": {...}}`, and a final `{"Bye": {...}}` out, in admission
+//! order. Requests name a SOC (embedded benchmark or inline `.soc`
+//! text); identical SOC content shares one warm engine session behind an
+//! LRU with memory accounting. Requests are isolated: a panicking
+//! request answers a typed `Internal` error and the server keeps
+//! serving. The fault spec (`--faults`, or the `SOCTEST_FAULTS`
+//! environment variable when the flag is absent) is
+//! `stage:kind[:arg][@request_id]`, comma-separated — e.g.
+//! `optimize:panic@r2,respond:delay:50`.
+
+use soctest_experiments::serve::{run_session_text, sample_session};
+use soctest_multisite::service::{FaultPlan, Server, ServerConfig};
+use std::io::Read;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    config: ServerConfig,
+    emit_sample: bool,
+    check: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: soc-serve [--queue-cap N] [--max-sessions N] [--max-table-bytes N] \
+         [--faults SPEC] [--check GOLDEN]\n\
+         \x20      soc-serve --emit-sample-session\n\
+         serves NDJSON optimizer frames on stdin/stdout; --check byte-compares \
+         the transcript against GOLDEN and exits 1 on drift"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut config = ServerConfig::default();
+    let mut emit_sample = false;
+    let mut check = None;
+    let mut faults_flag: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--emit-sample-session" => emit_sample = true,
+            "--queue-cap" => config.queue_capacity = parse_number(args.next()),
+            "--max-sessions" => config.max_sessions = parse_number(args.next()),
+            "--max-table-bytes" => config.max_table_bytes = parse_number(args.next()),
+            "--faults" => match args.next() {
+                Some(spec) => faults_flag = Some(spec),
+                None => usage(),
+            },
+            "--check" => match args.next() {
+                Some(file) => check = Some(PathBuf::from(file)),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    if emit_sample && check.is_some() {
+        usage();
+    }
+    let faults = match faults_flag {
+        Some(spec) => FaultPlan::parse(&spec),
+        None => FaultPlan::from_env(),
+    };
+    config.faults = match faults {
+        Ok(plan) => plan,
+        Err(message) => {
+            eprintln!("invalid fault spec: {message}");
+            std::process::exit(2)
+        }
+    };
+    Options {
+        config,
+        emit_sample,
+        check,
+    }
+}
+
+fn parse_number<N: std::str::FromStr>(arg: Option<String>) -> N {
+    match arg.and_then(|raw| raw.parse().ok()) {
+        Some(value) => value,
+        None => usage(),
+    }
+}
+
+fn main() -> ExitCode {
+    let options = parse_args();
+
+    if options.emit_sample {
+        print!("{}", sample_session());
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(golden_path) = options.check {
+        // Byte-compare the whole transcript: read stdin fully, serve
+        // in-process, diff against the committed golden.
+        let mut input = String::new();
+        if let Err(err) = std::io::stdin().read_to_string(&mut input) {
+            eprintln!("failed to read stdin: {err}");
+            return ExitCode::FAILURE;
+        }
+        let transcript = match run_session_text(&input, options.config) {
+            Ok(transcript) => transcript,
+            Err(err) => {
+                eprintln!("session failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let golden = match std::fs::read_to_string(&golden_path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("failed to read golden {}: {err}", golden_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if golden != transcript {
+            eprintln!(
+                "FAIL: transcript drifted from golden {} — regenerate with \
+                 `soc-serve --emit-sample-session | soc-serve > {}` and commit \
+                 the diff if intentional",
+                golden_path.display(),
+                golden_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "OK: transcript matches golden {} byte-for-byte",
+            golden_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let server = Server::new(options.config);
+    let stdin = std::io::stdin();
+    match server.serve(stdin.lock(), std::io::stdout()) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("write error on stdout: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

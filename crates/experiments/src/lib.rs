@@ -32,6 +32,13 @@
 //! committed sample request/response pair under `data/` is byte-checked
 //! in CI.
 //!
+//! The `soc-serve` binary ([`serve`]) is the streaming sibling: a
+//! persistent NDJSON stdin/stdout service over
+//! `soctest_multisite::service` with a warm-session registry,
+//! cancellation, deadlines, bounded admission, and a fault-injection
+//! harness; its committed sample session transcript under `data/` is
+//! byte-checked in CI too.
+//!
 //! # Example
 //!
 //! ```
@@ -52,6 +59,7 @@ pub mod figures;
 pub mod flat;
 pub mod grids;
 pub mod scaled;
+pub mod serve;
 pub mod table1;
 
 pub use artifact::{check, write_all, write_files, Artifact, Drift};

@@ -1,0 +1,165 @@
+//! Helpers behind the `soc-serve` binary: the canonical sample NDJSON
+//! session and an in-process session runner.
+//!
+//! The sample session exercises one of everything deterministic the
+//! streaming service does — cold and warm optimizations, a sweep, a
+//! second SOC, a malformed line, a `Cancel` for an unknown id, an
+//! unknown SOC name, and a clean `Shutdown` — so its transcript can be
+//! committed as a golden and byte-checked in CI, exactly like the
+//! `soc-batch` sample pair. Wall-clock-dependent behaviour (deadlines,
+//! cancellation races, overload shedding) is deliberately absent here;
+//! the fault-injection e2e suite covers it with bounded assertions
+//! instead of byte equality.
+
+use soctest_ate::{AteSpec, ProbeStation, TestCell};
+use soctest_multisite::service::{ClientFrame, OptimizeFrame, Server, ServerConfig, SocSpec};
+use soctest_multisite::{OptimizeRequest, OptimizerConfig, SweepAxis};
+use std::io::Cursor;
+
+/// The paper's 256-channel, 96k-deep test cell.
+fn paper_cell() -> TestCell {
+    TestCell::new(
+        AteSpec::new(256, 96 * 1024, 5.0e6),
+        ProbeStation::paper_probe_station(),
+    )
+}
+
+/// A roomier cell for the larger p22810 SOC.
+fn big_cell() -> TestCell {
+    TestCell::new(
+        AteSpec::new(512, 768 * 1024, 5.0e6),
+        ProbeStation::paper_probe_station(),
+    )
+}
+
+fn line(frame: &ClientFrame) -> String {
+    serde_json::to_string(frame).expect("client frames serialise")
+}
+
+/// The canonical sample session input: NDJSON client frames, one per
+/// line, ending in `Shutdown`. Deterministic, so the transcript the
+/// server answers is a committable golden.
+pub fn sample_session() -> String {
+    let frames = [
+        ClientFrame::Optimize(OptimizeFrame {
+            request_id: "r1".to_string(),
+            soc: SocSpec::Named("d695".to_string()),
+            request: OptimizeRequest::new(OptimizerConfig::new(paper_cell())),
+            deadline_ms: None,
+        }),
+        ClientFrame::Optimize(OptimizeFrame {
+            request_id: "r2".to_string(),
+            soc: SocSpec::Named("d695".to_string()),
+            request: OptimizeRequest::new(OptimizerConfig::new(paper_cell()))
+                .with_sweep(SweepAxis::Channels(vec![192, 256])),
+            deadline_ms: None,
+        }),
+        ClientFrame::Optimize(OptimizeFrame {
+            request_id: "r3".to_string(),
+            soc: SocSpec::Named("p22810".to_string()),
+            request: OptimizeRequest::new(OptimizerConfig::new(big_cell())),
+            deadline_ms: None,
+        }),
+    ];
+    let mut session = String::new();
+    for frame in &frames {
+        session.push_str(&line(frame));
+        session.push('\n');
+    }
+    // One of every deterministic failure: a truncated frame, a Cancel
+    // for an id that is not in flight, and an unknown SOC name.
+    session.push_str("{\"Optimize\":\n");
+    session.push_str(&line(&ClientFrame::Cancel {
+        request_id: "ghost".to_string(),
+    }));
+    session.push('\n');
+    session.push_str(&line(&ClientFrame::Optimize(OptimizeFrame {
+        request_id: "r4".to_string(),
+        soc: SocSpec::Named("not_a_soc".to_string()),
+        request: OptimizeRequest::new(OptimizerConfig::new(paper_cell())),
+        deadline_ms: None,
+    })));
+    session.push('\n');
+    session.push_str(&line(&ClientFrame::Shutdown));
+    session.push('\n');
+    session
+}
+
+/// Serves `input` through an in-process [`Server`] and returns the full
+/// transcript (every response line including the final `Bye`).
+///
+/// # Errors
+///
+/// Only writer errors, which cannot happen on the in-memory buffer —
+/// surfaced anyway rather than unwrapped so the binary can report them.
+pub fn run_session_text(input: &str, config: ServerConfig) -> std::io::Result<String> {
+    let server = Server::new(config);
+    let mut output = Vec::new();
+    server.serve(Cursor::new(input.as_bytes().to_vec()), &mut output)?;
+    Ok(String::from_utf8(output).expect("server output is UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctest_multisite::service::{ErrorKind, ServerFrame};
+
+    fn parse_transcript(transcript: &str) -> Vec<ServerFrame> {
+        transcript
+            .lines()
+            .map(|line| serde_json::from_str::<ServerFrame>(line).expect("server frame parses"))
+            .collect()
+    }
+
+    #[test]
+    fn sample_session_is_deterministic() {
+        assert_eq!(sample_session(), sample_session());
+        let first = run_session_text(&sample_session(), ServerConfig::default()).unwrap();
+        let second = run_session_text(&sample_session(), ServerConfig::default()).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn sample_transcript_has_the_expected_shape() {
+        let transcript =
+            run_session_text(&sample_session(), ServerConfig::default()).expect("session runs");
+        let frames = parse_transcript(&transcript);
+        assert_eq!(frames.len(), 7);
+        for (frame, id) in frames[..3].iter().zip(["r1", "r2", "r3"]) {
+            match frame {
+                ServerFrame::Result(result) => {
+                    assert_eq!(result.request_id, id);
+                    // r2 re-uses r1's warm d695 session.
+                    assert_eq!(result.warm, id == "r2");
+                }
+                other => panic!("expected result for {id}, got {other:?}"),
+            }
+        }
+        let kinds: Vec<ErrorKind> = frames[3..6]
+            .iter()
+            .map(|frame| match frame {
+                ServerFrame::Error(error) => error.kind,
+                other => panic!("expected error, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            [
+                ErrorKind::Protocol,
+                ErrorKind::UnknownRequest,
+                ErrorKind::InvalidSoc
+            ]
+        );
+        match &frames[6] {
+            ServerFrame::Bye(stats) => {
+                assert_eq!(stats.served, 3);
+                assert_eq!(stats.errors, 3);
+                assert_eq!(stats.sessions_created, 2);
+                assert_eq!(stats.session_hits, 1);
+                assert_eq!(stats.session_misses, 2);
+                assert_eq!(stats.evictions, 0);
+            }
+            other => panic!("expected Bye, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! End-to-end tests of the `soc-serve` binary: a real subprocess, real
+//! pipes, malformed input, injected faults, cancellation races, deadline
+//! expiry, and registry eviction.
+//!
+//! Deterministic behaviour is byte-checked against the committed sample
+//! transcript; wall-clock behaviour (cancellation, deadlines, overload)
+//! is driven with generous injected delays and asserted structurally.
+
+use soctest_ate::{AteSpec, ProbeStation, TestCell};
+use soctest_experiments::serve::sample_session;
+use soctest_multisite::service::{ClientFrame, ErrorKind, OptimizeFrame, ServerFrame, SocSpec};
+use soctest_multisite::{OptimizeRequest, OptimizerConfig};
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const SAMPLE_INPUT: &str = include_str!("../data/sample_session_input.ndjson");
+const SAMPLE_TRANSCRIPT: &str = include_str!("../data/sample_session_transcript.ndjson");
+
+/// Runs the server binary with `args`, feeds `input` on stdin, returns
+/// the full stdout transcript.
+fn run_server(args: &[&str], input: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_soc-serve"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn soc-serve");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("write session input");
+    let output = child.wait_with_output().expect("soc-serve exits");
+    assert!(output.status.success(), "soc-serve failed");
+    String::from_utf8(output.stdout).expect("transcript is UTF-8")
+}
+
+fn parse_transcript(transcript: &str) -> Vec<ServerFrame> {
+    transcript
+        .lines()
+        .map(|line| serde_json::from_str::<ServerFrame>(line).expect("server frame parses"))
+        .collect()
+}
+
+fn optimize_line(request_id: &str, soc: SocSpec, deadline_ms: Option<u64>) -> String {
+    let cell = TestCell::new(
+        AteSpec::new(256, 96 * 1024, 5.0e6),
+        ProbeStation::paper_probe_station(),
+    );
+    serde_json::to_string(&ClientFrame::Optimize(OptimizeFrame {
+        request_id: request_id.to_string(),
+        soc,
+        request: OptimizeRequest::new(OptimizerConfig::new(cell)),
+        deadline_ms,
+    }))
+    .expect("client frames serialise")
+}
+
+fn d695_line(request_id: &str) -> String {
+    optimize_line(request_id, SocSpec::Named("d695".to_string()), None)
+}
+
+#[test]
+fn sample_session_matches_the_committed_transcript() {
+    // The library's sample, the committed input, and the live binary's
+    // transcript must all agree byte-for-byte.
+    assert_eq!(sample_session(), SAMPLE_INPUT);
+    let transcript = run_server(&[], SAMPLE_INPUT);
+    assert_eq!(transcript, SAMPLE_TRANSCRIPT);
+}
+
+#[test]
+fn eof_drains_like_shutdown() {
+    let without_shutdown = SAMPLE_INPUT.replace("\"Shutdown\"\n", "");
+    let transcript = run_server(&[], &without_shutdown);
+    assert_eq!(transcript, SAMPLE_TRANSCRIPT);
+}
+
+#[test]
+fn check_mode_detects_drift() {
+    let status = Command::new(env!("CARGO_BIN_EXE_soc-serve"))
+        .args(["--check", "data/sample_session_input.ndjson"]) // wrong golden
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .and_then(|mut child| {
+            child
+                .stdin
+                .take()
+                .expect("piped stdin")
+                .write_all(SAMPLE_INPUT.as_bytes())?;
+            child.wait()
+        })
+        .expect("soc-serve --check runs");
+    assert!(
+        !status.success(),
+        "--check must fail against the wrong golden"
+    );
+}
+
+#[test]
+fn mid_stream_panic_leaves_siblings_bit_identical() {
+    let input = format!("{}\n{}\n", d695_line("r1"), d695_line("r2"));
+    let fresh = run_server(&[], &input);
+    let faulted = run_server(&["--faults", "respond:panic@r1"], &input);
+
+    let fresh_lines: Vec<&str> = fresh.lines().collect();
+    let faulted_lines: Vec<&str> = faulted.lines().collect();
+    assert_eq!(fresh_lines.len(), 3);
+    assert_eq!(faulted_lines.len(), 3);
+
+    // r1: a Result in the fresh process, a typed Internal error in the
+    // faulted one — and the server kept serving.
+    assert!(matches!(
+        parse_transcript(fresh_lines[0]).remove(0),
+        ServerFrame::Result(result) if result.request_id == "r1"
+    ));
+    match parse_transcript(faulted_lines[0]).remove(0) {
+        ServerFrame::Error(error) => {
+            assert_eq!(error.request_id.as_deref(), Some("r1"));
+            assert_eq!(error.kind, ErrorKind::Internal);
+            assert!(
+                error.message.contains("injected fault"),
+                "{}",
+                error.message
+            );
+        }
+        other => panic!("expected Internal error for r1, got {other:?}"),
+    }
+
+    // r2's response line is bit-identical to a fresh process: the panic
+    // fired after r1's session was built, so r2 is warm in both runs.
+    assert_eq!(faulted_lines[1], fresh_lines[1]);
+}
+
+#[test]
+fn cancel_race_answers_cancelled_without_disturbing_siblings() {
+    // r1 is held for 400 ms by the injected delay; the Cancel lands while
+    // it sleeps. r2 must still answer normally.
+    let input = format!(
+        "{}\n{{\"Cancel\":{{\"request_id\":\"r1\"}}}}\n{}\n",
+        d695_line("r1"),
+        d695_line("r2"),
+    );
+    let frames = parse_transcript(&run_server(&["--faults", "optimize:delay:400@r1"], &input));
+    assert_eq!(frames.len(), 3);
+    match &frames[0] {
+        ServerFrame::Error(error) => {
+            assert_eq!(error.request_id.as_deref(), Some("r1"));
+            assert_eq!(error.kind, ErrorKind::Cancelled);
+        }
+        other => panic!("expected Cancelled for r1, got {other:?}"),
+    }
+    assert!(matches!(&frames[1], ServerFrame::Result(r) if r.request_id == "r2"));
+    match &frames[2] {
+        ServerFrame::Bye(stats) => assert_eq!((stats.served, stats.errors), (1, 1)),
+        other => panic!("expected Bye, got {other:?}"),
+    }
+}
+
+#[test]
+fn expired_deadline_answers_deadline_exceeded() {
+    let input = format!(
+        "{}\n{}\n",
+        optimize_line("r1", SocSpec::Named("d695".to_string()), Some(100)),
+        d695_line("r2"),
+    );
+    let frames = parse_transcript(&run_server(&["--faults", "optimize:delay:300@r1"], &input));
+    match &frames[0] {
+        ServerFrame::Error(error) => {
+            assert_eq!(error.request_id.as_deref(), Some("r1"));
+            assert_eq!(error.kind, ErrorKind::DeadlineExceeded);
+        }
+        other => panic!("expected DeadlineExceeded for r1, got {other:?}"),
+    }
+    assert!(matches!(&frames[1], ServerFrame::Result(r) if r.request_id == "r2"));
+}
+
+#[test]
+fn memory_cap_provably_evicts() {
+    // A 1-byte cap makes every session oversized: only the hottest stays.
+    let big_cell = TestCell::new(
+        AteSpec::new(512, 768 * 1024, 5.0e6),
+        ProbeStation::paper_probe_station(),
+    );
+    let p22810_line = serde_json::to_string(&ClientFrame::Optimize(OptimizeFrame {
+        request_id: "r3".to_string(),
+        soc: SocSpec::Named("p22810".to_string()),
+        request: OptimizeRequest::new(OptimizerConfig::new(big_cell)),
+        deadline_ms: None,
+    }))
+    .unwrap();
+    let input = format!(
+        "{}\n{}\n{}\n{}\n",
+        d695_line("r1"),
+        d695_line("r2"),
+        p22810_line,
+        d695_line("r4"),
+    );
+    let frames = parse_transcript(&run_server(&["--max-table-bytes", "1"], &input));
+    let warms: Vec<bool> = frames[..4]
+        .iter()
+        .map(|frame| match frame {
+            ServerFrame::Result(result) => result.warm,
+            other => panic!("expected result, got {other:?}"),
+        })
+        .collect();
+    // d695 cold, d695 warm (sole oversized survivor), p22810 evicts it,
+    // d695 must rebuild.
+    assert_eq!(warms, [false, true, false, false]);
+    match &frames[4] {
+        ServerFrame::Bye(stats) => {
+            assert_eq!(stats.sessions_created, 3);
+            assert_eq!(stats.evictions, 2);
+        }
+        other => panic!("expected Bye, got {other:?}"),
+    }
+}
+
+#[test]
+fn session_cap_evicts_least_recently_used() {
+    // Cap 2, with an inline tiny SOC as the third distinct content.
+    let mut tiny = soctest_soc_model::Soc::new("tiny");
+    tiny.push_module(
+        soctest_soc_model::Module::builder("m")
+            .patterns(3)
+            .inputs(2)
+            .outputs(2)
+            .scan_chain(8)
+            .build(),
+    );
+    let tiny_text = soctest_soc_model::writer::write_soc(&tiny);
+    let big_cell = TestCell::new(
+        AteSpec::new(512, 768 * 1024, 5.0e6),
+        ProbeStation::paper_probe_station(),
+    );
+    let p22810_line = serde_json::to_string(&ClientFrame::Optimize(OptimizeFrame {
+        request_id: "r2".to_string(),
+        soc: SocSpec::Named("p22810".to_string()),
+        request: OptimizeRequest::new(OptimizerConfig::new(big_cell)),
+        deadline_ms: None,
+    }))
+    .unwrap();
+    let input = format!(
+        "{}\n{}\n{}\n{}\n{}\n",
+        d695_line("r1"),
+        p22810_line,
+        d695_line("r3"),
+        optimize_line("r4", SocSpec::Inline(tiny_text), None),
+        d695_line("r5"),
+    );
+    let frames = parse_transcript(&run_server(&["--max-sessions", "2"], &input));
+    let warms: Vec<bool> = frames[..5]
+        .iter()
+        .map(|frame| match frame {
+            ServerFrame::Result(result) => result.warm,
+            other => panic!("expected result, got {other:?}"),
+        })
+        .collect();
+    // r3 touches d695 hot, so admitting the tiny SOC evicts p22810 and
+    // d695 stays warm for r5.
+    assert_eq!(warms, [false, false, true, false, true]);
+    match &frames[5] {
+        ServerFrame::Bye(stats) => {
+            assert_eq!(stats.evictions, 1);
+            assert_eq!(stats.session_hits, 2);
+        }
+        other => panic!("expected Bye, got {other:?}"),
+    }
+}
+
+#[test]
+fn full_queue_sheds_in_admission_order() {
+    // r1 is held for 600 ms; the admission delay on r2 lets the executor
+    // pop r1 first, so r2 fills the single queue slot and r3/r4 are shed.
+    let input = format!(
+        "{}\n{}\n{}\n{}\n",
+        d695_line("r1"),
+        d695_line("r2"),
+        d695_line("r3"),
+        d695_line("r4"),
+    );
+    let frames = parse_transcript(&run_server(
+        &[
+            "--queue-cap",
+            "1",
+            "--faults",
+            "optimize:delay:600@r1,admission:delay:200@r2",
+        ],
+        &input,
+    ));
+    assert!(matches!(&frames[0], ServerFrame::Result(r) if r.request_id == "r1"));
+    assert!(matches!(&frames[1], ServerFrame::Result(r) if r.request_id == "r2"));
+    for (frame, id) in frames[2..4].iter().zip(["r3", "r4"]) {
+        match frame {
+            ServerFrame::Error(error) => {
+                assert_eq!(error.request_id.as_deref(), Some(id));
+                assert_eq!(error.kind, ErrorKind::Overloaded);
+            }
+            other => panic!("expected Overloaded for {id}, got {other:?}"),
+        }
+    }
+    match &frames[4] {
+        ServerFrame::Bye(stats) => assert_eq!((stats.served, stats.errors), (2, 2)),
+        other => panic!("expected Bye, got {other:?}"),
+    }
+}

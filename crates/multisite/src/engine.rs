@@ -59,13 +59,16 @@
 use crate::error::OptimizeError;
 use crate::optimizer::{evaluate_point, optimize_with_table};
 use crate::problem::OptimizerConfig;
+use crate::service::cancel::{CancelGuarded, CancelToken};
 use crate::solution::MultiSiteSolution;
 use crate::sweep::{AxisValue, CostEffectiveness, SweepCurve, SweepPoint};
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use soctest_ate::AteCostModel;
+use soctest_soc_model::validate::{validate_soc, Severity, ValidationIssue};
 use soctest_soc_model::Soc;
-use soctest_tam::{max_tam_width, LazyTimeTable};
-use std::sync::{Arc, RwLock};
+use soctest_tam::{max_tam_width, LazyTimeTable, TimeLookup};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// Builds one externally-tagged enum value: `{"<tag>": body}`. Shared by
 /// every hand-written enum `Serialize` impl in this crate (the vendored
@@ -374,14 +377,92 @@ impl EngineBuilder {
     }
 
     /// Builds the engine, preparing (but not filling) its time table.
+    ///
+    /// The SOC is checked with [`validate_soc`] first: warning-level
+    /// findings are recorded in the engine
+    /// ([`Engine::validation_issues`], counted in [`Engine::stats`]);
+    /// error-level findings make the engine **unusable** — it is still
+    /// returned (this constructor is infallible for backwards
+    /// compatibility) but only a trivial placeholder table is allocated
+    /// and every request answers [`OptimizeError::InvalidSoc`]. Service
+    /// callers should prefer [`EngineBuilder::try_build`], which rejects
+    /// such SOCs up front.
     pub fn build(self) -> Engine {
+        let issues = validate_soc(&self.soc);
+        if issues.iter().any(|i| i.severity == Severity::Error) {
+            // Unusable SOC: skip the real table allocation entirely.
+            let table = LazyTimeTable::new(&self.soc, 1);
+            return Engine {
+                table: RwLock::new(Arc::new(table)),
+                soc: self.soc,
+                threads: self.threads,
+                validation: EngineValidation::Invalid { issues },
+            };
+        }
+        self.build_validated(issues)
+    }
+
+    /// Builds the engine, rejecting SOCs whose description fails
+    /// [`validate_soc`] with an error-level finding **before** any table
+    /// is allocated. This is the constructor the service layer uses.
+    ///
+    /// # Errors
+    ///
+    /// [`OptimizeError::InvalidSoc`] carrying every validation finding
+    /// (errors and warnings) when the SOC is unusable.
+    pub fn try_build(self) -> Result<Engine, OptimizeError> {
+        let issues = validate_soc(&self.soc);
+        if issues.iter().any(|i| i.severity == Severity::Error) {
+            return Err(OptimizeError::InvalidSoc { issues });
+        }
+        Ok(self.build_validated(issues))
+    }
+
+    /// Builds a validated engine; `warnings` are the (warning-only)
+    /// findings of the validation pass already run by the caller.
+    fn build_validated(self, warnings: Vec<ValidationIssue>) -> Engine {
         let table = LazyTimeTable::new(&self.soc, max_tam_width(self.max_channels));
         Engine {
             table: RwLock::new(Arc::new(table)),
             soc: self.soc,
             threads: self.threads,
+            validation: EngineValidation::Usable { warnings },
         }
     }
+}
+
+/// The outcome of the builder's [`validate_soc`] pass, kept with the
+/// engine for the lifetime of the session.
+#[derive(Debug)]
+enum EngineValidation {
+    /// The SOC is usable; any warning-level findings ride along.
+    Usable { warnings: Vec<ValidationIssue> },
+    /// The SOC is unusable; every request answers
+    /// [`OptimizeError::InvalidSoc`] with these findings.
+    Invalid { issues: Vec<ValidationIssue> },
+}
+
+/// A point-in-time summary of an [`Engine`] session — its warm-cache
+/// footprint and the outcome of the builder's validation pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct EngineStats {
+    /// The maximum TAM width the current table covers.
+    pub table_width: usize,
+    /// `(module, width)` cells materialised so far.
+    pub cells_built: usize,
+    /// Total cells the current table can hold.
+    pub cells_total: usize,
+    /// Estimated resident bytes of the table
+    /// ([`Engine::table_memory_bytes`]).
+    pub table_memory_bytes: u64,
+    /// Warning-level findings recorded at build time (for an unusable
+    /// engine: all findings, errors included).
+    pub validation_issues: usize,
+    /// Whether the engine serves requests (`false` when the SOC failed
+    /// validation and every request answers
+    /// [`OptimizeError::InvalidSoc`]).
+    pub usable: bool,
 }
 
 /// A per-SOC optimizer session: one shared demand-driven time table, one
@@ -397,6 +478,8 @@ pub struct Engine {
     table: RwLock<Arc<LazyTimeTable>>,
     /// Parallelism cap; see [`EngineBuilder::threads`].
     threads: Option<usize>,
+    /// Outcome of the builder's [`validate_soc`] pass.
+    validation: EngineValidation,
 }
 
 impl Engine {
@@ -467,6 +550,58 @@ impl Engine {
         self.snapshot().cells_built()
     }
 
+    /// Estimated resident bytes of the session's time table: 8 bytes per
+    /// allocated cell (each is an `AtomicU64`) plus a small fixed
+    /// overhead. This is what the service's session registry charges
+    /// against its memory cap — an estimate of the dominant allocation,
+    /// not an exact heap measurement.
+    pub fn table_memory_bytes(&self) -> u64 {
+        let table = self.snapshot();
+        1024 + (table.cells_total() as u64) * 8
+    }
+
+    /// The validation findings recorded when the engine was built: the
+    /// warning-level findings of a usable SOC, or every finding (errors
+    /// included) of an unusable one.
+    pub fn validation_issues(&self) -> &[ValidationIssue] {
+        match &self.validation {
+            EngineValidation::Usable { warnings } => warnings,
+            EngineValidation::Invalid { issues } => issues,
+        }
+    }
+
+    /// Whether the engine serves requests. `false` means the SOC failed
+    /// validation at build time and every request answers
+    /// [`OptimizeError::InvalidSoc`] (see [`EngineBuilder::build`]).
+    pub fn is_usable(&self) -> bool {
+        matches!(self.validation, EngineValidation::Usable { .. })
+    }
+
+    /// A point-in-time summary of the session: table footprint plus the
+    /// build-time validation outcome.
+    pub fn stats(&self) -> EngineStats {
+        let table = self.snapshot();
+        EngineStats {
+            table_width: table.max_width(),
+            cells_built: table.cells_built(),
+            cells_total: table.cells_total(),
+            table_memory_bytes: 1024 + (table.cells_total() as u64) * 8,
+            validation_issues: self.validation_issues().len(),
+            usable: self.is_usable(),
+        }
+    }
+
+    /// The [`OptimizeError::InvalidSoc`] every request must answer when
+    /// the SOC failed validation, or `None` for a usable engine.
+    fn invalid_error(&self) -> Option<OptimizeError> {
+        match &self.validation {
+            EngineValidation::Usable { .. } => None,
+            EngineValidation::Invalid { issues } => Some(OptimizeError::InvalidSoc {
+                issues: issues.clone(),
+            }),
+        }
+    }
+
     /// Whether requests and sweeps run on the rayon pool (`true`) or
     /// inline on the calling thread.
     pub fn is_parallel(&self) -> bool {
@@ -481,8 +616,14 @@ impl Engine {
             .max(1)
     }
 
+    // Lock poisoning is recovered, not propagated: the guarded value is
+    // always a valid `Arc<LazyTimeTable>` — the write section below only
+    // ever *assigns* a freshly built table, so a panic mid-write cannot
+    // leave a torn value behind, and a panicked reader never wrote at
+    // all. Recovering keeps one panicked request from wedging every later
+    // request on the session.
     fn snapshot(&self) -> Arc<LazyTimeTable> {
-        Arc::clone(&self.table.read().expect("engine table lock poisoned"))
+        Arc::clone(&self.table.read().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// A table covering at least `width`, rebuilding the shared one if the
@@ -493,7 +634,7 @@ impl Engine {
         if current.max_width() >= width {
             return current;
         }
-        let mut guard = self.table.write().expect("engine table lock poisoned");
+        let mut guard = self.table.write().unwrap_or_else(PoisonError::into_inner);
         if guard.max_width() < width {
             *guard = Arc::new(LazyTimeTable::new(&self.soc, width));
         }
@@ -505,11 +646,55 @@ impl Engine {
     /// # Errors
     ///
     /// [`OptimizeError`] exactly as the corresponding free function: an
-    /// invalid config, or an SOC/test-cell combination with no feasible
-    /// architecture (for sweeps, the first failing point in input order).
+    /// invalid config, an SOC that failed validation at build time, or an
+    /// SOC/test-cell combination with no feasible architecture (for
+    /// sweeps, the first failing point in input order).
     pub fn run(&self, request: &OptimizeRequest) -> Result<OptimizeResponse, OptimizeError> {
+        if let Some(err) = self.invalid_error() {
+            return Err(err);
+        }
         let table = self.table_for(request.needed_width());
-        self.run_on(&table, request)
+        self.run_on(table.as_ref(), None, request)
+    }
+
+    /// Serves one request under a cooperative [`CancelToken`]: the token
+    /// is polled at sweep-point granularity between optimizations and —
+    /// through a guarded table — at table-row granularity inside each
+    /// one, so both a `Cancel` frame and a deadline expiry terminate the
+    /// work within a few table probes.
+    ///
+    /// Results are bit-identical to [`Engine::run`] when the token never
+    /// fires: the guard only forwards lookups.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Engine::run`] returns, plus
+    /// [`OptimizeError::Cancelled`] / [`OptimizeError::DeadlineExceeded`]
+    /// when the token stops the request. Genuine panics (not cooperative
+    /// stops) are *not* caught here — they unwind to the caller, where
+    /// the service's per-request isolation turns them into
+    /// [`OptimizeError::Internal`].
+    pub fn run_with_cancel(
+        &self,
+        request: &OptimizeRequest,
+        token: &CancelToken,
+    ) -> Result<OptimizeResponse, OptimizeError> {
+        if let Some(err) = self.invalid_error() {
+            return Err(err);
+        }
+        token.check()?;
+        let table = self.table_for(request.needed_width());
+        let guarded = CancelGuarded::new(table.as_ref(), token);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.run_on(&guarded, Some(token), request)
+        }));
+        match outcome {
+            Ok(result) => result,
+            Err(payload) => match CancelToken::unwind_reason(payload) {
+                Ok(reason) => Err(reason),
+                Err(panic_payload) => resume_unwind(panic_payload),
+            },
+        }
     }
 
     /// Serves a batch of heterogeneous requests over one table, answering
@@ -530,6 +715,9 @@ impl Engine {
         &self,
         requests: &[OptimizeRequest],
     ) -> Vec<Result<OptimizeResponse, OptimizeError>> {
+        if let Some(err) = self.invalid_error() {
+            return requests.iter().map(|_| Err(err.clone())).collect();
+        }
         let width = requests
             .iter()
             .map(OptimizeRequest::needed_width)
@@ -541,13 +729,13 @@ impl Engine {
             rayon::par_map_init_threads(
                 requests,
                 || (),
-                |(), request| self.run_on(&table, request),
+                |(), request| self.run_on(table.as_ref(), None, request),
                 cap,
             )
         } else {
             requests
                 .iter()
-                .map(|request| self.run_on(&table, request))
+                .map(|request| self.run_on(table.as_ref(), None, request))
                 .collect()
         }
     }
@@ -564,6 +752,9 @@ impl Engine {
         config: &OptimizerConfig,
         prices: &AteCostModel,
     ) -> Result<CostEffectiveness, OptimizeError> {
+        if let Some(err) = self.invalid_error() {
+            return Err(err);
+        }
         let base_ate = config.test_cell.ate;
         let budget = prices.memory_doubling_cost(&base_ate, 1);
         let extra_channels = prices.channels_affordable(budget);
@@ -571,7 +762,7 @@ impl Engine {
 
         let table = self.table_for(max_tam_width(upgraded_channels));
         let channel_counts = [base_ate.channels, upgraded_channels];
-        let channel_points = self.channel_points(&table, config, &channel_counts)?;
+        let channel_points = self.channel_points(table.as_ref(), None, config, &channel_counts)?;
 
         let mut deeper_cfg = *config;
         deeper_cfg.test_cell.ate = base_ate.with_depth(base_ate.vector_memory_depth * 2);
@@ -589,9 +780,14 @@ impl Engine {
     }
 
     /// Serves one request against an already-sized table snapshot.
-    fn run_on(
+    ///
+    /// Generic over [`TimeLookup`] so the same dispatch serves both the
+    /// plain shared table and a cancellation-guarded view of it; `token`
+    /// (when present) is polled between sweep points.
+    fn run_on<L: TimeLookup + Sync + ?Sized>(
         &self,
-        table: &LazyTimeTable,
+        table: &L,
+        token: Option<&CancelToken>,
         request: &OptimizeRequest,
     ) -> Result<OptimizeResponse, OptimizeError> {
         let config = &request.config;
@@ -599,33 +795,45 @@ impl Engine {
             SweepAxis::None => optimize_with_table(self.soc.name(), table, config)
                 .map(|solution| OptimizeResponse::Solution(Box::new(solution))),
             SweepAxis::Channels(counts) => {
-                self.channel_points(table, config, counts).map(|points| {
-                    OptimizeResponse::Curves(vec![SweepCurve {
-                        label: "channels".to_string(),
-                        points,
-                    }])
-                })
+                self.channel_points(table, token, config, counts)
+                    .map(|points| {
+                        OptimizeResponse::Curves(vec![SweepCurve {
+                            label: "channels".to_string(),
+                            points,
+                        }])
+                    })
             }
             SweepAxis::DepthVectors(depths) => {
-                self.depth_points(table, config, depths).map(|points| {
-                    OptimizeResponse::Curves(vec![SweepCurve {
-                        label: "depth".to_string(),
-                        points,
-                    }])
-                })
+                self.depth_points(table, token, config, depths)
+                    .map(|points| {
+                        OptimizeResponse::Curves(vec![SweepCurve {
+                            label: "depth".to_string(),
+                            points,
+                        }])
+                    })
             }
             SweepAxis::ContactYield {
                 depths,
                 contact_yields,
             } => self
-                .contact_yield_curves(table, config, depths, contact_yields)
+                .contact_yield_curves(table, token, config, depths, contact_yields)
                 .map(OptimizeResponse::Curves),
             SweepAxis::ManufacturingYield {
                 max_sites,
                 manufacturing_yields,
             } => self
-                .abort_on_fail_curves(table, config, *max_sites, manufacturing_yields)
+                .abort_on_fail_curves(table, token, config, *max_sites, manufacturing_yields)
                 .map(OptimizeResponse::Curves),
+        }
+    }
+
+    /// Polls a request's token between sweep points, mapping a fired
+    /// token to its typed error. A `None` token (the plain [`Engine::run`]
+    /// / [`Engine::run_batch`] paths) costs one predictable branch.
+    fn check_token(token: Option<&CancelToken>) -> Result<(), OptimizeError> {
+        match token {
+            Some(token) => token.check(),
+            None => Ok(()),
         }
     }
 
@@ -652,9 +860,10 @@ impl Engine {
     ///
     /// An all-zero (or empty) channel list yields no points — the legacy
     /// `channel_sweep` contract.
-    fn channel_points(
+    fn channel_points<L: TimeLookup + Sync + ?Sized>(
         &self,
-        table: &LazyTimeTable,
+        table: &L,
+        token: Option<&CancelToken>,
         config: &OptimizerConfig,
         channel_counts: &[usize],
     ) -> Result<Vec<SweepPoint>, OptimizeError> {
@@ -662,6 +871,7 @@ impl Engine {
             return Ok(Vec::new());
         }
         self.map_points(channel_counts, |&channels| {
+            Engine::check_token(token)?;
             let mut cfg = *config;
             cfg.test_cell.ate = cfg.test_cell.ate.with_channels(channels);
             optimize_with_table(self.soc.name(), table, &cfg).map(|solution| SweepPoint {
@@ -673,13 +883,15 @@ impl Engine {
     }
 
     /// Figure 6(b): one optimization per vector-memory depth.
-    fn depth_points(
+    fn depth_points<L: TimeLookup + Sync + ?Sized>(
         &self,
-        table: &LazyTimeTable,
+        table: &L,
+        token: Option<&CancelToken>,
         config: &OptimizerConfig,
         depths: &[u64],
     ) -> Result<Vec<SweepPoint>, OptimizeError> {
         self.map_points(depths, |&depth| {
+            Engine::check_token(token)?;
             let mut cfg = *config;
             cfg.test_cell.ate = cfg.test_cell.ate.with_depth(depth);
             optimize_with_table(self.soc.name(), table, &cfg).map(|solution| SweepPoint {
@@ -692,19 +904,21 @@ impl Engine {
 
     /// Figure 7(a): a depth sweep per contact yield, re-test always on
     /// (that is the effect the figure demonstrates).
-    fn contact_yield_curves(
+    fn contact_yield_curves<L: TimeLookup + Sync + ?Sized>(
         &self,
-        table: &LazyTimeTable,
+        table: &L,
+        token: Option<&CancelToken>,
         config: &OptimizerConfig,
         depths: &[u64],
         contact_yields: &[f64],
     ) -> Result<Vec<SweepCurve>, OptimizeError> {
         let mut curves = Vec::with_capacity(contact_yields.len());
         for &contact_yield in contact_yields {
+            Engine::check_token(token)?;
             let mut cfg = *config;
             cfg.contact_yield = contact_yield;
             cfg.options.retest_contact_failures = true;
-            let points = self.depth_points(table, &cfg, depths)?;
+            let points = self.depth_points(table, token, &cfg, depths)?;
             curves.push(SweepCurve {
                 label: format!("pc = {contact_yield}"),
                 points,
@@ -717,9 +931,10 @@ impl Engine {
     /// yield, with the architecture fixed at the Step 1 (channel-minimal)
     /// design — as in the paper, the point of the figure is the yield
     /// effect, not the channel redistribution.
-    fn abort_on_fail_curves(
+    fn abort_on_fail_curves<L: TimeLookup + Sync + ?Sized>(
         &self,
-        table: &LazyTimeTable,
+        table: &L,
+        token: Option<&CancelToken>,
         config: &OptimizerConfig,
         max_sites: usize,
         manufacturing_yields: &[f64],
@@ -732,13 +947,17 @@ impl Engine {
             let mut cfg = *config;
             cfg.manufacturing_yield = manufacturing_yield;
             cfg.options.abort_on_fail = true;
-            let points = (1..=max_sites.max(1))
-                .map(|sites| SweepPoint {
+            // The inner loop never probes the table, so the guard cannot
+            // observe a stop here — poll the token per site point instead.
+            let mut points = Vec::with_capacity(max_sites.max(1));
+            for sites in 1..=max_sites.max(1) {
+                Engine::check_token(token)?;
+                points.push(SweepPoint {
                     parameter: AxisValue::Sites(sites),
                     max_sites,
                     optimal: evaluate_point(&architecture, sites, &cfg),
-                })
-                .collect();
+                });
+            }
             curves.push(SweepCurve {
                 label: format!("pm = {manufacturing_yield}"),
                 points,

@@ -1,10 +1,21 @@
 //! Errors of the multi-site optimizer.
 
+use crate::engine::{tagged, untag};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use soctest_soc_model::validate::ValidationIssue;
 use soctest_tam::TamError;
 use std::fmt;
 
-/// Errors returned by the multi-site optimizer.
+/// Errors returned by the multi-site optimizer, including the
+/// service-facing outcomes of the [`crate::service`] layer (cancellation,
+/// deadlines, load shedding, SOC validation).
+///
+/// Serialises in real serde's externally-tagged enum format (unit
+/// variants as bare strings, data variants as single-key objects), so
+/// error frames on the service wire keep their shape if the vendored
+/// serde is swapped for the crates.io release.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum OptimizeError {
     /// The architecture design failed (module infeasible, channel shortage,
     /// empty SOC).
@@ -14,6 +25,37 @@ pub enum OptimizeError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// The SOC description failed [`soctest_soc_model::validate_soc`]
+    /// with at least one error-severity finding; all findings (including
+    /// warnings) ride along so the caller can report them in one round.
+    InvalidSoc {
+        /// Every validation finding, in validator order.
+        issues: Vec<ValidationIssue>,
+    },
+    /// An invariant the optimizer relies on was broken (a panic caught at
+    /// a request boundary, a response of the wrong shape, a poisoned
+    /// internal structure). The request failed; the session survives.
+    Internal {
+        /// Human-readable description of the broken invariant.
+        message: String,
+    },
+    /// The request was cancelled cooperatively before completing.
+    Cancelled,
+    /// The request's deadline expired before it completed.
+    DeadlineExceeded,
+    /// The service shed this request because its admission queue was
+    /// full; retry later or against a less loaded instance.
+    Overloaded,
+}
+
+impl OptimizeError {
+    /// Shorthand for an [`OptimizeError::Internal`] with the given
+    /// message.
+    pub fn internal(message: impl Into<String>) -> Self {
+        OptimizeError::Internal {
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for OptimizeError {
@@ -23,6 +65,23 @@ impl fmt::Display for OptimizeError {
             OptimizeError::InvalidConfig { message } => {
                 write!(f, "invalid configuration: {message}")
             }
+            OptimizeError::InvalidSoc { issues } => {
+                let errors = issues
+                    .iter()
+                    .filter(|i| i.severity == soctest_soc_model::validate::Severity::Error)
+                    .count();
+                write!(f, "invalid SOC description ({errors} error(s)):")?;
+                for issue in issues {
+                    write!(f, " {issue};")?;
+                }
+                Ok(())
+            }
+            OptimizeError::Internal { message } => write!(f, "internal error: {message}"),
+            OptimizeError::Cancelled => write!(f, "request cancelled"),
+            OptimizeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            OptimizeError::Overloaded => {
+                write!(f, "service overloaded: admission queue full, request shed")
+            }
         }
     }
 }
@@ -31,7 +90,7 @@ impl std::error::Error for OptimizeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             OptimizeError::Architecture(inner) => Some(inner),
-            OptimizeError::InvalidConfig { .. } => None,
+            _ => None,
         }
     }
 }
@@ -42,9 +101,64 @@ impl From<TamError> for OptimizeError {
     }
 }
 
+impl Serialize for OptimizeError {
+    fn to_value(&self) -> Value {
+        match self {
+            OptimizeError::Architecture(inner) => tagged("Architecture", inner.to_value()),
+            OptimizeError::InvalidConfig { message } => tagged(
+                "InvalidConfig",
+                Value::Object(vec![("message".to_string(), message.to_value())]),
+            ),
+            OptimizeError::InvalidSoc { issues } => tagged(
+                "InvalidSoc",
+                Value::Object(vec![("issues".to_string(), issues.to_value())]),
+            ),
+            OptimizeError::Internal { message } => tagged(
+                "Internal",
+                Value::Object(vec![("message".to_string(), message.to_value())]),
+            ),
+            OptimizeError::Cancelled => Value::String("Cancelled".to_string()),
+            OptimizeError::DeadlineExceeded => Value::String("DeadlineExceeded".to_string()),
+            OptimizeError::Overloaded => Value::String("Overloaded".to_string()),
+        }
+    }
+}
+
+impl Deserialize for OptimizeError {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        if let Some(name) = value.as_str() {
+            return match name {
+                "Cancelled" => Ok(OptimizeError::Cancelled),
+                "DeadlineExceeded" => Ok(OptimizeError::DeadlineExceeded),
+                "Overloaded" => Ok(OptimizeError::Overloaded),
+                other => Err(SerdeError::custom(format!(
+                    "unknown unit variant `{other}` for OptimizeError"
+                ))),
+            };
+        }
+        let (tag, body) = untag(value, "OptimizeError")?;
+        match tag {
+            "Architecture" => Ok(OptimizeError::Architecture(TamError::from_value(body)?)),
+            "InvalidConfig" => Ok(OptimizeError::InvalidConfig {
+                message: serde::get_field(body, "message", "OptimizeError::InvalidConfig")?,
+            }),
+            "InvalidSoc" => Ok(OptimizeError::InvalidSoc {
+                issues: serde::get_field(body, "issues", "OptimizeError::InvalidSoc")?,
+            }),
+            "Internal" => Ok(OptimizeError::Internal {
+                message: serde::get_field(body, "message", "OptimizeError::Internal")?,
+            }),
+            other => Err(SerdeError::custom(format!(
+                "unknown variant `{other}` for OptimizeError"
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use soctest_soc_model::validate::Severity;
 
     #[test]
     fn wraps_tam_error_with_source() {
@@ -60,5 +174,75 @@ mod tests {
             message: "contact yield out of range".into(),
         };
         assert!(err.to_string().contains("contact yield"));
+    }
+
+    #[test]
+    fn service_variant_displays_are_descriptive() {
+        assert!(OptimizeError::Cancelled.to_string().contains("cancelled"));
+        assert!(OptimizeError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        assert!(OptimizeError::Overloaded.to_string().contains("overloaded"));
+        assert!(OptimizeError::internal("boom").to_string().contains("boom"));
+    }
+
+    #[test]
+    fn invalid_soc_display_counts_errors() {
+        let err = OptimizeError::InvalidSoc {
+            issues: vec![
+                ValidationIssue {
+                    module: Some("m".into()),
+                    severity: Severity::Error,
+                    message: "zero test patterns".into(),
+                },
+                ValidationIssue {
+                    module: Some("m".into()),
+                    severity: Severity::Warning,
+                    message: "zero length".into(),
+                },
+            ],
+        };
+        let text = err.to_string();
+        assert!(text.contains("1 error(s)"));
+        assert!(text.contains("zero test patterns"));
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        let variants = [
+            OptimizeError::Architecture(TamError::InsufficientChannels {
+                available_channels: 16,
+            }),
+            OptimizeError::Architecture(TamError::EmptySoc),
+            OptimizeError::InvalidConfig {
+                message: "bad yield".into(),
+            },
+            OptimizeError::InvalidSoc {
+                issues: vec![ValidationIssue {
+                    module: None,
+                    severity: Severity::Error,
+                    message: "soc contains no modules".into(),
+                }],
+            },
+            OptimizeError::internal("panic: sweep exploded"),
+            OptimizeError::Cancelled,
+            OptimizeError::DeadlineExceeded,
+            OptimizeError::Overloaded,
+        ];
+        for err in &variants {
+            let json = serde_json::to_string(err).unwrap();
+            let back: OptimizeError = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, err, "round trip failed for {json}");
+        }
+        assert_eq!(
+            serde_json::to_string(&OptimizeError::Cancelled).unwrap(),
+            "\"Cancelled\""
+        );
+    }
+
+    #[test]
+    fn unknown_variants_are_rejected() {
+        assert!(serde_json::from_str::<OptimizeError>("\"Nope\"").is_err());
+        assert!(serde_json::from_str::<OptimizeError>("{\"Nope\":{}}").is_err());
     }
 }

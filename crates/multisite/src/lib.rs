@@ -30,7 +30,10 @@
 //! * [`sweep`] — the parameter sweeps behind Figures 5–7 and the
 //!   channel-versus-memory cost analysis, as convenience wrappers over
 //!   the engine,
-//! * [`report`] — plain-text and JSON reporting of solutions and curves.
+//! * [`report`] — plain-text and JSON reporting of solutions and curves,
+//! * [`service`] — the fault-tolerant streaming NDJSON service behind
+//!   the `soc-serve` binary: warm-session registry, cancellation and
+//!   deadlines, bounded admission, and a fault-injection harness.
 //!
 //! # Example
 //!
@@ -65,12 +68,16 @@ pub mod flat;
 pub mod optimizer;
 pub mod problem;
 pub mod report;
+pub mod service;
 pub mod solution;
 pub mod sweep;
 
-pub use engine::{Engine, EngineBuilder, OptimizeRequest, OptimizeResponse, SweepAxis};
+pub use engine::{
+    Engine, EngineBuilder, EngineStats, OptimizeRequest, OptimizeResponse, SweepAxis,
+};
 pub use error::OptimizeError;
 pub use optimizer::optimize;
 pub use problem::{MultiSiteOptions, OptimizerConfig};
+pub use service::{CancelToken, Server, ServerConfig};
 pub use solution::{MultiSiteSolution, SitePoint};
 pub use sweep::{AxisValue, SweepCurve, SweepPoint};

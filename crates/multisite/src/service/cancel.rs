@@ -1,0 +1,268 @@
+//! Cooperative cancellation and per-request deadlines.
+//!
+//! A [`CancelToken`] is the service's handle on one in-flight request:
+//! the reader thread cancels it when a `Cancel` frame arrives, and the
+//! optimizer observes it at two granularities:
+//!
+//! * **sweep-point granularity** — the engine's point loops call
+//!   [`CancelToken::check`] between optimizations and return the typed
+//!   [`OptimizeError::Cancelled`] / [`OptimizeError::DeadlineExceeded`];
+//! * **table-row granularity** — `CancelGuarded` wraps the session's
+//!   time table and probes the token on every [`TimeLookup::time`] call,
+//!   so even one long-running optimization inside a single sweep point
+//!   stops within a few table lookups. `time` returns a bare `u64`, so
+//!   the guard bails by unwinding with a private `CancelUnwind`
+//!   payload; [`crate::engine::Engine::run_with_cancel`] catches it at
+//!   the request boundary and converts it back into the typed error.
+//!
+//! Deadline probes throttle the `Instant::now()` syscall to every 64th
+//! table lookup (the cancelled flag is checked on every probe — an
+//! explicit `Cancel` takes effect immediately); at typical row costs that
+//! bounds the overshoot well below a millisecond.
+
+use crate::error::OptimizeError;
+use soctest_soc_model::ModuleId;
+use soctest_tam::TimeLookup;
+use std::any::Any;
+use std::panic;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Once};
+use std::time::Instant;
+
+/// How many table-row probes share one deadline clock read.
+const DEADLINE_PROBE_STRIDE: u64 = 64;
+
+/// A shareable cancellation + deadline token for one optimizer request.
+///
+/// Clones share state: cancelling any clone cancels the request. Tokens
+/// are cheap (`Arc` of two words) and safe to poll from every worker
+/// thread of a parallel sweep.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenState>,
+}
+
+#[derive(Debug)]
+struct TokenState {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    probes: AtomicU64,
+}
+
+impl CancelToken {
+    /// A token with no deadline; cancels only via [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        CancelToken::build(None)
+    }
+
+    /// A token that additionally expires at `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken::build(Some(deadline))
+    }
+
+    fn build(deadline: Option<Instant>) -> Self {
+        install_quiet_cancel_hook();
+        CancelToken {
+            inner: Arc::new(TokenState {
+                cancelled: AtomicBool::new(false),
+                deadline,
+                probes: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Requests cooperative cancellation. Idempotent; takes effect at the
+    /// optimizer's next check point (sweep point or table-row probe).
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called (deadline expiry
+    /// is not reflected here — use [`CancelToken::check`]).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Polls the token: `Ok(())` to keep going, or the typed reason to
+    /// stop ([`OptimizeError::Cancelled`] wins over
+    /// [`OptimizeError::DeadlineExceeded`] when both hold).
+    ///
+    /// # Errors
+    ///
+    /// [`OptimizeError::Cancelled`] after [`CancelToken::cancel`];
+    /// [`OptimizeError::DeadlineExceeded`] once the deadline has passed.
+    pub fn check(&self) -> Result<(), OptimizeError> {
+        if self.is_cancelled() {
+            return Err(OptimizeError::Cancelled);
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                return Err(OptimizeError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// [`CancelToken::check`] for hot paths: the cancelled flag is read
+    /// every call, the deadline clock only every
+    /// [`DEADLINE_PROBE_STRIDE`]th call.
+    fn check_throttled(&self) -> Result<(), OptimizeError> {
+        if self.is_cancelled() {
+            return Err(OptimizeError::Cancelled);
+        }
+        if let Some(deadline) = self.inner.deadline {
+            let probe = self.inner.probes.fetch_add(1, Ordering::Relaxed);
+            if probe.is_multiple_of(DEADLINE_PROBE_STRIDE) && Instant::now() >= deadline {
+                return Err(OptimizeError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Unwinds with a [`CancelUnwind`] payload when the token says stop —
+    /// the escape hatch for infallible interfaces like
+    /// [`TimeLookup::time`]. Must run under the `catch_unwind` of
+    /// [`crate::engine::Engine::run_with_cancel`], which turns the
+    /// payload back into the typed error.
+    pub(crate) fn bail_if_stopped(&self) {
+        if let Err(reason) = self.check_throttled() {
+            panic::panic_any(CancelUnwind(reason));
+        }
+    }
+
+    /// Recovers the typed stop reason from a caught unwind payload, or
+    /// hands the payload back when it is a genuine panic.
+    pub(crate) fn unwind_reason(
+        payload: Box<dyn Any + Send>,
+    ) -> Result<OptimizeError, Box<dyn Any + Send>> {
+        payload.downcast::<CancelUnwind>().map(|unwind| unwind.0)
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+/// The unwind payload of a cooperative stop: not an error in the process,
+/// just a control-flow envelope for the typed reason.
+struct CancelUnwind(OptimizeError);
+
+/// Installs (once per process) a panic hook that stays silent for
+/// [`CancelUnwind`] payloads — cancellation is normal service operation
+/// and must not spam stderr — and delegates everything else to the
+/// previously installed hook.
+fn install_quiet_cancel_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CancelUnwind>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// A [`TimeLookup`] adapter that probes a [`CancelToken`] on every cell
+/// lookup, giving table-row-granular cancellation to every algorithm that
+/// reads the table — with zero change to the algorithms themselves.
+#[derive(Debug)]
+pub(crate) struct CancelGuarded<'a, T: ?Sized> {
+    table: &'a T,
+    token: &'a CancelToken,
+}
+
+impl<'a, T: TimeLookup + ?Sized> CancelGuarded<'a, T> {
+    pub(crate) fn new(table: &'a T, token: &'a CancelToken) -> Self {
+        CancelGuarded { table, token }
+    }
+}
+
+impl<T: TimeLookup + ?Sized> TimeLookup for CancelGuarded<'_, T> {
+    fn num_modules(&self) -> usize {
+        self.table.num_modules()
+    }
+
+    fn max_width(&self) -> usize {
+        self.table.max_width()
+    }
+
+    fn time(&self, module: ModuleId, width: usize) -> u64 {
+        self.token.bail_if_stopped();
+        self.table.time(module, width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::time::Duration;
+
+    #[test]
+    fn fresh_token_passes_checks() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        assert!(token.check().is_ok());
+    }
+
+    #[test]
+    fn cancel_is_observed_and_idempotent() {
+        let token = CancelToken::new();
+        token.cancel();
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(token.check(), Err(OptimizeError::Cancelled));
+        // Clones share the flag.
+        let clone = token.clone();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn expired_deadline_is_reported() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(token.check(), Err(OptimizeError::DeadlineExceeded));
+        // Cancellation wins over the deadline.
+        token.cancel();
+        assert_eq!(token.check(), Err(OptimizeError::Cancelled));
+    }
+
+    #[test]
+    fn future_deadline_passes() {
+        let token = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(token.check().is_ok());
+    }
+
+    #[test]
+    fn bail_unwinds_with_a_recoverable_reason() {
+        let token = CancelToken::new();
+        token.cancel();
+        let payload = catch_unwind(AssertUnwindSafe(|| token.bail_if_stopped()))
+            .expect_err("cancelled token must unwind");
+        assert_eq!(
+            CancelToken::unwind_reason(payload).unwrap(),
+            OptimizeError::Cancelled
+        );
+    }
+
+    #[test]
+    fn foreign_panics_are_handed_back() {
+        let payload = catch_unwind(|| panic::panic_any("plain panic")).unwrap_err();
+        assert!(CancelToken::unwind_reason(payload).is_err());
+    }
+
+    #[test]
+    fn throttled_deadline_check_fires_within_a_stride() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        let mut stopped = false;
+        for _ in 0..=DEADLINE_PROBE_STRIDE {
+            if token.check_throttled().is_err() {
+                stopped = true;
+                break;
+            }
+        }
+        assert!(stopped, "expired deadline not observed within one stride");
+    }
+}

@@ -1,0 +1,294 @@
+//! The fault-injection harness: deterministic panics, delays, and
+//! allocation pressure at chosen pipeline stages.
+//!
+//! Robustness claims ("a panicking request yields an `Internal` frame and
+//! the server keeps serving") are only testable if a fault can be placed
+//! *exactly* where the claim lives. A [`FaultPlan`] is a comma-separated
+//! list of directives,
+//!
+//! ```text
+//! <stage>:<kind>[:<arg>][@<request_id>]
+//! ```
+//!
+//! e.g. `optimize:panic@r2` (panic while serving request `r2`),
+//! `optimize:delay:400` (sleep 400 ms in every request),
+//! `respond:alloc:64@r1` (allocate and touch 64 MiB before answering
+//! `r1`). Stages are [`Stage::Admission`] (reader thread, before the
+//! request is queued), [`Stage::Optimize`] (executor, before the engine
+//! runs), and [`Stage::Respond`] (executor, after the engine ran, before
+//! the frame is written). Without an `@` filter a directive fires on
+//! every request.
+//!
+//! The harness is env-gated: production paths never construct a non-empty
+//! plan unless `SOCTEST_FAULTS` is set (or the `soc-serve` binary is
+//! given `--faults`), and an empty plan's [`FaultPlan::fire`] is a single
+//! slice-emptiness check.
+
+use std::fmt;
+use std::thread;
+use std::time::Duration;
+
+/// The environment variable [`FaultPlan::from_env`] reads.
+pub const FAULTS_ENV_VAR: &str = "SOCTEST_FAULTS";
+
+/// A pipeline stage a fault can attach to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Stage {
+    /// On the reader thread, after parsing an `Optimize` frame, before
+    /// admission to the queue. Delays here back-pressure the reader
+    /// (useful for making overload tests deterministic); a panic here
+    /// takes the reader down and is *not* isolated.
+    Admission,
+    /// On the executor, inside per-request isolation, before the engine
+    /// serves the request.
+    Optimize,
+    /// On the executor, inside per-request isolation, after the engine
+    /// served the request, before its frame is written.
+    Respond,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Stage::Admission => "admission",
+            Stage::Optimize => "optimize",
+            Stage::Respond => "respond",
+        };
+        f.write_str(name)
+    }
+}
+
+/// What an armed fault does when it fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum FaultKind {
+    /// `panic!` with a recognisable message.
+    Panic,
+    /// Sleep for the given number of milliseconds.
+    DelayMs(u64),
+    /// Allocate the given number of MiB, touch every page, drop it.
+    AllocMib(u64),
+}
+
+/// One armed fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Fault {
+    stage: Stage,
+    kind: FaultKind,
+    /// Fire only for this request id; `None` fires for every request.
+    request_id: Option<String>,
+}
+
+/// A parsed set of faults; empty in production. See the
+/// [module docs](self) for the directive grammar.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing ever fires.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Parses a comma-separated directive list (empty input → empty
+    /// plan).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending directive.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut faults = Vec::new();
+        for directive in spec.split(',').map(str::trim).filter(|d| !d.is_empty()) {
+            faults.push(Fault::parse(directive)?);
+        }
+        Ok(FaultPlan { faults })
+    }
+
+    /// The plan armed by the `SOCTEST_FAULTS` environment variable; empty
+    /// when the variable is unset.
+    ///
+    /// # Errors
+    ///
+    /// The parse error of a set-but-malformed variable (refusing to run
+    /// with a half-understood plan beats silently dropping faults).
+    pub fn from_env() -> Result<FaultPlan, String> {
+        match std::env::var(FAULTS_ENV_VAR) {
+            Ok(spec) => FaultPlan::parse(&spec),
+            Err(_) => Ok(FaultPlan::none()),
+        }
+    }
+
+    /// Fires every fault armed for `stage` whose request filter matches
+    /// `request_id`, in plan order.
+    ///
+    /// # Panics
+    ///
+    /// A matching `panic` fault panics (that is its job); the caller's
+    /// isolation layer is what is being tested.
+    pub fn fire(&self, stage: Stage, request_id: &str) {
+        if self.faults.is_empty() {
+            return;
+        }
+        for fault in &self.faults {
+            if fault.stage != stage {
+                continue;
+            }
+            if let Some(only) = &fault.request_id {
+                if only != request_id {
+                    continue;
+                }
+            }
+            fault.execute(request_id);
+        }
+    }
+}
+
+impl Fault {
+    fn parse(directive: &str) -> Result<Fault, String> {
+        let (spec, request_id) = match directive.split_once('@') {
+            Some((spec, id)) if !id.is_empty() => (spec, Some(id.to_string())),
+            Some(_) => return Err(format!("empty request filter in `{directive}`")),
+            None => (directive, None),
+        };
+        let mut parts = spec.split(':');
+        let stage = match parts.next() {
+            Some("admission") => Stage::Admission,
+            Some("optimize") => Stage::Optimize,
+            Some("respond") => Stage::Respond,
+            other => {
+                return Err(format!(
+                    "unknown stage `{}` in `{directive}` (expected admission|optimize|respond)",
+                    other.unwrap_or("")
+                ))
+            }
+        };
+        let kind = match (parts.next(), parts.next()) {
+            (Some("panic"), None) => FaultKind::Panic,
+            (Some("delay"), Some(ms)) => FaultKind::DelayMs(
+                ms.parse()
+                    .map_err(|_| format!("invalid delay `{ms}` in `{directive}`"))?,
+            ),
+            (Some("alloc"), Some(mib)) => FaultKind::AllocMib(
+                mib.parse()
+                    .map_err(|_| format!("invalid alloc size `{mib}` in `{directive}`"))?,
+            ),
+            _ => {
+                return Err(format!(
+                    "unknown fault kind in `{directive}` \
+                     (expected panic | delay:<ms> | alloc:<mib>)"
+                ))
+            }
+        };
+        if parts.next().is_some() {
+            return Err(format!("trailing tokens in `{directive}`"));
+        }
+        Ok(Fault {
+            stage,
+            kind,
+            request_id,
+        })
+    }
+
+    fn execute(&self, request_id: &str) {
+        match &self.kind {
+            FaultKind::Panic => {
+                panic!(
+                    "injected fault: {} panic for request `{request_id}`",
+                    self.stage
+                )
+            }
+            FaultKind::DelayMs(ms) => thread::sleep(Duration::from_millis(*ms)),
+            FaultKind::AllocMib(mib) => {
+                // Touch a byte of every page so the pressure is resident,
+                // not just reserved address space.
+                let bytes = usize::try_from(mib.saturating_mul(1024 * 1024))
+                    .unwrap_or(usize::MAX)
+                    .max(1);
+                let mut block = vec![0u8; bytes];
+                for index in (0..block.len()).step_by(4096) {
+                    block[index] = 1;
+                }
+                std::hint::black_box(&block);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::time::Instant;
+
+    #[test]
+    fn empty_specs_parse_to_the_empty_plan() {
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("  ,  ").unwrap().is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn directives_parse_with_and_without_filters() {
+        let plan =
+            FaultPlan::parse("optimize:panic@r2, admission:delay:200, respond:alloc:4@r1").unwrap();
+        assert_eq!(plan.faults.len(), 3);
+        assert_eq!(plan.faults[0].stage, Stage::Optimize);
+        assert_eq!(plan.faults[0].kind, FaultKind::Panic);
+        assert_eq!(plan.faults[0].request_id.as_deref(), Some("r2"));
+        assert_eq!(plan.faults[1].kind, FaultKind::DelayMs(200));
+        assert_eq!(plan.faults[1].request_id, None);
+        assert_eq!(plan.faults[2].kind, FaultKind::AllocMib(4));
+    }
+
+    #[test]
+    fn malformed_directives_name_the_problem() {
+        for (spec, needle) in [
+            ("nowhere:panic", "unknown stage"),
+            ("optimize:explode", "unknown fault kind"),
+            ("optimize:delay:soon", "invalid delay"),
+            ("optimize:alloc:lots", "invalid alloc"),
+            ("optimize:panic:extra", "unknown fault kind"),
+            ("optimize:delay:5:extra", "trailing tokens"),
+            ("optimize:panic@", "empty request filter"),
+        ] {
+            let err = FaultPlan::parse(spec).unwrap_err();
+            assert!(err.contains(needle), "spec {spec:?} gave: {err}");
+        }
+    }
+
+    #[test]
+    fn panic_fault_fires_only_for_its_request() {
+        let plan = FaultPlan::parse("optimize:panic@r2").unwrap();
+        plan.fire(Stage::Optimize, "r1"); // filtered out
+        plan.fire(Stage::Respond, "r2"); // wrong stage
+        let payload = catch_unwind(AssertUnwindSafe(|| plan.fire(Stage::Optimize, "r2")))
+            .expect_err("armed fault must panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(message.contains("injected fault"), "got: {message}");
+        assert!(message.contains("r2"));
+    }
+
+    #[test]
+    fn delay_fault_actually_sleeps() {
+        let plan = FaultPlan::parse("respond:delay:30").unwrap();
+        let start = Instant::now();
+        plan.fire(Stage::Respond, "any");
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn alloc_fault_survives_and_returns() {
+        let plan = FaultPlan::parse("optimize:alloc:2").unwrap();
+        plan.fire(Stage::Optimize, "any"); // must not crash or leak
+    }
+}

@@ -1,0 +1,75 @@
+//! The fault-tolerant streaming optimizer service behind the
+//! `soc-serve` binary.
+//!
+//! Where [`crate::engine::Engine::run_batch`] answers one closed batch
+//! for one SOC, this layer keeps a *persistent* server alive across many
+//! SOCs and many clients' worth of requests on an NDJSON stdin/stdout
+//! stream:
+//!
+//! * [`protocol`] — the typed wire frames ([`ClientFrame`] in,
+//!   [`ServerFrame`] out), strict about unknown fields;
+//! * [`registry`] — the content-hash-keyed LRU of warm [`Engine`]
+//!   sessions with memory accounting ([`SessionRegistry`]);
+//! * [`cancel`] — cooperative [`CancelToken`]s: `Cancel` frames and
+//!   per-request deadlines observed at sweep-point *and* table-row
+//!   granularity;
+//! * [`server`] — the [`Server`] loop itself: bounded admission with
+//!   typed `Overloaded` shedding, per-request panic isolation, graceful
+//!   drain with a final `Bye` statistics frame;
+//! * [`faults`] — the env-gated [`FaultPlan`] harness that injects
+//!   panics, delays, and allocation pressure to prove the above.
+//!
+//! [`Engine`]: crate::engine::Engine
+
+pub mod cancel;
+pub mod faults;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use cancel::CancelToken;
+pub use faults::{FaultPlan, Stage, FAULTS_ENV_VAR};
+pub use protocol::{
+    parse_client_frame, render_server_frame, ClientFrame, ErrorFrame, ErrorKind, OptimizeFrame,
+    ResultFrame, ServerFrame, ServerStats, SocSpec,
+};
+pub use registry::{RegistryStats, SessionHandle, SessionRegistry};
+pub use server::{Server, ServerConfig};
+
+use soctest_soc_model::synthetic::pnx8550_like;
+use soctest_soc_model::{benchmarks, Soc};
+
+/// Resolves a [`SocSpec::Named`] SOC: one of the embedded ITC'02
+/// benchmarks (`d695`, `p22810`, `p34392`, `p93791`) or the synthetic
+/// `pnx8550_like` stand-in.
+///
+/// # Errors
+///
+/// Returns a human-readable message listing the known names.
+pub fn resolve_named_soc(name: &str) -> Result<Soc, String> {
+    if name == "pnx8550_like" {
+        return Ok(pnx8550_like());
+    }
+    benchmarks::by_name(name).map_err(|err| {
+        format!("unknown SOC {name:?} ({err}); known: d695, p22810, p34392, p93791, pnx8550_like")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_documented_name_resolves() {
+        for name in ["d695", "p22810", "p34392", "p93791", "pnx8550_like"] {
+            assert!(resolve_named_soc(name).is_ok(), "{name} must resolve");
+        }
+    }
+
+    #[test]
+    fn unknown_names_list_the_catalogue() {
+        let err = resolve_named_soc("nope").unwrap_err();
+        assert!(err.contains("nope"));
+        assert!(err.contains("pnx8550_like"));
+    }
+}

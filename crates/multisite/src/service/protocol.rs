@@ -1,0 +1,521 @@
+//! The NDJSON wire protocol of the `soc-serve` streaming service.
+//!
+//! One JSON value per line, in each direction:
+//!
+//! * client → server: [`ClientFrame`] — `{"Optimize": {...}}`,
+//!   `{"Cancel": {"request_id": "r1"}}`, `"Shutdown"`;
+//! * server → client: [`ServerFrame`] — `{"Result": {...}}`,
+//!   `{"Error": {...}}`, and a final `{"Bye": {...}}` with session
+//!   statistics when the stream drains.
+//!
+//! The enums are modeled like the `soc-batch` wire types: invalid states
+//! are unrepresentable in the Rust types, and the hand-written serde
+//! impls keep real serde's externally-tagged enum format so the frames
+//! survive a swap to the crates.io serde. Unlike the lenient derived
+//! struct impls, every protocol-level object here is **strict**: an
+//! unknown or duplicate field on a frame is a protocol error (a typo'd
+//! `"deadline_ms"` must not silently become "no deadline"), enforced by
+//! `expect_fields`. Truncated frames fail JSON parsing one layer below.
+
+use crate::engine::{tagged, untag, OptimizeRequest, OptimizeResponse};
+use crate::error::OptimizeError;
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+
+/// Rejects unknown and duplicate fields on a protocol object — the
+/// strictness layer the lenient derived impls don't provide.
+fn expect_fields(value: &Value, allowed: &[&str], type_name: &str) -> Result<(), SerdeError> {
+    let fields = value
+        .as_object()
+        .ok_or_else(|| SerdeError::custom(format!("expected object for {type_name}")))?;
+    for (index, (name, _)) in fields.iter().enumerate() {
+        if !allowed.contains(&name.as_str()) {
+            return Err(SerdeError::custom(format!(
+                "unknown field `{name}` for {type_name}"
+            )));
+        }
+        if fields[..index].iter().any(|(earlier, _)| earlier == name) {
+            return Err(SerdeError::custom(format!(
+                "duplicate field `{name}` for {type_name}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The SOC a request targets: inline `.soc` text (parsed and validated
+/// per session) or the name of an embedded benchmark
+/// (see [`crate::service::resolve_named_soc`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocSpec {
+    /// Inline `.soc` document text.
+    Inline(String),
+    /// Name of an embedded benchmark (`d695`, `p22810`, `p34392`,
+    /// `p93791`, `pnx8550_like`).
+    Named(String),
+}
+
+impl Serialize for SocSpec {
+    fn to_value(&self) -> Value {
+        match self {
+            SocSpec::Inline(text) => tagged("Inline", text.to_value()),
+            SocSpec::Named(name) => tagged("Named", name.to_value()),
+        }
+    }
+}
+
+impl Deserialize for SocSpec {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let (tag, body) = untag(value, "SocSpec")?;
+        match tag {
+            "Inline" => Ok(SocSpec::Inline(String::from_value(body)?)),
+            "Named" => Ok(SocSpec::Named(String::from_value(body)?)),
+            other => Err(SerdeError::custom(format!(
+                "unknown variant `{other}` for SocSpec"
+            ))),
+        }
+    }
+}
+
+/// One optimizer request on the wire: an id chosen by the client (echoed
+/// on every frame about this request), the target SOC, the typed engine
+/// request, and an optional deadline.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct OptimizeFrame {
+    /// Client-chosen correlation id; must be unique among in-flight
+    /// requests.
+    pub request_id: String,
+    /// The SOC this request targets.
+    pub soc: SocSpec,
+    /// The engine request to serve.
+    pub request: OptimizeRequest,
+    /// Optional deadline in milliseconds, measured from admission; an
+    /// expired request answers [`ErrorKind::DeadlineExceeded`]. Absent or
+    /// `null` means no deadline.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Deserialize for OptimizeFrame {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        expect_fields(
+            value,
+            &["request_id", "soc", "request", "deadline_ms"],
+            "OptimizeFrame",
+        )?;
+        // `deadline_ms` may be omitted entirely (None), unlike the other
+        // fields, which are required.
+        let deadline_ms = match value.get("deadline_ms") {
+            None => None,
+            Some(raw) => Option::<u64>::from_value(raw)?,
+        };
+        Ok(OptimizeFrame {
+            request_id: serde::get_field(value, "request_id", "OptimizeFrame")?,
+            soc: serde::get_field(value, "soc", "OptimizeFrame")?,
+            request: serde::get_field(value, "request", "OptimizeFrame")?,
+            deadline_ms,
+        })
+    }
+}
+
+/// One line of client input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientFrame {
+    /// Admit one optimizer request.
+    Optimize(OptimizeFrame),
+    /// Cooperatively cancel an in-flight (queued or running) request.
+    Cancel {
+        /// The id of the request to cancel.
+        request_id: String,
+    },
+    /// Stop reading input, drain the queue, answer `Bye`, exit.
+    Shutdown,
+}
+
+impl Serialize for ClientFrame {
+    fn to_value(&self) -> Value {
+        match self {
+            ClientFrame::Optimize(frame) => tagged("Optimize", frame.to_value()),
+            ClientFrame::Cancel { request_id } => tagged(
+                "Cancel",
+                Value::Object(vec![("request_id".to_string(), request_id.to_value())]),
+            ),
+            ClientFrame::Shutdown => Value::String("Shutdown".to_string()),
+        }
+    }
+}
+
+impl Deserialize for ClientFrame {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        if let Some(name) = value.as_str() {
+            return match name {
+                "Shutdown" => Ok(ClientFrame::Shutdown),
+                other => Err(SerdeError::custom(format!(
+                    "unknown unit variant `{other}` for ClientFrame"
+                ))),
+            };
+        }
+        let (tag, body) = untag(value, "ClientFrame")?;
+        match tag {
+            "Optimize" => Ok(ClientFrame::Optimize(OptimizeFrame::from_value(body)?)),
+            "Cancel" => {
+                expect_fields(body, &["request_id"], "ClientFrame::Cancel")?;
+                Ok(ClientFrame::Cancel {
+                    request_id: serde::get_field(body, "request_id", "ClientFrame::Cancel")?,
+                })
+            }
+            other => Err(SerdeError::custom(format!(
+                "unknown variant `{other}` for ClientFrame"
+            ))),
+        }
+    }
+}
+
+/// The failure class of an [`ErrorFrame`] — a stable, machine-matchable
+/// discriminant next to the human-readable message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// The input line was not a well-formed frame (bad JSON, unknown
+    /// variant, unknown/duplicate/missing field, duplicate request id).
+    Protocol,
+    /// A `Cancel` named a request id that is not in flight.
+    UnknownRequest,
+    /// The SOC failed to parse, failed validation, or an unknown SOC name
+    /// was given.
+    InvalidSoc,
+    /// The request's optimizer configuration is invalid.
+    InvalidConfig,
+    /// The architecture design failed (module infeasible, channel
+    /// shortage, empty SOC).
+    Architecture,
+    /// The request panicked or broke an optimizer invariant; the server
+    /// keeps serving.
+    Internal,
+    /// The request was cancelled by a `Cancel` frame.
+    Cancelled,
+    /// The request's deadline expired before it completed.
+    DeadlineExceeded,
+    /// The admission queue was full; the request was shed unserved.
+    Overloaded,
+}
+
+impl From<&OptimizeError> for ErrorKind {
+    fn from(error: &OptimizeError) -> Self {
+        match error {
+            OptimizeError::Architecture(_) => ErrorKind::Architecture,
+            OptimizeError::InvalidConfig { .. } => ErrorKind::InvalidConfig,
+            OptimizeError::InvalidSoc { .. } => ErrorKind::InvalidSoc,
+            OptimizeError::Internal { .. } => ErrorKind::Internal,
+            OptimizeError::Cancelled => ErrorKind::Cancelled,
+            OptimizeError::DeadlineExceeded => ErrorKind::DeadlineExceeded,
+            OptimizeError::Overloaded => ErrorKind::Overloaded,
+        }
+    }
+}
+
+/// A successful answer to one [`OptimizeFrame`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ResultFrame {
+    /// The id of the request this answers.
+    pub request_id: String,
+    /// Whether the request hit an already-warm engine session (same SOC
+    /// content served before and still resident in the registry).
+    pub warm: bool,
+    /// The engine's response.
+    pub response: OptimizeResponse,
+}
+
+impl Deserialize for ResultFrame {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        expect_fields(value, &["request_id", "warm", "response"], "ResultFrame")?;
+        Ok(ResultFrame {
+            request_id: serde::get_field(value, "request_id", "ResultFrame")?,
+            warm: serde::get_field(value, "warm", "ResultFrame")?,
+            response: serde::get_field(value, "response", "ResultFrame")?,
+        })
+    }
+}
+
+/// A typed failure: per-request when `request_id` is set, stream-level
+/// (an unparseable line) when it is `null`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ErrorFrame {
+    /// The id of the request this answers, or `null` for line-level
+    /// protocol errors.
+    pub request_id: Option<String>,
+    /// The machine-matchable failure class.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ErrorFrame {
+    /// The error frame for a typed optimizer failure of `request_id`.
+    pub fn from_error(request_id: impl Into<String>, error: &OptimizeError) -> Self {
+        ErrorFrame {
+            request_id: Some(request_id.into()),
+            kind: ErrorKind::from(error),
+            message: error.to_string(),
+        }
+    }
+
+    /// A stream-level protocol error (no request id to blame).
+    pub fn protocol(message: impl Into<String>) -> Self {
+        ErrorFrame {
+            request_id: None,
+            kind: ErrorKind::Protocol,
+            message: message.into(),
+        }
+    }
+}
+
+impl Deserialize for ErrorFrame {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        expect_fields(value, &["request_id", "kind", "message"], "ErrorFrame")?;
+        Ok(ErrorFrame {
+            request_id: serde::get_field(value, "request_id", "ErrorFrame")?,
+            kind: serde::get_field(value, "kind", "ErrorFrame")?,
+            message: serde::get_field(value, "message", "ErrorFrame")?,
+        })
+    }
+}
+
+/// End-of-session statistics, answered in the final `Bye` frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// `Result` frames written.
+    pub served: u64,
+    /// `Error` frames written (all kinds, including shed load).
+    pub errors: u64,
+    /// Engine sessions built over the lifetime of the stream.
+    pub sessions_created: u64,
+    /// Requests that found their session warm in the registry.
+    pub session_hits: u64,
+    /// Requests that had to (re)build their session.
+    pub session_misses: u64,
+    /// Sessions evicted by the registry's LRU / memory cap.
+    pub evictions: u64,
+}
+
+/// One line of server output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerFrame {
+    /// A request succeeded.
+    Result(ResultFrame),
+    /// A request (or input line) failed.
+    Error(ErrorFrame),
+    /// The stream drained; statistics of the whole session. Always the
+    /// last frame.
+    Bye(ServerStats),
+}
+
+impl Serialize for ServerFrame {
+    fn to_value(&self) -> Value {
+        match self {
+            ServerFrame::Result(frame) => tagged("Result", frame.to_value()),
+            ServerFrame::Error(frame) => tagged("Error", frame.to_value()),
+            ServerFrame::Bye(stats) => tagged("Bye", stats.to_value()),
+        }
+    }
+}
+
+impl Deserialize for ServerFrame {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let (tag, body) = untag(value, "ServerFrame")?;
+        match tag {
+            "Result" => Ok(ServerFrame::Result(ResultFrame::from_value(body)?)),
+            "Error" => Ok(ServerFrame::Error(ErrorFrame::from_value(body)?)),
+            "Bye" => {
+                expect_fields(
+                    body,
+                    &[
+                        "served",
+                        "errors",
+                        "sessions_created",
+                        "session_hits",
+                        "session_misses",
+                        "evictions",
+                    ],
+                    "ServerFrame::Bye",
+                )?;
+                Ok(ServerFrame::Bye(ServerStats::from_value(body)?))
+            }
+            other => Err(SerdeError::custom(format!(
+                "unknown variant `{other}` for ServerFrame"
+            ))),
+        }
+    }
+}
+
+/// Parses one line of client input.
+///
+/// # Errors
+///
+/// A human-readable message on malformed JSON, unknown variants, and
+/// unknown/duplicate/missing fields — rendered back to the client in a
+/// [`ErrorKind::Protocol`] frame.
+pub fn parse_client_frame(line: &str) -> Result<ClientFrame, String> {
+    serde_json::from_str(line).map_err(|err| format!("malformed frame: {err}"))
+}
+
+/// Renders one server frame as its single NDJSON line (no trailing
+/// newline — the writer adds it).
+///
+/// # Panics
+///
+/// Panics if the frame contains a non-finite float (the optimizer never
+/// produces one).
+pub fn render_server_frame(frame: &ServerFrame) -> String {
+    serde_json::to_string(frame).expect("server frames serialise")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SweepAxis;
+    use crate::problem::OptimizerConfig;
+    use soctest_ate::{AteSpec, ProbeStation, TestCell};
+    use soctest_tam::TamError;
+
+    fn sample_request() -> OptimizeRequest {
+        let cell = TestCell::new(
+            AteSpec::new(64, 16 * 1024, 5.0e6),
+            ProbeStation::paper_probe_station(),
+        );
+        OptimizeRequest::new(OptimizerConfig::new(cell))
+    }
+
+    #[test]
+    fn client_frames_round_trip() {
+        let frames = [
+            ClientFrame::Optimize(OptimizeFrame {
+                request_id: "r1".into(),
+                soc: SocSpec::Named("d695".into()),
+                request: sample_request(),
+                deadline_ms: Some(250),
+            }),
+            ClientFrame::Optimize(OptimizeFrame {
+                request_id: "r2".into(),
+                soc: SocSpec::Inline("soc t\n".into()),
+                request: sample_request().with_sweep(SweepAxis::Channels(vec![32, 64])),
+                deadline_ms: None,
+            }),
+            ClientFrame::Cancel {
+                request_id: "r1".into(),
+            },
+            ClientFrame::Shutdown,
+        ];
+        for frame in &frames {
+            let json = serde_json::to_string(frame).unwrap();
+            let back = parse_client_frame(&json).unwrap();
+            assert_eq!(&back, frame, "round trip failed for {json}");
+        }
+        assert_eq!(
+            serde_json::to_string(&ClientFrame::Shutdown).unwrap(),
+            "\"Shutdown\""
+        );
+    }
+
+    #[test]
+    fn server_frames_round_trip() {
+        let frames = [
+            ServerFrame::Error(ErrorFrame::protocol("bad line")),
+            ServerFrame::Error(ErrorFrame::from_error(
+                "r9",
+                &OptimizeError::Architecture(TamError::EmptySoc),
+            )),
+            ServerFrame::Error(ErrorFrame {
+                request_id: Some("r3".into()),
+                kind: ErrorKind::Overloaded,
+                message: "queue full".into(),
+            }),
+            ServerFrame::Bye(ServerStats {
+                served: 4,
+                errors: 1,
+                sessions_created: 2,
+                session_hits: 3,
+                session_misses: 2,
+                evictions: 1,
+            }),
+        ];
+        for frame in &frames {
+            let json = render_server_frame(frame);
+            let back: ServerFrame = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, frame, "round trip failed for {json}");
+        }
+    }
+
+    #[test]
+    fn deadline_may_be_omitted_but_other_fields_may_not() {
+        let json = r#"{"Optimize":{"request_id":"r1","soc":{"Named":"d695"},"request":REQ}}"#
+            .replace("REQ", &serde_json::to_string(&sample_request()).unwrap());
+        let frame = parse_client_frame(&json).unwrap();
+        match frame {
+            ClientFrame::Optimize(inner) => assert_eq!(inner.deadline_ms, None),
+            other => panic!("unexpected frame {other:?}"),
+        }
+        let missing_id = r#"{"Optimize":{"soc":{"Named":"d695"},"request":REQ}}"#
+            .replace("REQ", &serde_json::to_string(&sample_request()).unwrap());
+        assert!(parse_client_frame(&missing_id)
+            .unwrap_err()
+            .contains("request_id"));
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_at_frame_level() {
+        let json =
+            r#"{"Optimize":{"request_id":"r1","soc":{"Named":"d695"},"request":REQ,"deadine_ms":5}}"#
+                .replace("REQ", &serde_json::to_string(&sample_request()).unwrap());
+        let err = parse_client_frame(&json).unwrap_err();
+        assert!(err.contains("deadine_ms"), "got: {err}");
+        assert!(
+            parse_client_frame(r#"{"Cancel":{"request_id":"r1","force":true}}"#)
+                .unwrap_err()
+                .contains("force")
+        );
+    }
+
+    #[test]
+    fn truncated_and_malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "{\"Optimize\":",
+            "\"Shutdow\"",
+            "{\"Nope\":{}}",
+            "[1,2,3]",
+            "{\"Cancel\":{}}",
+        ] {
+            assert!(parse_client_frame(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_kind_maps_every_optimizer_error() {
+        let cases = [
+            (
+                OptimizeError::Architecture(TamError::EmptySoc),
+                ErrorKind::Architecture,
+            ),
+            (
+                OptimizeError::InvalidConfig {
+                    message: "x".into(),
+                },
+                ErrorKind::InvalidConfig,
+            ),
+            (
+                OptimizeError::InvalidSoc { issues: vec![] },
+                ErrorKind::InvalidSoc,
+            ),
+            (OptimizeError::internal("x"), ErrorKind::Internal),
+            (OptimizeError::Cancelled, ErrorKind::Cancelled),
+            (OptimizeError::DeadlineExceeded, ErrorKind::DeadlineExceeded),
+            (OptimizeError::Overloaded, ErrorKind::Overloaded),
+        ];
+        for (error, kind) in cases {
+            assert_eq!(ErrorKind::from(&error), kind);
+            let frame = ErrorFrame::from_error("r1", &error);
+            assert_eq!(frame.kind, kind);
+            assert_eq!(frame.message, error.to_string());
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! The warm-session registry: content-hash-keyed LRU of [`Engine`]s with
+//! memory accounting.
+//!
+//! The service holds one engine per distinct SOC *content*: the key is an
+//! FNV-1a hash of the canonical [`write_soc`] rendering, so an inline
+//! `.soc` document and a named benchmark with identical content share one
+//! warm session (same table, same cached cells) regardless of how the
+//! client spelled them. Sessions are evicted least-recently-used when the
+//! registry exceeds its session-count or memory cap; memory is charged as
+//! each engine's [`Engine::table_memory_bytes`] estimate and re-assessed
+//! after every request (tables grow on demand). The most recently used
+//! session is never evicted — a single session larger than the whole cap
+//! is allowed to exist alone, it just prevents any second resident
+//! session.
+
+use crate::engine::Engine;
+use crate::error::OptimizeError;
+use soctest_soc_model::writer::write_soc;
+use soctest_soc_model::Soc;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// FNV-1a 64-bit over the canonical SOC text — stable, dependency-free,
+/// and plenty for distinguishing SOC descriptions (collisions would only
+/// merge two sessions, never corrupt results... except they would serve
+/// the wrong SOC, so the registry double-checks the canonical text on
+/// hash hits).
+fn fnv1a64(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One resident session.
+#[derive(Debug)]
+struct SessionSlot {
+    /// FNV-1a of `canonical` (the lookup fast path).
+    hash: u64,
+    /// The canonical `.soc` text (the collision-proof identity).
+    canonical: String,
+    /// The warm engine.
+    engine: Arc<Engine>,
+    /// Last-assessed [`Engine::table_memory_bytes`].
+    bytes: u64,
+}
+
+/// Registry counters, exposed for the service's `Bye` statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RegistryStats {
+    /// Requests that found their session resident.
+    pub hits: u64,
+    /// Requests that had to build a session.
+    pub misses: u64,
+    /// Sessions built (equals `misses`; kept separate for clarity).
+    pub created: u64,
+    /// Sessions evicted by the LRU / memory cap.
+    pub evictions: u64,
+    /// Currently charged bytes across all resident sessions.
+    pub current_bytes: u64,
+}
+
+/// A successful [`SessionRegistry::get_or_build`]: the engine to run on,
+/// whether it was already warm, and the key for the post-run
+/// [`SessionRegistry::reassess`].
+#[derive(Debug, Clone)]
+pub struct SessionHandle {
+    /// The (shared) engine session.
+    pub engine: Arc<Engine>,
+    /// `true` when the session was already resident.
+    pub warm: bool,
+    /// The session's content-hash key.
+    pub key: u64,
+}
+
+/// An LRU of warm [`Engine`] sessions keyed by SOC content hash, bounded
+/// by a session count and a memory cap. See the [module docs](self).
+#[derive(Debug)]
+pub struct SessionRegistry {
+    /// Slots in LRU order: index 0 is the coldest.
+    inner: Mutex<RegistryInner>,
+    max_sessions: usize,
+    max_table_bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    slots: Vec<SessionSlot>,
+    stats: RegistryStats,
+}
+
+impl SessionRegistry {
+    /// An empty registry holding at most `max_sessions` sessions and at
+    /// most `max_table_bytes` of charged table memory (both clamped to at
+    /// least one session).
+    pub fn new(max_sessions: usize, max_table_bytes: u64) -> Self {
+        SessionRegistry {
+            inner: Mutex::new(RegistryInner::default()),
+            max_sessions: max_sessions.max(1),
+            max_table_bytes,
+        }
+    }
+
+    /// Returns the warm session for `soc`'s content, building (and
+    /// admitting) one if absent. Eviction runs after an admission.
+    ///
+    /// # Errors
+    ///
+    /// [`OptimizeError::InvalidSoc`] when a fresh build is needed and the
+    /// SOC fails validation (via [`crate::engine::EngineBuilder::try_build`]) —
+    /// nothing is admitted in that case.
+    pub fn get_or_build(&self, soc: &Soc) -> Result<SessionHandle, OptimizeError> {
+        let canonical = write_soc(soc);
+        let hash = fnv1a64(&canonical);
+        let mut inner = self.lock();
+        if let Some(position) = inner
+            .slots
+            .iter()
+            .position(|slot| slot.hash == hash && slot.canonical == canonical)
+        {
+            // Touch: move to the hot end.
+            let slot = inner.slots.remove(position);
+            let engine = Arc::clone(&slot.engine);
+            inner.slots.push(slot);
+            inner.stats.hits += 1;
+            return Ok(SessionHandle {
+                engine,
+                warm: true,
+                key: hash,
+            });
+        }
+
+        inner.stats.misses += 1;
+        let engine = Arc::new(Engine::builder(soc).try_build()?);
+        inner.stats.created += 1;
+        let bytes = engine.table_memory_bytes();
+        inner.slots.push(SessionSlot {
+            hash,
+            canonical,
+            engine: Arc::clone(&engine),
+            bytes,
+        });
+        self.evict_over_caps(&mut inner);
+        Ok(SessionHandle {
+            engine,
+            warm: false,
+            key: hash,
+        })
+    }
+
+    /// Re-assesses a session's memory charge after a request ran (its
+    /// table may have grown or been rebuilt wider) and re-applies the
+    /// caps. A no-op for sessions already evicted.
+    pub fn reassess(&self, key: u64) {
+        let mut inner = self.lock();
+        if let Some(slot) = inner.slots.iter_mut().find(|slot| slot.hash == key) {
+            slot.bytes = slot.engine.table_memory_bytes();
+        }
+        self.evict_over_caps(&mut inner);
+    }
+
+    /// Current counters (bytes recomputed from the resident slots).
+    pub fn stats(&self) -> RegistryStats {
+        let inner = self.lock();
+        let mut stats = inner.stats;
+        stats.current_bytes = inner.slots.iter().map(|slot| slot.bytes).sum();
+        stats
+    }
+
+    /// Number of resident sessions.
+    pub fn len(&self) -> usize {
+        self.lock().slots.len()
+    }
+
+    /// Whether no session is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evicts coldest-first while over either cap, always sparing the
+    /// hottest slot.
+    fn evict_over_caps(&self, inner: &mut RegistryInner) {
+        loop {
+            let total: u64 = inner.slots.iter().map(|slot| slot.bytes).sum();
+            let over = inner.slots.len() > self.max_sessions || total > self.max_table_bytes;
+            if !over || inner.slots.len() <= 1 {
+                break;
+            }
+            inner.slots.remove(0);
+            inner.stats.evictions += 1;
+        }
+    }
+
+    // A panicking request can never leave the registry mid-mutation (all
+    // mutations happen outside the optimizer's unwind path), so poisoning
+    // only records that *some* thread panicked — recover the data.
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctest_soc_model::benchmarks::{d695, p22810};
+    use soctest_soc_model::{Module, Soc};
+
+    #[test]
+    fn same_content_shares_a_session_across_spellings() {
+        let registry = SessionRegistry::new(4, u64::MAX);
+        let first = registry.get_or_build(&d695()).unwrap();
+        assert!(!first.warm);
+        // A re-parsed copy has identical canonical text.
+        let reparsed =
+            soctest_soc_model::parser::parse_soc(&write_soc(&d695())).expect("round trip");
+        let second = registry.get_or_build(&reparsed).unwrap();
+        assert!(second.warm);
+        assert!(Arc::ptr_eq(&first.engine, &second.engine));
+        assert_eq!(registry.len(), 1);
+        let stats = registry.stats();
+        assert_eq!((stats.hits, stats.misses, stats.created), (1, 1, 1));
+    }
+
+    #[test]
+    fn session_cap_evicts_least_recently_used() {
+        let registry = SessionRegistry::new(2, u64::MAX);
+        registry.get_or_build(&d695()).unwrap(); // [d695]
+        registry.get_or_build(&p22810()).unwrap(); // [d695, p22810]
+        assert!(registry.get_or_build(&d695()).unwrap().warm); // [p22810, d695]
+        let mut third = Soc::new("third");
+        third.push_module(
+            Module::builder("m")
+                .patterns(3)
+                .inputs(2)
+                .outputs(2)
+                .build(),
+        );
+        registry.get_or_build(&third).unwrap(); // evicts p22810
+        assert_eq!(registry.len(), 2);
+        assert!(registry.get_or_build(&d695()).unwrap().warm);
+        assert!(!registry.get_or_build(&p22810()).unwrap().warm);
+        assert!(registry.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn memory_cap_keeps_at_most_the_hottest_session() {
+        let registry = SessionRegistry::new(8, 1); // 1 byte: everything is oversized
+        assert!(!registry.get_or_build(&d695()).unwrap().warm);
+        // The single oversized session stays resident (never evict the
+        // hottest slot) — so a re-request is warm...
+        assert!(registry.get_or_build(&d695()).unwrap().warm);
+        // ...but admitting a second SOC evicts the first.
+        assert!(!registry.get_or_build(&p22810()).unwrap().warm);
+        assert_eq!(registry.len(), 1);
+        assert!(!registry.get_or_build(&d695()).unwrap().warm);
+    }
+
+    #[test]
+    fn invalid_soc_is_rejected_and_not_admitted() {
+        let registry = SessionRegistry::new(4, u64::MAX);
+        let err = registry.get_or_build(&Soc::new("empty")).unwrap_err();
+        assert!(matches!(err, OptimizeError::InvalidSoc { .. }));
+        assert!(registry.is_empty());
+        let stats = registry.stats();
+        assert_eq!(stats.created, 0);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn reassess_recharges_grown_tables() {
+        let registry = SessionRegistry::new(4, u64::MAX);
+        let handle = registry.get_or_build(&d695()).unwrap();
+        let before = registry.stats().current_bytes;
+        // Widen the table by serving a request.
+        use crate::engine::OptimizeRequest;
+        use crate::problem::OptimizerConfig;
+        use soctest_ate::{AteSpec, ProbeStation, TestCell};
+        let cell = TestCell::new(
+            AteSpec::new(256, 96 * 1024, 5.0e6),
+            ProbeStation::paper_probe_station(),
+        );
+        handle
+            .engine
+            .run(&OptimizeRequest::new(OptimizerConfig::new(cell)))
+            .unwrap();
+        registry.reassess(handle.key);
+        assert!(registry.stats().current_bytes > before);
+    }
+
+    #[test]
+    fn fnv_hash_is_stable_and_content_sensitive() {
+        assert_eq!(fnv1a64(""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64("soc a\n"), fnv1a64("soc b\n"));
+    }
+}

@@ -1,0 +1,648 @@
+//! The streaming optimizer server: reads [`ClientFrame`] lines, answers
+//! [`ServerFrame`] lines, in admission order.
+//!
+//! Two threads share the work (see [`Server::serve`]):
+//!
+//! * the **reader** (the calling thread) parses frames, admits
+//!   `Optimize` requests to a bounded queue (shedding with a typed
+//!   `Overloaded` frame when full), applies `Cancel` frames immediately
+//!   to the in-flight token, and closes the queue on EOF or `Shutdown`;
+//! * the **executor** drains the queue one item at a time, serving each
+//!   request under [`std::panic::catch_unwind`] isolation so a panicking
+//!   request becomes an [`ErrorKind::Internal`] frame while the server
+//!   keeps serving, then writes the final `Bye` statistics frame once
+//!   the queue is closed and drained.
+//!
+//! All output — results, typed errors, protocol complaints — flows
+//! through one queue in admission order, so responses are deterministic
+//! for a given input stream (modulo wall-clock effects the client asked
+//! for: deadlines and cancellation races).
+
+use crate::error::OptimizeError;
+use crate::service::cancel::CancelToken;
+use crate::service::faults::{FaultPlan, Stage};
+use crate::service::protocol::{
+    parse_client_frame, render_server_frame, ClientFrame, ErrorFrame, ErrorKind, OptimizeFrame,
+    ResultFrame, ServerFrame, ServerStats, SocSpec,
+};
+use crate::service::registry::SessionRegistry;
+use crate::service::resolve_named_soc;
+use soctest_soc_model::parser::parse_soc;
+use soctest_soc_model::validate::{Severity, ValidationIssue};
+use soctest_soc_model::Soc;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServerConfig {
+    /// Maximum number of admitted-but-unserved requests; an `Optimize`
+    /// frame arriving with the queue full is shed with
+    /// [`ErrorKind::Overloaded`].
+    pub queue_capacity: usize,
+    /// Maximum number of warm engine sessions resident at once.
+    pub max_sessions: usize,
+    /// Maximum bytes of charged table memory across all resident
+    /// sessions (the LRU evicts past either cap, always sparing the
+    /// hottest session).
+    pub max_table_bytes: u64,
+    /// The armed fault plan (empty in production).
+    pub faults: FaultPlan,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_capacity: 64,
+            max_sessions: 8,
+            max_table_bytes: 256 * 1024 * 1024,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// One admitted request, waiting for (or being served by) the executor.
+#[derive(Debug)]
+struct Job {
+    frame: OptimizeFrame,
+    token: CancelToken,
+}
+
+/// One entry of the ordered output-bearing queue: either a request to
+/// run, or a frame already decided at admission time (protocol errors,
+/// shed load) that still must leave in admission order.
+#[derive(Debug)]
+enum QueueItem {
+    Run(Job),
+    Note(ServerFrame),
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    items: VecDeque<QueueItem>,
+    /// Number of queued `Run` items (notes don't count against the
+    /// admission capacity).
+    pending_runs: usize,
+    /// Cleared on EOF / `Shutdown`; the executor drains and exits.
+    open: bool,
+}
+
+/// The streaming multi-SOC optimizer service. See the
+/// [module docs](self) and [`Server::serve`].
+#[derive(Debug)]
+pub struct Server {
+    config: ServerConfig,
+    registry: SessionRegistry,
+    queue: Mutex<QueueState>,
+    queue_ready: Condvar,
+    /// Cancellation tokens of in-flight (queued or running) requests,
+    /// keyed by request id; entries are removed when the request's frame
+    /// is decided, so `Cancel` for a finished id answers
+    /// [`ErrorKind::UnknownRequest`].
+    tokens: Mutex<HashMap<String, CancelToken>>,
+}
+
+impl Server {
+    /// A server with the given knobs and an empty session registry.
+    pub fn new(config: ServerConfig) -> Self {
+        let registry = SessionRegistry::new(config.max_sessions, config.max_table_bytes);
+        Server {
+            config,
+            registry,
+            queue: Mutex::new(QueueState {
+                open: true,
+                ..QueueState::default()
+            }),
+            queue_ready: Condvar::new(),
+            tokens: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Serves one NDJSON session: reads `input` to EOF (or a `Shutdown`
+    /// frame), writes one [`ServerFrame`] line per admitted item in
+    /// admission order, ends with a `Bye` frame, and returns the same
+    /// statistics.
+    ///
+    /// A read error on `input` is treated as end of stream (the session
+    /// still drains and answers `Bye`).
+    ///
+    /// # Errors
+    ///
+    /// Only write errors on `output` are fatal.
+    pub fn serve<R: BufRead, W: Write + Send>(
+        &self,
+        input: R,
+        output: W,
+    ) -> std::io::Result<ServerStats> {
+        let outcome = thread::scope(|scope| {
+            let executor = scope.spawn(|| self.run_executor(output));
+            self.run_reader(input);
+            executor.join()
+        });
+        match outcome {
+            Ok(result) => result,
+            // The executor isolates request panics; anything escaping it
+            // is a server bug worth surfacing loudly.
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// The reader loop: parses lines, admits/sheds/cancels, closes the
+    /// queue when the stream ends.
+    fn run_reader<R: BufRead>(&self, input: R) {
+        for line in input.lines() {
+            let Ok(line) = line else {
+                break; // read error: treat as end of stream
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_client_frame(&line) {
+                Ok(ClientFrame::Optimize(frame)) => self.admit(frame),
+                Ok(ClientFrame::Cancel { request_id }) => self.cancel(&request_id),
+                Ok(ClientFrame::Shutdown) => break,
+                Err(message) => {
+                    self.enqueue(QueueItem::Note(ServerFrame::Error(ErrorFrame::protocol(
+                        message,
+                    ))));
+                }
+            }
+        }
+        let mut queue = lock(&self.queue);
+        queue.open = false;
+        drop(queue);
+        self.queue_ready.notify_all();
+    }
+
+    /// Admits one `Optimize` frame: rejects duplicate in-flight ids,
+    /// sheds when the queue is full, otherwise arms the request's token
+    /// (deadline measured from here) and queues the job.
+    fn admit(&self, frame: OptimizeFrame) {
+        self.config.faults.fire(Stage::Admission, &frame.request_id);
+        let mut tokens = lock(&self.tokens);
+        if tokens.contains_key(&frame.request_id) {
+            let note = ServerFrame::Error(ErrorFrame {
+                request_id: Some(frame.request_id),
+                kind: ErrorKind::Protocol,
+                message: "duplicate in-flight request id".to_string(),
+            });
+            drop(tokens);
+            self.enqueue(QueueItem::Note(note));
+            return;
+        }
+        let mut queue = lock(&self.queue);
+        if queue.pending_runs >= self.config.queue_capacity {
+            let note = ServerFrame::Error(ErrorFrame {
+                request_id: Some(frame.request_id),
+                kind: ErrorKind::Overloaded,
+                message: format!(
+                    "admission queue full (capacity {}); request shed",
+                    self.config.queue_capacity
+                ),
+            });
+            queue.items.push_back(QueueItem::Note(note));
+        } else {
+            let token = match frame.deadline_ms {
+                Some(ms) => CancelToken::with_deadline(Instant::now() + Duration::from_millis(ms)),
+                None => CancelToken::new(),
+            };
+            tokens.insert(frame.request_id.clone(), token.clone());
+            queue.pending_runs += 1;
+            queue.items.push_back(QueueItem::Run(Job { frame, token }));
+        }
+        drop(queue);
+        drop(tokens);
+        self.queue_ready.notify_all();
+    }
+
+    /// Applies a `Cancel` frame immediately: flips the in-flight token
+    /// (the request's own `Cancelled` frame is the acknowledgement), or
+    /// notes `UnknownRequest` for an id that is not in flight.
+    fn cancel(&self, request_id: &str) {
+        let tokens = lock(&self.tokens);
+        match tokens.get(request_id) {
+            Some(token) => token.cancel(),
+            None => {
+                drop(tokens);
+                self.enqueue(QueueItem::Note(ServerFrame::Error(ErrorFrame {
+                    request_id: Some(request_id.to_string()),
+                    kind: ErrorKind::UnknownRequest,
+                    message: "no such request in flight".to_string(),
+                })));
+            }
+        }
+    }
+
+    fn enqueue(&self, item: QueueItem) {
+        lock(&self.queue).items.push_back(item);
+        self.queue_ready.notify_all();
+    }
+
+    /// The executor loop: pops queue items in order, serves runs under
+    /// panic isolation, writes every frame, and closes with `Bye`.
+    fn run_executor<W: Write>(&self, mut output: W) -> std::io::Result<ServerStats> {
+        let mut stats = ServerStats::default();
+        while let Some(item) = self.next_item() {
+            let frame = match item {
+                QueueItem::Note(frame) => frame,
+                QueueItem::Run(job) => {
+                    let request_id = job.frame.request_id.clone();
+                    let frame = self.execute(job);
+                    lock(&self.tokens).remove(&request_id);
+                    frame
+                }
+            };
+            match &frame {
+                ServerFrame::Result(_) => stats.served += 1,
+                ServerFrame::Error(_) => stats.errors += 1,
+                ServerFrame::Bye(_) => {}
+            }
+            writeln!(output, "{}", render_server_frame(&frame))?;
+            output.flush()?;
+        }
+        let registry = self.registry.stats();
+        stats.sessions_created = registry.created;
+        stats.session_hits = registry.hits;
+        stats.session_misses = registry.misses;
+        stats.evictions = registry.evictions;
+        writeln!(output, "{}", render_server_frame(&ServerFrame::Bye(stats)))?;
+        output.flush()?;
+        Ok(stats)
+    }
+
+    /// Blocks for the next queue item; `None` once the queue is closed
+    /// and drained.
+    fn next_item(&self) -> Option<QueueItem> {
+        let mut queue = lock(&self.queue);
+        loop {
+            if let Some(item) = queue.items.pop_front() {
+                if matches!(item, QueueItem::Run(_)) {
+                    queue.pending_runs -= 1;
+                }
+                return Some(item);
+            }
+            if !queue.open {
+                return None;
+            }
+            queue = self
+                .queue_ready
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Serves one admitted request, converting every failure mode —
+    /// typed optimizer errors, cancellation, deadline expiry, and
+    /// outright panics — into its frame.
+    fn execute(&self, job: Job) -> ServerFrame {
+        let Job { frame, token } = job;
+        let OptimizeFrame {
+            request_id,
+            soc,
+            request,
+            ..
+        } = frame;
+        // Cancelled while queued / deadline expired while queued: answer
+        // without touching the engine.
+        if let Err(error) = token.check() {
+            return ServerFrame::Error(ErrorFrame::from_error(request_id, &error));
+        }
+        let faults = &self.config.faults;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            faults.fire(Stage::Optimize, &request_id);
+            let soc = resolve_soc_spec(&soc)?;
+            let handle = self.registry.get_or_build(&soc)?;
+            let served = handle.engine.run_with_cancel(&request, &token);
+            // Re-charge the session's (possibly grown) table before
+            // inspecting the result, so even failed runs account.
+            self.registry.reassess(handle.key);
+            let response = served?;
+            faults.fire(Stage::Respond, &request_id);
+            Ok((handle.warm, response))
+        }));
+        match outcome {
+            Ok(Ok((warm, response))) => ServerFrame::Result(ResultFrame {
+                request_id,
+                warm,
+                response,
+            }),
+            Ok(Err(error)) => ServerFrame::Error(ErrorFrame::from_error(request_id, &error)),
+            Err(payload) => ServerFrame::Error(ErrorFrame {
+                request_id: Some(request_id),
+                kind: ErrorKind::Internal,
+                message: format!("request panicked: {}", panic_message(payload.as_ref())),
+            }),
+        }
+    }
+}
+
+/// Resolves the SOC a request targets; every failure is a typed
+/// [`OptimizeError::InvalidSoc`].
+fn resolve_soc_spec(spec: &SocSpec) -> Result<Soc, OptimizeError> {
+    match spec {
+        SocSpec::Inline(text) => {
+            parse_soc(text).map_err(|err| invalid_soc(format!("inline SOC failed to parse: {err}")))
+        }
+        SocSpec::Named(name) => resolve_named_soc(name).map_err(invalid_soc),
+    }
+}
+
+fn invalid_soc(message: String) -> OptimizeError {
+    OptimizeError::InvalidSoc {
+        issues: vec![ValidationIssue {
+            module: None,
+            severity: Severity::Error,
+            message,
+        }],
+    }
+}
+
+/// Best-effort text of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        message
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::OptimizeRequest;
+    use crate::problem::OptimizerConfig;
+    use soctest_ate::{AteSpec, ProbeStation, TestCell};
+    use std::io::Cursor;
+
+    fn sample_request() -> OptimizeRequest {
+        let cell = TestCell::new(
+            AteSpec::new(256, 96 * 1024, 5.0e6),
+            ProbeStation::paper_probe_station(),
+        );
+        OptimizeRequest::new(OptimizerConfig::new(cell))
+    }
+
+    fn optimize_line(request_id: &str, soc: SocSpec, deadline_ms: Option<u64>) -> String {
+        serde_json::to_string(&ClientFrame::Optimize(OptimizeFrame {
+            request_id: request_id.to_string(),
+            soc,
+            request: sample_request(),
+            deadline_ms,
+        }))
+        .unwrap()
+    }
+
+    fn run_session(config: ServerConfig, input: &str) -> (Vec<ServerFrame>, ServerStats) {
+        let server = Server::new(config);
+        let mut output = Vec::new();
+        let stats = server
+            .serve(Cursor::new(input.to_string()), &mut output)
+            .expect("serve");
+        let frames = String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|line| serde_json::from_str::<ServerFrame>(line).expect("server frame parses"))
+            .collect();
+        (frames, stats)
+    }
+
+    #[test]
+    fn empty_session_answers_only_bye() {
+        let (frames, stats) = run_session(ServerConfig::default(), "\n  \n");
+        assert_eq!(frames, vec![ServerFrame::Bye(ServerStats::default())]);
+        assert_eq!(stats, ServerStats::default());
+    }
+
+    #[test]
+    fn named_requests_share_a_warm_session() {
+        let input = format!(
+            "{}\n{}\n\"Shutdown\"\n",
+            optimize_line("r1", SocSpec::Named("d695".into()), None),
+            optimize_line("r2", SocSpec::Named("d695".into()), None),
+        );
+        let (frames, stats) = run_session(ServerConfig::default(), &input);
+        assert_eq!(frames.len(), 3);
+        match (&frames[0], &frames[1]) {
+            (ServerFrame::Result(first), ServerFrame::Result(second)) => {
+                assert_eq!(first.request_id, "r1");
+                assert!(!first.warm);
+                assert_eq!(second.request_id, "r2");
+                assert!(second.warm);
+                assert_eq!(first.response, second.response);
+            }
+            other => panic!("expected two results, got {other:?}"),
+        }
+        assert_eq!(stats.served, 2);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.sessions_created, 1);
+        assert_eq!(stats.session_hits, 1);
+        assert_eq!(stats.session_misses, 1);
+    }
+
+    #[test]
+    fn malformed_lines_do_not_stop_the_server() {
+        let input = format!(
+            "{{\n\"Shutdow\"\n{}\n",
+            optimize_line("r1", SocSpec::Named("d695".into()), None),
+        );
+        let (frames, stats) = run_session(ServerConfig::default(), &input);
+        assert_eq!(frames.len(), 4);
+        for frame in &frames[..2] {
+            match frame {
+                ServerFrame::Error(error) => {
+                    assert_eq!(error.request_id, None);
+                    assert_eq!(error.kind, ErrorKind::Protocol);
+                }
+                other => panic!("expected protocol error, got {other:?}"),
+            }
+        }
+        assert!(matches!(&frames[2], ServerFrame::Result(r) if r.request_id == "r1"));
+        assert_eq!((stats.served, stats.errors), (1, 2));
+    }
+
+    #[test]
+    fn unparseable_and_invalid_socs_answer_invalid_soc() {
+        let input = format!(
+            "{}\n{}\n",
+            optimize_line(
+                "r1",
+                SocSpec::Inline("soc broken\nnot a line\n".into()),
+                None
+            ),
+            optimize_line("r2", SocSpec::Named("no_such_soc".into()), None),
+        );
+        let (frames, _) = run_session(ServerConfig::default(), &input);
+        for (frame, id) in frames[..2].iter().zip(["r1", "r2"]) {
+            match frame {
+                ServerFrame::Error(error) => {
+                    assert_eq!(error.request_id.as_deref(), Some(id));
+                    assert_eq!(error.kind, ErrorKind::InvalidSoc);
+                }
+                other => panic!("expected InvalidSoc for {id}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_of_unknown_request_is_reported() {
+        let (frames, _) = run_session(
+            ServerConfig::default(),
+            "{\"Cancel\":{\"request_id\":\"ghost\"}}\n",
+        );
+        match &frames[0] {
+            ServerFrame::Error(error) => {
+                assert_eq!(error.request_id.as_deref(), Some("ghost"));
+                assert_eq!(error.kind, ErrorKind::UnknownRequest);
+            }
+            other => panic!("expected UnknownRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_request_is_isolated() {
+        let config = ServerConfig {
+            faults: FaultPlan::parse("optimize:panic@r1").unwrap(),
+            ..ServerConfig::default()
+        };
+        let input = format!(
+            "{}\n{}\n",
+            optimize_line("r1", SocSpec::Named("d695".into()), None),
+            optimize_line("r2", SocSpec::Named("d695".into()), None),
+        );
+        let (frames, stats) = run_session(config, &input);
+        match &frames[0] {
+            ServerFrame::Error(error) => {
+                assert_eq!(error.request_id.as_deref(), Some("r1"));
+                assert_eq!(error.kind, ErrorKind::Internal);
+                assert!(
+                    error.message.contains("injected fault"),
+                    "{}",
+                    error.message
+                );
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        assert!(matches!(&frames[1], ServerFrame::Result(r) if r.request_id == "r2"));
+        assert_eq!((stats.served, stats.errors), (1, 1));
+    }
+
+    #[test]
+    fn full_queue_sheds_with_overloaded() {
+        // r1 runs slowly (held by the delay fault) while r2 fills the
+        // single queue slot, so r3 must be shed. The admission delay on
+        // r2 gives the executor time to pop r1 first, making the
+        // capacity arithmetic deterministic.
+        let config = ServerConfig {
+            queue_capacity: 1,
+            faults: FaultPlan::parse("optimize:delay:400@r1, admission:delay:100@r2").unwrap(),
+            ..ServerConfig::default()
+        };
+        let input = format!(
+            "{}\n{}\n{}\n",
+            optimize_line("r1", SocSpec::Named("d695".into()), None),
+            optimize_line("r2", SocSpec::Named("d695".into()), None),
+            optimize_line("r3", SocSpec::Named("d695".into()), None),
+        );
+        let (frames, stats) = run_session(config, &input);
+        assert!(matches!(&frames[0], ServerFrame::Result(r) if r.request_id == "r1"));
+        assert!(matches!(&frames[1], ServerFrame::Result(r) if r.request_id == "r2"));
+        match &frames[2] {
+            ServerFrame::Error(error) => {
+                assert_eq!(error.request_id.as_deref(), Some("r3"));
+                assert_eq!(error.kind, ErrorKind::Overloaded);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!((stats.served, stats.errors), (2, 1));
+    }
+
+    #[test]
+    fn duplicate_in_flight_id_is_a_protocol_error() {
+        let config = ServerConfig {
+            faults: FaultPlan::parse("optimize:delay:400@r1").unwrap(),
+            ..ServerConfig::default()
+        };
+        let input = format!(
+            "{}\n{}\n",
+            optimize_line("r1", SocSpec::Named("d695".into()), None),
+            optimize_line("r1", SocSpec::Named("d695".into()), None),
+        );
+        let (frames, _) = run_session(config, &input);
+        assert!(matches!(&frames[0], ServerFrame::Result(r) if r.request_id == "r1"));
+        match &frames[1] {
+            ServerFrame::Error(error) => {
+                assert_eq!(error.request_id.as_deref(), Some("r1"));
+                assert_eq!(error.kind, ErrorKind::Protocol);
+                assert!(error.message.contains("duplicate"));
+            }
+            other => panic!("expected duplicate-id error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_answers_deadline_exceeded() {
+        let input = format!(
+            "{}\n",
+            optimize_line("r1", SocSpec::Named("d695".into()), Some(0)),
+        );
+        let (frames, _) = run_session(ServerConfig::default(), &input);
+        match &frames[0] {
+            ServerFrame::Error(error) => {
+                assert_eq!(error.request_id.as_deref(), Some("r1"));
+                assert_eq!(error.kind, ErrorKind::DeadlineExceeded);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_cap_of_one_forces_rebuilds() {
+        let config = ServerConfig {
+            max_sessions: 1,
+            ..ServerConfig::default()
+        };
+        // p22810 needs a deeper vector memory than the default sample
+        // cell, so all three requests use a roomier one.
+        let cell = TestCell::new(
+            AteSpec::new(512, 768 * 1024, 5.0e6),
+            ProbeStation::paper_probe_station(),
+        );
+        let big_cell_line = |request_id: &str, name: &str| {
+            serde_json::to_string(&ClientFrame::Optimize(OptimizeFrame {
+                request_id: request_id.to_string(),
+                soc: SocSpec::Named(name.to_string()),
+                request: OptimizeRequest::new(OptimizerConfig::new(cell)),
+                deadline_ms: None,
+            }))
+            .unwrap()
+        };
+        let input = format!(
+            "{}\n{}\n{}\n",
+            big_cell_line("r1", "d695"),
+            big_cell_line("r2", "p22810"),
+            big_cell_line("r3", "d695"),
+        );
+        let (frames, stats) = run_session(config, &input);
+        let warms: Vec<bool> = frames[..3]
+            .iter()
+            .map(|frame| match frame {
+                ServerFrame::Result(result) => result.warm,
+                other => panic!("expected result, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(warms, [false, false, false]);
+        assert_eq!(stats.sessions_created, 3);
+        assert!(stats.evictions >= 2);
+    }
+}

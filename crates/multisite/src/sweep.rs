@@ -121,11 +121,14 @@ pub struct SweepCurve {
     pub points: Vec<SweepPoint>,
 }
 
-/// Unwraps a sweeping request's response into its curves.
-fn curves_of(response: OptimizeResponse) -> Vec<SweepCurve> {
-    response
-        .into_curves()
-        .expect("a sweeping axis always answers with curves")
+/// Unwraps a sweeping request's response into its curves. A sweeping axis
+/// always answers with curves; a `Solution` here means the engine broke
+/// that contract, which surfaces as a typed [`OptimizeError::Internal`]
+/// instead of taking the process down.
+fn curves_of(response: OptimizeResponse) -> Result<Vec<SweepCurve>, OptimizeError> {
+    response.into_curves().ok_or_else(|| {
+        OptimizeError::internal("sweeping request answered with a solution instead of curves")
+    })
 }
 
 /// A throwaway engine pre-sized for exactly one request, so the single
@@ -153,7 +156,7 @@ pub fn channel_sweep(
     let request =
         OptimizeRequest::new(*config).with_sweep(SweepAxis::Channels(channel_counts.to_vec()));
     let engine = one_shot_engine(soc, &request);
-    let mut curves = curves_of(engine.run(&request)?);
+    let mut curves = curves_of(engine.run(&request)?)?;
     Ok(curves.pop().map(|curve| curve.points).unwrap_or_default())
 }
 
@@ -173,7 +176,7 @@ pub fn depth_sweep(
     let request =
         OptimizeRequest::new(*config).with_sweep(SweepAxis::DepthVectors(depths.to_vec()));
     let engine = one_shot_engine(soc, &request);
-    let mut curves = curves_of(engine.run(&request)?);
+    let mut curves = curves_of(engine.run(&request)?)?;
     Ok(curves.pop().map(|curve| curve.points).unwrap_or_default())
 }
 
@@ -196,7 +199,7 @@ pub fn contact_yield_sweep(
         contact_yields: contact_yields.to_vec(),
     });
     let engine = one_shot_engine(soc, &request);
-    Ok(curves_of(engine.run(&request)?))
+    curves_of(engine.run(&request)?)
 }
 
 /// One point of an abort-on-fail curve: expected test application time at a
@@ -233,7 +236,7 @@ pub fn abort_on_fail_sweep(
         manufacturing_yields: manufacturing_yields.to_vec(),
     });
     let engine = one_shot_engine(soc, &request);
-    Ok(curves_of(engine.run(&request)?))
+    curves_of(engine.run(&request)?)
 }
 
 /// Outcome of the channels-versus-memory cost comparison of Section 7.

@@ -1,0 +1,100 @@
+//! Regression tests for SOC validation at the engine boundary: degenerate
+//! descriptions are rejected up front with typed issues instead of
+//! producing nonsense architectures (or panics) deep in the optimizer.
+
+use soctest_ate::{AteSpec, ProbeStation, TestCell};
+use soctest_multisite::{Engine, OptimizeError, OptimizeRequest, OptimizerConfig};
+use soctest_soc_model::validate::Severity;
+use soctest_soc_model::{benchmarks, Module, Soc};
+
+fn request() -> OptimizeRequest {
+    let cell = TestCell::new(
+        AteSpec::new(256, 96 * 1024, 5.0e6),
+        ProbeStation::paper_probe_station(),
+    );
+    OptimizeRequest::new(OptimizerConfig::new(cell))
+}
+
+/// A module with patterns but no scan chains and no functional terminals:
+/// there is nothing to apply the patterns through.
+fn island_soc() -> Soc {
+    let mut soc = Soc::new("island");
+    soc.push_module(Module::builder("island").patterns(10).build());
+    soc
+}
+
+#[test]
+fn try_build_rejects_degenerate_socs_before_table_allocation() {
+    let err = Engine::builder(&island_soc()).try_build().unwrap_err();
+    match err {
+        OptimizeError::InvalidSoc { issues } => {
+            assert!(issues.iter().any(|issue| issue.severity == Severity::Error));
+            assert!(issues
+                .iter()
+                .any(|issue| issue.message.contains("no scan chains")));
+        }
+        other => panic!("expected InvalidSoc, got {other}"),
+    }
+}
+
+#[test]
+fn infallible_build_answers_invalid_soc_on_every_request() {
+    let engine = Engine::new(&island_soc());
+    assert!(!engine.is_usable());
+    let err = engine.run(&request()).unwrap_err();
+    assert!(matches!(err, OptimizeError::InvalidSoc { .. }));
+    // Batches answer the same typed error per request, not a panic.
+    let results = engine.run_batch(&[request(), request()]);
+    assert_eq!(results.len(), 2);
+    for result in results {
+        assert!(matches!(result, Err(OptimizeError::InvalidSoc { .. })));
+    }
+}
+
+#[test]
+fn empty_soc_is_invalid_up_front() {
+    let engine = Engine::new(&Soc::new("empty"));
+    let err = engine.run(&request()).unwrap_err();
+    match err {
+        OptimizeError::InvalidSoc { issues } => {
+            assert!(issues
+                .iter()
+                .any(|issue| issue.message.contains("no modules")));
+        }
+        other => panic!("expected InvalidSoc, got {other}"),
+    }
+}
+
+#[test]
+fn zero_length_chain_is_a_warning_not_a_rejection() {
+    let mut soc = Soc::new("weird");
+    soc.push_module(
+        Module::builder("m")
+            .patterns(10)
+            .inputs(2)
+            .outputs(2)
+            .scan_chains([0u64, 12])
+            .build(),
+    );
+    let engine = Engine::builder(&soc).try_build().expect("usable SOC");
+    assert!(engine.is_usable());
+    assert_eq!(engine.validation_issues().len(), 1);
+    assert_eq!(engine.validation_issues()[0].severity, Severity::Warning);
+    let stats = engine.stats();
+    assert!(stats.usable);
+    assert_eq!(stats.validation_issues, 1);
+    engine
+        .run(&request())
+        .expect("warnings don't block serving");
+}
+
+#[test]
+fn clean_benchmarks_build_without_issues() {
+    let engine = Engine::builder(&benchmarks::d695()).try_build().unwrap();
+    assert!(engine.is_usable());
+    assert!(engine.validation_issues().is_empty());
+    let stats = engine.stats();
+    assert!(stats.usable);
+    assert_eq!(stats.validation_issues, 0);
+    assert!(stats.table_memory_bytes > 0);
+}

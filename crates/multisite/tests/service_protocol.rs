@@ -1,0 +1,205 @@
+//! Property tests of the `soc-serve` NDJSON wire protocol: random typed
+//! frames survive a JSON round trip bit-exactly, and mangled frames —
+//! unknown fields, injected duplicates, truncation at any byte — are
+//! rejected rather than silently reinterpreted.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use soctest_ate::{AteSpec, ProbeStation, TestCell};
+use soctest_multisite::service::{
+    parse_client_frame, render_server_frame, ClientFrame, ErrorFrame, ErrorKind, OptimizeFrame,
+    ServerFrame, ServerStats, SocSpec,
+};
+use soctest_multisite::{OptimizeRequest, OptimizerConfig, SweepAxis};
+
+prop_compose! {
+    fn arb_id()(bytes in vec(97u8..=122u8, 1..12)) -> String {
+        String::from_utf8(bytes).expect("lowercase ascii")
+    }
+}
+
+prop_compose! {
+    fn arb_soc_spec()(named in 0u8..2, name in arb_id()) -> SocSpec {
+        if named == 0 {
+            SocSpec::Named(name)
+        } else {
+            SocSpec::Inline(format!("soc {name}\n"))
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_sweep()(
+        which in 0u8..5,
+        channels in vec(1usize..2048, 1..5),
+        depths in vec(1024u64..(1 << 22), 1..5),
+        yields_millis in vec(1u64..1000, 1..4),
+        max_sites in 1usize..32,
+    ) -> SweepAxis {
+        // Yields travel as f64 but are generated on a millis grid so the
+        // JSON round trip is bit-exact by construction, like the real
+        // client would send.
+        let yields: Vec<f64> = yields_millis.iter().map(|&m| m as f64 / 1000.0).collect();
+        match which {
+            0 => SweepAxis::None,
+            1 => SweepAxis::Channels(channels),
+            2 => SweepAxis::DepthVectors(depths),
+            3 => SweepAxis::ContactYield {
+                depths,
+                contact_yields: yields,
+            },
+            _ => SweepAxis::ManufacturingYield {
+                max_sites,
+                manufacturing_yields: yields,
+            },
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_request()(
+        channels in 8usize..2048,
+        depth in 1024u64..(1 << 24),
+        clock_mhz in 1u64..200,
+        sweep in arb_sweep(),
+    ) -> OptimizeRequest {
+        let cell = TestCell::new(
+            AteSpec::new(channels, depth, clock_mhz as f64 * 1.0e6),
+            ProbeStation::paper_probe_station(),
+        );
+        OptimizeRequest::new(OptimizerConfig::new(cell)).with_sweep(sweep)
+    }
+}
+
+prop_compose! {
+    fn arb_client_frame()(
+        which in 0u8..3,
+        request_id in arb_id(),
+        soc in arb_soc_spec(),
+        request in arb_request(),
+        deadline_ms in 0u64..100_000,
+        with_deadline in 0u8..2,
+    ) -> ClientFrame {
+        match which {
+            0 => ClientFrame::Optimize(OptimizeFrame {
+                request_id,
+                soc,
+                request,
+                deadline_ms: (with_deadline == 1).then_some(deadline_ms),
+            }),
+            1 => ClientFrame::Cancel { request_id },
+            _ => ClientFrame::Shutdown,
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_server_frame()(
+        which in 0u8..3,
+        request_id in arb_id(),
+        anonymous in 0u8..2,
+        kind_index in 0usize..9,
+        message in arb_id(),
+        counters in vec(0u64..10_000, 6),
+    ) -> ServerFrame {
+        let kinds = [
+            ErrorKind::Protocol,
+            ErrorKind::UnknownRequest,
+            ErrorKind::InvalidSoc,
+            ErrorKind::InvalidConfig,
+            ErrorKind::Architecture,
+            ErrorKind::Internal,
+            ErrorKind::Cancelled,
+            ErrorKind::DeadlineExceeded,
+            ErrorKind::Overloaded,
+        ];
+        match which {
+            0 => ServerFrame::Error(ErrorFrame {
+                request_id: (anonymous == 0).then_some(request_id),
+                kind: kinds[kind_index],
+                message,
+            }),
+            _ => ServerFrame::Bye(ServerStats {
+                served: counters[0],
+                errors: counters[1],
+                sessions_created: counters[2],
+                session_hits: counters[3],
+                session_misses: counters[4],
+                evictions: counters[5],
+            }),
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn client_frames_round_trip(frame in arb_client_frame()) {
+        let line = serde_json::to_string(&frame).expect("client frames serialise");
+        prop_assert!(!line.contains('\n'), "a frame must be one line: {line}");
+        let back = parse_client_frame(&line)
+            .map_err(|err| TestCaseError::fail(format!("rejected own frame: {err}")))?;
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn server_frames_round_trip(frame in arb_server_frame()) {
+        let line = render_server_frame(&frame);
+        prop_assert!(!line.contains('\n'), "a frame must be one line: {line}");
+        let back: ServerFrame = serde_json::from_str(&line)
+            .map_err(|err| TestCaseError::fail(format!("rejected own frame: {err}")))?;
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected_at_every_byte(
+        frame in arb_client_frame(),
+        cut_permille in 0u32..1000,
+    ) {
+        let line = serde_json::to_string(&frame).expect("client frames serialise");
+        // Every strict ASCII-safe prefix must fail to parse — a dropped
+        // TCP segment or a half-written pipe must never yield a frame.
+        let cut = (line.len() as u64 * u64::from(cut_permille) / 1000) as usize;
+        let prefix: String = line.chars().take(cut.min(line.len().saturating_sub(1))).collect();
+        prop_assert!(
+            parse_client_frame(&prefix).is_err(),
+            "accepted truncated frame: {prefix:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected(
+        request_id in arb_id(),
+        soc in arb_soc_spec(),
+        request in arb_request(),
+        bogus in arb_id(),
+    ) {
+        let frame = ClientFrame::Optimize(OptimizeFrame {
+            request_id,
+            soc,
+            request,
+            deadline_ms: None,
+        });
+        let line = serde_json::to_string(&frame).expect("client frames serialise");
+        // Splice an unexpected field into the Optimize body. `bogus` is
+        // lowercase-alpha, so it never collides with a real field name
+        // spelled with an underscore — force a distinct name regardless.
+        let field = format!("zz_{bogus}");
+        let mangled = line.replacen(
+            "{\"Optimize\":{",
+            &format!("{{\"Optimize\":{{\"{field}\":1,"),
+            1,
+        );
+        prop_assert!(
+            parse_client_frame(&mangled).is_err(),
+            "accepted unknown field {field}: {mangled}"
+        );
+    }
+
+    #[test]
+    fn duplicate_fields_are_rejected(request_id in arb_id()) {
+        let line = format!(
+            "{{\"Cancel\":{{\"request_id\":\"{request_id}\",\"request_id\":\"{request_id}\"}}}}"
+        );
+        prop_assert!(parse_client_frame(&line).is_err(), "accepted duplicate field: {line}");
+    }
+}

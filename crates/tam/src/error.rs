@@ -1,5 +1,6 @@
 //! Errors produced by the test-architecture design algorithms.
 
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use std::fmt;
 
 /// Errors of the TAM / channel-group design algorithms.
@@ -48,6 +49,79 @@ impl fmt::Display for TamError {
 
 impl std::error::Error for TamError {}
 
+// Hand-written serde in real serde's externally-tagged enum format (the
+// vendored derive covers unit enums only): `"EmptySoc"` for the unit
+// variant, `{"ModuleInfeasible": {...}}` for the data variants — so
+// service-layer error frames keep their wire shape if the vendored serde
+// is swapped for the crates.io release.
+impl Serialize for TamError {
+    fn to_value(&self) -> Value {
+        match self {
+            TamError::ModuleInfeasible {
+                module,
+                depth,
+                max_width,
+            } => Value::Object(vec![(
+                "ModuleInfeasible".to_string(),
+                Value::Object(vec![
+                    ("module".to_string(), module.to_value()),
+                    ("depth".to_string(), depth.to_value()),
+                    ("max_width".to_string(), max_width.to_value()),
+                ]),
+            )]),
+            TamError::InsufficientChannels { available_channels } => Value::Object(vec![(
+                "InsufficientChannels".to_string(),
+                Value::Object(vec![(
+                    "available_channels".to_string(),
+                    available_channels.to_value(),
+                )]),
+            )]),
+            TamError::EmptySoc => Value::String("EmptySoc".to_string()),
+        }
+    }
+}
+
+impl Deserialize for TamError {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        if let Some(name) = value.as_str() {
+            return match name {
+                "EmptySoc" => Ok(TamError::EmptySoc),
+                other => Err(SerdeError::custom(format!(
+                    "unknown unit variant `{other}` for TamError"
+                ))),
+            };
+        }
+        let fields = value
+            .as_object()
+            .ok_or_else(|| SerdeError::custom("expected object for TamError"))?;
+        let (tag, body) = match fields {
+            [(tag, body)] => (tag.as_str(), body),
+            _ => {
+                return Err(SerdeError::custom(
+                    "expected exactly one variant tag for TamError",
+                ))
+            }
+        };
+        match tag {
+            "ModuleInfeasible" => Ok(TamError::ModuleInfeasible {
+                module: serde::get_field(body, "module", "TamError::ModuleInfeasible")?,
+                depth: serde::get_field(body, "depth", "TamError::ModuleInfeasible")?,
+                max_width: serde::get_field(body, "max_width", "TamError::ModuleInfeasible")?,
+            }),
+            "InsufficientChannels" => Ok(TamError::InsufficientChannels {
+                available_channels: serde::get_field(
+                    body,
+                    "available_channels",
+                    "TamError::InsufficientChannels",
+                )?,
+            }),
+            other => Err(SerdeError::custom(format!(
+                "unknown variant `{other}` for TamError"
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +155,35 @@ mod tests {
     fn is_std_error() {
         fn assert_error<E: std::error::Error + Send + Sync>() {}
         assert_error::<TamError>();
+    }
+
+    #[test]
+    fn serde_round_trips_every_variant() {
+        let variants = [
+            TamError::ModuleInfeasible {
+                module: "cpu".into(),
+                depth: 1024,
+                max_width: 8,
+            },
+            TamError::InsufficientChannels {
+                available_channels: 16,
+            },
+            TamError::EmptySoc,
+        ];
+        for err in &variants {
+            let back = TamError::from_value(&err.to_value()).unwrap();
+            assert_eq!(&back, err);
+        }
+        assert_eq!(
+            TamError::EmptySoc.to_value(),
+            Value::String("EmptySoc".into())
+        );
+    }
+
+    #[test]
+    fn serde_rejects_unknown_variants() {
+        assert!(TamError::from_value(&Value::String("Nope".into())).is_err());
+        assert!(TamError::from_value(&Value::Object(vec![("Nope".into(), Value::Null)])).is_err());
+        assert!(TamError::from_value(&Value::U64(3)).is_err());
     }
 }

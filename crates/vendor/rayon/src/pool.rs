@@ -633,16 +633,29 @@ where
     }
 
     let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
     let shards: Mutex<Vec<Vec<(usize, R)>>> = Mutex::new(Vec::with_capacity(tasks));
     let runner = || {
         let mut state = init();
         let mut local = Vec::new();
         loop {
+            // A panicking item flags the other runners down: the panic
+            // already dooms the whole map (the scope re-raises it on the
+            // caller), so finishing the remaining items is pure waste.
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
             let index = next.fetch_add(1, Ordering::SeqCst);
             if index >= len {
                 break;
             }
-            local.push((index, f(&mut state, &items[index])));
+            match catch_unwind(AssertUnwindSafe(|| f(&mut state, &items[index]))) {
+                Ok(value) => local.push((index, value)),
+                Err(payload) => {
+                    stop.store(true, Ordering::SeqCst);
+                    resume_unwind(payload);
+                }
+            }
         }
         if !local.is_empty() {
             shards.lock().expect("par_map shards poisoned").push(local);
@@ -847,6 +860,35 @@ mod tests {
             )
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn par_map_stops_claiming_work_after_an_item_panic() {
+        // A panicking item dooms the whole map, so the other runners must
+        // stop pulling indexes instead of grinding through the tail.
+        let items: Vec<u64> = (0..10_000).collect();
+        let executed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map_init_threads(
+                &items,
+                || (),
+                |(), &x| {
+                    if x == 0 {
+                        panic!("first item boom");
+                    }
+                    executed.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_micros(200));
+                    x
+                },
+                8,
+            )
+        }));
+        assert!(result.is_err());
+        let done = executed.load(Ordering::SeqCst);
+        assert!(
+            done < items.len() / 2,
+            "early exit should shed most of the work, but {done} items ran"
+        );
     }
 
     #[test]
