@@ -27,7 +27,18 @@
 //!   nested request x point parallelism on the persistent work-stealing
 //!   pool (`engine_batch/pnx8550_like/mixed_parallel`), against the same
 //!   batch on a sequential engine — responses asserted bit-identical
-//!   before timing.
+//!   before timing;
+//! * the figure batch through the service-layer [`SolutionCache`]: every
+//!   `cache_cold` iteration pays a fresh engine plus all four
+//!   computations, every `cache_hot` iteration answers the identical
+//!   requests from the warmed cache — hot responses asserted
+//!   bit-identical to the computed ones before timing, and the hot mean
+//!   is required to be at least 5x faster;
+//! * a simulated `--cache-dir` restart (`row_store_reuse`): a warmed
+//!   [`RowStore`] saved to `rows.v1`, reloaded into a brand-new store as
+//!   a second process would, and a fresh store-backed engine serving the
+//!   batch with **zero** rows rebuilt — asserted, along with response
+//!   bit-identity, before timing.
 //!
 //! Run with `cargo run --release --bin perf_baseline`. The report lands in
 //! the current working directory.
@@ -41,12 +52,14 @@ use soctest_bench::{
 use soctest_multisite::engine::{Engine, OptimizeRequest, SweepAxis};
 use soctest_multisite::optimizer::{optimize, optimize_with_table};
 use soctest_multisite::problem::OptimizerConfig;
+use soctest_multisite::service::{CancelToken, SolutionCache};
 use soctest_multisite::sweep::{
     abort_on_fail_sweep, channel_sweep, contact_yield_sweep, depth_sweep,
 };
 use soctest_soc_model::benchmarks::d695;
-use soctest_tam::{max_tam_width, LazyTimeTable, TimeTable};
+use soctest_tam::{max_tam_width, LazyTimeTable, RowStore, TimeTable};
 use soctest_wrapper::lpt::{lpt_partition, lpt_partition_reference};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Where the report is written (relative to the working directory).
@@ -363,6 +376,104 @@ fn main() {
         },
     ));
 
+    // --- Solution cache: cold computation vs exact hit -------------------
+    // The figure batch through the service-layer result cache. A cold
+    // iteration pays a fresh engine plus all four computations; a hot
+    // iteration answers the identical requests from the warmed cache.
+    // Before timing anything, the warmed cache's answers are asserted
+    // bit-identical to the freshly computed ones.
+    let hot_cache = SolutionCache::new(256, 64 * 1024 * 1024);
+    {
+        let engine = Engine::new(&pnx);
+        let token = CancelToken::new();
+        for request in &figure_batch {
+            let (_, computed) = hot_cache
+                .run_coalesced(0, request, &token, || engine.run(request))
+                .expect("every figure request is feasible");
+            let (outcome, cached) = hot_cache
+                .run_coalesced(0, request, &token, || engine.run(request))
+                .expect("every figure request is feasible");
+            assert!(outcome.is_cached(), "repeated request missed the cache");
+            assert_eq!(
+                computed, cached,
+                "cached response diverged from the computed one"
+            );
+        }
+    }
+    let cache_cold = measure("engine_batch/pnx8550_like/cache_cold", || {
+        let cache = SolutionCache::new(256, 64 * 1024 * 1024);
+        let engine = Engine::new(&pnx);
+        let token = CancelToken::new();
+        for request in &figure_batch {
+            let served = cache
+                .run_coalesced(0, request, &token, || engine.run(request))
+                .expect("every figure request is feasible");
+            std::hint::black_box(served);
+        }
+    });
+    let cache_hot = measure("engine_batch/pnx8550_like/cache_hot", || {
+        let token = CancelToken::new();
+        for request in &figure_batch {
+            let served = hot_cache
+                .run_coalesced(0, request, &token, || {
+                    panic!("a warmed cache must not recompute")
+                })
+                .expect("every figure request is feasible");
+            std::hint::black_box(served);
+        }
+    });
+    let cache_speedup = cache_cold.mean_seconds / cache_hot.mean_seconds;
+    println!("\nsolution_cache speedup: {cache_speedup:.1}x hot over cold\n");
+    measurements.push(cache_cold);
+    measurements.push(cache_hot);
+
+    // --- Cross-process row-store reuse ------------------------------------
+    // Simulates the `--cache-dir` restart: a warmed store saved to
+    // `rows.v1`, loaded into a brand-new store exactly as a second
+    // process would, and a fresh store-backed engine serving the batch.
+    // Zero rows rebuilt and response bit-identity are asserted before
+    // anything is timed.
+    let rows_path =
+        std::env::temp_dir().join(format!("soctest-perf-rows-{}.v1", std::process::id()));
+    {
+        let warm = Arc::new(RowStore::new());
+        let engine = Engine::builder(&pnx).row_store(Arc::clone(&warm)).build();
+        for result in engine.run_batch(&figure_batch) {
+            std::hint::black_box(result.expect("every figure request is feasible"));
+        }
+        warm.save(&rows_path).expect("save the warm row store");
+    }
+    {
+        let reloaded = Arc::new(RowStore::new());
+        reloaded.load(&rows_path).expect("load the warm row store");
+        let engine = Engine::builder(&pnx)
+            .row_store(Arc::clone(&reloaded))
+            .build();
+        let store_backed = engine.run_batch(&figure_batch);
+        let baseline = Engine::new(&pnx).run_batch(&figure_batch);
+        for (index, (s, b)) in store_backed.iter().zip(&baseline).enumerate() {
+            assert_eq!(
+                s.as_ref().expect("every figure request is feasible"),
+                b.as_ref().expect("every figure request is feasible"),
+                "figure request {index}: store-backed result diverged from the plain engine"
+            );
+        }
+        assert_eq!(
+            reloaded.stats().cells_computed,
+            0,
+            "a warm reloaded store rebuilt rows"
+        );
+    }
+    measurements.push(measure("engine_batch/pnx8550_like/row_store_reuse", || {
+        let store = Arc::new(RowStore::new());
+        store.load(&rows_path).expect("load the warm row store");
+        let engine = Engine::builder(&pnx).row_store(store).build();
+        for result in engine.run_batch(&figure_batch) {
+            std::hint::black_box(result.expect("every figure request is feasible"));
+        }
+    }));
+    let _ = std::fs::remove_file(&rows_path);
+
     let report = BenchReport {
         schema: "soctest-perf-baseline/v1".to_string(),
         threads: rayon::current_num_threads(),
@@ -390,6 +501,11 @@ fn main() {
     assert!(
         lazy_ratio < 1.0,
         "the lazy table materialised the whole width grid — laziness lost"
+    );
+    assert!(
+        cache_speedup >= 5.0,
+        "solution-cache hits are only {cache_speedup:.1}x faster than cold \
+         computation — below the 5x floor"
     );
     if speedup < 10.0 {
         eprintln!("WARNING: timetable_build speedup {speedup:.1}x is below the 10x target");

@@ -126,8 +126,28 @@ pub fn resolve_soc(name: &str) -> Result<Soc, String> {
 /// Fails only when the SOC name does not resolve; per-request failures
 /// land in the corresponding [`BatchOutcome::error`].
 pub fn run_batch_file(file: &BatchRequestFile) -> Result<BatchResponseFile, String> {
+    run_batch_file_with_store(file, None)
+}
+
+/// [`run_batch_file`] with an optional shared module-row store: when
+/// given, the engine consults `store` before computing any `(module
+/// shape, width)` time cell and publishes what it computes, so a
+/// pre-warmed store (e.g. loaded from a `--cache-dir`) means zero rows
+/// rebuilt. Responses are bit-identical with and without a store.
+///
+/// # Errors
+///
+/// As [`run_batch_file`].
+pub fn run_batch_file_with_store(
+    file: &BatchRequestFile,
+    store: Option<std::sync::Arc<soctest_tam::RowStore>>,
+) -> Result<BatchResponseFile, String> {
     let soc = resolve_soc(&file.soc)?;
-    let engine = Engine::new(&soc);
+    let mut builder = Engine::builder(&soc);
+    if let Some(store) = store {
+        builder = builder.row_store(store);
+    }
+    let engine = builder.build();
     let results = engine
         .run_batch(&file.requests)
         .into_iter()
@@ -150,9 +170,21 @@ pub fn run_batch_file(file: &BatchRequestFile) -> Result<BatchResponseFile, Stri
 ///
 /// Fails on malformed JSON or an unknown SOC name.
 pub fn run_request_text(text: &str) -> Result<String, String> {
+    run_request_text_with_store(text, None)
+}
+
+/// [`run_request_text`] through [`run_batch_file_with_store`].
+///
+/// # Errors
+///
+/// As [`run_request_text`].
+pub fn run_request_text_with_store(
+    text: &str,
+    store: Option<std::sync::Arc<soctest_tam::RowStore>>,
+) -> Result<String, String> {
     let file: BatchRequestFile =
         serde_json::from_str(text).map_err(|err| format!("malformed request file: {err}"))?;
-    let response = run_batch_file(&file)?;
+    let response = run_batch_file_with_store(&file, store)?;
     Ok(render_json(&response))
 }
 

@@ -5,6 +5,9 @@
 //! soc-batch REQUEST.json --out FILE     ... response to FILE instead
 //! soc-batch REQUEST.json --check GOLDEN byte-compare the response against
 //!                                       GOLDEN; exit 1 on any difference
+//! soc-batch REQUEST.json --cache-dir D  reuse/persist module time rows in
+//!                                       D/rows.v1 (responses are identical
+//!                                       with or without the cache)
 //! soc-batch --emit-sample-request       print the canonical sample request
 //! ```
 //!
@@ -17,23 +20,27 @@
 //! `--check` against a committed golden is a CI-grade drift detector —
 //! the committed sample pair lives in `crates/experiments/data/`.
 
-use soctest_experiments::batch::{render_json, run_request_text, sample_request};
+use soctest_experiments::batch::{render_json, run_request_text_with_store, sample_request};
+use soctest_tam::RowStore;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Options {
     request: Option<PathBuf>,
     out: Option<PathBuf>,
     check: Option<PathBuf>,
+    cache_dir: Option<PathBuf>,
     emit_sample: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: soc-batch REQUEST.json [--out FILE | --check GOLDEN]\n\
+        "usage: soc-batch REQUEST.json [--out FILE | --check GOLDEN] [--cache-dir DIR]\n\
          \x20      soc-batch --emit-sample-request\n\
          serves a JSON optimizer-request batch through one engine session; \
-         --check byte-compares the response against GOLDEN and exits 1 on drift"
+         --check byte-compares the response against GOLDEN and exits 1 on drift; \
+         --cache-dir reuses and persists module time rows in DIR/rows.v1"
     );
     std::process::exit(2)
 }
@@ -43,6 +50,7 @@ fn parse_args() -> Options {
         request: None,
         out: None,
         check: None,
+        cache_dir: None,
         emit_sample: false,
     };
     let mut args = std::env::args().skip(1);
@@ -55,6 +63,10 @@ fn parse_args() -> Options {
             },
             "--check" => match args.next() {
                 Some(file) => options.check = Some(PathBuf::from(file)),
+                None => usage(),
+            },
+            "--cache-dir" => match args.next() {
+                Some(dir) => options.cache_dir = Some(PathBuf::from(dir)),
                 None => usage(),
             },
             other if !other.starts_with('-') && options.request.is_none() => {
@@ -95,13 +107,37 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let response = match run_request_text(&request_text) {
+    // With --cache-dir, warm the row store from DIR/rows.v1 before the
+    // batch and persist it after: responses are bit-identical either
+    // way, only the compute is skipped. A bad cache file is a stderr
+    // warning and a cold store, never a failure.
+    let store = options.cache_dir.as_ref().map(|dir| {
+        let store = Arc::new(RowStore::new());
+        let path = dir.join("rows.v1");
+        if let Err(err) = store.load_if_present(&path) {
+            eprintln!("warning: ignoring row cache {}: {err}", path.display());
+        }
+        store
+    });
+    let response = match run_request_text_with_store(&request_text, store.clone()) {
         Ok(response) => response,
         Err(err) => {
             eprintln!("{err}");
             return ExitCode::FAILURE;
         }
     };
+    if let (Some(dir), Some(store)) = (&options.cache_dir, &store) {
+        let path = dir.join("rows.v1");
+        let saved = std::fs::create_dir_all(dir)
+            .map_err(soctest_tam::StoreError::from)
+            .and_then(|()| store.save(&path).map_err(soctest_tam::StoreError::from));
+        if let Err(err) = saved {
+            eprintln!(
+                "warning: failed to save row cache {}: {err}",
+                path.display()
+            );
+        }
+    }
 
     if let Some(golden_path) = options.check {
         let golden = match std::fs::read_to_string(&golden_path) {

@@ -6,6 +6,9 @@
 //! soc-serve --queue-cap N             bound the admission queue (default 64)
 //! soc-serve --max-sessions N          bound the warm-session LRU (default 8)
 //! soc-serve --max-table-bytes N       bound charged table memory (default 256 MiB)
+//! soc-serve --cache-dir DIR           persist the module-row store in DIR/rows.v1
+//! soc-serve --max-result-entries N    bound the solution cache entries (default 256)
+//! soc-serve --max-result-bytes N      bound the solution cache bytes (default 64 MiB)
 //! soc-serve --faults SPEC             arm the fault-injection harness
 //! soc-serve --emit-sample-session     print the canonical sample input
 //! soc-serve --check GOLDEN            serve stdin, byte-compare the
@@ -19,10 +22,15 @@
 //! text); identical SOC content shares one warm engine session behind an
 //! LRU with memory accounting. Requests are isolated: a panicking
 //! request answers a typed `Internal` error and the server keeps
-//! serving. The fault spec (`--faults`, or the `SOCTEST_FAULTS`
-//! environment variable when the flag is absent) is
-//! `stage:kind[:arg][@request_id]`, comma-separated — e.g.
-//! `optimize:panic@r2,respond:delay:50`.
+//! serving. Identical `(SOC, request)` pairs are answered from an
+//! exact-hit solution cache (in-flight duplicates coalesce onto one
+//! computation), and with `--cache-dir` the content-addressed module
+//! time rows persist across processes, so a restarted server rebuilds
+//! zero rows — the final `Bye` frame's `cache` block reports both. The
+//! fault spec (`--faults`, or the `SOCTEST_FAULTS` environment variable
+//! when the flag is absent) is `stage:kind[:arg][@request_id]`,
+//! comma-separated — e.g. `optimize:panic@r2,respond:delay:50,
+//! store:panic@load`.
 
 use soctest_experiments::serve::{run_session_text, sample_session};
 use soctest_multisite::service::{FaultPlan, Server, ServerConfig};
@@ -39,6 +47,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: soc-serve [--queue-cap N] [--max-sessions N] [--max-table-bytes N] \
+         [--cache-dir DIR] [--max-result-entries N] [--max-result-bytes N] \
          [--faults SPEC] [--check GOLDEN]\n\
          \x20      soc-serve --emit-sample-session\n\
          serves NDJSON optimizer frames on stdin/stdout; --check byte-compares \
@@ -59,6 +68,12 @@ fn parse_args() -> Options {
             "--queue-cap" => config.queue_capacity = parse_number(args.next()),
             "--max-sessions" => config.max_sessions = parse_number(args.next()),
             "--max-table-bytes" => config.max_table_bytes = parse_number(args.next()),
+            "--max-result-entries" => config.max_result_entries = parse_number(args.next()),
+            "--max-result-bytes" => config.max_result_bytes = parse_number(args.next()),
+            "--cache-dir" => match args.next() {
+                Some(dir) => config.cache_dir = Some(PathBuf::from(dir)),
+                None => usage(),
+            },
             "--faults" => match args.next() {
                 Some(spec) => faults_flag = Some(spec),
                 None => usage(),

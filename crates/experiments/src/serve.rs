@@ -3,10 +3,10 @@
 //!
 //! The sample session exercises one of everything deterministic the
 //! streaming service does — cold and warm optimizations, a sweep, a
-//! second SOC, a malformed line, a `Cancel` for an unknown id, an
-//! unknown SOC name, and a clean `Shutdown` — so its transcript can be
-//! committed as a golden and byte-checked in CI, exactly like the
-//! `soc-batch` sample pair. Wall-clock-dependent behaviour (deadlines,
+//! second SOC, an exact solution-cache hit, a malformed line, a
+//! `Cancel` for an unknown id, an unknown SOC name, and a clean
+//! `Shutdown` — so its transcript can be committed as a golden and
+//! byte-checked in CI, exactly like the `soc-batch` sample pair. Wall-clock-dependent behaviour (deadlines,
 //! cancellation races, overload shedding) is deliberately absent here;
 //! the fault-injection e2e suite covers it with bounded assertions
 //! instead of byte equality.
@@ -60,6 +60,14 @@ pub fn sample_session() -> String {
             request: OptimizeRequest::new(OptimizerConfig::new(big_cell())),
             deadline_ms: None,
         }),
+        // An exact repeat of r1: answered from the solution cache
+        // (`"cached":true`), deterministically.
+        ClientFrame::Optimize(OptimizeFrame {
+            request_id: "r4".to_string(),
+            soc: SocSpec::Named("d695".to_string()),
+            request: OptimizeRequest::new(OptimizerConfig::new(paper_cell())),
+            deadline_ms: None,
+        }),
     ];
     let mut session = String::new();
     for frame in &frames {
@@ -74,7 +82,7 @@ pub fn sample_session() -> String {
     }));
     session.push('\n');
     session.push_str(&line(&ClientFrame::Optimize(OptimizeFrame {
-        request_id: "r4".to_string(),
+        request_id: "r5".to_string(),
         soc: SocSpec::Named("not_a_soc".to_string()),
         request: OptimizeRequest::new(OptimizerConfig::new(paper_cell())),
         deadline_ms: None,
@@ -124,18 +132,27 @@ mod tests {
         let transcript =
             run_session_text(&sample_session(), ServerConfig::default()).expect("session runs");
         let frames = parse_transcript(&transcript);
-        assert_eq!(frames.len(), 7);
-        for (frame, id) in frames[..3].iter().zip(["r1", "r2", "r3"]) {
+        assert_eq!(frames.len(), 8);
+        for (frame, id) in frames[..4].iter().zip(["r1", "r2", "r3", "r4"]) {
             match frame {
                 ServerFrame::Result(result) => {
                     assert_eq!(result.request_id, id);
-                    // r2 re-uses r1's warm d695 session.
-                    assert_eq!(result.warm, id == "r2");
+                    // r2 and r4 re-use r1's warm d695 session.
+                    assert_eq!(result.warm, id == "r2" || id == "r4");
+                    // Only r4 repeats an earlier request exactly.
+                    assert_eq!(result.cached, id == "r4");
                 }
                 other => panic!("expected result for {id}, got {other:?}"),
             }
         }
-        let kinds: Vec<ErrorKind> = frames[3..6]
+        // r4's cached response is bit-identical to r1's computed one.
+        match (&frames[0], &frames[3]) {
+            (ServerFrame::Result(computed), ServerFrame::Result(cached)) => {
+                assert_eq!(computed.response, cached.response);
+            }
+            other => panic!("expected results, got {other:?}"),
+        }
+        let kinds: Vec<ErrorKind> = frames[4..7]
             .iter()
             .map(|frame| match frame {
                 ServerFrame::Error(error) => error.kind,
@@ -150,14 +167,21 @@ mod tests {
                 ErrorKind::InvalidSoc
             ]
         );
-        match &frames[6] {
+        match &frames[7] {
             ServerFrame::Bye(stats) => {
-                assert_eq!(stats.served, 3);
+                assert_eq!(stats.served, 4);
                 assert_eq!(stats.errors, 3);
                 assert_eq!(stats.sessions_created, 2);
-                assert_eq!(stats.session_hits, 1);
+                assert_eq!(stats.session_hits, 2);
                 assert_eq!(stats.session_misses, 2);
                 assert_eq!(stats.evictions, 0);
+                assert_eq!(stats.cache.result_hits, 1);
+                assert_eq!(stats.cache.result_misses, 3);
+                assert_eq!(stats.cache.coalesced_waits, 0);
+                assert!(stats.cache.result_bytes > 0);
+                assert!(stats.cache.cells_computed > 0);
+                assert_eq!(stats.cache.store_cells_loaded, 0);
+                assert_eq!(stats.cache.store_rows_saved, 0);
             }
             other => panic!("expected Bye, got {other:?}"),
         }

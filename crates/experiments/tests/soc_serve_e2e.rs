@@ -273,6 +273,163 @@ fn session_cap_evicts_least_recently_used() {
     }
 }
 
+/// A unique scratch directory for cache-dir tests, removed on drop.
+struct CacheDirGuard(std::path::PathBuf);
+
+impl CacheDirGuard {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("soctest-e2e-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create cache dir");
+        CacheDirGuard(dir)
+    }
+
+    fn path(&self) -> &str {
+        self.0.to_str().expect("utf-8 temp path")
+    }
+}
+
+impl Drop for CacheDirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn identical_frames_coalesce_onto_one_computation() {
+    let input = format!(
+        "{}\n{}\n{}\n{}\n",
+        d695_line("r1"),
+        d695_line("r2"),
+        d695_line("r3"),
+        d695_line("r4"),
+    );
+    let transcript = run_server(&[], &input);
+    let frames = parse_transcript(&transcript);
+    let leader_response = match &frames[0] {
+        ServerFrame::Result(result) => result.response.clone(),
+        other => panic!("expected result for r1, got {other:?}"),
+    };
+    for (frame, id) in frames[..4].iter().zip(["r1", "r2", "r3", "r4"]) {
+        match frame {
+            ServerFrame::Result(result) => {
+                assert_eq!(result.request_id, id);
+                assert_eq!(result.cached, id != "r1");
+                // Every answer is bit-identical to the leader's.
+                assert_eq!(result.response, leader_response);
+            }
+            other => panic!("expected result for {id}, got {other:?}"),
+        }
+    }
+    match &frames[4] {
+        ServerFrame::Bye(stats) => {
+            // One computation served all four identical frames.
+            assert_eq!(stats.cache.result_misses, 1);
+            assert_eq!(stats.cache.result_hits, 3);
+        }
+        other => panic!("expected Bye, got {other:?}"),
+    }
+}
+
+#[test]
+fn cancelled_request_does_not_poison_identical_successors() {
+    // r1 is cancelled mid-flight; its error must not be cached, so the
+    // identical r2 computes a normal answer.
+    let input = format!(
+        "{}\n{{\"Cancel\":{{\"request_id\":\"r1\"}}}}\n{}\n",
+        d695_line("r1"),
+        d695_line("r2"),
+    );
+    let frames = parse_transcript(&run_server(&["--faults", "optimize:delay:400@r1"], &input));
+    assert!(matches!(
+        &frames[0],
+        ServerFrame::Error(e) if e.kind == ErrorKind::Cancelled
+    ));
+    match &frames[1] {
+        ServerFrame::Result(result) => {
+            assert_eq!(result.request_id, "r2");
+            assert!(
+                !result.cached,
+                "a failed leader must not populate the cache"
+            );
+        }
+        other => panic!("expected result for r2, got {other:?}"),
+    }
+}
+
+#[test]
+fn warm_cache_dir_restart_rebuilds_zero_rows_across_processes() {
+    let guard = CacheDirGuard::new("warm");
+    let input = format!("{}\n{}\n", d695_line("r1"), d695_line("r2"));
+    let cold = run_server(&["--cache-dir", guard.path()], &input);
+    let warm = run_server(&["--cache-dir", guard.path()], &input);
+
+    // Everything except the Bye statistics is byte-identical across the
+    // two processes: same results, same warm/cached flags.
+    let cold_lines: Vec<&str> = cold.lines().collect();
+    let warm_lines: Vec<&str> = warm.lines().collect();
+    assert_eq!(cold_lines.len(), warm_lines.len());
+    assert_eq!(cold_lines[..2], warm_lines[..2]);
+
+    let cold_bye = match parse_transcript(&cold).pop().unwrap() {
+        ServerFrame::Bye(stats) => stats,
+        other => panic!("expected Bye, got {other:?}"),
+    };
+    let warm_bye = match parse_transcript(&warm).pop().unwrap() {
+        ServerFrame::Bye(stats) => stats,
+        other => panic!("expected Bye, got {other:?}"),
+    };
+    assert!(cold_bye.cache.cells_computed > 0);
+    assert!(cold_bye.cache.store_rows_saved > 0);
+    assert_eq!(cold_bye.cache.store_cells_loaded, 0);
+    // The second process loaded every row and rebuilt none.
+    assert_eq!(
+        warm_bye.cache.cells_computed, 0,
+        "zero rows rebuilt on warm restart"
+    );
+    assert!(warm_bye.cache.store_cells_loaded > 0);
+}
+
+#[test]
+fn corrupt_cache_and_store_faults_never_kill_the_server() {
+    let guard = CacheDirGuard::new("corrupt");
+    std::fs::write(
+        guard.0.join("rows.v1"),
+        b"SOCROWS1 not really rows \xff\x00",
+    )
+    .unwrap();
+    let input = format!("{}\n", d695_line("r1"));
+    // Corrupt file: clean miss, request still served.
+    let frames = parse_transcript(&run_server(&["--cache-dir", guard.path()], &input));
+    assert!(matches!(&frames[0], ServerFrame::Result(r) if r.request_id == "r1"));
+    match &frames[1] {
+        ServerFrame::Bye(stats) => {
+            assert_eq!(stats.cache.store_cells_loaded, 0);
+            assert!(stats.cache.cells_computed > 0);
+        }
+        other => panic!("expected Bye, got {other:?}"),
+    }
+    // Store-stage panics at load and save: the session survives both.
+    let frames = parse_transcript(&run_server(
+        &[
+            "--cache-dir",
+            guard.path(),
+            "--faults",
+            "store:panic@load,store:panic@save",
+        ],
+        &input,
+    ));
+    assert!(matches!(&frames[0], ServerFrame::Result(r) if r.request_id == "r1"));
+    match &frames[1] {
+        ServerFrame::Bye(stats) => {
+            assert_eq!(stats.cache.store_cells_loaded, 0);
+            assert_eq!(stats.cache.store_rows_saved, 0);
+            assert_eq!(stats.served, 1);
+        }
+        other => panic!("expected Bye, got {other:?}"),
+    }
+}
+
 #[test]
 fn full_queue_sheds_in_admission_order() {
     // r1 is held for 600 ms; the admission delay on r2 lets the executor

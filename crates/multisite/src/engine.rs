@@ -66,7 +66,7 @@ use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use soctest_ate::AteCostModel;
 use soctest_soc_model::validate::{validate_soc, Severity, ValidationIssue};
 use soctest_soc_model::Soc;
-use soctest_tam::{max_tam_width, LazyTimeTable, TimeLookup};
+use soctest_tam::{max_tam_width, LazyTimeTable, RowStore, TimeLookup};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, PoisonError, RwLock};
 
@@ -342,16 +342,32 @@ pub struct EngineBuilder {
     /// Parallelism cap: `None` = the full rayon pool, `Some(1)` =
     /// sequential, `Some(n)` = at most `n` concurrent tasks per layer.
     threads: Option<usize>,
+    /// Shared content-addressed row store, if the session participates in
+    /// cross-table / cross-process row reuse.
+    row_store: Option<Arc<RowStore>>,
 }
 
 impl EngineBuilder {
     /// Pre-sizes the engine's table for requests up to `channels` ATE
-    /// channels. Without a hint the table starts minimal and is rebuilt
-    /// (losing its cached cells, never its correctness) the first time a
-    /// wider request arrives; with it, every request within the hint
-    /// shares one warm table. Repeated calls keep the largest hint.
+    /// channels. Without a hint the table starts minimal and is regrown
+    /// (keeping every built cell — see [`LazyTimeTable::grown`]) the
+    /// first time a wider request arrives; with it, every request within
+    /// the hint shares one warm table from the start. Repeated calls keep
+    /// the largest hint.
     pub fn max_channels(mut self, channels: usize) -> Self {
         self.max_channels = self.max_channels.max(channels);
+        self
+    }
+
+    /// Attaches a shared content-addressed [`RowStore`]: the engine's
+    /// table consults it before computing any `(module, width)` cell and
+    /// publishes fresh cells back, so sessions sharing the store — other
+    /// engines, other SOCs with equal module shapes, or earlier processes
+    /// via `RowStore::load` — never rebuild each other's rows. Responses
+    /// are bit-identical with or without a store (rows are deterministic
+    /// functions of module shape).
+    pub fn row_store(mut self, store: Arc<RowStore>) -> Self {
+        self.row_store = Some(store);
         self
     }
 
@@ -421,7 +437,11 @@ impl EngineBuilder {
     /// Builds a validated engine; `warnings` are the (warning-only)
     /// findings of the validation pass already run by the caller.
     fn build_validated(self, warnings: Vec<ValidationIssue>) -> Engine {
-        let table = LazyTimeTable::new(&self.soc, max_tam_width(self.max_channels));
+        let width = max_tam_width(self.max_channels);
+        let table = match &self.row_store {
+            Some(store) => LazyTimeTable::with_store(&self.soc, width, Arc::clone(store)),
+            None => LazyTimeTable::new(&self.soc, width),
+        };
         Engine {
             table: RwLock::new(Arc::new(table)),
             soc: self.soc,
@@ -449,8 +469,13 @@ enum EngineValidation {
 pub struct EngineStats {
     /// The maximum TAM width the current table covers.
     pub table_width: usize,
-    /// `(module, width)` cells materialised so far.
+    /// `(module, width)` cells materialised so far (computed + served by
+    /// the row store + inherited across table regrows).
     pub cells_built: usize,
+    /// Cells the current table computed fresh (kernel evaluations).
+    pub cells_computed: usize,
+    /// Cells the current table filled from the attached row store.
+    pub cells_from_store: usize,
     /// Total cells the current table can hold.
     pub cells_total: usize,
     /// Estimated resident bytes of the table
@@ -513,6 +538,7 @@ impl Engine {
             soc,
             max_channels: 0,
             threads: None,
+            row_store: None,
         }
     }
 
@@ -551,13 +577,13 @@ impl Engine {
     }
 
     /// Estimated resident bytes of the session's time table: 8 bytes per
-    /// allocated cell (each is an `AtomicU64`) plus a small fixed
-    /// overhead. This is what the service's session registry charges
-    /// against its memory cap — an estimate of the dominant allocation,
-    /// not an exact heap measurement.
+    /// **allocated** cell (cells come in demand-allocated pages, so this
+    /// follows the probed footprint, not the `modules × max_width`
+    /// rectangle) plus a small fixed overhead. This is what the service's
+    /// session registry charges against its memory cap — an estimate of
+    /// the dominant allocation, not an exact heap measurement.
     pub fn table_memory_bytes(&self) -> u64 {
-        let table = self.snapshot();
-        1024 + (table.cells_total() as u64) * 8
+        self.snapshot().memory_bytes()
     }
 
     /// The validation findings recorded when the engine was built: the
@@ -584,8 +610,10 @@ impl Engine {
         EngineStats {
             table_width: table.max_width(),
             cells_built: table.cells_built(),
+            cells_computed: table.cells_computed(),
+            cells_from_store: table.cells_from_store(),
             cells_total: table.cells_total(),
-            table_memory_bytes: 1024 + (table.cells_total() as u64) * 8,
+            table_memory_bytes: table.memory_bytes(),
             validation_issues: self.validation_issues().len(),
             usable: self.is_usable(),
         }
@@ -626,9 +654,11 @@ impl Engine {
         Arc::clone(&self.table.read().unwrap_or_else(PoisonError::into_inner))
     }
 
-    /// A table covering at least `width`, rebuilding the shared one if the
-    /// current table is too narrow. Cells are deterministic, so a rebuild
-    /// only costs recomputation of re-probed cells, never correctness.
+    /// A table covering at least `width`, regrowing the shared one if the
+    /// current table is too narrow. Regrowing copies every built cell
+    /// into the wider table (and keeps the attached row store, if any),
+    /// so widening a session never discards warm cells —
+    /// [`Engine::cells_built`] does not reset across a regrow.
     fn table_for(&self, width: usize) -> Arc<LazyTimeTable> {
         let current = self.snapshot();
         if current.max_width() >= width {
@@ -636,7 +666,7 @@ impl Engine {
         }
         let mut guard = self.table.write().unwrap_or_else(PoisonError::into_inner);
         if guard.max_width() < width {
-            *guard = Arc::new(LazyTimeTable::new(&self.soc, width));
+            *guard = Arc::new(guard.grown(width));
         }
         Arc::clone(&guard)
     }
@@ -1007,6 +1037,63 @@ mod tests {
     fn max_channels_hint_presizes_the_table() {
         let engine = Engine::builder(&d695()).max_channels(320).build();
         assert_eq!(engine.table_width(), 160);
+    }
+
+    #[test]
+    fn regrow_keeps_warm_cells_instead_of_resetting() {
+        // Regression: regrowing the table to a wider width used to build
+        // a fresh table, discarding every built cell.
+        let engine = Engine::new(&d695());
+        let mut narrow = config();
+        narrow.test_cell.ate = narrow.test_cell.ate.with_channels(64);
+        let narrow_response = engine.run(&OptimizeRequest::new(narrow)).unwrap();
+        let before = engine.stats();
+        assert!(before.cells_built > 0);
+
+        // A wider request forces a regrow (64-channel table -> 128-wide).
+        engine.run(&OptimizeRequest::new(config())).unwrap();
+        let after = engine.stats();
+        assert_eq!(after.table_width, 128);
+        assert!(
+            after.cells_built >= before.cells_built,
+            "cells_built reset across regrow: {} -> {}",
+            before.cells_built,
+            after.cells_built
+        );
+
+        // Re-serving the narrow request probes only inherited cells.
+        let computed_after_regrow = engine.stats().cells_computed;
+        let replay = engine.run(&OptimizeRequest::new(narrow)).unwrap();
+        assert_eq!(replay, narrow_response);
+        assert_eq!(
+            engine.stats().cells_computed,
+            computed_after_regrow,
+            "inherited cells were recomputed"
+        );
+    }
+
+    #[test]
+    fn store_backed_engine_is_bit_identical_and_shares_rows() {
+        use soctest_tam::RowStore;
+        let store = Arc::new(RowStore::new());
+        let plain = Engine::new(&d695());
+        let backed = Engine::builder(&d695())
+            .row_store(Arc::clone(&store))
+            .build();
+        let request =
+            OptimizeRequest::new(config()).with_sweep(SweepAxis::Channels(vec![192, 256]));
+        assert_eq!(backed.run(&request).unwrap(), plain.run(&request).unwrap());
+        let computed = store.stats().cells_computed;
+        assert!(computed > 0);
+
+        // A second engine over the same store computes nothing new.
+        let second = Engine::builder(&d695())
+            .row_store(Arc::clone(&store))
+            .build();
+        assert_eq!(second.run(&request).unwrap(), plain.run(&request).unwrap());
+        assert_eq!(store.stats().cells_computed, computed);
+        assert_eq!(second.stats().cells_computed, 0);
+        assert!(second.stats().cells_from_store > 0);
     }
 
     #[test]

@@ -1,0 +1,571 @@
+//! The content-addressed solution cache with in-flight coalescing.
+//!
+//! A [`SolutionCache`] memoises whole `(SOC, OptimizeRequest) →
+//! OptimizeResponse` computations for the service. The key is the
+//! session registry's SOC content hash plus the *canonical* request —
+//! the parsed [`OptimizeRequest`] re-rendered through
+//! [`canonical_request`] — so two clients spelling the same request with
+//! different JSON field orders or explicit defaults share one entry.
+//! Hash collisions are harmless: lookups compare the full canonical key
+//! on every hash match, so a collision costs a string compare, never a
+//! wrong response.
+//!
+//! The cache also *coalesces* identical in-flight work: while one
+//! request (the leader) is computing a key, later identical requests
+//! (waiters) block on the leader's result instead of recomputing it.
+//! Waiters poll their own [`CancelToken`] while they wait, so
+//! cancelling a waiter never disturbs the leader, and a cancelled or
+//! failing leader never poisons its waiters — the in-flight marker is
+//! removed by an unwind-safe guard and each waiter simply retries
+//! (becoming the next leader at most once).
+//!
+//! Only successful responses are cached; errors are returned to the
+//! caller that incurred them and leave the cache untouched. Entries are
+//! evicted least-recently-used when the cache exceeds its entry-count
+//! or byte cap, always sparing the hottest entry (mirroring the session
+//! registry's policy).
+
+use crate::engine::{OptimizeRequest, OptimizeResponse};
+use crate::error::OptimizeError;
+use crate::service::cancel::CancelToken;
+use crate::service::registry::fnv1a64;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// How long a waiter sleeps between checks of its own [`CancelToken`]
+/// while blocked on a leader. Purely a cancellation-latency bound: the
+/// leader's guard notifies the condvar the moment the result lands.
+const WAIT_SLICE: Duration = Duration::from_millis(25);
+
+/// Renders a parsed request back to its canonical JSON string — the
+/// content-addressed identity used by [`SolutionCache`]. Parsing
+/// already normalised field order and filled defaulted fields, so any
+/// two spellings of the same request canonicalise identically.
+pub fn canonical_request(request: &OptimizeRequest) -> String {
+    serde_json::to_string(request).expect("requests serialise")
+}
+
+/// How a [`SolutionCache::run_coalesced`] call obtained its response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from a resident entry without waiting.
+    Hit,
+    /// Blocked on an identical in-flight computation, then served its
+    /// result (or a successor leader's).
+    Coalesced,
+    /// This call was the leader: it ran the computation.
+    Computed,
+}
+
+impl CacheOutcome {
+    /// Whether the response came out of the cache rather than a fresh
+    /// computation by this caller.
+    pub fn is_cached(self) -> bool {
+        !matches!(self, CacheOutcome::Computed)
+    }
+}
+
+/// Cache counters, exposed for the service's `Bye` statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SolutionCacheStats {
+    /// Requests served from a resident entry (including coalesced
+    /// waiters that woke to find the leader's entry).
+    pub hits: u64,
+    /// Requests that led a computation (successful or not).
+    pub misses: u64,
+    /// Requests that blocked at least once on an identical in-flight
+    /// computation.
+    pub coalesced_waits: u64,
+    /// Successful responses admitted to the cache.
+    pub insertions: u64,
+    /// Entries evicted by the LRU / byte cap.
+    pub evictions: u64,
+    /// Currently resident entries.
+    pub entries: u64,
+    /// Currently resident bytes (canonical keys + rendered responses).
+    pub bytes: u64,
+}
+
+/// One resident solution.
+#[derive(Debug)]
+struct CacheEntry {
+    /// FNV-1a of `canonical` (the lookup fast path).
+    hash: u64,
+    /// The owning session's SOC content hash.
+    soc: u64,
+    /// The canonical request text (the collision-proof identity).
+    canonical: String,
+    /// The cached response.
+    response: OptimizeResponse,
+    /// Charged size: canonical key plus rendered response.
+    bytes: u64,
+}
+
+impl CacheEntry {
+    fn matches(&self, soc: u64, hash: u64, canonical: &str) -> bool {
+        self.soc == soc && self.hash == hash && self.canonical == canonical
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// Entries in LRU order: index 0 is the coldest.
+    entries: Vec<CacheEntry>,
+    /// Keys currently being computed by a leader.
+    inflight: Vec<(u64, u64, String)>,
+    stats: SolutionCacheStats,
+}
+
+/// An exact-hit LRU of [`OptimizeResponse`]s keyed by `(SOC content
+/// hash, canonical request)`, with in-flight coalescing. See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct SolutionCache {
+    inner: Mutex<CacheInner>,
+    /// Signalled whenever a leader finishes (result landed or leader
+    /// gave up) so waiters re-check.
+    ready: Condvar,
+    max_entries: usize,
+    max_bytes: u64,
+}
+
+impl SolutionCache {
+    /// An empty cache holding at most `max_entries` responses and at
+    /// most `max_bytes` of charged memory. The entry cap is clamped to
+    /// at least one; the hottest entry is never evicted, so a single
+    /// oversized response may exist alone.
+    pub fn new(max_entries: usize, max_bytes: u64) -> Self {
+        SolutionCache {
+            inner: Mutex::new(CacheInner::default()),
+            ready: Condvar::new(),
+            max_entries: max_entries.max(1),
+            max_bytes,
+        }
+    }
+
+    /// Serves `request` for the session keyed `soc`: from the cache if
+    /// resident, by waiting on an identical in-flight computation if
+    /// one is running, or by calling `compute` as the leader otherwise.
+    /// A successful leader's response is cached before waiters wake.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `compute` returns when this call leads and the
+    /// computation fails (nothing is cached), or
+    /// [`OptimizeError::Cancelled`] / [`OptimizeError::DeadlineExceeded`]
+    /// when this call's own `token` fires while waiting on a leader.
+    /// A leader's failure is *not* propagated to its waiters — they
+    /// retry, and the first retry becomes the next leader.
+    pub fn run_coalesced<F>(
+        &self,
+        soc: u64,
+        request: &OptimizeRequest,
+        token: &CancelToken,
+        compute: F,
+    ) -> Result<(CacheOutcome, OptimizeResponse), OptimizeError>
+    where
+        F: FnOnce() -> Result<OptimizeResponse, OptimizeError>,
+    {
+        let canonical = canonical_request(request);
+        let hash = fnv1a64(&canonical);
+        let mut compute = Some(compute);
+        let mut waited = false;
+        let mut inner = self.lock();
+        loop {
+            if let Some(position) = inner
+                .entries
+                .iter()
+                .position(|entry| entry.matches(soc, hash, &canonical))
+            {
+                // Touch: move to the hot end.
+                let entry = inner.entries.remove(position);
+                let response = entry.response.clone();
+                inner.entries.push(entry);
+                inner.stats.hits += 1;
+                let outcome = if waited {
+                    CacheOutcome::Coalesced
+                } else {
+                    CacheOutcome::Hit
+                };
+                return Ok((outcome, response));
+            }
+
+            let in_flight = inner
+                .inflight
+                .iter()
+                .any(|(s, h, c)| *s == soc && *h == hash && *c == canonical);
+            if in_flight {
+                if !waited {
+                    waited = true;
+                    inner.stats.coalesced_waits += 1;
+                }
+                // Sleep until the leader's guard notifies (or the
+                // slice elapses), then poll our own token: a cancelled
+                // waiter gives up without touching the leader.
+                inner = self
+                    .ready
+                    .wait_timeout(inner, WAIT_SLICE)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+                token.check()?;
+                continue;
+            }
+
+            // No entry, no leader: lead. `compute` is consumed here, and
+            // the leader path always returns, so a caller leads at most
+            // once — a waiter whose leader failed retries into this arm.
+            inner.stats.misses += 1;
+            inner.inflight.push((soc, hash, canonical.clone()));
+            drop(inner);
+            let guard = FlightGuard {
+                cache: self,
+                soc,
+                hash,
+                canonical: &canonical,
+            };
+            let result = (compute.take().expect("leader leads at most once"))();
+            if let Ok(response) = &result {
+                self.insert(soc, hash, &canonical, response);
+            }
+            // Remove the in-flight marker and wake waiters — also runs
+            // on unwind if `compute` panicked, so waiters never hang.
+            drop(guard);
+            return result.map(|response| (CacheOutcome::Computed, response));
+        }
+    }
+
+    /// Admits a successful response, touching it hottest and applying
+    /// the caps.
+    fn insert(&self, soc: u64, hash: u64, canonical: &str, response: &OptimizeResponse) {
+        let rendered = serde_json::to_string(response).expect("responses serialise");
+        let bytes = (canonical.len() + rendered.len()) as u64;
+        let mut inner = self.lock();
+        // A resident duplicate is impossible while our in-flight marker
+        // blocks other leaders, but stay defensive: replace, don't stack.
+        inner
+            .entries
+            .retain(|entry| !entry.matches(soc, hash, canonical));
+        inner.entries.push(CacheEntry {
+            hash,
+            soc,
+            canonical: canonical.to_string(),
+            response: response.clone(),
+            bytes,
+        });
+        inner.stats.insertions += 1;
+        loop {
+            let total: u64 = inner.entries.iter().map(|entry| entry.bytes).sum();
+            let over = inner.entries.len() > self.max_entries || total > self.max_bytes;
+            if !over || inner.entries.len() <= 1 {
+                break;
+            }
+            inner.entries.remove(0);
+            inner.stats.evictions += 1;
+        }
+    }
+
+    /// Current counters (entries/bytes recomputed from the residents).
+    pub fn stats(&self) -> SolutionCacheStats {
+        let inner = self.lock();
+        let mut stats = inner.stats;
+        stats.entries = inner.entries.len() as u64;
+        stats.bytes = inner.entries.iter().map(|entry| entry.bytes).sum();
+        stats
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Whether no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    // Leaders mutate the cache only at guarded points (marker push,
+    // insert, marker removal), never mid-structure — recover from
+    // poisoning like the registry does.
+    fn lock(&self) -> MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Removes the leader's in-flight marker and wakes every waiter — on
+/// the normal path *and* when the computation unwinds (an injected
+/// fault, an engine bug), so a dying leader never strands its waiters.
+struct FlightGuard<'a> {
+    cache: &'a SolutionCache,
+    soc: u64,
+    hash: u64,
+    canonical: &'a str,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut inner = self.cache.lock();
+        inner
+            .inflight
+            .retain(|(s, h, c)| !(*s == self.soc && *h == self.hash && c == self.canonical));
+        drop(inner);
+        self.cache.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::OptimizerConfig;
+    use soctest_ate::{AteSpec, ProbeStation, TestCell};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Barrier};
+    use std::thread;
+
+    fn request(channels: usize) -> OptimizeRequest {
+        let cell = TestCell::new(
+            AteSpec::new(channels, 96 * 1024, 5.0e6),
+            ProbeStation::paper_probe_station(),
+        );
+        OptimizeRequest::new(OptimizerConfig::new(cell))
+    }
+
+    fn response(marker: usize) -> OptimizeResponse {
+        // A cheap, distinguishable stand-in — the cache never inspects
+        // response contents.
+        OptimizeResponse::Curves(Vec::with_capacity(marker))
+    }
+
+    #[test]
+    fn second_identical_request_hits_without_recomputing() {
+        let cache = SolutionCache::new(8, u64::MAX);
+        let token = CancelToken::new();
+        let runs = AtomicUsize::new(0);
+        let compute = || {
+            runs.fetch_add(1, Ordering::SeqCst);
+            Ok(response(0))
+        };
+        let (first, a) = cache
+            .run_coalesced(7, &request(64), &token, compute)
+            .unwrap();
+        let (second, b) = cache
+            .run_coalesced(7, &request(64), &token, || {
+                runs.fetch_add(1, Ordering::SeqCst);
+                Ok(response(0))
+            })
+            .unwrap();
+        assert_eq!(first, CacheOutcome::Computed);
+        assert_eq!(second, CacheOutcome::Hit);
+        assert_eq!(a, b);
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn different_socs_and_requests_get_distinct_entries() {
+        let cache = SolutionCache::new(8, u64::MAX);
+        let token = CancelToken::new();
+        cache
+            .run_coalesced(1, &request(64), &token, || Ok(response(0)))
+            .unwrap();
+        // Same request under another SOC key must recompute...
+        let (outcome, _) = cache
+            .run_coalesced(2, &request(64), &token, || Ok(response(0)))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Computed);
+        // ...and so must a different request under the first SOC.
+        let (outcome, _) = cache
+            .run_coalesced(1, &request(128), &token, || Ok(response(0)))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Computed);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce_onto_one_computation() {
+        let cache = Arc::new(SolutionCache::new(8, u64::MAX));
+        let runs = Arc::new(AtomicUsize::new(0));
+        let threads = 8;
+        let start = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let runs = Arc::clone(&runs);
+                let start = Arc::clone(&start);
+                thread::spawn(move || {
+                    start.wait();
+                    cache
+                        .run_coalesced(3, &request(64), &CancelToken::new(), || {
+                            runs.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open long enough for the
+                            // stragglers to arrive and wait.
+                            thread::sleep(Duration::from_millis(100));
+                            Ok(response(0))
+                        })
+                        .unwrap()
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "exactly one computation");
+        let expected = response(0);
+        for (_, got) in &results {
+            assert_eq!(*got, expected);
+        }
+        let computed = results
+            .iter()
+            .filter(|(outcome, _)| *outcome == CacheOutcome::Computed)
+            .count();
+        assert_eq!(computed, 1);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, threads as u64 - 1);
+        assert!(stats.coalesced_waits >= 1);
+    }
+
+    #[test]
+    fn failed_leader_does_not_poison_waiters() {
+        let cache = Arc::new(SolutionCache::new(8, u64::MAX));
+        let runs = Arc::new(AtomicUsize::new(0));
+        let threads = 6;
+        let start = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let runs = Arc::clone(&runs);
+                let start = Arc::clone(&start);
+                thread::spawn(move || {
+                    start.wait();
+                    cache.run_coalesced(4, &request(64), &CancelToken::new(), || {
+                        let run = runs.fetch_add(1, Ordering::SeqCst);
+                        thread::sleep(Duration::from_millis(50));
+                        if run == 0 {
+                            // The first leader is "cancelled".
+                            Err(OptimizeError::Cancelled)
+                        } else {
+                            Ok(response(0))
+                        }
+                    })
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let failures = results.iter().filter(|r| r.is_err()).count();
+        assert_eq!(failures, 1, "only the first leader sees its own error");
+        for result in results.iter().filter(|r| r.is_ok()) {
+            assert_eq!(result.as_ref().unwrap().1, response(0));
+        }
+        // The first leader failed, exactly one successor recomputed.
+        assert_eq!(runs.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn panicking_leader_frees_the_flight_for_waiters() {
+        let cache = Arc::new(SolutionCache::new(8, u64::MAX));
+        let entered = Arc::new(Barrier::new(2));
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            let entered = Arc::clone(&entered);
+            thread::spawn(move || {
+                entered.wait();
+                // Give the leader time to panic mid-flight.
+                thread::sleep(Duration::from_millis(50));
+                cache
+                    .run_coalesced(5, &request(64), &CancelToken::new(), || Ok(response(0)))
+                    .unwrap()
+            })
+        };
+        let leader = catch_unwind(AssertUnwindSafe(|| {
+            cache.run_coalesced(5, &request(64), &CancelToken::new(), || {
+                entered.wait();
+                thread::sleep(Duration::from_millis(100));
+                panic!("injected fault");
+            })
+        }));
+        assert!(leader.is_err());
+        let (_, got) = waiter.join().unwrap();
+        assert_eq!(got, response(0));
+        assert!(cache.lock().inflight.is_empty(), "marker cleaned on unwind");
+    }
+
+    #[test]
+    fn cancelled_waiter_gives_up_without_disturbing_the_leader() {
+        let cache = Arc::new(SolutionCache::new(8, u64::MAX));
+        let entered = Arc::new(Barrier::new(2));
+        let leader = {
+            let cache = Arc::clone(&cache);
+            let entered = Arc::clone(&entered);
+            thread::spawn(move || {
+                cache.run_coalesced(6, &request(64), &CancelToken::new(), || {
+                    entered.wait();
+                    thread::sleep(Duration::from_millis(200));
+                    Ok(response(0))
+                })
+            })
+        };
+        entered.wait();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = cache
+            .run_coalesced(6, &request(64), &token, || Ok(response(0)))
+            .unwrap_err();
+        assert!(matches!(err, OptimizeError::Cancelled));
+        // The leader still completes and caches normally.
+        let (outcome, got) = leader.join().unwrap().unwrap();
+        assert_eq!(outcome, CacheOutcome::Computed);
+        assert_eq!(got, response(0));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_spares_the_hottest() {
+        let cache = SolutionCache::new(2, u64::MAX);
+        let token = CancelToken::new();
+        for channels in [64, 128, 256] {
+            cache
+                .run_coalesced(9, &request(channels), &token, || Ok(response(0)))
+                .unwrap();
+        }
+        // 64 was coldest and evicted; 128 and 256 are resident.
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        let (outcome, _) = cache
+            .run_coalesced(9, &request(256), &token, || Ok(response(0)))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        let (outcome, _) = cache
+            .run_coalesced(9, &request(64), &token, || Ok(response(0)))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Computed);
+    }
+
+    #[test]
+    fn byte_cap_evicts_down_to_the_hottest() {
+        let cache = SolutionCache::new(8, 1); // 1 byte: everything oversized
+        let token = CancelToken::new();
+        cache
+            .run_coalesced(9, &request(64), &token, || Ok(response(0)))
+            .unwrap();
+        cache
+            .run_coalesced(9, &request(128), &token, || Ok(response(0)))
+            .unwrap();
+        // Only the hottest survives under the 1-byte cap.
+        assert_eq!(cache.len(), 1);
+        let (outcome, _) = cache
+            .run_coalesced(9, &request(128), &token, || Ok(response(0)))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn canonical_request_is_stable_across_clones() {
+        let a = request(64);
+        let b = a.clone();
+        assert_eq!(canonical_request(&a), canonical_request(&b));
+        assert_ne!(canonical_request(&a), canonical_request(&request(128)));
+    }
+}

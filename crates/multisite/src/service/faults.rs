@@ -15,9 +15,10 @@
 //! `respond:alloc:64@r1` (allocate and touch 64 MiB before answering
 //! `r1`). Stages are [`Stage::Admission`] (reader thread, before the
 //! request is queued), [`Stage::Optimize`] (executor, before the engine
-//! runs), and [`Stage::Respond`] (executor, after the engine ran, before
-//! the frame is written). Without an `@` filter a directive fires on
-//! every request.
+//! runs), [`Stage::Respond`] (executor, after the engine ran, before
+//! the frame is written), and [`Stage::Store`] (around row-store cache
+//! file I/O — fires with the pseudo request ids `load` / `save`).
+//! Without an `@` filter a directive fires on every request.
 //!
 //! The harness is env-gated: production paths never construct a non-empty
 //! plan unless `SOCTEST_FAULTS` is set (or the `soc-serve` binary is
@@ -46,6 +47,11 @@ pub enum Stage {
     /// On the executor, inside per-request isolation, after the engine
     /// served the request, before its frame is written.
     Respond,
+    /// Around row-store cache-file I/O (startup load, shutdown save),
+    /// inside the server's store isolation: a panicking store never
+    /// takes the session down, it only costs the cache. Fires with the
+    /// pseudo request ids `load` and `save`.
+    Store,
 }
 
 impl fmt::Display for Stage {
@@ -54,6 +60,7 @@ impl fmt::Display for Stage {
             Stage::Admission => "admission",
             Stage::Optimize => "optimize",
             Stage::Respond => "respond",
+            Stage::Store => "store",
         };
         f.write_str(name)
     }
@@ -162,9 +169,11 @@ impl Fault {
             Some("admission") => Stage::Admission,
             Some("optimize") => Stage::Optimize,
             Some("respond") => Stage::Respond,
+            Some("store") => Stage::Store,
             other => {
                 return Err(format!(
-                    "unknown stage `{}` in `{directive}` (expected admission|optimize|respond)",
+                    "unknown stage `{}` in `{directive}` \
+                     (expected admission|optimize|respond|store)",
                     other.unwrap_or("")
                 ))
             }
@@ -245,6 +254,14 @@ mod tests {
         assert_eq!(plan.faults[1].kind, FaultKind::DelayMs(200));
         assert_eq!(plan.faults[1].request_id, None);
         assert_eq!(plan.faults[2].kind, FaultKind::AllocMib(4));
+    }
+
+    #[test]
+    fn store_stage_parses_and_fires_on_its_pseudo_ids() {
+        let plan = FaultPlan::parse("store:panic@save").unwrap();
+        assert_eq!(plan.faults[0].stage, Stage::Store);
+        plan.fire(Stage::Store, "load"); // filtered out
+        assert!(catch_unwind(AssertUnwindSafe(|| plan.fire(Stage::Store, "save"))).is_err());
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //! * [`cancel`] — cooperative [`CancelToken`]s: `Cancel` frames and
 //!   per-request deadlines observed at sweep-point *and* table-row
 //!   granularity;
+//! * [`cache`] — the content-addressed [`SolutionCache`]: exact-hit
+//!   `(SOC, canonical request) → response` memoisation with in-flight
+//!   coalescing, so identical concurrent requests share one
+//!   computation;
 //! * [`server`] — the [`Server`] loop itself: bounded admission with
 //!   typed `Overloaded` shedding, per-request panic isolation, graceful
 //!   drain with a final `Bye` statistics frame;
@@ -21,20 +25,22 @@
 //!
 //! [`Engine`]: crate::engine::Engine
 
+pub mod cache;
 pub mod cancel;
 pub mod faults;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 
+pub use cache::{canonical_request, CacheOutcome, SolutionCache, SolutionCacheStats};
 pub use cancel::CancelToken;
 pub use faults::{FaultPlan, Stage, FAULTS_ENV_VAR};
 pub use protocol::{
-    parse_client_frame, render_server_frame, ClientFrame, ErrorFrame, ErrorKind, OptimizeFrame,
-    ResultFrame, ServerFrame, ServerStats, SocSpec,
+    parse_client_frame, render_server_frame, CacheStats, ClientFrame, ErrorFrame, ErrorKind,
+    OptimizeFrame, ResultFrame, ServerFrame, ServerStats, SocSpec,
 };
 pub use registry::{RegistryStats, SessionHandle, SessionRegistry};
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, ROWS_FILE};
 
 use soctest_soc_model::synthetic::pnx8550_like;
 use soctest_soc_model::{benchmarks, Soc};

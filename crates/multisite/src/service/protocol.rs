@@ -220,16 +220,25 @@ pub struct ResultFrame {
     /// Whether the request hit an already-warm engine session (same SOC
     /// content served before and still resident in the registry).
     pub warm: bool,
+    /// Whether the response came out of the solution cache (an exact
+    /// hit or a coalesced wait on an identical in-flight request)
+    /// rather than a fresh computation.
+    pub cached: bool,
     /// The engine's response.
     pub response: OptimizeResponse,
 }
 
 impl Deserialize for ResultFrame {
     fn from_value(value: &Value) -> Result<Self, SerdeError> {
-        expect_fields(value, &["request_id", "warm", "response"], "ResultFrame")?;
+        expect_fields(
+            value,
+            &["request_id", "warm", "cached", "response"],
+            "ResultFrame",
+        )?;
         Ok(ResultFrame {
             request_id: serde::get_field(value, "request_id", "ResultFrame")?,
             warm: serde::get_field(value, "warm", "ResultFrame")?,
+            cached: serde::get_field(value, "cached", "ResultFrame")?,
             response: serde::get_field(value, "response", "ResultFrame")?,
         })
     }
@@ -279,6 +288,32 @@ impl Deserialize for ErrorFrame {
     }
 }
 
+/// Solution-cache and row-store statistics inside the final `Bye`
+/// frame. Every counter here is deterministic for a given input stream
+/// and thread count — duplicate-computation races are settled by
+/// first-insert-wins guards before anything is counted — so golden
+/// transcripts can compare `Bye` byte-for-byte.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Requests served straight from the solution cache (including
+    /// coalesced waiters).
+    pub result_hits: u64,
+    /// Requests that computed their response (successfully or not).
+    pub result_misses: u64,
+    /// Requests that blocked on an identical in-flight computation.
+    pub coalesced_waits: u64,
+    /// Bytes resident in the solution cache at shutdown.
+    pub result_bytes: u64,
+    /// Module-row cells computed fresh this session (first insert of a
+    /// `(shape, width)` pair). Zero on a warm restart means the row
+    /// store rebuilt nothing.
+    pub cells_computed: u64,
+    /// Row-store cells loaded from the on-disk cache at startup.
+    pub store_cells_loaded: u64,
+    /// Row-store rows saved to the on-disk cache at shutdown.
+    pub store_rows_saved: u64,
+}
+
 /// End-of-session statistics, answered in the final `Bye` frame.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServerStats {
@@ -294,6 +329,8 @@ pub struct ServerStats {
     pub session_misses: u64,
     /// Sessions evicted by the registry's LRU / memory cap.
     pub evictions: u64,
+    /// Solution-cache and row-store counters.
+    pub cache: CacheStats,
 }
 
 /// One line of server output.
@@ -334,6 +371,7 @@ impl Deserialize for ServerFrame {
                         "session_hits",
                         "session_misses",
                         "evictions",
+                        "cache",
                     ],
                     "ServerFrame::Bye",
                 )?;
@@ -435,6 +473,15 @@ mod tests {
                 session_hits: 3,
                 session_misses: 2,
                 evictions: 1,
+                cache: CacheStats {
+                    result_hits: 2,
+                    result_misses: 2,
+                    coalesced_waits: 1,
+                    result_bytes: 4096,
+                    cells_computed: 77,
+                    store_cells_loaded: 11,
+                    store_rows_saved: 5,
+                },
             }),
         ];
         for frame in &frames {

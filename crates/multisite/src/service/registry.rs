@@ -17,6 +17,7 @@ use crate::engine::Engine;
 use crate::error::OptimizeError;
 use soctest_soc_model::writer::write_soc;
 use soctest_soc_model::Soc;
+use soctest_tam::RowStore;
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// FNV-1a 64-bit over the canonical SOC text — stable, dependency-free,
@@ -24,7 +25,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 /// merge two sessions, never corrupt results... except they would serve
 /// the wrong SOC, so the registry double-checks the canonical text on
 /// hash hits).
-fn fnv1a64(text: &str) -> u64 {
+pub(crate) fn fnv1a64(text: &str) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for byte in text.bytes() {
         hash ^= u64::from(byte);
@@ -83,6 +84,10 @@ pub struct SessionRegistry {
     inner: Mutex<RegistryInner>,
     max_sessions: usize,
     max_table_bytes: u64,
+    /// When set, every built engine shares this row store, so module
+    /// time rows survive session eviction and are shared across SOCs
+    /// with equal-shaped modules.
+    row_store: Option<Arc<RowStore>>,
 }
 
 #[derive(Debug, Default)]
@@ -100,6 +105,18 @@ impl SessionRegistry {
             inner: Mutex::new(RegistryInner::default()),
             max_sessions: max_sessions.max(1),
             max_table_bytes,
+            row_store: None,
+        }
+    }
+
+    /// Like [`SessionRegistry::new`], but every built engine shares
+    /// `store` for its module time rows (see
+    /// [`crate::engine::EngineBuilder::row_store`]): evicting and
+    /// rebuilding a session no longer loses its computed cells.
+    pub fn with_row_store(max_sessions: usize, max_table_bytes: u64, store: Arc<RowStore>) -> Self {
+        SessionRegistry {
+            row_store: Some(store),
+            ..SessionRegistry::new(max_sessions, max_table_bytes)
         }
     }
 
@@ -133,7 +150,11 @@ impl SessionRegistry {
         }
 
         inner.stats.misses += 1;
-        let engine = Arc::new(Engine::builder(soc).try_build()?);
+        let mut builder = Engine::builder(soc);
+        if let Some(store) = &self.row_store {
+            builder = builder.row_store(Arc::clone(store));
+        }
+        let engine = Arc::new(builder.try_build()?);
         inner.stats.created += 1;
         let bytes = engine.table_memory_bytes();
         inner.slots.push(SessionSlot {
@@ -287,6 +308,32 @@ mod tests {
             .unwrap();
         registry.reassess(handle.key);
         assert!(registry.stats().current_bytes > before);
+    }
+
+    #[test]
+    fn shared_row_store_survives_eviction_and_rebuild() {
+        use crate::engine::OptimizeRequest;
+        use crate::problem::OptimizerConfig;
+        use soctest_ate::{AteSpec, ProbeStation, TestCell};
+        let store = Arc::new(RowStore::new());
+        let registry = SessionRegistry::with_row_store(1, u64::MAX, Arc::clone(&store));
+        let cell = TestCell::new(
+            AteSpec::new(128, 96 * 1024, 5.0e6),
+            ProbeStation::paper_probe_station(),
+        );
+        let request = OptimizeRequest::new(OptimizerConfig::new(cell));
+        let first = registry.get_or_build(&d695()).unwrap();
+        let expected = first.engine.run(&request).unwrap();
+        let computed_cold = store.stats().cells_computed;
+        assert!(computed_cold > 0);
+        // Evict d695 by admitting a second SOC into the 1-session cap...
+        registry.get_or_build(&p22810()).unwrap();
+        // ...then rebuild it: the fresh engine pulls every cell from the
+        // shared store instead of recomputing, bit-identically.
+        let rebuilt = registry.get_or_build(&d695()).unwrap();
+        assert!(!rebuilt.warm);
+        assert_eq!(rebuilt.engine.run(&request).unwrap(), expected);
+        assert_eq!(store.stats().cells_computed, computed_cold);
     }
 
     #[test]

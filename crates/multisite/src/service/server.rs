@@ -19,23 +19,31 @@
 //! for: deadlines and cancellation races).
 
 use crate::error::OptimizeError;
+use crate::service::cache::SolutionCache;
 use crate::service::cancel::CancelToken;
 use crate::service::faults::{FaultPlan, Stage};
 use crate::service::protocol::{
-    parse_client_frame, render_server_frame, ClientFrame, ErrorFrame, ErrorKind, OptimizeFrame,
-    ResultFrame, ServerFrame, ServerStats, SocSpec,
+    parse_client_frame, render_server_frame, CacheStats, ClientFrame, ErrorFrame, ErrorKind,
+    OptimizeFrame, ResultFrame, ServerFrame, ServerStats, SocSpec,
 };
 use crate::service::registry::SessionRegistry;
 use crate::service::resolve_named_soc;
 use soctest_soc_model::parser::parse_soc;
 use soctest_soc_model::validate::{Severity, ValidationIssue};
 use soctest_soc_model::Soc;
+use soctest_tam::RowStore;
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, Write};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// File name of the persisted row store inside
+/// [`ServerConfig::cache_dir`] (the extension names the on-disk format
+/// version).
+pub const ROWS_FILE: &str = "rows.v1";
 
 /// Tuning knobs of a [`Server`].
 #[derive(Debug, Clone)]
@@ -51,6 +59,18 @@ pub struct ServerConfig {
     /// sessions (the LRU evicts past either cap, always sparing the
     /// hottest session).
     pub max_table_bytes: u64,
+    /// Maximum entries in the exact-hit solution cache.
+    pub max_result_entries: usize,
+    /// Maximum bytes charged to the solution cache (canonical keys plus
+    /// rendered responses; the LRU evicts past either cap, sparing the
+    /// hottest entry).
+    pub max_result_bytes: u64,
+    /// When set, the module-row store is loaded from
+    /// `<cache_dir>/rows.v1` at startup and saved back at shutdown, so
+    /// a restarted server rebuilds zero rows. A missing, corrupt, or
+    /// version-mismatched file is a clean miss (a stderr warning, an
+    /// empty store), never an error.
+    pub cache_dir: Option<PathBuf>,
     /// The armed fault plan (empty in production).
     pub faults: FaultPlan,
 }
@@ -61,6 +81,9 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             max_sessions: 8,
             max_table_bytes: 256 * 1024 * 1024,
+            max_result_entries: 256,
+            max_result_bytes: 64 * 1024 * 1024,
+            cache_dir: None,
             faults: FaultPlan::none(),
         }
     }
@@ -98,6 +121,14 @@ struct QueueState {
 pub struct Server {
     config: ServerConfig,
     registry: SessionRegistry,
+    /// The exact-hit `(SOC, canonical request) → response` cache with
+    /// in-flight coalescing.
+    solutions: SolutionCache,
+    /// The content-addressed module-row store every session's table
+    /// draws from; persisted to [`ServerConfig::cache_dir`] when set.
+    row_store: Arc<RowStore>,
+    /// Cells merged from the on-disk cache at startup.
+    store_cells_loaded: u64,
     queue: Mutex<QueueState>,
     queue_ready: Condvar,
     /// Cancellation tokens of in-flight (queued or running) requests,
@@ -108,12 +139,27 @@ pub struct Server {
 }
 
 impl Server {
-    /// A server with the given knobs and an empty session registry.
+    /// A server with the given knobs, an empty session registry, and a
+    /// row store warmed from [`ServerConfig::cache_dir`] when set (a
+    /// bad cache file degrades to a cold store, never an error).
     pub fn new(config: ServerConfig) -> Self {
-        let registry = SessionRegistry::new(config.max_sessions, config.max_table_bytes);
+        let row_store = Arc::new(RowStore::new());
+        let store_cells_loaded = match &config.cache_dir {
+            Some(dir) => load_row_store(&row_store, dir, &config.faults),
+            None => 0,
+        };
+        let registry = SessionRegistry::with_row_store(
+            config.max_sessions,
+            config.max_table_bytes,
+            Arc::clone(&row_store),
+        );
+        let solutions = SolutionCache::new(config.max_result_entries, config.max_result_bytes);
         Server {
             config,
             registry,
+            solutions,
+            row_store,
+            store_cells_loaded,
             queue: Mutex::new(QueueState {
                 open: true,
                 ..QueueState::default()
@@ -121,6 +167,12 @@ impl Server {
             queue_ready: Condvar::new(),
             tokens: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The server's shared module-row store (one per server, shared by
+    /// every session its registry builds).
+    pub fn row_store(&self) -> &Arc<RowStore> {
+        &self.row_store
     }
 
     /// Serves one NDJSON session: reads `input` to EOF (or a `Shutdown`
@@ -270,6 +322,22 @@ impl Server {
         stats.session_hits = registry.hits;
         stats.session_misses = registry.misses;
         stats.evictions = registry.evictions;
+        // Persist the row store before `Bye` so the saved-row count can
+        // ride in the statistics frame.
+        let store_rows_saved = match &self.config.cache_dir {
+            Some(dir) => save_row_store(&self.row_store, dir, &self.config.faults),
+            None => 0,
+        };
+        let solutions = self.solutions.stats();
+        stats.cache = CacheStats {
+            result_hits: solutions.hits,
+            result_misses: solutions.misses,
+            coalesced_waits: solutions.coalesced_waits,
+            result_bytes: solutions.bytes,
+            cells_computed: self.row_store.stats().cells_computed,
+            store_cells_loaded: self.store_cells_loaded,
+            store_rows_saved,
+        };
         writeln!(output, "{}", render_server_frame(&ServerFrame::Bye(stats)))?;
         output.flush()?;
         Ok(stats)
@@ -317,18 +385,28 @@ impl Server {
             faults.fire(Stage::Optimize, &request_id);
             let soc = resolve_soc_spec(&soc)?;
             let handle = self.registry.get_or_build(&soc)?;
-            let served = handle.engine.run_with_cancel(&request, &token);
-            // Re-charge the session's (possibly grown) table before
-            // inspecting the result, so even failed runs account.
-            self.registry.reassess(handle.key);
-            let response = served?;
+            // The coalescing seam: an exact `(SOC, canonical request)`
+            // hit answers from the cache, an identical in-flight request
+            // blocks on its leader, and only a genuine miss runs the
+            // engine.
+            let (cache_outcome, response) =
+                self.solutions
+                    .run_coalesced(handle.key, &request, &token, || {
+                        let served = handle.engine.run_with_cancel(&request, &token);
+                        // Re-charge the session's (possibly grown) table
+                        // before inspecting the result, so even failed
+                        // runs account.
+                        self.registry.reassess(handle.key);
+                        served
+                    })?;
             faults.fire(Stage::Respond, &request_id);
-            Ok((handle.warm, response))
+            Ok((handle.warm, cache_outcome.is_cached(), response))
         }));
         match outcome {
-            Ok(Ok((warm, response))) => ServerFrame::Result(ResultFrame {
+            Ok(Ok((warm, cached, response))) => ServerFrame::Result(ResultFrame {
                 request_id,
                 warm,
+                cached,
                 response,
             }),
             Ok(Err(error)) => ServerFrame::Error(ErrorFrame::from_error(request_id, &error)),
@@ -337,6 +415,63 @@ impl Server {
                 kind: ErrorKind::Internal,
                 message: format!("request panicked: {}", panic_message(payload.as_ref())),
             }),
+        }
+    }
+}
+
+/// Loads the persisted row store from `dir`, isolating every failure
+/// mode — I/O errors, corruption, and injected store-stage panics —
+/// into a stderr warning and a cold store. Returns the cells merged.
+fn load_row_store(store: &Arc<RowStore>, dir: &Path, faults: &FaultPlan) -> u64 {
+    let path = dir.join(ROWS_FILE);
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        faults.fire(Stage::Store, "load");
+        store.load_if_present(&path)
+    }));
+    match attempt {
+        Ok(Ok(cells)) => cells,
+        Ok(Err(error)) => {
+            eprintln!(
+                "warning: ignoring row cache {}: {error}; starting cold",
+                path.display()
+            );
+            0
+        }
+        Err(payload) => {
+            eprintln!(
+                "warning: row cache load panicked: {}; starting cold",
+                panic_message(payload.as_ref())
+            );
+            0
+        }
+    }
+}
+
+/// Saves the row store into `dir` (created if absent) with the same
+/// isolation as [`load_row_store`]: a failed save costs the cache, not
+/// the session. Returns the rows written (0 on failure).
+fn save_row_store(store: &Arc<RowStore>, dir: &Path, faults: &FaultPlan) -> u64 {
+    let path = dir.join(ROWS_FILE);
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        faults.fire(Stage::Store, "save");
+        std::fs::create_dir_all(dir)?;
+        store.save(&path)
+    }));
+    match attempt {
+        Ok(Ok(rows)) => rows,
+        Ok(Err(error)) => {
+            eprintln!(
+                "warning: failed to save row cache {}: {error}",
+                path.display()
+            );
+            0
+        }
+        Err(payload) => {
+            eprintln!(
+                "warning: row cache save panicked: {}; cache not written",
+                panic_message(payload.as_ref())
+            );
+            0
         }
     }
 }
@@ -437,8 +572,12 @@ mod tests {
             (ServerFrame::Result(first), ServerFrame::Result(second)) => {
                 assert_eq!(first.request_id, "r1");
                 assert!(!first.warm);
+                assert!(!first.cached);
                 assert_eq!(second.request_id, "r2");
                 assert!(second.warm);
+                // Identical SOC + request: the second answer comes out
+                // of the solution cache, bit-identical.
+                assert!(second.cached);
                 assert_eq!(first.response, second.response);
             }
             other => panic!("expected two results, got {other:?}"),
@@ -448,6 +587,10 @@ mod tests {
         assert_eq!(stats.sessions_created, 1);
         assert_eq!(stats.session_hits, 1);
         assert_eq!(stats.session_misses, 1);
+        assert_eq!(stats.cache.result_hits, 1);
+        assert_eq!(stats.cache.result_misses, 1);
+        assert!(stats.cache.result_bytes > 0);
+        assert!(stats.cache.cells_computed > 0);
     }
 
     #[test]
@@ -644,5 +787,132 @@ mod tests {
         assert_eq!(warms, [false, false, false]);
         assert_eq!(stats.sessions_created, 3);
         assert!(stats.evictions >= 2);
+        // r3 repeats r1 exactly: its session was evicted (cold engine),
+        // but the solution cache outlives the session and still hits.
+        match &frames[2] {
+            ServerFrame::Result(result) => assert!(result.cached),
+            other => panic!("expected result, got {other:?}"),
+        }
+        assert_eq!(stats.cache.result_hits, 1);
+        assert_eq!(stats.cache.result_misses, 2);
+    }
+
+    /// A unique scratch directory for cache-dir tests, removed by
+    /// `CacheDirGuard`.
+    struct CacheDirGuard(std::path::PathBuf);
+
+    impl CacheDirGuard {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("soctest-server-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("create cache dir");
+            CacheDirGuard(dir)
+        }
+    }
+
+    impl Drop for CacheDirGuard {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn warm_cache_dir_restart_rebuilds_zero_rows() {
+        let guard = CacheDirGuard::new("warm-restart");
+        let config = || ServerConfig {
+            cache_dir: Some(guard.0.clone()),
+            ..ServerConfig::default()
+        };
+        let input = format!(
+            "{}\n",
+            optimize_line("r1", SocSpec::Named("d695".into()), None)
+        );
+        let (cold_frames, cold) = run_session(config(), &input);
+        assert!(cold.cache.cells_computed > 0, "cold run computes rows");
+        assert!(cold.cache.store_rows_saved > 0, "cold run persists rows");
+        assert_eq!(cold.cache.store_cells_loaded, 0);
+        // A second server on the same cache dir — a "new process" as far
+        // as the store is concerned — rebuilds nothing and answers
+        // bit-identically.
+        let (warm_frames, warm) = run_session(config(), &input);
+        assert_eq!(
+            warm.cache.cells_computed, 0,
+            "warm restart rebuilds zero rows"
+        );
+        assert!(warm.cache.store_cells_loaded > 0);
+        match (&cold_frames[0], &warm_frames[0]) {
+            (ServerFrame::Result(a), ServerFrame::Result(b)) => {
+                assert_eq!(a.response, b.response);
+                // The solution cache is per-server: the warm restart
+                // recomputed from stored rows, it did not replay a frame.
+                assert!(!b.cached);
+            }
+            other => panic!("expected results, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_cache_file_degrades_to_a_cold_start() {
+        let guard = CacheDirGuard::new("corrupt");
+        std::fs::write(guard.0.join(ROWS_FILE), b"SOCROWS1 garbage \x00\x01").unwrap();
+        let config = ServerConfig {
+            cache_dir: Some(guard.0.clone()),
+            ..ServerConfig::default()
+        };
+        let input = format!(
+            "{}\n",
+            optimize_line("r1", SocSpec::Named("d695".into()), None)
+        );
+        let (frames, stats) = run_session(config, &input);
+        assert!(matches!(&frames[0], ServerFrame::Result(_)), "{frames:?}");
+        assert_eq!(
+            stats.cache.store_cells_loaded, 0,
+            "corrupt file is a clean miss"
+        );
+        assert!(stats.cache.cells_computed > 0);
+        // The drain overwrote the garbage with a valid file.
+        let (_, recovered) = run_session(
+            ServerConfig {
+                cache_dir: Some(guard.0.clone()),
+                ..ServerConfig::default()
+            },
+            &input,
+        );
+        assert!(recovered.cache.store_cells_loaded > 0);
+        assert_eq!(recovered.cache.cells_computed, 0);
+    }
+
+    #[test]
+    fn store_stage_faults_cost_the_cache_not_the_session() {
+        let guard = CacheDirGuard::new("store-fault");
+        let input = format!(
+            "{}\n",
+            optimize_line("r1", SocSpec::Named("d695".into()), None)
+        );
+        // A panicking save still answers the request and a clean Bye.
+        let (frames, stats) = run_session(
+            ServerConfig {
+                cache_dir: Some(guard.0.clone()),
+                faults: FaultPlan::parse("store:panic@save").unwrap(),
+                ..ServerConfig::default()
+            },
+            &input,
+        );
+        assert!(matches!(&frames[0], ServerFrame::Result(_)), "{frames:?}");
+        assert_eq!(stats.cache.store_rows_saved, 0);
+        assert_eq!(stats.served, 1);
+        // A panicking load degrades to a cold store.
+        let (frames, stats) = run_session(
+            ServerConfig {
+                cache_dir: Some(guard.0.clone()),
+                faults: FaultPlan::parse("store:panic@load").unwrap(),
+                ..ServerConfig::default()
+            },
+            &input,
+        );
+        assert!(matches!(&frames[0], ServerFrame::Result(_)), "{frames:?}");
+        assert_eq!(stats.cache.store_cells_loaded, 0);
+        assert!(stats.cache.cells_computed > 0);
     }
 }

@@ -1,0 +1,195 @@
+//! Cache-oracle property tests: the content-addressed result & row
+//! cache must be invisible. Over random SOCs and requests, a cold
+//! computation, a warm solution-cache hit, and a store-backed engine
+//! must all answer bit-identically — and request identity must be
+//! canonical: reordered or re-whitespaced JSON spellings of the same
+//! request parse equal, canonicalise equal, and land on the same cache
+//! entry.
+
+use proptest::prelude::*;
+use serde::Value;
+use soctest_ate::{AteSpec, ProbeStation, TestCell};
+use soctest_multisite::engine::{Engine, OptimizeResponse};
+use soctest_multisite::service::{canonical_request, CacheOutcome, CancelToken, SolutionCache};
+use soctest_multisite::{OptimizeRequest, OptimizerConfig, SweepAxis};
+use soctest_soc_model::{Module, Soc};
+use soctest_tam::RowStore;
+use std::sync::Arc;
+
+prop_compose! {
+    fn arb_module(index: usize)(
+        patterns in 1u64..150,
+        inputs in 1u32..60,
+        outputs in 1u32..60,
+        chains in proptest::collection::vec(1u64..200, 0..6),
+    ) -> Module {
+        Module::builder(format!("m{index}"))
+            .patterns(patterns)
+            .inputs(inputs)
+            .outputs(outputs)
+            .scan_chains(chains)
+            .build()
+    }
+}
+
+fn arb_soc() -> impl Strategy<Value = Soc> {
+    (2usize..8).prop_flat_map(|n| {
+        let modules: Vec<_> = (0..n).map(arb_module).collect();
+        modules.prop_map(|ms| Soc::from_modules("prop_soc", ms))
+    })
+}
+
+/// A request on a small test cell. The depth is generous enough that
+/// every generated SOC fits at width 1, so most requests are feasible —
+/// infeasible ones still flow through the oracle, compared as errors.
+fn arb_request() -> impl Strategy<Value = OptimizeRequest> {
+    (
+        32usize..=128,
+        (1u64 << 20)..(1u64 << 24),
+        proptest::collection::vec(32usize..=128, 1..4),
+        0u8..3,
+    )
+        .prop_map(|(channels, depth, sweep_channels, which)| {
+            let cell = TestCell::new(
+                AteSpec::new(channels, depth, 5.0e6),
+                ProbeStation::paper_probe_station(),
+            );
+            let request = OptimizeRequest::new(OptimizerConfig::new(cell));
+            match which {
+                0 => request,
+                1 => request.with_sweep(SweepAxis::Channels(sweep_channels)),
+                _ => request.with_sweep(SweepAxis::DepthVectors(vec![depth, depth * 2])),
+            }
+        })
+}
+
+/// Recursively rotates the field order of every JSON object while
+/// leaving array order (which is semantic) untouched: a different
+/// spelling of the same value.
+fn rotate_fields(value: Value, rotate: usize) -> Value {
+    match value {
+        Value::Object(fields) => {
+            let mut fields: Vec<(String, Value)> = fields
+                .into_iter()
+                .map(|(key, value)| (key, rotate_fields(value, rotate)))
+                .collect();
+            if !fields.is_empty() {
+                let len = fields.len();
+                fields.rotate_left(rotate % len);
+            }
+            Value::Object(fields)
+        }
+        Value::Array(items) => Value::Array(
+            items
+                .into_iter()
+                .map(|item| rotate_fields(item, rotate))
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The cache oracle: whatever path serves a request — cold engine,
+    /// warm solution cache, or a store-backed engine replaying rows —
+    /// the answer is bit-identical (and errors match exactly too).
+    #[test]
+    fn cold_warm_and_store_backed_answers_are_bit_identical(
+        soc in arb_soc(),
+        request in arb_request(),
+    ) {
+        let cold = Engine::new(&soc).run(&request);
+
+        // Warm: the same request twice through a solution cache. The
+        // first call computes, the second must be an exact hit carrying
+        // the identical response; a failed request is never cached, so
+        // its error must reproduce exactly instead.
+        let cache = SolutionCache::new(64, 16 * 1024 * 1024);
+        let token = CancelToken::new();
+        let engine = Engine::new(&soc);
+        let first = cache.run_coalesced(1, &request, &token, || engine.run(&request));
+        match (&cold, &first) {
+            (Ok(response), Ok((outcome, computed))) => {
+                prop_assert_eq!(*outcome, CacheOutcome::Computed);
+                prop_assert_eq!(computed, response);
+                let (outcome, cached) = cache
+                    .run_coalesced(1, &request, &token, || {
+                        panic!("a warm hit must not recompute")
+                    })
+                    .expect("a cached success cannot fail");
+                prop_assert_eq!(outcome, CacheOutcome::Hit);
+                prop_assert_eq!(&cached, response);
+            }
+            (Err(cold_err), Err(warm_err)) => prop_assert_eq!(cold_err, warm_err),
+            (cold, warm) => prop_assert!(
+                false,
+                "cold path {:?} and cached path {:?} disagree on feasibility",
+                cold,
+                warm
+            ),
+        }
+
+        // Store-backed: one engine warms a row store, then a brand-new
+        // engine on the same store must answer identically while
+        // computing zero fresh cells.
+        let store = Arc::new(RowStore::new());
+        let warm_run = Engine::builder(&soc)
+            .row_store(Arc::clone(&store))
+            .build()
+            .run(&request);
+        prop_assert_eq!(&warm_run, &cold);
+        let computed_before = store.stats().cells_computed;
+        let replay = Engine::builder(&soc)
+            .row_store(Arc::clone(&store))
+            .build()
+            .run(&request);
+        prop_assert_eq!(&replay, &cold);
+        prop_assert_eq!(
+            store.stats().cells_computed,
+            computed_before,
+            "a store-backed replay rebuilt rows"
+        );
+    }
+
+    /// Canonicalisation: every spelling of the same request — object
+    /// fields rotated at every nesting level, compact or pretty
+    /// whitespace — parses equal, canonicalises to the same key, and
+    /// hits the cache entry inserted under the original spelling.
+    #[test]
+    fn reordered_and_reformatted_spellings_share_one_cache_entry(
+        request in arb_request(),
+        rotate in 1usize..5,
+    ) {
+        let rendered = serde_json::to_string(&request).expect("requests serialise");
+        let parse_value = || -> Value {
+            serde_json::from_str(&rendered).expect("rendered requests reparse")
+        };
+        let shuffled =
+            serde_json::to_string(&rotate_fields(parse_value(), rotate)).expect("values serialise");
+        let pretty = serde_json::to_string_pretty(&rotate_fields(parse_value(), rotate))
+            .expect("values serialise");
+
+        let cache = SolutionCache::new(8, 1 << 20);
+        let token = CancelToken::new();
+        cache
+            .run_coalesced(9, &request, &token, || {
+                Ok(OptimizeResponse::Curves(Vec::new()))
+            })
+            .expect("the marker response always succeeds");
+
+        for spelling in [&shuffled, &pretty] {
+            let reparsed: OptimizeRequest =
+                serde_json::from_str(spelling).expect("reordered spellings still parse");
+            prop_assert_eq!(&reparsed, &request);
+            prop_assert_eq!(canonical_request(&reparsed), canonical_request(&request));
+            let (outcome, _) = cache
+                .run_coalesced(9, &reparsed, &token, || {
+                    panic!("an equal canonical key must hit the cache")
+                })
+                .expect("a cached success cannot fail");
+            prop_assert_eq!(outcome, CacheOutcome::Hit);
+        }
+    }
+}

@@ -7,8 +7,8 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use soctest_ate::{AteSpec, ProbeStation, TestCell};
 use soctest_multisite::service::{
-    parse_client_frame, render_server_frame, ClientFrame, ErrorFrame, ErrorKind, OptimizeFrame,
-    ServerFrame, ServerStats, SocSpec,
+    parse_client_frame, render_server_frame, CacheStats, ClientFrame, ErrorFrame, ErrorKind,
+    OptimizeFrame, ServerFrame, ServerStats, SocSpec,
 };
 use soctest_multisite::{OptimizeRequest, OptimizerConfig, SweepAxis};
 
@@ -100,7 +100,7 @@ prop_compose! {
         anonymous in 0u8..2,
         kind_index in 0usize..9,
         message in arb_id(),
-        counters in vec(0u64..10_000, 6),
+        counters in vec(0u64..10_000, 13),
     ) -> ServerFrame {
         let kinds = [
             ErrorKind::Protocol,
@@ -126,6 +126,15 @@ prop_compose! {
                 session_hits: counters[3],
                 session_misses: counters[4],
                 evictions: counters[5],
+                cache: CacheStats {
+                    result_hits: counters[6],
+                    result_misses: counters[7],
+                    coalesced_waits: counters[8],
+                    result_bytes: counters[9],
+                    cells_computed: counters[10],
+                    store_cells_loaded: counters[11],
+                    store_rows_saved: counters[12],
+                },
             }),
         }
     }

@@ -10,19 +10,36 @@
 //!
 //! [`LazyTimeTable`] keeps one width-independent
 //! [`soctest_wrapper::row::ModuleShape`] per module (chains sorted once at
-//! construction) and a per-cell atomic cache. A cell is computed on first
-//! probe — O(s) in the wide region, O(s log w) through the heap-based LPT
-//! in the narrow region — and every later probe is a single atomic load.
+//! construction) and a paged per-cell atomic cache: cell pages of
+//! `PAGE_WIDTHS` (64) widths are allocated only when a probe first lands in
+//! them, so the resident footprint follows the *probed* widths instead of
+//! the `modules × max_width` rectangle (which alone is ~80 MB at the
+//! 10k-module / 3072-channel tier). A cell is computed on first probe —
+//! O(s) in the wide region, O(s log w) through the heap-based LPT in the
+//! narrow region — and every later probe is a single atomic load.
+//!
+//! Two further sources can fill a cell without computing it:
+//!
+//! * a **row store** ([`crate::RowStore`], attached via
+//!   [`LazyTimeTable::with_store`]): before computing, the table consults
+//!   the content-addressed store row of the module's shape, so rows
+//!   computed by another table, another SOC sharing the shape, or another
+//!   *process* (via `RowStore::load`) are reused instead of rebuilt;
+//! * a **predecessor table** (via [`LazyTimeTable::grown`]): regrowing to
+//!   a larger width copies every already-built cell across, so widening a
+//!   session's table never discards its warm cells.
 //!
 //! Concurrency: cells are `AtomicU64`s whose value *is* the entire payload
 //! (`u64::MAX` = not yet computed), so plain relaxed loads/stores suffice —
-//! no locks, no `unsafe`. Two threads racing on an unset cell both compute
-//! the same deterministic value and store it twice; the table is therefore
-//! safe to share across a rayon sweep, and parallel probe results are
-//! bit-identical to [`crate::TimeTable::build_sequential`]
-//! (`tests/lazy_equivalence.rs`). Per-thread LPT scratch lives in a
-//! thread-local, so steady-state probes allocate nothing.
+//! no locks on the probe path (pages initialise through `OnceLock`). Two
+//! threads racing on an unset cell both compute the same deterministic
+//! value and store it twice; the table is therefore safe to share across a
+//! rayon sweep, and parallel probe results are bit-identical to
+//! [`crate::TimeTable::build_sequential`] (`tests/lazy_equivalence.rs`).
+//! Per-thread LPT scratch lives in a thread-local, so steady-state probes
+//! allocate nothing.
 
+use crate::store::{RowStore, StoreRow};
 use crate::timetable::TimeLookup;
 use rayon::prelude::*;
 use soctest_soc_model::{ModuleId, Soc};
@@ -30,11 +47,18 @@ use soctest_wrapper::row::{ModuleShape, ShapeScratch};
 use std::cell::RefCell;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Cell sentinel: "not computed yet". Reserved out of the test-time domain
 /// by the row kernel (`fit_u64` rejects times that do not fit *strictly
 /// below* `u64::MAX`).
 const UNSET: u64 = u64::MAX;
+
+/// Widths per lazily-allocated cell page. Optimizer probes cluster (binary
+/// searches and Step 2's one-step re-wraps walk neighbouring widths), so a
+/// modest page amortises the `OnceLock` per-page cost while keeping the
+/// footprint close to the probed set.
+const PAGE_WIDTHS: usize = 64;
 
 thread_local! {
     /// Reusable LPT scratch per thread. The rayon pool is persistent, so
@@ -42,6 +66,26 @@ thread_local! {
     /// reuses it across *all* tables, sweeps and engine batches for the
     /// rest of the process — steady-state probes allocate nothing.
     static SCRATCH: RefCell<ShapeScratch> = RefCell::new(ShapeScratch::new());
+}
+
+/// The lazily-materialised cell state of one module.
+#[derive(Debug)]
+struct ModuleCells {
+    /// `pages[p]` covers widths `p * PAGE_WIDTHS + 1 ..= (p + 1) * PAGE_WIDTHS`,
+    /// allocated on first probe into the page.
+    pages: Vec<OnceLock<Box<[AtomicU64]>>>,
+    /// The module's content-addressed store row, resolved on the first
+    /// probe that misses the local cells (only when a store is attached).
+    store_row: OnceLock<Arc<StoreRow>>,
+}
+
+impl ModuleCells {
+    fn new(pages: usize) -> Self {
+        ModuleCells {
+            pages: (0..pages).map(|_| OnceLock::new()).collect(),
+            store_row: OnceLock::new(),
+        }
+    }
 }
 
 /// A module test-time table that computes `(module, width)` cells on first
@@ -68,37 +112,124 @@ thread_local! {
 pub struct LazyTimeTable {
     /// Width-independent per-module state (sorted chains, cells, patterns).
     shapes: Vec<ModuleShape>,
-    /// `cells[module][width - 1]`: computed test time, or [`UNSET`].
-    cells: Vec<Vec<AtomicU64>>,
+    /// Paged cell cache, one entry per module.
+    cells: Vec<ModuleCells>,
     max_width: usize,
-    /// Number of cells computed so far (each cell counted once).
-    built: AtomicUsize,
+    /// Cells computed fresh by this table (each counted once).
+    computed: AtomicUsize,
+    /// Cells filled from the attached row store (each counted once).
+    from_store: AtomicUsize,
+    /// Cells copied from a predecessor table by [`LazyTimeTable::grown`].
+    inherited: AtomicUsize,
+    /// Pages allocated so far, across all modules (memory accounting).
+    pages_allocated: AtomicUsize,
+    /// The content-addressed row store consulted before computing a cell,
+    /// if one is attached.
+    store: Option<Arc<RowStore>>,
 }
 
 impl LazyTimeTable {
     /// Prepares the table for `soc`, covering widths `1..=max_width`.
     ///
-    /// No test time is computed yet; construction only sorts each module's
-    /// scan chains (in parallel over modules) and allocates the cell cache.
+    /// No test time is computed and no cell page is allocated yet;
+    /// construction only sorts each module's scan chains (in parallel
+    /// over modules).
     ///
     /// # Panics
     ///
     /// Panics if `max_width == 0`.
     pub fn new(soc: &Soc, max_width: usize) -> Self {
-        assert!(max_width > 0, "max_width must be at least 1");
+        LazyTimeTable::from_soc(soc, max_width, None)
+    }
+
+    /// [`LazyTimeTable::new`] with a content-addressed row store attached:
+    /// every cell probe that misses the local pages consults the store
+    /// row of the module's shape before computing, and every fresh
+    /// computation is published back — so tables (and processes) sharing
+    /// `store` never rebuild each other's rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_width == 0`.
+    pub fn with_store(soc: &Soc, max_width: usize, store: Arc<RowStore>) -> Self {
+        LazyTimeTable::from_soc(soc, max_width, Some(store))
+    }
+
+    fn from_soc(soc: &Soc, max_width: usize, store: Option<Arc<RowStore>>) -> Self {
         // Parallel over modules; nests under an engine batch running on
         // the same work-stealing pool (a table built from inside a batch
         // worker fans its rows out instead of running them serially).
         let shapes: Vec<ModuleShape> = soc.modules().par_iter().map(ModuleShape::of).collect();
-        let cells = (0..shapes.len())
-            .map(|_| (0..max_width).map(|_| AtomicU64::new(UNSET)).collect())
-            .collect();
+        LazyTimeTable::from_parts(shapes, max_width, store)
+    }
+
+    fn from_parts(
+        shapes: Vec<ModuleShape>,
+        max_width: usize,
+        store: Option<Arc<RowStore>>,
+    ) -> Self {
+        assert!(max_width > 0, "max_width must be at least 1");
+        let pages = max_width.div_ceil(PAGE_WIDTHS);
+        let cells = (0..shapes.len()).map(|_| ModuleCells::new(pages)).collect();
         LazyTimeTable {
             shapes,
             cells,
             max_width,
-            built: AtomicUsize::new(0),
+            computed: AtomicUsize::new(0),
+            from_store: AtomicUsize::new(0),
+            inherited: AtomicUsize::new(0),
+            pages_allocated: AtomicUsize::new(0),
+            store,
         }
+    }
+
+    /// A new table covering `new_width`, inheriting everything this table
+    /// already knows: the sorted shapes, the attached store (if any), and
+    /// **every built cell** — copied across, so regrowing never discards
+    /// warm cells ([`LazyTimeTable::cells_built`] does not reset). Cells
+    /// built in `self` *concurrently with* the copy may be missed (they
+    /// are recomputed on demand, deterministically); cells already built
+    /// when the copy starts all survive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width < self.max_width()` — regrow only widens.
+    pub fn grown(&self, new_width: usize) -> LazyTimeTable {
+        assert!(
+            new_width >= self.max_width,
+            "grown({new_width}) must not shrink a width-{} table",
+            self.max_width
+        );
+        let table = LazyTimeTable::from_parts(self.shapes.clone(), new_width, self.store.clone());
+        let mut copied = 0usize;
+        for (module, source) in self.cells.iter().enumerate() {
+            // The shared store row is already resolved — hand it on.
+            if let Some(row) = source.store_row.get() {
+                let _ = table.cells[module].store_row.set(Arc::clone(row));
+            }
+            for (page_index, page) in source.pages.iter().enumerate() {
+                let Some(source_page) = page.get() else {
+                    continue;
+                };
+                // Page geometry is width-independent, so source page `p`
+                // is destination page `p` verbatim.
+                let destination = table.page(module, page_index);
+                for (offset, cell) in source_page.iter().enumerate() {
+                    let value = cell.load(Ordering::Relaxed);
+                    if value != UNSET {
+                        destination[offset].store(value, Ordering::Relaxed);
+                        copied += 1;
+                    }
+                }
+            }
+        }
+        table.inherited.store(copied, Ordering::Relaxed);
+        table
+    }
+
+    /// The attached row store, if any.
+    pub fn store(&self) -> Option<&Arc<RowStore>> {
+        self.store.as_ref()
     }
 
     /// The maximum width covered by the table.
@@ -111,8 +242,20 @@ impl LazyTimeTable {
         self.shapes.len()
     }
 
+    /// The (initialised-on-first-use) cell page `page_index` of `module`.
+    fn page(&self, module: usize, page_index: usize) -> &[AtomicU64] {
+        self.cells[module].pages[page_index].get_or_init(|| {
+            self.pages_allocated.fetch_add(1, Ordering::Relaxed);
+            (0..PAGE_WIDTHS)
+                .map(|_| AtomicU64::new(UNSET))
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        })
+    }
+
     /// Test time of `module` at `width` wrapper chains, computing and
-    /// caching the cell on first probe.
+    /// caching the cell on first probe (consulting the attached row store,
+    /// if any, before computing).
     ///
     /// # Panics
     ///
@@ -122,40 +265,98 @@ impl LazyTimeTable {
             width >= 1 && width <= self.max_width,
             "width {width} out of range"
         );
-        let cell = &self.cells[module.0][width - 1];
+        let index = width - 1;
+        let page = self.page(module.0, index / PAGE_WIDTHS);
+        let cell = &page[index % PAGE_WIDTHS];
         let cached = cell.load(Ordering::Relaxed);
         if cached != UNSET {
             return cached;
         }
-        let value =
-            SCRATCH.with(|scratch| self.shapes[module.0].time_at(width, &mut scratch.borrow_mut()));
-        debug_assert_ne!(value, UNSET, "fit_u64 keeps times below the sentinel");
+        if let Some(store) = &self.store {
+            let row = self.cells[module.0]
+                .store_row
+                .get_or_init(|| store.row_for_shape(&self.shapes[module.0]));
+            if let Some(value) = row.get(width) {
+                if cell.swap(value, Ordering::Relaxed) == UNSET {
+                    self.from_store.fetch_add(1, Ordering::Relaxed);
+                    store.note_served();
+                }
+                return value;
+            }
+            let value = self.compute(module.0, width);
+            if row.insert(width, value) {
+                // First publisher of this (shape, width) pair anywhere in
+                // the process — the deterministic "rows rebuilt" count.
+                store.note_computed();
+            }
+            if cell.swap(value, Ordering::Relaxed) == UNSET {
+                self.computed.fetch_add(1, Ordering::Relaxed);
+            }
+            return value;
+        }
+        let value = self.compute(module.0, width);
         if cell.swap(value, Ordering::Relaxed) == UNSET {
             // First writer of this cell; racing duplicates store the same
             // deterministic value and are not double-counted.
-            self.built.fetch_add(1, Ordering::Relaxed);
+            self.computed.fetch_add(1, Ordering::Relaxed);
         }
         value
     }
 
+    fn compute(&self, module: usize, width: usize) -> u64 {
+        let value =
+            SCRATCH.with(|scratch| self.shapes[module].time_at(width, &mut scratch.borrow_mut()));
+        debug_assert_ne!(value, UNSET, "fit_u64 keeps times below the sentinel");
+        value
+    }
+
     /// Whether the `(module, width)` cell has been computed already.
+    /// Never allocates: an untouched page reports `false`.
     pub fn is_built(&self, module: ModuleId, width: usize) -> bool {
         assert!(
             width >= 1 && width <= self.max_width,
             "width {width} out of range"
         );
-        self.cells[module.0][width - 1].load(Ordering::Relaxed) != UNSET
+        let index = width - 1;
+        match self.cells[module.0].pages[index / PAGE_WIDTHS].get() {
+            Some(page) => page[index % PAGE_WIDTHS].load(Ordering::Relaxed) != UNSET,
+            None => false,
+        }
     }
 
-    /// Number of `(module, width)` cells computed so far.
+    /// Number of `(module, width)` cells materialised so far, however they
+    /// got here: computed fresh, served by the row store, or inherited
+    /// from the table [`LazyTimeTable::grown`] regrew.
     pub fn cells_built(&self) -> usize {
-        self.built.load(Ordering::Relaxed)
+        self.cells_computed() + self.cells_from_store() + self.cells_inherited()
+    }
+
+    /// Cells this table computed fresh (kernel evaluations).
+    pub fn cells_computed(&self) -> usize {
+        self.computed.load(Ordering::Relaxed)
+    }
+
+    /// Cells filled from the attached row store instead of computed.
+    pub fn cells_from_store(&self) -> usize {
+        self.from_store.load(Ordering::Relaxed)
+    }
+
+    /// Cells copied from the predecessor table by [`LazyTimeTable::grown`].
+    pub fn cells_inherited(&self) -> usize {
+        self.inherited.load(Ordering::Relaxed)
     }
 
     /// Total number of cells an eager build would compute
     /// (`num_modules · max_width`).
     pub fn cells_total(&self) -> usize {
         self.num_modules() * self.max_width
+    }
+
+    /// Estimated resident bytes: 8 per *allocated* cell (cells come in
+    /// pages of `PAGE_WIDTHS` (64)) plus a small fixed overhead — the probed
+    /// footprint, not the `modules × max_width` rectangle.
+    pub fn memory_bytes(&self) -> u64 {
+        1024 + (self.pages_allocated.load(Ordering::Relaxed) as u64) * (PAGE_WIDTHS as u64) * 8
     }
 
     /// `cells_built / cells_total`: the fraction of the table an eager
@@ -192,6 +393,10 @@ impl fmt::Debug for LazyTimeTable {
             .field("modules", &self.num_modules())
             .field("max_width", &self.max_width)
             .field("cells_built", &self.cells_built())
+            .field("cells_computed", &self.cells_computed())
+            .field("cells_from_store", &self.cells_from_store())
+            .field("cells_inherited", &self.cells_inherited())
+            .field("store", &self.store.is_some())
             .finish()
     }
 }
@@ -223,11 +428,94 @@ mod tests {
         let first = lazy.time(ModuleId(0), 5);
         assert!(lazy.is_built(ModuleId(0), 5));
         assert_eq!(lazy.cells_built(), 1);
+        assert_eq!(lazy.cells_computed(), 1);
         // A second probe serves the cache and does not recount.
         assert_eq!(lazy.time(ModuleId(0), 5), first);
         assert_eq!(lazy.cells_built(), 1);
         assert_eq!(lazy.cells_total(), soc.num_modules() * 24);
         assert!(lazy.build_ratio() > 0.0 && lazy.build_ratio() < 1.0);
+    }
+
+    #[test]
+    fn memory_follows_the_probed_footprint() {
+        let soc = d695();
+        let lazy = LazyTimeTable::new(&soc, 4096);
+        let untouched = lazy.memory_bytes();
+        assert!(
+            untouched < 64 * 1024,
+            "an unprobed wide table must not allocate its rectangle, got {untouched}"
+        );
+        lazy.time(ModuleId(0), 1);
+        lazy.time(ModuleId(0), 4096);
+        let probed = lazy.memory_bytes();
+        // Two pages (the first and the last) for one module.
+        assert_eq!(probed, untouched + 2 * (PAGE_WIDTHS as u64) * 8);
+        // Probing within an allocated page is free.
+        lazy.time(ModuleId(0), 2);
+        assert_eq!(lazy.memory_bytes(), probed);
+    }
+
+    #[test]
+    fn store_backed_table_reuses_rows_instead_of_recomputing() {
+        let soc = d695();
+        let store = Arc::new(RowStore::new());
+        let first = LazyTimeTable::with_store(&soc, 24, Arc::clone(&store));
+        let plain = LazyTimeTable::new(&soc, 24);
+        for (id, _) in soc.iter() {
+            for width in [1usize, 7, 24] {
+                assert_eq!(first.time(id, width), plain.time(id, width));
+            }
+        }
+        let computed = store.stats().cells_computed;
+        assert!(computed > 0);
+        // A second table over the same store recomputes nothing.
+        let second = LazyTimeTable::with_store(&soc, 24, Arc::clone(&store));
+        for (id, _) in soc.iter() {
+            for width in [1usize, 7, 24] {
+                assert_eq!(second.time(id, width), plain.time(id, width));
+            }
+        }
+        assert_eq!(store.stats().cells_computed, computed);
+        assert_eq!(second.cells_computed(), 0);
+        assert!(second.cells_from_store() > 0);
+        assert_eq!(second.cells_built(), second.cells_from_store());
+    }
+
+    #[test]
+    fn grown_table_keeps_built_cells_and_matches_the_eager_table() {
+        let soc = d695();
+        let narrow = LazyTimeTable::new(&soc, 24);
+        for (id, _) in soc.iter() {
+            narrow.time(id, 11);
+        }
+        let before = narrow.cells_built();
+        assert!(before > 0);
+        let wide = narrow.grown(96);
+        assert_eq!(wide.max_width(), 96);
+        assert_eq!(wide.cells_inherited(), before);
+        assert_eq!(
+            wide.cells_built(),
+            before,
+            "regrow must not reset cells_built"
+        );
+        // Inherited cells serve without recomputation...
+        for (id, _) in soc.iter() {
+            assert!(wide.is_built(id, 11));
+        }
+        assert_eq!(wide.cells_computed(), 0);
+        // ...and fresh probes agree with an eager table at the new width.
+        let eager = TimeTable::build_sequential(&soc, 96);
+        for (id, _) in soc.iter() {
+            for width in [1usize, 11, 24, 25, 96] {
+                assert_eq!(wide.time(id, width), eager.time(id, width));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not shrink")]
+    fn grown_refuses_to_shrink() {
+        let _ = LazyTimeTable::new(&d695(), 24).grown(8);
     }
 
     #[test]

@@ -23,9 +23,14 @@
 //!   cross-check and benchmark baseline. All algorithms consume tables
 //!   through the [`TimeLookup`] trait,
 //! * [`lazy`] — [`LazyTimeTable`], the demand-driven alternative: cells
-//!   are computed on first probe only (rayon-safe atomic cache), which is
-//!   what lets the optimizer handle 10k-module and flat (single-module,
-//!   many-thousand-chain) SOCs without materialising whole tables,
+//!   are computed on first probe only (rayon-safe atomic cache, paged to
+//!   the probed footprint), which is what lets the optimizer handle
+//!   10k-module and flat (single-module, many-thousand-chain) SOCs
+//!   without materialising whole tables,
+//! * [`store`] — [`RowStore`], the content-addressed `hash(ModuleShape) →
+//!   time row` cache behind the lazy table: rows survive table regrows,
+//!   are shared by every SOC with an equal module shape, and persist
+//!   across processes in a versioned, checksummed cache file,
 //! * [`architecture`] / [`schedule`] — the resulting [`TestArchitecture`]
 //!   and an explicit per-group test schedule.
 //!
@@ -59,10 +64,12 @@ pub mod lazy;
 pub mod redistribute;
 pub mod schedule;
 pub mod step1;
+pub mod store;
 pub mod timetable;
 
 pub use architecture::{ChannelGroup, TestArchitecture};
 pub use error::TamError;
 pub use lazy::LazyTimeTable;
 pub use schedule::{ScheduleEntry, TestSchedule};
+pub use store::{RowStore, RowStoreStats, StoreError, StoreRow};
 pub use timetable::{clamped_tam_width, max_tam_width, TimeLookup, TimeTable};

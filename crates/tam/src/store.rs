@@ -1,0 +1,517 @@
+//! The content-addressed module row store: `hash(ModuleShape) → time row`.
+//!
+//! The optimizer's dominant cost is computing `t(m, w)` cells, and the
+//! identity of a cell depends on nothing but the module's *shape* — its
+//! pattern count, wrapper cell counts, and sorted scan-chain lengths
+//! ([`ModuleShape::content_key`]). Two modules with equal shapes have
+//! bit-identical rows even across different SOCs, so a store keyed by
+//! shape content lets
+//!
+//! * a table regrown wider re-serve every cell the narrower table built,
+//! * two SOCs sharing module profiles (the NoC-reuse workloads of Amory
+//!   et al.) share rows inside one process, and
+//! * a **new process** start warm from a cache directory
+//!   (`soc-serve --cache-dir`), never recomputing a row an earlier run
+//!   produced.
+//!
+//! Lookups are content-addressed in the torc-verify `ProofCache` style:
+//! an FNV-1a fast path over the canonical key bytes, with the full key
+//! compared on hash hits so a (cosmically unlikely) collision degrades to
+//! two separate rows, never to a wrong time.
+//!
+//! # On-disk format (`rows.v1`)
+//!
+//! A single little-endian binary file, atomically replaced on save
+//! (write-to-temp + rename), so concurrent writers and crashed processes
+//! can only ever leave a fully old, fully new, or checksum-failing file:
+//!
+//! ```text
+//! magic    b"SOCROWS" + version byte b'1'
+//! payload  u64 row_count, then per row (sorted by (hash, key)):
+//!              u64 shape hash
+//!              u64 key length, then the canonical key bytes
+//!              u64 cell count, then per cell: u64 width, u64 time
+//! trailer  u64 FNV-1a of every preceding byte (magic included)
+//! ```
+//!
+//! [`RowStore::load`] verifies the magic, the version, the checksum and
+//! every length field *before* touching the resident map; any mismatch —
+//! truncation, bit flips, version bumps, torn concurrent writes — returns
+//! a typed [`StoreError`] and leaves the store exactly as it was, so a
+//! corrupt cache file is a clean miss, never a panic and never a wrong
+//! row (`crates/tam/tests/row_store_corruption.rs`).
+
+use soctest_wrapper::row::ModuleShape;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// File magic (7 bytes) followed by the one-byte format version.
+const MAGIC: &[u8; 7] = b"SOCROWS";
+/// Current on-disk format version byte.
+const VERSION: u8 = b'1';
+
+/// FNV-1a 64-bit over raw bytes — the same stable, dependency-free hash
+/// the service registry uses over canonical SOC text.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Why a cache file was rejected. Every variant is a *clean miss*: the
+/// resident store is untouched and the caller may simply proceed cold.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The file could not be read (except `NotFound`, which loaders treat
+    /// as an empty store before constructing this error).
+    Io(io::Error),
+    /// The bytes were readable but not a valid `rows.v1` file: bad magic,
+    /// unsupported version, checksum mismatch, truncated or trailing data.
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(err) => write!(f, "row-store file unreadable: {err}"),
+            StoreError::Corrupt(why) => write!(f, "row-store file rejected: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(err: io::Error) -> Self {
+        StoreError::Io(err)
+    }
+}
+
+/// One resident row: the canonical shape identity plus every `(width,
+/// time)` cell known for it. Shared (`Arc`) between the store, every
+/// table that resolved it, and the persistence layer.
+#[derive(Debug)]
+pub struct StoreRow {
+    hash: u64,
+    key: Vec<u8>,
+    cells: Mutex<BTreeMap<u64, u64>>,
+}
+
+impl StoreRow {
+    fn new(hash: u64, key: Vec<u8>) -> Self {
+        StoreRow {
+            hash,
+            key,
+            cells: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The cached time at `width`, if any earlier computation produced it.
+    pub fn get(&self, width: usize) -> Option<u64> {
+        lock(&self.cells).get(&(width as u64)).copied()
+    }
+
+    /// Records `time` at `width`; returns `true` iff the cell was absent.
+    /// First writer wins — racing writers carry the same deterministic
+    /// value, so the "loser" changes nothing.
+    pub fn insert(&self, width: usize, time: u64) -> bool {
+        lock(&self.cells).insert(width as u64, time).is_none()
+    }
+
+    /// Number of cells resident in this row.
+    pub fn len(&self) -> usize {
+        lock(&self.cells).len()
+    }
+
+    /// Whether no cell is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Point-in-time counters of a [`RowStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RowStoreStats {
+    /// Distinct shapes resident.
+    pub rows: u64,
+    /// `(shape, width)` cells resident across all rows.
+    pub cells: u64,
+    /// Cells computed fresh since construction — counted on first insert
+    /// of a `(shape, width)` pair, so the count is deterministic under
+    /// racing duplicate computations. "Zero rows rebuilt" on a warm
+    /// restart means exactly this counter staying zero.
+    pub cells_computed: u64,
+    /// Cells a table filled from the store instead of computing (counted
+    /// by the first table cell each serves; concurrent probes that race a
+    /// fresh computation may compute instead of hitting, so this counter
+    /// is a lower bound under parallelism).
+    pub cells_served: u64,
+    /// Cells merged from disk by [`RowStore::load`].
+    pub cells_loaded: u64,
+}
+
+/// A process-wide, thread-safe store of content-addressed module rows.
+/// See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct RowStore {
+    rows: Mutex<HashMap<u64, Vec<Arc<StoreRow>>>>,
+    cells_computed: AtomicU64,
+    cells_served: AtomicU64,
+    cells_loaded: AtomicU64,
+}
+
+impl RowStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        RowStore::default()
+    }
+
+    /// The resident row for `shape`, created empty if absent. The handle
+    /// is shared: every table resolving an equal shape gets the same row.
+    pub fn row_for_shape(&self, shape: &ModuleShape) -> Arc<StoreRow> {
+        self.row_for_key(shape.content_hash(), || shape.content_key())
+    }
+
+    /// Get-or-create by `(hash, key)`; `make_key` runs only when a new
+    /// row (or a collision check) needs the full key bytes.
+    fn row_for_key(&self, hash: u64, make_key: impl FnOnce() -> Vec<u8>) -> Arc<StoreRow> {
+        let mut rows = lock(&self.rows);
+        let bucket = rows.entry(hash).or_default();
+        let key = make_key();
+        if let Some(row) = bucket.iter().find(|row| row.key == key) {
+            return Arc::clone(row);
+        }
+        let row = Arc::new(StoreRow::new(hash, key));
+        bucket.push(Arc::clone(&row));
+        row
+    }
+
+    /// Counts one fresh `(shape, width)` computation. Call only when
+    /// [`StoreRow::insert`] returned `true` — that guard is what keeps the
+    /// counter deterministic under racing duplicate computations.
+    pub(crate) fn note_computed(&self) {
+        self.cells_computed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one table cell filled from the store (first filler only).
+    pub(crate) fn note_served(&self) {
+        self.cells_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> RowStoreStats {
+        let rows = lock(&self.rows);
+        let mut stats = RowStoreStats {
+            cells_computed: self.cells_computed.load(Ordering::Relaxed),
+            cells_served: self.cells_served.load(Ordering::Relaxed),
+            cells_loaded: self.cells_loaded.load(Ordering::Relaxed),
+            ..RowStoreStats::default()
+        };
+        for row in rows.values().flatten() {
+            stats.rows += 1;
+            stats.cells += row.len() as u64;
+        }
+        stats
+    }
+
+    /// Merges every row of the `rows.v1` file at `path` into the store
+    /// (resident cells win ties; the values are deterministic anyway) and
+    /// returns the number of cells merged.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on unreadable, truncated, corrupted or
+    /// version-mismatched files. The store is untouched on error — the
+    /// whole file is parsed and verified first.
+    pub fn load(&self, path: &Path) -> Result<u64, StoreError> {
+        let bytes = fs::read(path)?;
+        let parsed = parse_rows_file(&bytes)?;
+        let mut merged = 0u64;
+        for (hash, key, cells) in parsed {
+            let row = self.row_for_key(hash, || key);
+            for (width, time) in cells {
+                if row.insert(width as usize, time) {
+                    merged += 1;
+                }
+            }
+        }
+        self.cells_loaded.fetch_add(merged, Ordering::Relaxed);
+        Ok(merged)
+    }
+
+    /// [`RowStore::load`], treating a missing file as an empty store.
+    /// Returns `Ok(0)` when `path` does not exist.
+    ///
+    /// # Errors
+    ///
+    /// As [`RowStore::load`] for files that exist but fail verification.
+    pub fn load_if_present(&self, path: &Path) -> Result<u64, StoreError> {
+        match self.load(path) {
+            Err(StoreError::Io(err)) if err.kind() == io::ErrorKind::NotFound => Ok(0),
+            other => other,
+        }
+    }
+
+    /// Writes the store as a `rows.v1` file at `path`, atomically: the
+    /// bytes go to a sibling temporary file first and are renamed into
+    /// place, so a concurrent reader (or a second writer racing this one)
+    /// observes a complete old or complete new file, never a torn one.
+    /// Returns the number of rows written. Output is deterministic for a
+    /// given store content (rows sorted by `(hash, key)`, cells by width).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating, writing, syncing or renaming the file.
+    pub fn save(&self, path: &Path) -> io::Result<u64> {
+        let mut rows: Vec<Arc<StoreRow>> = lock(&self.rows).values().flatten().cloned().collect();
+        rows.sort_by(|a, b| (a.hash, &a.key).cmp(&(b.hash, &b.key)));
+
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(VERSION);
+        push_u64(&mut bytes, rows.len() as u64);
+        for row in &rows {
+            push_u64(&mut bytes, row.hash);
+            push_u64(&mut bytes, row.key.len() as u64);
+            bytes.extend_from_slice(&row.key);
+            let cells = lock(&row.cells).clone();
+            push_u64(&mut bytes, cells.len() as u64);
+            for (width, time) in cells {
+                push_u64(&mut bytes, width);
+                push_u64(&mut bytes, time);
+            }
+        }
+        let checksum = fnv1a64(&bytes);
+        push_u64(&mut bytes, checksum);
+
+        // The temp name must be unique per *call*, not just per process:
+        // two in-process savers racing one path would otherwise rename
+        // each other's half-written temp file into place.
+        static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let temp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let written = (|| -> io::Result<()> {
+            let mut file = fs::File::create(&temp)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+            fs::rename(&temp, path)
+        })();
+        if written.is_err() {
+            let _ = fs::remove_file(&temp);
+        }
+        written.map(|()| rows.len() as u64)
+    }
+}
+
+fn push_u64(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Strict bounds-checked reader over a byte slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| StoreError::Corrupt("truncated row data".to_string()))?;
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        let raw = self.take(8)?;
+        Ok(u64::from_le_bytes(raw.try_into().expect("8-byte slice")))
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+}
+
+/// Verifies and parses a whole `rows.v1` file. Pure: no store state is
+/// touched, so callers can reject corrupt files with nothing to roll
+/// back. Length fields are validated against the remaining byte count
+/// *before* any allocation, so a bit-flipped count cannot balloon memory.
+#[allow(clippy::type_complexity)]
+fn parse_rows_file(bytes: &[u8]) -> Result<Vec<(u64, Vec<u8>, Vec<(u64, u64)>)>, StoreError> {
+    let minimum = MAGIC.len() + 1 + 8 + 8; // magic, version, row count, checksum
+    if bytes.len() < minimum {
+        return Err(StoreError::Corrupt(format!(
+            "file too short ({} bytes) for a rows.v1 header",
+            bytes.len()
+        )));
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(StoreError::Corrupt("bad magic".to_string()));
+    }
+    let version = bytes[MAGIC.len()];
+    if version != VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "unsupported format version {:?} (expected {:?})",
+            char::from(version),
+            char::from(VERSION),
+        )));
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+    let actual = fnv1a64(payload);
+    if stored != actual {
+        return Err(StoreError::Corrupt(format!(
+            "checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"
+        )));
+    }
+
+    let mut cursor = Cursor {
+        bytes: payload,
+        at: MAGIC.len() + 1,
+    };
+    let row_count = cursor.u64()?;
+    let mut rows = Vec::new();
+    for _ in 0..row_count {
+        let hash = cursor.u64()?;
+        let key_len = cursor.u64()?;
+        let key_len = usize::try_from(key_len)
+            .ok()
+            .filter(|&len| len <= cursor.remaining())
+            .ok_or_else(|| StoreError::Corrupt("key length exceeds file".to_string()))?;
+        let key = cursor.take(key_len)?.to_vec();
+        if fnv1a64(&key) != hash {
+            return Err(StoreError::Corrupt(
+                "row hash does not match its key".to_string(),
+            ));
+        }
+        let cell_count = cursor.u64()?;
+        let cell_count = usize::try_from(cell_count)
+            .ok()
+            .filter(|&count| {
+                count
+                    .checked_mul(16)
+                    .is_some_and(|b| b <= cursor.remaining())
+            })
+            .ok_or_else(|| StoreError::Corrupt("cell count exceeds file".to_string()))?;
+        let mut cells = Vec::with_capacity(cell_count);
+        for _ in 0..cell_count {
+            let width = cursor.u64()?;
+            let time = cursor.u64()?;
+            if width == 0 {
+                return Err(StoreError::Corrupt("zero cell width".to_string()));
+            }
+            cells.push((width, time));
+        }
+        rows.push((hash, key, cells));
+    }
+    if cursor.remaining() != 0 {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after the last row",
+            cursor.remaining()
+        )));
+    }
+    Ok(rows)
+}
+
+// Poisoning is recovered, not propagated: every critical section above is
+// a short map/tree mutation that cannot be observed half-done, and a
+// panicking optimizer thread must not wedge the whole process's cache.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctest_soc_model::Module;
+
+    fn shape(patterns: u64, chains: &[u64]) -> ModuleShape {
+        let mut builder = Module::builder("m").patterns(patterns).inputs(2).outputs(2);
+        for &chain in chains {
+            builder = builder.scan_chain(chain);
+        }
+        ModuleShape::of(&builder.build())
+    }
+
+    #[test]
+    fn equal_shapes_share_one_row() {
+        let store = RowStore::new();
+        let a = store.row_for_shape(&shape(7, &[3, 9]));
+        let b = store.row_for_shape(&shape(7, &[9, 3]));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(store.stats().rows, 1);
+        let c = store.row_for_shape(&shape(8, &[3, 9]));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(store.stats().rows, 2);
+    }
+
+    #[test]
+    fn insert_reports_first_writer_and_get_serves_it() {
+        let store = RowStore::new();
+        let row = store.row_for_shape(&shape(7, &[3]));
+        assert_eq!(row.get(4), None);
+        assert!(row.insert(4, 99));
+        assert!(!row.insert(4, 99));
+        assert_eq!(row.get(4), Some(99));
+        assert_eq!(row.len(), 1);
+    }
+
+    #[test]
+    fn save_load_round_trips_and_is_deterministic() {
+        let dir = std::env::temp_dir().join(format!("soctest-rowstore-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.rows.v1");
+
+        let store = RowStore::new();
+        for (p, widths) in [(5u64, [1usize, 8]), (11, [3, 17])] {
+            let row = store.row_for_shape(&shape(p, &[4, 2]));
+            for w in widths {
+                row.insert(w, p * w as u64);
+            }
+        }
+        assert_eq!(store.save(&path).unwrap(), 2);
+        let first = fs::read(&path).unwrap();
+        assert_eq!(store.save(&path).unwrap(), 2);
+        assert_eq!(
+            first,
+            fs::read(&path).unwrap(),
+            "save must be deterministic"
+        );
+
+        let reloaded = RowStore::new();
+        assert_eq!(reloaded.load(&path).unwrap(), 4);
+        for (p, widths) in [(5u64, [1usize, 8]), (11, [3, 17])] {
+            let row = reloaded.row_for_shape(&shape(p, &[4, 2]));
+            for w in widths {
+                assert_eq!(row.get(w), Some(p * w as u64));
+            }
+        }
+        let stats = reloaded.stats();
+        assert_eq!((stats.rows, stats.cells, stats.cells_loaded), (2, 4, 4));
+        assert_eq!(stats.cells_computed, 0, "loading is not computing");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_store() {
+        let store = RowStore::new();
+        let path = std::env::temp_dir().join("soctest-rowstore-definitely-missing.rows.v1");
+        assert_eq!(store.load_if_present(&path).unwrap(), 0);
+        assert!(matches!(store.load(&path), Err(StoreError::Io(_))));
+    }
+}

@@ -1,0 +1,254 @@
+//! On-disk corruption suite for the `rows.v1` row-store format: a
+//! damaged cache file must always be a *clean miss* — `load` returns a
+//! typed error (or, for damage the format provably cannot detect,
+//! loads only bit-correct cells), never panics, and never serves a
+//! wrong row. Covers truncation at every byte, a bit flip at every
+//! byte, version bumps, magic damage, trailing garbage, and concurrent
+//! writers racing one path.
+
+use soctest_soc_model::benchmarks::d695;
+use soctest_soc_model::ModuleId;
+use soctest_tam::{LazyTimeTable, RowStore, StoreError};
+use soctest_wrapper::row::ModuleShape;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Widths the warm store covers — small so the corruption sweeps stay
+/// cheap while every module still contributes a multi-cell row.
+const MAX_WIDTH: usize = 16;
+
+/// Ground truth: every `(module shape, width)` time the warm store holds.
+type Truth = Vec<(ModuleShape, Vec<u64>)>;
+
+/// A scratch directory unique to this test binary run.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "soctest-rowstore-corruption-{}-{tag}",
+        std::process::id()
+    ));
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Warms a store with every d695 cell up to [`MAX_WIDTH`] (real kernel
+/// times, via the store-backed lazy table) and returns the store plus
+/// the ground-truth cells.
+fn warm_store() -> (Arc<RowStore>, Truth) {
+    let soc = d695();
+    let store = Arc::new(RowStore::new());
+    let table = LazyTimeTable::with_store(&soc, MAX_WIDTH, Arc::clone(&store));
+    let truth = soc
+        .modules()
+        .iter()
+        .enumerate()
+        .map(|(index, module)| {
+            let times = (1..=MAX_WIDTH)
+                .map(|width| table.time(ModuleId(index), width))
+                .collect();
+            (ModuleShape::of(module), times)
+        })
+        .collect();
+    (store, truth)
+}
+
+/// The corruption oracle: loading `bytes` (written to a scratch file)
+/// into a fresh store must either fail cleanly — leaving the store
+/// empty — or load only bit-correct cells for every known shape. Both
+/// ways, it must not panic and must not serve a wrong time.
+fn assert_clean_miss_or_clean_data(path: &Path, bytes: &[u8], truth: &Truth) {
+    fs::write(path, bytes).expect("write corrupted file");
+    let store = RowStore::new();
+    match store.load(path) {
+        Err(_) => {
+            let stats = store.stats();
+            assert_eq!(
+                (stats.rows, stats.cells, stats.cells_loaded),
+                (0, 0, 0),
+                "a rejected file must leave the store untouched"
+            );
+        }
+        Ok(_) => {
+            for (shape, times) in truth {
+                let row = store.row_for_shape(shape);
+                for (width, expected) in (1..=MAX_WIDTH).zip(times) {
+                    if let Some(time) = row.get(width) {
+                        assert_eq!(
+                            time, *expected,
+                            "corrupted file served a wrong time for width {width}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_is_a_clean_miss() {
+    let dir = scratch_dir("truncate");
+    let full = dir.join("rows.v1");
+    let (store, truth) = warm_store();
+    store.save(&full).expect("save the warm store");
+    let bytes = fs::read(&full).expect("read the saved store");
+    assert!(bytes.len() > 100, "the warm store should be non-trivial");
+
+    let path = dir.join("truncated.rows.v1");
+    for len in 0..bytes.len() {
+        assert_clean_miss_or_clean_data(&path, &bytes[..len], &truth);
+    }
+    fs::remove_dir_all(&dir).expect("clean scratch dir");
+}
+
+#[test]
+fn a_bit_flip_at_every_byte_never_serves_a_wrong_row() {
+    let dir = scratch_dir("bitflip");
+    let full = dir.join("rows.v1");
+    let (store, truth) = warm_store();
+    store.save(&full).expect("save the warm store");
+    let bytes = fs::read(&full).expect("read the saved store");
+
+    let path = dir.join("flipped.rows.v1");
+    for position in 0..bytes.len() {
+        let mut flipped = bytes.clone();
+        flipped[position] ^= 1 << (position % 8);
+        assert_clean_miss_or_clean_data(&path, &flipped, &truth);
+    }
+    fs::remove_dir_all(&dir).expect("clean scratch dir");
+}
+
+#[test]
+fn version_bumps_and_magic_damage_are_rejected_even_with_a_valid_checksum() {
+    let dir = scratch_dir("header");
+    let full = dir.join("rows.v1");
+    let (store, truth) = warm_store();
+    store.save(&full).expect("save the warm store");
+    let bytes = fs::read(&full).expect("read the saved store");
+
+    // A future format version with a *recomputed* checksum: the reader
+    // must reject it on the version byte alone, not by luck of the
+    // checksum.
+    let mut bumped = bytes.clone();
+    bumped[7] = b'2';
+    let trailer_at = bumped.len() - 8;
+    let checksum = refnv(&bumped[..trailer_at]);
+    bumped[trailer_at..].copy_from_slice(&checksum.to_le_bytes());
+    let path = dir.join("bumped.rows.v1");
+    fs::write(&path, &bumped).expect("write bumped file");
+    let fresh = RowStore::new();
+    match fresh.load(&path) {
+        Err(StoreError::Corrupt(why)) => {
+            assert!(
+                why.contains("version"),
+                "expected a version rejection, got: {why}"
+            )
+        }
+        other => panic!("a bumped version must be rejected, got {other:?}"),
+    }
+
+    // Damaged magic, checksum likewise recomputed.
+    let mut unmagic = bytes.clone();
+    unmagic[0] = b'X';
+    let checksum = refnv(&unmagic[..trailer_at]);
+    unmagic[trailer_at..].copy_from_slice(&checksum.to_le_bytes());
+    assert_clean_miss_or_clean_data(&dir.join("unmagic.rows.v1"), &unmagic, &truth);
+    assert!(matches!(
+        RowStore::new().load(&dir.join("unmagic.rows.v1")),
+        Err(StoreError::Corrupt(_))
+    ));
+
+    // Trailing garbage after a byte-perfect file.
+    let mut trailing = bytes.clone();
+    trailing.extend_from_slice(b"junk after the trailer");
+    assert_clean_miss_or_clean_data(&dir.join("trailing.rows.v1"), &trailing, &truth);
+    assert!(matches!(
+        RowStore::new().load(&dir.join("trailing.rows.v1")),
+        Err(StoreError::Corrupt(_))
+    ));
+    fs::remove_dir_all(&dir).expect("clean scratch dir");
+}
+
+/// FNV-1a 64 — reimplemented here (it is two lines) so the test can
+/// forge checksums without the crate exporting its hasher.
+fn refnv(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[test]
+fn concurrent_writers_always_leave_a_loadable_consistent_file() {
+    let dir = scratch_dir("writers");
+    let path = dir.join("rows.v1");
+
+    // Two writers with disjoint row sets (distinct shapes) hammer the
+    // same path; the atomic temp+rename save means a reader must always
+    // observe one complete file — never a torn mix, never a parse
+    // error, never a wrong time.
+    let (store_a, truth_a) = warm_store();
+    let store_b = Arc::new(RowStore::new());
+    let mut truth_b = Truth::new();
+    {
+        use soctest_soc_model::Module;
+        for patterns in 1..=8u64 {
+            let module = Module::builder(format!("w{patterns}"))
+                .patterns(patterns * 1000)
+                .inputs(3)
+                .outputs(4)
+                .scan_chains(vec![50, 60])
+                .build();
+            let shape = ModuleShape::of(&module);
+            let row = store_b.row_for_shape(&shape);
+            let mut times = Vec::new();
+            for width in 1..=MAX_WIDTH {
+                let time = patterns * 1_000_000 + width as u64;
+                row.insert(width, time);
+                times.push(time);
+            }
+            truth_b.push((shape, times));
+        }
+    }
+    let truth_union: Truth = truth_a.iter().chain(&truth_b).cloned().collect();
+
+    store_a.save(&path).expect("seed the path");
+    std::thread::scope(|scope| {
+        for store in [&store_a, &store_b] {
+            scope.spawn(|| {
+                for _ in 0..30 {
+                    store.save(&path).expect("concurrent save succeeds");
+                }
+            });
+        }
+        for _ in 0..60 {
+            let reader = RowStore::new();
+            let loaded = reader
+                .load(&path)
+                .expect("a concurrently rewritten file is always complete");
+            assert!(loaded > 0, "every snapshot of the path holds rows");
+            for (shape, times) in &truth_union {
+                let row = reader.row_for_shape(shape);
+                for (width, expected) in (1..=MAX_WIDTH).zip(times) {
+                    if let Some(time) = row.get(width) {
+                        assert_eq!(time, *expected, "torn write served a wrong time");
+                    }
+                }
+            }
+        }
+    });
+    fs::remove_dir_all(&dir).expect("clean scratch dir");
+}
+
+#[test]
+fn missing_files_are_an_empty_store_not_an_error() {
+    let dir = scratch_dir("missing");
+    let path = dir.join("never-written.rows.v1");
+    let store = RowStore::new();
+    assert_eq!(store.load_if_present(&path).expect("missing file is ok"), 0);
+    assert!(matches!(store.load(&path), Err(StoreError::Io(_))));
+    let stats = store.stats();
+    assert_eq!((stats.rows, stats.cells), (0, 0));
+    fs::remove_dir_all(&dir).expect("clean scratch dir");
+}

@@ -354,6 +354,42 @@ impl ModuleShape {
         test_time(self.patterns, self.longest, self.longest)
     }
 
+    /// The canonical byte encoding of the shape's identity: pattern count,
+    /// wrapper cell counts, then every scan-chain length in descending
+    /// order, each as a little-endian `u64` (with the chain count in
+    /// between so `[1, 2]` and `[1]`+trailing garbage cannot collide by
+    /// concatenation). Two modules encode identically **iff** their
+    /// test-time rows are identical at every width — `time_at` reads
+    /// nothing else — which is what makes the encoding a sound
+    /// content-address for cross-SOC row sharing.
+    pub fn content_key(&self) -> Vec<u8> {
+        let mut key = Vec::with_capacity(8 * (4 + self.desc.len()));
+        for word in [
+            self.patterns,
+            self.cells_in,
+            self.cells_out,
+            self.desc.len() as u64,
+        ] {
+            key.extend_from_slice(&word.to_le_bytes());
+        }
+        for &length in &self.desc {
+            key.extend_from_slice(&length.to_le_bytes());
+        }
+        key
+    }
+
+    /// FNV-1a 64-bit hash of [`ModuleShape::content_key`] — the fast-path
+    /// key of the content-addressed row store (`soctest_tam`'s `RowStore`);
+    /// collisions are disambiguated there by comparing the full key bytes.
+    pub fn content_hash(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in self.content_key() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
     /// Test time at `width` wrapper chains — bit-identical to
     /// `RowKernel::compute(module, w)[width - 1]` for every `w >= width`.
     ///
@@ -653,6 +689,86 @@ mod tests {
     fn module_shape_zero_width_panics() {
         let shape = ModuleShape::of(&module());
         let _ = shape.time_at(0, &mut ShapeScratch::new());
+    }
+
+    #[test]
+    fn content_key_is_chain_order_insensitive_and_content_sensitive() {
+        let a = Module::builder("a")
+            .patterns(10)
+            .inputs(4)
+            .outputs(3)
+            .scan_chain(7)
+            .scan_chain(19)
+            .build();
+        // Same chains in the other declaration order, different name.
+        let b = Module::builder("b")
+            .patterns(10)
+            .inputs(4)
+            .outputs(3)
+            .scan_chain(19)
+            .scan_chain(7)
+            .build();
+        let (sa, sb) = (ModuleShape::of(&a), ModuleShape::of(&b));
+        assert_eq!(sa.content_key(), sb.content_key());
+        assert_eq!(sa.content_hash(), sb.content_hash());
+
+        // Any row-relevant difference must change the key.
+        let variants = [
+            Module::builder("c")
+                .patterns(11)
+                .inputs(4)
+                .outputs(3)
+                .scan_chain(7)
+                .scan_chain(19)
+                .build(),
+            Module::builder("d")
+                .patterns(10)
+                .inputs(5)
+                .outputs(3)
+                .scan_chain(7)
+                .scan_chain(19)
+                .build(),
+            Module::builder("e")
+                .patterns(10)
+                .inputs(4)
+                .outputs(2)
+                .scan_chain(7)
+                .scan_chain(19)
+                .build(),
+            Module::builder("f")
+                .patterns(10)
+                .inputs(4)
+                .outputs(3)
+                .scan_chain(7)
+                .scan_chain(20)
+                .build(),
+            Module::builder("g")
+                .patterns(10)
+                .inputs(4)
+                .outputs(3)
+                .scan_chain(26)
+                .build(),
+        ];
+        for variant in &variants {
+            let shape = ModuleShape::of(variant);
+            assert_ne!(shape.content_key(), sa.content_key(), "{}", variant.name());
+        }
+    }
+
+    #[test]
+    fn content_key_length_framing_blocks_concatenation_collisions() {
+        // [1] with cells that "look like" a chain vs. [1, 2] as chains:
+        // the chain-count word keeps the encodings distinct.
+        let one = Module::builder("one")
+            .patterns(5)
+            .scan_chain(2)
+            .scan_chain(1)
+            .build();
+        let two = Module::builder("two").patterns(5).scan_chain(2).build();
+        assert_ne!(
+            ModuleShape::of(&one).content_key(),
+            ModuleShape::of(&two).content_key()
+        );
     }
 
     #[test]
