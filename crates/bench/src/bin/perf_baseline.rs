@@ -23,6 +23,11 @@
 //!   through one shared-table `Engine::run_batch`, against the same four
 //!   experiments through the per-call-table free functions — results
 //!   asserted identical before timing;
+//! * the same figure batch traced (`Engine::run_batch_traced`) vs
+//!   untraced — responses asserted bit-identical first; the overhead
+//!   ratio is printed but not gated, documenting that the
+//!   `RequestTrace` observability seam is effectively free when off and
+//!   near-free when on;
 //! * a **mixed** batch (plain optimizations + every sweep shape) under
 //!   nested request x point parallelism on the persistent work-stealing
 //!   pool (`engine_batch/pnx8550_like/mixed_parallel`), against the same
@@ -327,6 +332,46 @@ fn main() {
         contact_yield_sweep(&pnx, &pnx_config, &depths, &contact_yields).expect("feasible");
         abort_on_fail_sweep(&pnx, &pnx_config, 8, &manufacturing_yields).expect("feasible");
     }));
+
+    // --- Traced vs untraced: the observability seam must be ~free --------
+    // The same figure batch through `run_batch_traced`. Responses are
+    // asserted bit-identical to the untraced batch before timing; the
+    // overhead ratio is reported for the perf trajectory but not gated —
+    // the seam only snapshots epoch counters, so the two means should sit
+    // within run-to-run noise of each other.
+    {
+        let plain_engine = Engine::new(&pnx);
+        let traced_engine = Engine::new(&pnx);
+        let plain = plain_engine.run_batch(&figure_batch);
+        let (observed, trace) = traced_engine.run_batch_traced(&figure_batch);
+        assert_eq!(
+            plain, observed,
+            "traced figure batch diverged from the untraced one"
+        );
+        assert_eq!(trace.requests, figure_batch.len() as u64);
+        assert!(
+            trace.cells_built() > 0,
+            "a cold traced batch built no cells"
+        );
+    }
+    let batch_untraced = measure("engine_batch/pnx8550_like/stats_off", || {
+        let engine = Engine::new(&pnx);
+        for result in engine.run_batch(&figure_batch) {
+            std::hint::black_box(result.expect("every figure request is feasible"));
+        }
+    });
+    let batch_traced = measure("engine_batch/pnx8550_like/stats_on", || {
+        let engine = Engine::new(&pnx);
+        let (results, trace) = engine.run_batch_traced(&figure_batch);
+        for result in results {
+            std::hint::black_box(result.expect("every figure request is feasible"));
+        }
+        std::hint::black_box(trace);
+    });
+    let trace_overhead = batch_traced.mean_seconds / batch_untraced.mean_seconds;
+    println!("\ntrace overhead: {trace_overhead:.3}x traced over untraced (informational)\n");
+    measurements.push(batch_untraced);
+    measurements.push(batch_traced);
 
     // --- Mixed batch: nested request x point parallelism ------------------
     // A genuinely mixed batch (plain optimizations interleaved with every

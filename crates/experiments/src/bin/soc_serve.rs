@@ -11,6 +11,10 @@
 //! soc-serve --max-result-bytes N      bound the solution cache bytes (default 64 MiB)
 //! soc-serve --faults SPEC             arm the fault-injection harness
 //! soc-serve --emit-sample-session     print the canonical sample input
+//! soc-serve --emit-sample-session-stats
+//!                                     print the stats-enabled sample input
+//! soc-serve --stats-summary           after serving, print an ASCII
+//!                                     utilization summary on stderr
 //! soc-serve --check GOLDEN            serve stdin, byte-compare the
 //!                                     transcript against GOLDEN; exit 1 on drift
 //! ```
@@ -26,13 +30,21 @@
 //! exact-hit solution cache (in-flight duplicates coalesce onto one
 //! computation), and with `--cache-dir` the content-addressed module
 //! time rows persist across processes, so a restarted server rebuilds
-//! zero rows — the final `Bye` frame's `cache` block reports both. The
+//! zero rows — the final `Bye` frame's `cache` block reports both.
+//! Requests that set `"stats": true` are answered with a per-request
+//! `stats` block (cache provenance plus race-deterministic table
+//! deltas) and the `Bye` gains an aggregate `trace` block;
+//! `--stats-summary` additionally traces every request in-process and
+//! prints a human-readable utilization summary on stderr after the
+//! session ends, keeping timing and pool counters off the wire. The
 //! fault spec (`--faults`, or the `SOCTEST_FAULTS` environment variable
 //! when the flag is absent) is `stage:kind[:arg][@request_id]`,
 //! comma-separated — e.g. `optimize:panic@r2,respond:delay:50,
 //! store:panic@load`.
 
-use soctest_experiments::serve::{run_session_text, sample_session};
+use soctest_experiments::serve::{
+    render_stats_summary, run_session_text, sample_session, sample_session_stats,
+};
 use soctest_multisite::service::{FaultPlan, Server, ServerConfig};
 use std::io::Read;
 use std::path::PathBuf;
@@ -41,6 +53,8 @@ use std::process::ExitCode;
 struct Options {
     config: ServerConfig,
     emit_sample: bool,
+    emit_sample_stats: bool,
+    stats_summary: bool,
     check: Option<PathBuf>,
 }
 
@@ -48,8 +62,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: soc-serve [--queue-cap N] [--max-sessions N] [--max-table-bytes N] \
          [--cache-dir DIR] [--max-result-entries N] [--max-result-bytes N] \
-         [--faults SPEC] [--check GOLDEN]\n\
-         \x20      soc-serve --emit-sample-session\n\
+         [--faults SPEC] [--stats-summary] [--check GOLDEN]\n\
+         \x20      soc-serve --emit-sample-session | --emit-sample-session-stats\n\
          serves NDJSON optimizer frames on stdin/stdout; --check byte-compares \
          the transcript against GOLDEN and exits 1 on drift"
     );
@@ -59,12 +73,16 @@ fn usage() -> ! {
 fn parse_args() -> Options {
     let mut config = ServerConfig::default();
     let mut emit_sample = false;
+    let mut emit_sample_stats = false;
+    let mut stats_summary = false;
     let mut check = None;
     let mut faults_flag: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--emit-sample-session" => emit_sample = true,
+            "--emit-sample-session-stats" => emit_sample_stats = true,
+            "--stats-summary" => stats_summary = true,
             "--queue-cap" => config.queue_capacity = parse_number(args.next()),
             "--max-sessions" => config.max_sessions = parse_number(args.next()),
             "--max-table-bytes" => config.max_table_bytes = parse_number(args.next()),
@@ -85,8 +103,11 @@ fn parse_args() -> Options {
             _ => usage(),
         }
     }
-    if emit_sample && check.is_some() {
+    if (emit_sample || emit_sample_stats) && check.is_some() {
         usage();
+    }
+    if stats_summary {
+        config.trace_all = true;
     }
     let faults = match faults_flag {
         Some(spec) => FaultPlan::parse(&spec),
@@ -102,6 +123,8 @@ fn parse_args() -> Options {
     Options {
         config,
         emit_sample,
+        emit_sample_stats,
+        stats_summary,
         check,
     }
 }
@@ -118,6 +141,11 @@ fn main() -> ExitCode {
 
     if options.emit_sample {
         print!("{}", sample_session());
+        return ExitCode::SUCCESS;
+    }
+
+    if options.emit_sample_stats {
+        print!("{}", sample_session_stats());
         return ExitCode::SUCCESS;
     }
 
@@ -162,7 +190,11 @@ fn main() -> ExitCode {
 
     let server = Server::new(options.config);
     let stdin = std::io::stdin();
-    match server.serve(stdin.lock(), std::io::stdout()) {
+    let served = server.serve(stdin.lock(), std::io::stdout());
+    if options.stats_summary {
+        eprint!("{}", render_stats_summary(&server.session_trace()));
+    }
+    match served {
         Ok(_) => ExitCode::SUCCESS,
         Err(err) => {
             eprintln!("write error on stdout: {err}");

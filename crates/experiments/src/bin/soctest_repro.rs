@@ -25,9 +25,9 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: soctest-repro [--check] [--out DIR] [--only NAME] [--list]\n\
-         regenerates every paper artifact (JSON + markdown) under DIR \
-         (default: artifacts/);\n--check verifies DIR against a fresh run \
-         instead and exits 1 on drift"
+         regenerates every paper artifact (JSON + markdown, SVG charts for \
+         the figures) under DIR (default: artifacts/);\n--check verifies DIR \
+         against a fresh run instead and exits 1 on drift"
     );
     std::process::exit(2)
 }
@@ -87,11 +87,15 @@ fn main() -> ExitCode {
         for drift in &drifts {
             eprintln!("FAIL: {drift}");
         }
+        let golden_files: usize = artifacts
+            .iter()
+            .map(soctest_experiments::Artifact::file_count)
+            .sum::<usize>()
+            + 1;
         eprintln!(
-            "{} of {} golden files drifted; regenerate with `soctest-repro` \
+            "{} of {golden_files} golden files drifted; regenerate with `soctest-repro` \
              and commit the diff if the change is intentional",
             drifts.len(),
-            2 * artifacts.len() + 1
         );
         return ExitCode::FAILURE;
     }

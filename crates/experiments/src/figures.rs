@@ -12,6 +12,7 @@
 
 use crate::artifact::{markdown_table, Artifact};
 use crate::grids;
+use crate::plot;
 use serde::Serialize;
 use soctest_bench::{format_depth, paper_config, pnx_soc};
 use soctest_multisite::engine::{Engine, OptimizeRequest, SweepAxis};
@@ -107,12 +108,12 @@ pub fn fig6a() -> Artifact {
         false,
         &rows,
     );
-    Artifact::render(
+    plot::attach(Artifact::render(
         "fig6a_channels",
         "Figure 6(a): throughput vs. ATE channel count, 33-point grid",
         &rows,
         markdown,
-    )
+    ))
 }
 
 /// Figure 6(b): throughput vs. vector-memory depth, 5 M..14 M step 256 K.
@@ -128,12 +129,12 @@ pub fn fig6b() -> Artifact {
         true,
         &rows,
     );
-    Artifact::render(
+    plot::attach(Artifact::render(
         "fig6b_depth",
         "Figure 6(b): throughput vs. vector-memory depth, 37-point grid",
         &rows,
         markdown,
-    )
+    ))
 }
 
 /// One curve of Figure 7(a): unique throughput over the depth grid at a
@@ -207,12 +208,12 @@ pub fn fig7a() -> Artifact {
         "# Figure 7(a): unique throughput [/h] vs. depth per contact yield (re-test on)\n\n{}",
         markdown_table(&header_refs, &rows)
     );
-    Artifact::render(
+    plot::attach(Artifact::render(
         "fig7a_contact_yield",
         "Figure 7(a): unique throughput vs. depth per contact yield, 37-point grid",
         &record,
         markdown,
-    )
+    ))
 }
 
 /// One curve of Figure 7(b): expected test time per site count at a fixed
@@ -271,12 +272,12 @@ pub fn fig7b() -> Artifact {
         "# Figure 7(b): expected test time [s] vs. sites per manufacturing yield (abort-on-fail)\n\n{}",
         markdown_table(&header_refs, &rows)
     );
-    Artifact::render(
+    plot::attach(Artifact::render(
         "fig7b_abort_on_fail",
         "Figure 7(b): expected test time vs. site count per manufacturing yield, 16 sites x 13 yields",
         &record,
         markdown,
-    )
+    ))
 }
 
 /// One throughput-curve row of Figure 5.
@@ -363,10 +364,10 @@ pub fn fig5() -> Artifact {
             curve,
         });
     }
-    Artifact::render(
+    plot::attach(Artifact::render(
         "fig5_sites",
         "Figure 5: throughput vs. site count, Steps 1+2 vs. Step 1 only, +/- stimulus broadcast",
         &variants,
         markdown,
-    )
+    ))
 }

@@ -21,9 +21,11 @@
 //!   through the single-wrapper degenerate case of the optimizer.
 //!
 //! Each experiment renders to an [`Artifact`]: machine-readable JSON plus
-//! a markdown table, written under `artifacts/` and committed as goldens.
-//! The `soctest-repro` binary regenerates them (`--check` byte-compares
-//! against the committed goldens instead, which is what CI runs).
+//! a markdown table — and, for the Figure 5–7 experiments, a
+//! deterministic SVG chart ([`plot`]) — written under `artifacts/` and
+//! committed as goldens. The `soctest-repro` binary regenerates them
+//! (`--check` byte-compares against the committed goldens instead, which
+//! is what CI runs).
 //!
 //! The sibling `soc-batch` binary ([`batch`]) drives the optimizer as a
 //! file-based service: a JSON request file (one SOC, a list of typed
@@ -58,6 +60,7 @@ pub mod batch;
 pub mod figures;
 pub mod flat;
 pub mod grids;
+pub mod plot;
 pub mod scaled;
 pub mod serve;
 pub mod table1;

@@ -1,0 +1,501 @@
+//! No-dependency SVG renderings of the Figure 5–7 artifacts.
+//!
+//! Each figure artifact's pretty-printed JSON document is re-parsed into
+//! a generic [`Value`] tree and rendered as a standalone line chart —
+//! `<name>.svg` next to `<name>.json` / `<name>.md` under `artifacts/`.
+//! The renderer is deliberately dependency-free and fully deterministic
+//! (fixed canvas, fixed palette, fixed-precision coordinates), so the
+//! SVGs are committable goldens byte-checked by `soctest-repro --check`
+//! exactly like the JSON and markdown files.
+//!
+//! Parsing the *serialised* artifact rather than the in-memory record
+//! keeps the plot layer decoupled from the experiment types: anything
+//! that round-trips through `artifacts/*.json` can be plotted, and the
+//! chart provably reflects the committed bytes.
+
+use crate::artifact::Artifact;
+use serde::Value;
+use std::fmt::Write as _;
+
+/// Canvas width in pixels.
+const WIDTH: f64 = 880.0;
+/// Canvas height in pixels.
+const HEIGHT: f64 = 520.0;
+/// Plot-area margins: left, right, top, bottom.
+const MARGINS: (f64, f64, f64, f64) = (86.0, 20.0, 48.0, 58.0);
+/// The fixed series palette (cycled when a figure has more curves).
+const PALETTE: [&str; 14] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#e377c2", "#7f7f7f",
+    "#bcbd22", "#17becf", "#aec7e8", "#ffbb78", "#98df8a", "#ff9896",
+];
+
+/// Attaches the figure's SVG rendering to `artifact` when its name is a
+/// known Figure 5–7 artifact; non-figure artifacts pass through
+/// unchanged.
+#[must_use]
+pub fn attach(mut artifact: Artifact) -> Artifact {
+    artifact.svg = svg_for(artifact.name, &artifact.json);
+    artifact
+}
+
+/// Renders the SVG chart for a named figure artifact from its JSON
+/// document. Returns `None` for names without a chart (tables, tiers)
+/// — and for JSON that does not parse, which only happens when a caller
+/// feeds a non-artifact document.
+#[must_use]
+pub fn svg_for(name: &str, json: &str) -> Option<String> {
+    let value: Value = serde_json::from_str(json).ok()?;
+    let chart = match name {
+        "fig5_sites" => fig5_chart(&value)?,
+        "fig6a_channels" => sweep_chart(
+            &value,
+            "Figure 6(a): throughput vs. ATE channel count",
+            "ATE channels",
+        )?,
+        "fig6b_depth" => sweep_chart(
+            &value,
+            "Figure 6(b): throughput vs. vector-memory depth",
+            "depth [vectors]",
+        )?,
+        "fig7a_contact_yield" => fig7a_chart(&value)?,
+        "fig7b_abort_on_fail" => fig7b_chart(&value)?,
+        _ => return None,
+    };
+    Some(chart.render())
+}
+
+/// One labelled polyline of a chart.
+struct Series {
+    label: String,
+    points: Vec<(f64, f64)>,
+}
+
+/// A complete line chart: title, axis labels, and its series.
+struct Chart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+}
+
+/// The numeric payload of a [`Value`], if it is one.
+fn number(value: &Value) -> Option<f64> {
+    match value {
+        Value::I64(v) => Some(*v as f64),
+        Value::U64(v) => Some(*v as f64),
+        Value::F64(v) => Some(*v),
+        _ => None,
+    }
+}
+
+/// A numeric field of an object value.
+fn number_field(value: &Value, field: &str) -> Option<f64> {
+    number(value.get(field)?)
+}
+
+/// Figure 5: four curves — Steps 1+2 and Step 1 only, with and without
+/// stimulus broadcast — over the site count.
+fn fig5_chart(value: &Value) -> Option<Chart> {
+    let mut series = Vec::new();
+    for variant in value.as_array()? {
+        let broadcast = matches!(variant.get("stimulus_broadcast")?, Value::Bool(true));
+        let tag = if broadcast {
+            "with broadcast"
+        } else {
+            "no broadcast"
+        };
+        let mut full = Vec::new();
+        let mut step1 = Vec::new();
+        for row in variant.get("curve")?.as_array()? {
+            let sites = number_field(row, "sites")?;
+            full.push((sites, number_field(row, "devices_per_hour")?));
+            step1.push((sites, number_field(row, "step1_only_devices_per_hour")?));
+        }
+        series.push(Series {
+            label: format!("Steps 1+2, {tag}"),
+            points: full,
+        });
+        series.push(Series {
+            label: format!("Step 1 only, {tag}"),
+            points: step1,
+        });
+    }
+    Some(Chart {
+        title: "Figure 5: throughput vs. number of sites (PNX8550 stand-in)".to_string(),
+        x_label: "sites".to_string(),
+        y_label: "devices per hour".to_string(),
+        series,
+    })
+}
+
+/// Figures 6(a)/6(b): one optimal-throughput curve over a swept
+/// parameter (`SweepRow` array artifacts).
+fn sweep_chart(value: &Value, title: &str, x_label: &str) -> Option<Chart> {
+    let points = value
+        .as_array()?
+        .iter()
+        .map(|row| {
+            Some((
+                number_field(row, "parameter")?,
+                number_field(row, "devices_per_hour")?,
+            ))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(Chart {
+        title: title.to_string(),
+        x_label: x_label.to_string(),
+        y_label: "devices per hour".to_string(),
+        series: vec![Series {
+            label: "optimal multi-site".to_string(),
+            points,
+        }],
+    })
+}
+
+/// Figure 7(a): one unique-throughput curve per contact yield over the
+/// shared depth grid.
+fn fig7a_chart(value: &Value) -> Option<Chart> {
+    let depths = value
+        .get("depths")?
+        .as_array()?
+        .iter()
+        .map(number)
+        .collect::<Option<Vec<_>>>()?;
+    let mut series = Vec::new();
+    for curve in value.get("curves")?.as_array()? {
+        let yield_value = number_field(curve, "contact_yield")?;
+        let throughputs = curve
+            .get("unique_devices_per_hour")?
+            .as_array()?
+            .iter()
+            .map(number)
+            .collect::<Option<Vec<_>>>()?;
+        if throughputs.len() != depths.len() {
+            return None;
+        }
+        series.push(Series {
+            label: format!("pc={}", trim_float(yield_value)),
+            points: depths.iter().copied().zip(throughputs).collect(),
+        });
+    }
+    Some(Chart {
+        title: "Figure 7(a): unique throughput vs. depth per contact yield (re-test on)"
+            .to_string(),
+        x_label: "depth [vectors]".to_string(),
+        y_label: "unique devices per hour".to_string(),
+        series,
+    })
+}
+
+/// Figure 7(b): one expected-test-time curve per manufacturing yield
+/// over the site count (x = 1-based site index).
+fn fig7b_chart(value: &Value) -> Option<Chart> {
+    let mut series = Vec::new();
+    for curve in value.as_array()? {
+        let yield_value = number_field(curve, "manufacturing_yield")?;
+        let points = curve
+            .get("expected_test_time_s")?
+            .as_array()?
+            .iter()
+            .enumerate()
+            .map(|(i, v)| Some((i as f64 + 1.0, number(v)?)))
+            .collect::<Option<Vec<_>>>()?;
+        series.push(Series {
+            label: format!("pm={}", trim_float(yield_value)),
+            points,
+        });
+    }
+    Some(Chart {
+        title: "Figure 7(b): expected test time vs. sites per manufacturing yield (abort-on-fail)"
+            .to_string(),
+        x_label: "sites".to_string(),
+        y_label: "expected test time [s]".to_string(),
+        series,
+    })
+}
+
+impl Chart {
+    /// Renders the chart as a standalone SVG document (trailing newline
+    /// included), fully determined by the chart data.
+    fn render(&self) -> String {
+        let (left, right, top, bottom) = MARGINS;
+        let plot_w = WIDTH - left - right;
+        let plot_h = HEIGHT - top - bottom;
+        let (x_min, x_max) = data_range(&self.series, |p| p.0);
+        let (y_min, y_max) = pad_range(data_range(&self.series, |p| p.1));
+        let to_x = |v: f64| left + (v - x_min) / (x_max - x_min) * plot_w;
+        let to_y = |v: f64| top + plot_h - (v - y_min) / (y_max - y_min) * plot_h;
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="Helvetica,Arial,sans-serif">"#
+        );
+        let _ = writeln!(
+            out,
+            r##"<rect width="{WIDTH}" height="{HEIGHT}" fill="#ffffff"/>"##
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="26" font-size="16" text-anchor="middle">{}</text>"#,
+            fixed(WIDTH / 2.0),
+            escape(&self.title)
+        );
+
+        // Grid lines and tick labels.
+        for tick in nice_ticks(x_min, x_max, 8) {
+            let x = fixed(to_x(tick));
+            let _ = writeln!(
+                out,
+                r##"<line x1="{x}" y1="{}" x2="{x}" y2="{}" stroke="#dddddd"/>"##,
+                fixed(top),
+                fixed(top + plot_h)
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{x}" y="{}" font-size="12" text-anchor="middle">{}</text>"#,
+                fixed(top + plot_h + 18.0),
+                tick_label(tick)
+            );
+        }
+        for tick in nice_ticks(y_min, y_max, 6) {
+            let y = fixed(to_y(tick));
+            let _ = writeln!(
+                out,
+                r##"<line x1="{}" y1="{y}" x2="{}" y2="{y}" stroke="#dddddd"/>"##,
+                fixed(left),
+                fixed(left + plot_w)
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{}" y="{}" font-size="12" text-anchor="end">{}</text>"#,
+                fixed(left - 8.0),
+                fixed(to_y(tick) + 4.0),
+                tick_label(tick)
+            );
+        }
+
+        // Axes on top of the grid.
+        let _ = writeln!(
+            out,
+            r##"<rect x="{}" y="{}" width="{}" height="{}" fill="none" stroke="#333333"/>"##,
+            fixed(left),
+            fixed(top),
+            fixed(plot_w),
+            fixed(plot_h)
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="{}" font-size="13" text-anchor="middle">{}</text>"#,
+            fixed(left + plot_w / 2.0),
+            fixed(HEIGHT - 14.0),
+            escape(&self.x_label)
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="18" y="{}" font-size="13" text-anchor="middle" transform="rotate(-90 18 {})">{}</text>"#,
+            fixed(top + plot_h / 2.0),
+            fixed(top + plot_h / 2.0),
+            escape(&self.y_label)
+        );
+
+        // The series polylines.
+        for (index, series) in self.series.iter().enumerate() {
+            let color = PALETTE[index % PALETTE.len()];
+            let points: Vec<String> = series
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{},{}", fixed(to_x(x)), fixed(to_y(y))))
+                .collect();
+            let _ = writeln!(
+                out,
+                r#"<polyline fill="none" stroke="{color}" stroke-width="1.5" points="{}"/>"#,
+                points.join(" ")
+            );
+        }
+
+        // Legend in the top-left corner of the plot area.
+        for (index, series) in self.series.iter().enumerate() {
+            let color = PALETTE[index % PALETTE.len()];
+            let y = top + 14.0 + 16.0 * index as f64;
+            let _ = writeln!(
+                out,
+                r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="{color}" stroke-width="2"/>"#,
+                fixed(left + 10.0),
+                fixed(y - 4.0),
+                fixed(left + 34.0),
+                fixed(y - 4.0)
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{}" y="{}" font-size="12">{}</text>"#,
+                fixed(left + 40.0),
+                fixed(y),
+                escape(&series.label)
+            );
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+/// The min/max of one coordinate across every series point; degenerate
+/// ranges are widened so the projection never divides by zero.
+fn data_range(series: &[Series], coord: impl Fn(&(f64, f64)) -> f64) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for s in series {
+        for p in &s.points {
+            min = min.min(coord(p));
+            max = max.max(coord(p));
+        }
+    }
+    if !min.is_finite() || !max.is_finite() {
+        return (0.0, 1.0);
+    }
+    if min == max {
+        return (min - 0.5, max + 0.5);
+    }
+    (min, max)
+}
+
+/// Pads a value range by 5% on both ends (breathing room for curves).
+fn pad_range((min, max): (f64, f64)) -> (f64, f64) {
+    let pad = (max - min) * 0.05;
+    (min - pad, max + pad)
+}
+
+/// Round tick positions inside `[min, max]` at a 1/2/5 × 10^k step
+/// close to `target` intervals.
+fn nice_ticks(min: f64, max: f64, target: usize) -> Vec<f64> {
+    let raw_step = (max - min) / target as f64;
+    let magnitude = 10f64.powf(raw_step.abs().log10().floor());
+    let normalized = raw_step / magnitude;
+    let step = if normalized < 1.5 {
+        magnitude
+    } else if normalized < 3.5 {
+        2.0 * magnitude
+    } else if normalized < 7.5 {
+        5.0 * magnitude
+    } else {
+        10.0 * magnitude
+    };
+    let mut ticks = Vec::new();
+    let mut tick = (min / step).ceil() * step;
+    while tick <= max + step * 1e-9 {
+        // Snap near-zero accumulations back to exactly zero.
+        if tick.abs() < step * 1e-9 {
+            tick = 0.0;
+        }
+        ticks.push(tick);
+        tick += step;
+    }
+    ticks
+}
+
+/// A human tick label: `k`/`M` suffixes for large magnitudes, trimmed
+/// decimals otherwise.
+fn tick_label(value: f64) -> String {
+    let abs = value.abs();
+    if abs >= 1e6 {
+        format!("{}M", trim_float(value / 1e6))
+    } else if abs >= 1e3 {
+        format!("{}k", trim_float(value / 1e3))
+    } else {
+        trim_float(value)
+    }
+}
+
+/// Formats with three decimals, then trims trailing zeros (and a bare
+/// trailing dot) — deterministic and stable across platforms.
+fn trim_float(value: f64) -> String {
+    let text = format!("{value:.3}");
+    let trimmed = text.trim_end_matches('0').trim_end_matches('.');
+    trimmed.to_string()
+}
+
+/// A pixel coordinate at fixed two-decimal precision.
+fn fixed(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// Escapes the three XML-special characters that can appear in labels.
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_figures_have_no_chart() {
+        assert!(svg_for("table1_itc02", "[]").is_none());
+        assert!(svg_for("scaled_tier", "[]").is_none());
+        assert!(svg_for("fig6a_channels", "not json").is_none());
+    }
+
+    #[test]
+    fn sweep_chart_renders_points_and_labels() {
+        let json = r#"[
+            {"parameter": 512, "devices_per_hour": 100000.0},
+            {"parameter": 1024, "devices_per_hour": 250000.0}
+        ]"#;
+        let svg = svg_for("fig6a_channels", json).expect("chart renders");
+        assert!(svg.starts_with("<svg xmlns"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("Figure 6(a)"));
+        assert!(svg.contains("ATE channels"));
+        assert!(svg.contains("polyline"));
+        // Deterministic: byte-identical on re-render.
+        assert_eq!(svg, svg_for("fig6a_channels", json).unwrap());
+    }
+
+    #[test]
+    fn fig5_chart_draws_four_series() {
+        let json = r#"[
+            {"stimulus_broadcast": false, "curve": [
+                {"sites": 1, "devices_per_hour": 10.0, "step1_only_devices_per_hour": 8.0},
+                {"sites": 2, "devices_per_hour": 19.0, "step1_only_devices_per_hour": 15.0}
+            ]},
+            {"stimulus_broadcast": true, "curve": [
+                {"sites": 1, "devices_per_hour": 12.0, "step1_only_devices_per_hour": 9.0},
+                {"sites": 2, "devices_per_hour": 23.0, "step1_only_devices_per_hour": 17.0}
+            ]}
+        ]"#;
+        let svg = svg_for("fig5_sites", json).expect("chart renders");
+        assert_eq!(svg.matches("<polyline").count(), 4);
+        assert!(svg.contains("Steps 1+2, with broadcast"));
+        assert!(svg.contains("Step 1 only, no broadcast"));
+    }
+
+    #[test]
+    fn yield_labels_trim_trailing_zeros() {
+        assert_eq!(trim_float(0.5), "0.5");
+        assert_eq!(trim_float(0.995), "0.995");
+        assert_eq!(trim_float(1.0), "1");
+        assert_eq!(tick_label(800_000.0), "800k");
+        assert_eq!(tick_label(12_000_000.0), "12M");
+        assert_eq!(tick_label(0.02), "0.02");
+    }
+
+    #[test]
+    fn ticks_are_round_and_inside_the_range() {
+        let ticks = nice_ticks(0.0, 100.0, 8);
+        assert!(ticks.contains(&0.0) && ticks.contains(&100.0));
+        for pair in ticks.windows(2) {
+            assert!((pair[1] - pair[0] - 10.0).abs() < 1e-9);
+        }
+        let fine = nice_ticks(5_000_000.0, 14_000_000.0, 8);
+        assert!(fine.iter().all(|t| *t >= 5_000_000.0 && *t <= 14_000_000.0));
+    }
+
+    #[test]
+    fn malformed_figure_json_is_rejected_not_panicked() {
+        assert!(svg_for("fig5_sites", "{}").is_none());
+        assert!(svg_for("fig7a_contact_yield", "[]").is_none());
+        assert!(svg_for("fig7b_abort_on_fail", r#"[{"manufacturing_yield": "x"}]"#).is_none());
+    }
+}

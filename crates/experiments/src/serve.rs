@@ -13,7 +13,7 @@
 
 use soctest_ate::{AteSpec, ProbeStation, TestCell};
 use soctest_multisite::service::{ClientFrame, OptimizeFrame, Server, ServerConfig, SocSpec};
-use soctest_multisite::{OptimizeRequest, OptimizerConfig, SweepAxis};
+use soctest_multisite::{OptimizeRequest, OptimizerConfig, RequestTrace, SweepAxis};
 use std::io::Cursor;
 
 /// The paper's 256-channel, 96k-deep test cell.
@@ -46,6 +46,7 @@ pub fn sample_session() -> String {
             soc: SocSpec::Named("d695".to_string()),
             request: OptimizeRequest::new(OptimizerConfig::new(paper_cell())),
             deadline_ms: None,
+            stats: false,
         }),
         ClientFrame::Optimize(OptimizeFrame {
             request_id: "r2".to_string(),
@@ -53,12 +54,14 @@ pub fn sample_session() -> String {
             request: OptimizeRequest::new(OptimizerConfig::new(paper_cell()))
                 .with_sweep(SweepAxis::Channels(vec![192, 256])),
             deadline_ms: None,
+            stats: false,
         }),
         ClientFrame::Optimize(OptimizeFrame {
             request_id: "r3".to_string(),
             soc: SocSpec::Named("p22810".to_string()),
             request: OptimizeRequest::new(OptimizerConfig::new(big_cell())),
             deadline_ms: None,
+            stats: false,
         }),
         // An exact repeat of r1: answered from the solution cache
         // (`"cached":true`), deterministically.
@@ -67,6 +70,7 @@ pub fn sample_session() -> String {
             soc: SocSpec::Named("d695".to_string()),
             request: OptimizeRequest::new(OptimizerConfig::new(paper_cell())),
             deadline_ms: None,
+            stats: false,
         }),
     ];
     let mut session = String::new();
@@ -86,8 +90,62 @@ pub fn sample_session() -> String {
         soc: SocSpec::Named("not_a_soc".to_string()),
         request: OptimizeRequest::new(OptimizerConfig::new(paper_cell())),
         deadline_ms: None,
+        stats: false,
     })));
     session.push('\n');
+    session.push_str(&line(&ClientFrame::Shutdown));
+    session.push('\n');
+    session
+}
+
+/// The stats-enabled sample session: three `stats: true` requests
+/// covering every provenance (`Computed` cold, `Hit` on an exact
+/// repeat, `Computed` for a warm-session sweep), plus one deliberately
+/// stats-off repeat proving the block is opt-in per request. Every
+/// field in the answered `stats` blocks is race-deterministic, so the
+/// transcript is a committable golden at any `SOCTEST_THREADS`.
+pub fn sample_session_stats() -> String {
+    let frames = [
+        ClientFrame::Optimize(OptimizeFrame {
+            request_id: "s1".to_string(),
+            soc: SocSpec::Named("d695".to_string()),
+            request: OptimizeRequest::new(OptimizerConfig::new(paper_cell())),
+            deadline_ms: None,
+            stats: true,
+        }),
+        // An exact repeat of s1: a solution-cache hit with zero deltas.
+        ClientFrame::Optimize(OptimizeFrame {
+            request_id: "s2".to_string(),
+            soc: SocSpec::Named("d695".to_string()),
+            request: OptimizeRequest::new(OptimizerConfig::new(paper_cell())),
+            deadline_ms: None,
+            stats: true,
+        }),
+        // A sweep on the warm d695 session that reaches past the 256
+        // channels s1 demanded: the engine computes fresh cells for the
+        // wider widths, so a warm `Computed` block with real deltas.
+        ClientFrame::Optimize(OptimizeFrame {
+            request_id: "s3".to_string(),
+            soc: SocSpec::Named("d695".to_string()),
+            request: OptimizeRequest::new(OptimizerConfig::new(paper_cell()))
+                .with_sweep(SweepAxis::Channels(vec![192, 384])),
+            deadline_ms: None,
+            stats: true,
+        }),
+        // Another repeat of s1 that opts *out*: cached, but no block.
+        ClientFrame::Optimize(OptimizeFrame {
+            request_id: "s4".to_string(),
+            soc: SocSpec::Named("d695".to_string()),
+            request: OptimizeRequest::new(OptimizerConfig::new(paper_cell())),
+            deadline_ms: None,
+            stats: false,
+        }),
+    ];
+    let mut session = String::new();
+    for frame in &frames {
+        session.push_str(&line(frame));
+        session.push('\n');
+    }
     session.push_str(&line(&ClientFrame::Shutdown));
     session.push('\n');
     session
@@ -105,6 +163,119 @@ pub fn run_session_text(input: &str, config: ServerConfig) -> std::io::Result<St
     let mut output = Vec::new();
     server.serve(Cursor::new(input.as_bytes().to_vec()), &mut output)?;
     Ok(String::from_utf8(output).expect("server output is UTF-8"))
+}
+
+/// Serves `input` with [`ServerConfig::trace_all`] forced on and
+/// returns the transcript plus the server's in-process session trace,
+/// for `soc-serve --stats-summary`.
+///
+/// # Errors
+///
+/// Writer errors, exactly as [`run_session_text`].
+pub fn run_session_traced(
+    input: &str,
+    mut config: ServerConfig,
+) -> std::io::Result<(String, RequestTrace)> {
+    config.trace_all = true;
+    let server = Server::new(config);
+    let mut output = Vec::new();
+    server.serve(Cursor::new(input.as_bytes().to_vec()), &mut output)?;
+    let trace = server.session_trace();
+    Ok((
+        String::from_utf8(output).expect("server output is UTF-8"),
+        trace,
+    ))
+}
+
+/// Renders a session's merged [`RequestTrace`] as a plain-ASCII
+/// utilization summary, modeled on the paper's resource-budget view of
+/// a test cell: each bar splits a total into its provenance segments
+/// (`#` computed, `+` from the row store, `=` inherited, `-` other).
+///
+/// The summary is diagnostic stderr output, not a wire frame: it
+/// includes the wall/CPU times and pool counters that are deliberately
+/// kept off the race-deterministic NDJSON transcript.
+#[must_use]
+pub fn render_stats_summary(trace: &RequestTrace) -> String {
+    let ms = |nanos: u64| nanos as f64 / 1e6;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "session trace: {} traced request(s), {:.1} ms wall, {:.1} ms CPU, {} cancel probe(s)\n",
+        trace.requests,
+        ms(trace.wall_nanos),
+        ms(trace.cpu_nanos),
+        trace.cancel_probes,
+    ));
+    out.push_str(&format!(
+        "  widest table  {:>12} channels\n",
+        trace.table_width
+    ));
+    out.push_str(&format!(
+        "  cells built   {:>12}  {}  computed {} | store {} | inherited {}\n",
+        trace.table.cells_built(),
+        segment_bar(&[
+            trace.table.cells_computed,
+            trace.table.cells_from_store,
+            trace.table.cells_inherited,
+        ]),
+        trace.table.cells_computed,
+        trace.table.cells_from_store,
+        trace.table.cells_inherited,
+    ));
+    out.push_str(&format!(
+        "  store cells   {:>12}  {}  computed {} | served {} | loaded {}\n",
+        trace.store.cells_computed + trace.store.cells_served + trace.store.cells_loaded,
+        segment_bar(&[
+            trace.store.cells_computed,
+            trace.store.cells_served,
+            trace.store.cells_loaded,
+        ]),
+        trace.store.cells_computed,
+        trace.store.cells_served,
+        trace.store.cells_loaded,
+    ));
+    out.push_str(&format!(
+        "  pool jobs     {:>12}  {}  local {} | stolen {} | injected {} | inline {}\n",
+        trace.pool.jobs_local + trace.pool.jobs_stolen + trace.pool.jobs_injected,
+        segment_bar(&[
+            trace.pool.jobs_local,
+            trace.pool.jobs_stolen,
+            trace.pool.jobs_injected,
+        ]),
+        trace.pool.jobs_local,
+        trace.pool.jobs_stolen,
+        trace.pool.jobs_injected,
+        trace.pool.inline_runs,
+    ));
+    out
+}
+
+/// A fixed-width bar split proportionally into up to four segments
+/// (`#`, `+`, `=`, `-`); cumulative rounding keeps the width exact.
+fn segment_bar(parts: &[u64]) -> String {
+    const WIDTH: usize = 32;
+    const GLYPHS: [char; 4] = ['#', '+', '=', '-'];
+    let total: u64 = parts.iter().sum();
+    let mut bar = String::with_capacity(WIDTH + 2);
+    bar.push('[');
+    if total == 0 {
+        for _ in 0..WIDTH {
+            bar.push(' ');
+        }
+    } else {
+        let mut used = 0;
+        let mut acc = 0u128;
+        for (part, glyph) in parts.iter().zip(GLYPHS) {
+            acc += u128::from(*part);
+            let end = usize::try_from(acc * WIDTH as u128 / u128::from(total)).expect("bar fits");
+            for _ in used..end {
+                bar.push(glyph);
+            }
+            used = end;
+        }
+    }
+    bar.push(']');
+    bar
 }
 
 #[cfg(test)]
@@ -178,12 +349,94 @@ mod tests {
                 assert_eq!(stats.cache.result_hits, 1);
                 assert_eq!(stats.cache.result_misses, 3);
                 assert_eq!(stats.cache.coalesced_waits, 0);
+                assert_eq!(stats.cache.coalesced_served, 0);
                 assert!(stats.cache.result_bytes > 0);
                 assert!(stats.cache.cells_computed > 0);
                 assert_eq!(stats.cache.store_cells_loaded, 0);
                 assert_eq!(stats.cache.store_rows_saved, 0);
+                // Nobody opted into stats: no trace block on the wire.
+                assert!(stats.trace.is_none());
             }
             other => panic!("expected Bye, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stats_session_is_deterministic() {
+        assert_eq!(sample_session_stats(), sample_session_stats());
+        let first = run_session_text(&sample_session_stats(), ServerConfig::default()).unwrap();
+        let second = run_session_text(&sample_session_stats(), ServerConfig::default()).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn stats_transcript_has_the_expected_shape() {
+        use soctest_multisite::service::Provenance;
+        let transcript = run_session_text(&sample_session_stats(), ServerConfig::default())
+            .expect("session runs");
+        let frames = parse_transcript(&transcript);
+        assert_eq!(frames.len(), 5);
+        let results: Vec<_> = frames[..4]
+            .iter()
+            .map(|frame| match frame {
+                ServerFrame::Result(result) => result,
+                other => panic!("expected result, got {other:?}"),
+            })
+            .collect();
+        // s1 computes cold; its block attributes real table work.
+        let s1 = results[0].stats.expect("s1 opted in");
+        assert_eq!(s1.provenance, Provenance::Computed);
+        assert!(s1.cells_built > 0);
+        // s2 is an exact repeat: a hit, with zero deltas by construction.
+        let s2 = results[1].stats.expect("s2 opted in");
+        assert_eq!(s2.provenance, Provenance::Hit);
+        assert_eq!((s2.cells_built, s2.store_cells_computed), (0, 0));
+        // s3 sweeps on the warm session: computes more cells.
+        let s3 = results[2].stats.expect("s3 opted in");
+        assert_eq!(s3.provenance, Provenance::Computed);
+        assert!(s3.cells_built > 0);
+        // s4 repeats s1 but opted out: cached, no block.
+        assert!(results[3].cached);
+        assert!(results[3].stats.is_none());
+        match &frames[4] {
+            ServerFrame::Bye(stats) => {
+                let trace = stats.trace.expect("three requests opted in");
+                assert_eq!(trace.requests, 3);
+                assert_eq!(trace.cells_built, s1.cells_built + s3.cells_built);
+            }
+            other => panic!("expected Bye, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traced_run_returns_the_plain_transcript_and_a_live_trace() {
+        let plain = run_session_text(&sample_session(), ServerConfig::default()).unwrap();
+        let (traced, trace) =
+            run_session_traced(&sample_session(), ServerConfig::default()).unwrap();
+        // trace_all is purely in-process: the wire bytes are untouched.
+        assert_eq!(plain, traced);
+        assert_eq!(trace.requests, 3);
+        assert!(trace.cells_built() > 0);
+        assert!(trace.wall_nanos > 0);
+    }
+
+    #[test]
+    fn stats_summary_renders_fixed_width_bars() {
+        let mut trace = RequestTrace::default();
+        trace.requests = 2;
+        trace.wall_nanos = 1_500_000;
+        trace.cpu_nanos = 3_000_000;
+        trace.table_width = 256;
+        trace.table.cells_computed = 48;
+        trace.table.cells_inherited = 16;
+        let summary = render_stats_summary(&trace);
+        assert!(summary.contains("2 traced request(s)"));
+        assert!(summary.contains("1.5 ms wall"));
+        assert!(summary.contains("computed 48 | store 0 | inherited 16"));
+        // 48/64 of a 32-wide bar is 24 `#`, the inherited 16/64 is 8 `=`.
+        assert!(summary.contains(&format!("[{}{}]", "#".repeat(24), "=".repeat(8))));
+        // Empty totals render an all-blank bar, not a division panic.
+        assert!(render_stats_summary(&RequestTrace::default())
+            .contains(&format!("[{}]", " ".repeat(32))));
     }
 }

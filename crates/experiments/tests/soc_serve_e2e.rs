@@ -54,6 +54,7 @@ fn optimize_line(request_id: &str, soc: SocSpec, deadline_ms: Option<u64>) -> St
         soc,
         request: OptimizeRequest::new(OptimizerConfig::new(cell)),
         deadline_ms,
+        stats: false,
     }))
     .expect("client frames serialise")
 }
@@ -192,6 +193,7 @@ fn memory_cap_provably_evicts() {
         soc: SocSpec::Named("p22810".to_string()),
         request: OptimizeRequest::new(OptimizerConfig::new(big_cell)),
         deadline_ms: None,
+        stats: false,
     }))
     .unwrap();
     let input = format!(
@@ -243,6 +245,7 @@ fn session_cap_evicts_least_recently_used() {
         soc: SocSpec::Named("p22810".to_string()),
         request: OptimizeRequest::new(OptimizerConfig::new(big_cell)),
         deadline_ms: None,
+        stats: false,
     }))
     .unwrap();
     let input = format!(

@@ -66,9 +66,10 @@ use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use soctest_ate::AteCostModel;
 use soctest_soc_model::validate::{validate_soc, Severity, ValidationIssue};
 use soctest_soc_model::Soc;
-use soctest_tam::{max_tam_width, LazyTimeTable, RowStore, TimeLookup};
+use soctest_tam::{max_tam_width, LazyTimeTable, RowStore, RowStoreStats, StatsEpoch, TimeLookup};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, PoisonError, RwLock};
+use std::time::Instant;
 
 /// Builds one externally-tagged enum value: `{"<tag>": body}`. Shared by
 /// every hand-written enum `Serialize` impl in this crate (the vendored
@@ -462,11 +463,165 @@ enum EngineValidation {
     Invalid { issues: Vec<ValidationIssue> },
 }
 
+/// What serving one request (or one batch) cost, attributed by epoch
+/// diffs taken around the run: table materialisation, row-store traffic,
+/// pool occupancy, cancellation probes, wall/CPU time.
+///
+/// Produced by [`Engine::run_traced`], [`Engine::run_with_cancel_traced`]
+/// and [`Engine::run_batch_traced`]; aggregated with
+/// [`RequestTrace::merge`] (the service folds per-request traces into its
+/// final `Bye` summary this way).
+///
+/// Determinism: the table's `cells_built`/`cells_inherited` deltas are
+/// race-deterministic at any thread count and the store's
+/// `cells_computed` delta is first-insert-deterministic; wall/CPU time
+/// and pool occupancy are run-specific and must stay out of
+/// golden-checked output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RequestTrace {
+    /// Requests accounted: 1 per traced run, the batch length per traced
+    /// batch; sums under [`RequestTrace::merge`].
+    pub requests: u64,
+    /// Wall-clock nanoseconds spent serving.
+    pub wall_nanos: u64,
+    /// Process CPU nanoseconds (user + system) spent in the window, at
+    /// the kernel's ~10 ms accounting granularity; 0 on platforms without
+    /// `/proc/self/stat`. Process-wide, so concurrent work is included.
+    pub cpu_nanos: u64,
+    /// The width of the table that served the request.
+    pub table_width: usize,
+    /// Table materialisation deltas: cells computed fresh / replayed from
+    /// the row store / inherited by a regrow, pages allocated.
+    pub table: StatsEpoch,
+    /// Row-store counter deltas (zeros when the engine has no store).
+    pub store: RowStoreStats,
+    /// Pool occupancy deltas over the window (process-global: under
+    /// concurrency this includes other requests' jobs).
+    pub pool: rayon::PoolStats,
+    /// Cancellation-token polls observed while serving (0 without a
+    /// token).
+    pub cancel_probes: u64,
+}
+
+impl RequestTrace {
+    /// Component-wise aggregation: counters sum, the table width keeps
+    /// the maximum. Wall/CPU times add, so merging traces of *sequential*
+    /// requests yields the span's true cost; merging concurrent traces
+    /// over-counts shared wall time.
+    #[must_use]
+    pub fn merge(&self, other: &RequestTrace) -> RequestTrace {
+        let mut merged = *self;
+        merged.requests += other.requests;
+        merged.wall_nanos += other.wall_nanos;
+        merged.cpu_nanos += other.cpu_nanos;
+        merged.table_width = self.table_width.max(other.table_width);
+        merged.table.cells_computed += other.table.cells_computed;
+        merged.table.cells_from_store += other.table.cells_from_store;
+        merged.table.cells_inherited += other.table.cells_inherited;
+        merged.table.pages_allocated += other.table.pages_allocated;
+        merged.store.rows += other.store.rows;
+        merged.store.cells += other.store.cells;
+        merged.store.cells_computed += other.store.cells_computed;
+        merged.store.cells_served += other.store.cells_served;
+        merged.store.cells_loaded += other.store.cells_loaded;
+        merged.pool.jobs_local += other.pool.jobs_local;
+        merged.pool.jobs_stolen += other.pool.jobs_stolen;
+        merged.pool.jobs_injected += other.pool.jobs_injected;
+        merged.pool.inline_runs += other.pool.inline_runs;
+        merged.cancel_probes += other.cancel_probes;
+        merged
+    }
+
+    /// Cells the request materialised, however they got there — the
+    /// race-deterministic total.
+    #[must_use]
+    pub fn cells_built(&self) -> u64 {
+        self.table.cells_built()
+    }
+}
+
+/// Process CPU time (user + system) in nanoseconds from
+/// `/proc/self/stat`, assuming the universal 100 Hz `USER_HZ`; 0 where
+/// the file is unavailable or unparsable.
+fn process_cpu_nanos() -> u64 {
+    if let Ok(stat) = std::fs::read_to_string("/proc/self/stat") {
+        // Fields after the parenthesised command name: state is the 1st,
+        // utime the 12th, stime the 13th.
+        if let Some(end) = stat.rfind(')') {
+            let mut fields = stat[end + 1..].split_whitespace();
+            let utime = fields.nth(11).and_then(|f| f.parse::<u64>().ok());
+            let stime = fields.next().and_then(|f| f.parse::<u64>().ok());
+            if let (Some(utime), Some(stime)) = (utime, stime) {
+                return (utime + stime) * 10_000_000;
+            }
+        }
+    }
+    0
+}
+
+/// The "before" epochs of a traced run; [`TraceTimer::finish`] diffs
+/// them into a [`RequestTrace`].
+struct TraceTimer {
+    started: Instant,
+    cpu_nanos: u64,
+    table: StatsEpoch,
+    store: RowStoreStats,
+    pool: rayon::PoolStats,
+    polls: u64,
+}
+
+impl TraceTimer {
+    fn begin(table: &LazyTimeTable, token: Option<&CancelToken>) -> TraceTimer {
+        TraceTimer {
+            started: Instant::now(),
+            cpu_nanos: process_cpu_nanos(),
+            table: table.stats_epoch(),
+            store: table.store().map(|s| s.stats()).unwrap_or_default(),
+            pool: rayon::pool_stats(),
+            polls: token.map(CancelToken::polls).unwrap_or(0),
+        }
+    }
+
+    fn finish(
+        self,
+        requests: u64,
+        table: &LazyTimeTable,
+        token: Option<&CancelToken>,
+    ) -> RequestTrace {
+        RequestTrace {
+            requests,
+            wall_nanos: u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            cpu_nanos: process_cpu_nanos().saturating_sub(self.cpu_nanos),
+            table_width: table.max_width(),
+            table: table.stats_epoch().delta_since(&self.table),
+            store: table
+                .store()
+                .map(|s| s.stats())
+                .unwrap_or_default()
+                .delta_since(&self.store),
+            pool: rayon::pool_stats().delta_since(&self.pool),
+            cancel_probes: token
+                .map(CancelToken::polls)
+                .unwrap_or(0)
+                .saturating_sub(self.polls),
+        }
+    }
+}
+
 /// A point-in-time summary of an [`Engine`] session — its warm-cache
 /// footprint and the outcome of the builder's validation pass.
+///
+/// Versioned: [`EngineStats::VERSION`] names the snapshot schema (carried
+/// in [`EngineStats::version`]), so downstream consumers aggregating or
+/// persisting snapshots can detect shape changes. Aggregate across
+/// sessions with [`EngineStats::aggregate`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct EngineStats {
+    /// The snapshot schema version that produced this value
+    /// ([`EngineStats::VERSION`]).
+    pub version: u32,
     /// The maximum TAM width the current table covers.
     pub table_width: usize,
     /// `(module, width)` cells materialised so far (computed + served by
@@ -476,6 +631,9 @@ pub struct EngineStats {
     pub cells_computed: usize,
     /// Cells the current table filled from the attached row store.
     pub cells_from_store: usize,
+    /// Cells the current table inherited from its predecessor across
+    /// table regrows.
+    pub cells_inherited: usize,
     /// Total cells the current table can hold.
     pub cells_total: usize,
     /// Estimated resident bytes of the table
@@ -488,6 +646,52 @@ pub struct EngineStats {
     /// validation and every request answers
     /// [`OptimizeError::InvalidSoc`]).
     pub usable: bool,
+}
+
+impl EngineStats {
+    /// The current snapshot schema version. Bumped whenever a field is
+    /// added, removed or changes meaning; version 2 added
+    /// `cells_inherited` and this version stamp.
+    pub const VERSION: u32 = 2;
+
+    /// A zeroed snapshot — the identity of [`EngineStats::aggregate`]
+    /// (vacuously `usable`, width 0).
+    #[must_use]
+    pub fn empty() -> EngineStats {
+        EngineStats {
+            version: EngineStats::VERSION,
+            table_width: 0,
+            cells_built: 0,
+            cells_computed: 0,
+            cells_from_store: 0,
+            cells_inherited: 0,
+            cells_total: 0,
+            table_memory_bytes: 0,
+            validation_issues: 0,
+            usable: true,
+        }
+    }
+
+    /// Folds session snapshots into one fleet-level summary: cell and
+    /// byte counters sum, `table_width` keeps the maximum, and `usable`
+    /// holds only if every aggregated session is usable.
+    #[must_use]
+    pub fn aggregate<I: IntoIterator<Item = EngineStats>>(snapshots: I) -> EngineStats {
+        snapshots
+            .into_iter()
+            .fold(EngineStats::empty(), |sum, next| EngineStats {
+                version: EngineStats::VERSION,
+                table_width: sum.table_width.max(next.table_width),
+                cells_built: sum.cells_built + next.cells_built,
+                cells_computed: sum.cells_computed + next.cells_computed,
+                cells_from_store: sum.cells_from_store + next.cells_from_store,
+                cells_inherited: sum.cells_inherited + next.cells_inherited,
+                cells_total: sum.cells_total + next.cells_total,
+                table_memory_bytes: sum.table_memory_bytes + next.table_memory_bytes,
+                validation_issues: sum.validation_issues + next.validation_issues,
+                usable: sum.usable && next.usable,
+            })
+    }
 }
 
 /// A per-SOC optimizer session: one shared demand-driven time table, one
@@ -608,10 +812,12 @@ impl Engine {
     pub fn stats(&self) -> EngineStats {
         let table = self.snapshot();
         EngineStats {
+            version: EngineStats::VERSION,
             table_width: table.max_width(),
             cells_built: table.cells_built(),
             cells_computed: table.cells_computed(),
             cells_from_store: table.cells_from_store(),
+            cells_inherited: table.cells_inherited(),
             cells_total: table.cells_total(),
             table_memory_bytes: table.memory_bytes(),
             validation_issues: self.validation_issues().len(),
@@ -687,6 +893,27 @@ impl Engine {
         self.run_on(table.as_ref(), None, request)
     }
 
+    /// [`Engine::run`] plus attribution: returns the response together
+    /// with a [`RequestTrace`] of exactly what serving it cost (epoch
+    /// diffs of the table, row store and pool taken around the run).
+    ///
+    /// The response is bit-identical to [`Engine::run`] — tracing only
+    /// reads counters. The trace's store snapshot walks the resident
+    /// rows, so the untraced [`Engine::run`] stays the hot path.
+    pub fn run_traced(
+        &self,
+        request: &OptimizeRequest,
+    ) -> (Result<OptimizeResponse, OptimizeError>, RequestTrace) {
+        if let Some(err) = self.invalid_error() {
+            return (Err(err), self.rejection_trace(1));
+        }
+        let table = self.table_for(request.needed_width());
+        let timer = TraceTimer::begin(&table, None);
+        let result = self.run_on(table.as_ref(), None, request);
+        let trace = timer.finish(1, &table, None);
+        (result, trace)
+    }
+
     /// Serves one request under a cooperative [`CancelToken`]: the token
     /// is polled at sweep-point granularity between optimizations and —
     /// through a guarded table — at table-row granularity inside each
@@ -714,7 +941,43 @@ impl Engine {
         }
         token.check()?;
         let table = self.table_for(request.needed_width());
-        let guarded = CancelGuarded::new(table.as_ref(), token);
+        self.run_cancellable_on(table.as_ref(), token, request)
+    }
+
+    /// [`Engine::run_with_cancel`] plus attribution — the traced variant
+    /// the service's executor uses to build per-request `stats` blocks.
+    /// The trace's `cancel_probes` counts every poll of `token` during
+    /// the run (sweep-point checks and table-row probes alike).
+    pub fn run_with_cancel_traced(
+        &self,
+        request: &OptimizeRequest,
+        token: &CancelToken,
+    ) -> (Result<OptimizeResponse, OptimizeError>, RequestTrace) {
+        if let Some(err) = self.invalid_error() {
+            return (Err(err), self.rejection_trace(1));
+        }
+        if let Err(stopped) = token.check() {
+            let mut trace = self.rejection_trace(1);
+            trace.cancel_probes = 1;
+            return (Err(stopped), trace);
+        }
+        let table = self.table_for(request.needed_width());
+        let timer = TraceTimer::begin(&table, Some(token));
+        let result = self.run_cancellable_on(table.as_ref(), token, request);
+        let trace = timer.finish(1, &table, Some(token));
+        (result, trace)
+    }
+
+    /// The shared cancellation-guarded core: wraps the table, runs the
+    /// request under `catch_unwind`, and converts a cooperative-stop
+    /// unwind back into its typed error (genuine panics resume).
+    fn run_cancellable_on(
+        &self,
+        table: &LazyTimeTable,
+        token: &CancelToken,
+        request: &OptimizeRequest,
+    ) -> Result<OptimizeResponse, OptimizeError> {
+        let guarded = CancelGuarded::new(table, token);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             self.run_on(&guarded, Some(token), request)
         }));
@@ -724,6 +987,16 @@ impl Engine {
                 Ok(reason) => Err(reason),
                 Err(panic_payload) => resume_unwind(panic_payload),
             },
+        }
+    }
+
+    /// The trace of a request rejected before any table was touched
+    /// (unusable SOC, already-stopped token): counted, zero deltas.
+    fn rejection_trace(&self, requests: u64) -> RequestTrace {
+        RequestTrace {
+            requests,
+            table_width: self.table_width(),
+            ..RequestTrace::default()
         }
     }
 
@@ -748,12 +1021,48 @@ impl Engine {
         if let Some(err) = self.invalid_error() {
             return requests.iter().map(|_| Err(err.clone())).collect();
         }
-        let width = requests
+        let table = self.table_for(Engine::batch_width(requests));
+        self.run_batch_on(&table, requests)
+    }
+
+    /// [`Engine::run_batch`] plus attribution: the responses (identical
+    /// to the untraced batch) together with **one** [`RequestTrace`]
+    /// covering the whole batch. Per-request deltas inside a parallel
+    /// batch overlap in time and cannot be attributed individually — the
+    /// batch-level trace is exact; callers needing per-request deltas
+    /// run requests sequentially through [`Engine::run_traced`].
+    pub fn run_batch_traced(
+        &self,
+        requests: &[OptimizeRequest],
+    ) -> (Vec<Result<OptimizeResponse, OptimizeError>>, RequestTrace) {
+        let count = requests.len() as u64;
+        if let Some(err) = self.invalid_error() {
+            let responses = requests.iter().map(|_| Err(err.clone())).collect();
+            return (responses, self.rejection_trace(count));
+        }
+        let table = self.table_for(Engine::batch_width(requests));
+        let timer = TraceTimer::begin(&table, None);
+        let responses = self.run_batch_on(&table, requests);
+        let trace = timer.finish(count, &table, None);
+        (responses, trace)
+    }
+
+    /// The table width a batch needs: the widest request's need.
+    fn batch_width(requests: &[OptimizeRequest]) -> usize {
+        requests
             .iter()
             .map(OptimizeRequest::needed_width)
             .max()
-            .unwrap_or(1);
-        let table = self.table_for(width);
+            .unwrap_or(1)
+    }
+
+    /// The batch core shared by the traced and untraced paths: fans the
+    /// requests out at the engine's thread cap over one sized table.
+    fn run_batch_on(
+        &self,
+        table: &Arc<LazyTimeTable>,
+        requests: &[OptimizeRequest],
+    ) -> Vec<Result<OptimizeResponse, OptimizeError>> {
         let cap = self.thread_cap();
         if cap > 1 {
             rayon::par_map_init_threads(
@@ -1070,6 +1379,74 @@ mod tests {
             computed_after_regrow,
             "inherited cells were recomputed"
         );
+    }
+
+    #[test]
+    fn traced_run_attributes_table_deltas_per_request() {
+        let engine = Engine::new(&d695());
+        let (first, t1) = engine.run_traced(&OptimizeRequest::new(config()));
+        assert_eq!(t1.requests, 1);
+        assert_eq!(t1.table_width, 128);
+        assert!(t1.table.cells_built() > 0);
+        assert!(t1.cells_built() == t1.table.cells_built());
+        // Re-serving the identical request touches no new cells.
+        let (second, t2) = engine.run_traced(&OptimizeRequest::new(config()));
+        assert_eq!(second.unwrap(), first.unwrap());
+        assert_eq!(t2.table.cells_built(), 0);
+        // Sequential per-request deltas sum to the engine-lifetime total.
+        let merged = t1.merge(&t2);
+        assert_eq!(merged.requests, 2);
+        assert_eq!(
+            merged.table.cells_built(),
+            engine.stats().cells_built as u64
+        );
+    }
+
+    #[test]
+    fn traced_batch_covers_the_whole_batch() {
+        let engine = Engine::new(&d695());
+        let batch = [
+            OptimizeRequest::new(config()),
+            OptimizeRequest::new(config()).with_sweep(SweepAxis::Channels(vec![192, 256])),
+        ];
+        let (responses, trace) = engine.run_batch_traced(&batch);
+        assert_eq!(responses.len(), 2);
+        assert_eq!(trace.requests, 2);
+        assert_eq!(trace.table.cells_built(), engine.stats().cells_built as u64);
+        assert_eq!(
+            responses,
+            engine.run_batch(&batch),
+            "tracing changed results"
+        );
+    }
+
+    #[test]
+    fn traced_run_on_an_unusable_engine_reports_a_counted_rejection() {
+        // An empty SOC fails validation with an error-level finding.
+        let engine = Engine::new(&Soc::new("empty"));
+        assert!(!engine.is_usable());
+        let (result, trace) = engine.run_traced(&OptimizeRequest::new(config()));
+        assert!(matches!(result, Err(OptimizeError::InvalidSoc { .. })));
+        assert_eq!(trace.requests, 1);
+        assert_eq!(trace.table.cells_built(), 0);
+    }
+
+    #[test]
+    fn engine_stats_snapshot_is_versioned_and_aggregates() {
+        let engine = Engine::new(&d695());
+        engine.run(&OptimizeRequest::new(config())).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.version, EngineStats::VERSION);
+        assert_eq!(
+            stats.cells_built,
+            stats.cells_computed + stats.cells_from_store + stats.cells_inherited
+        );
+        let total = EngineStats::aggregate([stats, stats]);
+        assert_eq!(total.cells_built, 2 * stats.cells_built);
+        assert_eq!(total.cells_total, 2 * stats.cells_total);
+        assert_eq!(total.table_width, stats.table_width);
+        assert!(total.usable);
+        assert_eq!(EngineStats::aggregate([]), EngineStats::empty());
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub mod solution;
 pub mod sweep;
 
 pub use engine::{
-    Engine, EngineBuilder, EngineStats, OptimizeRequest, OptimizeResponse, SweepAxis,
+    Engine, EngineBuilder, EngineStats, OptimizeRequest, OptimizeResponse, RequestTrace, SweepAxis,
 };
 pub use error::OptimizeError;
 pub use optimizer::optimize;

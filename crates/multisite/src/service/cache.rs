@@ -19,11 +19,15 @@
 //! removed by an unwind-safe guard and each waiter simply retries
 //! (becoming the next leader at most once).
 //!
-//! Only successful responses are cached; errors are returned to the
-//! caller that incurred them and leave the cache untouched. Entries are
-//! evicted least-recently-used when the cache exceeds its entry-count
-//! or byte cap, always sparing the hottest entry (mirroring the session
-//! registry's policy).
+//! Successful responses are cached, and so — *negatively* — are
+//! deterministic failures: an invalid SOC, an invalid configuration, or
+//! an infeasible architecture fails identically on every repeat, so the
+//! typed error is admitted behind a typed negative flag and replayed
+//! without recomputation. Wall-clock-dependent failures (cancellation,
+//! deadline expiry, shed load, panics) are never cached. Entries of both
+//! polarities are evicted least-recently-used when the cache exceeds
+//! its entry-count or byte cap, always sparing the hottest entry
+//! (mirroring the session registry's policy).
 
 use crate::engine::{OptimizeRequest, OptimizeResponse};
 use crate::error::OptimizeError;
@@ -69,22 +73,55 @@ impl CacheOutcome {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct SolutionCacheStats {
-    /// Requests served from a resident entry (including coalesced
-    /// waiters that woke to find the leader's entry).
+    /// Requests served a success from an already-resident entry without
+    /// waiting. Waiter serves are counted in
+    /// [`SolutionCacheStats::coalesced_served`], never folded in here.
     pub hits: u64,
     /// Requests that led a computation (successful or not).
     pub misses: u64,
     /// Requests that blocked at least once on an identical in-flight
     /// computation.
     pub coalesced_waits: u64,
+    /// Requests that, after blocking, were served a leader's successful
+    /// result instead of recomputing.
+    pub coalesced_served: u64,
     /// Successful responses admitted to the cache.
     pub insertions: u64,
+    /// Deterministic failures admitted as negative entries.
+    pub negative_insertions: u64,
+    /// Requests answered a replayed failure from a negative entry
+    /// (waited or not).
+    pub negative_hits: u64,
     /// Entries evicted by the LRU / byte cap.
     pub evictions: u64,
     /// Currently resident entries.
     pub entries: u64,
     /// Currently resident bytes (canonical keys + rendered responses).
     pub bytes: u64,
+}
+
+/// What a resident entry replays: a successful response, or — the typed
+/// negative flag — a deterministic failure cached so identical repeats
+/// skip the doomed computation.
+#[derive(Debug, Clone)]
+enum CachedResponse {
+    /// A successful [`OptimizeResponse`].
+    Success(OptimizeResponse),
+    /// A deterministic failure (see [`negative_cacheable`]).
+    Negative(OptimizeError),
+}
+
+/// Whether a failure is deterministic — a pure function of the `(SOC,
+/// request)` key, safe to replay from a negative cache entry. Anything
+/// wall-clock- or load-dependent (cancellation, deadlines, shed load,
+/// internal panics) must recompute.
+fn negative_cacheable(error: &OptimizeError) -> bool {
+    matches!(
+        error,
+        OptimizeError::Architecture(_)
+            | OptimizeError::InvalidConfig { .. }
+            | OptimizeError::InvalidSoc { .. }
+    )
 }
 
 /// One resident solution.
@@ -96,8 +133,8 @@ struct CacheEntry {
     soc: u64,
     /// The canonical request text (the collision-proof identity).
     canonical: String,
-    /// The cached response.
-    response: OptimizeResponse,
+    /// The cached response (successful or negative).
+    response: CachedResponse,
     /// Charged size: canonical key plus rendered response.
     bytes: u64,
 }
@@ -152,11 +189,14 @@ impl SolutionCache {
     /// # Errors
     ///
     /// Whatever `compute` returns when this call leads and the
-    /// computation fails (nothing is cached), or
-    /// [`OptimizeError::Cancelled`] / [`OptimizeError::DeadlineExceeded`]
-    /// when this call's own `token` fires while waiting on a leader.
-    /// A leader's failure is *not* propagated to its waiters — they
-    /// retry, and the first retry becomes the next leader.
+    /// computation fails (deterministic failures are cached negatively
+    /// and replayed to identical repeats; transient ones leave the
+    /// cache untouched), a replayed failure when the key has a resident
+    /// negative entry, or [`OptimizeError::Cancelled`] /
+    /// [`OptimizeError::DeadlineExceeded`] when this call's own `token`
+    /// fires while waiting on a leader. A leader's *transient* failure
+    /// is not propagated to its waiters — they retry, and the first
+    /// retry becomes the next leader.
     pub fn run_coalesced<F>(
         &self,
         soc: u64,
@@ -180,15 +220,27 @@ impl SolutionCache {
             {
                 // Touch: move to the hot end.
                 let entry = inner.entries.remove(position);
-                let response = entry.response.clone();
+                let served = entry.response.clone();
                 inner.entries.push(entry);
-                inner.stats.hits += 1;
-                let outcome = if waited {
-                    CacheOutcome::Coalesced
-                } else {
-                    CacheOutcome::Hit
+                return match served {
+                    CachedResponse::Success(response) => {
+                        // The leader-computed vs waiter-coalesced split:
+                        // a direct hit and a waiter waking to find its
+                        // leader's entry are counted apart.
+                        let outcome = if waited {
+                            inner.stats.coalesced_served += 1;
+                            CacheOutcome::Coalesced
+                        } else {
+                            inner.stats.hits += 1;
+                            CacheOutcome::Hit
+                        };
+                        Ok((outcome, response))
+                    }
+                    CachedResponse::Negative(error) => {
+                        inner.stats.negative_hits += 1;
+                        Err(error)
+                    }
                 };
-                return Ok((outcome, response));
             }
 
             let in_flight = inner
@@ -225,8 +277,20 @@ impl SolutionCache {
                 canonical: &canonical,
             };
             let result = (compute.take().expect("leader leads at most once"))();
-            if let Ok(response) = &result {
-                self.insert(soc, hash, &canonical, response);
+            match &result {
+                Ok(response) => self.insert(
+                    soc,
+                    hash,
+                    &canonical,
+                    CachedResponse::Success(response.clone()),
+                ),
+                Err(error) if negative_cacheable(error) => self.insert(
+                    soc,
+                    hash,
+                    &canonical,
+                    CachedResponse::Negative(error.clone()),
+                ),
+                Err(_) => {}
             }
             // Remove the in-flight marker and wake waiters — also runs
             // on unwind if `compute` panicked, so waiters never hang.
@@ -235,10 +299,16 @@ impl SolutionCache {
         }
     }
 
-    /// Admits a successful response, touching it hottest and applying
-    /// the caps.
-    fn insert(&self, soc: u64, hash: u64, canonical: &str, response: &OptimizeResponse) {
-        let rendered = serde_json::to_string(response).expect("responses serialise");
+    /// Admits a successful response or a deterministic failure, touching
+    /// it hottest and applying the caps.
+    fn insert(&self, soc: u64, hash: u64, canonical: &str, response: CachedResponse) {
+        let rendered = match &response {
+            CachedResponse::Success(response) => {
+                serde_json::to_string(response).expect("responses serialise")
+            }
+            CachedResponse::Negative(error) => error.to_string(),
+        };
+        let negative = matches!(response, CachedResponse::Negative(_));
         let bytes = (canonical.len() + rendered.len()) as u64;
         let mut inner = self.lock();
         // A resident duplicate is impossible while our in-flight marker
@@ -250,10 +320,14 @@ impl SolutionCache {
             hash,
             soc,
             canonical: canonical.to_string(),
-            response: response.clone(),
+            response,
             bytes,
         });
-        inner.stats.insertions += 1;
+        if negative {
+            inner.stats.negative_insertions += 1;
+        } else {
+            inner.stats.insertions += 1;
+        }
         loop {
             let total: u64 = inner.entries.iter().map(|entry| entry.bytes).sum();
             let over = inner.entries.len() > self.max_entries || total > self.max_bytes;
@@ -423,8 +497,131 @@ mod tests {
         assert_eq!(computed, 1);
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
-        assert_eq!(stats.hits, threads as u64 - 1);
+        // The split: every non-leader was either a direct hit (arrived
+        // after the leader finished) or a waiter served its leader's
+        // result — never folded together.
+        assert_eq!(stats.hits + stats.coalesced_served, threads as u64 - 1);
         assert!(stats.coalesced_waits >= 1);
+        assert_eq!(
+            stats.coalesced_served, stats.coalesced_waits,
+            "every waiter of a successful leader is served, and only waiters count as coalesced"
+        );
+    }
+
+    #[test]
+    fn leader_computed_and_waiter_coalesced_counts_stay_apart() {
+        // Pins the exact split with a deterministic interleaving: one
+        // leader, one waiter blocked mid-flight, one late direct hit.
+        let cache = Arc::new(SolutionCache::new(8, u64::MAX));
+        let entered = Arc::new(Barrier::new(2));
+        let leader = {
+            let cache = Arc::clone(&cache);
+            let entered = Arc::clone(&entered);
+            thread::spawn(move || {
+                cache.run_coalesced(11, &request(64), &CancelToken::new(), || {
+                    entered.wait();
+                    // Hold the flight open while the waiter blocks.
+                    thread::sleep(Duration::from_millis(150));
+                    Ok(response(0))
+                })
+            })
+        };
+        entered.wait();
+        let (outcome, _) = cache
+            .run_coalesced(11, &request(64), &CancelToken::new(), || {
+                panic!("the waiter must not recompute")
+            })
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Coalesced);
+        leader.join().unwrap().unwrap();
+        let (outcome, _) = cache
+            .run_coalesced(11, &request(64), &CancelToken::new(), || {
+                panic!("the direct hit must not recompute")
+            })
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "one leader");
+        assert_eq!(stats.hits, 1, "one direct hit, waiter not folded in");
+        assert_eq!(stats.coalesced_waits, 1);
+        assert_eq!(stats.coalesced_served, 1);
+    }
+
+    #[test]
+    fn deterministic_failures_are_cached_negatively() {
+        let cache = SolutionCache::new(8, u64::MAX);
+        let token = CancelToken::new();
+        let failure = OptimizeError::InvalidConfig {
+            message: "always broken".into(),
+        };
+        let err = cache
+            .run_coalesced(12, &request(64), &token, || Err(failure.clone()))
+            .unwrap_err();
+        assert_eq!(err, failure);
+        // The repeat replays the cached failure without recomputing.
+        let err = cache
+            .run_coalesced(12, &request(64), &token, || {
+                panic!("negative hit must not recompute")
+            })
+            .unwrap_err();
+        assert_eq!(err, failure);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.negative_insertions, 1);
+        assert_eq!(stats.negative_hits, 1);
+        assert_eq!(stats.insertions, 0);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn transient_failures_are_never_cached() {
+        let cache = SolutionCache::new(8, u64::MAX);
+        let token = CancelToken::new();
+        let runs = AtomicUsize::new(0);
+        for _ in 0..2 {
+            let err = cache
+                .run_coalesced(13, &request(64), &token, || {
+                    runs.fetch_add(1, Ordering::SeqCst);
+                    Err(OptimizeError::Cancelled)
+                })
+                .unwrap_err();
+            assert!(matches!(err, OptimizeError::Cancelled));
+        }
+        assert_eq!(runs.load(Ordering::SeqCst), 2, "every repeat recomputes");
+        let stats = cache.stats();
+        assert_eq!(stats.negative_insertions, 0);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn negative_entries_age_out_of_the_lru() {
+        let cache = SolutionCache::new(2, u64::MAX);
+        let token = CancelToken::new();
+        let failure = OptimizeError::InvalidConfig {
+            message: "always broken".into(),
+        };
+        cache
+            .run_coalesced(14, &request(64), &token, || Err(failure.clone()))
+            .unwrap_err();
+        // Two successes push the (coldest) negative entry out.
+        for channels in [128, 256] {
+            cache
+                .run_coalesced(14, &request(channels), &token, || Ok(response(0)))
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // The failure is gone: the repeat recomputes (and re-caches).
+        let runs = AtomicUsize::new(0);
+        let err = cache
+            .run_coalesced(14, &request(64), &token, || {
+                runs.fetch_add(1, Ordering::SeqCst);
+                Err(failure.clone())
+            })
+            .unwrap_err();
+        assert_eq!(err, failure);
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.stats().negative_insertions, 2);
     }
 
     #[test]

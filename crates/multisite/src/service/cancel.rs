@@ -47,6 +47,9 @@ struct TokenState {
     cancelled: AtomicBool,
     deadline: Option<Instant>,
     probes: AtomicU64,
+    /// Every poll of the token — sweep-point checks and table-row probes
+    /// alike — for the engine's request traces.
+    polls: AtomicU64,
 }
 
 impl CancelToken {
@@ -67,6 +70,7 @@ impl CancelToken {
                 cancelled: AtomicBool::new(false),
                 deadline,
                 probes: AtomicU64::new(0),
+                polls: AtomicU64::new(0),
             }),
         }
     }
@@ -92,6 +96,7 @@ impl CancelToken {
     /// [`OptimizeError::Cancelled`] after [`CancelToken::cancel`];
     /// [`OptimizeError::DeadlineExceeded`] once the deadline has passed.
     pub fn check(&self) -> Result<(), OptimizeError> {
+        self.inner.polls.fetch_add(1, Ordering::Relaxed);
         if self.is_cancelled() {
             return Err(OptimizeError::Cancelled);
         }
@@ -103,10 +108,19 @@ impl CancelToken {
         Ok(())
     }
 
+    /// How many times this token has been polled so far — sweep-point
+    /// checks and table-row probes alike. This is the cancellation-probe
+    /// count the engine's `RequestTrace` attributes to a request (clones
+    /// share the counter, so a parallel sweep's probes all land here).
+    pub fn polls(&self) -> u64 {
+        self.inner.polls.load(Ordering::Relaxed)
+    }
+
     /// [`CancelToken::check`] for hot paths: the cancelled flag is read
     /// every call, the deadline clock only every
     /// [`DEADLINE_PROBE_STRIDE`]th call.
     fn check_throttled(&self) -> Result<(), OptimizeError> {
+        self.inner.polls.fetch_add(1, Ordering::Relaxed);
         if self.is_cancelled() {
             return Err(OptimizeError::Cancelled);
         }
@@ -206,6 +220,18 @@ mod tests {
         let token = CancelToken::new();
         assert!(!token.is_cancelled());
         assert!(token.check().is_ok());
+    }
+
+    #[test]
+    fn polls_count_every_check_and_are_shared_by_clones() {
+        let token = CancelToken::new();
+        assert_eq!(token.polls(), 0);
+        token.check().unwrap();
+        token.check().unwrap();
+        token.check_throttled().unwrap();
+        assert_eq!(token.polls(), 3);
+        token.clone().check().unwrap();
+        assert_eq!(token.polls(), 4);
     }
 
     #[test]

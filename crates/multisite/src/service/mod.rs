@@ -37,7 +37,8 @@ pub use cancel::CancelToken;
 pub use faults::{FaultPlan, Stage, FAULTS_ENV_VAR};
 pub use protocol::{
     parse_client_frame, render_server_frame, CacheStats, ClientFrame, ErrorFrame, ErrorKind,
-    OptimizeFrame, ResultFrame, ServerFrame, ServerStats, SocSpec,
+    OptimizeFrame, Provenance, RequestStats, ResultFrame, ServerFrame, ServerStats, SocSpec,
+    TraceSummary,
 };
 pub use registry::{RegistryStats, SessionHandle, SessionRegistry};
 pub use server::{Server, ServerConfig, ROWS_FILE};

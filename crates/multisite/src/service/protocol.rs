@@ -78,8 +78,8 @@ impl Deserialize for SocSpec {
 
 /// One optimizer request on the wire: an id chosen by the client (echoed
 /// on every frame about this request), the target SOC, the typed engine
-/// request, and an optional deadline.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+/// request, an optional deadline, and an opt-in statistics flag.
+#[derive(Debug, Clone, PartialEq)]
 pub struct OptimizeFrame {
     /// Client-chosen correlation id; must be unique among in-flight
     /// requests.
@@ -92,26 +92,53 @@ pub struct OptimizeFrame {
     /// expired request answers [`ErrorKind::DeadlineExceeded`]. Absent or
     /// `null` means no deadline.
     pub deadline_ms: Option<u64>,
+    /// Opt-in per-request statistics: when `true`, the answering
+    /// [`ResultFrame`] carries a [`RequestStats`] block. Absent means
+    /// `false`, and a `false` flag is omitted on the wire, so frames
+    /// that never ask for statistics serialise exactly as before.
+    pub stats: bool,
+}
+
+// Hand-written (not derived) so a `false` stats flag is omitted: frames
+// from stats-unaware clients round-trip byte-identically.
+impl Serialize for OptimizeFrame {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("request_id".to_string(), self.request_id.to_value()),
+            ("soc".to_string(), self.soc.to_value()),
+            ("request".to_string(), self.request.to_value()),
+            ("deadline_ms".to_string(), self.deadline_ms.to_value()),
+        ];
+        if self.stats {
+            fields.push(("stats".to_string(), self.stats.to_value()));
+        }
+        Value::Object(fields)
+    }
 }
 
 impl Deserialize for OptimizeFrame {
     fn from_value(value: &Value) -> Result<Self, SerdeError> {
         expect_fields(
             value,
-            &["request_id", "soc", "request", "deadline_ms"],
+            &["request_id", "soc", "request", "deadline_ms", "stats"],
             "OptimizeFrame",
         )?;
-        // `deadline_ms` may be omitted entirely (None), unlike the other
-        // fields, which are required.
+        // `deadline_ms` and `stats` may be omitted entirely, unlike the
+        // other fields, which are required.
         let deadline_ms = match value.get("deadline_ms") {
             None => None,
             Some(raw) => Option::<u64>::from_value(raw)?,
+        };
+        let stats = match value.get("stats") {
+            None => false,
+            Some(raw) => bool::from_value(raw)?,
         };
         Ok(OptimizeFrame {
             request_id: serde::get_field(value, "request_id", "OptimizeFrame")?,
             soc: serde::get_field(value, "soc", "OptimizeFrame")?,
             request: serde::get_field(value, "request", "OptimizeFrame")?,
             deadline_ms,
+            stats,
         })
     }
 }
@@ -212,8 +239,60 @@ impl From<&OptimizeError> for ErrorKind {
     }
 }
 
+/// How a request's response was obtained — the per-request cache
+/// provenance reported in the opt-in [`RequestStats`] block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Provenance {
+    /// Served from a resident solution-cache entry without waiting.
+    Hit,
+    /// Blocked on an identical in-flight computation, then served its
+    /// leader's result.
+    Coalesced,
+    /// This request led the computation (a genuine cache miss).
+    Computed,
+}
+
+/// The opt-in per-request `stats` block on a [`ResultFrame`], present
+/// only when the request's [`OptimizeFrame::stats`] flag was set.
+///
+/// Every field is race-deterministic for a given input stream at any
+/// thread count, so stats-enabled transcripts remain golden-checkable:
+/// cell deltas use first-swap-wins counting and the store counter is
+/// first-insert-deterministic. Run-specific measurements (wall/CPU time,
+/// pool occupancy) deliberately stay off the wire — `soc-serve
+/// --stats-summary` reports them on stderr instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestStats {
+    /// How the response was obtained.
+    pub provenance: Provenance,
+    /// `(module, width)` table cells this request materialised (computed,
+    /// replayed from the row store, or inherited across a table regrow).
+    /// Zero for cache hits.
+    pub cells_built: u64,
+    /// Cells this request inherited by forcing a table regrow.
+    pub cells_inherited: u64,
+    /// Module rows this request computed fresh into the shared row store
+    /// (first insert of a `(shape, width)` pair).
+    pub store_cells_computed: u64,
+}
+
+/// Deterministic aggregate of every stats-enabled request of a session,
+/// carried in the final `Bye` frame — but only when at least one request
+/// opted in, so stats-off transcripts stay byte-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Requests that asked for statistics (served or failed).
+    pub requests: u64,
+    /// Total table cells those requests materialised.
+    pub cells_built: u64,
+    /// Total cells inherited across table regrows.
+    pub cells_inherited: u64,
+    /// Total module rows computed fresh into the row store.
+    pub store_cells_computed: u64,
+}
+
 /// A successful answer to one [`OptimizeFrame`].
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResultFrame {
     /// The id of the request this answers.
     pub request_id: String,
@@ -226,20 +305,45 @@ pub struct ResultFrame {
     pub cached: bool,
     /// The engine's response.
     pub response: OptimizeResponse,
+    /// The opt-in statistics block; `None` (and omitted on the wire)
+    /// unless the request set [`OptimizeFrame::stats`].
+    pub stats: Option<RequestStats>,
+}
+
+// Hand-written (not derived) so an absent stats block is omitted: result
+// frames for stats-off requests serialise exactly as before.
+impl Serialize for ResultFrame {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("request_id".to_string(), self.request_id.to_value()),
+            ("warm".to_string(), self.warm.to_value()),
+            ("cached".to_string(), self.cached.to_value()),
+            ("response".to_string(), self.response.to_value()),
+        ];
+        if let Some(stats) = &self.stats {
+            fields.push(("stats".to_string(), stats.to_value()));
+        }
+        Value::Object(fields)
+    }
 }
 
 impl Deserialize for ResultFrame {
     fn from_value(value: &Value) -> Result<Self, SerdeError> {
         expect_fields(
             value,
-            &["request_id", "warm", "cached", "response"],
+            &["request_id", "warm", "cached", "response", "stats"],
             "ResultFrame",
         )?;
+        let stats = match value.get("stats") {
+            None => None,
+            Some(raw) => Option::<RequestStats>::from_value(raw)?,
+        };
         Ok(ResultFrame {
             request_id: serde::get_field(value, "request_id", "ResultFrame")?,
             warm: serde::get_field(value, "warm", "ResultFrame")?,
             cached: serde::get_field(value, "cached", "ResultFrame")?,
             response: serde::get_field(value, "response", "ResultFrame")?,
+            stats,
         })
     }
 }
@@ -295,13 +399,18 @@ impl Deserialize for ErrorFrame {
 /// transcripts can compare `Bye` byte-for-byte.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
-    /// Requests served straight from the solution cache (including
-    /// coalesced waiters).
+    /// Requests served from an already-resident solution-cache entry
+    /// without waiting (waiter-coalesced serves are counted separately
+    /// in [`CacheStats::coalesced_served`], never folded in here).
     pub result_hits: u64,
-    /// Requests that computed their response (successfully or not).
+    /// Requests that led a computation (successfully or not).
     pub result_misses: u64,
     /// Requests that blocked on an identical in-flight computation.
     pub coalesced_waits: u64,
+    /// Requests that, after blocking, were served a leader's result
+    /// instead of recomputing — the waiter-coalesced half of what
+    /// `result_hits` used to conflate.
+    pub coalesced_served: u64,
     /// Bytes resident in the solution cache at shutdown.
     pub result_bytes: u64,
     /// Module-row cells computed fresh this session (first insert of a
@@ -315,7 +424,7 @@ pub struct CacheStats {
 }
 
 /// End-of-session statistics, answered in the final `Bye` frame.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// `Result` frames written.
     pub served: u64,
@@ -331,6 +440,51 @@ pub struct ServerStats {
     pub evictions: u64,
     /// Solution-cache and row-store counters.
     pub cache: CacheStats,
+    /// Aggregate of the stats-enabled requests; `None` (and omitted on
+    /// the wire) when no request of the session opted in.
+    pub trace: Option<TraceSummary>,
+}
+
+// Hand-written (not derived) so an absent trace block is omitted: `Bye`
+// frames of stats-off sessions serialise exactly as before.
+impl Serialize for ServerStats {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("served".to_string(), self.served.to_value()),
+            ("errors".to_string(), self.errors.to_value()),
+            (
+                "sessions_created".to_string(),
+                self.sessions_created.to_value(),
+            ),
+            ("session_hits".to_string(), self.session_hits.to_value()),
+            ("session_misses".to_string(), self.session_misses.to_value()),
+            ("evictions".to_string(), self.evictions.to_value()),
+            ("cache".to_string(), self.cache.to_value()),
+        ];
+        if let Some(trace) = &self.trace {
+            fields.push(("trace".to_string(), trace.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for ServerStats {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let trace = match value.get("trace") {
+            None => None,
+            Some(raw) => Option::<TraceSummary>::from_value(raw)?,
+        };
+        Ok(ServerStats {
+            served: serde::get_field(value, "served", "ServerStats")?,
+            errors: serde::get_field(value, "errors", "ServerStats")?,
+            sessions_created: serde::get_field(value, "sessions_created", "ServerStats")?,
+            session_hits: serde::get_field(value, "session_hits", "ServerStats")?,
+            session_misses: serde::get_field(value, "session_misses", "ServerStats")?,
+            evictions: serde::get_field(value, "evictions", "ServerStats")?,
+            cache: serde::get_field(value, "cache", "ServerStats")?,
+            trace,
+        })
+    }
 }
 
 /// One line of server output.
@@ -372,6 +526,7 @@ impl Deserialize for ServerFrame {
                         "session_misses",
                         "evictions",
                         "cache",
+                        "trace",
                     ],
                     "ServerFrame::Bye",
                 )?;
@@ -430,12 +585,14 @@ mod tests {
                 soc: SocSpec::Named("d695".into()),
                 request: sample_request(),
                 deadline_ms: Some(250),
+                stats: false,
             }),
             ClientFrame::Optimize(OptimizeFrame {
                 request_id: "r2".into(),
                 soc: SocSpec::Inline("soc t\n".into()),
                 request: sample_request().with_sweep(SweepAxis::Channels(vec![32, 64])),
                 deadline_ms: None,
+                stats: true,
             }),
             ClientFrame::Cancel {
                 request_id: "r1".into(),
@@ -477,11 +634,23 @@ mod tests {
                     result_hits: 2,
                     result_misses: 2,
                     coalesced_waits: 1,
+                    coalesced_served: 1,
                     result_bytes: 4096,
                     cells_computed: 77,
                     store_cells_loaded: 11,
                     store_rows_saved: 5,
                 },
+                trace: None,
+            }),
+            ServerFrame::Bye(ServerStats {
+                served: 1,
+                trace: Some(TraceSummary {
+                    requests: 1,
+                    cells_built: 640,
+                    cells_inherited: 0,
+                    store_cells_computed: 320,
+                }),
+                ..ServerStats::default()
             }),
         ];
         for frame in &frames {
@@ -489,6 +658,59 @@ mod tests {
             let back: ServerFrame = serde_json::from_str(&json).unwrap();
             assert_eq!(&back, frame, "round trip failed for {json}");
         }
+    }
+
+    #[test]
+    fn stats_flag_and_blocks_are_omitted_when_off() {
+        // A stats-off Optimize frame must serialise without a `stats`
+        // key at all — stats-unaware clients and goldens see identical
+        // bytes.
+        let off = ClientFrame::Optimize(OptimizeFrame {
+            request_id: "r1".into(),
+            soc: SocSpec::Named("d695".into()),
+            request: sample_request(),
+            deadline_ms: None,
+            stats: false,
+        });
+        let rendered = serde_json::to_string(&off).unwrap();
+        assert!(!rendered.contains("\"stats\""), "{rendered}");
+        // ...and an explicit `"stats":true` round-trips.
+        let on = rendered.replace(
+            "\"deadline_ms\":null}",
+            "\"deadline_ms\":null,\"stats\":true}",
+        );
+        match parse_client_frame(&on).unwrap() {
+            ClientFrame::Optimize(frame) => assert!(frame.stats),
+            other => panic!("unexpected frame {other:?}"),
+        }
+        // Result frames omit an absent block and round-trip a present
+        // one; Bye omits an absent trace summary.
+        let result = ServerFrame::Result(ResultFrame {
+            request_id: "r1".into(),
+            warm: false,
+            cached: true,
+            response: OptimizeResponse::Curves(vec![]),
+            stats: None,
+        });
+        assert!(!render_server_frame(&result).contains("\"stats\""));
+        let with_stats = ServerFrame::Result(ResultFrame {
+            request_id: "r1".into(),
+            warm: true,
+            cached: false,
+            response: OptimizeResponse::Curves(vec![]),
+            stats: Some(RequestStats {
+                provenance: Provenance::Computed,
+                cells_built: 9,
+                cells_inherited: 2,
+                store_cells_computed: 7,
+            }),
+        });
+        let json = render_server_frame(&with_stats);
+        assert!(json.contains("\"provenance\":\"Computed\""), "{json}");
+        let back: ServerFrame = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, with_stats);
+        let bye = render_server_frame(&ServerFrame::Bye(ServerStats::default()));
+        assert!(!bye.contains("\"trace\""), "{bye}");
     }
 
     #[test]

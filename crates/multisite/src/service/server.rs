@@ -18,13 +18,15 @@
 //! for a given input stream (modulo wall-clock effects the client asked
 //! for: deadlines and cancellation races).
 
+use crate::engine::RequestTrace;
 use crate::error::OptimizeError;
-use crate::service::cache::SolutionCache;
+use crate::service::cache::{CacheOutcome, SolutionCache};
 use crate::service::cancel::CancelToken;
 use crate::service::faults::{FaultPlan, Stage};
 use crate::service::protocol::{
     parse_client_frame, render_server_frame, CacheStats, ClientFrame, ErrorFrame, ErrorKind,
-    OptimizeFrame, ResultFrame, ServerFrame, ServerStats, SocSpec,
+    OptimizeFrame, Provenance, RequestStats, ResultFrame, ServerFrame, ServerStats, SocSpec,
+    TraceSummary,
 };
 use crate::service::registry::SessionRegistry;
 use crate::service::resolve_named_soc;
@@ -32,6 +34,7 @@ use soctest_soc_model::parser::parse_soc;
 use soctest_soc_model::validate::{Severity, ValidationIssue};
 use soctest_soc_model::Soc;
 use soctest_tam::RowStore;
+use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, Write};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -73,6 +76,12 @@ pub struct ServerConfig {
     pub cache_dir: Option<PathBuf>,
     /// The armed fault plan (empty in production).
     pub faults: FaultPlan,
+    /// Trace every request (not only those with the wire `stats` flag),
+    /// feeding the in-process [`Server::session_trace`] aggregate —
+    /// what `soc-serve --stats-summary` turns into its utilization
+    /// report. Off by default: untraced requests skip the epoch
+    /// snapshots entirely, keeping the stats-off path zero-cost.
+    pub trace_all: bool,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +94,7 @@ impl Default for ServerConfig {
             max_result_bytes: 64 * 1024 * 1024,
             cache_dir: None,
             faults: FaultPlan::none(),
+            trace_all: false,
         }
     }
 }
@@ -136,6 +146,19 @@ pub struct Server {
     /// is decided, so `Cancel` for a finished id answers
     /// [`ErrorKind::UnknownRequest`].
     tokens: Mutex<HashMap<String, CancelToken>>,
+    /// Merged [`RequestTrace`] of every traced request (wire `stats`
+    /// flag or [`ServerConfig::trace_all`]), exposed via
+    /// [`Server::session_trace`].
+    trace: Mutex<RequestTrace>,
+}
+
+/// What [`Server::execute`] hands back to the executor loop: the frame
+/// to write, the engine trace when the run was traced, and whether the
+/// client asked for wire statistics.
+struct Executed {
+    frame: ServerFrame,
+    trace: Option<RequestTrace>,
+    wants_stats: bool,
 }
 
 impl Server {
@@ -166,6 +189,7 @@ impl Server {
             }),
             queue_ready: Condvar::new(),
             tokens: Mutex::new(HashMap::new()),
+            trace: Mutex::new(RequestTrace::default()),
         }
     }
 
@@ -173,6 +197,15 @@ impl Server {
     /// every session its registry builds).
     pub fn row_store(&self) -> &Arc<RowStore> {
         &self.row_store
+    }
+
+    /// The merged [`RequestTrace`] of every traced request served so
+    /// far — requests that set the wire `stats` flag, plus all requests
+    /// when [`ServerConfig::trace_all`] is on. Includes the
+    /// run-specific measurements (wall/CPU time, pool occupancy) that
+    /// deliberately stay off the wire.
+    pub fn session_trace(&self) -> RequestTrace {
+        *lock(&self.trace)
     }
 
     /// Serves one NDJSON session: reads `input` to EOF (or a `Shutdown`
@@ -299,14 +332,28 @@ impl Server {
     /// panic isolation, writes every frame, and closes with `Bye`.
     fn run_executor<W: Write>(&self, mut output: W) -> std::io::Result<ServerStats> {
         let mut stats = ServerStats::default();
+        // The wire aggregate covers only requests that asked for stats,
+        // so stats-off sessions answer a byte-identical `Bye`.
+        let mut wire_trace = RequestTrace::default();
+        let mut stats_requests = 0u64;
         while let Some(item) = self.next_item() {
             let frame = match item {
                 QueueItem::Note(frame) => frame,
                 QueueItem::Run(job) => {
                     let request_id = job.frame.request_id.clone();
-                    let frame = self.execute(job);
+                    let executed = self.execute(job);
                     lock(&self.tokens).remove(&request_id);
-                    frame
+                    if let Some(trace) = &executed.trace {
+                        let mut session = lock(&self.trace);
+                        *session = session.merge(trace);
+                    }
+                    if executed.wants_stats {
+                        stats_requests += 1;
+                        if let Some(trace) = &executed.trace {
+                            wire_trace = wire_trace.merge(trace);
+                        }
+                    }
+                    executed.frame
                 }
             };
             match &frame {
@@ -333,11 +380,18 @@ impl Server {
             result_hits: solutions.hits,
             result_misses: solutions.misses,
             coalesced_waits: solutions.coalesced_waits,
+            coalesced_served: solutions.coalesced_served,
             result_bytes: solutions.bytes,
             cells_computed: self.row_store.stats().cells_computed,
             store_cells_loaded: self.store_cells_loaded,
             store_rows_saved,
         };
+        stats.trace = (stats_requests > 0).then(|| TraceSummary {
+            requests: stats_requests,
+            cells_built: wire_trace.cells_built(),
+            cells_inherited: wire_trace.table.cells_inherited,
+            store_cells_computed: wire_trace.store.cells_computed,
+        });
         writeln!(output, "{}", render_server_frame(&ServerFrame::Bye(stats)))?;
         output.flush()?;
         Ok(stats)
@@ -366,21 +420,32 @@ impl Server {
 
     /// Serves one admitted request, converting every failure mode —
     /// typed optimizer errors, cancellation, deadline expiry, and
-    /// outright panics — into its frame.
-    fn execute(&self, job: Job) -> ServerFrame {
+    /// outright panics — into its frame, and attaching the request's
+    /// [`RequestTrace`] when the request (or [`ServerConfig::trace_all`])
+    /// asked for one.
+    fn execute(&self, job: Job) -> Executed {
         let Job { frame, token } = job;
         let OptimizeFrame {
             request_id,
             soc,
             request,
+            stats: wants_stats,
             ..
         } = frame;
+        let traced = wants_stats || self.config.trace_all;
         // Cancelled while queued / deadline expired while queued: answer
         // without touching the engine.
         if let Err(error) = token.check() {
-            return ServerFrame::Error(ErrorFrame::from_error(request_id, &error));
+            return Executed {
+                frame: ServerFrame::Error(ErrorFrame::from_error(request_id, &error)),
+                trace: None,
+                wants_stats,
+            };
         }
         let faults = &self.config.faults;
+        // Written by the compute closure when this request leads the
+        // computation; stays `None` on cache hits and coalesced waits.
+        let trace_slot = Cell::new(None);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             faults.fire(Stage::Optimize, &request_id);
             let soc = resolve_soc_spec(&soc)?;
@@ -392,7 +457,14 @@ impl Server {
             let (cache_outcome, response) =
                 self.solutions
                     .run_coalesced(handle.key, &request, &token, || {
-                        let served = handle.engine.run_with_cancel(&request, &token);
+                        let served = if traced {
+                            let (served, trace) =
+                                handle.engine.run_with_cancel_traced(&request, &token);
+                            trace_slot.set(Some(trace));
+                            served
+                        } else {
+                            handle.engine.run_with_cancel(&request, &token)
+                        };
                         // Re-charge the session's (possibly grown) table
                         // before inspecting the result, so even failed
                         // runs account.
@@ -400,21 +472,54 @@ impl Server {
                         served
                     })?;
             faults.fire(Stage::Respond, &request_id);
-            Ok((handle.warm, cache_outcome.is_cached(), response))
+            Ok((handle.warm, cache_outcome, response))
         }));
+        let trace = trace_slot.take();
         match outcome {
-            Ok(Ok((warm, cached, response))) => ServerFrame::Result(ResultFrame {
-                request_id,
-                warm,
-                cached,
-                response,
-            }),
-            Ok(Err(error)) => ServerFrame::Error(ErrorFrame::from_error(request_id, &error)),
-            Err(payload) => ServerFrame::Error(ErrorFrame {
-                request_id: Some(request_id),
-                kind: ErrorKind::Internal,
-                message: format!("request panicked: {}", panic_message(payload.as_ref())),
-            }),
+            Ok(Ok((warm, cache_outcome, response))) => {
+                let stats = wants_stats.then(|| {
+                    let provenance = match cache_outcome {
+                        CacheOutcome::Hit => Provenance::Hit,
+                        CacheOutcome::Coalesced => Provenance::Coalesced,
+                        CacheOutcome::Computed => Provenance::Computed,
+                    };
+                    // Served-from-cache requests did no table work: the
+                    // deltas are zero by construction, keeping the block
+                    // race-deterministic across thread counts.
+                    let trace = trace.unwrap_or_default();
+                    RequestStats {
+                        provenance,
+                        cells_built: trace.cells_built(),
+                        cells_inherited: trace.table.cells_inherited,
+                        store_cells_computed: trace.store.cells_computed,
+                    }
+                });
+                Executed {
+                    frame: ServerFrame::Result(ResultFrame {
+                        request_id,
+                        warm,
+                        cached: cache_outcome.is_cached(),
+                        response,
+                        stats,
+                    }),
+                    trace,
+                    wants_stats,
+                }
+            }
+            Ok(Err(error)) => Executed {
+                frame: ServerFrame::Error(ErrorFrame::from_error(request_id, &error)),
+                trace,
+                wants_stats,
+            },
+            Err(payload) => Executed {
+                frame: ServerFrame::Error(ErrorFrame {
+                    request_id: Some(request_id),
+                    kind: ErrorKind::Internal,
+                    message: format!("request panicked: {}", panic_message(payload.as_ref())),
+                }),
+                trace,
+                wants_stats,
+            },
         }
     }
 }
@@ -534,6 +639,18 @@ mod tests {
             soc,
             request: sample_request(),
             deadline_ms,
+            stats: false,
+        }))
+        .unwrap()
+    }
+
+    fn optimize_line_stats(request_id: &str, soc: SocSpec) -> String {
+        serde_json::to_string(&ClientFrame::Optimize(OptimizeFrame {
+            request_id: request_id.to_string(),
+            soc,
+            request: sample_request(),
+            deadline_ms: None,
+            stats: true,
         }))
         .unwrap()
     }
@@ -591,6 +708,94 @@ mod tests {
         assert_eq!(stats.cache.result_misses, 1);
         assert!(stats.cache.result_bytes > 0);
         assert!(stats.cache.cells_computed > 0);
+    }
+
+    #[test]
+    fn stats_requests_carry_provenance_and_a_bye_trace() {
+        let input = format!(
+            "{}\n{}\n{}\n\"Shutdown\"\n",
+            optimize_line_stats("r1", SocSpec::Named("d695".into())),
+            optimize_line_stats("r2", SocSpec::Named("d695".into())),
+            optimize_line("r3", SocSpec::Named("d695".into()), None),
+        );
+        let (frames, stats) = run_session(ServerConfig::default(), &input);
+        assert_eq!(frames.len(), 4);
+        let results: Vec<&ResultFrame> = frames[..3]
+            .iter()
+            .map(|frame| match frame {
+                ServerFrame::Result(result) => result,
+                other => panic!("expected result, got {other:?}"),
+            })
+            .collect();
+        // r1 computes: its stats block attributes the table work.
+        let first = results[0].stats.expect("r1 opted in");
+        assert_eq!(first.provenance, Provenance::Computed);
+        assert!(first.cells_built > 0);
+        // r2 repeats r1 and is served from the cache without table work.
+        let second = results[1].stats.expect("r2 opted in");
+        assert_eq!(second.provenance, Provenance::Hit);
+        assert_eq!(second.cells_built, 0);
+        assert_eq!(second.store_cells_computed, 0);
+        // r3 did not opt in: no block, even though it hit the cache too.
+        assert!(results[2].stats.is_none());
+        assert!(results[2].cached);
+        // The Bye trace aggregates exactly the two opted-in requests.
+        let trace = stats.trace.expect("two requests opted in");
+        assert_eq!(trace.requests, 2);
+        assert_eq!(trace.cells_built, first.cells_built);
+        // The session-wide in-process trace saw the same single engine run.
+        let session = Server::new(ServerConfig::default());
+        assert_eq!(session.session_trace().requests, 0);
+    }
+
+    #[test]
+    fn stats_flag_never_perturbs_the_response_payload() {
+        let plain = format!(
+            "{}\n\"Shutdown\"\n",
+            optimize_line("r1", SocSpec::Named("d695".into()), None),
+        );
+        let traced = format!(
+            "{}\n\"Shutdown\"\n",
+            optimize_line_stats("r1", SocSpec::Named("d695".into())),
+        );
+        let (plain_frames, plain_stats) = run_session(ServerConfig::default(), &plain);
+        let (traced_frames, _) = run_session(ServerConfig::default(), &traced);
+        match (&plain_frames[0], &traced_frames[0]) {
+            (ServerFrame::Result(p), ServerFrame::Result(t)) => {
+                assert_eq!(p.response, t.response);
+                assert!(p.stats.is_none());
+                assert!(t.stats.is_some());
+            }
+            other => panic!("expected two results, got {other:?}"),
+        }
+        // A stats-off session answers a Bye without a trace block.
+        assert!(plain_stats.trace.is_none());
+    }
+
+    #[test]
+    fn trace_all_feeds_the_session_trace_without_wire_stats() {
+        let config = ServerConfig {
+            trace_all: true,
+            ..ServerConfig::default()
+        };
+        let server = Server::new(config);
+        let input = format!(
+            "{}\n\"Shutdown\"\n",
+            optimize_line("r1", SocSpec::Named("d695".into()), None),
+        );
+        let mut output = Vec::new();
+        let stats = server
+            .serve(Cursor::new(input), &mut output)
+            .expect("serve");
+        // Nothing on the wire...
+        assert!(stats.trace.is_none());
+        let text = String::from_utf8(output).unwrap();
+        assert!(!text.contains("\"stats\""));
+        assert!(!text.contains("\"trace\""));
+        // ...but the in-process aggregate recorded the run.
+        let trace = server.session_trace();
+        assert_eq!(trace.requests, 1);
+        assert!(trace.cells_built() > 0);
     }
 
     #[test]
@@ -767,6 +972,7 @@ mod tests {
                 soc: SocSpec::Named(name.to_string()),
                 request: OptimizeRequest::new(OptimizerConfig::new(cell)),
                 deadline_ms: None,
+                stats: false,
             }))
             .unwrap()
         };

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use soctest_ate::{AteSpec, ProbeStation, TestCell};
 use soctest_multisite::service::{
     parse_client_frame, render_server_frame, CacheStats, ClientFrame, ErrorFrame, ErrorKind,
-    OptimizeFrame, ServerFrame, ServerStats, SocSpec,
+    OptimizeFrame, ServerFrame, ServerStats, SocSpec, TraceSummary,
 };
 use soctest_multisite::{OptimizeRequest, OptimizerConfig, SweepAxis};
 
@@ -79,6 +79,7 @@ prop_compose! {
         request in arb_request(),
         deadline_ms in 0u64..100_000,
         with_deadline in 0u8..2,
+        with_stats in 0u8..2,
     ) -> ClientFrame {
         match which {
             0 => ClientFrame::Optimize(OptimizeFrame {
@@ -86,6 +87,7 @@ prop_compose! {
                 soc,
                 request,
                 deadline_ms: (with_deadline == 1).then_some(deadline_ms),
+                stats: with_stats == 1,
             }),
             1 => ClientFrame::Cancel { request_id },
             _ => ClientFrame::Shutdown,
@@ -100,7 +102,8 @@ prop_compose! {
         anonymous in 0u8..2,
         kind_index in 0usize..9,
         message in arb_id(),
-        counters in vec(0u64..10_000, 13),
+        counters in vec(0u64..10_000, 18),
+        with_trace in 0u8..2,
     ) -> ServerFrame {
         let kinds = [
             ErrorKind::Protocol,
@@ -130,11 +133,18 @@ prop_compose! {
                     result_hits: counters[6],
                     result_misses: counters[7],
                     coalesced_waits: counters[8],
-                    result_bytes: counters[9],
-                    cells_computed: counters[10],
-                    store_cells_loaded: counters[11],
-                    store_rows_saved: counters[12],
+                    coalesced_served: counters[9],
+                    result_bytes: counters[10],
+                    cells_computed: counters[11],
+                    store_cells_loaded: counters[12],
+                    store_rows_saved: counters[13],
                 },
+                trace: (with_trace == 1).then_some(TraceSummary {
+                    requests: counters[14],
+                    cells_built: counters[15],
+                    cells_inherited: counters[16],
+                    store_cells_computed: counters[17],
+                }),
             }),
         }
     }
@@ -187,6 +197,7 @@ proptest! {
             soc,
             request,
             deadline_ms: None,
+            stats: false,
         });
         let line = serde_json::to_string(&frame).expect("client frames serialise");
         // Splice an unexpected field into the Optimize body. `bogus` is

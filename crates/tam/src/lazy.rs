@@ -68,6 +68,58 @@ thread_local! {
     static SCRATCH: RefCell<ShapeScratch> = RefCell::new(ShapeScratch::new());
 }
 
+/// A point-in-time snapshot of a [`LazyTimeTable`]'s materialisation
+/// counters, taken with [`LazyTimeTable::stats_epoch`].
+///
+/// The epoch/diff pattern is what turns engine-lifetime totals into
+/// per-request attribution: snapshot before serving a request, snapshot
+/// after, and [`StatsEpoch::delta_since`] yields exactly what that
+/// request added — cells computed fresh, cells replayed from the row
+/// store, cells inherited by a regrow, pages allocated.
+///
+/// Determinism: the deltas of [`StatsEpoch::cells_built`],
+/// `cells_inherited` and `pages_allocated` are race-deterministic at any
+/// thread count (first-swap-wins counting admits exactly one counted
+/// writer per cell); the *split* between `cells_computed` and
+/// `cells_from_store` can shift when concurrent probes race a store
+/// publication, so wire-visible stats should report the sum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct StatsEpoch {
+    /// Cells computed fresh by the table at snapshot time.
+    pub cells_computed: u64,
+    /// Cells filled from the attached row store at snapshot time.
+    pub cells_from_store: u64,
+    /// Cells copied from a predecessor table at snapshot time.
+    pub cells_inherited: u64,
+    /// Cell pages allocated at snapshot time.
+    pub pages_allocated: u64,
+}
+
+impl StatsEpoch {
+    /// Counter growth from `earlier` to `self`, saturating: diffing
+    /// epochs of two different tables (e.g. across a regrow) yields
+    /// zeros for counters that restarted, never a wrapped giant.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &StatsEpoch) -> StatsEpoch {
+        StatsEpoch {
+            cells_computed: self.cells_computed.saturating_sub(earlier.cells_computed),
+            cells_from_store: self
+                .cells_from_store
+                .saturating_sub(earlier.cells_from_store),
+            cells_inherited: self.cells_inherited.saturating_sub(earlier.cells_inherited),
+            pages_allocated: self.pages_allocated.saturating_sub(earlier.pages_allocated),
+        }
+    }
+
+    /// Cells materialised however they got here — the race-deterministic
+    /// total ([`LazyTimeTable::cells_built`] at snapshot time).
+    #[must_use]
+    pub fn cells_built(&self) -> u64 {
+        self.cells_computed + self.cells_from_store + self.cells_inherited
+    }
+}
+
 /// The lazily-materialised cell state of one module.
 #[derive(Debug)]
 struct ModuleCells {
@@ -324,6 +376,19 @@ impl LazyTimeTable {
         }
     }
 
+    /// A snapshot of the materialisation counters for per-request
+    /// attribution: take one epoch before a unit of work, another after,
+    /// and [`StatsEpoch::delta_since`] is what the work added. Four
+    /// relaxed loads — cheap enough to take per request.
+    pub fn stats_epoch(&self) -> StatsEpoch {
+        StatsEpoch {
+            cells_computed: self.computed.load(Ordering::Relaxed) as u64,
+            cells_from_store: self.from_store.load(Ordering::Relaxed) as u64,
+            cells_inherited: self.inherited.load(Ordering::Relaxed) as u64,
+            pages_allocated: self.pages_allocated.load(Ordering::Relaxed) as u64,
+        }
+    }
+
     /// Number of `(module, width)` cells materialised so far, however they
     /// got here: computed fresh, served by the row store, or inherited
     /// from the table [`LazyTimeTable::grown`] regrew.
@@ -434,6 +499,37 @@ mod tests {
         assert_eq!(lazy.cells_built(), 1);
         assert_eq!(lazy.cells_total(), soc.num_modules() * 24);
         assert!(lazy.build_ratio() > 0.0 && lazy.build_ratio() < 1.0);
+    }
+
+    #[test]
+    fn stats_epoch_deltas_attribute_per_request_work() {
+        let soc = d695();
+        let lazy = LazyTimeTable::new(&soc, 24);
+        let e0 = lazy.stats_epoch();
+        assert_eq!(e0, StatsEpoch::default());
+        lazy.time(ModuleId(0), 5);
+        lazy.time(ModuleId(1), 5);
+        let e1 = lazy.stats_epoch();
+        let d1 = e1.delta_since(&e0);
+        assert_eq!(d1.cells_computed, 2);
+        assert_eq!(d1.cells_built(), 2);
+        assert_eq!(d1.pages_allocated, 2);
+        lazy.time(ModuleId(0), 5); // cached probe adds nothing
+        lazy.time(ModuleId(2), 7);
+        let d2 = lazy.stats_epoch().delta_since(&e1);
+        assert_eq!(d2.cells_computed, 1);
+        // Per-step deltas sum to the lifetime totals.
+        assert_eq!(
+            d1.cells_built() + d2.cells_built(),
+            lazy.cells_built() as u64
+        );
+        // A regrown table restarts its counters; diffing across the swap
+        // saturates to zero instead of wrapping.
+        let wide = lazy.grown(96);
+        let regrown = wide.stats_epoch();
+        assert_eq!(regrown.cells_computed, 0);
+        assert_eq!(regrown.cells_inherited, lazy.cells_built() as u64);
+        assert_eq!(e1.delta_since(&regrown).cells_inherited, 0);
     }
 
     #[test]

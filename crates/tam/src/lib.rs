@@ -69,7 +69,37 @@ pub mod timetable;
 
 pub use architecture::{ChannelGroup, TestArchitecture};
 pub use error::TamError;
-pub use lazy::LazyTimeTable;
+pub use lazy::{LazyTimeTable, StatsEpoch};
 pub use schedule::{ScheduleEntry, TestSchedule};
 pub use store::{RowStore, RowStoreStats, StoreError, StoreRow};
 pub use timetable::{clamped_tam_width, max_tam_width, TimeLookup, TimeTable};
+
+/// The snapshot/diff counter pattern shared by every observability layer:
+/// take an epoch before a unit of work, another after, and
+/// `delta_since(&earlier)` attributes exactly what the work added.
+/// Implemented by the table epoch ([`StatsEpoch`]), the row-store
+/// counters ([`RowStoreStats`]) and the vendored pool's occupancy
+/// counters ([`rayon::PoolStats`]).
+pub trait EpochDelta: Copy {
+    /// Counter growth from `earlier` to `self` (saturating on restarts).
+    #[must_use]
+    fn delta_since(&self, earlier: &Self) -> Self;
+}
+
+impl EpochDelta for StatsEpoch {
+    fn delta_since(&self, earlier: &Self) -> Self {
+        StatsEpoch::delta_since(self, earlier)
+    }
+}
+
+impl EpochDelta for RowStoreStats {
+    fn delta_since(&self, earlier: &Self) -> Self {
+        RowStoreStats::delta_since(self, earlier)
+    }
+}
+
+impl EpochDelta for rayon::PoolStats {
+    fn delta_since(&self, earlier: &Self) -> Self {
+        rayon::PoolStats::delta_since(self, earlier)
+    }
+}

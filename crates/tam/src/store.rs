@@ -159,6 +159,24 @@ pub struct RowStoreStats {
     pub cells_loaded: u64,
 }
 
+impl RowStoreStats {
+    /// Counter growth from `earlier` to `self` — the same epoch/diff
+    /// pattern as `LazyTimeTable::stats_epoch`, so one request's store
+    /// traffic can be attributed by snapshotting around it. Saturating:
+    /// `rows`/`cells` are resident gauges, so their "delta" is growth
+    /// (never negative), and stale snapshots yield zeros.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &RowStoreStats) -> RowStoreStats {
+        RowStoreStats {
+            rows: self.rows.saturating_sub(earlier.rows),
+            cells: self.cells.saturating_sub(earlier.cells),
+            cells_computed: self.cells_computed.saturating_sub(earlier.cells_computed),
+            cells_served: self.cells_served.saturating_sub(earlier.cells_served),
+            cells_loaded: self.cells_loaded.saturating_sub(earlier.cells_loaded),
+        }
+    }
+}
+
 /// A process-wide, thread-safe store of content-addressed module rows.
 /// See the [module docs](self).
 #[derive(Debug, Default)]

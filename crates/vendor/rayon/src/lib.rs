@@ -33,7 +33,7 @@
 pub mod iter;
 pub mod pool;
 
-pub use pool::{join, scope, Scope};
+pub use pool::{join, scope, PoolStats, Scope};
 
 /// The most commonly used items, mirroring `rayon::prelude`.
 pub mod prelude {
@@ -50,6 +50,14 @@ pub const MIN_PARALLEL_LEN: usize = 2;
 /// parallelism.
 pub fn current_num_threads() -> usize {
     pool::Registry::global().num_threads()
+}
+
+/// Point-in-time occupancy counters of the global pool. Snapshot before
+/// and after a unit of work and diff with [`PoolStats::delta_since`] to
+/// see how its jobs reached their executing threads (own deque, steal,
+/// injector, or inline on the caller).
+pub fn pool_stats() -> PoolStats {
+    pool::Registry::global().stats()
 }
 
 /// Maps `f` over `items` with per-task state from `init`, preserving

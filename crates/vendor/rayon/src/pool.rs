@@ -233,6 +233,53 @@ fn configured_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Point-in-time occupancy counters of the global pool: how queued jobs
+/// reached their executing thread since process start. Snapshot with
+/// [`crate::pool_stats`], diff with [`PoolStats::delta_since`] to
+/// attribute pool traffic to one request or batch.
+///
+/// Counters are maintained with relaxed atomics on the pop paths, so a
+/// snapshot is cheap enough to take per request; under concurrency a
+/// delta attributes *all* pool traffic in the window, not only the
+/// caller's own jobs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct PoolStats {
+    /// Jobs a worker popped from its own deque (LIFO end) — including
+    /// `join` jobs reclaimed un-stolen by their publisher.
+    pub jobs_local: u64,
+    /// Jobs taken from another worker's deque (FIFO end): actual steals.
+    pub jobs_stolen: u64,
+    /// Jobs drained from the external injector queue (submitted by
+    /// threads outside the pool).
+    pub jobs_injected: u64,
+    /// Parallel primitives that ran inline on the calling thread instead
+    /// of queueing (single-thread pool, sub-[`crate::MIN_PARALLEL_LEN`]
+    /// inputs, or a task cap of one).
+    pub inline_runs: u64,
+}
+
+impl PoolStats {
+    /// The counter growth between `earlier` and `self` (saturating, so a
+    /// stale or swapped snapshot yields zeros instead of wrapping).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            jobs_local: self.jobs_local.saturating_sub(earlier.jobs_local),
+            jobs_stolen: self.jobs_stolen.saturating_sub(earlier.jobs_stolen),
+            jobs_injected: self.jobs_injected.saturating_sub(earlier.jobs_injected),
+            inline_runs: self.inline_runs.saturating_sub(earlier.inline_runs),
+        }
+    }
+
+    /// Total jobs that ran through the pool queues in this snapshot
+    /// (inline runs excluded — they never touched a queue).
+    #[must_use]
+    pub fn jobs_queued(&self) -> u64 {
+        self.jobs_local + self.jobs_stolen + self.jobs_injected
+    }
+}
+
 /// The global worker registry: queues, sleep machinery and pool size.
 pub(crate) struct Registry {
     /// One stealable deque per worker. The owner pushes/pops at the back,
@@ -252,6 +299,11 @@ pub(crate) struct Registry {
     sleep_cond: Condvar,
     /// Configured pool size (`>= 1`); `1` means "no workers, run inline".
     num_threads: usize,
+    /// Occupancy counters (see [`PoolStats`]), bumped on the pop paths.
+    jobs_local: AtomicU64,
+    jobs_stolen: AtomicU64,
+    jobs_injected: AtomicU64,
+    inline_runs: AtomicU64,
 }
 
 static REGISTRY: OnceLock<Arc<Registry>> = OnceLock::new();
@@ -277,6 +329,10 @@ impl Registry {
                 sleep_lock: Mutex::new(()),
                 sleep_cond: Condvar::new(),
                 num_threads,
+                jobs_local: AtomicU64::new(0),
+                jobs_stolen: AtomicU64::new(0),
+                jobs_injected: AtomicU64::new(0),
+                inline_runs: AtomicU64::new(0),
             });
             for index in 0..num_workers {
                 let registry = Arc::clone(&registry);
@@ -297,6 +353,21 @@ impl Registry {
 
     pub(crate) fn num_threads(&self) -> usize {
         self.num_threads
+    }
+
+    /// Current occupancy counters (relaxed loads; see [`PoolStats`]).
+    pub(crate) fn stats(&self) -> PoolStats {
+        PoolStats {
+            jobs_local: self.jobs_local.load(Ordering::Relaxed),
+            jobs_stolen: self.jobs_stolen.load(Ordering::Relaxed),
+            jobs_injected: self.jobs_injected.load(Ordering::Relaxed),
+            inline_runs: self.inline_runs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counts one parallel primitive that ran inline instead of queueing.
+    pub(crate) fn note_inline_run(&self) {
+        self.inline_runs.fetch_add(1, Ordering::Relaxed);
     }
 
     fn num_workers(&self) -> usize {
@@ -328,7 +399,10 @@ impl Registry {
         let index = current_worker_index()?;
         let mut deque = self.lock_deque(index);
         if deque.back().is_some_and(|job| job.pointer == pointer) {
-            deque.pop_back()
+            let job = deque.pop_back();
+            drop(deque);
+            self.jobs_local.fetch_add(1, Ordering::Relaxed);
+            job
         } else {
             None
         }
@@ -338,12 +412,14 @@ impl Registry {
     /// steal sweep over the other workers (front), then the injector.
     fn find_work(&self, index: usize) -> Option<JobRef> {
         if let Some(job) = self.lock_deque(index).pop_back() {
+            self.jobs_local.fetch_add(1, Ordering::Relaxed);
             return Some(job);
         }
         let workers = self.num_workers();
         for offset in 1..workers {
             let victim = (index + offset) % workers;
             if let Some(job) = self.lock_deque(victim).pop_front() {
+                self.jobs_stolen.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
         }
@@ -351,10 +427,15 @@ impl Registry {
     }
 
     fn pop_injected(&self) -> Option<JobRef> {
-        self.injector
+        let job = self
+            .injector
             .lock()
             .expect("pool injector poisoned")
-            .pop_front()
+            .pop_front();
+        if job.is_some() {
+            self.jobs_injected.fetch_add(1, Ordering::Relaxed);
+        }
+        job
     }
 
     /// Wakes every sleeping thread. Called after each enqueue and each
@@ -451,6 +532,7 @@ where
     if registry.num_workers() == 0 {
         // Inline mode keeps the pool contract: both closures complete
         // before the first panic (if any) resumes.
+        registry.note_inline_run();
         let result_a = catch_unwind(AssertUnwindSafe(a));
         let result_b = catch_unwind(AssertUnwindSafe(b));
         return match (result_a, result_b) {
@@ -628,6 +710,7 @@ where
     let len = items.len();
     let tasks = max_tasks.max(1).min(len);
     if tasks <= 1 || len < crate::MIN_PARALLEL_LEN || Registry::global().num_workers() == 0 {
+        Registry::global().note_inline_run();
         let mut state = init();
         return items.iter().map(|item| f(&mut state, item)).collect();
     }
