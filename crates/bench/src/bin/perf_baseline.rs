@@ -43,7 +43,14 @@
 //!   [`RowStore`] saved to `rows.v1`, reloaded into a brand-new store as
 //!   a second process would, and a fresh store-backed engine serving the
 //!   batch with **zero** rows rebuilt — asserted, along with response
-//!   bit-identity, before timing.
+//!   bit-identity, before timing;
+//! * the socket transport under concurrent load
+//!   (`service/concurrent_connections`): two long-lived Unix-socket
+//!   servers, each timed iteration a fresh wave of 32 distinct
+//!   single-SOC optimizations — four connections over four executors
+//!   against the same wave on one connection over one executor — with
+//!   every per-request response asserted bit-identical between the two
+//!   modes before timing.
 //!
 //! Run with `cargo run --release --bin perf_baseline`. The report lands in
 //! the current working directory.
@@ -57,14 +64,22 @@ use soctest_bench::{
 use soctest_multisite::engine::{Engine, OptimizeRequest, SweepAxis};
 use soctest_multisite::optimizer::{optimize, optimize_with_table};
 use soctest_multisite::problem::OptimizerConfig;
-use soctest_multisite::service::{CancelToken, SolutionCache};
+use soctest_multisite::service::{
+    BoundListener, CancelToken, ClientFrame, ClientStream, ListenAddr, OptimizeFrame, Server,
+    ServerConfig, ServerFrame, SocSpec, SolutionCache, TransportConfig,
+};
 use soctest_multisite::sweep::{
     abort_on_fail_sweep, channel_sweep, contact_yield_sweep, depth_sweep,
 };
 use soctest_soc_model::benchmarks::d695;
+use soctest_soc_model::writer::write_soc;
+use soctest_soc_model::Soc;
 use soctest_tam::{max_tam_width, LazyTimeTable, RowStore, TimeTable};
 use soctest_wrapper::lpt::{lpt_partition, lpt_partition_reference};
-use std::sync::Arc;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Where the report is written (relative to the working directory).
@@ -518,6 +533,139 @@ fn main() {
         }
     }));
     let _ = std::fs::remove_file(&rows_path);
+
+    // --- Socket transport: four concurrent connections vs one -------------
+    // Two long-lived servers on real Unix sockets (started once, outside
+    // the timed region, the way a deployed server runs): one with a single
+    // executor, one with four. Every iteration is a fresh *wave* of 32
+    // distinct d695-sized optimizations — each wave renames the SOC, so no
+    // wave is ever answered from a warm session or the solution cache and
+    // no warm/cached flag depends on execution order. The single mode
+    // pipes a wave through one connection; the concurrent mode splits it
+    // over four connections racing into the shared admission queue, so the
+    // comparison isolates what the transport adds: parallel frame parsing
+    // in the per-connection readers, parallel session setup and compute on
+    // the executors, parallel response rendering under the per-connection
+    // writer locks. Before timing, wave 0 runs once through each server
+    // and every per-request response line is asserted bit-identical.
+    let wave_count = 2 + 2 * MAX_ITERATIONS as usize; // identity + warm-up + iterations, per mode
+    let waves: Vec<Vec<Vec<String>>> = (0..wave_count)
+        .map(|wave| {
+            (0..4)
+                .map(|conn| {
+                    (0..8)
+                        .map(|slot| {
+                            let index = wave * 32 + conn * 8 + slot;
+                            let mut variant = Soc::new(format!("d695_v{index}"));
+                            for module in d695_soc.modules() {
+                                variant.push_module(module.clone());
+                            }
+                            serde_json::to_string(&ClientFrame::Optimize(OptimizeFrame {
+                                request_id: format!("r{index}"),
+                                soc: SocSpec::Inline(write_soc(&variant)),
+                                request: OptimizeRequest::new(d695_config),
+                                deadline_ms: None,
+                                stats: false,
+                            }))
+                            .expect("client frames serialise")
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let temp = std::env::temp_dir();
+    let single_addr =
+        ListenAddr::Unix(temp.join(format!("soctest-perf-x1-{}.sock", std::process::id())));
+    let multi_addr =
+        ListenAddr::Unix(temp.join(format!("soctest-perf-x4-{}.sock", std::process::id())));
+    let mut single_config = ServerConfig::default();
+    single_config.executors = 1;
+    let single_server = Server::new(single_config);
+    let mut multi_config = ServerConfig::default();
+    multi_config.executors = 4;
+    let multi_server = Server::new(multi_config);
+    let single_listener = BoundListener::bind(&single_addr).expect("bind bench socket");
+    let multi_listener = BoundListener::bind(&multi_addr).expect("bind bench socket");
+    let stop = AtomicBool::new(false);
+    let (socket_single, socket_concurrent) = std::thread::scope(|scope| {
+        let serving_single = scope.spawn(|| {
+            single_listener
+                .serve(&single_server, &TransportConfig::default(), &stop)
+                .expect("serve bench socket")
+        });
+        let serving_multi = scope.spawn(|| {
+            multi_listener
+                .serve(&multi_server, &TransportConfig::default(), &stop)
+                .expect("serve bench socket")
+        });
+        let run_wave = |addr: &ListenAddr, sessions: &[Vec<String>]| -> BTreeMap<String, String> {
+            let responses = Mutex::new(BTreeMap::new());
+            std::thread::scope(|clients| {
+                let responses = &responses;
+                for lines in sessions {
+                    clients.spawn(move || {
+                        let stream = ClientStream::connect(addr).expect("connect");
+                        let mut uplink = stream.try_clone().expect("clone connection");
+                        for line in lines {
+                            writeln!(uplink, "{line}").expect("send request");
+                        }
+                        uplink.flush().expect("flush requests");
+                        uplink.shutdown_write();
+                        for line in BufReader::new(stream).lines() {
+                            let line = line.expect("read response");
+                            match serde_json::from_str::<ServerFrame>(&line)
+                                .expect("server frame parses")
+                            {
+                                ServerFrame::Result(result) => {
+                                    responses.lock().unwrap().insert(result.request_id, line);
+                                }
+                                ServerFrame::Error(error) => {
+                                    panic!("bench request failed: {}", error.message)
+                                }
+                                ServerFrame::Bye(_) => {}
+                            }
+                        }
+                    });
+                }
+            });
+            responses.into_inner().expect("no client panicked")
+        };
+        // Bit-identity across modes before timing: the same wave through
+        // both servers must answer identical per-request lines.
+        let single_check = run_wave(&single_addr, &[waves[0].concat()]);
+        let multi_check = run_wave(&multi_addr, &waves[0]);
+        assert_eq!(single_check.len(), 32, "every request answered");
+        assert_eq!(
+            single_check, multi_check,
+            "concurrent connections diverged from the single-connection replay"
+        );
+        // Each server sees each wave exactly once, so every timed request
+        // is a cold session and a cold cache entry.
+        let mut single_next = 1;
+        let single = measure("service/single_connection", || {
+            let wave = &waves[single_next];
+            single_next += 1;
+            run_wave(&single_addr, &[wave.concat()])
+        });
+        let mut multi_next = 1;
+        let concurrent = measure("service/concurrent_connections", || {
+            let wave = &waves[multi_next];
+            multi_next += 1;
+            run_wave(&multi_addr, wave)
+        });
+        stop.store(true, Ordering::SeqCst);
+        serving_single.join().expect("listener thread");
+        serving_multi.join().expect("listener thread");
+        (single, concurrent)
+    });
+    let socket_speedup = socket_single.mean_seconds / socket_concurrent.mean_seconds;
+    println!(
+        "\nsocket transport: {socket_speedup:.1}x four connections / four executors \
+         over one / one (informational)\n"
+    );
+    measurements.push(socket_single);
+    measurements.push(socket_concurrent);
 
     let report = BenchReport {
         schema: "soctest-perf-baseline/v1".to_string(),

@@ -9,6 +9,7 @@
 //!                                       D/rows.v1 (responses are identical
 //!                                       with or without the cache)
 //! soc-batch --emit-sample-request       print the canonical sample request
+//! soc-batch --list-socs                 print the named-SOC catalogue and exit
 //! ```
 //!
 //! A request file names one SOC (`d695`, `p22810`, `p34392`, `p93791` or
@@ -21,6 +22,7 @@
 //! the committed sample pair lives in `crates/experiments/data/`.
 
 use soctest_experiments::batch::{render_json, run_request_text_with_store, sample_request};
+use soctest_experiments::serve::render_soc_catalogue;
 use soctest_tam::RowStore;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -32,12 +34,13 @@ struct Options {
     check: Option<PathBuf>,
     cache_dir: Option<PathBuf>,
     emit_sample: bool,
+    list_socs: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: soc-batch REQUEST.json [--out FILE | --check GOLDEN] [--cache-dir DIR]\n\
-         \x20      soc-batch --emit-sample-request\n\
+         \x20      soc-batch --emit-sample-request | --list-socs\n\
          serves a JSON optimizer-request batch through one engine session; \
          --check byte-compares the response against GOLDEN and exits 1 on drift; \
          --cache-dir reuses and persists module time rows in DIR/rows.v1"
@@ -52,11 +55,13 @@ fn parse_args() -> Options {
         check: None,
         cache_dir: None,
         emit_sample: false,
+        list_socs: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--emit-sample-request" => options.emit_sample = true,
+            "--list-socs" => options.list_socs = true,
             "--out" => match args.next() {
                 Some(file) => options.out = Some(PathBuf::from(file)),
                 None => usage(),
@@ -81,7 +86,7 @@ fn parse_args() -> Options {
     if options.check.is_some() && options.out.is_some() {
         usage();
     }
-    if options.emit_sample
+    if (options.emit_sample || options.list_socs)
         && (options.request.is_some() || options.out.is_some() || options.check.is_some())
     {
         usage();
@@ -94,6 +99,11 @@ fn main() -> ExitCode {
 
     if options.emit_sample {
         print!("{}", render_json(&sample_request()));
+        return ExitCode::SUCCESS;
+    }
+
+    if options.list_socs {
+        print!("{}", render_soc_catalogue());
         return ExitCode::SUCCESS;
     }
 

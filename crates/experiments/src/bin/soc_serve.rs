@@ -1,8 +1,16 @@
-//! `soc-serve` — the persistent streaming optimizer service on
-//! stdin/stdout.
+//! `soc-serve` — the persistent streaming optimizer service, on
+//! stdin/stdout by default or on a socket with `--listen`.
 //!
 //! ```text
 //! soc-serve                           serve NDJSON frames until EOF/Shutdown
+//! soc-serve --listen PATH|HOST:PORT   accept concurrent connections on a
+//!                                     Unix socket path or TCP address; each
+//!                                     runs its own session over the shared
+//!                                     server (drain on SIGTERM/SIGINT)
+//! soc-serve --executors N             executor workers draining the shared
+//!                                     admission queue (default 1)
+//! soc-serve --drain-ms N              grace for in-flight requests once a
+//!                                     drain starts (default 2000)
 //! soc-serve --queue-cap N             bound the admission queue (default 64)
 //! soc-serve --max-sessions N          bound the warm-session LRU (default 8)
 //! soc-serve --max-table-bytes N       bound charged table memory (default 256 MiB)
@@ -10,6 +18,7 @@
 //! soc-serve --max-result-entries N    bound the solution cache entries (default 256)
 //! soc-serve --max-result-bytes N      bound the solution cache bytes (default 64 MiB)
 //! soc-serve --faults SPEC             arm the fault-injection harness
+//! soc-serve --list-socs               print the named-SOC catalogue and exit
 //! soc-serve --emit-sample-session     print the canonical sample input
 //! soc-serve --emit-sample-session-stats
 //!                                     print the stats-enabled sample input
@@ -18,6 +27,18 @@
 //! soc-serve --check GOLDEN            serve stdin, byte-compare the
 //!                                     transcript against GOLDEN; exit 1 on drift
 //! ```
+//!
+//! In socket mode the server announces `listening on <addr>` on stderr
+//! once bound (with a TCP `:0` operand that line carries the real
+//! port), serves until `SIGTERM`/`SIGINT`, then drains: it stops
+//! accepting, lets in-flight requests finish within `--drain-ms`
+//! (overdue ones answer `deadline_exceeded`), ends every connection
+//! with its own `Bye`, and persists the row store once. All
+//! connections share one session registry, one row store, one solution
+//! cache, and one admission queue drained by `--executors` workers;
+//! per-connection responses keep admission order at any executor
+//! count, and each connection's `Bye` carries connection-scoped
+//! counters plus a `connection` identity block.
 //!
 //! One JSON frame per line in each direction: `{"Optimize": {...}}`,
 //! `{"Cancel": {...}}`, `"Shutdown"` in; `{"Result": {...}}`,
@@ -43,37 +64,51 @@
 //! store:panic@load`.
 
 use soctest_experiments::serve::{
-    render_stats_summary, run_session_text, sample_session, sample_session_stats,
+    render_soc_catalogue, render_stats_summary, run_session_text, sample_session,
+    sample_session_stats,
 };
-use soctest_multisite::service::{FaultPlan, Server, ServerConfig};
+use soctest_multisite::service::{
+    BoundListener, FaultPlan, ListenAddr, Server, ServerConfig, TransportConfig,
+};
 use std::io::Read;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 struct Options {
     config: ServerConfig,
+    listen: Option<String>,
+    drain_ms: u64,
     emit_sample: bool,
     emit_sample_stats: bool,
+    list_socs: bool,
     stats_summary: bool,
     check: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: soc-serve [--queue-cap N] [--max-sessions N] [--max-table-bytes N] \
+        "usage: soc-serve [--listen PATH|HOST:PORT] [--executors N] [--drain-ms N] \
+         [--queue-cap N] [--max-sessions N] [--max-table-bytes N] \
          [--cache-dir DIR] [--max-result-entries N] [--max-result-bytes N] \
          [--faults SPEC] [--stats-summary] [--check GOLDEN]\n\
+         \x20      soc-serve --list-socs\n\
          \x20      soc-serve --emit-sample-session | --emit-sample-session-stats\n\
-         serves NDJSON optimizer frames on stdin/stdout; --check byte-compares \
-         the transcript against GOLDEN and exits 1 on drift"
+         serves NDJSON optimizer frames on stdin/stdout, or accepts concurrent \
+         connections with --listen (drains on SIGTERM/SIGINT); --check \
+         byte-compares the transcript against GOLDEN and exits 1 on drift"
     );
     std::process::exit(2)
 }
 
 fn parse_args() -> Options {
     let mut config = ServerConfig::default();
+    let mut listen = None;
+    let mut drain_ms = 2000;
     let mut emit_sample = false;
     let mut emit_sample_stats = false;
+    let mut list_socs = false;
     let mut stats_summary = false;
     let mut check = None;
     let mut faults_flag: Option<String> = None;
@@ -82,12 +117,19 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--emit-sample-session" => emit_sample = true,
             "--emit-sample-session-stats" => emit_sample_stats = true,
+            "--list-socs" => list_socs = true,
             "--stats-summary" => stats_summary = true,
             "--queue-cap" => config.queue_capacity = parse_number(args.next()),
             "--max-sessions" => config.max_sessions = parse_number(args.next()),
             "--max-table-bytes" => config.max_table_bytes = parse_number(args.next()),
             "--max-result-entries" => config.max_result_entries = parse_number(args.next()),
             "--max-result-bytes" => config.max_result_bytes = parse_number(args.next()),
+            "--executors" => config.executors = parse_number(args.next()),
+            "--drain-ms" => drain_ms = parse_number(args.next()),
+            "--listen" => match args.next() {
+                Some(addr) => listen = Some(addr),
+                None => usage(),
+            },
             "--cache-dir" => match args.next() {
                 Some(dir) => config.cache_dir = Some(PathBuf::from(dir)),
                 None => usage(),
@@ -103,7 +145,10 @@ fn parse_args() -> Options {
             _ => usage(),
         }
     }
-    if (emit_sample || emit_sample_stats) && check.is_some() {
+    if (emit_sample || emit_sample_stats || list_socs) && (check.is_some() || listen.is_some()) {
+        usage();
+    }
+    if check.is_some() && listen.is_some() {
         usage();
     }
     if stats_summary {
@@ -122,10 +167,86 @@ fn parse_args() -> Options {
     };
     Options {
         config,
+        listen,
+        drain_ms,
         emit_sample,
         emit_sample_stats,
+        list_socs,
         stats_summary,
         check,
+    }
+}
+
+/// Set by the `SIGTERM`/`SIGINT` handler; the transport accept loop
+/// polls it and starts the graceful drain when it flips.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn request_shutdown(_signal: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs the drain trigger for socket mode. The only non-library
+/// code in the repo that needs `unsafe`: registering a handler for
+/// `SIGTERM` (15) and `SIGINT` (2) via the C `signal` entry point —
+/// the handler itself only flips an atomic, which is async-signal-safe.
+fn install_drain_signals() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, request_shutdown);
+        signal(SIGTERM, request_shutdown);
+    }
+}
+
+/// Socket mode: bind, announce, serve until a drain signal, report the
+/// server-lifetime aggregate on stderr.
+fn serve_listener(addr_text: &str, options: &Options) -> ExitCode {
+    let addr = match ListenAddr::parse(addr_text) {
+        Ok(addr) => addr,
+        Err(message) => {
+            eprintln!("invalid --listen address: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let listener = match BoundListener::bind(&addr) {
+        Ok(listener) => listener,
+        Err(error) => {
+            eprintln!("failed to bind {addr}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Announced on stderr so scripts (and the e2e suite) can discover a
+    // TCP `:0` port without racing the first client.
+    eprintln!("listening on {}", listener.local_addr());
+    install_drain_signals();
+    let server = Server::new(options.config.clone());
+    let mut transport = TransportConfig::default();
+    transport.drain_grace = Duration::from_millis(options.drain_ms);
+    match listener.serve(&server, &transport, &SHUTDOWN) {
+        Ok(stats) => {
+            eprintln!(
+                "drained: {} connection(s), {} served, {} error(s) ({} internal), \
+                 {} refused accept(s), {} lost, {} row(s) persisted",
+                stats.connections,
+                stats.served,
+                stats.errors,
+                stats.internal_errors,
+                stats.refused_accepts,
+                stats.lost_connections,
+                stats.store_rows_saved,
+            );
+            if options.stats_summary {
+                eprint!("{}", render_stats_summary(&server.session_trace()));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("listener failed: {error}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -147,6 +268,15 @@ fn main() -> ExitCode {
     if options.emit_sample_stats {
         print!("{}", sample_session_stats());
         return ExitCode::SUCCESS;
+    }
+
+    if options.list_socs {
+        print!("{}", render_soc_catalogue());
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(addr_text) = &options.listen {
+        return serve_listener(addr_text, &options);
     }
 
     if let Some(golden_path) = options.check {

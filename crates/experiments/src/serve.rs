@@ -12,9 +12,30 @@
 //! instead of byte equality.
 
 use soctest_ate::{AteSpec, ProbeStation, TestCell};
-use soctest_multisite::service::{ClientFrame, OptimizeFrame, Server, ServerConfig, SocSpec};
+use soctest_multisite::service::{
+    named_soc_catalogue, ClientFrame, OptimizeFrame, Server, ServerConfig, SocSpec,
+};
 use soctest_multisite::{OptimizeRequest, OptimizerConfig, RequestTrace, SweepAxis};
+use std::fmt::Write as _;
 use std::io::Cursor;
+
+/// The `--list-socs` table shared by `soc-serve` and `soc-batch`: one
+/// line per named SOC with its module count and the content hash the
+/// session registry keys warm sessions by. Two builds printing the same
+/// hashes serve bit-identical designs.
+#[must_use]
+pub fn render_soc_catalogue() -> String {
+    let mut out = String::from("name          modules  content_hash\n");
+    for entry in named_soc_catalogue() {
+        writeln!(
+            out,
+            "{:<13} {:>7}  {:016x}",
+            entry.name, entry.modules, entry.content_hash
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
 
 /// The paper's 256-channel, 96k-deep test cell.
 fn paper_cell() -> TestCell {
@@ -160,9 +181,40 @@ pub fn sample_session_stats() -> String {
 /// surfaced anyway rather than unwrapped so the binary can report them.
 pub fn run_session_text(input: &str, config: ServerConfig) -> std::io::Result<String> {
     let server = Server::new(config);
-    let mut output = Vec::new();
-    server.serve(Cursor::new(input.as_bytes().to_vec()), &mut output)?;
-    Ok(String::from_utf8(output).expect("server output is UTF-8"))
+    let output = SharedBuf::default();
+    server.serve(Cursor::new(input.as_bytes().to_vec()), output.clone())?;
+    Ok(output.into_string())
+}
+
+/// A cloneable in-memory sink satisfying the `'static` writer bound of
+/// [`Server::serve`] (the server's connection owns one clone, the
+/// caller reads the transcript back through the other).
+#[derive(Debug, Clone, Default)]
+struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn into_string(self) -> String {
+        let bytes = self
+            .0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        String::from_utf8(bytes).expect("server output is UTF-8")
+    }
+}
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 /// Serves `input` with [`ServerConfig::trace_all`] forced on and
@@ -178,13 +230,10 @@ pub fn run_session_traced(
 ) -> std::io::Result<(String, RequestTrace)> {
     config.trace_all = true;
     let server = Server::new(config);
-    let mut output = Vec::new();
-    server.serve(Cursor::new(input.as_bytes().to_vec()), &mut output)?;
+    let output = SharedBuf::default();
+    server.serve(Cursor::new(input.as_bytes().to_vec()), output.clone())?;
     let trace = server.session_trace();
-    Ok((
-        String::from_utf8(output).expect("server output is UTF-8"),
-        trace,
-    ))
+    Ok((output.into_string(), trace))
 }
 
 /// Renders a session's merged [`RequestTrace`] as a plain-ASCII
@@ -438,5 +487,22 @@ mod tests {
         // Empty totals render an all-blank bar, not a division panic.
         assert!(render_stats_summary(&RequestTrace::default())
             .contains(&format!("[{}]", " ".repeat(32))));
+    }
+
+    #[test]
+    fn soc_catalogue_lists_every_named_soc_with_stable_hashes() {
+        let table = render_soc_catalogue();
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 6, "{table}");
+        assert!(lines[0].contains("content_hash"));
+        for name in ["d695", "p22810", "p34392", "p93791", "pnx8550_like"] {
+            assert!(
+                lines.iter().any(|line| line.starts_with(name)),
+                "{name} missing from:\n{table}"
+            );
+        }
+        // Rendering twice gives identical bytes — the hashes are content
+        // hashes, not per-process state.
+        assert_eq!(table, render_soc_catalogue());
     }
 }

@@ -32,6 +32,9 @@ use std::time::Instant;
 /// How many table-row probes share one deadline clock read.
 const DEADLINE_PROBE_STRIDE: u64 = 64;
 
+/// Sentinel in [`TokenState::deadline_nanos`] for "no deadline armed".
+const NO_DEADLINE: u64 = u64::MAX;
+
 /// A shareable cancellation + deadline token for one optimizer request.
 ///
 /// Clones share state: cancelling any clone cancels the request. Tokens
@@ -45,11 +48,28 @@ pub struct CancelToken {
 #[derive(Debug)]
 struct TokenState {
     cancelled: AtomicBool,
-    deadline: Option<Instant>,
+    /// The instant deadlines are measured from (token creation), so the
+    /// deadline itself can live in an atomic as nanoseconds-from-anchor.
+    anchor: Instant,
+    /// Nanoseconds from `anchor` to the deadline; [`NO_DEADLINE`] when
+    /// none is armed. Only ever lowered (see
+    /// [`CancelToken::impose_deadline`]), so lock-free `fetch_min` is
+    /// race-correct: the tightest deadline always wins.
+    deadline_nanos: AtomicU64,
     probes: AtomicU64,
     /// Every poll of the token — sweep-point checks and table-row probes
     /// alike — for the engine's request traces.
     polls: AtomicU64,
+}
+
+/// Nanoseconds from `anchor` to `deadline`, clamped below the
+/// [`NO_DEADLINE`] sentinel; a deadline at or before the anchor maps to
+/// zero (already expired).
+fn nanos_from(anchor: Instant, deadline: Instant) -> u64 {
+    let nanos = deadline.saturating_duration_since(anchor).as_nanos();
+    u64::try_from(nanos)
+        .unwrap_or(NO_DEADLINE - 1)
+        .min(NO_DEADLINE - 1)
 }
 
 impl CancelToken {
@@ -65,14 +85,41 @@ impl CancelToken {
 
     fn build(deadline: Option<Instant>) -> Self {
         install_quiet_cancel_hook();
+        let anchor = Instant::now();
         CancelToken {
             inner: Arc::new(TokenState {
                 cancelled: AtomicBool::new(false),
-                deadline,
+                anchor,
+                deadline_nanos: AtomicU64::new(
+                    deadline.map_or(NO_DEADLINE, |d| nanos_from(anchor, d)),
+                ),
                 probes: AtomicU64::new(0),
                 polls: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// Arms (or tightens) the deadline to at most `deadline`: the
+    /// effective deadline is the minimum of every deadline the token has
+    /// ever been given, so a drain can only shorten a request's budget,
+    /// never extend one the client asked for. Used by the transport's
+    /// graceful drain to bound in-flight work after the grace period.
+    pub fn impose_deadline(&self, deadline: Instant) {
+        let nanos = nanos_from(self.inner.anchor, deadline);
+        self.inner
+            .deadline_nanos
+            .fetch_min(nanos, Ordering::Relaxed);
+    }
+
+    /// Whether the armed deadline (if any) has passed.
+    fn deadline_expired(&self) -> bool {
+        let nanos = self.inner.deadline_nanos.load(Ordering::Relaxed);
+        nanos != NO_DEADLINE && self.inner.anchor.elapsed().as_nanos() >= u128::from(nanos)
+    }
+
+    /// Whether any deadline is armed (without reading the clock).
+    fn has_deadline(&self) -> bool {
+        self.inner.deadline_nanos.load(Ordering::Relaxed) != NO_DEADLINE
     }
 
     /// Requests cooperative cancellation. Idempotent; takes effect at the
@@ -100,10 +147,8 @@ impl CancelToken {
         if self.is_cancelled() {
             return Err(OptimizeError::Cancelled);
         }
-        if let Some(deadline) = self.inner.deadline {
-            if Instant::now() >= deadline {
-                return Err(OptimizeError::DeadlineExceeded);
-            }
+        if self.deadline_expired() {
+            return Err(OptimizeError::DeadlineExceeded);
         }
         Ok(())
     }
@@ -124,9 +169,9 @@ impl CancelToken {
         if self.is_cancelled() {
             return Err(OptimizeError::Cancelled);
         }
-        if let Some(deadline) = self.inner.deadline {
+        if self.has_deadline() {
             let probe = self.inner.probes.fetch_add(1, Ordering::Relaxed);
-            if probe.is_multiple_of(DEADLINE_PROBE_STRIDE) && Instant::now() >= deadline {
+            if probe.is_multiple_of(DEADLINE_PROBE_STRIDE) && self.deadline_expired() {
                 return Err(OptimizeError::DeadlineExceeded);
             }
         }
@@ -259,6 +304,26 @@ mod tests {
     fn future_deadline_passes() {
         let token = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
         assert!(token.check().is_ok());
+    }
+
+    #[test]
+    fn imposed_deadline_arms_a_deadline_free_token() {
+        let token = CancelToken::new();
+        assert!(token.check().is_ok());
+        token.impose_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(token.check(), Err(OptimizeError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn imposed_deadline_only_tightens() {
+        // Tightening an hour-away deadline to "already expired" fires...
+        let token = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        token.impose_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(token.check(), Err(OptimizeError::DeadlineExceeded));
+        // ...but an expired deadline cannot be pushed back out.
+        let expired = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        expired.impose_deadline(Instant::now() + Duration::from_secs(3600));
+        assert_eq!(expired.check(), Err(OptimizeError::DeadlineExceeded));
     }
 
     #[test]

@@ -16,8 +16,11 @@
 //! `r1`). Stages are [`Stage::Admission`] (reader thread, before the
 //! request is queued), [`Stage::Optimize`] (executor, before the engine
 //! runs), [`Stage::Respond`] (executor, after the engine ran, before
-//! the frame is written), and [`Stage::Store`] (around row-store cache
-//! file I/O — fires with the pseudo request ids `load` / `save`).
+//! the frame is written), [`Stage::Store`] (around row-store cache
+//! file I/O — fires with the pseudo request ids `load` / `save`), and
+//! the transport stages [`Stage::Accept`] / [`Stage::Connection`]
+//! (around socket accept and connection setup — fire with the
+//! connection ordinal, `1`, `2`, ..., as the pseudo request id).
 //! Without an `@` filter a directive fires on every request.
 //!
 //! The harness is env-gated: production paths never construct a non-empty
@@ -52,6 +55,17 @@ pub enum Stage {
     /// takes the session down, it only costs the cache. Fires with the
     /// pseudo request ids `load` and `save`.
     Store,
+    /// On the transport's accept loop, after a connection is accepted,
+    /// before its session starts — inside the transport's isolation, so
+    /// a panicking accept costs that one connection, never the
+    /// listener. Fires with the connection ordinal (`1`, `2`, ...) as
+    /// the pseudo request id.
+    Accept,
+    /// On a transport connection's reader thread, before the first frame
+    /// is read — inside per-connection isolation, so a panic drops the
+    /// connection while the server keeps serving the others. Fires with
+    /// the connection ordinal as the pseudo request id.
+    Connection,
 }
 
 impl fmt::Display for Stage {
@@ -61,6 +75,8 @@ impl fmt::Display for Stage {
             Stage::Optimize => "optimize",
             Stage::Respond => "respond",
             Stage::Store => "store",
+            Stage::Accept => "accept",
+            Stage::Connection => "connection",
         };
         f.write_str(name)
     }
@@ -170,10 +186,12 @@ impl Fault {
             Some("optimize") => Stage::Optimize,
             Some("respond") => Stage::Respond,
             Some("store") => Stage::Store,
+            Some("accept") => Stage::Accept,
+            Some("connection") => Stage::Connection,
             other => {
                 return Err(format!(
                     "unknown stage `{}` in `{directive}` \
-                     (expected admission|optimize|respond|store)",
+                     (expected admission|optimize|respond|store|accept|connection)",
                     other.unwrap_or("")
                 ))
             }
@@ -262,6 +280,16 @@ mod tests {
         assert_eq!(plan.faults[0].stage, Stage::Store);
         plan.fire(Stage::Store, "load"); // filtered out
         assert!(catch_unwind(AssertUnwindSafe(|| plan.fire(Stage::Store, "save"))).is_err());
+    }
+
+    #[test]
+    fn transport_stages_parse_and_fire_on_connection_ordinals() {
+        let plan = FaultPlan::parse("accept:panic@2, connection:delay:1").unwrap();
+        assert_eq!(plan.faults[0].stage, Stage::Accept);
+        assert_eq!(plan.faults[1].stage, Stage::Connection);
+        plan.fire(Stage::Accept, "1"); // filtered out
+        plan.fire(Stage::Connection, "7"); // unfiltered delay, returns
+        assert!(catch_unwind(AssertUnwindSafe(|| plan.fire(Stage::Accept, "2"))).is_err());
     }
 
     #[test]

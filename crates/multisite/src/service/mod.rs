@@ -20,6 +20,11 @@
 //! * [`server`] — the [`Server`] loop itself: bounded admission with
 //!   typed `Overloaded` shedding, per-request panic isolation, graceful
 //!   drain with a final `Bye` statistics frame;
+//! * [`transport`] — the socket front-end: a Unix-domain (or TCP)
+//!   listener where every accepted connection runs the same NDJSON
+//!   protocol as an independent session over one shared [`Server`] —
+//!   one registry, one row store, one solution cache, one bounded
+//!   admission queue drained by a shared executor pool;
 //! * [`faults`] — the env-gated [`FaultPlan`] harness that injects
 //!   panics, delays, and allocation pressure to prove the above.
 //!
@@ -31,19 +36,22 @@ pub mod faults;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+pub mod transport;
 
 pub use cache::{canonical_request, CacheOutcome, SolutionCache, SolutionCacheStats};
 pub use cancel::CancelToken;
 pub use faults::{FaultPlan, Stage, FAULTS_ENV_VAR};
 pub use protocol::{
-    parse_client_frame, render_server_frame, CacheStats, ClientFrame, ErrorFrame, ErrorKind,
-    OptimizeFrame, Provenance, RequestStats, ResultFrame, ServerFrame, ServerStats, SocSpec,
-    TraceSummary,
+    parse_client_frame, render_server_frame, CacheStats, ClientFrame, ConnectionStats, ErrorFrame,
+    ErrorKind, OptimizeFrame, Provenance, RequestStats, ResultFrame, ServerFrame, ServerStats,
+    SocSpec, TraceSummary,
 };
 pub use registry::{RegistryStats, SessionHandle, SessionRegistry};
 pub use server::{Server, ServerConfig, ROWS_FILE};
+pub use transport::{BoundListener, ClientStream, ListenAddr, TransportConfig, TransportStats};
 
 use soctest_soc_model::synthetic::pnx8550_like;
+use soctest_soc_model::writer::write_soc;
 use soctest_soc_model::{benchmarks, Soc};
 
 /// Resolves a [`SocSpec::Named`] SOC: one of the embedded ITC'02
@@ -62,9 +70,59 @@ pub fn resolve_named_soc(name: &str) -> Result<Soc, String> {
     })
 }
 
+/// One row of [`named_soc_catalogue`]: a named SOC the service can
+/// resolve, with the identity the session registry would key it by.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamedSoc {
+    /// The wire name ([`SocSpec::Named`]).
+    pub name: &'static str,
+    /// Number of modules in the design.
+    pub modules: usize,
+    /// FNV-1a 64-bit hash of the canonical `.soc` rendering — the same
+    /// content hash the [`SessionRegistry`] keys warm sessions by, so
+    /// two servers printing the same hash serve bit-identical designs.
+    pub content_hash: u64,
+}
+
+/// The shared named-SOC catalogue behind `--list-socs` in `soc-serve`
+/// and `soc-batch`: every name [`resolve_named_soc`] accepts, in the
+/// order the error message documents them.
+pub fn named_soc_catalogue() -> Vec<NamedSoc> {
+    ["d695", "p22810", "p34392", "p93791", "pnx8550_like"]
+        .into_iter()
+        .map(|name| {
+            let soc = resolve_named_soc(name).expect("catalogue names resolve");
+            NamedSoc {
+                name,
+                modules: soc.modules().len(),
+                content_hash: registry::fnv1a64(&write_soc(&soc)),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn catalogue_matches_the_resolver_and_is_stable() {
+        let catalogue = named_soc_catalogue();
+        assert_eq!(catalogue.len(), 5);
+        for entry in &catalogue {
+            assert!(entry.modules > 0, "{} has modules", entry.name);
+            assert_ne!(entry.content_hash, 0, "{} has a hash", entry.name);
+            // The hash is the registry's identity: recomputing from a
+            // fresh resolve must agree.
+            let again = resolve_named_soc(entry.name).unwrap();
+            assert_eq!(entry.content_hash, registry::fnv1a64(&write_soc(&again)));
+        }
+        // Distinct designs, distinct identities.
+        let mut hashes: Vec<u64> = catalogue.iter().map(|e| e.content_hash).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), catalogue.len());
+    }
 
     #[test]
     fn every_documented_name_resolves() {

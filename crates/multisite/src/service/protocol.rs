@@ -423,13 +423,35 @@ pub struct CacheStats {
     pub store_rows_saved: u64,
 }
 
+/// Identity and accounting of the transport connection a `Bye` frame
+/// closes, present only in socket mode — stdin/stdout sessions omit the
+/// block entirely, keeping their transcripts byte-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectionStats {
+    /// Accept-order ordinal of this connection (`1` for the first
+    /// connection the listener accepted).
+    pub id: u64,
+    /// `Optimize` frames this connection submitted (admitted or shed).
+    pub requests: u64,
+}
+
 /// End-of-session statistics, answered in the final `Bye` frame.
+///
+/// In socket mode every connection answers its own `Bye`: `served`,
+/// `errors`, `internal_errors`, and the `connection` block are scoped to
+/// that connection, while the session/cache counters describe the shared
+/// server at the moment the connection drained.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// `Result` frames written.
     pub served: u64,
     /// `Error` frames written (all kinds, including shed load).
     pub errors: u64,
+    /// The subset of `errors` with [`ErrorKind::Internal`] — requests
+    /// that died by panic (or broke an optimizer invariant) under the
+    /// executor's isolation. Omitted on the wire when zero, so
+    /// healthy-session transcripts are unchanged.
+    pub internal_errors: u64,
     /// Engine sessions built over the lifetime of the stream.
     pub sessions_created: u64,
     /// Requests that found their session warm in the registry.
@@ -443,15 +465,27 @@ pub struct ServerStats {
     /// Aggregate of the stats-enabled requests; `None` (and omitted on
     /// the wire) when no request of the session opted in.
     pub trace: Option<TraceSummary>,
+    /// The transport connection this `Bye` closes; `None` (and omitted
+    /// on the wire) in stdin/stdout mode.
+    pub connection: Option<ConnectionStats>,
 }
 
-// Hand-written (not derived) so an absent trace block is omitted: `Bye`
-// frames of stats-off sessions serialise exactly as before.
+// Hand-written (not derived) so the absent-by-default blocks are
+// omitted: `Bye` frames of stats-off, panic-free, stdin-mode sessions
+// serialise exactly as before.
 impl Serialize for ServerStats {
     fn to_value(&self) -> Value {
         let mut fields = vec![
             ("served".to_string(), self.served.to_value()),
             ("errors".to_string(), self.errors.to_value()),
+        ];
+        if self.internal_errors != 0 {
+            fields.push((
+                "internal_errors".to_string(),
+                self.internal_errors.to_value(),
+            ));
+        }
+        fields.extend([
             (
                 "sessions_created".to_string(),
                 self.sessions_created.to_value(),
@@ -460,9 +494,12 @@ impl Serialize for ServerStats {
             ("session_misses".to_string(), self.session_misses.to_value()),
             ("evictions".to_string(), self.evictions.to_value()),
             ("cache".to_string(), self.cache.to_value()),
-        ];
+        ]);
         if let Some(trace) = &self.trace {
             fields.push(("trace".to_string(), trace.to_value()));
+        }
+        if let Some(connection) = &self.connection {
+            fields.push(("connection".to_string(), connection.to_value()));
         }
         Value::Object(fields)
     }
@@ -470,19 +507,29 @@ impl Serialize for ServerStats {
 
 impl Deserialize for ServerStats {
     fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let internal_errors = match value.get("internal_errors") {
+            None => 0,
+            Some(raw) => u64::from_value(raw)?,
+        };
         let trace = match value.get("trace") {
             None => None,
             Some(raw) => Option::<TraceSummary>::from_value(raw)?,
         };
+        let connection = match value.get("connection") {
+            None => None,
+            Some(raw) => Option::<ConnectionStats>::from_value(raw)?,
+        };
         Ok(ServerStats {
             served: serde::get_field(value, "served", "ServerStats")?,
             errors: serde::get_field(value, "errors", "ServerStats")?,
+            internal_errors,
             sessions_created: serde::get_field(value, "sessions_created", "ServerStats")?,
             session_hits: serde::get_field(value, "session_hits", "ServerStats")?,
             session_misses: serde::get_field(value, "session_misses", "ServerStats")?,
             evictions: serde::get_field(value, "evictions", "ServerStats")?,
             cache: serde::get_field(value, "cache", "ServerStats")?,
             trace,
+            connection,
         })
     }
 }
@@ -521,12 +568,14 @@ impl Deserialize for ServerFrame {
                     &[
                         "served",
                         "errors",
+                        "internal_errors",
                         "sessions_created",
                         "session_hits",
                         "session_misses",
                         "evictions",
                         "cache",
                         "trace",
+                        "connection",
                     ],
                     "ServerFrame::Bye",
                 )?;
@@ -626,6 +675,7 @@ mod tests {
             ServerFrame::Bye(ServerStats {
                 served: 4,
                 errors: 1,
+                internal_errors: 0,
                 sessions_created: 2,
                 session_hits: 3,
                 session_misses: 2,
@@ -641,6 +691,7 @@ mod tests {
                     store_rows_saved: 5,
                 },
                 trace: None,
+                connection: None,
             }),
             ServerFrame::Bye(ServerStats {
                 served: 1,
@@ -650,6 +701,13 @@ mod tests {
                     cells_inherited: 0,
                     store_cells_computed: 320,
                 }),
+                ..ServerStats::default()
+            }),
+            ServerFrame::Bye(ServerStats {
+                served: 2,
+                errors: 1,
+                internal_errors: 1,
+                connection: Some(ConnectionStats { id: 3, requests: 3 }),
                 ..ServerStats::default()
             }),
         ];
@@ -711,6 +769,20 @@ mod tests {
         assert_eq!(back, with_stats);
         let bye = render_server_frame(&ServerFrame::Bye(ServerStats::default()));
         assert!(!bye.contains("\"trace\""), "{bye}");
+        // The connection-scoped fields are likewise omitted by default —
+        // a healthy stdin-mode Bye serialises exactly as before.
+        assert!(!bye.contains("\"internal_errors\""), "{bye}");
+        assert!(!bye.contains("\"connection\""), "{bye}");
+        let socket_bye = render_server_frame(&ServerFrame::Bye(ServerStats {
+            internal_errors: 2,
+            connection: Some(ConnectionStats { id: 1, requests: 5 }),
+            ..ServerStats::default()
+        }));
+        assert!(socket_bye.contains("\"internal_errors\":2"), "{socket_bye}");
+        assert!(
+            socket_bye.contains("\"connection\":{\"id\":1,\"requests\":5}"),
+            "{socket_bye}"
+        );
     }
 
     #[test]

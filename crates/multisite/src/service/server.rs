@@ -1,22 +1,38 @@
 //! The streaming optimizer server: reads [`ClientFrame`] lines, answers
 //! [`ServerFrame`] lines, in admission order.
 //!
-//! Two threads share the work (see [`Server::serve`]):
+//! Since the transport subsystem landed, the server core is
+//! *connection-shaped*: all shared state — the session registry, the
+//! solution cache, the row store, and one bounded admission queue —
+//! lives on the [`Server`], while everything stream-scoped lives on a
+//! `Connection` (per-connection cancellation tokens, an ordered output
+//! window, per-connection `Bye` accounting). The stdin/stdout session of
+//! [`Server::serve`] is simply the one-connection special case, and its
+//! transcripts are byte-identical to the pre-transport server.
 //!
-//! * the **reader** (the calling thread) parses frames, admits
-//!   `Optimize` requests to a bounded queue (shedding with a typed
+//! Work flows through three roles:
+//!
+//! * a **reader** per connection parses frames, admits `Optimize`
+//!   requests to the shared bounded queue (shedding with a typed
 //!   `Overloaded` frame when full), applies `Cancel` frames immediately
-//!   to the in-flight token, and closes the queue on EOF or `Shutdown`;
-//! * the **executor** drains the queue one item at a time, serving each
+//!   to the in-flight token, and closes the connection on EOF or
+//!   `Shutdown`;
+//! * **executors** (`ServerConfig::executors` of them, shared by every
+//!   connection) drain the queue in admission order, serving each
 //!   request under [`std::panic::catch_unwind`] isolation so a panicking
 //!   request becomes an [`ErrorKind::Internal`] frame while the server
-//!   keeps serving, then writes the final `Bye` statistics frame once
-//!   the queue is closed and drained.
+//!   keeps serving;
+//! * the connection's **output window** re-orders completions: each
+//!   admitted item owns a slot, and a frame leaves the wire only once
+//!   every earlier slot of the same connection has — so per-connection
+//!   responses arrive in admission order at any executor count, and the
+//!   final `Bye` statistics frame leaves once the connection is closed
+//!   and drained.
 //!
-//! All output — results, typed errors, protocol complaints — flows
-//! through one queue in admission order, so responses are deterministic
-//! for a given input stream (modulo wall-clock effects the client asked
-//! for: deadlines and cancellation races).
+//! Responses are deterministic for a given input stream (modulo
+//! wall-clock effects the client asked for — deadlines and cancellation
+//! races — and cross-request races the client opted into by running
+//! more than one executor).
 
 use crate::engine::RequestTrace;
 use crate::error::OptimizeError;
@@ -24,9 +40,9 @@ use crate::service::cache::{CacheOutcome, SolutionCache};
 use crate::service::cancel::CancelToken;
 use crate::service::faults::{FaultPlan, Stage};
 use crate::service::protocol::{
-    parse_client_frame, render_server_frame, CacheStats, ClientFrame, ErrorFrame, ErrorKind,
-    OptimizeFrame, Provenance, RequestStats, ResultFrame, ServerFrame, ServerStats, SocSpec,
-    TraceSummary,
+    parse_client_frame, render_server_frame, CacheStats, ClientFrame, ConnectionStats, ErrorFrame,
+    ErrorKind, OptimizeFrame, Provenance, RequestStats, ResultFrame, ServerFrame, ServerStats,
+    SocSpec, TraceSummary,
 };
 use crate::service::registry::SessionRegistry;
 use crate::service::resolve_named_soc;
@@ -36,6 +52,7 @@ use soctest_soc_model::Soc;
 use soctest_tam::RowStore;
 use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 use std::io::{BufRead, Write};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -52,9 +69,9 @@ pub const ROWS_FILE: &str = "rows.v1";
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct ServerConfig {
-    /// Maximum number of admitted-but-unserved requests; an `Optimize`
-    /// frame arriving with the queue full is shed with
-    /// [`ErrorKind::Overloaded`].
+    /// Maximum number of admitted-but-unclaimed requests across all
+    /// connections; an `Optimize` frame arriving with the queue full is
+    /// shed with [`ErrorKind::Overloaded`].
     pub queue_capacity: usize,
     /// Maximum number of warm engine sessions resident at once.
     pub max_sessions: usize,
@@ -82,6 +99,14 @@ pub struct ServerConfig {
     /// report. Off by default: untraced requests skip the epoch
     /// snapshots entirely, keeping the stats-off path zero-cost.
     pub trace_all: bool,
+    /// Number of executor workers draining the shared admission queue.
+    /// With one executor (the default) requests of a session run
+    /// strictly sequentially and transcripts are deterministic; more
+    /// executors trade that for throughput across connections —
+    /// per-connection response *order* is still admission order, but
+    /// warm/provenance flags may race between connections touching the
+    /// same SOC.
+    pub executors: usize,
 }
 
 impl Default for ServerConfig {
@@ -95,34 +120,158 @@ impl Default for ServerConfig {
             cache_dir: None,
             faults: FaultPlan::none(),
             trace_all: false,
+            executors: 1,
         }
     }
 }
 
-/// One admitted request, waiting for (or being served by) the executor.
+/// One admitted request, waiting for (or being served by) an executor.
 #[derive(Debug)]
 struct Job {
     frame: OptimizeFrame,
     token: CancelToken,
 }
 
-/// One entry of the ordered output-bearing queue: either a request to
-/// run, or a frame already decided at admission time (protocol errors,
-/// shed load) that still must leave in admission order.
+/// One slot of a connection's ordered output window. Every admitted
+/// item owns a slot; frames leave the wire strictly in slot order, so
+/// per-connection responses keep admission order at any executor count.
 #[derive(Debug)]
-enum QueueItem {
-    Run(Job),
-    Note(ServerFrame),
+enum Slot {
+    /// Admitted, waiting in the shared run queue for an executor.
+    Waiting(Job),
+    /// Claimed by an executor, still being served.
+    Running,
+    /// Decided — either served, or settled at admission time (protocol
+    /// errors, shed load). Leaves as soon as every earlier slot has.
+    Done(ServerFrame),
 }
 
+/// Stream-scoped server state under the connection's state lock.
 #[derive(Debug, Default)]
-struct QueueState {
-    items: VecDeque<QueueItem>,
-    /// Number of queued `Run` items (notes don't count against the
-    /// admission capacity).
-    pending_runs: usize,
-    /// Cleared on EOF / `Shutdown`; the executor drains and exits.
+struct ConnState {
+    /// The output window; `slots[0]` has sequence number `front_seq`.
+    slots: VecDeque<Slot>,
+    front_seq: u64,
+    /// Cleared on EOF / `Shutdown` / forced drain; once clear and the
+    /// window is empty, the `Bye` frame leaves and the connection is
+    /// finished.
     open: bool,
+    /// `Optimize` frames submitted on this connection (admitted or
+    /// shed) — the `requests` count of the `Bye` connection block.
+    requests: u64,
+    /// The wire aggregate covers only requests that asked for stats,
+    /// so stats-off sessions answer a byte-identical `Bye`.
+    wire_trace: RequestTrace,
+    stats_requests: u64,
+}
+
+impl ConnState {
+    fn push_done(&mut self, frame: ServerFrame) {
+        self.slots.push_back(Slot::Done(frame));
+    }
+}
+
+/// The connection's output half, under its own lock: frames are written
+/// (and counted) only while this lock is held, which is what serialises
+/// multi-executor completions into one byte stream.
+struct ConnWriter {
+    sink: Box<dyn Write + Send>,
+    served: u64,
+    errors: u64,
+    internal_errors: u64,
+    /// First write error; later frames are counted but not written, so
+    /// the session still drains and `wait_finished` can report it.
+    error: Option<std::io::Error>,
+    /// Set once the `Bye` frame has left (or was skipped on a dead
+    /// sink); the connection is complete.
+    finished: bool,
+    /// The `Bye` statistics, recorded when `finished` is set.
+    bye: Option<ServerStats>,
+}
+
+impl ConnWriter {
+    fn new(sink: Box<dyn Write + Send>) -> Self {
+        ConnWriter {
+            sink,
+            served: 0,
+            errors: 0,
+            internal_errors: 0,
+            error: None,
+            finished: false,
+            bye: None,
+        }
+    }
+
+    fn write_frame(&mut self, frame: &ServerFrame) {
+        match frame {
+            ServerFrame::Result(_) => self.served += 1,
+            ServerFrame::Error(error) => {
+                self.errors += 1;
+                if error.kind == ErrorKind::Internal {
+                    self.internal_errors += 1;
+                }
+            }
+            ServerFrame::Bye(_) => {}
+        }
+        if self.error.is_some() {
+            return;
+        }
+        let attempt =
+            writeln!(self.sink, "{}", render_server_frame(frame)).and_then(|()| self.sink.flush());
+        if let Err(error) = attempt {
+            self.error = Some(error);
+        }
+    }
+}
+
+/// One NDJSON session: the stdin/stdout stream of [`Server::serve`], or
+/// one accepted socket of the transport listener. Shared between the
+/// connection's reader, every executor, and (in socket mode) the drain
+/// logic, hence the `Arc` and the three locks (state, tokens, writer —
+/// see the field docs for what each guards).
+pub(crate) struct Connection {
+    /// Accept-order ordinal in socket mode; `0` for the stdin session.
+    id: u64,
+    /// Whether the `Bye` frame carries a [`ConnectionStats`] block
+    /// (socket mode). The stdin session omits it, staying byte-identical
+    /// to the pre-transport server.
+    wire_identity: bool,
+    /// Whether this connection's `Bye` persists the row store (stdin
+    /// mode; the transport saves once at listener drain instead, so N
+    /// connections don't write the file N times).
+    persist_on_bye: bool,
+    state: Mutex<ConnState>,
+    /// Cancellation tokens of in-flight (queued or running) requests of
+    /// this connection, keyed by request id; entries are removed when
+    /// the request's frame is decided, so `Cancel` for a finished id
+    /// answers [`ErrorKind::UnknownRequest`]. Per-connection, so one
+    /// client cannot cancel another's requests.
+    tokens: Mutex<HashMap<String, CancelToken>>,
+    writer: Mutex<ConnWriter>,
+    /// Signalled (with the writer lock) when `finished` flips.
+    finished_cv: Condvar,
+}
+
+impl Connection {
+    /// The accept-order ordinal (0 for the stdin session).
+    pub(crate) fn ordinal(&self) -> u64 {
+        self.id
+    }
+}
+
+impl fmt::Debug for Connection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Connection").field("id", &self.id).finish()
+    }
+}
+
+/// The shared bounded admission queue: `(connection, slot)` pairs in
+/// global admission order, drained by the executor pool.
+#[derive(Debug, Default)]
+struct RunQueue {
+    entries: VecDeque<(Arc<Connection>, u64)>,
+    /// Set when the serving scope ends; idle executors exit.
+    closed: bool,
 }
 
 /// The streaming multi-SOC optimizer service. See the
@@ -139,13 +288,8 @@ pub struct Server {
     row_store: Arc<RowStore>,
     /// Cells merged from the on-disk cache at startup.
     store_cells_loaded: u64,
-    queue: Mutex<QueueState>,
-    queue_ready: Condvar,
-    /// Cancellation tokens of in-flight (queued or running) requests,
-    /// keyed by request id; entries are removed when the request's frame
-    /// is decided, so `Cancel` for a finished id answers
-    /// [`ErrorKind::UnknownRequest`].
-    tokens: Mutex<HashMap<String, CancelToken>>,
+    run_queue: Mutex<RunQueue>,
+    run_ready: Condvar,
     /// Merged [`RequestTrace`] of every traced request (wire `stats`
     /// flag or [`ServerConfig::trace_all`]), exposed via
     /// [`Server::session_trace`].
@@ -183,14 +327,15 @@ impl Server {
             solutions,
             row_store,
             store_cells_loaded,
-            queue: Mutex::new(QueueState {
-                open: true,
-                ..QueueState::default()
-            }),
-            queue_ready: Condvar::new(),
-            tokens: Mutex::new(HashMap::new()),
+            run_queue: Mutex::new(RunQueue::default()),
+            run_ready: Condvar::new(),
             trace: Mutex::new(RequestTrace::default()),
         }
+    }
+
+    /// The server's configuration (as given to [`Server::new`]).
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
     }
 
     /// The server's shared module-row store (one per server, shared by
@@ -211,7 +356,8 @@ impl Server {
     /// Serves one NDJSON session: reads `input` to EOF (or a `Shutdown`
     /// frame), writes one [`ServerFrame`] line per admitted item in
     /// admission order, ends with a `Bye` frame, and returns the same
-    /// statistics.
+    /// statistics. [`ServerConfig::executors`] workers drain the queue
+    /// (one by default, which keeps transcripts fully deterministic).
     ///
     /// A read error on `input` is treated as end of stream (the session
     /// still drains and answers `Bye`).
@@ -219,27 +365,70 @@ impl Server {
     /// # Errors
     ///
     /// Only write errors on `output` are fatal.
-    pub fn serve<R: BufRead, W: Write + Send>(
+    pub fn serve<R: BufRead, W: Write + Send + 'static>(
         &self,
         input: R,
         output: W,
     ) -> std::io::Result<ServerStats> {
-        let outcome = thread::scope(|scope| {
-            let executor = scope.spawn(|| self.run_executor(output));
-            self.run_reader(input);
-            executor.join()
-        });
-        match outcome {
-            Ok(result) => result,
-            // The executor isolates request panics; anything escaping it
-            // is a server bug worth surfacing loudly.
-            Err(payload) => resume_unwind(payload),
-        }
+        let conn = self.open_connection(Box::new(output), 0, false, true);
+        thread::scope(|scope| {
+            self.reopen_queue();
+            let workers: Vec<_> = (0..self.config.executors.max(1))
+                .map(|_| scope.spawn(|| self.run_worker()))
+                .collect();
+            self.run_reader(input, &conn);
+            let outcome = self.wait_finished(&conn);
+            self.close_queue();
+            for worker in workers {
+                if let Err(payload) = worker.join() {
+                    // Executors isolate request panics; anything escaping
+                    // them is a server bug worth surfacing loudly.
+                    resume_unwind(payload);
+                }
+            }
+            outcome
+        })
     }
 
-    /// The reader loop: parses lines, admits/sheds/cancels, closes the
-    /// queue when the stream ends.
-    fn run_reader<R: BufRead>(&self, input: R) {
+    /// Opens one connection over `sink`. The transport passes the accept
+    /// ordinal and turns the identity block on; the stdin session of
+    /// [`Server::serve`] stays anonymous and persists the row store at
+    /// its own `Bye`.
+    pub(crate) fn open_connection(
+        &self,
+        sink: Box<dyn Write + Send>,
+        id: u64,
+        wire_identity: bool,
+        persist_on_bye: bool,
+    ) -> Arc<Connection> {
+        Arc::new(Connection {
+            id,
+            wire_identity,
+            persist_on_bye,
+            state: Mutex::new(ConnState {
+                open: true,
+                ..ConnState::default()
+            }),
+            tokens: Mutex::new(HashMap::new()),
+            writer: Mutex::new(ConnWriter::new(sink)),
+            finished_cv: Condvar::new(),
+        })
+    }
+
+    /// Reopens the shared run queue for a new serving scope.
+    pub(crate) fn reopen_queue(&self) {
+        lock(&self.run_queue).closed = false;
+    }
+
+    /// Closes the shared run queue; idle executors drain and exit.
+    pub(crate) fn close_queue(&self) {
+        lock(&self.run_queue).closed = true;
+        self.run_ready.notify_all();
+    }
+
+    /// The reader loop of one connection: parses lines, admits / sheds /
+    /// cancels, closes the connection when the stream ends.
+    pub(crate) fn run_reader<R: BufRead>(&self, input: R, conn: &Arc<Connection>) {
         for line in input.lines() {
             let Ok(line) = line else {
                 break; // read error: treat as end of stream
@@ -248,28 +437,56 @@ impl Server {
                 continue;
             }
             match parse_client_frame(&line) {
-                Ok(ClientFrame::Optimize(frame)) => self.admit(frame),
-                Ok(ClientFrame::Cancel { request_id }) => self.cancel(&request_id),
+                Ok(ClientFrame::Optimize(frame)) => self.admit(conn, frame),
+                Ok(ClientFrame::Cancel { request_id }) => self.cancel(conn, &request_id),
                 Ok(ClientFrame::Shutdown) => break,
                 Err(message) => {
-                    self.enqueue(QueueItem::Note(ServerFrame::Error(ErrorFrame::protocol(
-                        message,
-                    ))));
+                    self.note(conn, ServerFrame::Error(ErrorFrame::protocol(message)));
                 }
             }
         }
-        let mut queue = lock(&self.queue);
-        queue.open = false;
-        drop(queue);
-        self.queue_ready.notify_all();
+        self.close_connection(conn);
+    }
+
+    /// Closes a connection's input side: no more admissions; once the
+    /// output window drains, `Bye` leaves. Idempotent (the transport
+    /// also calls it when force-draining a connection whose reader
+    /// died).
+    pub(crate) fn close_connection(&self, conn: &Arc<Connection>) {
+        lock(&conn.state).open = false;
+        self.flush(conn);
+    }
+
+    /// Fails a connection whose reader died outside a request (e.g. an
+    /// injected connection-stage panic): notes one typed `Internal`
+    /// frame so the client sees *why*, then closes the connection so it
+    /// still drains to a well-formed `Bye`.
+    pub(crate) fn fail_connection(&self, conn: &Arc<Connection>, message: String) {
+        self.note(
+            conn,
+            ServerFrame::Error(ErrorFrame {
+                request_id: None,
+                kind: ErrorKind::Internal,
+                message,
+            }),
+        );
+        self.close_connection(conn);
+    }
+
+    /// Appends an admission-time frame to the output window and flushes
+    /// whatever the window allows out.
+    fn note(&self, conn: &Arc<Connection>, frame: ServerFrame) {
+        lock(&conn.state).push_done(frame);
+        self.flush(conn);
     }
 
     /// Admits one `Optimize` frame: rejects duplicate in-flight ids,
-    /// sheds when the queue is full, otherwise arms the request's token
-    /// (deadline measured from here) and queues the job.
-    fn admit(&self, frame: OptimizeFrame) {
+    /// sheds when the shared queue is full, otherwise arms the request's
+    /// token (deadline measured from here), claims the next output slot,
+    /// and queues the job for the executor pool.
+    fn admit(&self, conn: &Arc<Connection>, frame: OptimizeFrame) {
         self.config.faults.fire(Stage::Admission, &frame.request_id);
-        let mut tokens = lock(&self.tokens);
+        let mut tokens = lock(&conn.tokens);
         if tokens.contains_key(&frame.request_id) {
             let note = ServerFrame::Error(ErrorFrame {
                 request_id: Some(frame.request_id),
@@ -277,93 +494,164 @@ impl Server {
                 message: "duplicate in-flight request id".to_string(),
             });
             drop(tokens);
-            self.enqueue(QueueItem::Note(note));
+            lock(&conn.state).requests += 1;
+            self.note(conn, note);
             return;
         }
-        let mut queue = lock(&self.queue);
-        if queue.pending_runs >= self.config.queue_capacity {
-            let note = ServerFrame::Error(ErrorFrame {
+        // The shed-or-admit decision and both pushes happen under the
+        // shared queue lock, so the capacity check is atomic across
+        // concurrently admitting connections.
+        let mut queue = lock(&self.run_queue);
+        let mut state = lock(&conn.state);
+        state.requests += 1;
+        if queue.entries.len() >= self.config.queue_capacity {
+            state.push_done(ServerFrame::Error(ErrorFrame {
                 request_id: Some(frame.request_id),
                 kind: ErrorKind::Overloaded,
                 message: format!(
                     "admission queue full (capacity {}); request shed",
                     self.config.queue_capacity
                 ),
-            });
-            queue.items.push_back(QueueItem::Note(note));
+            }));
+            drop(state);
+            drop(queue);
+            drop(tokens);
+            self.flush(conn);
         } else {
             let token = match frame.deadline_ms {
                 Some(ms) => CancelToken::with_deadline(Instant::now() + Duration::from_millis(ms)),
                 None => CancelToken::new(),
             };
             tokens.insert(frame.request_id.clone(), token.clone());
-            queue.pending_runs += 1;
-            queue.items.push_back(QueueItem::Run(Job { frame, token }));
+            let seq = state.front_seq + state.slots.len() as u64;
+            state.slots.push_back(Slot::Waiting(Job { frame, token }));
+            queue.entries.push_back((Arc::clone(conn), seq));
+            drop(state);
+            drop(queue);
+            drop(tokens);
+            self.run_ready.notify_one();
         }
-        drop(queue);
-        drop(tokens);
-        self.queue_ready.notify_all();
     }
 
     /// Applies a `Cancel` frame immediately: flips the in-flight token
     /// (the request's own `Cancelled` frame is the acknowledgement), or
-    /// notes `UnknownRequest` for an id that is not in flight.
-    fn cancel(&self, request_id: &str) {
-        let tokens = lock(&self.tokens);
+    /// notes `UnknownRequest` for an id that is not in flight on this
+    /// connection.
+    fn cancel(&self, conn: &Arc<Connection>, request_id: &str) {
+        let tokens = lock(&conn.tokens);
         match tokens.get(request_id) {
             Some(token) => token.cancel(),
             None => {
                 drop(tokens);
-                self.enqueue(QueueItem::Note(ServerFrame::Error(ErrorFrame {
-                    request_id: Some(request_id.to_string()),
-                    kind: ErrorKind::UnknownRequest,
-                    message: "no such request in flight".to_string(),
-                })));
+                self.note(
+                    conn,
+                    ServerFrame::Error(ErrorFrame {
+                        request_id: Some(request_id.to_string()),
+                        kind: ErrorKind::UnknownRequest,
+                        message: "no such request in flight".to_string(),
+                    }),
+                );
             }
         }
     }
 
-    fn enqueue(&self, item: QueueItem) {
-        lock(&self.queue).items.push_back(item);
-        self.queue_ready.notify_all();
-    }
-
-    /// The executor loop: pops queue items in order, serves runs under
-    /// panic isolation, writes every frame, and closes with `Bye`.
-    fn run_executor<W: Write>(&self, mut output: W) -> std::io::Result<ServerStats> {
-        let mut stats = ServerStats::default();
-        // The wire aggregate covers only requests that asked for stats,
-        // so stats-off sessions answer a byte-identical `Bye`.
-        let mut wire_trace = RequestTrace::default();
-        let mut stats_requests = 0u64;
-        while let Some(item) = self.next_item() {
-            let frame = match item {
-                QueueItem::Note(frame) => frame,
-                QueueItem::Run(job) => {
-                    let request_id = job.frame.request_id.clone();
-                    let executed = self.execute(job);
-                    lock(&self.tokens).remove(&request_id);
-                    if let Some(trace) = &executed.trace {
-                        let mut session = lock(&self.trace);
-                        *session = session.merge(trace);
+    /// One executor worker: claims `(connection, slot)` entries off the
+    /// shared queue in admission order until the queue closes.
+    pub(crate) fn run_worker(&self) {
+        loop {
+            let entry = {
+                let mut queue = lock(&self.run_queue);
+                loop {
+                    if let Some(entry) = queue.entries.pop_front() {
+                        break entry;
                     }
-                    if executed.wants_stats {
-                        stats_requests += 1;
-                        if let Some(trace) = &executed.trace {
-                            wire_trace = wire_trace.merge(trace);
-                        }
+                    if queue.closed {
+                        return;
                     }
-                    executed.frame
+                    queue = self
+                        .run_ready
+                        .wait(queue)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             };
-            match &frame {
-                ServerFrame::Result(_) => stats.served += 1,
-                ServerFrame::Error(_) => stats.errors += 1,
-                ServerFrame::Bye(_) => {}
-            }
-            writeln!(output, "{}", render_server_frame(&frame))?;
-            output.flush()?;
+            let (conn, seq) = entry;
+            self.serve_slot(&conn, seq);
         }
+    }
+
+    /// Serves one claimed slot: runs the request under panic isolation,
+    /// records its trace, marks the slot done, and flushes the
+    /// connection's output window.
+    fn serve_slot(&self, conn: &Arc<Connection>, seq: u64) {
+        let job = claim(conn, seq);
+        let request_id = job.frame.request_id.clone();
+        let executed = self.execute(job);
+        lock(&conn.tokens).remove(&request_id);
+        if let Some(trace) = &executed.trace {
+            let mut session = lock(&self.trace);
+            *session = session.merge(trace);
+        }
+        {
+            let mut state = lock(&conn.state);
+            if executed.wants_stats {
+                state.stats_requests += 1;
+                if let Some(trace) = &executed.trace {
+                    state.wire_trace = state.wire_trace.merge(trace);
+                }
+            }
+            let index = usize::try_from(seq - state.front_seq).expect("window fits in memory");
+            state.slots[index] = Slot::Done(executed.frame);
+        }
+        self.flush(conn);
+    }
+
+    /// Writes every leading `Done` slot of the connection (in slot
+    /// order), then the `Bye` frame once the connection is closed and
+    /// its window is empty. Pops happen only under the writer lock, so
+    /// concurrent flushers (executors, the reader, the drain) serialise
+    /// into one correctly ordered byte stream.
+    fn flush(&self, conn: &Connection) {
+        let mut writer = lock(&conn.writer);
+        if writer.finished {
+            return;
+        }
+        loop {
+            let mut state = lock(&conn.state);
+            match state.slots.front() {
+                Some(Slot::Done(_)) => {
+                    let Some(Slot::Done(frame)) = state.slots.pop_front() else {
+                        unreachable!("front slot just matched Done");
+                    };
+                    state.front_seq += 1;
+                    drop(state);
+                    writer.write_frame(&frame);
+                }
+                // An earlier admission is still in flight: its frame
+                // must leave first.
+                Some(_) => return,
+                None => {
+                    if state.open {
+                        return;
+                    }
+                    drop(state);
+                    self.write_bye(conn, &mut writer);
+                    conn.finished_cv.notify_all();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Builds and writes the connection's final `Bye` frame: the
+    /// connection-scoped counters, the shared registry/cache statistics
+    /// at this moment, and (stdin mode) the persisted row store.
+    fn write_bye(&self, conn: &Connection, writer: &mut ConnWriter) {
+        let mut stats = ServerStats {
+            served: writer.served,
+            errors: writer.errors,
+            internal_errors: writer.internal_errors,
+            ..ServerStats::default()
+        };
         let registry = self.registry.stats();
         stats.sessions_created = registry.created;
         stats.session_hits = registry.hits;
@@ -371,9 +659,9 @@ impl Server {
         stats.evictions = registry.evictions;
         // Persist the row store before `Bye` so the saved-row count can
         // ride in the statistics frame.
-        let store_rows_saved = match &self.config.cache_dir {
-            Some(dir) => save_row_store(&self.row_store, dir, &self.config.faults),
-            None => 0,
+        let store_rows_saved = match (&self.config.cache_dir, conn.persist_on_bye) {
+            (Some(dir), true) => save_row_store(&self.row_store, dir, &self.config.faults),
+            _ => 0,
         };
         let solutions = self.solutions.stats();
         stats.cache = CacheStats {
@@ -386,35 +674,92 @@ impl Server {
             store_cells_loaded: self.store_cells_loaded,
             store_rows_saved,
         };
-        stats.trace = (stats_requests > 0).then(|| TraceSummary {
-            requests: stats_requests,
-            cells_built: wire_trace.cells_built(),
-            cells_inherited: wire_trace.table.cells_inherited,
-            store_cells_computed: wire_trace.store.cells_computed,
-        });
-        writeln!(output, "{}", render_server_frame(&ServerFrame::Bye(stats)))?;
-        output.flush()?;
-        Ok(stats)
+        {
+            let state = lock(&conn.state);
+            stats.trace = (state.stats_requests > 0).then(|| TraceSummary {
+                requests: state.stats_requests,
+                cells_built: state.wire_trace.cells_built(),
+                cells_inherited: state.wire_trace.table.cells_inherited,
+                store_cells_computed: state.wire_trace.store.cells_computed,
+            });
+            stats.connection = conn.wire_identity.then(|| ConnectionStats {
+                id: conn.id,
+                requests: state.requests,
+            });
+        }
+        writer.write_frame(&ServerFrame::Bye(stats));
+        writer.bye = Some(stats);
+        writer.finished = true;
     }
 
-    /// Blocks for the next queue item; `None` once the queue is closed
-    /// and drained.
-    fn next_item(&self) -> Option<QueueItem> {
-        let mut queue = lock(&self.queue);
-        loop {
-            if let Some(item) = queue.items.pop_front() {
-                if matches!(item, QueueItem::Run(_)) {
-                    queue.pending_runs -= 1;
-                }
-                return Some(item);
-            }
-            if !queue.open {
-                return None;
-            }
-            queue = self
-                .queue_ready
-                .wait(queue)
+    /// Blocks until the connection's `Bye` has left, then reports the
+    /// session outcome exactly as [`Server::serve`] does.
+    ///
+    /// # Errors
+    ///
+    /// The first write error of the connection's sink, if any.
+    pub(crate) fn wait_finished(&self, conn: &Connection) -> std::io::Result<ServerStats> {
+        let mut writer = lock(&conn.writer);
+        while !writer.finished {
+            writer = conn
+                .finished_cv
+                .wait(writer)
                 .unwrap_or_else(PoisonError::into_inner);
+        }
+        match writer.error.take() {
+            Some(error) => Err(error),
+            None => Ok(writer.bye.expect("finished connection recorded its Bye")),
+        }
+    }
+
+    /// Blocks until the connection's `Bye` has left, without consuming
+    /// the outcome — for the transport's per-connection closer thread,
+    /// which only needs the *moment* (the drain collects the outcome
+    /// via [`Server::wait_finished`] afterwards).
+    pub(crate) fn await_finished(&self, conn: &Connection) {
+        let mut writer = lock(&conn.writer);
+        while !writer.finished {
+            writer = conn
+                .finished_cv
+                .wait(writer)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Waits up to `timeout` for the connection to finish; `true` once
+    /// its `Bye` has left.
+    pub(crate) fn wait_finished_timeout(&self, conn: &Connection, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut writer = lock(&conn.writer);
+        while !writer.finished {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, _) = conn
+                .finished_cv
+                .wait_timeout(writer, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            writer = guard;
+        }
+        true
+    }
+
+    /// Tightens every in-flight token of the connection to at most
+    /// `deadline` — the transport's drain bound: requests that outlive
+    /// the grace period answer [`ErrorKind::DeadlineExceeded`] instead
+    /// of holding the drain open.
+    pub(crate) fn impose_drain_deadline(&self, conn: &Connection, deadline: Instant) {
+        for token in lock(&conn.tokens).values() {
+            token.impose_deadline(deadline);
+        }
+    }
+
+    /// Persists the row store now (transport drain); `0` without a
+    /// configured cache dir.
+    pub(crate) fn save_store_now(&self) -> u64 {
+        match &self.config.cache_dir {
+            Some(dir) => save_row_store(&self.row_store, dir, &self.config.faults),
+            None => 0,
         }
     }
 
@@ -524,6 +869,16 @@ impl Server {
     }
 }
 
+/// Takes the job out of a claimed slot, leaving `Running` behind.
+fn claim(conn: &Connection, seq: u64) -> Job {
+    let mut state = lock(&conn.state);
+    let index = usize::try_from(seq - state.front_seq).expect("window fits in memory");
+    match std::mem::replace(&mut state.slots[index], Slot::Running) {
+        Slot::Waiting(job) => job,
+        other => unreachable!("claimed slot {seq} held {other:?}"),
+    }
+}
+
 /// Loads the persisted row store from `dir`, isolating every failure
 /// mode — I/O errors, corruption, and injected store-stage panics —
 /// into a stderr warning and a cold store. Returns the cells merged.
@@ -603,7 +958,7 @@ fn invalid_soc(message: String) -> OptimizeError {
 }
 
 /// Best-effort text of a panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     if let Some(message) = payload.downcast_ref::<&str>() {
         message
     } else if let Some(message) = payload.downcast_ref::<String>() {
@@ -620,10 +975,33 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::OptimizeRequest;
+    use crate::engine::{OptimizeRequest, SweepAxis};
     use crate::problem::OptimizerConfig;
     use soctest_ate::{AteSpec, ProbeStation, TestCell};
     use std::io::Cursor;
+
+    /// A cloneable `'static` sink for [`Server::serve`] in tests — the
+    /// connection owns one clone, the test keeps another to read the
+    /// transcript back.
+    #[derive(Debug, Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn contents(&self) -> Vec<u8> {
+            lock(&self.0).clone()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            lock(&self.0).extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
 
     fn sample_request() -> OptimizeRequest {
         let cell = TestCell::new(
@@ -657,11 +1035,11 @@ mod tests {
 
     fn run_session(config: ServerConfig, input: &str) -> (Vec<ServerFrame>, ServerStats) {
         let server = Server::new(config);
-        let mut output = Vec::new();
+        let output = SharedBuf::default();
         let stats = server
-            .serve(Cursor::new(input.to_string()), &mut output)
+            .serve(Cursor::new(input.to_string()), output.clone())
             .expect("serve");
-        let frames = String::from_utf8(output)
+        let frames = String::from_utf8(output.contents())
             .unwrap()
             .lines()
             .map(|line| serde_json::from_str::<ServerFrame>(line).expect("server frame parses"))
@@ -708,6 +1086,8 @@ mod tests {
         assert_eq!(stats.cache.result_misses, 1);
         assert!(stats.cache.result_bytes > 0);
         assert!(stats.cache.cells_computed > 0);
+        // The stdin session carries no connection identity block.
+        assert!(stats.connection.is_none());
     }
 
     #[test]
@@ -783,13 +1163,13 @@ mod tests {
             "{}\n\"Shutdown\"\n",
             optimize_line("r1", SocSpec::Named("d695".into()), None),
         );
-        let mut output = Vec::new();
+        let output = SharedBuf::default();
         let stats = server
-            .serve(Cursor::new(input), &mut output)
+            .serve(Cursor::new(input), output.clone())
             .expect("serve");
         // Nothing on the wire...
         assert!(stats.trace.is_none());
-        let text = String::from_utf8(output).unwrap();
+        let text = String::from_utf8(output.contents()).unwrap();
         assert!(!text.contains("\"stats\""));
         assert!(!text.contains("\"trace\""));
         // ...but the in-process aggregate recorded the run.
@@ -817,6 +1197,8 @@ mod tests {
         }
         assert!(matches!(&frames[2], ServerFrame::Result(r) if r.request_id == "r1"));
         assert_eq!((stats.served, stats.errors), (1, 2));
+        // Protocol errors are not internal errors.
+        assert_eq!(stats.internal_errors, 0);
     }
 
     #[test]
@@ -858,7 +1240,7 @@ mod tests {
     }
 
     #[test]
-    fn panicking_request_is_isolated() {
+    fn panicking_request_is_isolated_and_counted() {
         let config = ServerConfig {
             faults: FaultPlan::parse("optimize:panic@r1").unwrap(),
             ..ServerConfig::default()
@@ -883,13 +1265,68 @@ mod tests {
         }
         assert!(matches!(&frames[1], ServerFrame::Result(r) if r.request_id == "r2"));
         assert_eq!((stats.served, stats.errors), (1, 1));
+        // The panic shows up in the typed Bye counter, not just as the
+        // per-request Error frame...
+        assert_eq!(stats.internal_errors, 1);
+        match &frames[2] {
+            ServerFrame::Bye(bye) => assert_eq!(bye.internal_errors, 1),
+            other => panic!("expected Bye, got {other:?}"),
+        }
+        // ...and non-internal failures (unknown SOC) do not inflate it.
+        let (_, clean) = run_session(
+            ServerConfig::default(),
+            &format!(
+                "{}\n",
+                optimize_line("r1", SocSpec::Named("no_such_soc".into()), None)
+            ),
+        );
+        assert_eq!(clean.errors, 1);
+        assert_eq!(clean.internal_errors, 0);
+    }
+
+    #[test]
+    fn multi_executor_session_keeps_admission_order() {
+        // r1 is held by a 300 ms fault while r2/r3 (distinct sweeps, so
+        // no coalescing) finish on other executors; the output window
+        // must still release frames in admission order.
+        let config = ServerConfig {
+            executors: 4,
+            faults: FaultPlan::parse("optimize:delay:300@r1").unwrap(),
+            ..ServerConfig::default()
+        };
+        let sweep_line = |request_id: &str, channels: Vec<usize>| {
+            serde_json::to_string(&ClientFrame::Optimize(OptimizeFrame {
+                request_id: request_id.to_string(),
+                soc: SocSpec::Named("d695".into()),
+                request: sample_request().with_sweep(SweepAxis::Channels(channels)),
+                deadline_ms: None,
+                stats: false,
+            }))
+            .unwrap()
+        };
+        let input = format!(
+            "{}\n{}\n{}\n\"Shutdown\"\n",
+            sweep_line("r1", vec![16, 24]),
+            sweep_line("r2", vec![32]),
+            sweep_line("r3", vec![48]),
+        );
+        let (frames, stats) = run_session(config, &input);
+        let ids: Vec<&str> = frames[..3]
+            .iter()
+            .map(|frame| match frame {
+                ServerFrame::Result(result) => result.request_id.as_str(),
+                other => panic!("expected result, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(ids, ["r1", "r2", "r3"]);
+        assert_eq!((stats.served, stats.errors), (3, 0));
     }
 
     #[test]
     fn full_queue_sheds_with_overloaded() {
         // r1 runs slowly (held by the delay fault) while r2 fills the
         // single queue slot, so r3 must be shed. The admission delay on
-        // r2 gives the executor time to pop r1 first, making the
+        // r2 gives the executor time to claim r1 first, making the
         // capacity arithmetic deterministic.
         let config = ServerConfig {
             queue_capacity: 1,

@@ -7,8 +7,8 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use soctest_ate::{AteSpec, ProbeStation, TestCell};
 use soctest_multisite::service::{
-    parse_client_frame, render_server_frame, CacheStats, ClientFrame, ErrorFrame, ErrorKind,
-    OptimizeFrame, ServerFrame, ServerStats, SocSpec, TraceSummary,
+    parse_client_frame, render_server_frame, CacheStats, ClientFrame, ConnectionStats, ErrorFrame,
+    ErrorKind, OptimizeFrame, ServerFrame, ServerStats, SocSpec, TraceSummary,
 };
 use soctest_multisite::{OptimizeRequest, OptimizerConfig, SweepAxis};
 
@@ -102,8 +102,9 @@ prop_compose! {
         anonymous in 0u8..2,
         kind_index in 0usize..9,
         message in arb_id(),
-        counters in vec(0u64..10_000, 18),
+        counters in vec(0u64..10_000, 21),
         with_trace in 0u8..2,
+        with_connection in 0u8..2,
     ) -> ServerFrame {
         let kinds = [
             ErrorKind::Protocol,
@@ -125,6 +126,7 @@ prop_compose! {
             _ => ServerFrame::Bye(ServerStats {
                 served: counters[0],
                 errors: counters[1],
+                internal_errors: counters[18],
                 sessions_created: counters[2],
                 session_hits: counters[3],
                 session_misses: counters[4],
@@ -144,6 +146,10 @@ prop_compose! {
                     cells_built: counters[15],
                     cells_inherited: counters[16],
                     store_cells_computed: counters[17],
+                }),
+                connection: (with_connection == 1).then_some(ConnectionStats {
+                    id: counters[19],
+                    requests: counters[20],
                 }),
             }),
         }
