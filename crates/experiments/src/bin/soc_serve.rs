@@ -11,6 +11,10 @@
 //!                                     admission queue (default 1)
 //! soc-serve --drain-ms N              grace for in-flight requests once a
 //!                                     drain starts (default 2000)
+//! soc-serve --write-timeout-ms N      per-socket write timeout; a client
+//!                                     that stops reading becomes a dead
+//!                                     sink instead of blocking an
+//!                                     executor (default 30000)
 //! soc-serve --queue-cap N             bound the admission queue (default 64)
 //! soc-serve --max-sessions N          bound the warm-session LRU (default 8)
 //! soc-serve --max-table-bytes N       bound charged table memory (default 256 MiB)
@@ -32,8 +36,11 @@
 //! once bound (with a TCP `:0` operand that line carries the real
 //! port), serves until `SIGTERM`/`SIGINT`, then drains: it stops
 //! accepting, lets in-flight requests finish within `--drain-ms`
-//! (overdue ones answer `deadline_exceeded`), ends every connection
-//! with its own `Bye`, and persists the row store once. All
+//! (overdue ones answer `deadline_exceeded`; a connection that still
+//! refuses to finish is abandoned and counted lost rather than allowed
+//! to wedge the drain), ends every connection with its own `Bye`, and
+//! persists the row store once — even when the listener exits on an
+//! accept error. All
 //! connections share one session registry, one row store, one solution
 //! cache, and one admission queue drained by `--executors` workers;
 //! per-connection responses keep admission order at any executor
@@ -80,6 +87,7 @@ struct Options {
     config: ServerConfig,
     listen: Option<String>,
     drain_ms: u64,
+    write_timeout_ms: u64,
     emit_sample: bool,
     emit_sample_stats: bool,
     list_socs: bool,
@@ -90,7 +98,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: soc-serve [--listen PATH|HOST:PORT] [--executors N] [--drain-ms N] \
-         [--queue-cap N] [--max-sessions N] [--max-table-bytes N] \
+         [--write-timeout-ms N] [--queue-cap N] [--max-sessions N] [--max-table-bytes N] \
          [--cache-dir DIR] [--max-result-entries N] [--max-result-bytes N] \
          [--faults SPEC] [--stats-summary] [--check GOLDEN]\n\
          \x20      soc-serve --list-socs\n\
@@ -106,6 +114,7 @@ fn parse_args() -> Options {
     let mut config = ServerConfig::default();
     let mut listen = None;
     let mut drain_ms = 2000;
+    let mut write_timeout_ms = 30_000;
     let mut emit_sample = false;
     let mut emit_sample_stats = false;
     let mut list_socs = false;
@@ -126,6 +135,7 @@ fn parse_args() -> Options {
             "--max-result-bytes" => config.max_result_bytes = parse_number(args.next()),
             "--executors" => config.executors = parse_number(args.next()),
             "--drain-ms" => drain_ms = parse_number(args.next()),
+            "--write-timeout-ms" => write_timeout_ms = parse_number(args.next()),
             "--listen" => match args.next() {
                 Some(addr) => listen = Some(addr),
                 None => usage(),
@@ -169,6 +179,7 @@ fn parse_args() -> Options {
         config,
         listen,
         drain_ms,
+        write_timeout_ms,
         emit_sample,
         emit_sample_stats,
         list_socs,
@@ -225,6 +236,7 @@ fn serve_listener(addr_text: &str, options: &Options) -> ExitCode {
     let server = Server::new(options.config.clone());
     let mut transport = TransportConfig::default();
     transport.drain_grace = Duration::from_millis(options.drain_ms);
+    transport.write_timeout = Duration::from_millis(options.write_timeout_ms.max(1));
     match listener.serve(&server, &transport, &SHUTDOWN) {
         Ok(stats) => {
             eprintln!(

@@ -173,7 +173,11 @@ impl ConnState {
 
 /// The connection's output half, under its own lock: frames are written
 /// (and counted) only while this lock is held, which is what serialises
-/// multi-executor completions into one byte stream.
+/// multi-executor completions into one byte stream. Writes run on
+/// whichever thread flushes (usually an executor), so socket sinks are
+/// given a write timeout by the transport — a client that stops reading
+/// turns into a timed-out write here, which marks the sink dead instead
+/// of parking the executor pool behind one connection.
 struct ConnWriter {
     sink: Box<dyn Write + Send>,
     served: u64,
@@ -185,6 +189,10 @@ struct ConnWriter {
     /// Set once the `Bye` frame has left (or was skipped on a dead
     /// sink); the connection is complete.
     finished: bool,
+    /// Set when the transport's drain gives up on a stuck connection
+    /// ([`Server::abandon_connection`]): releases waiters that must not
+    /// block on a `Bye` that may never leave.
+    abandoned: bool,
     /// The `Bye` statistics, recorded when `finished` is set.
     bye: Option<ServerStats>,
 }
@@ -198,6 +206,7 @@ impl ConnWriter {
             internal_errors: 0,
             error: None,
             finished: false,
+            abandoned: false,
             bye: None,
         }
     }
@@ -712,18 +721,32 @@ impl Server {
         }
     }
 
-    /// Blocks until the connection's `Bye` has left, without consuming
-    /// the outcome — for the transport's per-connection closer thread,
-    /// which only needs the *moment* (the drain collects the outcome
-    /// via [`Server::wait_finished`] afterwards).
+    /// Blocks until the connection's `Bye` has left — or until the
+    /// drain abandons the connection — without consuming the outcome.
+    /// For the transport's per-connection closer thread, which only
+    /// needs the *moment* (the drain collects the outcome via
+    /// [`Server::wait_finished`] afterwards). The abandonment arm is
+    /// what keeps the closer thread joinable when a connection never
+    /// finishes: the wait here must never outlive the drain's own
+    /// bounded wait.
     pub(crate) fn await_finished(&self, conn: &Connection) {
         let mut writer = lock(&conn.writer);
-        while !writer.finished {
+        while !writer.finished && !writer.abandoned {
             writer = conn
                 .finished_cv
                 .wait(writer)
                 .unwrap_or_else(PoisonError::into_inner);
         }
+    }
+
+    /// Gives up on a stuck connection: releases every
+    /// [`Server::await_finished`] waiter even though the `Bye` has not
+    /// (and may never have) left. The transport's drain calls this
+    /// after its bounded wait expires, right before shutting the socket
+    /// down, so the connection's closer thread stays joinable.
+    pub(crate) fn abandon_connection(&self, conn: &Connection) {
+        lock(&conn.writer).abandoned = true;
+        conn.finished_cv.notify_all();
     }
 
     /// Waits up to `timeout` for the connection to finish; `true` once

@@ -23,7 +23,13 @@
 //! deadline ([`TransportConfig::drain_grace`] from now), and wait for
 //! each connection to finish with its own `Bye`. Requests that outlive
 //! the grace answer `DeadlineExceeded` instead of holding the drain
-//! open. The row store is persisted once, at drain — not once per
+//! open; a connection that still refuses to finish
+//! ([`TransportConfig::drain_margin`] past the grace) is abandoned —
+//! counted lost, its socket fully shut down — rather than allowed to
+//! wedge the drain. Accepted sockets carry a write timeout
+//! ([`TransportConfig::write_timeout`]), so a client that stops reading
+//! costs its own connection (dead sink), never the shared executor
+//! pool. The row store is persisted once, at drain — not once per
 //! connection.
 //!
 //! The fault harness extends here: `accept`-stage faults fire in the
@@ -57,26 +63,24 @@ use std::time::{Duration, Instant};
 /// listener wakes only a few hundred times a second.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
-/// Extra patience beyond the drain grace before a connection is
-/// declared stuck: covers the gap between a token's deadline firing and
-/// the engine's next cancellation probe.
-const DRAIN_MARGIN: Duration = Duration::from_secs(10);
-
 /// Where the server listens.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ListenAddr {
     /// A Unix-domain socket at this path (created at bind, removed at
     /// close).
     Unix(PathBuf),
-    /// A TCP address like `127.0.0.1:7878` (`:0` picks a free port —
-    /// the bound address is echoed by [`BoundListener::local_addr`]).
+    /// A TCP address like `127.0.0.1:7878` or `localhost:7878` (`:0`
+    /// picks a free port — the bound address is echoed by
+    /// [`BoundListener::local_addr`]).
     Tcp(String),
 }
 
 impl ListenAddr {
     /// Parses a `--listen` operand: anything that parses as a socket
-    /// address (`host:port`) is TCP, everything else is a Unix socket
-    /// path.
+    /// address, or looks like `host:port` (a hostname such as
+    /// `localhost:7878` — bind/connect resolve it), is TCP; everything
+    /// else is a Unix socket path. A string containing a path separator
+    /// is always a path, colons and all.
     ///
     /// # Errors
     ///
@@ -85,11 +89,28 @@ impl ListenAddr {
         if text.is_empty() {
             return Err("listen address must not be empty".to_string());
         }
-        if text.parse::<SocketAddr>().is_ok() {
+        if text.parse::<SocketAddr>().is_ok() || is_host_port(text) {
             Ok(ListenAddr::Tcp(text.to_string()))
         } else {
             Ok(ListenAddr::Unix(PathBuf::from(text)))
         }
+    }
+}
+
+/// A syntactic `host:port` check for the hostname forms `SocketAddr`
+/// rejects: one colon, a non-empty host without path separators, a
+/// valid port number. Resolution is left to bind/connect, whose "failed
+/// to look up address" beats the file-not-found a misclassified Unix
+/// path would give.
+fn is_host_port(text: &str) -> bool {
+    if text.contains('/') {
+        return false;
+    }
+    match text.rsplit_once(':') {
+        Some((host, port)) => {
+            !host.is_empty() && !host.contains(':') && port.parse::<u16>().is_ok()
+        }
+        None => false,
     }
 }
 
@@ -111,12 +132,27 @@ pub struct TransportConfig {
     /// starts; beyond it their tokens' deadlines fire and they answer
     /// `DeadlineExceeded`.
     pub drain_grace: Duration,
+    /// Extra patience beyond the drain grace before a connection is
+    /// declared stuck and abandoned: covers the gap between a token's
+    /// deadline firing and the engine's next cancellation probe.
+    pub drain_margin: Duration,
+    /// Write timeout set on every accepted socket (`SO_SNDTIMEO`). A
+    /// client that submits requests but stops reading fills the kernel
+    /// send buffer; without a timeout the executor flushing that
+    /// connection would block indefinitely under the writer lock —
+    /// head-of-line blocking for the whole shared pool. A timed-out
+    /// write marks the sink dead like any other write error: the
+    /// session still drains, the outcome is reported as a lost
+    /// connection.
+    pub write_timeout: Duration,
 }
 
 impl Default for TransportConfig {
     fn default() -> Self {
         TransportConfig {
             drain_grace: Duration::from_secs(2),
+            drain_margin: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -190,6 +226,15 @@ impl ConnStream {
         match self {
             ConnStream::Unix(s) => s.set_nonblocking(false),
             ConnStream::Tcp(s) => s.set_nonblocking(false),
+        }
+    }
+
+    /// Arms `SO_SNDTIMEO` — a socket-level option, so one call covers
+    /// every cloned handle on the connection.
+    fn set_write_timeout(&self, timeout: Duration) -> io::Result<()> {
+        match self {
+            ConnStream::Unix(s) => s.set_write_timeout(Some(timeout)),
+            ConnStream::Tcp(s) => s.set_write_timeout(Some(timeout)),
         }
     }
 }
@@ -290,7 +335,12 @@ impl BoundListener {
     /// Binds the address and switches the listener to non-blocking
     /// accepts. A Unix path whose previous owner died (the socket file
     /// exists but nothing accepts on it) is silently reclaimed; a path
-    /// with a live listener stays `AddrInUse`.
+    /// with a live listener stays `AddrInUse`. The liveness probe is a
+    /// real `connect`: the live owner accepts it as an ordinary
+    /// connection that immediately closes without a frame — it consumes
+    /// one accept ordinal there (shifting `accept`/`connection` fault
+    /// keying) and shows up in its drain aggregate as a connection whose
+    /// `Bye` went to a closed peer.
     ///
     /// # Errors
     ///
@@ -418,13 +468,16 @@ impl BoundListener {
                 // by the connection), the reader, the reader's closer
                 // (half-closes after Bye so clients see EOF), and the
                 // drain handle kept here.
-                let handles = stream.set_blocking().and_then(|()| {
-                    Ok((
-                        stream.try_clone()?,
-                        stream.try_clone()?,
-                        stream.try_clone()?,
-                    ))
-                });
+                let handles = stream
+                    .set_blocking()
+                    .and_then(|()| stream.set_write_timeout(config.write_timeout))
+                    .and_then(|()| {
+                        Ok((
+                            stream.try_clone()?,
+                            stream.try_clone()?,
+                            stream.try_clone()?,
+                        ))
+                    });
                 let (read_half, closer, drain_handle) = match handles {
                     Ok(handles) => handles,
                     Err(error) => {
@@ -468,13 +521,16 @@ impl BoundListener {
                 server.impose_drain_deadline(conn, deadline);
             }
             for (conn, stream, handle) in live {
-                if handle.join().is_err() {
-                    // fail_connection already ran inside catch_unwind;
-                    // a panic here is past it — close so Bye can leave.
-                    server.close_connection(&conn);
-                }
                 stats.connections += 1;
-                if server.wait_finished_timeout(&conn, config.drain_grace + DRAIN_MARGIN) {
+                // The bounded wait runs *before* joining the reader
+                // thread: the reader parks in an unbounded
+                // `await_finished` on the same flag, so joining first
+                // would wedge the drain on any connection that never
+                // finishes. A stuck connection is abandoned instead —
+                // the abandon flag releases the reader's wait, and the
+                // full shutdown fails any executor parked in a write to
+                // this socket — so the join below is always bounded.
+                if server.wait_finished_timeout(&conn, config.drain_grace + config.drain_margin) {
                     match server.wait_finished(&conn) {
                         Ok(bye) => stats.absorb(&bye),
                         Err(error) => {
@@ -488,8 +544,14 @@ impl BoundListener {
                         conn.ordinal()
                     );
                     stats.lost_connections += 1;
+                    server.abandon_connection(&conn);
                 }
                 stream.shutdown(Shutdown::Both);
+                if handle.join().is_err() {
+                    // fail_connection already ran inside catch_unwind;
+                    // a panic here is past it — close so Bye can leave.
+                    server.close_connection(&conn);
+                }
             }
             server.close_queue();
             for worker in workers {
@@ -498,10 +560,14 @@ impl BoundListener {
                 }
             }
         });
+        // Persist before reporting an accept failure: the drain of live
+        // connections already completed, and socket connections never
+        // save the store themselves — returning early here would throw
+        // away every row this serve warmed.
+        stats.store_rows_saved = server.save_store_now();
         if let Some(error) = accept_error {
             return Err(error);
         }
-        stats.store_rows_saved = server.save_store_now();
         Ok(stats)
     }
 }
@@ -539,6 +605,12 @@ mod tests {
             ListenAddr::parse("[::1]:7878").unwrap(),
             ListenAddr::Tcp("[::1]:7878".to_string())
         );
+        // A hostname:port — the advertised HOST:PORT form — is TCP even
+        // though it is not a SocketAddr literal.
+        assert_eq!(
+            ListenAddr::parse("localhost:7878").unwrap(),
+            ListenAddr::Tcp("localhost:7878".to_string())
+        );
         assert_eq!(
             ListenAddr::parse("/tmp/soc.sock").unwrap(),
             ListenAddr::Unix(PathBuf::from("/tmp/soc.sock"))
@@ -547,6 +619,16 @@ mod tests {
         assert_eq!(
             ListenAddr::parse("localhost").unwrap(),
             ListenAddr::Unix(PathBuf::from("localhost"))
+        );
+        // A path separator always means a path, colons and all.
+        assert_eq!(
+            ListenAddr::parse("/tmp/odd:1").unwrap(),
+            ListenAddr::Unix(PathBuf::from("/tmp/odd:1"))
+        );
+        // An out-of-range or non-numeric port is not a host:port form.
+        assert_eq!(
+            ListenAddr::parse("soc.sock:archive").unwrap(),
+            ListenAddr::Unix(PathBuf::from("soc.sock:archive"))
         );
         assert!(ListenAddr::parse("").is_err());
     }
@@ -794,5 +876,40 @@ mod tests {
         // The socket file is gone once the listener dropped.
         drop(listener);
         assert!(!path.exists(), "socket path cleaned up");
+    }
+
+    #[test]
+    fn stuck_connection_is_abandoned_without_wedging_the_drain() {
+        let guard = SockDirGuard::new("stuck");
+        // The delay fault sleeps without observing the cancel token —
+        // a request that ignores its drain deadline far past the grace.
+        let server = Server::new(ServerConfig {
+            faults: FaultPlan::parse("optimize:delay:700@stuck").unwrap(),
+            ..ServerConfig::default()
+        });
+        let config = TransportConfig {
+            drain_grace: Duration::from_millis(50),
+            drain_margin: Duration::from_millis(100),
+            ..TransportConfig::default()
+        };
+        let path = guard.sock();
+        let listener = BoundListener::bind(&ListenAddr::Unix(path.clone())).expect("bind");
+        let stop = AtomicBool::new(false);
+        // Before the abandonment fix this test hung: the drain joined
+        // the reader thread, which was parked waiting for a Bye that
+        // only leaves once the stuck request does.
+        let stats = thread::scope(|scope| {
+            let serving = scope.spawn(|| listener.serve(&server, &config, &stop).expect("serve"));
+            let mut stream = UnixStream::connect(&path).expect("connect");
+            writeln!(stream, "{}", optimize_line("stuck", "d695")).expect("send");
+            stream.flush().expect("flush");
+            // Let the executor claim the request and enter the delay.
+            thread::sleep(Duration::from_millis(100));
+            stop.store(true, Ordering::SeqCst);
+            serving.join().expect("listener thread")
+        });
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.lost_connections, 1, "stuck connection abandoned");
+        assert_eq!(stats.served, 0, "an abandoned Bye is not absorbed");
     }
 }
