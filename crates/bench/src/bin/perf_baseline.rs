@@ -39,6 +39,14 @@
 //!   requests from the warmed cache — hot responses asserted
 //!   bit-identical to the computed ones before timing, and the hot mean
 //!   is required to be at least 5x faster;
+//! * sweep-point reuse (`sweep_point_reuse`): the Figure 6(a) channel
+//!   sweep through a point-memo-backed engine sharing one namespace
+//!   with the solution cache — a cold iteration computes every point, a
+//!   warm iteration answers every point from the memo. Before timing,
+//!   the memo-backed sweep is asserted bit-identical to a bare engine's,
+//!   a repeat sweep must reuse every point, and a *plain* request for a
+//!   swept channel count is hard-gated to be a full cache `Hit` that
+//!   computes nothing;
 //! * a simulated `--cache-dir` restart (`row_store_reuse`): a warmed
 //!   [`RowStore`] saved to `rows.v1`, reloaded into a brand-new store as
 //!   a second process would, and a fresh store-backed engine serving the
@@ -65,8 +73,8 @@ use soctest_multisite::engine::{Engine, OptimizeRequest, SweepAxis};
 use soctest_multisite::optimizer::{optimize, optimize_with_table};
 use soctest_multisite::problem::OptimizerConfig;
 use soctest_multisite::service::{
-    BoundListener, CancelToken, ClientFrame, ClientStream, ListenAddr, OptimizeFrame, Server,
-    ServerConfig, ServerFrame, SocSpec, SolutionCache, TransportConfig,
+    BoundListener, CacheOutcome, CancelToken, ClientFrame, ClientStream, ListenAddr, OptimizeFrame,
+    Server, ServerConfig, ServerFrame, SessionPointMemo, SocSpec, SolutionCache, TransportConfig,
 };
 use soctest_multisite::sweep::{
     abort_on_fail_sweep, channel_sweep, contact_yield_sweep, depth_sweep,
@@ -486,6 +494,87 @@ fn main() {
     println!("\nsolution_cache speedup: {cache_speedup:.1}x hot over cold\n");
     measurements.push(cache_cold);
     measurements.push(cache_hot);
+
+    // --- Sweep-point reuse: memoised points pre-answer plain requests ----
+    // The Figure 6(a) channel sweep through a point-memo-backed engine:
+    // every point lands in the solution cache under its plain
+    // effective-config key, so a warm iteration answers every point from
+    // the memo and a standalone request for a swept channel count is a
+    // full cache hit. All of that is asserted — bit-identically — before
+    // anything is timed.
+    let sweep_request = &figure_batch[0];
+    let point_cache = Arc::new(SolutionCache::new(256, 64 * 1024 * 1024));
+    {
+        let bare = Engine::new(&pnx)
+            .run(sweep_request)
+            .expect("the fig6a sweep is feasible");
+        let memo_engine = Engine::builder(&pnx)
+            .point_memo(Arc::new(SessionPointMemo::new(Arc::clone(&point_cache), 0)))
+            .build();
+        let (first, cold_trace) = memo_engine.run_traced(sweep_request);
+        assert_eq!(
+            first.expect("the fig6a sweep is feasible"),
+            bare,
+            "the point memo changed the sweep's answer"
+        );
+        assert_eq!(cold_trace.points_computed, channels.len() as u64);
+        // A fresh engine over the warmed cache reuses every point.
+        let warm_engine = Engine::builder(&pnx)
+            .point_memo(Arc::new(SessionPointMemo::new(Arc::clone(&point_cache), 0)))
+            .build();
+        let (second, warm_trace) = warm_engine.run_traced(sweep_request);
+        assert_eq!(second.expect("the fig6a sweep is feasible"), bare);
+        assert_eq!(
+            warm_trace.points_reused,
+            channels.len() as u64,
+            "a repeat sweep must reuse every memoised point"
+        );
+        assert_eq!(warm_trace.points_computed, 0);
+        // Hard gate: after the sweep, a *plain* request for a swept
+        // channel count is a cache Hit that computes nothing at all —
+        // the compute closure is unreachable.
+        let mut point_cfg = pnx_config;
+        point_cfg.test_cell.ate = point_cfg.test_cell.ate.with_channels(channels[0]);
+        let plain = OptimizeRequest::new(point_cfg);
+        let (outcome, served) = point_cache
+            .run_coalesced(0, &plain, &CancelToken::new(), || {
+                panic!("a swept point must answer the plain request with zero cells computed")
+            })
+            .expect("a cached point cannot fail");
+        assert_eq!(
+            outcome,
+            CacheOutcome::Hit,
+            "the post-sweep plain request must be a cache hit"
+        );
+        assert_eq!(
+            served,
+            Engine::new(&pnx)
+                .run(&plain)
+                .expect("every fig6a point is feasible"),
+            "the memoised point diverged from a cold computation"
+        );
+    }
+    let sweep_cold = measure("sweep_point_reuse/pnx8550_like/cold", || {
+        let cache = Arc::new(SolutionCache::new(256, 64 * 1024 * 1024));
+        let engine = Engine::builder(&pnx)
+            .point_memo(Arc::new(SessionPointMemo::new(cache, 0)))
+            .build();
+        engine
+            .run(sweep_request)
+            .expect("the fig6a sweep is feasible")
+    });
+    let sweep_warm = measure("sweep_point_reuse/pnx8550_like/warm", || {
+        let engine = Engine::builder(&pnx)
+            .point_memo(Arc::new(SessionPointMemo::new(Arc::clone(&point_cache), 0)))
+            .build();
+        engine
+            .run(sweep_request)
+            .expect("the fig6a sweep is feasible")
+    });
+    let sweep_reuse_speedup = sweep_cold.mean_seconds / sweep_warm.mean_seconds;
+    println!("\nsweep_point_reuse speedup: {sweep_reuse_speedup:.1}x warm over cold\n");
+    measurements.push(sweep_cold);
+    measurements.push(sweep_warm);
 
     // --- Cross-process row-store reuse ------------------------------------
     // Simulates the `--cache-dir` restart: a warmed store saved to

@@ -8,6 +8,8 @@
 //! soc-batch REQUEST.json --cache-dir D  reuse/persist module time rows in
 //!                                       D/rows.v1 (responses are identical
 //!                                       with or without the cache)
+//! soc-batch ... --max-store-bytes N     bound D/rows.v1: the save drops the
+//!                                       coldest-touched rows until it fits
 //! soc-batch --emit-sample-request       print the canonical sample request
 //! soc-batch --list-socs                 print the named-SOC catalogue and exit
 //! ```
@@ -33,17 +35,20 @@ struct Options {
     out: Option<PathBuf>,
     check: Option<PathBuf>,
     cache_dir: Option<PathBuf>,
+    max_store_bytes: Option<u64>,
     emit_sample: bool,
     list_socs: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: soc-batch REQUEST.json [--out FILE | --check GOLDEN] [--cache-dir DIR]\n\
+        "usage: soc-batch REQUEST.json [--out FILE | --check GOLDEN] [--cache-dir DIR] \
+         [--max-store-bytes N]\n\
          \x20      soc-batch --emit-sample-request | --list-socs\n\
          serves a JSON optimizer-request batch through one engine session; \
          --check byte-compares the response against GOLDEN and exits 1 on drift; \
-         --cache-dir reuses and persists module time rows in DIR/rows.v1"
+         --cache-dir reuses and persists module time rows in DIR/rows.v1, and \
+         --max-store-bytes drops the coldest rows at save time until the file fits"
     );
     std::process::exit(2)
 }
@@ -54,6 +59,7 @@ fn parse_args() -> Options {
         out: None,
         check: None,
         cache_dir: None,
+        max_store_bytes: None,
         emit_sample: false,
         list_socs: false,
     };
@@ -72,6 +78,10 @@ fn parse_args() -> Options {
             },
             "--cache-dir" => match args.next() {
                 Some(dir) => options.cache_dir = Some(PathBuf::from(dir)),
+                None => usage(),
+            },
+            "--max-store-bytes" => match args.next().and_then(|raw| raw.parse().ok()) {
+                Some(bytes) => options.max_store_bytes = Some(bytes),
                 None => usage(),
             },
             other if !other.starts_with('-') && options.request.is_none() => {
@@ -138,9 +148,14 @@ fn main() -> ExitCode {
     };
     if let (Some(dir), Some(store)) = (&options.cache_dir, &store) {
         let path = dir.join("rows.v1");
+        let cap = options.max_store_bytes.unwrap_or(u64::MAX);
         let saved = std::fs::create_dir_all(dir)
             .map_err(soctest_tam::StoreError::from)
-            .and_then(|()| store.save(&path).map_err(soctest_tam::StoreError::from));
+            .and_then(|()| {
+                store
+                    .save_capped(&path, cap)
+                    .map_err(soctest_tam::StoreError::from)
+            });
         if let Err(err) = saved {
             eprintln!(
                 "warning: failed to save row cache {}: {err}",

@@ -19,6 +19,10 @@
 //! soc-serve --max-sessions N          bound the warm-session LRU (default 8)
 //! soc-serve --max-table-bytes N       bound charged table memory (default 256 MiB)
 //! soc-serve --cache-dir DIR           persist the module-row store in DIR/rows.v1
+//!                                     and the solution cache in DIR/solutions.v1
+//! soc-serve --max-store-bytes N       bound DIR/rows.v1: saves drop the
+//!                                     coldest-touched rows until it fits
+//!                                     (default unbounded)
 //! soc-serve --max-result-entries N    bound the solution cache entries (default 256)
 //! soc-serve --max-result-bytes N      bound the solution cache bytes (default 64 MiB)
 //! soc-serve --faults SPEC             arm the fault-injection harness
@@ -56,9 +60,12 @@
 //! request answers a typed `Internal` error and the server keeps
 //! serving. Identical `(SOC, request)` pairs are answered from an
 //! exact-hit solution cache (in-flight duplicates coalesce onto one
-//! computation), and with `--cache-dir` the content-addressed module
-//! time rows persist across processes, so a restarted server rebuilds
-//! zero rows — the final `Bye` frame's `cache` block reports both.
+//! computation), and with `--cache-dir` both the content-addressed
+//! module time rows (`rows.v1`, bounded by `--max-store-bytes`) and the
+//! successful responses themselves (`solutions.v1`) persist across
+//! processes, so a restarted server rebuilds zero rows and replays
+//! repeat requests as cache hits — the final `Bye` frame's `cache`
+//! block reports both.
 //! Requests that set `"stats": true` are answered with a per-request
 //! `stats` block (cache provenance plus race-deterministic table
 //! deltas) and the `Bye` gains an aggregate `trace` block;
@@ -99,7 +106,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: soc-serve [--listen PATH|HOST:PORT] [--executors N] [--drain-ms N] \
          [--write-timeout-ms N] [--queue-cap N] [--max-sessions N] [--max-table-bytes N] \
-         [--cache-dir DIR] [--max-result-entries N] [--max-result-bytes N] \
+         [--cache-dir DIR] [--max-store-bytes N] [--max-result-entries N] [--max-result-bytes N] \
          [--faults SPEC] [--stats-summary] [--check GOLDEN]\n\
          \x20      soc-serve --list-socs\n\
          \x20      soc-serve --emit-sample-session | --emit-sample-session-stats\n\
@@ -131,6 +138,7 @@ fn parse_args() -> Options {
             "--queue-cap" => config.queue_capacity = parse_number(args.next()),
             "--max-sessions" => config.max_sessions = parse_number(args.next()),
             "--max-table-bytes" => config.max_table_bytes = parse_number(args.next()),
+            "--max-store-bytes" => config.max_store_bytes = Some(parse_number(args.next())),
             "--max-result-entries" => config.max_result_entries = parse_number(args.next()),
             "--max-result-bytes" => config.max_result_bytes = parse_number(args.next()),
             "--executors" => config.executors = parse_number(args.next()),

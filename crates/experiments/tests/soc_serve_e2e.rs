@@ -367,18 +367,31 @@ fn warm_cache_dir_restart_rebuilds_zero_rows_across_processes() {
     let cold = run_server(&["--cache-dir", guard.path()], &input);
     let warm = run_server(&["--cache-dir", guard.path()], &input);
 
-    // Everything except the Bye statistics is byte-identical across the
-    // two processes: same results, same warm/cached flags.
-    let cold_lines: Vec<&str> = cold.lines().collect();
-    let warm_lines: Vec<&str> = warm.lines().collect();
-    assert_eq!(cold_lines.len(), warm_lines.len());
-    assert_eq!(cold_lines[..2], warm_lines[..2]);
+    let cold_frames = parse_transcript(&cold);
+    let warm_frames = parse_transcript(&warm);
+    assert_eq!(cold_frames.len(), warm_frames.len());
+    for (index, (cold_frame, warm_frame)) in
+        cold_frames[..2].iter().zip(&warm_frames[..2]).enumerate()
+    {
+        let (ServerFrame::Result(cold_result), ServerFrame::Result(warm_result)) =
+            (cold_frame, warm_frame)
+        else {
+            panic!("expected results, got {cold_frame:?} / {warm_frame:?}");
+        };
+        // Bit-identical answers across the restart...
+        assert_eq!(cold_result.response, warm_result.response);
+        // ...but the restarted process serves *every* request from the
+        // persisted solution cache, including the one the cold process
+        // had to compute.
+        assert_eq!(cold_result.cached, index != 0);
+        assert!(warm_result.cached, "persisted solutions answer repeats");
+    }
 
-    let cold_bye = match parse_transcript(&cold).pop().unwrap() {
+    let cold_bye = match cold_frames.into_iter().next_back().unwrap() {
         ServerFrame::Bye(stats) => stats,
         other => panic!("expected Bye, got {other:?}"),
     };
-    let warm_bye = match parse_transcript(&warm).pop().unwrap() {
+    let warm_bye = match warm_frames.into_iter().next_back().unwrap() {
         ServerFrame::Bye(stats) => stats,
         other => panic!("expected Bye, got {other:?}"),
     };
@@ -391,6 +404,79 @@ fn warm_cache_dir_restart_rebuilds_zero_rows_across_processes() {
         "zero rows rebuilt on warm restart"
     );
     assert!(warm_bye.cache.store_cells_loaded > 0);
+    // Both requests of the warm process were solution-cache hits.
+    assert_eq!(warm_bye.cache.result_hits, 2);
+    assert_eq!(warm_bye.cache.result_misses, 0);
+}
+
+#[test]
+fn size_capped_cache_dir_restart_stays_under_bound_with_zero_rebuilds() {
+    let guard = CacheDirGuard::new("capped");
+    let input = format!("{}\n{}\n", d695_line("r1"), d695_line("r2"));
+    let cap: u64 = 64 * 1024;
+    let cap_text = cap.to_string();
+    let args = [
+        "--cache-dir",
+        guard.path(),
+        "--max-store-bytes",
+        cap_text.as_str(),
+    ];
+    let cold = run_server(&args, &input);
+    let rows_path = guard.0.join("rows.v1");
+    let rows_len = std::fs::metadata(&rows_path)
+        .expect("rows.v1 written")
+        .len();
+    assert!(rows_len > 0 && rows_len <= cap, "{rows_len} vs cap {cap}");
+    assert!(guard.0.join("solutions.v1").is_file());
+
+    // The second process against the capped dir: bit-identical answers,
+    // zero cells rebuilt, every request a solution-cache hit, and the
+    // re-saved store still under the bound.
+    let warm = run_server(&args, &input);
+    let cold_frames = parse_transcript(&cold);
+    let warm_frames = parse_transcript(&warm);
+    for (cold_frame, warm_frame) in cold_frames[..2].iter().zip(&warm_frames[..2]) {
+        let (ServerFrame::Result(cold_result), ServerFrame::Result(warm_result)) =
+            (cold_frame, warm_frame)
+        else {
+            panic!("expected results, got {cold_frame:?} / {warm_frame:?}");
+        };
+        assert_eq!(cold_result.response, warm_result.response);
+        assert!(warm_result.cached);
+    }
+    match warm_frames.last().unwrap() {
+        ServerFrame::Bye(stats) => {
+            assert_eq!(stats.cache.cells_computed, 0, "zero rebuilds under the cap");
+            assert_eq!(stats.cache.result_hits, 2);
+            assert_eq!(stats.cache.result_misses, 0);
+        }
+        other => panic!("expected Bye, got {other:?}"),
+    }
+    let rows_len = std::fs::metadata(&rows_path)
+        .expect("rows.v1 re-saved")
+        .len();
+    assert!(rows_len <= cap, "the re-save broke the bound: {rows_len}");
+
+    // A bound tighter than any row forces the garbage collection to
+    // shed everything: the file degrades to a valid (row-less) envelope
+    // under the bound, and a restart against it still answers every
+    // request bit-identically.
+    let tiny = CacheDirGuard::new("tiny-cap");
+    let tight_args = ["--cache-dir", tiny.path(), "--max-store-bytes", "100"];
+    run_server(&tight_args, &input);
+    let tiny_len = std::fs::metadata(tiny.0.join("rows.v1"))
+        .expect("capped rows.v1 written")
+        .len();
+    assert!(tiny_len <= 100, "tight bound violated: {tiny_len}");
+    let replay_frames = parse_transcript(&run_server(&tight_args, &input));
+    for (cold_frame, replay_frame) in cold_frames[..2].iter().zip(&replay_frames[..2]) {
+        let (ServerFrame::Result(cold_result), ServerFrame::Result(replay_result)) =
+            (cold_frame, replay_frame)
+        else {
+            panic!("expected results, got {cold_frame:?} / {replay_frame:?}");
+        };
+        assert_eq!(cold_result.response, replay_result.response);
+    }
 }
 
 #[test]

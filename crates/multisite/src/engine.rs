@@ -68,8 +68,32 @@ use soctest_soc_model::validate::{validate_soc, Severity, ValidationIssue};
 use soctest_soc_model::Soc;
 use soctest_tam::{max_tam_width, LazyTimeTable, RowStore, RowStoreStats, StatsEpoch, TimeLookup};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 use std::time::Instant;
+
+/// A point-level memo the engine consults around every *plain*
+/// optimization inside a sweep (each [`SweepAxis::Channels`] /
+/// [`SweepAxis::DepthVectors`] / [`SweepAxis::ContactYield`] point, and
+/// the [`SweepAxis::ManufacturingYield`] base optimization).
+///
+/// The key is the point's *effective* configuration — the base config
+/// with the swept parameter substituted — wrapped as a plain
+/// ([`SweepAxis::None`]) [`OptimizeRequest`], so a memo shared with the
+/// service's exact-hit solution cache makes sweep points and standalone
+/// requests one namespace: a `Channels([192, 256])` sweep answers a
+/// later plain 256-channel request, and vice versa.
+///
+/// Implementations must be cheap on miss (a map probe) and must only
+/// return responses that are bit-identical to recomputation — the engine
+/// trusts `get` blindly. `soctest_multisite::service::cache::SessionPointMemo`
+/// is the canonical implementation.
+pub trait PointMemo: Send + Sync + std::fmt::Debug {
+    /// The memoised response for `request`, if one is resident.
+    fn get(&self, request: &OptimizeRequest) -> Option<OptimizeResponse>;
+    /// Publishes a freshly computed `response` for `request`.
+    fn put(&self, request: &OptimizeRequest, response: &OptimizeResponse);
+}
 
 /// Builds one externally-tagged enum value: `{"<tag>": body}`. Shared by
 /// every hand-written enum `Serialize` impl in this crate (the vendored
@@ -346,6 +370,9 @@ pub struct EngineBuilder {
     /// Shared content-addressed row store, if the session participates in
     /// cross-table / cross-process row reuse.
     row_store: Option<Arc<RowStore>>,
+    /// Point-level solution memo, if the session participates in
+    /// sweep-point / plain-request reuse.
+    point_memo: Option<Arc<dyn PointMemo>>,
 }
 
 impl EngineBuilder {
@@ -369,6 +396,18 @@ impl EngineBuilder {
     /// functions of module shape).
     pub fn row_store(mut self, store: Arc<RowStore>) -> Self {
         self.row_store = Some(store);
+        self
+    }
+
+    /// Attaches a [`PointMemo`]: every plain optimization performed
+    /// *inside* a sweep first consults `memo` under the point's
+    /// effective configuration and publishes its result back on a miss.
+    /// Responses are bit-identical with or without a memo (a memo must
+    /// only serve what recomputation would produce); plain
+    /// [`SweepAxis::None`] requests are untouched — the service caches
+    /// those whole-request, one level up.
+    pub fn point_memo(mut self, memo: Arc<dyn PointMemo>) -> Self {
+        self.point_memo = Some(memo);
         self
     }
 
@@ -413,6 +452,9 @@ impl EngineBuilder {
                 table: RwLock::new(Arc::new(table)),
                 soc: self.soc,
                 threads: self.threads,
+                point_memo: None,
+                points_reused: AtomicU64::new(0),
+                points_computed: AtomicU64::new(0),
                 validation: EngineValidation::Invalid { issues },
             };
         }
@@ -447,6 +489,9 @@ impl EngineBuilder {
             table: RwLock::new(Arc::new(table)),
             soc: self.soc,
             threads: self.threads,
+            point_memo: self.point_memo,
+            points_reused: AtomicU64::new(0),
+            points_computed: AtomicU64::new(0),
             validation: EngineValidation::Usable { warnings },
         }
     }
@@ -502,6 +547,12 @@ pub struct RequestTrace {
     /// Cancellation-token polls observed while serving (0 without a
     /// token).
     pub cancel_probes: u64,
+    /// Sweep points answered from the session's [`PointMemo`] instead of
+    /// being optimized (0 without a memo, and for plain requests).
+    pub points_reused: u64,
+    /// Sweep points optimized fresh and published to the [`PointMemo`]
+    /// (0 without a memo).
+    pub points_computed: u64,
 }
 
 impl RequestTrace {
@@ -530,6 +581,8 @@ impl RequestTrace {
         merged.pool.jobs_injected += other.pool.jobs_injected;
         merged.pool.inline_runs += other.pool.inline_runs;
         merged.cancel_probes += other.cancel_probes;
+        merged.points_reused += other.points_reused;
+        merged.points_computed += other.points_computed;
         merged
     }
 
@@ -569,10 +622,12 @@ struct TraceTimer {
     store: RowStoreStats,
     pool: rayon::PoolStats,
     polls: u64,
+    points_reused: u64,
+    points_computed: u64,
 }
 
 impl TraceTimer {
-    fn begin(table: &LazyTimeTable, token: Option<&CancelToken>) -> TraceTimer {
+    fn begin(engine: &Engine, table: &LazyTimeTable, token: Option<&CancelToken>) -> TraceTimer {
         TraceTimer {
             started: Instant::now(),
             cpu_nanos: process_cpu_nanos(),
@@ -580,12 +635,15 @@ impl TraceTimer {
             store: table.store().map(|s| s.stats()).unwrap_or_default(),
             pool: rayon::pool_stats(),
             polls: token.map(CancelToken::polls).unwrap_or(0),
+            points_reused: engine.points_reused.load(Ordering::Relaxed),
+            points_computed: engine.points_computed.load(Ordering::Relaxed),
         }
     }
 
     fn finish(
         self,
         requests: u64,
+        engine: &Engine,
         table: &LazyTimeTable,
         token: Option<&CancelToken>,
     ) -> RequestTrace {
@@ -605,6 +663,14 @@ impl TraceTimer {
                 .map(CancelToken::polls)
                 .unwrap_or(0)
                 .saturating_sub(self.polls),
+            points_reused: engine
+                .points_reused
+                .load(Ordering::Relaxed)
+                .saturating_sub(self.points_reused),
+            points_computed: engine
+                .points_computed
+                .load(Ordering::Relaxed)
+                .saturating_sub(self.points_computed),
         }
     }
 }
@@ -707,6 +773,12 @@ pub struct Engine {
     table: RwLock<Arc<LazyTimeTable>>,
     /// Parallelism cap; see [`EngineBuilder::threads`].
     threads: Option<usize>,
+    /// Point-level solution memo; see [`EngineBuilder::point_memo`].
+    point_memo: Option<Arc<dyn PointMemo>>,
+    /// Lifetime count of sweep points answered from the point memo.
+    points_reused: AtomicU64,
+    /// Lifetime count of sweep points computed and published to the memo.
+    points_computed: AtomicU64,
     /// Outcome of the builder's [`validate_soc`] pass.
     validation: EngineValidation,
 }
@@ -743,6 +815,7 @@ impl Engine {
             max_channels: 0,
             threads: None,
             row_store: None,
+            point_memo: None,
         }
     }
 
@@ -908,9 +981,9 @@ impl Engine {
             return (Err(err), self.rejection_trace(1));
         }
         let table = self.table_for(request.needed_width());
-        let timer = TraceTimer::begin(&table, None);
+        let timer = TraceTimer::begin(self, &table, None);
         let result = self.run_on(table.as_ref(), None, request);
-        let trace = timer.finish(1, &table, None);
+        let trace = timer.finish(1, self, &table, None);
         (result, trace)
     }
 
@@ -962,9 +1035,9 @@ impl Engine {
             return (Err(stopped), trace);
         }
         let table = self.table_for(request.needed_width());
-        let timer = TraceTimer::begin(&table, Some(token));
+        let timer = TraceTimer::begin(self, &table, Some(token));
         let result = self.run_cancellable_on(table.as_ref(), token, request);
-        let trace = timer.finish(1, &table, Some(token));
+        let trace = timer.finish(1, self, &table, Some(token));
         (result, trace)
     }
 
@@ -1041,9 +1114,9 @@ impl Engine {
             return (responses, self.rejection_trace(count));
         }
         let table = self.table_for(Engine::batch_width(requests));
-        let timer = TraceTimer::begin(&table, None);
+        let timer = TraceTimer::begin(self, &table, None);
         let responses = self.run_batch_on(&table, requests);
-        let trace = timer.finish(count, &table, None);
+        let trace = timer.finish(count, self, &table, None);
         (responses, trace)
     }
 
@@ -1195,6 +1268,36 @@ impl Engine {
         }
     }
 
+    /// The plain optimization behind one sweep point: the point's
+    /// *effective* configuration (base config with the swept parameter
+    /// substituted), answered through the session's [`PointMemo`] when
+    /// one is attached. The memo key is the effective config wrapped as
+    /// a [`SweepAxis::None`] request — exactly the key a standalone
+    /// request for this configuration would carry, which is what makes
+    /// sweep points and plain requests one cache namespace. Without a
+    /// memo this is a plain [`optimize_with_table`] call.
+    fn point_solution<L: TimeLookup + Sync + ?Sized>(
+        &self,
+        table: &L,
+        cfg: &OptimizerConfig,
+    ) -> Result<MultiSiteSolution, OptimizeError> {
+        let Some(memo) = &self.point_memo else {
+            return optimize_with_table(self.soc.name(), table, cfg);
+        };
+        let key = OptimizeRequest::new(*cfg);
+        if let Some(solution) = memo.get(&key).and_then(OptimizeResponse::into_solution) {
+            self.points_reused.fetch_add(1, Ordering::Relaxed);
+            return Ok(solution);
+        }
+        let solution = optimize_with_table(self.soc.name(), table, cfg)?;
+        memo.put(
+            &key,
+            &OptimizeResponse::Solution(Box::new(solution.clone())),
+        );
+        self.points_computed.fetch_add(1, Ordering::Relaxed);
+        Ok(solution)
+    }
+
     /// Figure 6(a): one optimization per ATE channel count.
     ///
     /// An all-zero (or empty) channel list yields no points — the legacy
@@ -1213,7 +1316,7 @@ impl Engine {
             Engine::check_token(token)?;
             let mut cfg = *config;
             cfg.test_cell.ate = cfg.test_cell.ate.with_channels(channels);
-            optimize_with_table(self.soc.name(), table, &cfg).map(|solution| SweepPoint {
+            self.point_solution(table, &cfg).map(|solution| SweepPoint {
                 parameter: AxisValue::Channels(channels),
                 max_sites: solution.max_sites,
                 optimal: solution.optimal,
@@ -1233,7 +1336,7 @@ impl Engine {
             Engine::check_token(token)?;
             let mut cfg = *config;
             cfg.test_cell.ate = cfg.test_cell.ate.with_depth(depth);
-            optimize_with_table(self.soc.name(), table, &cfg).map(|solution| SweepPoint {
+            self.point_solution(table, &cfg).map(|solution| SweepPoint {
                 parameter: AxisValue::DepthVectors(depth),
                 max_sites: solution.max_sites,
                 optimal: solution.optimal,
@@ -1278,7 +1381,11 @@ impl Engine {
         max_sites: usize,
         manufacturing_yields: &[f64],
     ) -> Result<Vec<SweepCurve>, OptimizeError> {
-        let base = optimize_with_table(self.soc.name(), table, config)?;
+        // The base optimization is a plain run of the request's config —
+        // memoised like any other point. The per-site points below are
+        // `evaluate_point` closed forms, not optimizations, so they stay
+        // outside the memo.
+        let base = self.point_solution(table, config)?;
         let architecture = base.step1_architecture;
 
         let mut curves = Vec::with_capacity(manufacturing_yields.len());
@@ -1471,6 +1578,58 @@ mod tests {
         assert_eq!(store.stats().cells_computed, computed);
         assert_eq!(second.stats().cells_computed, 0);
         assert!(second.stats().cells_from_store > 0);
+    }
+
+    /// A minimal [`PointMemo`]: plain map from the canonical request
+    /// rendering to the response, no eviction. Stands in for the
+    /// service's `SessionPointMemo` so the engine-side contract is
+    /// testable without a `SolutionCache`.
+    #[derive(Debug, Default)]
+    struct MapMemo {
+        map: std::sync::Mutex<std::collections::HashMap<String, OptimizeResponse>>,
+    }
+
+    impl PointMemo for MapMemo {
+        fn get(&self, request: &OptimizeRequest) -> Option<OptimizeResponse> {
+            let key = crate::service::cache::canonical_request(request);
+            self.map.lock().unwrap().get(&key).cloned()
+        }
+        fn put(&self, request: &OptimizeRequest, response: &OptimizeResponse) {
+            let key = crate::service::cache::canonical_request(request);
+            self.map.lock().unwrap().insert(key, response.clone());
+        }
+    }
+
+    #[test]
+    fn memo_backed_sweeps_reuse_points_bit_identically() {
+        let sweep = OptimizeRequest::new(config()).with_sweep(SweepAxis::Channels(vec![192, 256]));
+        let bare = Engine::new(&d695()).run(&sweep).unwrap();
+
+        let memo = Arc::new(MapMemo::default());
+        let engine = Engine::builder(&d695())
+            .point_memo(Arc::clone(&memo) as Arc<dyn PointMemo>)
+            .build();
+        let (first, cold) = engine.run_traced(&sweep);
+        assert_eq!(first.unwrap(), bare, "the memo changed the response");
+        assert_eq!(cold.points_computed, 2);
+        assert_eq!(cold.points_reused, 0);
+
+        // The repeat sweep answers every point from the memo.
+        let (second, warm) = engine.run_traced(&sweep);
+        assert_eq!(second.unwrap(), bare);
+        assert_eq!(warm.points_reused, 2);
+        assert_eq!(warm.points_computed, 0);
+
+        // Each point was published under the *plain* effective-config
+        // key — exactly what a standalone request for that channel
+        // count would ask for, and bit-identical to computing it.
+        let mut effective = config();
+        effective.test_cell.ate = effective.test_cell.ate.with_channels(192);
+        let plain_key = OptimizeRequest::new(effective);
+        let memoised = memo
+            .get(&plain_key)
+            .expect("sweep points live under the plain request key");
+        assert_eq!(memoised, Engine::new(&d695()).run(&plain_key).unwrap());
     }
 
     #[test]

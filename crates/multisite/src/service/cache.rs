@@ -28,13 +28,53 @@
 //! polarities are evicted least-recently-used when the cache exceeds
 //! its entry-count or byte cap, always sparing the hottest entry
 //! (mirroring the session registry's policy).
+//!
+//! # Point-level reuse
+//!
+//! Sweep requests decompose into plain per-point optimizations, and each
+//! point's *effective* configuration is itself a valid
+//! [`SweepAxis::None`](crate::engine::SweepAxis::None) request — so the
+//! cache keeps a second, point-level index in the same `(soc hash,
+//! canonical request)` namespace. [`SessionPointMemo`] is the engine's
+//! view of it (see [`crate::engine::PointMemo`]): every sweep point
+//! consults the whole-request index *and* the point index before
+//! optimizing, and publishes fresh results to the point index. A
+//! `Channels([192, 256])` sweep therefore answers a later plain
+//! 256-channel request as a [`CacheOutcome::Hit`], and a cached plain
+//! request answers a later sweep's identical point. The indexes stay
+//! separate so the wire-visible `result_bytes` gauge keeps meaning
+//! "whole-request entries"; the point index carries its own
+//! `point_entries` / `point_bytes` gauges and mirrors the same LRU caps.
+//!
+//! # Persistence (`solutions.v1`)
+//!
+//! [`SolutionCache::save`] persists every *successful* entry (both
+//! indexes, coldest first so a load replays the LRU order) to a
+//! checksummed, atomically replaced envelope — the same
+//! magic/version/FNV-1a trailer format as the row store's `rows.v1`,
+//! via [`seal_envelope`] / [`open_envelope`]. Negative entries are not
+//! persisted: typed errors are cheap to recompute and have no canonical
+//! wire rendering. [`SolutionCache::load`] verifies the envelope, every
+//! length field, every entry's canonical-text hash and that every
+//! response parses, *before* touching the resident cache — a corrupt
+//! file is a typed [`StoreError`] and a clean miss, never a panic and
+//! never a wrong response.
 
-use crate::engine::{OptimizeRequest, OptimizeResponse};
+use crate::engine::{OptimizeRequest, OptimizeResponse, PointMemo};
 use crate::error::OptimizeError;
 use crate::service::cancel::CancelToken;
 use crate::service::registry::fnv1a64;
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use soctest_tam::{open_envelope, push_u64, seal_envelope, write_atomic, Cursor, StoreError};
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
+
+/// File magic (7 bytes) of the persisted solution cache, followed by the
+/// one-byte format version — `solutions.v1` in the cache directory.
+const SOLUTIONS_MAGIC: &[u8; 7] = b"SOCSOLS";
+/// Current `solutions.v1` format version byte.
+const SOLUTIONS_VERSION: u8 = b'1';
 
 /// How long a waiter sleeps between checks of its own [`CancelToken`]
 /// while blocked on a leader. Purely a cancellation-latency bound: the
@@ -92,12 +132,25 @@ pub struct SolutionCacheStats {
     /// Requests answered a replayed failure from a negative entry
     /// (waited or not).
     pub negative_hits: u64,
-    /// Entries evicted by the LRU / byte cap.
+    /// Entries evicted by the LRU / byte cap (both indexes).
     pub evictions: u64,
-    /// Currently resident entries.
+    /// Currently resident whole-request entries.
     pub entries: u64,
-    /// Currently resident bytes (canonical keys + rendered responses).
+    /// Currently resident whole-request bytes (canonical keys + rendered
+    /// responses). This is the wire-visible `result_bytes` gauge; the
+    /// point index is accounted separately in
+    /// [`SolutionCacheStats::point_bytes`].
     pub bytes: u64,
+    /// Point-level lookups (a sweep point's memo probe, or a plain
+    /// request finding a sweep's point) served a success from either
+    /// index.
+    pub point_hits: u64,
+    /// Sweep-point responses admitted to the point index.
+    pub point_insertions: u64,
+    /// Currently resident point-index entries.
+    pub point_entries: u64,
+    /// Currently resident point-index bytes.
+    pub point_bytes: u64,
 }
 
 /// What a resident entry replays: a successful response, or — the typed
@@ -145,12 +198,39 @@ impl CacheEntry {
     }
 }
 
+/// Looks `(soc, hash, canonical)` up in one LRU index; a match is
+/// touched hottest and its response cloned out.
+fn probe_index(
+    list: &mut Vec<CacheEntry>,
+    soc: u64,
+    hash: u64,
+    canonical: &str,
+) -> Option<CachedResponse> {
+    let position = list
+        .iter()
+        .position(|entry| entry.matches(soc, hash, canonical))?;
+    let entry = list.remove(position);
+    let served = entry.response.clone();
+    list.push(entry);
+    Some(served)
+}
+
 #[derive(Debug, Default)]
 struct CacheInner {
-    /// Entries in LRU order: index 0 is the coldest.
+    /// Whole-request entries in LRU order: index 0 is the coldest.
     entries: Vec<CacheEntry>,
+    /// Sweep-point entries in LRU order (successes only) — same key
+    /// namespace as `entries`, kept apart so whole-request accounting
+    /// (the wire `result_bytes`) is undisturbed by sweep traffic.
+    points: Vec<CacheEntry>,
     /// Keys currently being computed by a leader.
     inflight: Vec<(u64, u64, String)>,
+    /// Running byte total of `entries` — kept exact on every insert and
+    /// eviction so neither the eviction loop nor `stats()` re-sums the
+    /// whole list.
+    resident_bytes: u64,
+    /// Running byte total of `points`.
+    point_bytes: u64,
     stats: SolutionCacheStats,
 }
 
@@ -213,15 +293,8 @@ impl SolutionCache {
         let mut waited = false;
         let mut inner = self.lock();
         loop {
-            if let Some(position) = inner
-                .entries
-                .iter()
-                .position(|entry| entry.matches(soc, hash, &canonical))
-            {
-                // Touch: move to the hot end.
-                let entry = inner.entries.remove(position);
-                let served = entry.response.clone();
-                inner.entries.push(entry);
+            // Touch: a match moves to the hot end.
+            if let Some(served) = probe_index(&mut inner.entries, soc, hash, &canonical) {
                 return match served {
                     CachedResponse::Success(response) => {
                         // The leader-computed vs waiter-coalesced split:
@@ -241,6 +314,23 @@ impl SolutionCache {
                         Err(error)
                     }
                 };
+            }
+
+            // No whole-request entry — but a sweep may have computed this
+            // exact configuration as one of its points. Point entries
+            // hold only successes, so a match is a full, free answer.
+            if let Some(CachedResponse::Success(response)) =
+                probe_index(&mut inner.points, soc, hash, &canonical)
+            {
+                inner.stats.point_hits += 1;
+                let outcome = if waited {
+                    inner.stats.coalesced_served += 1;
+                    CacheOutcome::Coalesced
+                } else {
+                    inner.stats.hits += 1;
+                    CacheOutcome::Hit
+                };
+                return Ok((outcome, response));
             }
 
             let in_flight = inner
@@ -313,9 +403,14 @@ impl SolutionCache {
         let mut inner = self.lock();
         // A resident duplicate is impossible while our in-flight marker
         // blocks other leaders, but stay defensive: replace, don't stack.
-        inner
+        if let Some(position) = inner
             .entries
-            .retain(|entry| !entry.matches(soc, hash, canonical));
+            .iter()
+            .position(|entry| entry.matches(soc, hash, canonical))
+        {
+            let replaced = inner.entries.remove(position);
+            inner.resident_bytes -= replaced.bytes;
+        }
         inner.entries.push(CacheEntry {
             hash,
             soc,
@@ -323,29 +418,208 @@ impl SolutionCache {
             response,
             bytes,
         });
+        inner.resident_bytes += bytes;
         if negative {
             inner.stats.negative_insertions += 1;
         } else {
             inner.stats.insertions += 1;
         }
-        loop {
-            let total: u64 = inner.entries.iter().map(|entry| entry.bytes).sum();
-            let over = inner.entries.len() > self.max_entries || total > self.max_bytes;
-            if !over || inner.entries.len() <= 1 {
-                break;
-            }
-            inner.entries.remove(0);
+        self.evict_entries_over_caps(&mut inner);
+    }
+
+    /// Evicts whole-request entries coldest-first while over either cap,
+    /// always sparing the hottest. The running byte counter makes each
+    /// iteration O(1) instead of re-summing the resident list.
+    fn evict_entries_over_caps(&self, inner: &mut CacheInner) {
+        while (inner.entries.len() > self.max_entries || inner.resident_bytes > self.max_bytes)
+            && inner.entries.len() > 1
+        {
+            let evicted = inner.entries.remove(0);
+            inner.resident_bytes -= evicted.bytes;
             inner.stats.evictions += 1;
+        }
+        debug_assert_eq!(
+            inner.resident_bytes,
+            inner.entries.iter().map(|entry| entry.bytes).sum::<u64>()
+        );
+    }
+
+    /// The point-index twin of [`SolutionCache::evict_entries_over_caps`],
+    /// under the same caps.
+    fn evict_points_over_caps(&self, inner: &mut CacheInner) {
+        while (inner.points.len() > self.max_entries || inner.point_bytes > self.max_bytes)
+            && inner.points.len() > 1
+        {
+            let evicted = inner.points.remove(0);
+            inner.point_bytes -= evicted.bytes;
+            inner.stats.evictions += 1;
+        }
+        debug_assert_eq!(
+            inner.point_bytes,
+            inner.points.iter().map(|entry| entry.bytes).sum::<u64>()
+        );
+    }
+
+    /// The memoised success for `request` under session `soc`, from
+    /// either index — the read half of [`SessionPointMemo`]. Touches the
+    /// served entry hottest and counts a `point_hit`; deliberately off
+    /// the wire-visible hit/miss counters, because a memo probe is part
+    /// of serving one sweep request, not a request of its own. A
+    /// resident *negative* entry answers `None`: the point recomputes
+    /// and fails exactly as the cached request did.
+    fn get_point(&self, soc: u64, request: &OptimizeRequest) -> Option<OptimizeResponse> {
+        let canonical = canonical_request(request);
+        let hash = fnv1a64(&canonical);
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        let served = probe_index(&mut inner.entries, soc, hash, &canonical)
+            .or_else(|| probe_index(&mut inner.points, soc, hash, &canonical))?;
+        match served {
+            CachedResponse::Success(response) => {
+                inner.stats.point_hits += 1;
+                Some(response)
+            }
+            CachedResponse::Negative(_) => None,
         }
     }
 
-    /// Current counters (entries/bytes recomputed from the residents).
+    /// Publishes a sweep point's fresh success to the point index — the
+    /// write half of [`SessionPointMemo`]. First publisher wins: a key
+    /// already resident in either index is left untouched (racing points
+    /// of one sweep carry bit-identical responses anyway).
+    fn put_point(&self, soc: u64, request: &OptimizeRequest, response: &OptimizeResponse) {
+        let canonical = canonical_request(request);
+        let hash = fnv1a64(&canonical);
+        let rendered = serde_json::to_string(response).expect("responses serialise");
+        let bytes = (canonical.len() + rendered.len()) as u64;
+        let mut inner = self.lock();
+        let resident = |list: &[CacheEntry]| {
+            list.iter()
+                .any(|entry| entry.matches(soc, hash, &canonical))
+        };
+        if resident(&inner.entries) || resident(&inner.points) {
+            return;
+        }
+        inner.points.push(CacheEntry {
+            hash,
+            soc,
+            canonical,
+            response: CachedResponse::Success(response.clone()),
+            bytes,
+        });
+        inner.point_bytes += bytes;
+        inner.stats.point_insertions += 1;
+        self.evict_points_over_caps(&mut inner);
+    }
+
+    /// Current counters (entry/byte gauges read from the running
+    /// accounting, which eviction keeps exact).
     pub fn stats(&self) -> SolutionCacheStats {
         let inner = self.lock();
         let mut stats = inner.stats;
         stats.entries = inner.entries.len() as u64;
-        stats.bytes = inner.entries.iter().map(|entry| entry.bytes).sum();
+        stats.bytes = inner.resident_bytes;
+        stats.point_entries = inner.points.len() as u64;
+        stats.point_bytes = inner.point_bytes;
         stats
+    }
+
+    /// Persists every successful entry (both indexes, coldest first so
+    /// [`SolutionCache::load`] replays the LRU order) as a `solutions.v1`
+    /// envelope at `path`, atomically replaced. Negative entries are
+    /// skipped — typed errors are cheap to recompute.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error writing the file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let inner = self.lock();
+        let bytes = seal_envelope(SOLUTIONS_MAGIC, SOLUTIONS_VERSION, |out| {
+            for list in [&inner.entries, &inner.points] {
+                let successes: Vec<(&CacheEntry, String)> = list
+                    .iter()
+                    .filter_map(|entry| match &entry.response {
+                        CachedResponse::Success(response) => Some((
+                            entry,
+                            serde_json::to_string(response).expect("responses serialise"),
+                        )),
+                        CachedResponse::Negative(_) => None,
+                    })
+                    .collect();
+                push_u64(out, successes.len() as u64);
+                for (entry, rendered) in successes {
+                    push_u64(out, entry.soc);
+                    push_u64(out, entry.hash);
+                    push_u64(out, entry.canonical.len() as u64);
+                    out.extend_from_slice(entry.canonical.as_bytes());
+                    push_u64(out, rendered.len() as u64);
+                    out.extend_from_slice(rendered.as_bytes());
+                }
+            }
+        });
+        drop(inner);
+        write_atomic(path, &bytes)
+    }
+
+    /// Merges every entry of the `solutions.v1` file at `path` into the
+    /// cache (resident entries win ties) and returns the number merged.
+    /// The whole file is verified first — envelope, lengths, each
+    /// entry's canonical-text hash, each response parsing — so a corrupt
+    /// file leaves the cache exactly as it was: a typed clean miss.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on unreadable, truncated, corrupted or
+    /// version-mismatched files.
+    pub fn load(&self, path: &Path) -> Result<u64, StoreError> {
+        let bytes = std::fs::read(path)?;
+        let sections = parse_solutions_file(&bytes)?;
+        let mut inner = self.lock();
+        let mut merged = 0u64;
+        for (into_points, parsed) in [(false, &sections[0]), (true, &sections[1])] {
+            for (soc, hash, canonical, response, charge) in parsed {
+                let resident = inner
+                    .entries
+                    .iter()
+                    .chain(inner.points.iter())
+                    .any(|entry| entry.matches(*soc, *hash, canonical));
+                if resident {
+                    continue;
+                }
+                let entry = CacheEntry {
+                    hash: *hash,
+                    soc: *soc,
+                    canonical: canonical.clone(),
+                    response: CachedResponse::Success(response.clone()),
+                    bytes: *charge,
+                };
+                if into_points {
+                    inner.points.push(entry);
+                    inner.point_bytes += charge;
+                } else {
+                    inner.entries.push(entry);
+                    inner.resident_bytes += charge;
+                }
+                merged += 1;
+            }
+        }
+        self.evict_entries_over_caps(&mut inner);
+        self.evict_points_over_caps(&mut inner);
+        Ok(merged)
+    }
+
+    /// [`SolutionCache::load`], treating a missing file as an empty
+    /// cache. Returns `Ok(0)` when `path` does not exist.
+    ///
+    /// # Errors
+    ///
+    /// As [`SolutionCache::load`] for files that exist but fail
+    /// verification.
+    pub fn load_if_present(&self, path: &Path) -> Result<u64, StoreError> {
+        match self.load(path) {
+            Err(StoreError::Io(err)) if err.kind() == io::ErrorKind::NotFound => Ok(0),
+            other => other,
+        }
     }
 
     /// Number of resident entries.
@@ -387,6 +661,103 @@ impl Drop for FlightGuard<'_> {
     }
 }
 
+/// One verified `solutions.v1` entry: `(soc, hash, canonical, response,
+/// charged bytes)`.
+type ParsedSolution = (u64, u64, String, OptimizeResponse, u64);
+
+/// Verifies and parses a whole `solutions.v1` file into its two
+/// sections (whole-request entries, then points), each coldest first.
+/// Pure — no cache state is touched, so callers reject corrupt files
+/// with nothing to roll back. Every length field is validated against
+/// the remaining byte count before any allocation, every canonical key
+/// must re-hash to its stored hash, and every response must parse back
+/// through the wire serde; anything else is [`StoreError::Corrupt`].
+fn parse_solutions_file(bytes: &[u8]) -> Result<[Vec<ParsedSolution>; 2], StoreError> {
+    let payload = open_envelope(SOLUTIONS_MAGIC, SOLUTIONS_VERSION, bytes)?;
+    let mut cursor = Cursor::new(payload);
+    let mut sections: [Vec<ParsedSolution>; 2] = [Vec::new(), Vec::new()];
+    for section in &mut sections {
+        let count = cursor.u64()?;
+        let count = usize::try_from(count)
+            .ok()
+            // Each entry carries at least four u64 length/key fields.
+            .filter(|&count| {
+                count
+                    .checked_mul(32)
+                    .is_some_and(|min| min <= cursor.remaining())
+            })
+            .ok_or_else(|| StoreError::Corrupt("entry count exceeds file".to_string()))?;
+        section.reserve(count);
+        for _ in 0..count {
+            let soc = cursor.u64()?;
+            let hash = cursor.u64()?;
+            let stored_canonical_len = cursor.u64()?;
+            let canonical_len = checked_len(&cursor, stored_canonical_len, "canonical length")?;
+            let canonical = std::str::from_utf8(cursor.take(canonical_len)?)
+                .map_err(|_| StoreError::Corrupt("canonical text is not UTF-8".to_string()))?
+                .to_string();
+            if fnv1a64(&canonical) != hash {
+                return Err(StoreError::Corrupt(
+                    "entry hash does not match its canonical text".to_string(),
+                ));
+            }
+            let stored_rendered_len = cursor.u64()?;
+            let rendered_len = checked_len(&cursor, stored_rendered_len, "response length")?;
+            let rendered = std::str::from_utf8(cursor.take(rendered_len)?)
+                .map_err(|_| StoreError::Corrupt("response text is not UTF-8".to_string()))?;
+            let response: OptimizeResponse = serde_json::from_str(rendered)
+                .map_err(|err| StoreError::Corrupt(format!("response does not parse: {err}")))?;
+            let charge = (canonical.len() + rendered.len()) as u64;
+            section.push((soc, hash, canonical, response, charge));
+        }
+    }
+    if cursor.remaining() != 0 {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after the last entry",
+            cursor.remaining()
+        )));
+    }
+    Ok(sections)
+}
+
+/// Bounds a stored length field by the cursor's remaining bytes before
+/// it is used to allocate.
+fn checked_len(cursor: &Cursor<'_>, stored: u64, what: &str) -> Result<usize, StoreError> {
+    usize::try_from(stored)
+        .ok()
+        .filter(|&len| len <= cursor.remaining())
+        .ok_or_else(|| StoreError::Corrupt(format!("{what} exceeds file")))
+}
+
+/// One session's view of the point-level index: a [`PointMemo`] bound to
+/// the session's SOC content hash, handed to the engine at build time by
+/// the registry. Every sweep point the engine optimizes consults and
+/// populates the shared [`SolutionCache`] through this seam, which is
+/// what lets a sweep pre-answer later plain requests (and vice versa)
+/// across sessions of the same SOC.
+#[derive(Debug)]
+pub struct SessionPointMemo {
+    cache: Arc<SolutionCache>,
+    soc: u64,
+}
+
+impl SessionPointMemo {
+    /// A memo over `cache`, keyed by the session's SOC content hash.
+    pub fn new(cache: Arc<SolutionCache>, soc: u64) -> Self {
+        SessionPointMemo { cache, soc }
+    }
+}
+
+impl PointMemo for SessionPointMemo {
+    fn get(&self, request: &OptimizeRequest) -> Option<OptimizeResponse> {
+        self.cache.get_point(self.soc, request)
+    }
+
+    fn put(&self, request: &OptimizeRequest, response: &OptimizeResponse) {
+        self.cache.put_point(self.soc, request, response);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -409,6 +780,35 @@ mod tests {
         // A cheap, distinguishable stand-in — the cache never inspects
         // response contents.
         OptimizeResponse::Curves(Vec::with_capacity(marker))
+    }
+
+    /// Re-sums both indexes from scratch; the running `resident_bytes` /
+    /// `point_bytes` counters must always equal this, or the O(1)
+    /// eviction accounting has drifted.
+    fn resummed(cache: &SolutionCache) -> (u64, u64) {
+        let inner = cache.lock();
+        (
+            inner.entries.iter().map(|entry| entry.bytes).sum::<u64>(),
+            inner.points.iter().map(|entry| entry.bytes).sum::<u64>(),
+        )
+    }
+
+    /// A self-deleting temp-file path for the persistence tests.
+    struct TempFile(std::path::PathBuf);
+
+    impl TempFile {
+        fn new(tag: &str) -> Self {
+            let path = std::env::temp_dir()
+                .join(format!("soctest-solutions-{tag}-{}.v1", std::process::id()));
+            let _ = std::fs::remove_file(&path);
+            TempFile(path)
+        }
+    }
+
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
     }
 
     #[test]
@@ -621,7 +1021,9 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, failure);
         assert_eq!(runs.load(Ordering::SeqCst), 1);
-        assert_eq!(cache.stats().negative_insertions, 2);
+        let stats = cache.stats();
+        assert_eq!(stats.negative_insertions, 2);
+        assert_eq!((stats.bytes, stats.point_bytes), resummed(&cache));
     }
 
     #[test]
@@ -727,9 +1129,12 @@ mod tests {
                 .run_coalesced(9, &request(channels), &token, || Ok(response(0)))
                 .unwrap();
         }
-        // 64 was coldest and evicted; 128 and 256 are resident.
+        // 64 was coldest and evicted; 128 and 256 are resident, and the
+        // running byte counter shed the evictee exactly.
         assert_eq!(cache.len(), 2);
-        assert_eq!(cache.stats().evictions, 1);
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!((stats.bytes, stats.point_bytes), resummed(&cache));
         let (outcome, _) = cache
             .run_coalesced(9, &request(256), &token, || Ok(response(0)))
             .unwrap();
@@ -750,12 +1155,16 @@ mod tests {
         cache
             .run_coalesced(9, &request(128), &token, || Ok(response(0)))
             .unwrap();
-        // Only the hottest survives under the 1-byte cap.
+        // Only the hottest survives under the 1-byte cap, and the byte
+        // gauge still matches a from-scratch re-sum of the survivors.
         assert_eq!(cache.len(), 1);
         let (outcome, _) = cache
             .run_coalesced(9, &request(128), &token, || Ok(response(0)))
             .unwrap();
         assert_eq!(outcome, CacheOutcome::Hit);
+        let stats = cache.stats();
+        assert_eq!((stats.bytes, stats.point_bytes), resummed(&cache));
+        assert!(stats.bytes > 1, "the spared entry may exceed the cap");
     }
 
     #[test]
@@ -764,5 +1173,224 @@ mod tests {
         let b = a.clone();
         assert_eq!(canonical_request(&a), canonical_request(&b));
         assert_ne!(canonical_request(&a), canonical_request(&request(128)));
+    }
+
+    #[test]
+    fn point_entries_answer_plain_requests_and_vice_versa() {
+        let cache = SolutionCache::new(8, u64::MAX);
+        // A sweep publishes one of its points...
+        cache.put_point(21, &request(64), &response(0));
+        let stats = cache.stats();
+        assert_eq!(stats.point_insertions, 1);
+        assert_eq!(stats.point_entries, 1);
+        assert!(stats.point_bytes > 0);
+        assert_eq!(
+            stats.entries, 0,
+            "points never sit in the whole-request index"
+        );
+        // ...and the identical *plain* request is a full cache hit.
+        let (outcome, got) = cache
+            .run_coalesced(21, &request(64), &CancelToken::new(), || {
+                panic!("a point-index hit must not recompute")
+            })
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(got, response(0));
+        assert_eq!(cache.stats().point_hits, 1);
+
+        // The reverse: a whole-request entry pre-answers a sweep's memo
+        // probe for the same configuration.
+        let token = CancelToken::new();
+        cache
+            .run_coalesced(22, &request(128), &token, || Ok(response(0)))
+            .unwrap();
+        assert_eq!(cache.get_point(22, &request(128)), Some(response(0)));
+
+        // A memo miss moves no wire-visible counter — the probe is part
+        // of serving one sweep, not a request of its own.
+        let before = cache.stats();
+        assert_eq!(cache.get_point(22, &request(256)), None);
+        let after = cache.stats();
+        assert_eq!((after.hits, after.misses), (before.hits, before.misses));
+
+        // First publisher wins: re-publishing a resident key is a no-op.
+        cache.put_point(21, &request(64), &response(0));
+        assert_eq!(cache.stats().point_insertions, 1);
+    }
+
+    #[test]
+    fn session_point_memo_scopes_points_to_its_soc() {
+        let cache = Arc::new(SolutionCache::new(8, u64::MAX));
+        let memo_a = SessionPointMemo::new(Arc::clone(&cache), 1);
+        let memo_b = SessionPointMemo::new(Arc::clone(&cache), 2);
+        memo_a.put(&request(64), &response(0));
+        assert_eq!(memo_a.get(&request(64)), Some(response(0)));
+        assert_eq!(
+            memo_b.get(&request(64)),
+            None,
+            "another SOC's session must not see the point"
+        );
+    }
+
+    #[test]
+    fn negative_entries_never_answer_point_probes() {
+        let cache = SolutionCache::new(8, u64::MAX);
+        let failure = OptimizeError::InvalidConfig {
+            message: "always broken".into(),
+        };
+        cache
+            .run_coalesced(23, &request(64), &CancelToken::new(), || {
+                Err(failure.clone())
+            })
+            .unwrap_err();
+        // The sweep point recomputes (and fails as the request did)
+        // instead of being handed a failure it cannot type.
+        assert_eq!(cache.get_point(23, &request(64)), None);
+    }
+
+    #[test]
+    fn solutions_survive_a_save_load_round_trip() {
+        let cache = SolutionCache::new(8, u64::MAX);
+        let token = CancelToken::new();
+        cache
+            .run_coalesced(31, &request(64), &token, || Ok(response(0)))
+            .unwrap();
+        cache
+            .run_coalesced(31, &request(128), &token, || Ok(response(0)))
+            .unwrap();
+        cache.put_point(31, &request(256), &response(0));
+        // Negative entries are cheap to recompute and never persist.
+        cache
+            .run_coalesced(31, &request(512), &token, || {
+                Err(OptimizeError::InvalidConfig {
+                    message: "always broken".into(),
+                })
+            })
+            .unwrap_err();
+        let file = TempFile::new("round-trip");
+        cache.save(&file.0).unwrap();
+
+        let reloaded = SolutionCache::new(8, u64::MAX);
+        assert_eq!(
+            reloaded.load(&file.0).unwrap(),
+            3,
+            "two whole-request successes plus one point, no negatives"
+        );
+        let (outcome, _) = reloaded
+            .run_coalesced(31, &request(64), &CancelToken::new(), || {
+                panic!("a persisted entry must answer")
+            })
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(reloaded.get_point(31, &request(256)), Some(response(0)));
+        // The counters stay exact through the merge.
+        let stats = reloaded.stats();
+        assert_eq!((stats.bytes, stats.point_bytes), resummed(&reloaded));
+        // The dropped negative recomputes from scratch.
+        let (outcome, _) = reloaded
+            .run_coalesced(31, &request(512), &CancelToken::new(), || Ok(response(0)))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Computed);
+    }
+
+    #[test]
+    fn load_merges_without_clobbering_resident_entries() {
+        let saved = SolutionCache::new(8, u64::MAX);
+        let token = CancelToken::new();
+        saved
+            .run_coalesced(32, &request(64), &token, || Ok(response(0)))
+            .unwrap();
+        saved
+            .run_coalesced(32, &request(128), &token, || Ok(response(0)))
+            .unwrap();
+        let file = TempFile::new("merge");
+        saved.save(&file.0).unwrap();
+
+        // A cache already holding one of the keys merges only the other.
+        let target = SolutionCache::new(8, u64::MAX);
+        target
+            .run_coalesced(32, &request(64), &token, || Ok(response(0)))
+            .unwrap();
+        assert_eq!(target.load(&file.0).unwrap(), 1);
+        assert_eq!(target.len(), 2);
+        let stats = target.stats();
+        assert_eq!((stats.bytes, stats.point_bytes), resummed(&target));
+    }
+
+    #[test]
+    fn load_applies_the_caps_of_the_loading_cache() {
+        let saved = SolutionCache::new(8, u64::MAX);
+        let token = CancelToken::new();
+        for channels in [64, 128, 256] {
+            saved
+                .run_coalesced(33, &request(channels), &token, || Ok(response(0)))
+                .unwrap();
+        }
+        let file = TempFile::new("caps");
+        saved.save(&file.0).unwrap();
+
+        // A smaller cache loads all three, then evicts down to its own
+        // entry cap — keeping the hottest (the last-saved) entries.
+        let small = SolutionCache::new(2, u64::MAX);
+        assert_eq!(small.load(&file.0).unwrap(), 3);
+        assert_eq!(small.len(), 2);
+        let (outcome, _) = small
+            .run_coalesced(33, &request(256), &CancelToken::new(), || {
+                panic!("the hottest saved entry must survive the merge")
+            })
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn corrupt_solution_files_are_typed_clean_misses() {
+        let cache = SolutionCache::new(8, u64::MAX);
+        let token = CancelToken::new();
+        cache
+            .run_coalesced(34, &request(64), &token, || Ok(response(0)))
+            .unwrap();
+        cache.put_point(34, &request(128), &response(0));
+        let file = TempFile::new("corrupt");
+        cache.save(&file.0).unwrap();
+        let pristine = std::fs::read(&file.0).unwrap();
+
+        // A battery of mutilations: each must be rejected as a typed
+        // Corrupt error with the loading cache left untouched.
+        let truncated = pristine[..pristine.len() - 3].to_vec();
+        let mut bad_magic = pristine.clone();
+        bad_magic[0] ^= 0xff;
+        let mut flipped_payload = pristine.clone();
+        flipped_payload[SOLUTIONS_MAGIC.len() + 12] ^= 0x01;
+        let mut trailing = pristine.clone();
+        trailing.push(0);
+        for (what, bytes) in [
+            ("truncated", truncated),
+            ("bad magic", bad_magic),
+            ("flipped payload byte", flipped_payload),
+            ("trailing garbage", trailing),
+        ] {
+            std::fs::write(&file.0, &bytes).unwrap();
+            let target = SolutionCache::new(8, u64::MAX);
+            let err = target.load(&file.0).unwrap_err();
+            assert!(
+                matches!(err, StoreError::Corrupt(_)),
+                "{what}: expected a typed Corrupt error, got {err:?}"
+            );
+            assert!(target.is_empty(), "{what}: the cache must stay untouched");
+            assert_eq!(target.stats().point_entries, 0);
+        }
+
+        // The pristine bytes still load — the mutations were the problem.
+        std::fs::write(&file.0, &pristine).unwrap();
+        let target = SolutionCache::new(8, u64::MAX);
+        assert_eq!(target.load(&file.0).unwrap(), 2);
+    }
+
+    #[test]
+    fn load_if_present_treats_a_missing_file_as_empty() {
+        let cache = SolutionCache::new(8, u64::MAX);
+        let file = TempFile::new("missing");
+        assert_eq!(cache.load_if_present(&file.0).unwrap(), 0);
+        assert!(cache.is_empty());
     }
 }

@@ -15,8 +15,10 @@
 //! `respond:alloc:64@r1` (allocate and touch 64 MiB before answering
 //! `r1`). Stages are [`Stage::Admission`] (reader thread, before the
 //! request is queued), [`Stage::Optimize`] (executor, before the engine
-//! runs), [`Stage::Respond`] (executor, after the engine ran, before
-//! the frame is written), [`Stage::Store`] (around row-store cache
+//! runs), [`Stage::Build`] (inside the registry's lock-free cold-build
+//! path, before `Engine::try_build` — fires with the SOC name as the
+//! pseudo request id), [`Stage::Respond`] (executor, after the engine
+//! ran, before the frame is written), [`Stage::Store`] (around cache
 //! file I/O — fires with the pseudo request ids `load` / `save`), and
 //! the transport stages [`Stage::Accept`] / [`Stage::Connection`]
 //! (around socket accept and connection setup — fire with the
@@ -47,6 +49,12 @@ pub enum Stage {
     /// On the executor, inside per-request isolation, before the engine
     /// serves the request.
     Optimize,
+    /// Inside the session registry's cold-build path, after the in-flight
+    /// marker is planted and the registry lock released, before
+    /// `Engine::try_build` runs — the spot that proves cold builds of
+    /// distinct SOCs no longer serialise behind one registry mutex. Fires
+    /// with the SOC name as the pseudo request id.
+    Build,
     /// On the executor, inside per-request isolation, after the engine
     /// served the request, before its frame is written.
     Respond,
@@ -73,6 +81,7 @@ impl fmt::Display for Stage {
         let name = match self {
             Stage::Admission => "admission",
             Stage::Optimize => "optimize",
+            Stage::Build => "build",
             Stage::Respond => "respond",
             Stage::Store => "store",
             Stage::Accept => "accept",
@@ -184,6 +193,7 @@ impl Fault {
         let stage = match parts.next() {
             Some("admission") => Stage::Admission,
             Some("optimize") => Stage::Optimize,
+            Some("build") => Stage::Build,
             Some("respond") => Stage::Respond,
             Some("store") => Stage::Store,
             Some("accept") => Stage::Accept,
@@ -191,7 +201,7 @@ impl Fault {
             other => {
                 return Err(format!(
                     "unknown stage `{}` in `{directive}` \
-                     (expected admission|optimize|respond|store|accept|connection)",
+                     (expected admission|optimize|build|respond|store|accept|connection)",
                     other.unwrap_or("")
                 ))
             }
@@ -272,6 +282,16 @@ mod tests {
         assert_eq!(plan.faults[1].kind, FaultKind::DelayMs(200));
         assert_eq!(plan.faults[1].request_id, None);
         assert_eq!(plan.faults[2].kind, FaultKind::AllocMib(4));
+    }
+
+    #[test]
+    fn build_stage_parses_and_fires_on_soc_names() {
+        let plan = FaultPlan::parse("build:delay:1@d695").unwrap();
+        assert_eq!(plan.faults[0].stage, Stage::Build);
+        plan.fire(Stage::Build, "p22810"); // filtered out
+        plan.fire(Stage::Build, "d695"); // 1 ms delay, returns
+        let panicking = FaultPlan::parse("build:panic").unwrap();
+        assert!(catch_unwind(AssertUnwindSafe(|| panicking.fire(Stage::Build, "any"))).is_err());
     }
 
     #[test]

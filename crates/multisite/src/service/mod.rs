@@ -38,7 +38,9 @@ pub mod registry;
 pub mod server;
 pub mod transport;
 
-pub use cache::{canonical_request, CacheOutcome, SolutionCache, SolutionCacheStats};
+pub use cache::{
+    canonical_request, CacheOutcome, SessionPointMemo, SolutionCache, SolutionCacheStats,
+};
 pub use cancel::CancelToken;
 pub use faults::{FaultPlan, Stage, FAULTS_ENV_VAR};
 pub use protocol::{
@@ -47,7 +49,7 @@ pub use protocol::{
     SocSpec, TraceSummary,
 };
 pub use registry::{RegistryStats, SessionHandle, SessionRegistry};
-pub use server::{Server, ServerConfig, ROWS_FILE};
+pub use server::{Server, ServerConfig, ROWS_FILE, SOLUTIONS_FILE};
 pub use transport::{BoundListener, ClientStream, ListenAddr, TransportConfig, TransportStats};
 
 use soctest_soc_model::synthetic::pnx8550_like;

@@ -261,7 +261,7 @@ pub enum Provenance {
 /// first-insert-deterministic. Run-specific measurements (wall/CPU time,
 /// pool occupancy) deliberately stay off the wire — `soc-serve
 /// --stats-summary` reports them on stderr instead.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RequestStats {
     /// How the response was obtained.
     pub provenance: Provenance,
@@ -274,6 +274,64 @@ pub struct RequestStats {
     /// Module rows this request computed fresh into the shared row store
     /// (first insert of a `(shape, width)` pair).
     pub store_cells_computed: u64,
+    /// Sweep points this request answered from the point-level cache
+    /// index instead of optimizing (see the service cache docs). Zero
+    /// for plain requests and for sweeps with nothing to reuse, and
+    /// omitted on the wire when zero, so reuse-free transcripts
+    /// serialise exactly as before.
+    pub points_reused: u64,
+}
+
+// Hand-written (not derived) so a zero `points_reused` is omitted:
+// frames for requests that reused nothing round-trip byte-identically
+// with pre-point-cache servers.
+impl Serialize for RequestStats {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("provenance".to_string(), self.provenance.to_value()),
+            ("cells_built".to_string(), self.cells_built.to_value()),
+            (
+                "cells_inherited".to_string(),
+                self.cells_inherited.to_value(),
+            ),
+            (
+                "store_cells_computed".to_string(),
+                self.store_cells_computed.to_value(),
+            ),
+        ];
+        if self.points_reused != 0 {
+            fields.push(("points_reused".to_string(), self.points_reused.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for RequestStats {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        expect_fields(
+            value,
+            &[
+                "provenance",
+                "cells_built",
+                "cells_inherited",
+                "store_cells_computed",
+                "points_reused",
+            ],
+            "RequestStats",
+        )?;
+        // `points_reused` may be omitted entirely (older transcripts).
+        let points_reused = match value.get("points_reused") {
+            None => 0,
+            Some(raw) => u64::from_value(raw)?,
+        };
+        Ok(RequestStats {
+            provenance: serde::get_field(value, "provenance", "RequestStats")?,
+            cells_built: serde::get_field(value, "cells_built", "RequestStats")?,
+            cells_inherited: serde::get_field(value, "cells_inherited", "RequestStats")?,
+            store_cells_computed: serde::get_field(value, "store_cells_computed", "RequestStats")?,
+            points_reused,
+        })
+    }
 }
 
 /// Deterministic aggregate of every stats-enabled request of a session,
@@ -761,6 +819,7 @@ mod tests {
                 cells_built: 9,
                 cells_inherited: 2,
                 store_cells_computed: 7,
+                points_reused: 0,
             }),
         });
         let json = render_server_frame(&with_stats);

@@ -12,13 +12,32 @@
 //! session is never evicted — a single session larger than the whole cap
 //! is allowed to exist alone, it just prevents any second resident
 //! session.
+//!
+//! Cold builds are *coalesced*, not serialised: the registry lock is
+//! released for the whole cold build
+//! ([`EngineBuilder::try_build`](crate::engine::EngineBuilder::try_build)),
+//! with a per-key in-flight
+//! marker (the same leader/waiter protocol as
+//! [`crate::service::cache::SolutionCache`]) keeping duplicate builders
+//! of one SOC behind a single leader while distinct SOCs build
+//! concurrently. One slow cold build therefore never blocks a warm hit,
+//! and a failing or panicking leader releases its waiters to retry.
 
 use crate::engine::Engine;
 use crate::error::OptimizeError;
+use crate::service::cache::{SessionPointMemo, SolutionCache};
+use crate::service::faults::{FaultPlan, Stage};
 use soctest_soc_model::writer::write_soc;
 use soctest_soc_model::Soc;
 use soctest_tam::RowStore;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// How long a waiter sleeps between re-checks of the slots while an
+/// identical cold build is in flight. Purely a latency bound on rare
+/// wake-up races: the leader's guard notifies the condvar the moment
+/// the build lands (or fails).
+const WAIT_SLICE: Duration = Duration::from_millis(25);
 
 /// FNV-1a 64-bit over the canonical SOC text — stable, dependency-free,
 /// and plenty for distinguishing SOC descriptions (collisions would only
@@ -39,8 +58,10 @@ pub(crate) fn fnv1a64(text: &str) -> u64 {
 struct SessionSlot {
     /// FNV-1a of `canonical` (the lookup fast path).
     hash: u64,
-    /// The canonical `.soc` text (the collision-proof identity).
-    canonical: String,
+    /// The canonical `.soc` text (the collision-proof identity), shared
+    /// with every [`SessionHandle`] so the post-run
+    /// [`SessionRegistry::reassess`] can match the full key cheaply.
+    canonical: Arc<str>,
     /// The warm engine.
     engine: Arc<Engine>,
     /// Last-assessed [`Engine::table_memory_bytes`].
@@ -61,6 +82,9 @@ pub struct RegistryStats {
     pub evictions: u64,
     /// Currently charged bytes across all resident sessions.
     pub current_bytes: u64,
+    /// Requests that blocked at least once on an identical in-flight
+    /// cold build instead of starting their own.
+    pub coalesced_builds: u64,
 }
 
 /// A successful [`SessionRegistry::get_or_build`]: the engine to run on,
@@ -74,6 +98,10 @@ pub struct SessionHandle {
     pub warm: bool,
     /// The session's content-hash key.
     pub key: u64,
+    /// The canonical `.soc` text behind `key` — the collision-proof half
+    /// of the session identity, which [`SessionRegistry::reassess`]
+    /// matches alongside the hash.
+    pub canonical: Arc<str>,
 }
 
 /// An LRU of warm [`Engine`] sessions keyed by SOC content hash, bounded
@@ -82,17 +110,29 @@ pub struct SessionHandle {
 pub struct SessionRegistry {
     /// Slots in LRU order: index 0 is the coldest.
     inner: Mutex<RegistryInner>,
+    /// Signalled whenever a cold-build leader finishes (successfully or
+    /// not) so waiters re-check the slots.
+    build_ready: Condvar,
     max_sessions: usize,
     max_table_bytes: u64,
     /// When set, every built engine shares this row store, so module
     /// time rows survive session eviction and are shared across SOCs
     /// with equal-shaped modules.
     row_store: Option<Arc<RowStore>>,
+    /// When set, every built engine gets a point-level memo view of this
+    /// cache bound to its SOC hash, so sweep points and plain requests
+    /// share one `(soc, canonical config)` namespace.
+    solution_cache: Option<Arc<SolutionCache>>,
+    /// The armed fault plan ([`Stage::Build`] fires on the cold-build
+    /// path); empty in production.
+    faults: FaultPlan,
 }
 
 #[derive(Debug, Default)]
 struct RegistryInner {
     slots: Vec<SessionSlot>,
+    /// Keys whose cold build is currently led by some caller.
+    inflight: Vec<(u64, Arc<str>)>,
     stats: RegistryStats,
 }
 
@@ -103,10 +143,32 @@ impl SessionRegistry {
     pub fn new(max_sessions: usize, max_table_bytes: u64) -> Self {
         SessionRegistry {
             inner: Mutex::new(RegistryInner::default()),
+            build_ready: Condvar::new(),
             max_sessions: max_sessions.max(1),
             max_table_bytes,
             row_store: None,
+            solution_cache: None,
+            faults: FaultPlan::default(),
         }
+    }
+
+    /// Arms `faults` on this registry's cold-build path
+    /// ([`Stage::Build`] fires with the SOC name as the pseudo request
+    /// id, after the in-flight marker is planted and the lock released).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Gives every engine built by this registry a point-level memo view
+    /// of `cache` bound to its SOC hash (see
+    /// [`crate::engine::EngineBuilder::point_memo`]): sweep points and
+    /// plain requests then share one `(soc, canonical config)` namespace.
+    #[must_use]
+    pub fn with_solution_cache(mut self, cache: Arc<SolutionCache>) -> Self {
+        self.solution_cache = Some(cache);
+        self
     }
 
     /// Like [`SessionRegistry::new`], but every built engine shares
@@ -129,54 +191,114 @@ impl SessionRegistry {
     /// SOC fails validation (via [`crate::engine::EngineBuilder::try_build`]) —
     /// nothing is admitted in that case.
     pub fn get_or_build(&self, soc: &Soc) -> Result<SessionHandle, OptimizeError> {
-        let canonical = write_soc(soc);
+        let canonical: Arc<str> = write_soc(soc).into();
         let hash = fnv1a64(&canonical);
+        let mut waited = false;
         let mut inner = self.lock();
-        if let Some(position) = inner
-            .slots
-            .iter()
-            .position(|slot| slot.hash == hash && slot.canonical == canonical)
-        {
-            // Touch: move to the hot end.
-            let slot = inner.slots.remove(position);
-            let engine = Arc::clone(&slot.engine);
-            inner.slots.push(slot);
-            inner.stats.hits += 1;
+        loop {
+            if let Some(position) = inner
+                .slots
+                .iter()
+                .position(|slot| slot.hash == hash && slot.canonical == canonical)
+            {
+                // Touch: move to the hot end. A waiter that wakes to
+                // find the leader's slot counts as a plain hit — same
+                // observable outcome as the old serialized behaviour.
+                let slot = inner.slots.remove(position);
+                let engine = Arc::clone(&slot.engine);
+                inner.slots.push(slot);
+                inner.stats.hits += 1;
+                return Ok(SessionHandle {
+                    engine,
+                    warm: true,
+                    key: hash,
+                    canonical,
+                });
+            }
+
+            let in_flight = inner
+                .inflight
+                .iter()
+                .any(|(h, c)| *h == hash && *c == canonical);
+            if in_flight {
+                // An identical build is running: wait for its guard to
+                // notify, then re-check. A failed leader leaves no slot,
+                // so the next waiter through becomes the new leader.
+                if !waited {
+                    waited = true;
+                    inner.stats.coalesced_builds += 1;
+                }
+                inner = self
+                    .build_ready
+                    .wait_timeout(inner, WAIT_SLICE)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+                continue;
+            }
+
+            // Lead: plant the in-flight marker, drop the lock, build.
+            inner.stats.misses += 1;
+            inner.inflight.push((hash, Arc::clone(&canonical)));
+            drop(inner);
+            let _guard = BuildGuard {
+                registry: self,
+                hash,
+                canonical: Arc::clone(&canonical),
+            };
+            // The guard's Drop clears the marker and wakes waiters on
+            // the error return below and on unwind alike.
+            let engine = Arc::new(self.build_engine(soc, hash)?);
+            let bytes = engine.table_memory_bytes();
+            let mut inner = self.lock();
+            // Double-checked insert: never stack a duplicate slot.
+            inner
+                .slots
+                .retain(|slot| !(slot.hash == hash && slot.canonical == canonical));
+            inner.stats.created += 1;
+            inner.slots.push(SessionSlot {
+                hash,
+                canonical: Arc::clone(&canonical),
+                engine: Arc::clone(&engine),
+                bytes,
+            });
+            self.evict_over_caps(&mut inner);
+            drop(inner);
             return Ok(SessionHandle {
                 engine,
-                warm: true,
+                warm: false,
                 key: hash,
+                canonical,
             });
         }
+    }
 
-        inner.stats.misses += 1;
+    /// The lock-free part of a cold build: fire the [`Stage::Build`]
+    /// fault (keyed by SOC name), then run [`Engine::try_build`] wired
+    /// to the shared row store and solution cache.
+    fn build_engine(&self, soc: &Soc, hash: u64) -> Result<Engine, OptimizeError> {
+        self.faults.fire(Stage::Build, soc.name());
         let mut builder = Engine::builder(soc);
         if let Some(store) = &self.row_store {
             builder = builder.row_store(Arc::clone(store));
         }
-        let engine = Arc::new(builder.try_build()?);
-        inner.stats.created += 1;
-        let bytes = engine.table_memory_bytes();
-        inner.slots.push(SessionSlot {
-            hash,
-            canonical,
-            engine: Arc::clone(&engine),
-            bytes,
-        });
-        self.evict_over_caps(&mut inner);
-        Ok(SessionHandle {
-            engine,
-            warm: false,
-            key: hash,
-        })
+        if let Some(cache) = &self.solution_cache {
+            builder = builder.point_memo(Arc::new(SessionPointMemo::new(Arc::clone(cache), hash)));
+        }
+        builder.try_build()
     }
 
     /// Re-assesses a session's memory charge after a request ran (its
     /// table may have grown or been rebuilt wider) and re-applies the
-    /// caps. A no-op for sessions already evicted.
-    pub fn reassess(&self, key: u64) {
+    /// caps. A no-op for sessions already evicted. Matches the full
+    /// `(hash, canonical)` key — on an FNV-1a collision the charge must
+    /// land on the session that actually ran, not a hash twin.
+    pub fn reassess(&self, key: u64, canonical: &str) {
         let mut inner = self.lock();
-        if let Some(slot) = inner.slots.iter_mut().find(|slot| slot.hash == key) {
+        if let Some(slot) = inner
+            .slots
+            .iter_mut()
+            .find(|slot| slot.hash == key && slot.canonical.as_ref() == canonical)
+        {
             slot.bytes = slot.engine.table_memory_bytes();
         }
         self.evict_over_caps(&mut inner);
@@ -219,6 +341,25 @@ impl SessionRegistry {
     // only records that *some* thread panicked — recover the data.
     fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Clears the leader's in-flight marker and wakes waiters, whether the
+/// build succeeded, returned an error, or panicked.
+struct BuildGuard<'a> {
+    registry: &'a SessionRegistry,
+    hash: u64,
+    canonical: Arc<str>,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        let mut inner = self.registry.lock();
+        inner
+            .inflight
+            .retain(|(h, c)| !(*h == self.hash && *c == self.canonical));
+        drop(inner);
+        self.registry.build_ready.notify_all();
     }
 }
 
@@ -306,8 +447,132 @@ mod tests {
             .engine
             .run(&OptimizeRequest::new(OptimizerConfig::new(cell)))
             .unwrap();
-        registry.reassess(handle.key);
+        registry.reassess(handle.key, &handle.canonical);
         assert!(registry.stats().current_bytes > before);
+    }
+
+    #[test]
+    fn reassess_matches_the_full_key_not_just_the_hash() {
+        // Force a hash collision by inserting two slots under the same
+        // fake hash with different canonical texts: reassessing one must
+        // not recharge (or evict through) the other.
+        let registry = SessionRegistry::new(4, u64::MAX);
+        // Two *instances* (the SOC content is irrelevant here — the slot
+        // keys are faked below, only the tables' charges matter).
+        let engine_a = Arc::new(Engine::builder(&d695()).try_build().unwrap());
+        let engine_b = Arc::new(Engine::builder(&d695()).try_build().unwrap());
+        {
+            let mut inner = registry.lock();
+            inner.slots.push(SessionSlot {
+                hash: 42,
+                canonical: "a".into(),
+                engine: Arc::clone(&engine_a),
+                bytes: 7,
+            });
+            inner.slots.push(SessionSlot {
+                hash: 42,
+                canonical: "b".into(),
+                engine: Arc::clone(&engine_b),
+                bytes: 7,
+            });
+        }
+        // Widen b's table by serving a request on it.
+        use crate::engine::OptimizeRequest;
+        use crate::problem::OptimizerConfig;
+        use soctest_ate::{AteSpec, ProbeStation, TestCell};
+        let cell = TestCell::new(
+            AteSpec::new(256, 96 * 1024, 5.0e6),
+            ProbeStation::paper_probe_station(),
+        );
+        engine_b
+            .run(&OptimizeRequest::new(OptimizerConfig::new(cell)))
+            .unwrap();
+        registry.reassess(42, "b");
+        let inner = registry.lock();
+        let charge = |canonical: &str| {
+            inner
+                .slots
+                .iter()
+                .find(|slot| slot.canonical.as_ref() == canonical)
+                .map(|slot| slot.bytes)
+                .unwrap()
+        };
+        assert_eq!(charge("a"), 7, "hash twin must keep its stale charge");
+        assert!(charge("b") > 7, "the session that ran must be recharged");
+    }
+
+    #[test]
+    fn concurrent_cold_builds_of_distinct_socs_overlap() {
+        use std::time::Instant;
+        let plan = FaultPlan::parse("build:delay:600").unwrap();
+        let registry = Arc::new(SessionRegistry::new(4, u64::MAX).with_faults(plan));
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            let r1 = Arc::clone(&registry);
+            let r2 = Arc::clone(&registry);
+            let a = scope.spawn(move || r1.get_or_build(&d695()).unwrap());
+            let b = scope.spawn(move || r2.get_or_build(&p22810()).unwrap());
+            a.join().unwrap();
+            b.join().unwrap();
+        });
+        let elapsed = start.elapsed();
+        // Serialized builds would take >= 1200ms of injected delay alone;
+        // concurrent ones pay it once (plus real build time).
+        assert!(
+            elapsed < Duration::from_millis(1100),
+            "distinct-SOC cold builds serialized: {elapsed:?}"
+        );
+        let stats = registry.stats();
+        assert_eq!((stats.misses, stats.created), (2, 2));
+        assert_eq!(registry.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_same_soc_builds_coalesce_onto_one_leader() {
+        let plan = FaultPlan::parse("build:delay:300").unwrap();
+        let registry = Arc::new(SessionRegistry::new(4, u64::MAX).with_faults(plan));
+        let (first, second) = std::thread::scope(|scope| {
+            let r1 = Arc::clone(&registry);
+            let r2 = Arc::clone(&registry);
+            let a = scope.spawn(move || r1.get_or_build(&d695()).unwrap());
+            // Give the first thread time to become the leader.
+            std::thread::sleep(Duration::from_millis(50));
+            let b = scope.spawn(move || r2.get_or_build(&d695()).unwrap());
+            (a.join().unwrap(), b.join().unwrap())
+        });
+        assert!(Arc::ptr_eq(&first.engine, &second.engine));
+        let stats = registry.stats();
+        assert_eq!((stats.misses, stats.created), (1, 1));
+        assert_eq!(stats.hits, 1, "the waiter lands as a warm hit");
+        assert!(stats.coalesced_builds >= 1);
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn failed_build_releases_waiters_to_retry() {
+        let plan = FaultPlan::parse("build:delay:200@empty").unwrap();
+        let registry = Arc::new(SessionRegistry::new(4, u64::MAX).with_faults(plan));
+        std::thread::scope(|scope| {
+            let r1 = Arc::clone(&registry);
+            let r2 = Arc::clone(&registry);
+            let a = scope.spawn(move || r1.get_or_build(&Soc::new("empty")).unwrap_err());
+            std::thread::sleep(Duration::from_millis(50));
+            let b = scope.spawn(move || r2.get_or_build(&Soc::new("empty")).unwrap_err());
+            assert!(matches!(
+                a.join().unwrap(),
+                OptimizeError::InvalidSoc { .. }
+            ));
+            assert!(matches!(
+                b.join().unwrap(),
+                OptimizeError::InvalidSoc { .. }
+            ));
+        });
+        let stats = registry.stats();
+        // Both callers ended up leading a (failed) build.
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.created, 0);
+        assert!(registry.is_empty());
+        assert!(registry.lock().inflight.is_empty());
     }
 
     #[test]

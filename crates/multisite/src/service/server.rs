@@ -65,6 +65,14 @@ use std::time::{Duration, Instant};
 /// version).
 pub const ROWS_FILE: &str = "rows.v1";
 
+/// File name of the persisted solution cache inside
+/// [`ServerConfig::cache_dir`] — every *successful* whole-request and
+/// sweep-point response, in the same checksummed envelope format as
+/// `rows.v1`. Loaded at startup and saved whenever the row store is, so
+/// a restarted server answers repeat requests as cache hits without
+/// recomputing a single cell.
+pub const SOLUTIONS_FILE: &str = "solutions.v1";
+
 /// Tuning knobs of a [`Server`].
 #[derive(Debug, Clone)]
 #[non_exhaustive]
@@ -91,6 +99,11 @@ pub struct ServerConfig {
     /// version-mismatched file is a clean miss (a stderr warning, an
     /// empty store), never an error.
     pub cache_dir: Option<PathBuf>,
+    /// When set, `<cache_dir>/rows.v1` is bounded: a save drops the
+    /// coldest rows (by last touch, an order the file itself persists)
+    /// until the serialized store fits, so a long-lived cache directory
+    /// cannot grow without bound. `None` saves every row.
+    pub max_store_bytes: Option<u64>,
     /// The armed fault plan (empty in production).
     pub faults: FaultPlan,
     /// Trace every request (not only those with the wire `stats` flag),
@@ -118,6 +131,7 @@ impl Default for ServerConfig {
             max_result_entries: 256,
             max_result_bytes: 64 * 1024 * 1024,
             cache_dir: None,
+            max_store_bytes: None,
             faults: FaultPlan::none(),
             trace_all: false,
             executors: 1,
@@ -290,8 +304,10 @@ pub struct Server {
     config: ServerConfig,
     registry: SessionRegistry,
     /// The exact-hit `(SOC, canonical request) → response` cache with
-    /// in-flight coalescing.
-    solutions: SolutionCache,
+    /// in-flight coalescing, shared with the registry so every engine's
+    /// sweep points read and feed the same namespace; persisted to
+    /// [`ServerConfig::cache_dir`] when set.
+    solutions: Arc<SolutionCache>,
     /// The content-addressed module-row store every session's table
     /// draws from; persisted to [`ServerConfig::cache_dir`] when set.
     row_store: Arc<RowStore>,
@@ -320,16 +336,24 @@ impl Server {
     /// bad cache file degrades to a cold store, never an error).
     pub fn new(config: ServerConfig) -> Self {
         let row_store = Arc::new(RowStore::new());
+        let solutions = Arc::new(SolutionCache::new(
+            config.max_result_entries,
+            config.max_result_bytes,
+        ));
         let store_cells_loaded = match &config.cache_dir {
-            Some(dir) => load_row_store(&row_store, dir, &config.faults),
+            Some(dir) => {
+                load_solution_cache(&solutions, dir, &config.faults);
+                load_row_store(&row_store, dir, &config.faults)
+            }
             None => 0,
         };
         let registry = SessionRegistry::with_row_store(
             config.max_sessions,
             config.max_table_bytes,
             Arc::clone(&row_store),
-        );
-        let solutions = SolutionCache::new(config.max_result_entries, config.max_result_bytes);
+        )
+        .with_faults(config.faults.clone())
+        .with_solution_cache(Arc::clone(&solutions));
         Server {
             config,
             registry,
@@ -669,7 +693,15 @@ impl Server {
         // Persist the row store before `Bye` so the saved-row count can
         // ride in the statistics frame.
         let store_rows_saved = match (&self.config.cache_dir, conn.persist_on_bye) {
-            (Some(dir), true) => save_row_store(&self.row_store, dir, &self.config.faults),
+            (Some(dir), true) => {
+                save_solution_cache(&self.solutions, dir, &self.config.faults);
+                save_row_store(
+                    &self.row_store,
+                    dir,
+                    self.config.max_store_bytes,
+                    &self.config.faults,
+                )
+            }
             _ => 0,
         };
         let solutions = self.solutions.stats();
@@ -777,11 +809,19 @@ impl Server {
         }
     }
 
-    /// Persists the row store now (transport drain); `0` without a
-    /// configured cache dir.
+    /// Persists the row store and solution cache now (transport drain);
+    /// `0` without a configured cache dir.
     pub(crate) fn save_store_now(&self) -> u64 {
         match &self.config.cache_dir {
-            Some(dir) => save_row_store(&self.row_store, dir, &self.config.faults),
+            Some(dir) => {
+                save_solution_cache(&self.solutions, dir, &self.config.faults);
+                save_row_store(
+                    &self.row_store,
+                    dir,
+                    self.config.max_store_bytes,
+                    &self.config.faults,
+                )
+            }
             None => 0,
         }
     }
@@ -836,7 +876,7 @@ impl Server {
                         // Re-charge the session's (possibly grown) table
                         // before inspecting the result, so even failed
                         // runs account.
-                        self.registry.reassess(handle.key);
+                        self.registry.reassess(handle.key, &handle.canonical);
                         served
                     })?;
             faults.fire(Stage::Respond, &request_id);
@@ -860,6 +900,7 @@ impl Server {
                         cells_built: trace.cells_built(),
                         cells_inherited: trace.table.cells_inherited,
                         store_cells_computed: trace.store.cells_computed,
+                        points_reused: trace.points_reused,
                     }
                 });
                 Executed {
@@ -932,13 +973,19 @@ fn load_row_store(store: &Arc<RowStore>, dir: &Path, faults: &FaultPlan) -> u64 
 
 /// Saves the row store into `dir` (created if absent) with the same
 /// isolation as [`load_row_store`]: a failed save costs the cache, not
-/// the session. Returns the rows written (0 on failure).
-fn save_row_store(store: &Arc<RowStore>, dir: &Path, faults: &FaultPlan) -> u64 {
+/// the session. With a byte bound the coldest-touched rows are dropped
+/// until the file fits. Returns the rows written (0 on failure).
+fn save_row_store(
+    store: &Arc<RowStore>,
+    dir: &Path,
+    max_bytes: Option<u64>,
+    faults: &FaultPlan,
+) -> u64 {
     let path = dir.join(ROWS_FILE);
     let attempt = catch_unwind(AssertUnwindSafe(|| {
         faults.fire(Stage::Store, "save");
         std::fs::create_dir_all(dir)?;
-        store.save(&path)
+        store.save_capped(&path, max_bytes.unwrap_or(u64::MAX))
     }));
     match attempt {
         Ok(Ok(rows)) => rows,
@@ -955,6 +1002,61 @@ fn save_row_store(store: &Arc<RowStore>, dir: &Path, faults: &FaultPlan) -> u64 
                 panic_message(payload.as_ref())
             );
             0
+        }
+    }
+}
+
+/// Loads the persisted solution cache from `dir` with the failure
+/// isolation of [`load_row_store`]: a missing file is an empty cache, a
+/// corrupt one is a stderr warning and a clean miss. Returns the
+/// entries merged.
+fn load_solution_cache(cache: &Arc<SolutionCache>, dir: &Path, faults: &FaultPlan) -> u64 {
+    let path = dir.join(SOLUTIONS_FILE);
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        faults.fire(Stage::Store, "load");
+        cache.load_if_present(&path)
+    }));
+    match attempt {
+        Ok(Ok(entries)) => entries,
+        Ok(Err(error)) => {
+            eprintln!(
+                "warning: ignoring solution cache {}: {error}; starting cold",
+                path.display()
+            );
+            0
+        }
+        Err(payload) => {
+            eprintln!(
+                "warning: solution cache load panicked: {}; starting cold",
+                panic_message(payload.as_ref())
+            );
+            0
+        }
+    }
+}
+
+/// Saves the solution cache into `dir` (created if absent) with the
+/// same isolation as [`save_row_store`].
+fn save_solution_cache(cache: &Arc<SolutionCache>, dir: &Path, faults: &FaultPlan) {
+    let path = dir.join(SOLUTIONS_FILE);
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        faults.fire(Stage::Store, "save");
+        std::fs::create_dir_all(dir)?;
+        cache.save(&path)
+    }));
+    match attempt {
+        Ok(Ok(())) => {}
+        Ok(Err(error)) => {
+            eprintln!(
+                "warning: failed to save solution cache {}: {error}",
+                path.display()
+            );
+        }
+        Err(payload) => {
+            eprintln!(
+                "warning: solution cache save panicked: {}; cache not written",
+                panic_message(payload.as_ref())
+            );
         }
     }
 }
@@ -1510,12 +1612,15 @@ mod tests {
         match (&cold_frames[0], &warm_frames[0]) {
             (ServerFrame::Result(a), ServerFrame::Result(b)) => {
                 assert_eq!(a.response, b.response);
-                // The solution cache is per-server: the warm restart
-                // recomputed from stored rows, it did not replay a frame.
-                assert!(!b.cached);
+                // The solution cache persists alongside the rows: the
+                // restarted server replays the response as a hit rather
+                // than recomputing it from stored rows.
+                assert!(!a.cached);
+                assert!(b.cached, "persisted solutions answer the repeat");
             }
             other => panic!("expected results, got {other:?}"),
         }
+        assert!(guard.0.join(SOLUTIONS_FILE).is_file());
     }
 
     #[test]

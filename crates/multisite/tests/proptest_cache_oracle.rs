@@ -10,7 +10,9 @@ use proptest::prelude::*;
 use serde::Value;
 use soctest_ate::{AteSpec, ProbeStation, TestCell};
 use soctest_multisite::engine::{Engine, OptimizeResponse};
-use soctest_multisite::service::{canonical_request, CacheOutcome, CancelToken, SolutionCache};
+use soctest_multisite::service::{
+    canonical_request, CacheOutcome, CancelToken, SessionPointMemo, SolutionCache,
+};
 use soctest_multisite::{OptimizeRequest, OptimizerConfig, SweepAxis};
 use soctest_soc_model::{Module, Soc};
 use soctest_tam::RowStore;
@@ -151,6 +153,53 @@ proptest! {
             computed_before,
             "a store-backed replay rebuilt rows"
         );
+    }
+
+    /// Sweep-point reuse is invisible: a memo-backed engine answers a
+    /// channel sweep bit-identically to a bare one, and afterwards a
+    /// *plain* request for any swept count is a full cache hit carrying
+    /// exactly the response a cold engine would compute.
+    #[test]
+    fn sweep_points_pre_answer_plain_requests_bit_identically(
+        soc in arb_soc(),
+        channels in 32usize..=128,
+        depth in (1u64 << 20)..(1u64 << 24),
+        sweep_channels in proptest::collection::vec(32usize..=128, 1..4),
+    ) {
+        let cell = TestCell::new(
+            AteSpec::new(channels, depth, 5.0e6),
+            ProbeStation::paper_probe_station(),
+        );
+        let base = OptimizerConfig::new(cell);
+        let sweep = OptimizeRequest::new(base)
+            .with_sweep(SweepAxis::Channels(sweep_channels.clone()));
+        let bare = Engine::new(&soc).run(&sweep);
+
+        let cache = Arc::new(SolutionCache::new(64, 16 * 1024 * 1024));
+        let memo = Arc::new(SessionPointMemo::new(Arc::clone(&cache), 7));
+        let memoised = Engine::builder(&soc).point_memo(memo).build().run(&sweep);
+        prop_assert_eq!(&memoised, &bare, "the memo changed the sweep's answer");
+
+        // A successful sweep published every point under its plain
+        // effective-config key: each swept count must now be a Hit, and
+        // the served response must equal a cold recomputation.
+        if bare.is_ok() {
+            for &count in &sweep_channels {
+                let mut cfg = base;
+                cfg.test_cell.ate = cfg.test_cell.ate.with_channels(count);
+                let plain = OptimizeRequest::new(cfg);
+                let expected = Engine::new(&soc)
+                    .run(&plain)
+                    .expect("every point of a successful sweep is feasible");
+                let (outcome, served) = cache
+                    .run_coalesced(7, &plain, &CancelToken::new(), || {
+                        panic!("a swept point must answer the plain request")
+                    })
+                    .expect("a cached point cannot fail");
+                prop_assert_eq!(outcome, CacheOutcome::Hit);
+                prop_assert_eq!(served, expected);
+            }
+        }
     }
 
     /// Canonicalisation: every spelling of the same request — object

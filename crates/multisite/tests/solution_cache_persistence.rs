@@ -1,0 +1,226 @@
+//! On-disk corruption suite for the `solutions.v1` solution-cache
+//! format, the sibling of the row-store suite in
+//! `crates/tam/tests/row_store_corruption.rs`: a damaged cache file
+//! must always be a *clean miss* — `load` returns a typed
+//! [`StoreError`] and leaves the cache exactly as it was — or, for
+//! damage the format provably cannot detect, load only bit-correct
+//! responses. Covers truncation at every byte, a bit flip at every
+//! byte, version bumps with forged checksums, magic damage, trailing
+//! garbage, and a missing file.
+
+use soctest_ate::{AteSpec, ProbeStation, TestCell};
+use soctest_multisite::engine::{Engine, OptimizeRequest, OptimizeResponse, PointMemo, SweepAxis};
+use soctest_multisite::problem::OptimizerConfig;
+use soctest_multisite::service::{CancelToken, SessionPointMemo, SolutionCache};
+use soctest_soc_model::benchmarks::d695;
+use soctest_tam::StoreError;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// The fake SOC content hash every truth entry is keyed under.
+const SOC_KEY: u64 = 42;
+
+/// Ground truth: every `(request, response)` the warm cache holds.
+type Truth = Vec<(OptimizeRequest, OptimizeResponse)>;
+
+/// A scratch directory unique to this test binary run.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "soctest-solutions-corruption-{}-{tag}",
+        std::process::id()
+    ));
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn plain_request(channels: usize) -> OptimizeRequest {
+    let cell = TestCell::new(
+        AteSpec::new(channels, 96 * 1024, 5.0e6),
+        ProbeStation::paper_probe_station(),
+    );
+    OptimizeRequest::new(OptimizerConfig::new(cell))
+}
+
+/// Warms a cache with real d695 responses — one plain solution, one
+/// sweep's curves through the whole-request index, plus one entry in
+/// the point index — and returns the cache and the ground truth.
+fn warm_cache() -> (Arc<SolutionCache>, Truth) {
+    let engine = Engine::new(&d695());
+    let cache = Arc::new(SolutionCache::new(64, u64::MAX));
+    let token = CancelToken::new();
+    let mut truth = Truth::new();
+    for request in [
+        plain_request(64),
+        plain_request(64).with_sweep(SweepAxis::Channels(vec![48, 64])),
+    ] {
+        let (_, response) = cache
+            .run_coalesced(SOC_KEY, &request, &token, || engine.run(&request))
+            .expect("warm request succeeds");
+        truth.push((request, response));
+    }
+    let memo = SessionPointMemo::new(Arc::clone(&cache), SOC_KEY);
+    let point = plain_request(48);
+    let response = engine.run(&point).expect("point request succeeds");
+    memo.put(&point, &response);
+    truth.push((point, response));
+    (cache, truth)
+}
+
+/// The corruption oracle: loading `bytes` (written to a scratch file)
+/// into a fresh cache must either fail cleanly — leaving the cache
+/// empty — or load only bit-correct responses for every known request.
+/// Both ways, it must not panic and must not serve a wrong response.
+fn assert_clean_miss_or_clean_data(path: &Path, bytes: &[u8], truth: &Truth) {
+    fs::write(path, bytes).expect("write corrupted file");
+    let cache = Arc::new(SolutionCache::new(64, u64::MAX));
+    match cache.load(path) {
+        Err(_) => {
+            let stats = cache.stats();
+            assert!(
+                cache.is_empty(),
+                "a rejected file must leave the cache untouched"
+            );
+            assert_eq!(
+                (stats.point_entries, stats.bytes, stats.point_bytes),
+                (0, 0, 0)
+            );
+        }
+        Ok(_) => {
+            // `SessionPointMemo` probes both indexes, so it observes
+            // whatever the file managed to smuggle in.
+            let memo = SessionPointMemo::new(Arc::clone(&cache), SOC_KEY);
+            for (request, expected) in truth {
+                if let Some(got) = memo.get(request) {
+                    assert_eq!(&got, expected, "corrupted file served a wrong response");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_is_a_clean_miss() {
+    let dir = scratch_dir("truncate");
+    let full = dir.join("solutions.v1");
+    let (cache, truth) = warm_cache();
+    cache.save(&full).expect("save the warm cache");
+    let bytes = fs::read(&full).expect("read the saved cache");
+    assert!(bytes.len() > 100, "the warm cache should be non-trivial");
+
+    let path = dir.join("truncated.solutions.v1");
+    for len in 0..bytes.len() {
+        assert_clean_miss_or_clean_data(&path, &bytes[..len], &truth);
+    }
+    fs::remove_dir_all(&dir).expect("clean scratch dir");
+}
+
+#[test]
+fn a_bit_flip_at_every_byte_never_serves_a_wrong_response() {
+    let dir = scratch_dir("bitflip");
+    let full = dir.join("solutions.v1");
+    let (cache, truth) = warm_cache();
+    cache.save(&full).expect("save the warm cache");
+    let bytes = fs::read(&full).expect("read the saved cache");
+
+    let path = dir.join("flipped.solutions.v1");
+    for position in 0..bytes.len() {
+        let mut flipped = bytes.clone();
+        flipped[position] ^= 1 << (position % 8);
+        assert_clean_miss_or_clean_data(&path, &flipped, &truth);
+    }
+    fs::remove_dir_all(&dir).expect("clean scratch dir");
+}
+
+#[test]
+fn version_bumps_and_magic_damage_are_rejected_even_with_a_valid_checksum() {
+    let dir = scratch_dir("header");
+    let full = dir.join("solutions.v1");
+    let (cache, truth) = warm_cache();
+    cache.save(&full).expect("save the warm cache");
+    let bytes = fs::read(&full).expect("read the saved cache");
+    let trailer_at = bytes.len() - 8;
+
+    // A future format version with a *recomputed* checksum: the reader
+    // must reject it on the version byte alone, not by luck of the
+    // checksum.
+    let mut bumped = bytes.clone();
+    bumped[7] = b'2';
+    let checksum = refnv(&bumped[..trailer_at]);
+    bumped[trailer_at..].copy_from_slice(&checksum.to_le_bytes());
+    let path = dir.join("bumped.solutions.v1");
+    fs::write(&path, &bumped).expect("write bumped file");
+    match SolutionCache::new(64, u64::MAX).load(&path) {
+        Err(StoreError::Corrupt(why)) => {
+            assert!(
+                why.contains("version"),
+                "expected a version rejection, got: {why}"
+            )
+        }
+        other => panic!("a bumped version must be rejected, got {other:?}"),
+    }
+
+    // Damaged magic, checksum likewise recomputed.
+    let mut unmagic = bytes.clone();
+    unmagic[0] = b'X';
+    let checksum = refnv(&unmagic[..trailer_at]);
+    unmagic[trailer_at..].copy_from_slice(&checksum.to_le_bytes());
+    assert_clean_miss_or_clean_data(&dir.join("unmagic.solutions.v1"), &unmagic, &truth);
+    assert!(matches!(
+        SolutionCache::new(64, u64::MAX).load(&dir.join("unmagic.solutions.v1")),
+        Err(StoreError::Corrupt(_))
+    ));
+
+    // Trailing garbage after a byte-perfect file.
+    let mut trailing = bytes.clone();
+    trailing.extend_from_slice(b"junk after the trailer");
+    assert_clean_miss_or_clean_data(&dir.join("trailing.solutions.v1"), &trailing, &truth);
+    assert!(matches!(
+        SolutionCache::new(64, u64::MAX).load(&dir.join("trailing.solutions.v1")),
+        Err(StoreError::Corrupt(_))
+    ));
+    fs::remove_dir_all(&dir).expect("clean scratch dir");
+}
+
+/// FNV-1a 64 — reimplemented here (it is two lines) so the test can
+/// forge checksums without the crate exporting its hasher.
+fn refnv(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[test]
+fn a_pristine_save_round_trips_every_entry() {
+    let dir = scratch_dir("roundtrip");
+    let path = dir.join("solutions.v1");
+    let (cache, truth) = warm_cache();
+    cache.save(&path).expect("save the warm cache");
+
+    let reloaded = Arc::new(SolutionCache::new(64, u64::MAX));
+    let merged = reloaded.load(&path).expect("a pristine file loads");
+    assert_eq!(merged as usize, truth.len());
+    let memo = SessionPointMemo::new(Arc::clone(&reloaded), SOC_KEY);
+    for (request, expected) in &truth {
+        assert_eq!(
+            memo.get(request).as_ref(),
+            Some(expected),
+            "a persisted response must replay bit-identically"
+        );
+    }
+    fs::remove_dir_all(&dir).expect("clean scratch dir");
+}
+
+#[test]
+fn missing_files_are_an_empty_cache_not_an_error() {
+    let dir = scratch_dir("missing");
+    let path = dir.join("never-written.solutions.v1");
+    let cache = SolutionCache::new(64, u64::MAX);
+    assert_eq!(cache.load_if_present(&path).expect("missing file is ok"), 0);
+    assert!(matches!(cache.load(&path), Err(StoreError::Io(_))));
+    assert!(cache.is_empty());
+    fs::remove_dir_all(&dir).expect("clean scratch dir");
+}

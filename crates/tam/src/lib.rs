@@ -71,7 +71,10 @@ pub use architecture::{ChannelGroup, TestArchitecture};
 pub use error::TamError;
 pub use lazy::{LazyTimeTable, StatsEpoch};
 pub use schedule::{ScheduleEntry, TestSchedule};
-pub use store::{RowStore, RowStoreStats, StoreError, StoreRow};
+pub use store::{
+    open_envelope, push_u64, seal_envelope, write_atomic, Cursor, RowStore, RowStoreStats,
+    StoreError, StoreRow,
+};
 pub use timetable::{clamped_tam_width, max_tam_width, TimeLookup, TimeTable};
 
 /// The snapshot/diff counter pattern shared by every observability layer:

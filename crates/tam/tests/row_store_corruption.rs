@@ -242,6 +242,56 @@ fn concurrent_writers_always_leave_a_loadable_consistent_file() {
 }
 
 #[test]
+fn capped_saves_are_valid_files_under_the_bound_with_only_correct_cells() {
+    let dir = scratch_dir("capped");
+    let path = dir.join("rows.v1");
+    let (store, truth) = warm_store();
+    let full_rows = store.save(&path).expect("uncapped save");
+    let full_bytes = fs::read(&path).expect("read full file").len() as u64;
+    assert!(full_rows > 2, "the sweep needs rows to drop");
+
+    // A cap at roughly half the file forces the save to shed its
+    // coldest rows; what remains must be a complete, loadable envelope
+    // under the bound that serves only bit-correct times.
+    let cap = full_bytes / 2;
+    let capped_rows = store.save_capped(&path, cap).expect("capped save succeeds");
+    assert!(
+        capped_rows < full_rows,
+        "the cap must actually drop rows ({capped_rows} vs {full_rows})"
+    );
+    let written = fs::read(&path).expect("read capped file");
+    assert!(
+        written.len() as u64 <= cap,
+        "the bound is strict: {} > {cap}",
+        written.len()
+    );
+    let reader = RowStore::new();
+    let loaded = reader.load(&path).expect("a capped file is a valid file");
+    // `load` counts cells; every warm row carries all MAX_WIDTH widths.
+    assert_eq!(loaded, capped_rows * MAX_WIDTH as u64);
+    for (shape, times) in &truth {
+        let row = reader.row_for_shape(shape);
+        for (width, expected) in (1..=MAX_WIDTH).zip(times) {
+            if let Some(time) = row.get(width) {
+                assert_eq!(time, *expected, "a capped save served a wrong time");
+            }
+        }
+    }
+    // The resident store itself lost nothing — the cap is a file bound,
+    // not an in-memory eviction.
+    assert_eq!(store.save(&path).expect("uncapped re-save"), full_rows);
+
+    // Even a cap below the envelope overhead degrades to a valid,
+    // row-less file rather than an error or a torn write.
+    let none = store
+        .save_capped(&path, 40)
+        .expect("tiny cap still writes a valid envelope");
+    assert_eq!(none, 0);
+    assert_eq!(RowStore::new().load(&path).expect("row-less file loads"), 0);
+    fs::remove_dir_all(&dir).expect("clean scratch dir");
+}
+
+#[test]
 fn missing_files_are_an_empty_store_not_an_error() {
     let dir = scratch_dir("missing");
     let path = dir.join("never-written.rows.v1");
